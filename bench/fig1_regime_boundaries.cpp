@@ -1,0 +1,63 @@
+// Reproduces Figure 1: the five operating regions on the (normalized energy,
+// normalized performance) plane.  Prints the alpha thresholds sampled per
+// Section 4's uniform ranges for a few servers, the corresponding beta
+// boundaries through the Section 2 power curve (idle = 50 % of peak), and an
+// ASCII rendering of the b = f(a) operating curve with region boundaries.
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "energy/power_model.h"
+#include "energy/regimes.h"
+
+int main() {
+  using namespace eclb;
+
+  std::cout << "== Figure 1: operating regions R1..R5 on the (b, a) plane ==\n\n";
+
+  const energy::LinearPowerModel model(common::Watts{225.0}, 0.5);
+  common::Rng rng(42);
+
+  common::TextTable table({"Server", "alpha sopt,l", "alpha opt,l",
+                           "alpha opt,h", "alpha sopt,h", "beta0",
+                           "beta sopt,l", "beta opt,l", "beta opt,h",
+                           "beta sopt,h"});
+  for (int k = 0; k < 6; ++k) {
+    const auto t = energy::RegimeThresholds::sample(rng);
+    const auto b = energy::energy_boundaries(t, model);
+    table.row({"S" + std::to_string(k), common::TextTable::num(t.alpha_sopt_low, 3),
+               common::TextTable::num(t.alpha_opt_low, 3),
+               common::TextTable::num(t.alpha_opt_high, 3),
+               common::TextTable::num(t.alpha_sopt_high, 3),
+               common::TextTable::num(b.beta_0, 3),
+               common::TextTable::num(b.beta_sopt_low, 3),
+               common::TextTable::num(b.beta_opt_low, 3),
+               common::TextTable::num(b.beta_opt_high, 3),
+               common::TextTable::num(b.beta_sopt_high, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSection 4 sampling ranges: sopt,l in [0.20,0.25], opt,l in"
+               " [0.25,0.45], opt,h in [0.55,0.80], sopt,h in [0.80,0.85].\n";
+
+  // ASCII plot: performance a (rows, top = 1) against energy b (cols).
+  std::cout << "\nOperating curve a -> b = 0.5 + 0.5 a for one server, with"
+               " its regions:\n\n";
+  const auto t = energy::RegimeThresholds::sample(rng);
+  const int kRows = 16;
+  const int kCols = 56;
+  for (int r = kRows; r >= 0; --r) {
+    const double a = static_cast<double>(r) / kRows;
+    std::string line(static_cast<std::size_t>(kCols) + 1, ' ');
+    const double b = model.normalized_energy(a);
+    const auto col = static_cast<std::size_t>(b * kCols);
+    const auto regime = t.classify(a);
+    line[col] = to_string(regime).back();  // digit of the regime
+    std::printf("a=%4.2f |%s\n", a, line.c_str());
+  }
+  std::printf("        +%s\n", std::string(kCols, '-').c_str());
+  std::printf("         b=0%*s\n", kCols - 3, "b=1");
+  std::cout << "\n(each mark is the operating point at that load; the digit"
+               " is its regime)\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Figure 2: the distribution of servers over the five operating
+// regimes before and after energy optimization and load balancing, for
+// cluster sizes 10^2, 10^3, 10^4 and average loads 30 % / 70 %.
+//
+// Expected shape (paper): at 30 % the initial mass sits left of / in the
+// optimal region; at 70 % right of / in it.  After balancing the majority of
+// servers operate within the optimal and the two suboptimal regimes and only
+// a few percent remain in the undesirable regimes.
+//
+// Usage: fig2_regime_distribution [--quick]
+//   --quick restricts to cluster sizes 100 and 1000 (CI-friendly).
+#include <cstring>
+#include <iostream>
+
+#include "experiment/report.h"
+#include "experiment/runner.h"
+#include "experiment/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace eclb;
+  using experiment::AverageLoad;
+
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  std::cout << "== Figure 2: servers per regime before/after load balancing ==\n"
+            << "(40 reallocation intervals; histograms over awake servers;\n"
+            << " parked/deep-sleeping servers are listed separately)\n\n";
+
+  const char* labels[] = {"(a)", "(b)", "(c)", "(d)", "(e)", "(f)"};
+  int panel = 0;
+  for (std::size_t n : experiment::kPaperClusterSizes) {
+    if (quick && n > 1000) continue;
+    for (auto load : {AverageLoad::kLow30, AverageLoad::kHigh70}) {
+      const std::size_t replications = n >= 10000 ? 1 : (n >= 1000 ? 2 : 5);
+      auto cfg = experiment::paper_cluster_config(n, load, 1000 + n);
+      const auto outcome = experiment::run_experiment(
+          cfg, experiment::kPaperIntervals, replications);
+      std::string title = std::string("Panel ") + labels[panel++] +
+                          ": cluster size " + std::to_string(n) +
+                          ", average load " + to_string(load) + "  (" +
+                          std::to_string(replications) + " replications)";
+      experiment::print_regime_panel(std::cout, title, outcome);
+      double parked = 0.0;
+      double deep = 0.0;
+      for (const auto& rep : outcome.replications) {
+        parked += static_cast<double>(rep.final_parked);
+        deep += static_cast<double>(rep.final_deep_sleeping);
+      }
+      const auto reps = static_cast<double>(outcome.replications.size());
+      std::cout << "  final parked (C1): " << parked / reps
+                << "   final deep asleep (C3/C6): " << deep / reps << "\n\n";
+    }
+  }
+
+  std::cout << "Paper shape check: after balancing the undesirable regimes"
+               " (R1+R5) hold only a few percent of awake servers, the rest"
+               " operate in R2/R3/R4.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// P1: google-benchmark microbenchmarks of the simulation substrate --
+// event-queue throughput, DES dispatch rate, cluster construction and the
+// per-interval protocol step across cluster sizes.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "experiment/scenario.h"
+#include "sim/simulation.h"
+#include "vm/migration.h"
+
+namespace {
+
+using namespace eclb;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(common::Seconds{rng.uniform(0.0, 1e6)}, [](sim::Simulation&) {});
+    }
+    while (auto ev = q.pop()) benchmark::DoNotOptimize(ev->time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SimulationDispatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation simulation;
+    for (std::size_t i = 0; i < n; ++i) {
+      simulation.schedule_at(common::Seconds{static_cast<double>(i)},
+                             [](sim::Simulation&) {});
+    }
+    benchmark::DoNotOptimize(simulation.run_all());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulationDispatch)->Arg(1000)->Arg(100000);
+
+void BM_ClusterConstruction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto cfg = experiment::paper_cluster_config(
+        n, experiment::AverageLoad::kLow30, 42);
+    cluster::Cluster c(cfg);
+    benchmark::DoNotOptimize(c.total_demand());
+  }
+}
+BENCHMARK(BM_ClusterConstruction)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClusterStepLowLoad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto cfg =
+      experiment::paper_cluster_config(n, experiment::AverageLoad::kLow30, 42);
+  cluster::Cluster c(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.step().local_decisions);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ClusterStepLowLoad)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClusterStepHighLoad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto cfg =
+      experiment::paper_cluster_config(n, experiment::AverageLoad::kHigh70, 42);
+  cluster::Cluster c(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.step().local_decisions);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ClusterStepHighLoad)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MigrationCostModel(benchmark::State& state) {
+  const vm::Vm v(common::VmId{1}, common::AppId{1}, 0.2);
+  const vm::MigrationEnvironment env;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm::migrate_cost(v, env).total_time);
+  }
+}
+BENCHMARK(BM_MigrationCostModel);
+
+void BM_RngUniform(benchmark::State& state) {
+  common::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform01());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+}  // namespace

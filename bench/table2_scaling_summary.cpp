@@ -1,0 +1,63 @@
+// Reproduces Table 2: per (cluster size, average load) configuration the
+// average number of servers in a (deep) sleep state, the average in-cluster
+// to local decision ratio over 40 reallocation intervals, and its standard
+// deviation.
+//
+// Paper reference values:
+//   (a) 10^2 30%: sleepers 0,   ratio 0.6490, stddev 0.5229
+//   (b) 10^2 70%: sleepers 0,   ratio 0.5540, stddev 0.9088
+//   (c) 10^3 30%: sleepers 8,   ratio 0.4739, stddev 0.2602
+//   (d) 10^3 70%: sleepers 0,   ratio 0.5248, stddev 1.1311
+//   (e) 10^4 30%: sleepers 796, ratio 0.4294, stddev 0.1998
+//   (f) 10^4 70%: sleepers 0,   ratio 0.4843, stddev 0.9323
+//
+// Expected agreement: the *shape* -- zero sleepers at 70 % load and at the
+// 10^2 cluster (the consolidation guardrail floor), sleepers growing
+// super-linearly with cluster size at 30 %, ratios around 0.4-0.7 that fall
+// with cluster size, larger standard deviation at high load.
+//
+// Usage: table2_scaling_summary [--quick]
+#include <cstring>
+#include <iostream>
+
+#include "experiment/report.h"
+#include "experiment/runner.h"
+#include "experiment/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace eclb;
+  using experiment::AverageLoad;
+
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  std::cout << "== Table 2: in-cluster to local decision ratios and sleeping"
+               " servers ==\n\n";
+
+  const char* labels[] = {"(a)", "(b)", "(c)", "(d)", "(e)", "(f)"};
+  std::vector<experiment::Table2Row> rows;
+  int panel = 0;
+  for (std::size_t n : experiment::kPaperClusterSizes) {
+    if (quick && n > 1000) {
+      panel += 2;
+      continue;
+    }
+    for (auto load : {AverageLoad::kLow30, AverageLoad::kHigh70}) {
+      const std::size_t replications = n >= 10000 ? 1 : (n >= 1000 ? 2 : 5);
+      auto cfg = experiment::paper_cluster_config(n, load, 3000 + n);
+      const auto outcome = experiment::run_experiment(
+          cfg, experiment::kPaperIntervals, replications);
+      rows.push_back(
+          experiment::make_table2_row(labels[panel++], n, load, outcome));
+    }
+  }
+  experiment::print_table2(std::cout, rows);
+
+  std::cout << "\nPaper reference:\n"
+            << "| (a) | 100   | 30% | 0.0   | 0.6490 | 0.5229 |\n"
+            << "| (b) | 100   | 70% | 0.0   | 0.5540 | 0.9088 |\n"
+            << "| (c) | 1000  | 30% | 8.0   | 0.4739 | 0.2602 |\n"
+            << "| (d) | 1000  | 70% | 0.0   | 0.5248 | 1.1311 |\n"
+            << "| (e) | 10000 | 30% | 796.0 | 0.4294 | 0.1998 |\n"
+            << "| (f) | 10000 | 70% | 0.0   | 0.4843 | 0.9323 |\n";
+  return 0;
+}

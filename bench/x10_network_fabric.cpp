@@ -1,0 +1,66 @@
+// Extension X10: energy-proportional fabrics (Section 2 / [2]).
+//
+// Prices the *actual* migration traffic of a consolidation run on three
+// fabrics (star, fat tree, flattened butterfly) under classic (15 % dynamic
+// range, always-on plesiochronous channels) and energy-proportional links,
+// reproducing [2]'s argument that (a) the static floor dominates at real
+// utilizations and (b) the flattened butterfly is the cheaper fabric.
+#include <iostream>
+
+#include "common/table.h"
+#include "experiment/scenario.h"
+#include "network/network_energy.h"
+
+int main() {
+  using namespace eclb;
+
+  std::cout << "== X10: fabric energy for consolidation traffic ==\n\n";
+
+  // Obtain a real traffic volume: one 1000-server consolidation run; every
+  // migration moves ~RAM of data across the fabric.
+  auto cfg = experiment::paper_cluster_config(
+      1000, experiment::AverageLoad::kLow30, 404);
+  cluster::Cluster cluster(cfg);
+  std::size_t migrations = 0;
+  for (int i = 0; i < 40; ++i) migrations += cluster.step().migrations;
+  const common::Seconds span = cluster.now();
+  const common::MiB per_migration{2048.0 * 1.1};  // RAM + pre-copy overhead
+  network::TrafficSummary traffic;
+  traffic.volume = per_migration * static_cast<double>(migrations);
+  traffic.duration = span;
+  std::cout << "traffic: " << migrations << " migrations, "
+            << common::TextTable::num(traffic.volume.value / 1024.0, 1)
+            << " GiB over "
+            << common::TextTable::num(span.value / 60.0, 0) << " min\n\n";
+
+  common::TextTable table({"Fabric", "Switches", "Links", "Avg hops",
+                           "Util %", "Classic (kWh)", "Proportional (kWh)",
+                           "Proportional saving %"});
+  for (const auto& topo :
+       {network::star(1000), network::fat_tree(1000),
+        network::flattened_butterfly(1000)}) {
+    const auto classic =
+        network::fabric_energy(topo, network::LinkPowerModel::classic(), traffic);
+    const auto proportional = network::fabric_energy(
+        topo, network::LinkPowerModel::proportional(), traffic);
+    table.row(
+        {topo.name,
+         common::TextTable::num(static_cast<long long>(topo.switches)),
+         common::TextTable::num(static_cast<long long>(topo.links)),
+         common::TextTable::num(topo.average_hops, 2),
+         common::TextTable::num(100.0 * classic.average_link_utilization, 3),
+         common::TextTable::num(classic.total().kwh(), 3),
+         common::TextTable::num(proportional.total().kwh(), 3),
+         common::TextTable::num(
+             100.0 * (1.0 - proportional.total().value / classic.total().value),
+             1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape check ([2] / Section 2): consolidation traffic"
+               " utilizes the fabric well below 1 %, so the always-on static"
+               " floor is nearly the whole bill; energy-proportional links"
+               " eliminate ~80-95 % of it, and the flattened butterfly needs"
+               " fewer switches and shorter paths than the fat tree.\n";
+  return 0;
+}

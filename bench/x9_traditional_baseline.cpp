@@ -1,0 +1,88 @@
+// Extension X9: the energy-aware reformulation vs traditional load
+// balancing -- the comparison Section 1 motivates.
+//
+// "The traditional concept of load balancing could be reformulated to
+// optimize the energy consumption of a large-scale system: distribute
+// evenly the workload to the *smallest set* of servers operating at an
+// optimal energy level."  This bench runs the same clusters under (a) the
+// paper's policy, (b) traditional least-loaded balancing with every server
+// always on, and (c) random placement, reporting energy, where the servers
+// end up on the regime map, and the SLA record.
+#include <iostream>
+
+#include "common/table.h"
+#include "experiment/runner.h"
+#include "experiment/scenario.h"
+
+namespace {
+
+using namespace eclb;
+
+struct Variant {
+  const char* label;
+  cluster::ClusterConfig config;
+};
+
+}  // namespace
+
+int main() {
+  using experiment::AverageLoad;
+
+  std::cout << "== X9: energy-aware policy vs traditional load balancing ==\n"
+            << "1000 servers, 40 reallocation intervals, 2 replications\n\n";
+
+  for (auto load : {AverageLoad::kLow30, AverageLoad::kHigh70}) {
+    std::cout << "-- average load " << to_string(load) << " --\n";
+
+    std::vector<Variant> variants;
+    variants.push_back(
+        {"traditional least-loaded",
+         experiment::traditional_lb_config(1000, load, 606)});
+    auto random_cfg = experiment::traditional_lb_config(1000, load, 606);
+    random_cfg.placement = cluster::PlacementStrategy::kRandom;
+    variants.push_back({"traditional random", random_cfg});
+    variants.push_back(
+        {"energy-aware (paper)",
+         experiment::paper_cluster_config(1000, load, 606)});
+
+    common::TextTable table({"Policy", "Energy (kWh)", "Saving %",
+                             "Servers off (final)", "% awake in optimal",
+                             "SLA viol."});
+    double baseline_kwh = 0.0;
+    for (const auto& variant : variants) {
+      const auto agg = experiment::run_experiment(
+          variant.config, experiment::kPaperIntervals, 2);
+      const double kwh = agg.energy_kwh.mean();
+      if (baseline_kwh == 0.0) baseline_kwh = kwh;  // first row is the baseline
+      double off = 0.0;
+      double optimal_share = 0.0;
+      for (const auto& rep : agg.replications) {
+        off += static_cast<double>(rep.final_parked + rep.final_deep_sleeping);
+        double awake = 0.0;
+        for (auto h : rep.final_histogram) awake += static_cast<double>(h);
+        if (awake > 0.0) {
+          optimal_share += static_cast<double>(
+                               rep.final_histogram[energy::regime_index(
+                                   energy::Regime::kR3Optimal)]) /
+                           awake;
+        }
+      }
+      const auto reps = static_cast<double>(agg.replications.size());
+      table.row({variant.label, common::TextTable::num(kwh, 1),
+                 common::TextTable::num(100.0 * (1.0 - kwh / baseline_kwh), 1),
+                 common::TextTable::num(off / reps, 1),
+                 common::TextTable::num(100.0 * optimal_share / reps, 1),
+                 common::TextTable::num(agg.violations.mean(), 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Shape check: at 30 % load the energy-aware policy turns a"
+               " large fraction of the fleet off and concentrates the rest"
+               " near their optimal regions, cutting energy versus both"
+               " traditional balancers; at 70 % the fleet is needed anyway"
+               " and the policies converge in energy while the paper's"
+               " policy still keeps more servers in-regime.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Scenario: sizing the front-end farm of a SaaS product.
+//
+// A SaaS front-end sees a strong diurnal swing plus unpredictable flash
+// crowds (a marketing email goes out, a customer runs a batch import).  The
+// operator must pick a capacity policy and a sleep state.  This example runs
+// the Section 3 policy lineup over a synthetic week and prints the
+// energy-vs-SLA frontier, then shows the C3-vs-C6 trade-off for the chosen
+// policy.
+//
+//   $ ./autoscale_saas
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+#include "policy/farm.h"
+#include "policy/policies.h"
+#include "workload/profile.h"
+#include "workload/trace.h"
+
+int main() {
+  using namespace eclb;
+  using common::Seconds;
+
+  // A week of load: diurnal base + flash crowds.
+  common::Rng rng(404);
+  const auto day = Seconds{24.0 * 3600.0};
+  const auto week = Seconds{7.0 * 24.0 * 3600.0};
+  auto diurnal = std::make_shared<workload::DiurnalProfile>(35.0, 22.0, day);
+  workload::SpikyProfile::Params sp;
+  sp.base = 0.0;
+  sp.spike_rate_per_hour = 0.5;
+  sp.spike_min = 10.0;
+  sp.spike_max = 30.0;
+  sp.horizon = week;
+  auto crowds = std::make_shared<workload::SpikyProfile>(sp, rng);
+  const workload::CompositeProfile profile({diurnal, crowds});
+  const auto trace = workload::sample(profile, Seconds{60.0}, week);
+
+  std::printf("SaaS front-end, 100 servers, one synthetic week\n");
+  std::printf("demand: mean %.1f, peak %.1f server capacities\n\n",
+              trace.mean(), trace.peak());
+
+  policy::FarmConfig fc;
+  fc.server_count = 100;
+  fc.sleep_state = energy::CState::kC6;
+  const policy::FarmSimulator sim(fc);
+
+  std::printf("%-16s %12s %10s %12s %10s\n", "policy", "energy kWh",
+              "saving %", "violation %", "avg awake");
+  for (auto& policy : policy::standard_policies()) {
+    const auto r = sim.run(*policy, trace);
+    std::printf("%-16s %12.1f %10.1f %12.2f %10.1f\n",
+                std::string(policy->name()).c_str(), r.energy.kwh(),
+                100.0 * r.energy_saving(), 100.0 * r.violation_rate(),
+                r.average_awake);
+  }
+
+  // The SaaS pick: autoscale (robust to flash crowds).  Compare sleep depth.
+  std::printf("\nautoscale with C3 vs C6 sleep:\n");
+  for (auto state : {energy::CState::kC3, energy::CState::kC6}) {
+    policy::FarmConfig variant = fc;
+    variant.sleep_state = state;
+    policy::AutoScalePolicy autoscale;
+    const auto r = policy::FarmSimulator(variant).run(autoscale, trace);
+    std::printf("  %s: %8.1f kWh, %5.2f%% violations\n",
+                std::string(energy::to_string(state)).c_str(), r.energy.kwh(),
+                100.0 * r.violation_rate());
+  }
+
+  std::printf(
+      "\nReading the frontier: reactive is cheapest but violates during\n"
+      "flash crowds; reactive+extra buys the margin with energy; autoscale\n"
+      "holds capacity through crowds (Section 3's recommendation for\n"
+      "unpredictable spiky loads).  QoS-critical SaaS may accept suboptimal\n"
+      "energy (Section 6) -- here, C3 over C6.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Scenario: overnight consolidation of a lightly loaded data-center pod.
+//
+// A 1000-server pod runs at ~25 % average load after the evening peak.  The
+// operator wants to know: how much energy does the paper's energy-aware
+// policy recover overnight versus leaving every server on, how many servers
+// end up asleep, and what does the migration bill look like?
+//
+//   $ ./datacenter_consolidation
+#include <cstdio>
+
+#include "cluster/cluster.h"
+
+namespace {
+
+eclb::cluster::ClusterConfig pod_config(bool energy_aware) {
+  eclb::cluster::ClusterConfig config;
+  config.server_count = 1000;
+  config.initial_load_min = 0.15;
+  config.initial_load_max = 0.35;
+  config.reallocation_interval = eclb::common::Seconds{60.0};
+  config.seed = 7;
+  config.allow_sleep = energy_aware;
+  config.rebalance_enabled = energy_aware;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  using namespace eclb;
+
+  // Eight hours of reallocation intervals.
+  const std::size_t intervals = 8 * 60;
+
+  std::printf("overnight consolidation, 1000 servers, ~25%% load, 8 h\n\n");
+
+  // Baseline: servers always on, no consolidation.
+  cluster::Cluster baseline(pod_config(/*energy_aware=*/false));
+  for (std::size_t i = 0; i < intervals; ++i) baseline.step();
+  const double baseline_kwh = baseline.total_energy().kwh();
+  std::printf("always-on baseline: %8.1f kWh\n", baseline_kwh);
+
+  // Energy-aware: consolidation + sleep states.
+  cluster::Cluster pod(pod_config(/*energy_aware=*/true));
+  std::size_t migrations = 0;
+  std::size_t peak_asleep = 0;
+  for (std::size_t i = 0; i < intervals; ++i) {
+    const auto report = pod.step();
+    migrations += report.migrations;
+    peak_asleep = std::max(peak_asleep, report.deep_sleeping_servers +
+                                            report.parked_servers);
+  }
+  const double aware_kwh = pod.total_energy().kwh();
+
+  std::printf("energy-aware:       %8.1f kWh\n", aware_kwh);
+  std::printf("saving:             %8.1f kWh (%.1f%%)\n",
+              baseline_kwh - aware_kwh,
+              100.0 * (1.0 - aware_kwh / baseline_kwh));
+  std::printf("\nconsolidation detail:\n");
+  std::printf("  migrations executed:       %zu\n", migrations);
+  std::printf("  in-cluster decision bill:  %.0f J (%.4f kWh)\n",
+              pod.in_cluster_cost_total().energy.value,
+              pod.in_cluster_cost_total().energy.kwh());
+  std::printf("  peak servers off/parked:   %zu\n", peak_asleep);
+  std::printf("  final deep asleep (C6):    %zu\n", pod.deep_sleeping_count());
+  std::printf("  final parked (C1):         %zu\n", pod.parked_count());
+
+  const auto hist = pod.regime_histogram();
+  std::printf("  final awake regimes:       R1:%zu R2:%zu R3:%zu R4:%zu R5:%zu\n",
+              hist[0], hist[1], hist[2], hist[3], hist[4]);
+
+  std::printf("\nNote: the migration bill is orders of magnitude below the"
+              " idle-power saving -- the paper's case for consolidation.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "analytic/efficiency.h"
+
+#include "common/assert.h"
+
+namespace eclb::analytic {
+
+double performance_per_watt(const energy::PowerModel& model, double utilization) {
+  const common::Watts p = model.power(utilization);
+  // An ideal proportional server draws zero power at zero load; define the
+  // efficiency there as 0 (no work done) rather than dividing by zero.
+  if (p.value <= 0.0) return 0.0;
+  return utilization / p.value;
+}
+
+double peak_efficiency_utilization(const energy::PowerModel& model,
+                                   std::size_t samples) {
+  ECLB_ASSERT(samples >= 2, "peak_efficiency_utilization: need >= 2 samples");
+  double best_u = 0.0;
+  double best = -1.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double u = static_cast<double>(i) / static_cast<double>(samples - 1);
+    const double ppw = performance_per_watt(model, u);
+    if (ppw > best) {
+      best = ppw;
+      best_u = u;
+    }
+  }
+  return best_u;
+}
+
+double proportionality_index(const energy::PowerModel& model,
+                             std::size_t samples) {
+  ECLB_ASSERT(samples >= 2, "proportionality_index: need >= 2 samples");
+  const double peak = model.peak_power().value;
+  double deviation = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double u = static_cast<double>(i) / static_cast<double>(samples - 1);
+    const double ideal = peak * u;
+    deviation += (model.power(u).value - ideal) / peak;
+  }
+  return 1.0 - deviation / static_cast<double>(samples);
+}
+
+double normalized_efficiency(const energy::PowerModel& model, double utilization) {
+  const double b = model.normalized_energy(utilization);
+  ECLB_ASSERT(b > 0.0, "normalized_efficiency: zero normalized energy");
+  return utilization / b;
+}
+
+}  // namespace eclb::analytic

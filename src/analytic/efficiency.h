@@ -1,0 +1,39 @@
+// Operating-efficiency metrics from Section 2.
+//
+// "Performance per Watt of power" and energy proportionality: an ideal
+// energy-proportional system draws zero power when idle and scales linearly
+// with load, so it is "always operating at 100 % efficiency".  These helpers
+// quantify how far a PowerModel is from that ideal.
+#pragma once
+
+#include "common/units.h"
+#include "energy/power_model.h"
+
+namespace eclb::analytic {
+
+/// Performance per Watt at a given utilization: utilization (normalized
+/// operations/s) divided by the power drawn.  Units: normalized-ops per
+/// Joule; meaningful for comparisons, not absolutes.
+[[nodiscard]] double performance_per_watt(const energy::PowerModel& model,
+                                          double utilization);
+
+/// Utilization at which performance-per-Watt peaks (searched on a grid of
+/// `samples` points).  For non-proportional servers this is always 1.0 for
+/// monotone models with positive idle power, confirming the paper's point
+/// that low-utilization operation is energy-inefficient.
+[[nodiscard]] double peak_efficiency_utilization(const energy::PowerModel& model,
+                                                 std::size_t samples = 1001);
+
+/// Energy-proportionality index in [0, 1]: 1 for the ideal proportional
+/// server (power = peak * u), lower as the idle floor grows.  Defined as
+/// 1 - mean over u of (power(u) - ideal(u)) / peak.
+[[nodiscard]] double proportionality_index(const energy::PowerModel& model,
+                                           std::size_t samples = 1001);
+
+/// Normalized efficiency of Section 1: ratio of normalized performance to
+/// normalized energy consumption, a(u) / b(u).  The "optimal energy level"
+/// is where this is maximal subject to the regime constraints.
+[[nodiscard]] double normalized_efficiency(const energy::PowerModel& model,
+                                           double utilization);
+
+}  // namespace eclb::analytic

@@ -1,0 +1,54 @@
+#include "analytic/homogeneous_model.h"
+
+#include "common/assert.h"
+
+namespace eclb::analytic {
+
+double HomogeneousModel::e_ref() const {
+  return static_cast<double>(n) * b_avg;
+}
+
+double HomogeneousModel::c_ref() const {
+  return static_cast<double>(n) * a_avg();
+}
+
+double HomogeneousModel::n_sleep() const {
+  ECLB_ASSERT(a_opt > 0.0, "HomogeneousModel: a_opt must be positive");
+  return static_cast<double>(n) * (1.0 - a_avg() / a_opt);
+}
+
+double HomogeneousModel::e_opt() const {
+  return (static_cast<double>(n) - n_sleep()) * b_opt;
+}
+
+double HomogeneousModel::c_opt() const {
+  return (static_cast<double>(n) - n_sleep()) * a_opt;
+}
+
+double HomogeneousModel::energy_ratio() const {
+  ECLB_ASSERT(valid(), "HomogeneousModel: invalid parameters");
+  return (a_opt / a_avg()) * (b_avg / b_opt);
+}
+
+double HomogeneousModel::energy_saving() const {
+  return 1.0 - 1.0 / energy_ratio();
+}
+
+bool HomogeneousModel::valid() const {
+  return n > 0 && a_min >= 0.0 && a_min <= a_max && a_max <= 1.0 &&
+         a_avg() > 0.0 && a_opt > 0.0 && a_opt <= 1.0 && a_opt >= a_avg() &&
+         b_avg > 0.0 && b_avg <= 1.0 && b_opt > 0.0 && b_opt <= 1.0;
+}
+
+HomogeneousModel paper_example() {
+  HomogeneousModel m;
+  m.n = 100;
+  m.a_min = 0.0;
+  m.a_max = 0.6;  // a_avg = 0.3, the paper's value
+  m.b_avg = 0.6;
+  m.a_opt = 0.9;
+  m.b_opt = 0.8;
+  return m;
+}
+
+}  // namespace eclb::analytic

@@ -1,0 +1,60 @@
+// The homogeneous cloud model of Section 4, Equations (6)-(13).
+//
+// n identical servers.  Reference operation: normalized performance levels
+// uniformly distributed in [a_min, a_max] with average normalized energy
+// b_avg.  Optimal operation: n_sleep servers asleep, the rest at a_opt with
+// normalized energy b_opt = b_avg + epsilon.  Requiring equal computational
+// volume gives n / (n - n_sleep) = a_opt / a_avg and the headline
+//   E_ref / E_opt = (a_opt / a_avg) * (b_avg / b_opt)          (Eq. 12)
+// whose worked example (a_avg=0.3, b_avg=0.6, a_opt=0.9, b_opt=0.8) is 2.25.
+#pragma once
+
+#include <cstddef>
+
+namespace eclb::analytic {
+
+/// Parameters of the homogeneous model.
+struct HomogeneousModel {
+  std::size_t n{100};     ///< Servers in the cloud.
+  double a_min{0.0};      ///< Lower bound of the reference performance range.
+  double a_max{0.6};      ///< Upper bound of the reference performance range.
+  double b_avg{0.6};      ///< Average normalized energy per operation (reference).
+  double a_opt{0.9};      ///< Normalized performance in optimal operation.
+  double b_opt{0.8};      ///< Normalized energy in optimal operation (b_avg + eps).
+
+  /// a_avg = (a_max - a_min) / 2, as the paper defines it (Eq. 7).
+  [[nodiscard]] double a_avg() const { return (a_max - a_min) / 2.0; }
+
+  /// Reference-scenario energy, E_ref = n * b_avg (Eq. 6).
+  [[nodiscard]] double e_ref() const;
+
+  /// Reference-scenario operations, C_ref = n * a_avg (Eq. 7).
+  [[nodiscard]] double c_ref() const;
+
+  /// Servers that can sleep while preserving the computational volume
+  /// (from Eq. 11): n_sleep = n * (1 - a_avg / a_opt).  Real-valued; the
+  /// integral count is the floor.
+  [[nodiscard]] double n_sleep() const;
+
+  /// Optimal-scenario energy, E_opt = (n - n_sleep) * b_opt (Eq. 8).
+  [[nodiscard]] double e_opt() const;
+
+  /// Optimal-scenario operations, C_opt = (n - n_sleep) * a_opt (Eq. 9);
+  /// equals c_ref() by construction of n_sleep.
+  [[nodiscard]] double c_opt() const;
+
+  /// The energy ratio E_ref / E_opt = (a_opt/a_avg) * (b_avg/b_opt) (Eq. 12).
+  [[nodiscard]] double energy_ratio() const;
+
+  /// Relative energy saving, 1 - E_opt / E_ref.
+  [[nodiscard]] double energy_saving() const;
+
+  /// True when parameters satisfy the model's preconditions.
+  [[nodiscard]] bool valid() const;
+};
+
+/// The paper's worked example (Eq. 13): a_avg = 0.3, b_avg = 0.6,
+/// a_opt = 0.9, b_opt = 0.8, giving E_ref/E_opt = 2.25.
+[[nodiscard]] HomogeneousModel paper_example();
+
+}  // namespace eclb::analytic

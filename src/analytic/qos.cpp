@@ -1,0 +1,43 @@
+#include "analytic/qos.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace eclb::analytic {
+
+double response_time(const QosTarget& target, double utilization) {
+  ECLB_ASSERT(target.service_time > 0.0, "QosTarget: service time must be > 0");
+  if (utilization >= 1.0) return std::numeric_limits<double>::infinity();
+  const double u = std::max(0.0, utilization);
+  return target.service_time / (1.0 - u);
+}
+
+double utilization_cap(const QosTarget& target) {
+  ECLB_ASSERT(target.service_time > 0.0, "QosTarget: service time must be > 0");
+  ECLB_ASSERT(target.max_response_time > 0.0,
+              "QosTarget: max response time must be > 0");
+  const double cap = 1.0 - target.service_time / target.max_response_time;
+  return std::max(0.0, cap);
+}
+
+bool meets_sla(const QosTarget& target, double utilization) {
+  // Compare in utilization space with a small tolerance so that operating
+  // exactly at the cap (a common configuration) counts as compliant despite
+  // floating-point rounding.
+  return utilization <= utilization_cap(target) + 1e-12;
+}
+
+QosRegimeFit fit_qos_to_regimes(const QosTarget& target,
+                                const energy::RegimeThresholds& t) {
+  QosRegimeFit fit;
+  const double cap = utilization_cap(target);
+  fit.utilization_ceiling = std::min(cap, t.alpha_sopt_high);
+  fit.sla_below_optimal_region = cap < t.alpha_opt_low;
+  fit.sla_shrinks_optimal_region =
+      !fit.sla_below_optimal_region && cap < t.alpha_opt_high;
+  return fit;
+}
+
+}  // namespace eclb::analytic

@@ -1,0 +1,119 @@
+#include "cluster/cloud.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace eclb::cluster {
+
+std::size_t CloudIntervalReport::total_local() const {
+  std::size_t total = 0;
+  for (const auto& c : clusters) total += c.local_decisions;
+  return total;
+}
+
+std::size_t CloudIntervalReport::total_in_cluster() const {
+  std::size_t total = 0;
+  for (const auto& c : clusters) total += c.in_cluster_decisions;
+  return total;
+}
+
+std::size_t CloudIntervalReport::total_sla_violations() const {
+  std::size_t total = 0;
+  for (const auto& c : clusters) total += c.sla_violations;
+  return total;
+}
+
+std::size_t CloudIntervalReport::total_deep_sleeping() const {
+  std::size_t total = 0;
+  for (const auto& c : clusters) total += c.deep_sleeping_servers;
+  return total;
+}
+
+common::Joules CloudIntervalReport::total_energy() const {
+  common::Joules total{};
+  for (const auto& c : clusters) total += c.interval_energy;
+  return total;
+}
+
+Cloud::Cloud(CloudConfig config) : config_(std::move(config)) {
+  ECLB_ASSERT(config_.cluster_count > 0, "Cloud: need at least one cluster");
+  clusters_.reserve(config_.cluster_count);
+  for (std::size_t i = 0; i < config_.cluster_count; ++i) {
+    ClusterConfig member = config_.cluster_template;
+    member.seed = config_.cluster_template.seed + i;
+    clusters_.push_back(std::make_unique<Cluster>(std::move(member)));
+  }
+  if (config_.inter_cluster_overflow) {
+    for (std::size_t i = 0; i < clusters_.size(); ++i) {
+      clusters_[i]->set_overflow_handler(
+          [this, i](common::AppId app, double demand) {
+            return dispatch_overflow(i, app, demand);
+          });
+    }
+  }
+}
+
+Cloud::~Cloud() {
+  // Handlers capture `this`; sever them before members are destroyed.
+  for (auto& c : clusters_) c->set_overflow_handler(nullptr);
+}
+
+std::size_t Cloud::total_servers() const {
+  std::size_t total = 0;
+  for (const auto& c : clusters_) total += c->size();
+  return total;
+}
+
+double Cloud::load_fraction() const {
+  double demand = 0.0;
+  for (const auto& c : clusters_) demand += c->total_demand();
+  return demand / static_cast<double>(total_servers());
+}
+
+common::Joules Cloud::total_energy() const {
+  common::Joules total{};
+  for (const auto& c : clusters_) total += c->total_energy();
+  return total;
+}
+
+bool Cloud::dispatch_overflow(std::size_t origin, common::AppId app,
+                              double demand) {
+  // Most spare capacity first: the cloud dispatcher knows only coarse
+  // per-cluster load (what leaders would report upward), not member detail.
+  std::vector<std::size_t> order;
+  order.reserve(clusters_.size());
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    if (i != origin) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return clusters_[a]->load_fraction() < clusters_[b]->load_fraction();
+  });
+  for (std::size_t i : order) {
+    if (clusters_[i]->accept_external(app, demand)) {
+      ++overflow_placements_this_step_;
+      return true;
+    }
+  }
+  return false;
+}
+
+CloudIntervalReport Cloud::step() {
+  CloudIntervalReport report;
+  overflow_placements_this_step_ = 0;
+  report.clusters.reserve(clusters_.size());
+  for (auto& c : clusters_) {
+    report.clusters.push_back(c->step());
+  }
+  report.inter_cluster_placements = overflow_placements_this_step_;
+  return report;
+}
+
+std::vector<CloudIntervalReport> Cloud::run(std::size_t count) {
+  std::vector<CloudIntervalReport> reports;
+  reports.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) reports.push_back(step());
+  return reports;
+}
+
+}  // namespace eclb::cluster

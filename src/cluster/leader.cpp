@@ -1,0 +1,114 @@
+#include "cluster/leader.h"
+
+#include <cmath>
+#include <limits>
+
+namespace eclb::cluster {
+
+bool Leader::admissible(const server::Server& s, common::Seconds now, double demand,
+                        PlacementTier tier) {
+  if (!s.awake(now)) return false;
+  const double post = s.load() + demand;
+  const auto& t = s.thresholds();
+  switch (tier) {
+    case PlacementTier::kLowRegimesOnly: {
+      const auto r = s.regime();
+      const bool low = r.has_value() && (*r == energy::Regime::kR1UndesirableLow ||
+                                         *r == energy::Regime::kR2SuboptimalLow);
+      return low && post <= t.alpha_opt_high;
+    }
+    case PlacementTier::kStayOptimal:
+      return post <= t.alpha_opt_high;
+    case PlacementTier::kStaySuboptimal:
+      return post <= t.alpha_sopt_high;
+  }
+  return false;
+}
+
+std::optional<common::ServerId> Leader::find_target(
+    std::span<const server::Server> servers, common::Seconds now, double demand,
+    common::ServerId exclude, PlacementTier max_tier) const {
+  for (int tier = 0; tier <= static_cast<int>(max_tier); ++tier) {
+    const auto t = static_cast<PlacementTier>(tier);
+    const server::Server* best = nullptr;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (const auto& s : servers) {
+      if (s.id() == exclude) continue;
+      if (!admissible(s, now, demand, t)) continue;
+      // Prefer the target whose post-placement load lands closest to its own
+      // optimal center: consolidates load and keeps targets in-regime.
+      const double score =
+          std::abs(s.load() + demand - s.thresholds().optimal_center());
+      if (score < best_score) {
+        best_score = score;
+        best = &s;
+      }
+    }
+    if (best != nullptr) return best->id();
+  }
+  return std::nullopt;
+}
+
+std::optional<common::ServerId> Leader::find_below_center_target(
+    std::span<const server::Server> servers, common::Seconds now, double demand,
+    common::ServerId exclude) const {
+  const server::Server* best = nullptr;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const auto& s : servers) {
+    if (s.id() == exclude || !s.awake(now)) continue;
+    const double post = s.load() + demand;
+    if (post > s.thresholds().optimal_center()) continue;
+    // Fullest viable target first: concentrates load.
+    const double score = s.thresholds().optimal_center() - post;
+    if (score < best_score) {
+      best_score = score;
+      best = &s;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->id();
+}
+
+std::vector<common::ServerId> Leader::servers_in(
+    std::span<const server::Server> servers, common::Seconds now,
+    std::initializer_list<energy::Regime> regimes) const {
+  std::vector<common::ServerId> out;
+  for (const auto& s : servers) {
+    if (!s.awake(now)) continue;
+    const auto r = s.regime();
+    if (!r.has_value()) continue;
+    for (auto want : regimes) {
+      if (*r == want) {
+        out.push_back(s.id());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<common::ServerId> Leader::pick_wake_candidate(
+    std::span<const server::Server> servers, common::Seconds now) const {
+  const server::Server* best = nullptr;
+  for (const auto& s : servers) {
+    if (s.awake(now)) continue;
+    // A server mid-transition (falling asleep or already waking) cannot be
+    // redirected; only settled sleepers are wakeable.
+    if (s.in_transition(now)) continue;
+    if (s.cstate() == energy::CState::kC0) continue;
+    if (best == nullptr ||
+        static_cast<int>(s.cstate()) < static_cast<int>(best->cstate())) {
+      best = &s;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->id();
+}
+
+energy::CState Leader::choose_sleep_state(double cluster_load_fraction,
+                                          double threshold) {
+  return cluster_load_fraction > threshold ? energy::CState::kC3
+                                           : energy::CState::kC6;
+}
+
+}  // namespace eclb::cluster

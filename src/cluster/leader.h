@@ -1,0 +1,78 @@
+// The cluster leader: matchmaking and sleep/wake arbitration.
+//
+// Section 4's protocol routes every placement decision through a
+// per-cluster leader that knows each member's regime.  The leader here is
+// deliberately stateless over server data (it reads the live server array),
+// matching the paper's "local state information gathered from the members
+// of the cluster".
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "energy/cstates.h"
+#include "energy/regimes.h"
+#include "server/server.h"
+
+namespace eclb::cluster {
+
+/// How aggressive a placement search may be.
+enum class PlacementTier : std::uint8_t {
+  /// Only servers currently in R1/R2 that stay within their optimal region
+  /// -- the strict Section 4 rule for consolidation (drain) traffic.
+  kLowRegimesOnly = 0,
+  /// Any server whose post-placement load stays within its optimal region
+  /// (<= alpha_opt_high) -- used for R4/R5 shedding.
+  kStayOptimal = 1,
+  /// Any server whose post-placement load stays out of the undesirable-high
+  /// region (<= alpha_sopt_high) -- last resort for application growth.
+  kStaySuboptimal = 2,
+};
+
+/// Leader decision logic.  Holds no mutable server state; the cluster passes
+/// its live server array into each query.
+class Leader {
+ public:
+  /// Picks the best target able to absorb `demand` more load, searching
+  /// progressively wider tiers up to `max_tier`.  Within a tier the winner
+  /// minimizes the post-placement distance to its own optimal-region center
+  /// (concentrating load, per the paper's consolidation goal).  `exclude`
+  /// is skipped (the requesting server).  Returns nullopt when nothing fits.
+  [[nodiscard]] std::optional<common::ServerId> find_target(
+      std::span<const server::Server> servers, common::Seconds now, double demand,
+      common::ServerId exclude, PlacementTier max_tier) const;
+
+  /// Picks a target able to absorb `demand` while ending *below its own
+  /// optimal center*.  Used by the even-distribution rebalance: a VM only
+  /// moves from an above-center server to a server that stays below center,
+  /// so rebalancing monotonically converges (no ping-pong).  Returns nullopt
+  /// when no such server exists.
+  [[nodiscard]] std::optional<common::ServerId> find_below_center_target(
+      std::span<const server::Server> servers, common::Seconds now, double demand,
+      common::ServerId exclude) const;
+
+  /// Ids of awake servers currently in any of `regimes`.
+  [[nodiscard]] std::vector<common::ServerId> servers_in(
+      std::span<const server::Server> servers, common::Seconds now,
+      std::initializer_list<energy::Regime> regimes) const;
+
+  /// Picks a sleeping, settled server to wake, preferring the shallowest
+  /// sleep state (fastest / cheapest wake).  Returns nullopt when none.
+  [[nodiscard]] std::optional<common::ServerId> pick_wake_candidate(
+      std::span<const server::Server> servers, common::Seconds now) const;
+
+  /// The Section 6 rule: when cluster load exceeds `threshold` (default
+  /// 60 %) new sleepers go to C3 (fast wake likely needed soon); below it
+  /// they go to C6 (deep sleep, demand unlikely to return quickly).
+  [[nodiscard]] static energy::CState choose_sleep_state(double cluster_load_fraction,
+                                                         double threshold = 0.60);
+
+ private:
+  [[nodiscard]] static bool admissible(const server::Server& s, common::Seconds now,
+                                       double demand, PlacementTier tier);
+};
+
+}  // namespace eclb::cluster

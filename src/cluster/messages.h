@@ -1,0 +1,74 @@
+// Leader-server protocol message accounting.
+//
+// The cluster uses a star topology (Section 4): every control exchange
+// crosses the server-to-leader link.  The simulation does not deliver
+// message payloads (decisions are computed in place), but it *prices* every
+// exchange -- the j_k cost of Section 4 -- and these counters expose the
+// traffic mix for the benches.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.h"
+
+namespace eclb::cluster {
+
+/// Kinds of control messages in the Section 4 protocol.
+enum class MessageKind : std::uint8_t {
+  kRegimeReport = 0,   ///< Periodic server -> leader regime notification.
+  kCandidateList = 1,  ///< Leader -> server list of negotiation partners.
+  kTransferRequest = 2,///< Server -> server VM transfer offer.
+  kTransferAck = 3,    ///< Acceptance / completion acknowledgement.
+  kWakeCommand = 4,    ///< Leader -> sleeping server wake-up.
+  kSleepNotice = 5,    ///< Server -> leader before entering a sleep state.
+};
+
+/// Number of message kinds.
+inline constexpr std::size_t kMessageKindCount = 6;
+
+/// Display name of a message kind.
+[[nodiscard]] constexpr std::string_view to_string(MessageKind k) {
+  switch (k) {
+    case MessageKind::kRegimeReport: return "regime-report";
+    case MessageKind::kCandidateList: return "candidate-list";
+    case MessageKind::kTransferRequest: return "transfer-request";
+    case MessageKind::kTransferAck: return "transfer-ack";
+    case MessageKind::kWakeCommand: return "wake-command";
+    case MessageKind::kSleepNotice: return "sleep-notice";
+  }
+  return "?";
+}
+
+/// Per-kind message counters plus the energy they cost.
+class MessageStats {
+ public:
+  /// Records `n` messages of kind `k`, each costing `energy_per_message`.
+  void record(MessageKind k, std::size_t n, common::Joules energy_per_message) {
+    counts_[static_cast<std::size_t>(k)] += n;
+    energy_ += energy_per_message * static_cast<double>(n);
+  }
+
+  /// Messages of one kind so far.
+  [[nodiscard]] std::size_t count(MessageKind k) const {
+    return counts_[static_cast<std::size_t>(k)];
+  }
+
+  /// All messages so far.
+  [[nodiscard]] std::size_t total() const {
+    std::size_t t = 0;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+
+  /// Total energy spent on control traffic.
+  [[nodiscard]] common::Joules energy() const { return energy_; }
+
+ private:
+  std::array<std::size_t, kMessageKindCount> counts_{};
+  common::Joules energy_{};
+};
+
+}  // namespace eclb::cluster

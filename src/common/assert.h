@@ -1,0 +1,28 @@
+// Lightweight always-on assertion macro.
+//
+// Simulation-model invariants (loads in [0,1], energy non-negative, VM
+// conservation) are cheap to check relative to the work per event, so they
+// stay enabled in release builds; a violated invariant aborts with context.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace eclb::common::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "eclb assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg == nullptr ? "" : msg);
+  std::abort();
+}
+
+}  // namespace eclb::common::detail
+
+/// Abort with a message when a model invariant does not hold.
+#define ECLB_ASSERT(expr, msg)                                                \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::eclb::common::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,56 @@
+#include "common/csv.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace eclb::common {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), width_(header.size()) {
+  ECLB_ASSERT(width_ > 0, "CsvWriter: header must be non-empty");
+  write_line(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  ECLB_ASSERT(cells.size() == width_, "CsvWriter: row width mismatch");
+  write_line(cells);
+  ++rows_;
+}
+
+std::string CsvWriter::cell(double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  ECLB_ASSERT(ec == std::errc{}, "CsvWriter: to_chars failed");
+  return std::string(buf, ptr);
+}
+
+std::string CsvWriter::cell(long long v) {
+  return std::to_string(v);
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(std::string_view s) {
+  const bool needs_quotes =
+      s.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(s);
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace eclb::common

@@ -1,0 +1,42 @@
+// Minimal CSV emission for experiment results.
+//
+// Every bench binary can dump its rows as CSV (for plotting outside the
+// repo) in addition to the console table; this writer handles quoting and
+// keeps row width consistent with the header.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eclb::common {
+
+/// Streams rows of a fixed-width CSV document to an ostream.
+class CsvWriter {
+ public:
+  /// Binds the writer to a stream and emits the header line.  The stream
+  /// must outlive the writer.
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Emits one data row; the number of cells must equal the header width.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with full round-trip precision.
+  static std::string cell(double v);
+  /// Convenience: formats an integer cell.
+  static std::string cell(long long v);
+
+  /// Number of data rows written so far.
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_line(const std::vector<std::string>& cells);
+  static std::string escape(std::string_view s);
+
+  std::ostream& out_;
+  std::size_t width_;
+  std::size_t rows_{0};
+};
+
+}  // namespace eclb::common

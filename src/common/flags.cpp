@@ -1,0 +1,98 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace eclb::common {
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // Peek at the next token for a space-separated value.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags.values_[body] = "";
+    }
+  }
+  return flags;
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+std::string Flags::get(const std::string& name, const std::string& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return it->second;
+}
+
+long long Flags::get_int(const std::string& name, long long fallback) {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    errors_.push_back("--" + name + ": expected an integer, got '" + it->second +
+                      "'");
+    return fallback;
+  }
+  return v;
+}
+
+double Flags::get_double(const std::string& name, double fallback) {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    errors_.push_back("--" + name + ": expected a number, got '" + it->second +
+                      "'");
+    return fallback;
+  }
+  return v;
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+std::vector<std::string> Flags::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> Flags::unknown(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    if (std::find(known.begin(), known.end(), k) == known.end()) {
+      out.push_back(k);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace eclb::common

@@ -1,0 +1,63 @@
+// Minimal command-line flag parsing for the bench binaries and the CLI tool.
+//
+// Supports `--name value`, `--name=value` and boolean `--name` forms; no
+// global registry, no macros -- the caller declares what it expects and gets
+// typed lookups with defaults.  Unknown flags are collected so tools can
+// reject typos instead of silently ignoring them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace eclb::common {
+
+/// Parsed command line.
+class Flags {
+ public:
+  /// Parses argv.  Anything starting with "--" is a flag; a following token
+  /// that does not start with "--" becomes its value (unless the flag used
+  /// the `--name=value` form).  Remaining tokens are positional arguments.
+  static Flags parse(int argc, const char* const* argv);
+
+  /// True when the flag was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// String value; `fallback` when absent or valueless.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = "") const;
+
+  /// Integer value; `fallback` when absent; nullopt stored parse errors are
+  /// reported through errors().
+  [[nodiscard]] long long get_int(const std::string& name, long long fallback);
+
+  /// Floating-point value.
+  [[nodiscard]] double get_double(const std::string& name, double fallback);
+
+  /// Boolean: present without value or with value in {1,true,yes,on}.
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Names seen on the command line (for unknown-flag checks).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Parse errors accumulated by typed getters (bad integers etc.).
+  [[nodiscard]] const std::vector<std::string>& errors() const { return errors_; }
+
+  /// Convenience: verifies every present flag is in `known`; returns the
+  /// offenders.
+  [[nodiscard]] std::vector<std::string> unknown(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace eclb::common

@@ -1,0 +1,18 @@
+#include "common/log.h"
+
+namespace eclb::common {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+
+const char* Log::name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+}  // namespace eclb::common

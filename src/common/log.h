@@ -1,0 +1,45 @@
+// Leveled logging with near-zero cost when disabled.
+//
+// The simulator can narrate every leader negotiation and migration at Debug
+// level; experiments run with Warn so ten-thousand-server runs stay quiet.
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+
+namespace eclb::common {
+
+/// Severity levels, ordered.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logger (the simulator is single-writer per thread; level
+/// changes are expected only at startup).
+class Log {
+ public:
+  /// Sets the minimum severity that is emitted.
+  static void set_level(LogLevel level) { level_ = level; }
+  /// Current minimum severity.
+  [[nodiscard]] static LogLevel level() { return level_; }
+  /// True when messages at `l` would be emitted.
+  [[nodiscard]] static bool enabled(LogLevel l) { return l >= level_; }
+
+  /// printf-style emission; no-op below the current level.
+  template <class... Args>
+  static void write(LogLevel l, const char* fmt, Args... args) {
+    if (!enabled(l)) return;
+    std::fprintf(stderr, "[%s] ", name(l));
+    std::fprintf(stderr, fmt, args...);
+    std::fputc('\n', stderr);
+  }
+
+ private:
+  static const char* name(LogLevel l);
+  static LogLevel level_;
+};
+
+}  // namespace eclb::common
+
+#define ECLB_LOG_DEBUG(...) ::eclb::common::Log::write(::eclb::common::LogLevel::kDebug, __VA_ARGS__)
+#define ECLB_LOG_INFO(...)  ::eclb::common::Log::write(::eclb::common::LogLevel::kInfo, __VA_ARGS__)
+#define ECLB_LOG_WARN(...)  ::eclb::common::Log::write(::eclb::common::LogLevel::kWarn, __VA_ARGS__)
+#define ECLB_LOG_ERROR(...) ::eclb::common::Log::write(::eclb::common::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,51 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace eclb::common {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::row(std::vector<std::string> cells) {
+  cells.resize(std::max(cells.size(), header_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string TextTable::num(long long v) {
+  return std::to_string(v);
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      out << "| " << cell;
+      for (std::size_t i = cell.size(); i < widths[c]; ++i) out << ' ';
+      out << ' ';
+    }
+    out << "|\n";
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out << "|";
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) out << '-';
+  }
+  out << "|\n";
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace eclb::common

@@ -1,0 +1,39 @@
+// Fixed-width console tables.
+//
+// The bench binaries print paper tables/figures as aligned text; this
+// formatter right-pads string cells and right-aligns numeric ones so the
+// output reads like the paper's tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eclb::common {
+
+/// Accumulates rows and renders an aligned ASCII table.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; short rows are padded with empty cells.
+  void row(std::vector<std::string> cells);
+
+  /// Formats a double with `digits` fractional digits.
+  static std::string num(double v, int digits = 4);
+  /// Formats an integer cell.
+  static std::string num(long long v);
+
+  /// Renders the table (header, rule, rows) to the stream.
+  void print(std::ostream& out) const;
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eclb::common

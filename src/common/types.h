@@ -1,0 +1,66 @@
+// Identifier strong types shared by all modules.
+//
+// Servers, VMs, applications and clusters are all indexed by dense integer
+// ids; wrapping them prevents the "passed a VM id where a server id was
+// expected" class of bug without any runtime cost.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace eclb::common {
+
+namespace detail {
+
+/// CRTP-free tagged id: a 32-bit index distinguishable by its Tag type.
+template <class Tag>
+struct Id {
+  using underlying_type = std::uint32_t;
+
+  /// Sentinel meaning "no entity".
+  static constexpr underlying_type kInvalid = std::numeric_limits<underlying_type>::max();
+
+  underlying_type value{kInvalid};
+
+  constexpr Id() = default;
+  /// Accepts any integer index; values are stored as 32-bit (entity counts
+  /// in the simulator stay far below 2^32).
+  constexpr explicit Id(std::uint64_t v) : value(static_cast<underlying_type>(v)) {}
+
+  /// True when the id refers to an actual entity.
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+  /// Usable as a dense container index.
+  [[nodiscard]] constexpr std::size_t index() const { return static_cast<std::size_t>(value); }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+}  // namespace detail
+
+struct ServerTag {};
+struct VmTag {};
+struct AppTag {};
+struct ClusterTag {};
+
+/// Identifies a physical server within a cluster.
+using ServerId = detail::Id<ServerTag>;
+/// Identifies a virtual machine.
+using VmId = detail::Id<VmTag>;
+/// Identifies an application (one application may span several VMs).
+using AppId = detail::Id<AppTag>;
+/// Identifies a cluster within the cloud.
+using ClusterId = detail::Id<ClusterTag>;
+
+}  // namespace eclb::common
+
+namespace std {
+template <class Tag>
+struct hash<eclb::common::detail::Id<Tag>> {
+  size_t operator()(eclb::common::detail::Id<Tag> id) const noexcept {
+    return std::hash<typename eclb::common::detail::Id<Tag>::underlying_type>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,110 @@
+// Strong-typed physical units used across the simulator.
+//
+// The paper reasons about power (Watts), energy (Joules), time (seconds) and
+// data volume (MiB, for VM images).  Mixing those up silently is a classic
+// source of simulation bugs, so each gets its own thin strong type with only
+// the physically meaningful cross-type operators defined (W x s = J, etc.).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace eclb::common {
+
+/// A duration in seconds (simulation time is a continuous double).
+struct Seconds {
+  double value{0.0};
+
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double v) : value(v) {}
+
+  friend constexpr auto operator<=>(Seconds, Seconds) = default;
+  friend constexpr Seconds operator+(Seconds a, Seconds b) { return Seconds{a.value + b.value}; }
+  friend constexpr Seconds operator-(Seconds a, Seconds b) { return Seconds{a.value - b.value}; }
+  friend constexpr Seconds operator*(Seconds a, double k) { return Seconds{a.value * k}; }
+  friend constexpr Seconds operator*(double k, Seconds a) { return Seconds{a.value * k}; }
+  friend constexpr double operator/(Seconds a, Seconds b) { return a.value / b.value; }
+  constexpr Seconds& operator+=(Seconds o) { value += o.value; return *this; }
+  constexpr Seconds& operator-=(Seconds o) { value -= o.value; return *this; }
+};
+
+/// Instantaneous power draw in Watts (Joules per second).
+struct Watts {
+  double value{0.0};
+
+  constexpr Watts() = default;
+  constexpr explicit Watts(double v) : value(v) {}
+
+  friend constexpr auto operator<=>(Watts, Watts) = default;
+  friend constexpr Watts operator+(Watts a, Watts b) { return Watts{a.value + b.value}; }
+  friend constexpr Watts operator-(Watts a, Watts b) { return Watts{a.value - b.value}; }
+  friend constexpr Watts operator*(Watts a, double k) { return Watts{a.value * k}; }
+  friend constexpr Watts operator*(double k, Watts a) { return Watts{a.value * k}; }
+  friend constexpr double operator/(Watts a, Watts b) { return a.value / b.value; }
+  constexpr Watts& operator+=(Watts o) { value += o.value; return *this; }
+};
+
+/// An amount of energy in Joules.
+struct Joules {
+  double value{0.0};
+
+  constexpr Joules() = default;
+  constexpr explicit Joules(double v) : value(v) {}
+
+  friend constexpr auto operator<=>(Joules, Joules) = default;
+  friend constexpr Joules operator+(Joules a, Joules b) { return Joules{a.value + b.value}; }
+  friend constexpr Joules operator-(Joules a, Joules b) { return Joules{a.value - b.value}; }
+  friend constexpr Joules operator*(Joules a, double k) { return Joules{a.value * k}; }
+  friend constexpr Joules operator*(double k, Joules a) { return Joules{a.value * k}; }
+  friend constexpr double operator/(Joules a, Joules b) { return a.value / b.value; }
+  constexpr Joules& operator+=(Joules o) { value += o.value; return *this; }
+  constexpr Joules& operator-=(Joules o) { value -= o.value; return *this; }
+
+  /// Convert to kilowatt-hours (1 kWh = 3.6e6 J), the unit data-center
+  /// energy bills are written in.
+  [[nodiscard]] constexpr double kwh() const { return value / 3.6e6; }
+};
+
+/// Power integrated over time yields energy.
+constexpr Joules operator*(Watts p, Seconds t) { return Joules{p.value * t.value}; }
+constexpr Joules operator*(Seconds t, Watts p) { return Joules{p.value * t.value}; }
+/// Energy spread over time yields average power.
+constexpr Watts operator/(Joules e, Seconds t) { return Watts{e.value / t.value}; }
+/// Energy divided by power yields the time it lasts.
+constexpr Seconds operator/(Joules e, Watts p) { return Seconds{e.value / p.value}; }
+
+/// A data volume in mebibytes (used for VM image and dirty-page sizes).
+struct MiB {
+  double value{0.0};
+
+  constexpr MiB() = default;
+  constexpr explicit MiB(double v) : value(v) {}
+
+  friend constexpr auto operator<=>(MiB, MiB) = default;
+  friend constexpr MiB operator+(MiB a, MiB b) { return MiB{a.value + b.value}; }
+  friend constexpr MiB operator-(MiB a, MiB b) { return MiB{a.value - b.value}; }
+  friend constexpr MiB operator*(MiB a, double k) { return MiB{a.value * k}; }
+  friend constexpr MiB operator*(double k, MiB a) { return MiB{a.value * k}; }
+  friend constexpr double operator/(MiB a, MiB b) { return a.value / b.value; }
+  constexpr MiB& operator+=(MiB o) { value += o.value; return *this; }
+};
+
+/// Network / disk throughput in MiB per second.
+struct MiBps {
+  double value{0.0};
+
+  constexpr MiBps() = default;
+  constexpr explicit MiBps(double v) : value(v) {}
+
+  friend constexpr auto operator<=>(MiBps, MiBps) = default;
+  friend constexpr MiBps operator*(MiBps a, double k) { return MiBps{a.value * k}; }
+  friend constexpr MiBps operator*(double k, MiBps a) { return MiBps{a.value * k}; }
+};
+
+/// Data volume over throughput yields transfer time.
+constexpr Seconds operator/(MiB v, MiBps r) { return Seconds{v.value / r.value}; }
+/// Throughput sustained for a duration yields data volume.
+constexpr MiB operator*(MiBps r, Seconds t) { return MiB{r.value * t.value}; }
+constexpr MiB operator*(Seconds t, MiBps r) { return MiB{r.value * t.value}; }
+
+}  // namespace eclb::common

@@ -1,0 +1,54 @@
+#include "energy/dvfs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace eclb::energy {
+
+DvfsPowerModel::DvfsPowerModel(DvfsSpec spec) : spec_(spec) {
+  ECLB_ASSERT(spec_.platform_floor.value >= 0.0, "DvfsPowerModel: negative floor");
+  ECLB_ASSERT(spec_.cpu_static.value >= 0.0, "DvfsPowerModel: negative static power");
+  ECLB_ASSERT(spec_.cpu_dynamic_peak.value > 0.0,
+              "DvfsPowerModel: dynamic peak must be positive");
+  ECLB_ASSERT(spec_.f_min_fraction > 0.0 && spec_.f_min_fraction <= 1.0,
+              "DvfsPowerModel: f_min fraction must be in (0,1]");
+  ECLB_ASSERT(spec_.frequency_exponent >= 1.0,
+              "DvfsPowerModel: exponent must be >= 1");
+}
+
+double DvfsPowerModel::frequency_fraction(double utilization) const {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  return std::max(spec_.f_min_fraction, u);
+}
+
+common::Watts DvfsPowerModel::power(double utilization) const {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  const double f = frequency_fraction(u);
+  // Active fraction of cycles at the chosen frequency: work u spread over a
+  // core running at speed f.
+  const double active = f <= 0.0 ? 0.0 : std::min(1.0, u / f);
+  const double dynamic =
+      spec_.cpu_dynamic_peak.value * std::pow(f, spec_.frequency_exponent) * active;
+  return common::Watts{spec_.platform_floor.value + spec_.cpu_static.value +
+                       dynamic};
+}
+
+common::Watts DvfsPowerModel::peak_power() const {
+  return common::Watts{spec_.platform_floor.value + spec_.cpu_static.value +
+                       spec_.cpu_dynamic_peak.value};
+}
+
+double DvfsPowerModel::energy_per_work_ratio(double utilization) const {
+  const double u = std::clamp(utilization, 1e-6, 1.0);
+  // Energy per unit work at u: P(u) / u.  Reference: running the same work
+  // at full speed, i.e. P(1) / 1 scaled by the work share... the meaningful
+  // comparison for [14] is per-work energy at u versus per-work energy at
+  // full utilization.
+  const double here = power(u).value / u;
+  const double at_peak = peak_power().value / 1.0;
+  return here / at_peak;
+}
+
+}  // namespace eclb::energy

@@ -1,0 +1,53 @@
+// Dynamic voltage and frequency scaling (DVFS) power model.
+//
+// The paper cites Le Sueur & Heiser's "Dynamic voltage and frequency
+// scaling: the laws of diminishing returns" [14].  This model captures the
+// canonical physics: dynamic CPU power scales roughly with f^3 (V scales
+// with f, P_dyn ~ C V^2 f), while static/leakage power and the platform
+// floor do not scale at all -- which is exactly why DVFS alone cannot make a
+// server energy proportional and why the paper reaches for sleep states and
+// consolidation instead.
+#pragma once
+
+#include "common/units.h"
+#include "energy/power_model.h"
+
+namespace eclb::energy {
+
+/// Parameters of a DVFS-governed server.
+struct DvfsSpec {
+  common::Watts platform_floor{common::Watts{90.0}};  ///< Chipset, DRAM refresh, fans, PSU loss.
+  common::Watts cpu_static{common::Watts{25.0}};      ///< Leakage at nominal voltage.
+  common::Watts cpu_dynamic_peak{common::Watts{110.0}};///< Dynamic power at f_max under full load.
+  double f_min_fraction{0.4};                         ///< Lowest frequency as a fraction of f_max.
+  double frequency_exponent{3.0};                     ///< P_dyn ~ (f/f_max)^exponent.
+};
+
+/// A server whose governor picks the lowest frequency that still serves the
+/// load: f/f_max = max(f_min, u).  Power is then
+///   floor + static + dynamic_peak * (f/f_max)^e * (u / (f/f_max))
+/// where the last factor is the active-cycle fraction at the chosen
+/// frequency (running slower keeps the core busy longer at lower power).
+class DvfsPowerModel final : public PowerModel {
+ public:
+  explicit DvfsPowerModel(DvfsSpec spec = {});
+
+  [[nodiscard]] common::Watts power(double utilization) const override;
+  [[nodiscard]] common::Watts peak_power() const override;
+
+  /// The frequency fraction the governor picks at `utilization`.
+  [[nodiscard]] double frequency_fraction(double utilization) const;
+
+  /// Energy per unit of work relative to running at f_max -- the
+  /// "diminishing returns" curve of [14]: < 1 where DVFS helps, rising back
+  /// toward 1 (and beyond, with a big static share) at low frequency.
+  [[nodiscard]] double energy_per_work_ratio(double utilization) const;
+
+  /// The spec in use.
+  [[nodiscard]] const DvfsSpec& spec() const { return spec_; }
+
+ private:
+  DvfsSpec spec_;
+};
+
+}  // namespace eclb::energy

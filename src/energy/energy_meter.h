@@ -1,0 +1,52 @@
+// Energy accounting.
+//
+// Integrates piecewise-constant power over time and accumulates discrete
+// energy charges (wake-ups, migrations).  One meter per server plus one per
+// cluster-level cost category gives the per-run energy totals the
+// experiments report.
+#pragma once
+
+#include "common/assert.h"
+#include "common/units.h"
+
+namespace eclb::energy {
+
+/// Piecewise-constant power integrator.
+///
+/// Usage: call `advance(t, p)` whenever power may have changed; the meter
+/// charges the *previous* power level for the elapsed interval.  Discrete
+/// costs (e.g. a wake-up's fixed energy) go through `charge`.
+class EnergyMeter {
+ public:
+  /// Starts metering at time `start` with initial power `p0`.
+  explicit EnergyMeter(common::Seconds start = common::Seconds{0.0},
+                       common::Watts p0 = common::Watts{0.0});
+
+  /// Accounts the interval [last update, now) at the previously set power,
+  /// then records `power` as the draw from `now` on.  `now` must not go
+  /// backwards.
+  void advance(common::Seconds now, common::Watts power);
+
+  /// Adds a lump-sum energy cost (non-negative).
+  void charge(common::Joules amount);
+
+  /// Total energy accumulated so far.
+  [[nodiscard]] common::Joules total() const { return total_; }
+
+  /// Power level currently being charged.
+  [[nodiscard]] common::Watts current_power() const { return power_; }
+
+  /// Time of the last advance.
+  [[nodiscard]] common::Seconds last_update() const { return last_; }
+
+  /// Average power over [start, last update); zero if no time has elapsed.
+  [[nodiscard]] common::Watts average_power() const;
+
+ private:
+  common::Seconds start_;
+  common::Seconds last_;
+  common::Watts power_;
+  common::Joules total_{};
+};
+
+}  // namespace eclb::energy

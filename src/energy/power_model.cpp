@@ -1,0 +1,116 @@
+#include "energy/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace eclb::energy {
+
+namespace {
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+}  // namespace
+
+double PowerModel::normalized_energy(double utilization) const {
+  const double peak = peak_power().value;
+  ECLB_ASSERT(peak > 0.0, "PowerModel: peak power must be positive");
+  return power(utilization).value / peak;
+}
+
+double PowerModel::idle_fraction() const {
+  return normalized_energy(0.0);
+}
+
+double PowerModel::dynamic_range() const {
+  return 1.0 - idle_fraction();
+}
+
+LinearPowerModel::LinearPowerModel(common::Watts peak, double idle_fraction)
+    : peak_(peak), idle_fraction_(idle_fraction) {
+  ECLB_ASSERT(peak.value > 0.0, "LinearPowerModel: peak must be positive");
+  ECLB_ASSERT(idle_fraction >= 0.0 && idle_fraction <= 1.0,
+              "LinearPowerModel: idle fraction must be in [0,1]");
+}
+
+common::Watts LinearPowerModel::power(double utilization) const {
+  const double u = clamp01(utilization);
+  return peak_ * (idle_fraction_ + (1.0 - idle_fraction_) * u);
+}
+
+PiecewisePowerModel::PiecewisePowerModel(std::vector<common::Watts> points)
+    : points_(std::move(points)) {
+  ECLB_ASSERT(points_.size() >= 2, "PiecewisePowerModel: need >= 2 points");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    ECLB_ASSERT(points_[i] >= points_[i - 1],
+                "PiecewisePowerModel: points must be non-decreasing");
+  }
+  ECLB_ASSERT(points_.back().value > 0.0,
+              "PiecewisePowerModel: peak must be positive");
+}
+
+common::Watts PiecewisePowerModel::power(double utilization) const {
+  const double u = clamp01(utilization);
+  const double pos = u * static_cast<double>(points_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  if (lo + 1 >= points_.size()) return points_.back();
+  const double frac = pos - static_cast<double>(lo);
+  return common::Watts{points_[lo].value +
+                       frac * (points_[lo + 1].value - points_[lo].value)};
+}
+
+SubsystemPowerModel::SubsystemPowerModel(std::vector<SubsystemSpec> subsystems)
+    : subsystems_(std::move(subsystems)) {
+  ECLB_ASSERT(!subsystems_.empty(), "SubsystemPowerModel: need >= 1 subsystem");
+  for (const auto& s : subsystems_) {
+    ECLB_ASSERT(s.peak.value > 0.0, "SubsystemPowerModel: peak must be positive");
+    ECLB_ASSERT(s.dynamic_range >= 0.0 && s.dynamic_range <= 1.0,
+                "SubsystemPowerModel: dynamic range must be in [0,1]");
+  }
+}
+
+SubsystemPowerModel SubsystemPowerModel::typical_volume_server() {
+  return SubsystemPowerModel({
+      SubsystemSpec{common::Watts{190.0}, 0.70},  // 2x 95 W CPUs
+      SubsystemSpec{common::Watts{128.0}, 0.50},  // 16x 8 W DIMMs
+      SubsystemSpec{common::Watts{36.0}, 0.25},   // 3x 12 W HDDs
+      SubsystemSpec{common::Watts{20.0}, 0.15},   // NIC / switch share
+  });
+}
+
+common::Watts SubsystemPowerModel::power(double utilization) const {
+  const double u = clamp01(utilization);
+  common::Watts total{};
+  for (const auto& s : subsystems_) {
+    // Each subsystem idles at (1 - range) of its peak and scales the rest
+    // linearly with overall utilization.
+    total += s.peak * ((1.0 - s.dynamic_range) + s.dynamic_range * u);
+  }
+  return total;
+}
+
+common::Watts SubsystemPowerModel::peak_power() const {
+  common::Watts total{};
+  for (const auto& s : subsystems_) total += s.peak;
+  return total;
+}
+
+double utilization_for_normalized_energy(const PowerModel& model, double b) {
+  // Bisection over the monotone map a -> normalized_energy(a).
+  const double b_lo = model.normalized_energy(0.0);
+  const double b_hi = model.normalized_energy(1.0);
+  if (b <= b_lo) return 0.0;
+  if (b >= b_hi) return 1.0;
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (model.normalized_energy(mid) < b) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace eclb::energy

@@ -1,0 +1,116 @@
+// Server power models.
+//
+// Section 2 of the paper: real servers are not energy proportional -- an
+// idle server draws as much as half its peak power, and each subsystem has
+// its own dynamic range (CPU >70 % of peak, DRAM <50 %, disk 25 %, network
+// switch 15 %).  These models map utilization (the paper's normalized
+// performance a) to power draw, from which the normalized energy b = f(a)
+// used by the regime classifier is derived.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+
+namespace eclb::energy {
+
+/// Maps utilization in [0,1] to electrical power.  All implementations are
+/// monotone non-decreasing in utilization.
+class PowerModel {
+ public:
+  virtual ~PowerModel() = default;
+
+  /// Power drawn at `utilization` in [0,1]; inputs outside the range clamp.
+  [[nodiscard]] virtual common::Watts power(double utilization) const = 0;
+
+  /// Power at utilization 1.
+  [[nodiscard]] virtual common::Watts peak_power() const = 0;
+
+  /// Power at utilization 0 (idle but awake, ACPI C0).
+  [[nodiscard]] common::Watts idle_power() const { return power(0.0); }
+
+  /// Normalized energy consumption b = power(a) / peak_power -- the paper's
+  /// abscissa in Figure 1.
+  [[nodiscard]] double normalized_energy(double utilization) const;
+
+  /// Fraction of peak power drawn when idle (the paper reports ~0.5 for
+  /// typical servers).
+  [[nodiscard]] double idle_fraction() const;
+
+  /// Dynamic range: (peak - idle) / peak, i.e. the fraction of peak power
+  /// that actually responds to load.
+  [[nodiscard]] double dynamic_range() const;
+};
+
+/// power(u) = peak * (idle_fraction + (1 - idle_fraction) * u).
+///
+/// The workhorse model; with idle_fraction = 0.5 it reproduces the paper's
+/// "idle systems use more than half their peak power" premise, and with
+/// idle_fraction = 0 it is the ideal energy-proportional server.
+class LinearPowerModel final : public PowerModel {
+ public:
+  /// Requires peak > 0 and idle_fraction in [0,1].
+  LinearPowerModel(common::Watts peak, double idle_fraction);
+
+  [[nodiscard]] common::Watts power(double utilization) const override;
+  [[nodiscard]] common::Watts peak_power() const override { return peak_; }
+
+ private:
+  common::Watts peak_;
+  double idle_fraction_;
+};
+
+/// Piecewise-linear model over explicit calibration points, in the style of
+/// SPECpower_ssj2008 submissions (power measured at 0 %, 10 %, ..., 100 %).
+class PiecewisePowerModel final : public PowerModel {
+ public:
+  /// `points` are power values at equally spaced utilizations 0..1; needs at
+  /// least two points and must be non-decreasing.
+  explicit PiecewisePowerModel(std::vector<common::Watts> points);
+
+  [[nodiscard]] common::Watts power(double utilization) const override;
+  [[nodiscard]] common::Watts peak_power() const override { return points_.back(); }
+
+ private:
+  std::vector<common::Watts> points_;
+};
+
+/// Parameters of one server subsystem for the composed model.
+struct SubsystemSpec {
+  common::Watts peak;    ///< Peak power of this subsystem.
+  double dynamic_range;  ///< Fraction of peak that scales with load (§2).
+};
+
+/// Whole-server model composed of CPU + DRAM + disk + NIC subsystems, each
+/// linear in utilization over its own dynamic range.  Captures §2's point
+/// that memory/disk/network keep drawing near-peak power at low load even
+/// when the CPU scales down well.
+class SubsystemPowerModel final : public PowerModel {
+ public:
+  /// Requires a non-empty list; each subsystem needs peak > 0 and dynamic
+  /// range in [0,1].
+  explicit SubsystemPowerModel(std::vector<SubsystemSpec> subsystems);
+
+  /// A typical volume server assembled from §2's figures: 2 CPUs at 95 W
+  /// (dynamic range 0.70), 16 DIMMs at 8 W (0.50), 3 HDDs at 12 W (0.25) and
+  /// a 20 W NIC/switch share (0.15).
+  [[nodiscard]] static SubsystemPowerModel typical_volume_server();
+
+  [[nodiscard]] common::Watts power(double utilization) const override;
+  [[nodiscard]] common::Watts peak_power() const override;
+
+  /// Number of composed subsystems.
+  [[nodiscard]] std::size_t subsystem_count() const { return subsystems_.size(); }
+
+ private:
+  std::vector<SubsystemSpec> subsystems_;
+};
+
+/// Inverts b = normalized_energy(a) for a monotone model: returns the
+/// utilization at which the model draws fraction `b` of peak power (clamped
+/// to [0,1]).  Used to translate performance-space regime thresholds into
+/// the paper's beta (energy-space) thresholds and back.
+[[nodiscard]] double utilization_for_normalized_energy(const PowerModel& model, double b);
+
+}  // namespace eclb::energy

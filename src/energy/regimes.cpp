@@ -1,0 +1,55 @@
+#include "energy/regimes.h"
+
+#include "common/assert.h"
+#include "energy/power_model.h"
+
+namespace eclb::energy {
+
+std::string_view to_string(Regime r) {
+  switch (r) {
+    case Regime::kR1UndesirableLow: return "R1";
+    case Regime::kR2SuboptimalLow: return "R2";
+    case Regime::kR3Optimal: return "R3";
+    case Regime::kR4SuboptimalHigh: return "R4";
+    case Regime::kR5UndesirableHigh: return "R5";
+  }
+  return "R?";
+}
+
+Regime RegimeThresholds::classify(double a) const {
+  if (a < alpha_sopt_low) return Regime::kR1UndesirableLow;
+  if (a < alpha_opt_low) return Regime::kR2SuboptimalLow;
+  if (a <= alpha_opt_high) return Regime::kR3Optimal;
+  if (a <= alpha_sopt_high) return Regime::kR4SuboptimalHigh;
+  return Regime::kR5UndesirableHigh;
+}
+
+bool RegimeThresholds::valid() const {
+  return 0.0 < alpha_sopt_low && alpha_sopt_low <= alpha_opt_low &&
+         alpha_opt_low <= alpha_opt_high && alpha_opt_high <= alpha_sopt_high &&
+         alpha_sopt_high < 1.0;
+}
+
+RegimeThresholds RegimeThresholds::sample(common::Rng& rng,
+                                          const RegimeThresholdRanges& ranges) {
+  RegimeThresholds t;
+  t.alpha_sopt_low = rng.uniform(ranges.sopt_low_min, ranges.sopt_low_max);
+  t.alpha_opt_low = rng.uniform(ranges.opt_low_min, ranges.opt_low_max);
+  t.alpha_opt_high = rng.uniform(ranges.opt_high_min, ranges.opt_high_max);
+  t.alpha_sopt_high = rng.uniform(ranges.sopt_high_min, ranges.sopt_high_max);
+  ECLB_ASSERT(t.valid(), "RegimeThresholds::sample: ranges produced invalid ordering");
+  return t;
+}
+
+EnergyRegimeBoundaries energy_boundaries(const RegimeThresholds& t,
+                                         const PowerModel& model) {
+  return EnergyRegimeBoundaries{
+      model.normalized_energy(0.0),
+      model.normalized_energy(t.alpha_sopt_low),
+      model.normalized_energy(t.alpha_opt_low),
+      model.normalized_energy(t.alpha_opt_high),
+      model.normalized_energy(t.alpha_sopt_high),
+  };
+}
+
+}  // namespace eclb::energy

@@ -1,0 +1,58 @@
+#include "energy/server_power_data.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace eclb::energy {
+
+namespace {
+
+// Table 1 of the paper (Koomey [13]): rows are server classes, columns the
+// years 2000..2006, values in Watts.
+constexpr std::array<std::array<double, 7>, kServerClassCount> kTable1 = {{
+    {186.0, 193.0, 200.0, 207.0, 213.0, 219.0, 225.0},            // volume
+    {424.0, 457.0, 491.0, 524.0, 574.0, 625.0, 675.0},            // mid-range
+    {5534.0, 5832.0, 6130.0, 6428.0, 6973.0, 7651.0, 8163.0},     // high-end
+}};
+
+}  // namespace
+
+std::string_view to_string(ServerClass c) {
+  switch (c) {
+    case ServerClass::kVolume: return "volume";
+    case ServerClass::kMidRange: return "mid-range";
+    case ServerClass::kHighEnd: return "high-end";
+  }
+  return "?";
+}
+
+std::optional<common::Watts> average_server_power(ServerClass c, int year) {
+  if (year < kPowerDataFirstYear || year > kPowerDataLastYear) return std::nullopt;
+  const auto row = static_cast<std::size_t>(c);
+  const auto col = static_cast<std::size_t>(year - kPowerDataFirstYear);
+  return common::Watts{kTable1[row][col]};
+}
+
+std::array<common::Watts, 7> power_row(ServerClass c) {
+  std::array<common::Watts, 7> out{};
+  const auto row = static_cast<std::size_t>(c);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = common::Watts{kTable1[row][i]};
+  return out;
+}
+
+double power_growth_rate(ServerClass c) {
+  const auto row = static_cast<std::size_t>(c);
+  const double first = kTable1[row].front();
+  const double last = kTable1[row].back();
+  const double years = kPowerDataLastYear - kPowerDataFirstYear;
+  return std::pow(last / first, 1.0 / years) - 1.0;
+}
+
+common::Watts default_peak_power(ServerClass c) {
+  auto p = average_server_power(c, kPowerDataLastYear);
+  ECLB_ASSERT(p.has_value(), "default_peak_power: dataset missing last year");
+  return *p;
+}
+
+}  // namespace eclb::energy

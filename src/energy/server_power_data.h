@@ -1,0 +1,46 @@
+// Historical server power data (Table 1 of the paper, from Koomey [13]).
+//
+// Estimated average power use, in Watts, of volume (< $25K), mid-range
+// ($25K-$499K) and high-end (> $500K) servers for the years 2000-2006.
+// The dataset backs the `table1_server_power` bench and provides realistic
+// peak-power defaults for the three server classes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "common/units.h"
+
+namespace eclb::energy {
+
+/// Server market classes used by Koomey's study.
+enum class ServerClass : std::uint8_t { kVolume = 0, kMidRange = 1, kHighEnd = 2 };
+
+/// Number of server classes.
+inline constexpr std::size_t kServerClassCount = 3;
+
+/// Display name ("volume", "mid-range", "high-end").
+[[nodiscard]] std::string_view to_string(ServerClass c);
+
+/// First and last years covered by the dataset.
+inline constexpr int kPowerDataFirstYear = 2000;
+inline constexpr int kPowerDataLastYear = 2006;
+
+/// Average power for a server class in a given year; nullopt outside
+/// [2000, 2006].
+[[nodiscard]] std::optional<common::Watts> average_server_power(ServerClass c, int year);
+
+/// The full row for a class, ordered 2000..2006.
+[[nodiscard]] std::array<common::Watts, 7> power_row(ServerClass c);
+
+/// Compound annual growth rate of the class's power draw over the dataset,
+/// e.g. ~0.032 (3.2 %/year) for volume servers.
+[[nodiscard]] double power_growth_rate(ServerClass c);
+
+/// Reasonable peak-power default for simulating a server of this class:
+/// the most recent (2006) Koomey figure.
+[[nodiscard]] common::Watts default_peak_power(ServerClass c);
+
+}  // namespace eclb::energy

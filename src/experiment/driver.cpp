@@ -1,0 +1,70 @@
+#include "experiment/driver.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace eclb::experiment {
+
+DesClusterDriver::DesClusterDriver(cluster::Cluster& cluster)
+    : cluster_(cluster) {
+  ECLB_ASSERT(cluster_.now().value == 0.0,
+              "DesClusterDriver: cluster already advanced");
+}
+
+void DesClusterDriver::at(common::Seconds at_time, Action action) {
+  ECLB_ASSERT(action != nullptr, "DesClusterDriver: null action");
+  pending_.emplace_back(at_time, std::move(action));
+}
+
+void DesClusterDriver::inject_demand_at(common::Seconds at_time,
+                                        std::size_t count, double demand) {
+  at(at_time, [count, demand](cluster::Cluster& c) {
+    // Spread the shock over the least-loaded awake servers.
+    std::vector<const server::Server*> awake;
+    for (const auto& s : c.servers()) {
+      if (s.awake(c.now())) awake.push_back(&s);
+    }
+    std::sort(awake.begin(), awake.end(),
+              [](const server::Server* a, const server::Server* b) {
+                return a->load() < b->load();
+              });
+    std::uint32_t app = 900000;
+    for (std::size_t i = 0; i < count && !awake.empty(); ++i) {
+      const auto* target = awake[i % awake.size()];
+      (void)c.inject_vm(target->id(), common::AppId{app++}, demand);
+    }
+  });
+}
+
+std::vector<cluster::IntervalReport> DesClusterDriver::run_until(
+    common::Seconds horizon) {
+  const common::Seconds tau = cluster_.config().reallocation_interval;
+  std::vector<cluster::IntervalReport> reports;
+
+  // Actions fire as DES events; each marks itself due, and the next
+  // reallocation round applies it.  Actions scheduled between two rounds
+  // thus take effect at the following round -- the same visibility a real
+  // leader would have.
+  std::vector<Action> due;
+  std::sort(pending_.begin(), pending_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [when, action] : pending_) {
+    if (when > horizon) continue;
+    sim_.schedule_at(when, [&due, act = std::move(action)](sim::Simulation&) {
+      due.push_back(act);
+    });
+  }
+  pending_.clear();
+
+  sim_.schedule_every(tau, [this, &due, &reports](sim::Simulation&) {
+    for (auto& action : due) action(cluster_);
+    due.clear();
+    reports.push_back(cluster_.step());
+  });
+
+  sim_.run_until(horizon);
+  return reports;
+}
+
+}  // namespace eclb::experiment

@@ -1,0 +1,49 @@
+// Discrete-event scenario driver.
+//
+// Runs a Cluster on the DES kernel so that reallocation rounds interleave
+// with *scripted events* at arbitrary simulation times -- demand shocks, VM
+// injections, consolidation toggles.  This is how "what happens if a flash
+// crowd lands at 12:34" scenarios are expressed without bending the
+// interval-driven protocol.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "sim/simulation.h"
+
+namespace eclb::experiment {
+
+/// Drives one cluster on a Simulation clock.
+class DesClusterDriver {
+ public:
+  /// A scripted action; receives the cluster right before the reallocation
+  /// round that follows its scheduled time.
+  using Action = std::function<void(cluster::Cluster&)>;
+
+  /// Binds the driver to a cluster (not owned; must outlive the driver).
+  explicit DesClusterDriver(cluster::Cluster& cluster);
+
+  /// Schedules a scripted action at absolute simulation time `at`.
+  void at(common::Seconds at_time, Action action);
+
+  /// Convenience: inject `count` VMs of `demand` each onto the least-loaded
+  /// awake servers at time `at` (a demand shock / flash crowd).
+  void inject_demand_at(common::Seconds at_time, std::size_t count, double demand);
+
+  /// Runs reallocation rounds every cluster-config interval until `horizon`
+  /// (inclusive of a final round at or before it).  Returns the per-interval
+  /// reports in order.  May be called once per driver.
+  std::vector<cluster::IntervalReport> run_until(common::Seconds horizon);
+
+  /// The simulation clock (valid after run_until starts executing actions).
+  [[nodiscard]] const sim::Simulation& simulation() const { return sim_; }
+
+ private:
+  cluster::Cluster& cluster_;
+  sim::Simulation sim_;
+  std::vector<std::pair<common::Seconds, Action>> pending_;
+};
+
+}  // namespace eclb::experiment

@@ -1,0 +1,43 @@
+// Paper-style report formatting for the bench binaries.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "common/stats.h"
+#include "experiment/runner.h"
+#include "experiment/scenario.h"
+
+namespace eclb::experiment {
+
+/// Prints one Figure 2 panel: initial vs final server counts per regime.
+void print_regime_panel(std::ostream& out, const std::string& title,
+                        const AggregateOutcome& outcome);
+
+/// Prints one Figure 3 panel: the decision-ratio time series plus an ASCII
+/// sparkline of its shape.
+void print_ratio_panel(std::ostream& out, const std::string& title,
+                       const AggregateOutcome& outcome);
+
+/// Prints one Table 2 row (cluster size, load, sleepers, ratio, stddev).
+struct Table2Row {
+  std::string plot_label;
+  std::size_t cluster_size{0};
+  AverageLoad load{AverageLoad::kLow30};
+  double sleepers{0.0};
+  double average_ratio{0.0};
+  double ratio_stddev{0.0};
+};
+
+/// Builds a Table 2 row from an aggregate outcome.
+[[nodiscard]] Table2Row make_table2_row(const std::string& plot_label,
+                                        std::size_t cluster_size, AverageLoad load,
+                                        const AggregateOutcome& outcome);
+
+/// Prints the full Table 2 given its rows.
+void print_table2(std::ostream& out, const std::vector<Table2Row>& rows);
+
+/// Renders a y-series as a one-line ASCII sparkline (8 levels).
+[[nodiscard]] std::string sparkline(const std::vector<double>& values);
+
+}  // namespace eclb::experiment

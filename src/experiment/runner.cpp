@@ -1,0 +1,93 @@
+#include "experiment/runner.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace eclb::experiment {
+
+ReplicationOutcome run_replication(const cluster::ClusterConfig& config,
+                                   std::size_t intervals) {
+  ReplicationOutcome out;
+  out.seed = config.seed;
+  cluster::Cluster cluster(config);
+  out.initial_histogram = cluster.regime_histogram();
+
+  out.ratio_series.label = "ratio";
+  common::RunningStats ratio_stats;
+  common::RunningStats deep_stats;
+  common::RunningStats parked_stats;
+
+  out.reports.reserve(intervals);
+  for (std::size_t i = 0; i < intervals; ++i) {
+    cluster::IntervalReport report = cluster.step();
+    const double ratio = report.decision_ratio();
+    out.ratio_series.add(static_cast<double>(i), ratio);
+    ratio_stats.add(ratio);
+    deep_stats.add(static_cast<double>(report.deep_sleeping_servers));
+    parked_stats.add(static_cast<double>(report.parked_servers));
+    out.total_violations += report.sla_violations;
+    out.total_migrations += report.migrations;
+    out.total_local += report.local_decisions;
+    out.total_in_cluster += report.in_cluster_decisions;
+    out.reports.push_back(std::move(report));
+  }
+
+  out.final_histogram = cluster.regime_histogram();
+  out.final_parked = cluster.parked_count();
+  out.final_deep_sleeping = cluster.deep_sleeping_count();
+  out.average_ratio = ratio_stats.mean();
+  out.ratio_stddev = ratio_stats.stddev();
+  out.average_deep_sleepers = deep_stats.mean();
+  out.average_parked = parked_stats.mean();
+  out.total_energy = cluster.total_energy();
+  return out;
+}
+
+AggregateOutcome run_experiment(const cluster::ClusterConfig& config,
+                                std::size_t intervals, std::size_t replications,
+                                common::ThreadPool* pool) {
+  ECLB_ASSERT(replications >= 1, "run_experiment: need >= 1 replication");
+  AggregateOutcome agg;
+  agg.replications.resize(replications);
+
+  auto run_one = [&](std::size_t r) {
+    cluster::ClusterConfig cfg = config;
+    cfg.seed = config.seed + r;
+    agg.replications[r] = run_replication(cfg, intervals);
+  };
+
+  if (pool != nullptr && replications > 1) {
+    pool->parallel_for(replications, run_one);
+  } else {
+    for (std::size_t r = 0; r < replications; ++r) run_one(r);
+  }
+
+  agg.mean_ratio_series.label = "mean ratio";
+  for (std::size_t i = 0; i < intervals; ++i) {
+    double sum = 0.0;
+    for (const auto& rep : agg.replications) sum += rep.ratio_series.y.at(i);
+    agg.mean_ratio_series.add(static_cast<double>(i),
+                              sum / static_cast<double>(replications));
+  }
+  for (std::size_t b = 0; b < energy::kRegimeCount; ++b) {
+    double init_sum = 0.0;
+    double final_sum = 0.0;
+    for (const auto& rep : agg.replications) {
+      init_sum += static_cast<double>(rep.initial_histogram[b]);
+      final_sum += static_cast<double>(rep.final_histogram[b]);
+    }
+    agg.mean_initial_histogram[b] = init_sum / static_cast<double>(replications);
+    agg.mean_final_histogram[b] = final_sum / static_cast<double>(replications);
+  }
+  for (const auto& rep : agg.replications) {
+    agg.average_ratio.add(rep.average_ratio);
+    agg.ratio_stddev.add(rep.ratio_stddev);
+    agg.deep_sleepers.add(rep.average_deep_sleepers);
+    agg.energy_kwh.add(rep.total_energy.kwh());
+    agg.violations.add(static_cast<double>(rep.total_violations));
+  }
+  return agg;
+}
+
+}  // namespace eclb::experiment

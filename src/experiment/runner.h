@@ -1,0 +1,60 @@
+// Replication runner: executes a cluster scenario across seeds and
+// aggregates the Section 5 metrics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "energy/regimes.h"
+
+namespace eclb::experiment {
+
+/// One replication's outcome.
+struct ReplicationOutcome {
+  std::uint64_t seed{0};
+  energy::RegimeHistogram initial_histogram{};   ///< Before any balancing.
+  energy::RegimeHistogram final_histogram{};     ///< After the last interval (awake servers).
+  std::size_t final_parked{0};                   ///< C1 servers at the end.
+  std::size_t final_deep_sleeping{0};            ///< C3/C6 servers at the end.
+  std::vector<cluster::IntervalReport> reports;  ///< Per-interval detail.
+  common::TimeSeries ratio_series;               ///< Decision ratio per interval.
+  double average_ratio{0.0};                     ///< Mean ratio over intervals.
+  double ratio_stddev{0.0};                      ///< Std dev over intervals.
+  double average_deep_sleepers{0.0};             ///< Mean C3/C6 servers per interval.
+  double average_parked{0.0};                    ///< Mean C1 servers per interval.
+  common::Joules total_energy{};                 ///< Cluster energy over the run.
+  std::size_t total_violations{0};
+  std::size_t total_migrations{0};
+  std::size_t total_local{0};
+  std::size_t total_in_cluster{0};
+};
+
+/// Cross-replication aggregate.
+struct AggregateOutcome {
+  std::vector<ReplicationOutcome> replications;
+  common::TimeSeries mean_ratio_series;    ///< Ratio per interval, mean over seeds.
+  std::array<double, energy::kRegimeCount> mean_initial_histogram{};
+  std::array<double, energy::kRegimeCount> mean_final_histogram{};
+  common::RunningStats average_ratio;      ///< Across replications.
+  common::RunningStats ratio_stddev;       ///< Across replications.
+  common::RunningStats deep_sleepers;      ///< Across replications.
+  common::RunningStats energy_kwh;         ///< Across replications.
+  common::RunningStats violations;         ///< Across replications.
+};
+
+/// Runs one replication of `config` for `intervals` intervals.
+[[nodiscard]] ReplicationOutcome run_replication(const cluster::ClusterConfig& config,
+                                                 std::size_t intervals);
+
+/// Runs `replications` seeds derived from config.seed (seed, seed+1, ...)
+/// and aggregates.  When `pool` is non-null the replications execute
+/// concurrently.
+[[nodiscard]] AggregateOutcome run_experiment(const cluster::ClusterConfig& config,
+                                              std::size_t intervals,
+                                              std::size_t replications,
+                                              common::ThreadPool* pool = nullptr);
+
+}  // namespace eclb::experiment

@@ -1,0 +1,36 @@
+#include "experiment/scenario.h"
+
+namespace eclb::experiment {
+
+std::string to_string(AverageLoad load) {
+  return load == AverageLoad::kLow30 ? "30%" : "70%";
+}
+
+cluster::ClusterConfig paper_cluster_config(std::size_t server_count,
+                                            AverageLoad load,
+                                            std::uint64_t seed) {
+  cluster::ClusterConfig cfg;
+  cfg.server_count = server_count;
+  if (load == AverageLoad::kLow30) {
+    cfg.initial_load_min = 0.2;
+    cfg.initial_load_max = 0.4;
+  } else {
+    cfg.initial_load_min = 0.6;
+    cfg.initial_load_max = 0.8;
+  }
+  cfg.seed = seed;
+  return cfg;  // remaining fields already carry the Section 4/6 defaults
+}
+
+cluster::ClusterConfig traditional_lb_config(std::size_t server_count,
+                                             AverageLoad load,
+                                             std::uint64_t seed) {
+  cluster::ClusterConfig cfg = paper_cluster_config(server_count, load, seed);
+  cfg.placement = cluster::PlacementStrategy::kLeastLoaded;
+  cfg.regime_actions_enabled = false;
+  cfg.rebalance_enabled = false;
+  cfg.allow_sleep = false;
+  return cfg;
+}
+
+}  // namespace eclb::experiment

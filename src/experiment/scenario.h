@@ -1,0 +1,50 @@
+// Canonical experiment scenarios from Section 5.
+//
+// The paper evaluates clusters of 10^2, 10^3 and 10^4 servers under two
+// initial load distributions: "low" (uniform 20-40 %, average 30 %) and
+// "high" (uniform 60-80 %, average 70 %), run for 40 reallocation intervals.
+// These builders pin those parameters so every bench and test agrees on
+// them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster.h"
+
+namespace eclb::experiment {
+
+/// The two Section 5 load levels.
+enum class AverageLoad : std::uint8_t {
+  kLow30 = 0,   ///< Initial load uniform in [0.2, 0.4].
+  kHigh70 = 1,  ///< Initial load uniform in [0.6, 0.8].
+};
+
+/// Display name ("30%" / "70%").
+[[nodiscard]] std::string to_string(AverageLoad load);
+
+/// Cluster configuration exactly as Section 5 describes: the given size and
+/// load range, Section 4 threshold ranges, tau = 60 s, and the Section 6
+/// sleep rules.  `seed` selects the replication.
+[[nodiscard]] cluster::ClusterConfig paper_cluster_config(std::size_t server_count,
+                                                          AverageLoad load,
+                                                          std::uint64_t seed);
+
+/// The *traditional* load balancer the paper's Section 1 reformulates:
+/// spread the load evenly (least-loaded placement), keep every server
+/// running, never consolidate.  Baseline for the energy-saving comparison.
+[[nodiscard]] cluster::ClusterConfig traditional_lb_config(std::size_t server_count,
+                                                           AverageLoad load,
+                                                           std::uint64_t seed);
+
+/// The number of reallocation intervals the paper simulates.
+inline constexpr std::size_t kPaperIntervals = 40;
+
+/// The cluster sizes of the Figure 2 / Figure 3 / Table 2 experiments.
+inline constexpr std::array<std::size_t, 3> kPaperClusterSizes = {100, 1000, 10000};
+
+/// The cluster sizes of the earlier study ([19]) referenced in Section 5.
+inline constexpr std::array<std::size_t, 4> kSmallClusterSizes = {20, 40, 60, 80};
+
+}  // namespace eclb::experiment

@@ -1,0 +1,51 @@
+#include "network/network_energy.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace eclb::network {
+
+common::Watts LinkPowerModel::power(double utilization) const {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  return peak_per_link * ((1.0 - dynamic_range) + dynamic_range * u);
+}
+
+LinkPowerModel LinkPowerModel::classic() {
+  return LinkPowerModel{common::Watts{3.0}, 0.15};
+}
+
+LinkPowerModel LinkPowerModel::proportional() {
+  return LinkPowerModel{common::Watts{3.0}, 0.95};
+}
+
+FabricEnergy fabric_energy(const TopologySpec& topology,
+                           const LinkPowerModel& links,
+                           const TrafficSummary& traffic) {
+  ECLB_ASSERT(topology.links >= 1, "fabric_energy: topology has no links");
+  ECLB_ASSERT(traffic.duration.value > 0.0,
+              "fabric_energy: duration must be positive");
+  ECLB_ASSERT(traffic.link_capacity.value > 0.0,
+              "fabric_energy: link capacity must be positive");
+
+  FabricEnergy out;
+  // Each payload byte occupies `average_hops` link-bytes; spread uniformly
+  // across all links over the duration.
+  const double link_bytes = traffic.volume.value * topology.average_hops;
+  const double fabric_capacity = static_cast<double>(topology.links) *
+                                 traffic.link_capacity.value *
+                                 traffic.duration.value;
+  out.average_link_utilization = std::min(1.0, link_bytes / fabric_capacity);
+
+  const common::Watts idle_floor =
+      links.peak_per_link * (1.0 - links.dynamic_range);
+  out.static_energy = idle_floor * static_cast<double>(topology.links) *
+                      traffic.duration;
+  const common::Watts dynamic_per_link =
+      links.peak_per_link * links.dynamic_range * out.average_link_utilization;
+  out.dynamic_energy =
+      dynamic_per_link * static_cast<double>(topology.links) * traffic.duration;
+  return out;
+}
+
+}  // namespace eclb::network

@@ -1,0 +1,57 @@
+// Fabric energy accounting.
+//
+// Section 2 gives the key facts: networking switches have a dynamic range
+// of ~15 % (they burn ~85 % of peak even when idle, because plesiochronous
+// channels keep signalling), while an energy-proportional fabric (the
+// InfiniBand example, or [2]'s proposal) would scale power with the
+// communication load.  This module prices a traffic volume on a topology
+// under a configurable link power model.
+#pragma once
+
+#include "common/units.h"
+#include "network/topology.h"
+
+namespace eclb::network {
+
+/// Per-link electrical behaviour.
+struct LinkPowerModel {
+  common::Watts peak_per_link{common::Watts{3.0}};  ///< Link + its switch-port share.
+  /// Fraction of peak that scales with utilization; Section 2's figure for
+  /// classic switches is 0.15 (an 85 % idle floor).
+  double dynamic_range{0.15};
+
+  /// Power of one link at utilization `u` in [0,1].
+  [[nodiscard]] common::Watts power(double utilization) const;
+
+  /// The classic always-on fabric of Section 2.
+  [[nodiscard]] static LinkPowerModel classic();
+  /// An energy-proportional fabric (InfiniBand-like; [2]'s goal).
+  [[nodiscard]] static LinkPowerModel proportional();
+};
+
+/// A traffic summary: bytes moved across the fabric over a time span.
+struct TrafficSummary {
+  common::MiB volume{};              ///< Total payload moved.
+  common::Seconds duration{};        ///< Span the volume is spread over.
+  common::MiBps link_capacity{common::MiBps{1250.0}};  ///< 10 GbE per link.
+};
+
+/// Result of pricing a traffic summary on a topology.
+struct FabricEnergy {
+  double average_link_utilization{0.0};
+  common::Joules static_energy{};    ///< The idle-floor part.
+  common::Joules dynamic_energy{};   ///< The load-proportional part.
+
+  [[nodiscard]] common::Joules total() const {
+    return static_energy + dynamic_energy;
+  }
+};
+
+/// Energy the fabric burns carrying `traffic` for its duration.  Each byte
+/// crosses `topology.average_hops` links; utilization is averaged across
+/// links (uniform spread -- the balanced-traffic assumption).
+[[nodiscard]] FabricEnergy fabric_energy(const TopologySpec& topology,
+                                         const LinkPowerModel& links,
+                                         const TrafficSummary& traffic);
+
+}  // namespace eclb::network

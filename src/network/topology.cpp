@@ -1,0 +1,74 @@
+#include "network/topology.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace eclb::network {
+
+TopologySpec star(std::size_t hosts) {
+  ECLB_ASSERT(hosts >= 1, "star: need at least one host");
+  TopologySpec spec;
+  spec.name = "star";
+  spec.hosts = hosts;
+  spec.switches = 1;
+  spec.links = hosts;
+  spec.average_hops = 2.0;  // up to the leader switch and down
+  return spec;
+}
+
+TopologySpec fat_tree(std::size_t hosts) {
+  ECLB_ASSERT(hosts >= 1, "fat_tree: need at least one host");
+  // Smallest even k with k^3 / 4 >= hosts.
+  std::size_t k = 2;
+  while (k * k * k / 4 < hosts) k += 2;
+  const std::size_t capacity = k * k * k / 4;
+
+  TopologySpec spec;
+  spec.name = "fat-tree(k=" + std::to_string(k) + ")";
+  spec.hosts = hosts;
+  // k pods of (k/2 edge + k/2 aggregation) plus (k/2)^2 core switches.
+  spec.switches = k * k + k * k / 4;
+  // Host links + edge-aggregation + aggregation-core, each k^3/4 at full
+  // population; scale host links to the actual population.
+  spec.links = hosts + 2 * capacity;
+  // Intra-pod flows cross 4 links, inter-pod 6; with k pods the inter-pod
+  // share dominates: weighted ~4.2-5.8.  Use the standard approximation.
+  const double inter_pod_share =
+      1.0 - 1.0 / static_cast<double>(k);  // a flow leaves its pod w.p. ~(k-1)/k
+  spec.average_hops = 4.0 * (1.0 - inter_pod_share) + 6.0 * inter_pod_share;
+  return spec;
+}
+
+TopologySpec flattened_butterfly(std::size_t hosts, std::size_t concentration) {
+  ECLB_ASSERT(hosts >= 1, "flattened_butterfly: need at least one host");
+  ECLB_ASSERT(concentration >= 1, "flattened_butterfly: concentration >= 1");
+  const auto switch_count = static_cast<std::size_t>(std::ceil(
+      static_cast<double>(hosts) / static_cast<double>(concentration)));
+  // Near-square grid a x b with a*b >= switch_count.
+  const auto a = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(switch_count))));
+  const std::size_t b = (switch_count + a - 1) / a;
+  const std::size_t grid = a * b;
+
+  TopologySpec spec;
+  spec.name = "flattened-butterfly(" + std::to_string(a) + "x" +
+              std::to_string(b) + ",c=" + std::to_string(concentration) + ")";
+  spec.hosts = hosts;
+  spec.switches = grid;
+  // Full connectivity within each row (b*(a choose 2)) and column
+  // (a*(b choose 2)), plus one link per host.
+  spec.links = hosts + b * (a * (a - 1)) / 2 + a * (b * (b - 1)) / 2;
+  // Worst case two inter-switch hops (row then column); same-switch and
+  // same-row/column flows are shorter.  Host links add 2.
+  const double same_switch =
+      1.0 / static_cast<double>(grid);
+  const double one_hop =
+      (static_cast<double>(a - 1) + static_cast<double>(b - 1)) /
+      static_cast<double>(grid);
+  const double two_hop = 1.0 - same_switch - one_hop;
+  spec.average_hops = 2.0 + 0.0 * same_switch + 1.0 * one_hop + 2.0 * two_hop;
+  return spec;
+}
+
+}  // namespace eclb::network

@@ -1,0 +1,51 @@
+// Interconnect topologies for the cluster fabric.
+//
+// Section 2: data-center channels "commonly operate plesiochronously and
+// are always on, regardless of the load", and [2] argues a flattened
+// butterfly is more energy- and cost-efficient than a folded-Clos fat tree.
+// This module provides coarse structural models -- link/switch counts and
+// average hop distance -- for the three fabrics the experiments compare:
+// the paper's star (cluster members to a leader switch), a three-tier fat
+// tree, and a two-dimensional flattened butterfly.  The counts use the
+// standard closed forms; details beyond energy accounting (routing, faults)
+// are out of scope.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace eclb::network {
+
+/// Structural summary of a fabric connecting `hosts` servers.
+struct TopologySpec {
+  std::string name;
+  std::size_t hosts{0};
+  std::size_t switches{0};
+  std::size_t links{0};      ///< Host-switch plus switch-switch channels.
+  double average_hops{0.0};  ///< Mean links traversed by a server-to-server flow.
+
+  /// Links per host -- the fabric's cost/energy density.
+  [[nodiscard]] double links_per_host() const {
+    return hosts == 0 ? 0.0
+                      : static_cast<double>(links) / static_cast<double>(hosts);
+  }
+};
+
+/// The paper's cluster fabric: every server has one link to the leader
+/// switch; any server-to-server flow crosses two links.
+[[nodiscard]] TopologySpec star(std::size_t hosts);
+
+/// Three-tier folded-Clos fat tree built from k-port switches (k chosen as
+/// the smallest even value supporting `hosts`): k^3/4 host capacity,
+/// 5k^2/4 switches, 3 * host-capacity links; average flow crosses ~4.2
+/// links (mix of intra-pod and inter-pod paths).
+[[nodiscard]] TopologySpec fat_tree(std::size_t hosts);
+
+/// Two-dimensional flattened butterfly ([2]): switches with concentration
+/// `c` hosts each, arranged in a near-square grid with full row and column
+/// connectivity; any flow needs at most two inter-switch hops, ~3.7 links
+/// on average including the two host links.
+[[nodiscard]] TopologySpec flattened_butterfly(std::size_t hosts,
+                                               std::size_t concentration = 8);
+
+}  // namespace eclb::network

@@ -1,0 +1,54 @@
+// Capacity-management policy interface.
+//
+// Section 3 surveys the policies that decide *when to switch a server to a
+// sleep state*: reactive [22], reactive with extra capacity, autoscale [9],
+// moving-window and linear-regression predictive [7, 24], and the "optimal"
+// policy that never violates SLAs while keeping every server in its optimal
+// regime.  Each is implemented against this interface and evaluated by the
+// FarmSimulator on the two metrics the paper names: energy saved and number
+// of violations.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "common/units.h"
+
+namespace eclb::policy {
+
+/// What a policy may observe when sizing the farm for the next interval.
+struct PolicyInput {
+  common::Seconds now{};            ///< Current time.
+  common::Seconds step{};           ///< Interval between decisions.
+  /// Observed aggregate demand history (server capacities), oldest first;
+  /// the last element is the most recent observation.
+  std::span<const double> demand_history;
+  std::size_t awake{0};             ///< Servers currently serving.
+  std::size_t waking{0};            ///< Servers mid wake-up.
+  std::size_t total{0};             ///< Farm size.
+  double target_utilization{0.8};   ///< Planning utilization per awake server.
+};
+
+/// A capacity policy: maps observations to the number of servers that should
+/// be running.  Implementations may keep internal state (hysteresis
+/// counters), hence the non-const method.
+class CapacityPolicy {
+ public:
+  virtual ~CapacityPolicy() = default;
+
+  /// Servers that should be awake for the coming interval.  The simulator
+  /// clamps the answer to [min_awake, total].
+  [[nodiscard]] virtual std::size_t desired_awake(const PolicyInput& input) = 0;
+
+  /// Human-readable policy name for reports.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Resets internal state between runs.
+  virtual void reset() {}
+};
+
+/// Servers needed to serve `demand` at `utilization` per server (>= 1).
+[[nodiscard]] std::size_t servers_for(double demand, double utilization);
+
+}  // namespace eclb::policy

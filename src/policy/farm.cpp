@@ -1,0 +1,147 @@
+#include "policy/farm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/assert.h"
+
+namespace eclb::policy {
+
+FarmSimulator::FarmSimulator(FarmConfig config) : config_(std::move(config)) {
+  ECLB_ASSERT(config_.server_count >= 1, "FarmSimulator: need servers");
+  ECLB_ASSERT(config_.step.value > 0.0, "FarmSimulator: step must be positive");
+  ECLB_ASSERT(config_.min_awake >= 1 && config_.min_awake <= config_.server_count,
+              "FarmSimulator: min_awake out of range");
+  ECLB_ASSERT(config_.sleep_state != energy::CState::kC0,
+              "FarmSimulator: sleep state must not be C0");
+}
+
+FarmResult FarmSimulator::run(CapacityPolicy& policy,
+                              const workload::Trace& trace) const {
+  policy.reset();
+  const energy::LinearPowerModel fallback_model(config_.peak_power,
+                                                config_.idle_power_fraction);
+  const energy::PowerModel& model =
+      config_.power_model != nullptr ? *config_.power_model : fallback_model;
+  const common::Watts peak = model.peak_power();
+  const auto& sleep_spec = energy::spec_for(config_.cstates, config_.sleep_state);
+
+  FarmResult result;
+  result.policy_name = std::string(policy.name());
+  result.awake_series.label = std::string(policy.name());
+  result.demand_series.label = "demand";
+
+  // Aggregate pools.  Transition queues carry (completion step, count).
+  std::size_t awake = config_.server_count;
+  std::size_t asleep = 0;
+  struct Pending {
+    std::size_t done_step;
+    std::size_t count;
+  };
+  std::deque<Pending> waking;
+  std::deque<Pending> falling_asleep;
+
+  const double step_s = config_.step.value;
+  const auto wake_steps = static_cast<std::size_t>(
+      std::ceil(sleep_spec.wake_latency.value / step_s));
+  const auto entry_steps = static_cast<std::size_t>(
+      std::ceil(sleep_spec.entry_latency.value / step_s));
+
+  std::vector<double> history;
+  history.reserve(trace.size());
+  double awake_sum = 0.0;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const common::Seconds now = trace.time_of(i);
+    // Complete due transitions.
+    while (!waking.empty() && waking.front().done_step <= i) {
+      awake += waking.front().count;
+      waking.pop_front();
+    }
+    while (!falling_asleep.empty() && falling_asleep.front().done_step <= i) {
+      asleep += falling_asleep.front().count;
+      falling_asleep.pop_front();
+    }
+
+    const double demand = trace.at(i);
+    history.push_back(demand);
+
+    PolicyInput input;
+    input.now = now;
+    input.step = config_.step;
+    input.demand_history = history;
+    input.awake = awake;
+    std::size_t waking_total = 0;
+    for (const auto& w : waking) waking_total += w.count;
+    input.waking = waking_total;
+    input.total = config_.server_count;
+    input.target_utilization = config_.target_utilization;
+
+    std::size_t desired = policy.desired_awake(input);
+    desired = std::clamp(desired, config_.min_awake, config_.server_count);
+
+    const std::size_t effective = awake + waking_total;
+    if (desired > effective) {
+      // Wake sleepers (settled ones only; servers mid-entry cannot reverse).
+      const std::size_t want = desired - effective;
+      const std::size_t grant = std::min(want, asleep);
+      if (grant > 0) {
+        asleep -= grant;
+        waking.push_back({i + std::max<std::size_t>(1, wake_steps), grant});
+        result.wake_transitions += grant;
+      }
+    } else if (desired < awake) {
+      const std::size_t surplus = awake - desired;
+      awake -= surplus;
+      falling_asleep.push_back({i + std::max<std::size_t>(1, entry_steps), surplus});
+      result.sleep_transitions += surplus;
+    }
+
+    // Serve the interval with the capacity that is actually up.
+    const double capacity = static_cast<double>(awake);
+    const double served = std::min(demand, capacity);
+    const double unserved = demand - served;
+    if (unserved > 1e-9) {
+      ++result.violation_steps;
+      result.unserved_demand += unserved;
+    }
+
+    // Energy for this interval.
+    const double utilization = awake == 0 ? 0.0 : served / capacity;
+    const common::Watts awake_power =
+        model.power(utilization) * static_cast<double>(awake);
+    std::size_t waking_now = 0;
+    for (const auto& w : waking) waking_now += w.count;
+    const common::Watts wake_power =
+        peak * sleep_spec.wake_power_fraction *
+        static_cast<double>(waking_now);
+    std::size_t entering_now = 0;
+    for (const auto& f : falling_asleep) entering_now += f.count;
+    const common::Watts entering_power =
+        model.idle_power() * static_cast<double>(entering_now);
+    const common::Watts asleep_power =
+        peak * sleep_spec.hold_power_fraction *
+        static_cast<double>(asleep);
+    result.energy +=
+        (awake_power + wake_power + entering_power + asleep_power) * config_.step;
+
+    // Always-on comparison: all servers share the demand evenly.
+    const double ao_util =
+        std::min(1.0, demand / static_cast<double>(config_.server_count));
+    result.always_on_energy += model.power(ao_util) *
+                               static_cast<double>(config_.server_count) *
+                               config_.step;
+
+    awake_sum += static_cast<double>(awake);
+    result.awake_series.add(now.value, static_cast<double>(awake));
+    result.demand_series.add(now.value, demand);
+    ++result.steps;
+  }
+
+  result.average_awake =
+      result.steps == 0 ? 0.0 : awake_sum / static_cast<double>(result.steps);
+  return result;
+}
+
+}  // namespace eclb::policy

@@ -1,0 +1,85 @@
+// Server-farm simulator for capacity policies.
+//
+// Evaluates a CapacityPolicy against a workload trace on the two metrics of
+// Section 3: (1) energy used and (2) SLA violations.  Servers have realistic
+// asymmetric transitions: falling asleep is quick, waking takes the C-state's
+// wake latency at near-peak power ([9]: up to 260 s), so a policy that
+// switches off too eagerly pays in violations when the load returns.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "energy/cstates.h"
+#include "energy/power_model.h"
+#include "policy/capacity_policy.h"
+#include "workload/trace.h"
+
+namespace eclb::policy {
+
+/// Farm parameters.
+struct FarmConfig {
+  std::size_t server_count{100};
+  common::Seconds step{common::Seconds{60.0}};  ///< Policy decision interval.
+  double target_utilization{0.80};              ///< Planning load per awake server.
+  std::size_t min_awake{1};                     ///< Never below this many running.
+  common::Watts peak_power{common::Watts{225.0}};
+  double idle_power_fraction{0.5};
+  /// Optional explicit power curve; when null a LinearPowerModel built from
+  /// peak_power / idle_power_fraction is used.  Lets the farm run DVFS or
+  /// subsystem-composed servers.
+  std::shared_ptr<const energy::PowerModel> power_model{};
+  energy::CState sleep_state{energy::CState::kC6};  ///< Where idle servers go.
+  std::array<energy::CStateSpec, energy::kCStateCount> cstates =
+      energy::default_cstate_table();
+};
+
+/// Outcome of one policy run.
+struct FarmResult {
+  std::string policy_name;
+  common::Joules energy{};              ///< Total farm energy over the run.
+  common::Joules always_on_energy{};    ///< Same trace, every server awake at the served load.
+  std::size_t violation_steps{0};       ///< Steps where demand exceeded awake capacity.
+  double unserved_demand{0.0};          ///< Integral of unserved demand (capacity * steps).
+  std::size_t steps{0};                 ///< Decisions taken.
+  double average_awake{0.0};            ///< Mean servers awake.
+  std::size_t wake_transitions{0};      ///< Wake-ups ordered.
+  std::size_t sleep_transitions{0};     ///< Sleeps ordered.
+  common::TimeSeries awake_series;      ///< Awake servers over time.
+  common::TimeSeries demand_series;     ///< Observed demand over time.
+
+  /// Fraction of steps in violation.
+  [[nodiscard]] double violation_rate() const {
+    return steps == 0 ? 0.0
+                      : static_cast<double>(violation_steps) /
+                            static_cast<double>(steps);
+  }
+  /// Energy saved versus the always-on baseline (0..1).
+  [[nodiscard]] double energy_saving() const {
+    return always_on_energy.value <= 0.0
+               ? 0.0
+               : 1.0 - energy.value / always_on_energy.value;
+  }
+};
+
+/// Discrete-time farm simulator (aggregate server pools with transition
+/// latency queues; per-server identity does not matter for these metrics).
+class FarmSimulator {
+ public:
+  explicit FarmSimulator(FarmConfig config);
+
+  /// Runs `policy` over `trace` from a cold start (all servers awake) and
+  /// returns the metrics.  The policy is reset() first.
+  [[nodiscard]] FarmResult run(CapacityPolicy& policy,
+                               const workload::Trace& trace) const;
+
+  /// The configuration in use.
+  [[nodiscard]] const FarmConfig& config() const { return config_; }
+
+ private:
+  FarmConfig config_;
+};
+
+}  // namespace eclb::policy

@@ -1,0 +1,143 @@
+#include "policy/policies.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace eclb::policy {
+
+std::size_t servers_for(double demand, double utilization) {
+  ECLB_ASSERT(utilization > 0.0 && utilization <= 1.0,
+              "servers_for: utilization must be in (0,1]");
+  if (demand <= 0.0) return 1;
+  return static_cast<std::size_t>(std::ceil(demand / utilization));
+}
+
+namespace {
+
+/// Latest observation, or 0 when no history yet.
+double latest(const PolicyInput& input) {
+  return input.demand_history.empty() ? 0.0 : input.demand_history.back();
+}
+
+}  // namespace
+
+std::size_t AlwaysOnPolicy::desired_awake(const PolicyInput& input) {
+  return input.total;
+}
+
+std::size_t ReactivePolicy::desired_awake(const PolicyInput& input) {
+  return servers_for(latest(input), input.target_utilization);
+}
+
+ReactiveExtraCapacityPolicy::ReactiveExtraCapacityPolicy(double margin)
+    : margin_(margin) {
+  ECLB_ASSERT(margin >= 0.0, "ReactiveExtraCapacityPolicy: negative margin");
+}
+
+std::size_t ReactiveExtraCapacityPolicy::desired_awake(const PolicyInput& input) {
+  const std::size_t base = servers_for(latest(input), input.target_utilization);
+  return static_cast<std::size_t>(
+      std::ceil(static_cast<double>(base) * (1.0 + margin_)));
+}
+
+AutoScalePolicy::AutoScalePolicy(std::size_t patience, std::size_t max_release,
+                                 double margin)
+    : patience_(patience), max_release_(max_release), margin_(margin) {
+  ECLB_ASSERT(max_release >= 1, "AutoScalePolicy: max_release must be >= 1");
+}
+
+void AutoScalePolicy::reset() { surplus_streak_ = 0; }
+
+std::size_t AutoScalePolicy::desired_awake(const PolicyInput& input) {
+  const std::size_t need = static_cast<std::size_t>(std::ceil(
+      static_cast<double>(servers_for(latest(input), input.target_utilization)) *
+      (1.0 + margin_)));
+  const std::size_t current = input.awake + input.waking;
+  if (need >= current) {
+    // Scale up immediately; any surplus streak is broken.
+    surplus_streak_ = 0;
+    return need;
+  }
+  ++surplus_streak_;
+  if (surplus_streak_ <= patience_) return current;  // hold capacity
+  // Persistent surplus: release slowly.
+  const std::size_t release = std::min(max_release_, current - need);
+  return current - release;
+}
+
+MovingWindowPolicy::MovingWindowPolicy(std::size_t window, double margin)
+    : window_(window), margin_(margin) {
+  ECLB_ASSERT(window >= 1, "MovingWindowPolicy: window must be >= 1");
+}
+
+std::size_t MovingWindowPolicy::desired_awake(const PolicyInput& input) {
+  const auto& h = input.demand_history;
+  if (h.empty()) return 1;
+  const std::size_t n = std::min(window_, h.size());
+  double sum = 0.0;
+  for (std::size_t i = h.size() - n; i < h.size(); ++i) sum += h[i];
+  const double predicted = sum / static_cast<double>(n) * (1.0 + margin_);
+  return servers_for(predicted, input.target_utilization);
+}
+
+LinearRegressionPolicy::LinearRegressionPolicy(std::size_t window, double margin)
+    : window_(window), margin_(margin) {
+  ECLB_ASSERT(window >= 2, "LinearRegressionPolicy: window must be >= 2");
+}
+
+std::size_t LinearRegressionPolicy::desired_awake(const PolicyInput& input) {
+  const auto& h = input.demand_history;
+  if (h.empty()) return 1;
+  const std::size_t n = std::min(window_, h.size());
+  if (n < 2) return servers_for(h.back(), input.target_utilization);
+  // Least squares over (x = 0..n-1, y = demand); predict x = n.
+  const std::size_t start = h.size() - n;
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    const double y = h[start + i];
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  double predicted;
+  if (std::abs(denom) < 1e-12) {
+    predicted = sy / dn;
+  } else {
+    const double slope = (dn * sxy - sx * sy) / denom;
+    const double intercept = (sy - slope * sx) / dn;
+    predicted = intercept + slope * dn;  // one step beyond the window
+  }
+  predicted = std::max(0.0, predicted) * (1.0 + margin_);
+  return servers_for(predicted, input.target_utilization);
+}
+
+OraclePolicy::OraclePolicy(const workload::Profile& profile,
+                           common::Seconds lookahead)
+    : profile_(profile), lookahead_(lookahead) {}
+
+std::size_t OraclePolicy::desired_awake(const PolicyInput& input) {
+  // Provision for the worst of "now" and "one lookahead ahead" so capacity
+  // is already up when the future demand arrives.
+  const double now_demand = profile_.demand(input.now);
+  const double future = profile_.demand(input.now + lookahead_);
+  return servers_for(std::max(now_demand, future), input.target_utilization);
+}
+
+std::vector<std::unique_ptr<CapacityPolicy>> standard_policies() {
+  std::vector<std::unique_ptr<CapacityPolicy>> out;
+  out.push_back(std::make_unique<AlwaysOnPolicy>());
+  out.push_back(std::make_unique<ReactivePolicy>());
+  out.push_back(std::make_unique<ReactiveExtraCapacityPolicy>());
+  out.push_back(std::make_unique<AutoScalePolicy>());
+  out.push_back(std::make_unique<MovingWindowPolicy>());
+  out.push_back(std::make_unique<LinearRegressionPolicy>());
+  return out;
+}
+
+}  // namespace eclb::policy

@@ -1,0 +1,106 @@
+// The Section 3 capacity-policy zoo.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "policy/capacity_policy.h"
+#include "workload/profile.h"
+
+namespace eclb::policy {
+
+/// The wasteful baseline: every server always on, regardless of load.
+class AlwaysOnPolicy final : public CapacityPolicy {
+ public:
+  [[nodiscard]] std::size_t desired_awake(const PolicyInput& input) override;
+  [[nodiscard]] std::string_view name() const override { return "always-on"; }
+};
+
+/// Reactive [22]: provisions exactly for the demand just observed.  Cheap,
+/// but every upward step of the load is served late (SLA violations) because
+/// wake-ups take time.
+class ReactivePolicy final : public CapacityPolicy {
+ public:
+  [[nodiscard]] std::size_t desired_awake(const PolicyInput& input) override;
+  [[nodiscard]] std::string_view name() const override { return "reactive"; }
+};
+
+/// Reactive with extra capacity: keeps a safety margin (default 20 %, the
+/// fraction Section 3 quotes) of additional servers above the reactive need.
+class ReactiveExtraCapacityPolicy final : public CapacityPolicy {
+ public:
+  explicit ReactiveExtraCapacityPolicy(double margin = 0.20);
+  [[nodiscard]] std::size_t desired_awake(const PolicyInput& input) override;
+  [[nodiscard]] std::string_view name() const override { return "reactive+extra"; }
+
+ private:
+  double margin_;
+};
+
+/// AutoScale [9]: scales up reactively but releases capacity very
+/// conservatively -- a surplus server is only switched off after the surplus
+/// has persisted for `patience` consecutive decisions, and at most
+/// `max_release` servers go down per decision.  Advantageous for
+/// unpredictable, spiky loads.
+class AutoScalePolicy final : public CapacityPolicy {
+ public:
+  AutoScalePolicy(std::size_t patience = 10, std::size_t max_release = 1,
+                  double margin = 0.10);
+  [[nodiscard]] std::size_t desired_awake(const PolicyInput& input) override;
+  [[nodiscard]] std::string_view name() const override { return "autoscale"; }
+  void reset() override;
+
+ private:
+  std::size_t patience_;
+  std::size_t max_release_;
+  double margin_;
+  std::size_t surplus_streak_{0};
+};
+
+/// Moving-window predictive [24]: averages the demand over the last `window`
+/// observations and provisions for that estimate (plus a small margin).
+class MovingWindowPolicy final : public CapacityPolicy {
+ public:
+  explicit MovingWindowPolicy(std::size_t window = 10, double margin = 0.10);
+  [[nodiscard]] std::size_t desired_awake(const PolicyInput& input) override;
+  [[nodiscard]] std::string_view name() const override { return "predictive-mw"; }
+
+ private:
+  std::size_t window_;
+  double margin_;
+};
+
+/// Linear-regression predictive [7]: least-squares fit over the last
+/// `window` observations, extrapolated one step ahead.
+class LinearRegressionPolicy final : public CapacityPolicy {
+ public:
+  explicit LinearRegressionPolicy(std::size_t window = 10, double margin = 0.05);
+  [[nodiscard]] std::size_t desired_awake(const PolicyInput& input) override;
+  [[nodiscard]] std::string_view name() const override { return "predictive-lr"; }
+
+ private:
+  std::size_t window_;
+  double margin_;
+};
+
+/// The optimal policy of Section 3: clairvoyant.  It reads the true demand
+/// one step ahead from the workload itself, so it never violates SLAs and
+/// never over-provisions beyond the wake-latency safety it needs.
+class OraclePolicy final : public CapacityPolicy {
+ public:
+  /// `profile` must outlive the policy.  `lookahead` should cover the wake
+  /// latency of the sleep state in use.
+  OraclePolicy(const workload::Profile& profile, common::Seconds lookahead);
+  [[nodiscard]] std::size_t desired_awake(const PolicyInput& input) override;
+  [[nodiscard]] std::string_view name() const override { return "oracle"; }
+
+ private:
+  const workload::Profile& profile_;
+  common::Seconds lookahead_;
+};
+
+/// All non-oracle policies with their default parameters (the bench lineup).
+[[nodiscard]] std::vector<std::unique_ptr<CapacityPolicy>> standard_policies();
+
+}  // namespace eclb::policy

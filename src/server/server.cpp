@@ -1,0 +1,163 @@
+#include "server/server.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace eclb::server {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+Server::Server(common::ServerId id, ServerConfig config)
+    : id_(id), config_(std::move(config)), cstates_(config_.cstates),
+      meter_(common::Seconds{0.0}, common::Watts{0.0}) {
+  ECLB_ASSERT(id_.valid(), "Server: invalid id");
+  ECLB_ASSERT(config_.power_model != nullptr, "Server: power model required");
+  ECLB_ASSERT(config_.thresholds.valid(), "Server: invalid regime thresholds");
+  ECLB_ASSERT(config_.reallocation_interval.value > 0.0,
+              "Server: reallocation interval must be positive");
+  meter_ = energy::EnergyMeter(common::Seconds{0.0}, power(common::Seconds{0.0}));
+}
+
+double Server::load() const { return cached_load_; }
+
+double Server::served_load() const { return std::min(load(), 1.0); }
+
+double Server::overload() const { return std::max(0.0, load() - 1.0); }
+
+double Server::headroom() const { return std::max(0.0, 1.0 - load()); }
+
+double Server::headroom_to(double a_target) const {
+  return std::max(0.0, a_target - load());
+}
+
+std::optional<energy::Regime> Server::regime() const {
+  if (cstates_.state() != energy::CState::kC0) return std::nullopt;
+  return config_.thresholds.classify(served_load());
+}
+
+bool Server::place(vm::Vm vm_instance) {
+  if (cstates_.state() != energy::CState::kC0 || cstates_.transition_target()) {
+    return false;
+  }
+  if (load() + vm_instance.demand() > 1.0 + kEps) return false;
+  cached_load_ += vm_instance.demand();
+  vms_.push_back(std::move(vm_instance));
+  return true;
+}
+
+void Server::force_place(vm::Vm vm_instance) {
+  cached_load_ += vm_instance.demand();
+  vms_.push_back(std::move(vm_instance));
+}
+
+std::optional<vm::Vm> Server::remove(common::VmId id) {
+  auto it = std::find_if(vms_.begin(), vms_.end(),
+                         [id](const vm::Vm& v) { return v.id() == id; });
+  if (it == vms_.end()) return std::nullopt;
+  vm::Vm out = std::move(*it);
+  vms_.erase(it);
+  cached_load_ -= out.demand();
+  if (vms_.empty()) cached_load_ = 0.0;  // cancel float drift at the anchor
+  return out;
+}
+
+const vm::Vm* Server::find(common::VmId id) const {
+  auto it = std::find_if(vms_.begin(), vms_.end(),
+                         [id](const vm::Vm& v) { return v.id() == id; });
+  return it == vms_.end() ? nullptr : &*it;
+}
+
+bool Server::try_vertical_scale(common::VmId id, double new_demand) {
+  auto it = std::find_if(vms_.begin(), vms_.end(),
+                         [id](const vm::Vm& v) { return v.id() == id; });
+  if (it == vms_.end()) return false;
+  if (cstates_.state() != energy::CState::kC0) return false;
+  const double delta = new_demand - it->demand();
+  if (delta > 0.0 && load() + delta > 1.0 + kEps) return false;
+  const double before = it->demand();
+  it->set_demand(new_demand);
+  cached_load_ += it->demand() - before;
+  return true;
+}
+
+bool Server::force_demand(common::VmId id, double new_demand) {
+  auto it = std::find_if(vms_.begin(), vms_.end(),
+                         [id](const vm::Vm& v) { return v.id() == id; });
+  if (it == vms_.end()) return false;
+  const double before = it->demand();
+  it->set_demand(new_demand);
+  cached_load_ += it->demand() - before;
+  return true;
+}
+
+bool Server::awake(common::Seconds now) const {
+  return cstates_.state() == energy::CState::kC0 && !cstates_.transitioning(now) &&
+         !cstates_.transition_target().has_value();
+}
+
+bool Server::asleep(common::Seconds now) const { return !awake(now); }
+
+energy::CState Server::effective_cstate() const {
+  return cstates_.transition_target().value_or(cstates_.state());
+}
+
+bool Server::in_transition(common::Seconds now) const {
+  return cstates_.transitioning(now) || cstates_.transition_target().has_value();
+}
+
+common::Seconds Server::begin_sleep(energy::CState target, common::Seconds now) {
+  ECLB_ASSERT(target != energy::CState::kC0, "begin_sleep: target must be a sleep state");
+  ECLB_ASSERT(vms_.empty(), "begin_sleep: server still hosts VMs");
+  ECLB_ASSERT(awake(now), "begin_sleep: server must be awake");
+  update_energy(now);
+  const common::Seconds done = cstates_.begin_transition(target, now);
+  update_energy(now);  // re-sample power now that the transition started
+  return done;
+}
+
+common::Seconds Server::deepen_sleep(energy::CState target, common::Seconds now) {
+  cstates_.settle(now);
+  ECLB_ASSERT(cstates_.state() != energy::CState::kC0,
+              "deepen_sleep: server is awake; use begin_sleep");
+  ECLB_ASSERT(!cstates_.transitioning(now), "deepen_sleep: transition in flight");
+  ECLB_ASSERT(static_cast<int>(target) > static_cast<int>(cstates_.state()),
+              "deepen_sleep: target must be deeper than the current state");
+  ECLB_ASSERT(vms_.empty(), "deepen_sleep: server still hosts VMs");
+  update_energy(now);
+  const common::Seconds done = cstates_.begin_transition(target, now);
+  update_energy(now);
+  return done;
+}
+
+common::Seconds Server::begin_wake(common::Seconds now) {
+  cstates_.settle(now);
+  ECLB_ASSERT(cstates_.state() != energy::CState::kC0, "begin_wake: already awake");
+  ECLB_ASSERT(!cstates_.transitioning(now), "begin_wake: transition in flight");
+  update_energy(now);
+  // The wake-up energy is accounted by integration: while the transition is
+  // in flight, power() reports wake_power_fraction of peak, so the meter
+  // charges it over the wake latency.  No lump sum here or it would double
+  // count.
+  const common::Seconds done = cstates_.begin_transition(energy::CState::kC0, now);
+  update_energy(now);
+  return done;
+}
+
+void Server::settle(common::Seconds now) { cstates_.settle(now); }
+
+common::Watts Server::power(common::Seconds now) const {
+  const auto fraction = cstates_.power_fraction(now);
+  if (fraction.has_value()) {
+    return config_.power_model->peak_power() * *fraction;
+  }
+  return config_.power_model->power(served_load());
+}
+
+void Server::update_energy(common::Seconds now) {
+  meter_.advance(now, power(now));
+}
+
+}  // namespace eclb::server

@@ -1,0 +1,180 @@
+// A physical server: capacity, hosted VMs, power model, sleep states and
+// energy accounting.
+//
+// Normalization convention (Section 4 of the paper): a server's CPU
+// capacity is 1.0 and its load b_k(t) is the sum of hosted VM demands; the
+// normalized performance a_k equals the served load.  Heterogeneity enters
+// through per-server regime thresholds, power models and peak powers.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "energy/cstates.h"
+#include "energy/energy_meter.h"
+#include "energy/power_model.h"
+#include "energy/regimes.h"
+#include "vm/vm.h"
+
+namespace eclb::server {
+
+/// Static configuration of one server.
+struct ServerConfig {
+  energy::RegimeThresholds thresholds{};       ///< alpha boundaries (Fig. 1).
+  std::shared_ptr<const energy::PowerModel> power_model;  ///< b = f(a) curve.
+  std::array<energy::CStateSpec, energy::kCStateCount> cstates =
+      energy::default_cstate_table();
+  common::Seconds reallocation_interval{common::Seconds{60.0}};  ///< tau_k.
+};
+
+/// A server in the cluster.  Owns its hosted VMs; placement/eviction is
+/// orchestrated by the cluster leader but executed here so the invariants
+/// (capacity, energy accounting) live in one place.
+class Server {
+ public:
+  /// Constructs an awake, empty server.  `config.power_model` must be set.
+  Server(common::ServerId id, ServerConfig config);
+
+  // --- identity & static data ---------------------------------------------
+
+  /// Unique id within the cluster.
+  [[nodiscard]] common::ServerId id() const { return id_; }
+  /// Regime thresholds (alpha boundaries).
+  [[nodiscard]] const energy::RegimeThresholds& thresholds() const {
+    return config_.thresholds;
+  }
+  /// Power curve.
+  [[nodiscard]] const energy::PowerModel& power_model() const {
+    return *config_.power_model;
+  }
+  /// Reallocation interval tau_k.
+  [[nodiscard]] common::Seconds reallocation_interval() const {
+    return config_.reallocation_interval;
+  }
+
+  // --- load & regime -------------------------------------------------------
+
+  /// Total CPU demand of hosted VMs (may exceed 1 transiently if demands
+  /// grow before the next reallocation; served load is capped at 1).
+  [[nodiscard]] double load() const;
+
+  /// Load actually served this interval: min(load, 1).
+  [[nodiscard]] double served_load() const;
+
+  /// Demand beyond capacity (0 when not oversubscribed).
+  [[nodiscard]] double overload() const;
+
+  /// Spare capacity up to full utilization: max(0, 1 - load).
+  [[nodiscard]] double headroom() const;
+
+  /// Spare capacity up to a target normalized performance `a_target`.
+  [[nodiscard]] double headroom_to(double a_target) const;
+
+  /// Current operating regime, from the served load.  Asleep servers have
+  /// no regime (nullopt).
+  [[nodiscard]] std::optional<energy::Regime> regime() const;
+
+  /// Regime the server *would* be in at hypothetical load `a`.
+  [[nodiscard]] energy::Regime regime_at(double a) const {
+    return config_.thresholds.classify(a);
+  }
+
+  // --- VM management -------------------------------------------------------
+
+  /// Hosted VMs.
+  [[nodiscard]] std::span<const vm::Vm> vms() const { return vms_; }
+  /// Number of hosted VMs (the paper's "number of applications").
+  [[nodiscard]] std::size_t vm_count() const { return vms_.size(); }
+
+  /// Places a VM.  Fails (returns false, VM untouched) when the server is
+  /// not awake or the VM's demand exceeds the remaining capacity.
+  [[nodiscard]] bool place(vm::Vm vm_instance);
+
+  /// Places a VM unconditionally (initial population; may oversubscribe).
+  void force_place(vm::Vm vm_instance);
+
+  /// Removes and returns a VM; nullopt when not hosted here.
+  std::optional<vm::Vm> remove(common::VmId id);
+
+  /// Pointer to a hosted VM; nullptr when not here.  The pointer is
+  /// invalidated by place/remove.
+  [[nodiscard]] const vm::Vm* find(common::VmId id) const;
+
+  /// Attempts a vertical resize of a hosted VM to `new_demand`.  Succeeds
+  /// (and commits) iff the VM is hosted here, the server is awake, and the
+  /// resulting total load stays within capacity.  Shrinks always succeed.
+  [[nodiscard]] bool try_vertical_scale(common::VmId id, double new_demand);
+
+  /// Unconditionally sets a hosted VM's demand (used when a demand increase
+  /// must be absorbed even though it oversubscribes; SLA accounting then
+  /// sees the overload).  Returns false when the VM is not hosted here.
+  bool force_demand(common::VmId id, double new_demand);
+
+  // --- sleep states --------------------------------------------------------
+
+  /// True when in C0 and no transition is in flight.
+  [[nodiscard]] bool awake(common::Seconds now) const;
+
+  /// True when parked in (or entering) a sleep state.
+  [[nodiscard]] bool asleep(common::Seconds now) const;
+
+  /// True while a C-state transition (either direction) is in flight.
+  [[nodiscard]] bool in_transition(common::Seconds now) const;
+
+  /// Current C-state (source state while transitioning).
+  [[nodiscard]] energy::CState cstate() const { return cstates_.state(); }
+
+  /// The C-state the server is in or committed to: the transition target
+  /// while one is in flight, else the settled state.  This is the right
+  /// state for accounting ("how many servers are parked / deep asleep").
+  [[nodiscard]] energy::CState effective_cstate() const;
+
+  /// Begins entering sleep state `target` (C1, C3 or C6).  Requires the
+  /// server to be awake and empty of VMs.  Returns the time the state is
+  /// reached.
+  common::Seconds begin_sleep(energy::CState target, common::Seconds now);
+
+  /// Moves a sleeping server directly into a deeper sleep state (e.g. a
+  /// C1-parked server demoted to C3/C6 by the leader).  Requires a settled
+  /// sleep state shallower than `target`.  Returns the completion time.
+  common::Seconds deepen_sleep(energy::CState target, common::Seconds now);
+
+  /// Begins waking to C0.  Requires the server to be asleep (settled).
+  /// Charges the wake energy.  Returns the time the server becomes usable.
+  common::Seconds begin_wake(common::Seconds now);
+
+  /// Completes any due C-state transition; call when time has advanced.
+  void settle(common::Seconds now);
+
+  // --- power & energy ------------------------------------------------------
+
+  /// Instantaneous power draw at `now` given the current load and C-state.
+  [[nodiscard]] common::Watts power(common::Seconds now) const;
+
+  /// Re-points the energy meter at the current power level; call after any
+  /// load or state change, passing the current time.
+  void update_energy(common::Seconds now);
+
+  /// Energy consumed since construction.
+  [[nodiscard]] common::Joules energy_used() const { return meter_.total(); }
+
+  /// Adds a lump-sum energy charge (e.g. this server's share of a
+  /// migration).
+  void charge_energy(common::Joules amount) { meter_.charge(amount); }
+
+ private:
+  common::ServerId id_;
+  ServerConfig config_;
+  std::vector<vm::Vm> vms_;
+  /// Sum of hosted VM demands, maintained incrementally: load() is on the
+  /// hot path of every leader placement scan and must be O(1).
+  double cached_load_{0.0};
+  energy::CStateMachine cstates_;
+  energy::EnergyMeter meter_;
+};
+
+}  // namespace eclb::server

@@ -1,0 +1,42 @@
+// Event primitives for the discrete-event kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.h"
+
+namespace eclb::sim {
+
+class Simulation;
+
+/// Opaque handle identifying a scheduled event; usable to cancel it.
+struct EventId {
+  std::uint64_t value{0};
+
+  friend constexpr auto operator<=>(EventId, EventId) = default;
+};
+
+/// The action an event performs when it fires.  The callback receives the
+/// simulation so it can read the clock and schedule follow-up events.
+using EventFn = std::function<void(Simulation&)>;
+
+/// A pending event.  Ordering is (time, then insertion sequence) so that
+/// same-time events fire in the order they were scheduled -- determinism the
+/// cluster protocol relies on.
+struct Event {
+  common::Seconds time{};
+  EventId id{};
+  EventFn fn;
+};
+
+/// Min-heap comparator for the event queue: earlier time first, then lower
+/// sequence number.
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time.value != b.time.value) return a.time.value > b.time.value;
+    return a.id.value > b.id.value;
+  }
+};
+
+}  // namespace eclb::sim

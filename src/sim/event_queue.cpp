@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace eclb::sim {
+
+EventId EventQueue::push(common::Seconds time, EventFn fn) {
+  ECLB_ASSERT(fn != nullptr, "EventQueue: null event function");
+  EventId id{next_seq_++};
+  heap_.push(Event{time, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id.value == 0 || id.value >= next_seq_) return false;
+  const bool inserted = cancelled_.insert(id.value).second;
+  if (inserted && live_ > 0) --live_;
+  return inserted;
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id.value);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+std::optional<Event> EventQueue::pop() {
+  drop_cancelled_top();
+  if (heap_.empty()) return std::nullopt;
+  // priority_queue::top() is const&; the event is copied out.  Events are
+  // small (a time, an id, one std::function), so this is acceptable.
+  Event ev = heap_.top();
+  heap_.pop();
+  --live_;
+  return ev;
+}
+
+std::optional<common::Seconds> EventQueue::peek_time() {
+  drop_cancelled_top();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().time;
+}
+
+}  // namespace eclb::sim

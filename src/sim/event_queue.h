@@ -1,0 +1,45 @@
+// Pending-event priority queue with lazy cancellation.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.h"
+
+namespace eclb::sim {
+
+/// Binary-heap event queue.  Cancellation is lazy: cancelled ids are skipped
+/// when popped, which keeps push/pop at O(log n) and cancel at O(1).
+class EventQueue {
+ public:
+  /// Inserts an event with the next sequence id; returns that id.
+  EventId push(common::Seconds time, EventFn fn);
+
+  /// Marks an event as cancelled.  Returns false when the id was never
+  /// scheduled or has already fired / been cancelled.
+  bool cancel(EventId id);
+
+  /// Removes and returns the earliest live event; nullopt when empty.
+  std::optional<Event> pop();
+
+  /// Time of the earliest live event without removing it; nullopt when empty.
+  [[nodiscard]] std::optional<common::Seconds> peek_time();
+
+  /// Number of live (not cancelled) events still queued.
+  [[nodiscard]] std::size_t size() const { return live_; }
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+ private:
+  void drop_cancelled_top();
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_{1};
+  std::size_t live_{0};
+};
+
+}  // namespace eclb::sim

@@ -1,0 +1,98 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+namespace eclb::sim {
+
+bool PeriodicHandle::cancel() {
+  if (!state_ || state_->cancelled) return false;
+  state_->cancelled = true;
+  return true;
+}
+
+bool PeriodicHandle::active() const {
+  return state_ != nullptr && !state_->cancelled;
+}
+
+EventId Simulation::schedule_at(common::Seconds at, EventFn fn) {
+  ECLB_ASSERT(at >= now_, "schedule_at: cannot schedule in the past");
+  return queue_.push(at, std::move(fn));
+}
+
+EventId Simulation::schedule_in(common::Seconds delay, EventFn fn) {
+  ECLB_ASSERT(delay.value >= 0.0, "schedule_in: negative delay");
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+namespace {
+
+/// Self-rescheduling wrapper for periodic events.
+struct Repeater {
+  std::shared_ptr<PeriodicHandle::State> state;
+  std::shared_ptr<std::function<void(Simulation&)>> user;
+  common::Seconds period;
+
+  void operator()(Simulation& simulation) const {
+    if (state->cancelled) return;
+    (*user)(simulation);
+    if (state->cancelled) return;  // callback may cancel its own series
+    simulation.schedule_in(period, Repeater{state, user, period});
+  }
+};
+
+}  // namespace
+
+PeriodicHandle Simulation::schedule_every(common::Seconds period,
+                                          std::function<void(Simulation&)> fn) {
+  ECLB_ASSERT(period.value > 0.0, "schedule_every: period must be positive");
+  auto state = std::make_shared<PeriodicHandle::State>();
+  auto user = std::make_shared<std::function<void(Simulation&)>>(std::move(fn));
+  schedule_in(period, Repeater{state, user, period});
+  return PeriodicHandle{std::move(state)};
+}
+
+bool Simulation::cancel(EventId id) {
+  return queue_.cancel(id);
+}
+
+std::uint64_t Simulation::run_until(common::Seconds until) {
+  ECLB_ASSERT(until >= now_, "run_until: horizon is in the past");
+  std::uint64_t count = 0;
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    auto next_time = queue_.peek_time();
+    if (!next_time || *next_time > until) break;
+    auto ev = queue_.pop();
+    now_ = ev->time;
+    ++dispatched_;
+    ++count;
+    ev->fn(*this);
+  }
+  if (!stop_requested_ && now_ < until) now_ = until;
+  return count;
+}
+
+std::uint64_t Simulation::run_all() {
+  std::uint64_t count = 0;
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    auto ev = queue_.pop();
+    if (!ev) break;
+    now_ = ev->time;
+    ++dispatched_;
+    ++count;
+    ev->fn(*this);
+  }
+  return count;
+}
+
+bool Simulation::step() {
+  auto ev = queue_.pop();
+  if (!ev) return false;
+  now_ = ev->time;
+  ++dispatched_;
+  ev->fn(*this);
+  return true;
+}
+
+}  // namespace eclb::sim

@@ -1,0 +1,99 @@
+// The discrete-event simulation driver.
+//
+// The cluster protocol of the paper is interval-driven, but message
+// latencies, migration durations and sleep-state transitions are continuous;
+// running everything on one event clock makes those costs explicit instead
+// of folding them into per-interval bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/assert.h"
+#include "common/units.h"
+#include "sim/event_queue.h"
+
+namespace eclb::sim {
+
+/// Handle for a repeating event created with Simulation::schedule_every.
+/// Each occurrence is a fresh queue entry, so a plain EventId would go stale
+/// after the first firing; this handle stays valid for the series' lifetime.
+class PeriodicHandle {
+ public:
+  PeriodicHandle() = default;
+
+  /// Stops future occurrences.  Returns false when already cancelled or the
+  /// handle is empty.
+  bool cancel();
+
+  /// True when the handle refers to a live (not cancelled) series.
+  [[nodiscard]] bool active() const;
+
+  /// Shared cancellation flag (public so the kernel's internal repeater can
+  /// observe it; user code has no reason to touch it directly).
+  struct State {
+    bool cancelled{false};
+  };
+
+ private:
+  friend class Simulation;
+  explicit PeriodicHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Owns the clock and the event queue; everything in a run happens inside
+/// callbacks it dispatches.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulation time.
+  [[nodiscard]] common::Seconds now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (must not be in the past).
+  EventId schedule_at(common::Seconds at, EventFn fn);
+
+  /// Schedules `fn` after a non-negative delay from now.
+  EventId schedule_in(common::Seconds delay, EventFn fn);
+
+  /// Schedules `fn` to run every `period`, first at now + period, until the
+  /// returned handle is cancelled or the run ends.
+  PeriodicHandle schedule_every(common::Seconds period,
+                                std::function<void(Simulation&)> fn);
+
+  /// Cancels a pending one-shot event.  Returns false if it already fired or
+  /// was never scheduled.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue empties or `until` is reached; the clock
+  /// ends at min-of(until, time of last event beyond it).  Returns the number
+  /// of events dispatched.
+  std::uint64_t run_until(common::Seconds until);
+
+  /// Runs until the queue is empty.  Returns events dispatched.
+  std::uint64_t run_all();
+
+  /// Dispatches exactly one event if any is pending.  Returns true if one
+  /// fired.
+  bool step();
+
+  /// Requests that the current run_* call return after the in-flight event.
+  void stop() { stop_requested_ = true; }
+
+  /// Number of live pending events.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Total events dispatched over the simulation's lifetime.
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  EventQueue queue_;
+  common::Seconds now_{0.0};
+  std::uint64_t dispatched_{0};
+  bool stop_requested_{false};
+};
+
+}  // namespace eclb::sim

@@ -1,0 +1,101 @@
+#include "storage/disk.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace eclb::storage {
+
+std::string_view to_string(DiskState s) {
+  switch (s) {
+    case DiskState::kActive: return "active";
+    case DiskState::kIdle: return "idle";
+    case DiskState::kStandby: return "standby";
+  }
+  return "?";
+}
+
+Disk::Disk(DiskSpec spec) : spec_(spec) {
+  ECLB_ASSERT(spec_.active_power >= spec_.idle_power,
+              "Disk: active power must be >= idle power");
+  ECLB_ASSERT(spec_.idle_power >= spec_.standby_power,
+              "Disk: idle power must be >= standby power");
+  ECLB_ASSERT(spec_.idle_timeout.value > 0.0, "Disk: idle timeout must be > 0");
+}
+
+common::Watts Disk::power_in(DiskState s) const {
+  switch (s) {
+    case DiskState::kActive: return spec_.active_power;
+    case DiskState::kIdle: return spec_.idle_power;
+    case DiskState::kStandby: return spec_.standby_power;
+  }
+  return spec_.idle_power;
+}
+
+void Disk::accrue(common::Seconds until) {
+  ECLB_ASSERT(until >= clock_, "Disk: time went backwards");
+  // Walk the span through the implicit state changes: active until
+  // busy_until_, then idle, then standby after the idle timeout.
+  common::Seconds t = clock_;
+  while (t < until) {
+    DiskState s = state_;
+    common::Seconds segment_end = until;
+    if (s == DiskState::kActive) {
+      if (busy_until_ <= t) {
+        state_ = DiskState::kIdle;
+        last_activity_ = busy_until_;
+        continue;
+      }
+      segment_end = std::min(segment_end, busy_until_);
+    } else if (s == DiskState::kIdle) {
+      const common::Seconds standby_at = last_activity_ + spec_.idle_timeout;
+      if (standby_at <= t) {
+        state_ = DiskState::kStandby;
+        continue;
+      }
+      segment_end = std::min(segment_end, standby_at);
+    }
+    energy_ += power_in(state_) * (segment_end - t);
+    if (state_ == DiskState::kActive) busy_time_ += segment_end - t;
+    t = segment_end;
+    // Re-evaluate transitions at the segment boundary.
+    if (state_ == DiskState::kActive && busy_until_ <= t) {
+      state_ = DiskState::kIdle;
+      last_activity_ = t;
+    } else if (state_ == DiskState::kIdle &&
+               last_activity_ + spec_.idle_timeout <= t) {
+      state_ = DiskState::kStandby;
+    }
+  }
+  clock_ = until;
+}
+
+common::Seconds Disk::serve(common::Seconds now, common::Seconds busy) {
+  ECLB_ASSERT(busy.value >= 0.0, "Disk: negative service time");
+  // A request may land while a previous spin-up is still in progress (the
+  // internal clock is ahead of `now`); it simply queues behind it.
+  accrue(std::max(now, clock_));
+  common::Seconds latency = busy;
+  if (state_ == DiskState::kStandby) {
+    // Spin up first: energy lump plus wait.
+    energy_ += spec_.spin_up_energy;
+    ++spin_ups_;
+    latency += spec_.spin_up_time;
+    clock_ = now + spec_.spin_up_time;
+  }
+  state_ = DiskState::kActive;
+  // Requests queue behind an ongoing busy period.
+  const common::Seconds start = std::max(clock_, busy_until_);
+  if (start > clock_) latency += start - clock_;
+  busy_until_ = start + busy;
+  last_activity_ = busy_until_;
+  return latency;
+}
+
+void Disk::advance(common::Seconds now) {
+  // A spin-up near the end of the horizon may have pushed the internal
+  // clock past `now`; advancing to an earlier instant is then a no-op.
+  accrue(std::max(now, clock_));
+}
+
+}  // namespace eclb::storage

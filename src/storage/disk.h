@@ -1,0 +1,82 @@
+// Disk power modelling.
+//
+// Section 2: "A strategy to reduce energy consumption by disk drives is to
+// concentrate the workload on a small number of disks and allow the others
+// to operate in a low-power mode."  A disk here has three states -- active
+// (seeking/transferring), idle (spinning, no I/O) and standby (spun down) --
+// with a spin-up penalty in both time and energy, mirroring the D-states of
+// the ACPI discussion.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.h"
+
+namespace eclb::storage {
+
+/// Power states of a disk drive.
+enum class DiskState : std::uint8_t {
+  kActive = 0,   ///< Serving I/O.
+  kIdle = 1,     ///< Spinning, ready, no I/O.
+  kStandby = 2,  ///< Spun down.
+};
+
+/// Display name.
+[[nodiscard]] std::string_view to_string(DiskState s);
+
+/// Static parameters of a drive (typical 3.5" enterprise SATA figures).
+struct DiskSpec {
+  common::Watts active_power{common::Watts{11.0}};
+  common::Watts idle_power{common::Watts{7.0}};
+  common::Watts standby_power{common::Watts{0.8}};
+  common::Seconds spin_up_time{common::Seconds{6.0}};
+  common::Joules spin_up_energy{common::Joules{135.0}};  ///< ~22 W for 6 s.
+  /// Idle -> standby after this long without I/O.  The default is the
+  /// aggressive power-save setting that makes concentration pay: without
+  /// replication, scattered accesses keep interrupting it (spin-up churn).
+  common::Seconds idle_timeout{common::Seconds{15.0}};
+};
+
+/// One drive: state machine plus energy meter.  Time advances only through
+/// the owner's calls (the storage simulator ticks all disks together).
+class Disk {
+ public:
+  explicit Disk(DiskSpec spec = {});
+
+  /// Current state.
+  [[nodiscard]] DiskState state() const { return state_; }
+  /// The spec in use.
+  [[nodiscard]] const DiskSpec& spec() const { return spec_; }
+
+  /// Serves one request at time `now` lasting `busy` seconds.  Spins up
+  /// first when in standby (adding latency and the spin-up energy).
+  /// Returns the service latency including any spin-up wait.
+  common::Seconds serve(common::Seconds now, common::Seconds busy);
+
+  /// Advances the clock to `now`, transitioning idle -> standby when the
+  /// idle timeout has elapsed, and accruing energy for the elapsed span.
+  void advance(common::Seconds now);
+
+  /// Total energy consumed so far.
+  [[nodiscard]] common::Joules energy() const { return energy_; }
+  /// Spin-up count (wear metric; [25] tracks it as a reliability cost).
+  [[nodiscard]] std::size_t spin_ups() const { return spin_ups_; }
+  /// Total busy time.
+  [[nodiscard]] common::Seconds busy_time() const { return busy_time_; }
+
+ private:
+  [[nodiscard]] common::Watts power_in(DiskState s) const;
+  void accrue(common::Seconds until);
+
+  DiskSpec spec_;
+  DiskState state_{DiskState::kIdle};
+  common::Seconds clock_{common::Seconds{0.0}};
+  common::Seconds busy_until_{common::Seconds{0.0}};
+  common::Seconds last_activity_{common::Seconds{0.0}};
+  common::Joules energy_{};
+  common::Seconds busy_time_{};
+  std::size_t spin_ups_{0};
+};
+
+}  // namespace eclb::storage

@@ -1,0 +1,130 @@
+#include "storage/replication.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace eclb::storage {
+
+bool NoReplication::access(FileId, common::Seconds) { return false; }
+
+bool NoReplication::replicated(FileId) const { return false; }
+
+SlidingWindowReplication::SlidingWindowReplication(std::size_t capacity,
+                                                   common::Seconds window)
+    : capacity_(capacity), window_(window) {
+  ECLB_ASSERT(capacity >= 1, "SlidingWindowReplication: capacity must be >= 1");
+  ECLB_ASSERT(window.value > 0.0, "SlidingWindowReplication: window must be > 0");
+}
+
+void SlidingWindowReplication::expire(common::Seconds now) {
+  std::erase_if(last_seen_, [&](const auto& kv) {
+    return kv.second + window_ < now;
+  });
+}
+
+bool SlidingWindowReplication::access(FileId file, common::Seconds now) {
+  expire(now);
+  auto it = last_seen_.find(file);
+  if (it != last_seen_.end()) {
+    // Replica hit: refresh the window.
+    it->second = now;
+    return true;
+  }
+  // Admit: the first access creates the replica (it serves *this* request
+  // from the home disk, subsequent in-window accesses hit the replica).
+  if (last_seen_.size() >= capacity_) {
+    // Evict the stalest in-window entry.
+    auto oldest = last_seen_.begin();
+    for (auto cur = last_seen_.begin(); cur != last_seen_.end(); ++cur) {
+      if (cur->second < oldest->second) oldest = cur;
+    }
+    last_seen_.erase(oldest);
+  }
+  last_seen_.emplace(file, now);
+  return false;
+}
+
+bool SlidingWindowReplication::replicated(FileId file) const {
+  return last_seen_.contains(file);
+}
+
+void SlidingWindowReplication::reset() { last_seen_.clear(); }
+
+std::string_view to_string(EvictionKind k) {
+  switch (k) {
+    case EvictionKind::kLru: return "lru";
+    case EvictionKind::kMru: return "mru";
+    case EvictionKind::kLfu: return "lfu";
+  }
+  return "?";
+}
+
+CacheReplication::CacheReplication(std::size_t capacity, EvictionKind kind)
+    : capacity_(capacity), kind_(kind) {
+  ECLB_ASSERT(capacity >= 1, "CacheReplication: capacity must be >= 1");
+}
+
+std::string_view CacheReplication::name() const { return to_string(kind_); }
+
+void CacheReplication::evict_one() {
+  ECLB_ASSERT(!entries_.empty(), "CacheReplication: evicting from empty cache");
+  auto victim = entries_.begin();
+  for (auto cur = entries_.begin(); cur != entries_.end(); ++cur) {
+    switch (kind_) {
+      case EvictionKind::kLru:
+        if (cur->second.last_access < victim->second.last_access) victim = cur;
+        break;
+      case EvictionKind::kMru:
+        if (cur->second.last_access > victim->second.last_access) victim = cur;
+        break;
+      case EvictionKind::kLfu:
+        if (cur->second.frequency < victim->second.frequency ||
+            (cur->second.frequency == victim->second.frequency &&
+             cur->second.sequence < victim->second.sequence)) {
+          victim = cur;
+        }
+        break;
+    }
+  }
+  entries_.erase(victim);
+}
+
+bool CacheReplication::access(FileId file, common::Seconds now) {
+  auto it = entries_.find(file);
+  if (it != entries_.end()) {
+    it->second.last_access = now;
+    ++it->second.frequency;
+    return true;
+  }
+  if (entries_.size() >= capacity_) evict_one();
+  Entry entry;
+  entry.last_access = now;
+  entry.frequency = 1;
+  entry.sequence = next_sequence_++;
+  entries_.emplace(file, entry);
+  return false;  // first access served from the home disk
+}
+
+bool CacheReplication::replicated(FileId file) const {
+  return entries_.contains(file);
+}
+
+void CacheReplication::reset() {
+  entries_.clear();
+  next_sequence_ = 0;
+}
+
+std::vector<std::unique_ptr<ReplicationPolicy>> replication_lineup(
+    std::size_t capacity, common::Seconds window) {
+  std::vector<std::unique_ptr<ReplicationPolicy>> out;
+  out.push_back(std::make_unique<NoReplication>());
+  out.push_back(std::make_unique<SlidingWindowReplication>(capacity, window));
+  out.push_back(std::make_unique<CacheReplication>(capacity, EvictionKind::kLru));
+  out.push_back(std::make_unique<CacheReplication>(capacity, EvictionKind::kMru));
+  out.push_back(std::make_unique<CacheReplication>(capacity, EvictionKind::kLfu));
+  return out;
+}
+
+}  // namespace eclb::storage

@@ -1,0 +1,85 @@
+#include "storage/storage_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace eclb::storage {
+
+StorageSimulator::StorageSimulator(StorageSimConfig config)
+    : config_(std::move(config)) {
+  ECLB_ASSERT(config_.home_disks >= 1, "StorageSimulator: need home disks");
+  ECLB_ASSERT(config_.active_disks >= 1, "StorageSimulator: need active disks");
+  ECLB_ASSERT(config_.files >= 1, "StorageSimulator: need files");
+  ECLB_ASSERT(config_.requests_per_second > 0.0,
+              "StorageSimulator: request rate must be positive");
+
+  // Zipf CDF over file ranks (file id == popularity rank).
+  zipf_cdf_.reserve(config_.files);
+  double total = 0.0;
+  for (std::size_t r = 1; r <= config_.files; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r), config_.zipf_exponent);
+    zipf_cdf_.push_back(total);
+  }
+  for (double& c : zipf_cdf_) c /= total;
+
+  // Pre-draw the Poisson request stream so every policy replays it exactly.
+  common::Rng rng(config_.seed);
+  common::Seconds t{0.0};
+  for (;;) {
+    t += common::Seconds{rng.exponential(config_.requests_per_second)};
+    if (t > config_.horizon) break;
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    const auto file = static_cast<FileId>(
+        std::distance(zipf_cdf_.begin(), it));
+    stream_.emplace_back(t, file);
+  }
+}
+
+StorageSimResult StorageSimulator::run(ReplicationPolicy& policy) const {
+  policy.reset();
+  StorageSimResult result;
+  result.policy_name = std::string(policy.name());
+
+  std::vector<Disk> home(config_.home_disks, Disk(config_.disk));
+  // The replica subset: hot traffic keeps these spinning naturally; under a
+  // policy that never replicates they idle into standby like any other disk.
+  std::vector<Disk> active(config_.active_disks, Disk(config_.disk));
+
+  double latency_sum = 0.0;
+  for (const auto& [now, file] : stream_) {
+    const bool replica_hit = policy.access(file, now);
+    common::Seconds latency{};
+    if (replica_hit) {
+      auto& d = active[file % config_.active_disks];
+      latency = d.serve(now, config_.service_time);
+      ++result.replica_hits;
+    } else {
+      auto& d = home[file % config_.home_disks];
+      latency = d.serve(now, config_.service_time);
+    }
+    latency_sum += latency.value;
+    ++result.requests;
+  }
+
+  // Close out the horizon.
+  for (auto& d : home) {
+    d.advance(config_.horizon);
+    result.home_disk_energy += d.energy();
+    result.total_energy += d.energy();
+    result.spin_ups += d.spin_ups();
+  }
+  for (auto& d : active) {
+    d.advance(config_.horizon);
+    result.total_energy += d.energy();
+    result.spin_ups += d.spin_ups();
+  }
+  result.mean_latency = common::Seconds{
+      result.requests == 0 ? 0.0
+                           : latency_sum / static_cast<double>(result.requests)};
+  return result;
+}
+
+}  // namespace eclb::storage

@@ -1,0 +1,74 @@
+// Power-aware storage simulation (the [25] experiment).
+//
+// A store of F files spread over D home disks by hash, plus a small subset
+// of always-active replica disks.  A Zipf-popular request stream is served
+// either from a replica (active subset; no spin-up ever needed) or from the
+// file's home disk (spinning it up when in standby).  Concentrating hot
+// files on the active subset lets the long tail of home disks sleep -- the
+// disk analogue of the paper's server consolidation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "storage/disk.h"
+#include "storage/replication.h"
+
+namespace eclb::storage {
+
+/// Experiment parameters.
+struct StorageSimConfig {
+  std::size_t home_disks{20};
+  std::size_t active_disks{2};     ///< Replica subset, always spinning.
+  std::size_t files{2000};
+  double zipf_exponent{0.9};       ///< Popularity skew.
+  double requests_per_second{8.0};
+  common::Seconds horizon{common::Seconds{4.0 * 3600.0}};
+  common::Seconds service_time{common::Seconds{0.012}};  ///< Per request.
+  DiskSpec disk{};
+  std::uint64_t seed{1};
+};
+
+/// Result of one policy run.
+struct StorageSimResult {
+  std::string policy_name;
+  common::Joules total_energy{};      ///< All disks (home + active).
+  common::Joules home_disk_energy{};  ///< The part replication can shrink.
+  std::size_t requests{0};
+  std::size_t replica_hits{0};
+  std::size_t spin_ups{0};
+  common::Seconds mean_latency{};     ///< Including spin-up waits.
+
+  /// Fraction of requests served from replicas.
+  [[nodiscard]] double hit_rate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(replica_hits) /
+                               static_cast<double>(requests);
+  }
+};
+
+/// Drives one ReplicationPolicy over a generated request stream.  The
+/// stream is a deterministic function of the config seed, so every policy
+/// in a comparison sees the identical accesses.
+class StorageSimulator {
+ public:
+  explicit StorageSimulator(StorageSimConfig config);
+
+  /// Runs the policy from a cold start.
+  [[nodiscard]] StorageSimResult run(ReplicationPolicy& policy) const;
+
+  /// The generated request stream: (time, file) pairs, time-ordered.
+  [[nodiscard]] const std::vector<std::pair<common::Seconds, FileId>>& stream()
+      const {
+    return stream_;
+  }
+
+ private:
+  StorageSimConfig config_;
+  std::vector<std::pair<common::Seconds, FileId>> stream_;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace eclb::storage

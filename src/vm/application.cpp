@@ -1,0 +1,36 @@
+#include "vm/application.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace eclb::vm {
+
+Application::Application(common::AppId id, double demand, DemandGrowthSpec growth)
+    : id_(id), growth_(growth), demand_(std::clamp(demand, growth.min_demand,
+                                                   growth.max_demand)) {
+  ECLB_ASSERT(id.valid(), "Application: invalid id");
+  ECLB_ASSERT(growth.lambda >= 0.0, "Application: lambda must be >= 0");
+  ECLB_ASSERT(growth.max_shrink >= 0.0, "Application: max_shrink must be >= 0");
+  ECLB_ASSERT(growth.min_demand <= growth.max_demand,
+              "Application: min_demand must be <= max_demand");
+}
+
+double Application::next_demand(common::Rng& rng) const {
+  const double step = rng.uniform(-growth_.max_shrink, growth_.lambda);
+  return std::clamp(demand_ + step, growth_.min_demand, growth_.max_demand);
+}
+
+void Application::set_demand(double d) {
+  demand_ = std::clamp(d, growth_.min_demand, growth_.max_demand);
+}
+
+DemandGrowthSpec Application::sample_growth(common::Rng& rng, double lambda_min,
+                                            double lambda_max) {
+  DemandGrowthSpec g;
+  g.lambda = rng.uniform(lambda_min, lambda_max);
+  g.max_shrink = g.lambda;  // stationary by default
+  return g;
+}
+
+}  // namespace eclb::vm

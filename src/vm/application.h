@@ -1,0 +1,64 @@
+// Applications with bounded demand growth.
+//
+// Section 4: application A_{i,k} on server S_k has a *largest rate of
+// increase in demand for CPU cycles*, lambda_{i,k}, unique per application.
+// The model requires demand to grow at a bounded rate per reallocation
+// interval; this class owns that evolution.
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace eclb::vm {
+
+/// How an application's demand evolves between reallocation intervals.
+struct DemandGrowthSpec {
+  /// Maximum demand increase per interval (the paper's lambda_{i,k}),
+  /// as a fraction of server capacity.
+  double lambda{0.03};
+  /// Maximum demand decrease per interval.  With shrink == lambda the load
+  /// is roughly stationary; with shrink < lambda it trends upward.
+  double max_shrink{0.03};
+  /// Demand never falls below this floor (a running app is never free).
+  double min_demand{0.01};
+  /// Demand of a single application never exceeds this fraction of one
+  /// server (beyond it the app must scale horizontally).
+  double max_demand{0.95};
+};
+
+/// An application instance.  In this model each application runs in exactly
+/// one VM at a time on a given server; horizontal scaling creates a new VM
+/// (and so a new Application record) on another server.
+class Application {
+ public:
+  /// Creates an application with the given initial demand and growth spec.
+  Application(common::AppId id, double demand, DemandGrowthSpec growth);
+
+  /// Unique id.
+  [[nodiscard]] common::AppId id() const { return id_; }
+  /// Growth parameters (lambda_{i,k} et al.).
+  [[nodiscard]] const DemandGrowthSpec& growth() const { return growth_; }
+  /// Demand for the current interval (fraction of server capacity).
+  [[nodiscard]] double demand() const { return demand_; }
+
+  /// Draws the next-interval demand: a uniform step in
+  /// [-max_shrink, +lambda], clamped to [min_demand, max_demand].  Returns
+  /// the *requested* demand; the caller decides whether the hosting server
+  /// can serve it (vertical scaling) or the app must move (horizontal).
+  double next_demand(common::Rng& rng) const;
+
+  /// Commits a demand value (after the scaling decision resolved).
+  void set_demand(double d);
+
+  /// Samples a growth spec with a unique lambda ~ U[lambda_min, lambda_max]
+  /// and shrink matched to lambda (stationary load).
+  static DemandGrowthSpec sample_growth(common::Rng& rng, double lambda_min = 0.01,
+                                        double lambda_max = 0.05);
+
+ private:
+  common::AppId id_;
+  DemandGrowthSpec growth_;
+  double demand_;
+};
+
+}  // namespace eclb::vm

@@ -1,0 +1,73 @@
+#include "vm/migration.h"
+
+#include "common/assert.h"
+
+namespace eclb::vm {
+
+MigrationCost migrate_cost(const Vm& vm, const MigrationEnvironment& env) {
+  ECLB_ASSERT(env.bandwidth.value > 0.0, "migrate_cost: bandwidth must be positive");
+  ECLB_ASSERT(env.max_precopy_rounds >= 1, "migrate_cost: need at least one round");
+
+  MigrationCost cost;
+  // Residue a round may leave behind and still stop: what fits in the
+  // allowed downtime window at line rate.
+  const common::MiB stop_threshold = env.bandwidth * env.target_downtime;
+
+  common::MiB to_send = vm.spec().ram;  // round 1: the full RAM image
+  common::Seconds elapsed{0.0};
+  common::Seconds last_round_time{0.0};
+  for (std::size_t round = 0; round < env.max_precopy_rounds; ++round) {
+    last_round_time = to_send / env.bandwidth;
+    elapsed += last_round_time;
+    cost.data_transferred += to_send;
+    ++cost.rounds;
+    // Pages dirtied while this round was streaming must be re-sent.
+    const common::MiB dirtied = vm.spec().dirty_rate * last_round_time;
+    if (dirtied <= stop_threshold) {
+      cost.converged = true;
+      // Final stop-and-copy round sends the residue with the VM paused.
+      const common::Seconds residue_time = dirtied / env.bandwidth;
+      elapsed += residue_time;
+      cost.data_transferred += dirtied;
+      cost.downtime = residue_time + env.switchover;
+      break;
+    }
+    to_send = dirtied;
+  }
+  if (!cost.converged) {
+    // Round cap reached: stop-and-copy whatever is still dirty.
+    const common::MiB residue = vm.spec().dirty_rate * last_round_time;
+    const common::Seconds residue_time = residue / env.bandwidth;
+    elapsed += residue_time;
+    cost.data_transferred += residue;
+    cost.downtime = residue_time + env.switchover;
+  }
+  elapsed += env.switchover;
+  cost.total_time = elapsed;
+
+  cost.source_energy = (env.source_peak * env.cpu_overhead_fraction) * cost.total_time;
+  cost.target_energy = (env.target_peak * env.cpu_overhead_fraction) * cost.total_time;
+  cost.network_energy =
+      common::Joules{cost.data_transferred.value * env.network_joules_per_mib};
+  return cost;
+}
+
+VmStartCost vm_start_cost(const Vm& vm, const VmStartEnvironment& env) {
+  ECLB_ASSERT(env.image_bandwidth.value > 0.0,
+              "vm_start_cost: bandwidth must be positive");
+  VmStartCost cost;
+  const common::Seconds transfer = vm.spec().image_size / env.image_bandwidth;
+  cost.time = transfer + env.boot_time;
+  const common::Joules boot_energy =
+      (env.target_peak * env.boot_cpu_fraction) * env.boot_time;
+  const common::Joules net_energy =
+      common::Joules{vm.spec().image_size.value * env.network_joules_per_mib};
+  // The transfer also keeps the target NIC/CPU mildly busy; fold that into
+  // the boot CPU term at half weight.
+  const common::Joules transfer_cpu =
+      (env.target_peak * (0.5 * env.boot_cpu_fraction)) * transfer;
+  cost.energy = boot_energy + net_energy + transfer_cpu;
+  return cost;
+}
+
+}  // namespace eclb::vm

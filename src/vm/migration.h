@@ -1,0 +1,69 @@
+// Live VM migration cost model.
+//
+// The paper's stated focus: "we report the VM migration costs for
+// application scaling" -- questions 5-8 of Section 3 (energy to migrate a
+// VM, energy to start one, target choice, migration time).  This model
+// implements iterative pre-copy migration (the mechanism of Xen/KVM live
+// migration): the full RAM image is pushed while the VM keeps running, then
+// pages dirtied during each round are re-sent, until the residue is small
+// enough to stop the VM for a brief switchover.
+#pragma once
+
+#include "common/units.h"
+#include "vm/vm.h"
+
+namespace eclb::vm {
+
+/// Environment a migration runs in.
+struct MigrationEnvironment {
+  common::MiBps bandwidth{common::MiBps{1000.0}};  ///< Server-to-server path (through the cluster switch).
+  common::Seconds switchover{common::Seconds{0.05}};///< Fixed stop-and-copy handoff time.
+  std::size_t max_precopy_rounds{8};               ///< Cap on re-send rounds (non-convergent VMs).
+  common::Seconds target_downtime{common::Seconds{0.3}}; ///< Stop pre-copy once residue fits this window.
+  double cpu_overhead_fraction{0.10};  ///< Extra CPU power (fraction of peak) on source & target during migration.
+  common::Watts source_peak{common::Watts{225.0}}; ///< Source server peak power.
+  common::Watts target_peak{common::Watts{225.0}}; ///< Target server peak power.
+  double network_joules_per_mib{0.02};             ///< Switch + NIC energy per MiB moved.
+};
+
+/// Cost breakdown of one migration (questions 5 and 8 of Section 3).
+struct MigrationCost {
+  common::Seconds total_time{};   ///< Wall-clock from start to handoff complete.
+  common::Seconds downtime{};     ///< VM unavailable (last round + switchover).
+  common::MiB data_transferred{}; ///< Total bytes pushed over the wire.
+  std::size_t rounds{0};          ///< Pre-copy rounds executed (>= 1).
+  bool converged{false};          ///< False when the round cap forced the stop.
+  common::Joules source_energy{}; ///< Extra energy burned on the source.
+  common::Joules target_energy{}; ///< Extra energy burned on the target.
+  common::Joules network_energy{};///< Energy in the interconnect.
+
+  /// Sum of the three energy components (question 5's answer).
+  [[nodiscard]] common::Joules total_energy() const {
+    return source_energy + target_energy + network_energy;
+  }
+};
+
+/// Computes the pre-copy migration cost of `vm` under `env`.
+[[nodiscard]] MigrationCost migrate_cost(const Vm& vm, const MigrationEnvironment& env);
+
+/// Cost of *starting* a fresh VM on a target server (question 6): transfer
+/// of the image from the image store plus boot-time CPU burn.
+struct VmStartCost {
+  common::Seconds time{};
+  common::Joules energy{};
+};
+
+/// Parameters for VM instantiation.
+struct VmStartEnvironment {
+  common::MiBps image_bandwidth{common::MiBps{500.0}}; ///< Image-store to server path.
+  common::Seconds boot_time{common::Seconds{20.0}};    ///< OS boot after the image lands.
+  double boot_cpu_fraction{0.5};                       ///< CPU power fraction while booting.
+  common::Watts target_peak{common::Watts{225.0}};
+  double network_joules_per_mib{0.02};
+};
+
+/// Computes the cost of instantiating `vm` on a server (horizontal scaling
+/// without a live source, or scale-out of a new replica).
+[[nodiscard]] VmStartCost vm_start_cost(const Vm& vm, const VmStartEnvironment& env);
+
+}  // namespace eclb::vm

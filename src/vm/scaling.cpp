@@ -1,0 +1,34 @@
+#include "vm/scaling.h"
+
+namespace eclb::vm {
+
+ScalingCost vertical_cost(const ScalingCostParams& params) {
+  return ScalingCost{params.vertical_latency, params.vertical_energy};
+}
+
+ScalingCost leader_communication_cost(const ScalingCostParams& params) {
+  const auto n = static_cast<double>(params.messages_per_negotiation);
+  // Each message crosses the star once; latencies serialize pairwise
+  // (request/response), so time counts round trips.
+  const common::Seconds time = params.leader_link_latency * n;
+  const common::Joules energy = params.energy_per_message * n;
+  return ScalingCost{time, energy};
+}
+
+ScalingCost horizontal_migration_cost(const Vm& vm, const ScalingCostParams& params) {
+  ScalingCost cost = leader_communication_cost(params);
+  const MigrationCost mig = migrate_cost(vm, params.migration);
+  cost.time += mig.total_time;
+  cost.energy += mig.total_energy();
+  return cost;
+}
+
+ScalingCost horizontal_start_cost(const Vm& vm, const ScalingCostParams& params) {
+  ScalingCost cost = leader_communication_cost(params);
+  const VmStartCost start = vm_start_cost(vm, params.vm_start);
+  cost.time += start.time;
+  cost.energy += start.energy;
+  return cost;
+}
+
+}  // namespace eclb::vm

@@ -1,0 +1,62 @@
+// Application-scaling cost model.
+//
+// Section 4 names three per-interval costs for server S_k:
+//   p_k  -- vertical scaling (grow/shrink a VM locally),
+//   q_k  -- horizontal scaling (move/start a VM on another server),
+//   j_k  -- communication and data transfer to/from the cluster leader.
+// Vertical scaling is cheap but only feasible with local spare capacity;
+// horizontal scaling pays q_k + j_k.  This module prices both paths so the
+// simulation can accumulate the energy/time cost of every decision and the
+// benches can report the high-cost vs low-cost breakdown.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.h"
+#include "vm/migration.h"
+#include "vm/vm.h"
+
+namespace eclb::vm {
+
+/// Price list for scaling operations.
+struct ScalingCostParams {
+  // Vertical (local) scaling: one hypervisor ballooning / hot-plug call.
+  common::Seconds vertical_latency{common::Seconds{0.1}};
+  common::Joules vertical_energy{common::Joules{5.0}};
+
+  // Leader communication: star topology, one hop each way.
+  common::Seconds leader_link_latency{common::Seconds{0.002}};
+  common::Joules energy_per_message{common::Joules{0.05}};
+  std::size_t messages_per_negotiation{4};  ///< notify, candidate list, offer, ack.
+
+  MigrationEnvironment migration{};   ///< Live-migration environment (for q_k).
+  VmStartEnvironment vm_start{};      ///< Fresh-instantiation environment.
+};
+
+/// Cost of one decision, in both currencies the paper cares about.
+struct ScalingCost {
+  common::Seconds time{};
+  common::Joules energy{};
+
+  ScalingCost& operator+=(const ScalingCost& o) {
+    time += o.time;
+    energy += o.energy;
+    return *this;
+  }
+};
+
+/// Prices p_k: a local vertical resize of one VM.
+[[nodiscard]] ScalingCost vertical_cost(const ScalingCostParams& params);
+
+/// Prices j_k: one full negotiation round with the leader.
+[[nodiscard]] ScalingCost leader_communication_cost(const ScalingCostParams& params);
+
+/// Prices q_k when the VM is moved live to another server (includes j_k).
+[[nodiscard]] ScalingCost horizontal_migration_cost(const Vm& vm,
+                                                    const ScalingCostParams& params);
+
+/// Prices q_k when a fresh VM is started on another server (includes j_k).
+[[nodiscard]] ScalingCost horizontal_start_cost(const Vm& vm,
+                                                const ScalingCostParams& params);
+
+}  // namespace eclb::vm

@@ -1,0 +1,94 @@
+#include "workload/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.h"
+
+namespace eclb::workload {
+
+ConstantProfile::ConstantProfile(double level) : level_(level) {
+  ECLB_ASSERT(level >= 0.0, "ConstantProfile: demand must be >= 0");
+}
+
+double ConstantProfile::demand(common::Seconds) const { return level_; }
+
+DiurnalProfile::DiurnalProfile(double base, double amplitude,
+                               common::Seconds period, double phase)
+    : base_(base), amplitude_(amplitude), period_(period), phase_(phase) {
+  ECLB_ASSERT(period.value > 0.0, "DiurnalProfile: period must be positive");
+}
+
+double DiurnalProfile::demand(common::Seconds t) const {
+  const double angle =
+      2.0 * std::numbers::pi * t.value / period_.value + phase_;
+  return std::max(0.0, base_ + amplitude_ * std::sin(angle));
+}
+
+SpikyProfile::SpikyProfile(const Params& params, common::Rng& rng)
+    : base_(params.base) {
+  ECLB_ASSERT(params.base >= 0.0, "SpikyProfile: base must be >= 0");
+  ECLB_ASSERT(params.spike_rate_per_hour >= 0.0, "SpikyProfile: negative rate");
+  if (params.spike_rate_per_hour <= 0.0) return;
+  const double rate_per_second = params.spike_rate_per_hour / 3600.0;
+  common::Seconds t{0.0};
+  for (;;) {
+    t += common::Seconds{rng.exponential(rate_per_second)};
+    if (t > params.horizon) break;
+    Spike s;
+    s.start = t;
+    s.end = t + common::Seconds{rng.uniform(params.spike_duration_min.value,
+                                            params.spike_duration_max.value)};
+    s.height = rng.uniform(params.spike_min, params.spike_max);
+    spikes_.push_back(s);
+  }
+}
+
+double SpikyProfile::demand(common::Seconds t) const {
+  double d = base_;
+  for (const auto& s : spikes_) {
+    if (t >= s.start && t < s.end) d += s.height;
+  }
+  return d;
+}
+
+RandomWalkProfile::RandomWalkProfile(const Params& params, common::Rng& rng)
+    : grid_(params.grid) {
+  ECLB_ASSERT(params.grid.value > 0.0, "RandomWalkProfile: grid must be positive");
+  ECLB_ASSERT(params.floor <= params.ceiling, "RandomWalkProfile: floor > ceiling");
+  const auto steps = static_cast<std::size_t>(
+      std::ceil(params.horizon.value / params.grid.value)) + 1;
+  samples_.reserve(steps);
+  double level = std::clamp(params.start, params.floor, params.ceiling);
+  for (std::size_t i = 0; i < steps; ++i) {
+    samples_.push_back(level);
+    level = std::clamp(level + rng.uniform(-params.max_step, params.max_step),
+                       params.floor, params.ceiling);
+  }
+}
+
+double RandomWalkProfile::demand(common::Seconds t) const {
+  if (samples_.empty()) return 0.0;
+  const double pos = std::max(0.0, t.value / grid_.value);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] + frac * (samples_[lo + 1] - samples_[lo]);
+}
+
+CompositeProfile::CompositeProfile(
+    std::vector<std::shared_ptr<const Profile>> parts)
+    : parts_(std::move(parts)) {
+  for (const auto& p : parts_) {
+    ECLB_ASSERT(p != nullptr, "CompositeProfile: null part");
+  }
+}
+
+double CompositeProfile::demand(common::Seconds t) const {
+  double total = 0.0;
+  for (const auto& p : parts_) total += p->demand(t);
+  return total;
+}
+
+}  // namespace eclb::workload

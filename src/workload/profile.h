@@ -1,0 +1,121 @@
+// Aggregate workload profiles.
+//
+// Section 3: "The load can be slow- or fast-varying, have spikes or be
+// smooth, can be predicted or is totally unpredictable".  These profiles
+// generate exactly those classes of aggregate demand for the capacity-policy
+// experiments (reactive / autoscale / predictive baselines).  Demand is
+// expressed in *server capacities*: a demand of 37.2 needs ceil(37.2 / target
+// utilization) awake servers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace eclb::workload {
+
+/// A deterministic-or-stochastic demand curve over time.  Implementations
+/// must be monotone-safe: repeated calls with the same `t` return the same
+/// value (stochastic profiles pre-draw their randomness at construction).
+class Profile {
+ public:
+  virtual ~Profile() = default;
+
+  /// Demand (in server capacities, >= 0) at time `t`.
+  [[nodiscard]] virtual double demand(common::Seconds t) const = 0;
+};
+
+/// Flat demand.
+class ConstantProfile final : public Profile {
+ public:
+  /// Demand of `level` server capacities at all times.
+  explicit ConstantProfile(double level);
+  [[nodiscard]] double demand(common::Seconds t) const override;
+
+ private:
+  double level_;
+};
+
+/// Smooth day/night swing: base + amplitude * sin(2*pi*t/period + phase),
+/// clamped at 0.  The canonical *slow-varying, predictable* load.
+class DiurnalProfile final : public Profile {
+ public:
+  DiurnalProfile(double base, double amplitude, common::Seconds period,
+                 double phase = 0.0);
+  [[nodiscard]] double demand(common::Seconds t) const override;
+
+ private:
+  double base_;
+  double amplitude_;
+  common::Seconds period_;
+  double phase_;
+};
+
+/// Flash-crowd spikes: a base level plus Poisson-arriving rectangular bursts
+/// of random height and duration.  The canonical *fast-varying,
+/// unpredictable* load.  All randomness is drawn at construction so the
+/// profile is a pure function of time afterwards.
+class SpikyProfile final : public Profile {
+ public:
+  struct Params {
+    double base{20.0};              ///< Demand between spikes.
+    double spike_rate_per_hour{2.0};///< Poisson arrival rate of spikes.
+    double spike_min{10.0};         ///< Minimum spike height.
+    double spike_max{40.0};         ///< Maximum spike height.
+    common::Seconds spike_duration_min{common::Seconds{120.0}};
+    common::Seconds spike_duration_max{common::Seconds{900.0}};
+    common::Seconds horizon{common::Seconds{24.0 * 3600.0}};  ///< Spikes drawn up to here.
+  };
+
+  SpikyProfile(const Params& params, common::Rng& rng);
+  [[nodiscard]] double demand(common::Seconds t) const override;
+
+  /// Number of spikes drawn over the horizon.
+  [[nodiscard]] std::size_t spike_count() const { return spikes_.size(); }
+
+ private:
+  struct Spike {
+    common::Seconds start;
+    common::Seconds end;
+    double height;
+  };
+  double base_;
+  std::vector<Spike> spikes_;
+};
+
+/// Bounded-rate random walk -- the paper's own workload assumption ("the
+/// demand for system resources increases at a bounded rate").  The walk is
+/// sampled on a fixed grid at construction and linearly interpolated.
+class RandomWalkProfile final : public Profile {
+ public:
+  struct Params {
+    double start{30.0};             ///< Initial demand.
+    double max_step{1.5};           ///< Largest per-grid-step change (the lambda bound).
+    double floor{0.0};              ///< Demand never drops below.
+    double ceiling{100.0};          ///< Demand never rises above.
+    common::Seconds grid{common::Seconds{60.0}};
+    common::Seconds horizon{common::Seconds{24.0 * 3600.0}};
+  };
+
+  RandomWalkProfile(const Params& params, common::Rng& rng);
+  [[nodiscard]] double demand(common::Seconds t) const override;
+
+ private:
+  common::Seconds grid_;
+  std::vector<double> samples_;
+};
+
+/// Sum of other profiles (e.g. diurnal + spikes).
+class CompositeProfile final : public Profile {
+ public:
+  /// Takes shared ownership of the parts.
+  explicit CompositeProfile(std::vector<std::shared_ptr<const Profile>> parts);
+  [[nodiscard]] double demand(common::Seconds t) const override;
+
+ private:
+  std::vector<std::shared_ptr<const Profile>> parts_;
+};
+
+}  // namespace eclb::workload

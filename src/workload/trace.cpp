@@ -1,0 +1,63 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace eclb::workload {
+
+Trace::Trace(common::Seconds dt) : dt_(dt) {
+  ECLB_ASSERT(dt.value > 0.0, "Trace: dt must be positive");
+}
+
+Trace::Trace(common::Seconds dt, std::vector<double> values)
+    : dt_(dt), values_(std::move(values)) {
+  ECLB_ASSERT(dt.value > 0.0, "Trace: dt must be positive");
+}
+
+void Trace::push(double demand) {
+  ECLB_ASSERT(demand >= 0.0, "Trace: demand must be >= 0");
+  values_.push_back(demand);
+}
+
+double Trace::demand_at(common::Seconds t) const {
+  if (values_.empty()) return 0.0;
+  const double pos = t.value / dt_.value;
+  if (pos <= 0.0) return values_.front();
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  if (lo + 1 >= values_.size()) return values_.back();
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] + frac * (values_[lo + 1] - values_[lo]);
+}
+
+double Trace::peak() const {
+  double p = 0.0;
+  for (double v : values_) p = std::max(p, v);
+  return p;
+}
+
+double Trace::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+Trace sample(const Profile& profile, common::Seconds dt, common::Seconds horizon) {
+  Trace trace(dt);
+  const auto steps =
+      static_cast<std::size_t>(std::floor(horizon.value / dt.value));
+  for (std::size_t i = 0; i <= steps; ++i) {
+    trace.push(std::max(0.0, profile.demand(dt * static_cast<double>(i))));
+  }
+  return trace;
+}
+
+TraceProfile::TraceProfile(Trace trace) : trace_(std::move(trace)) {}
+
+double TraceProfile::demand(common::Seconds t) const {
+  return trace_.demand_at(t);
+}
+
+}  // namespace eclb::workload

@@ -1,0 +1,70 @@
+// Demand traces: sampled workload curves for record / replay.
+//
+// Policies observe the past only through traces; the farm simulator samples
+// a Profile onto a Trace grid, and experiments can also load synthetic
+// traces directly (deterministic regression tests).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+#include "workload/profile.h"
+
+namespace eclb::workload {
+
+/// A demand curve sampled on a uniform grid.
+class Trace {
+ public:
+  /// Empty trace with the given grid spacing.
+  explicit Trace(common::Seconds dt);
+
+  /// Builds a trace from explicit samples.
+  Trace(common::Seconds dt, std::vector<double> values);
+
+  /// Grid spacing.
+  [[nodiscard]] common::Seconds dt() const { return dt_; }
+  /// Number of samples.
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  /// True when no samples recorded.
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  /// Sample `i` (demand in server capacities).
+  [[nodiscard]] double at(std::size_t i) const { return values_.at(i); }
+  /// All samples.
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  /// Time of sample `i`.
+  [[nodiscard]] common::Seconds time_of(std::size_t i) const {
+    return dt_ * static_cast<double>(i);
+  }
+
+  /// Appends a sample.
+  void push(double demand);
+
+  /// Demand at an arbitrary time (linear interpolation, clamped ends).
+  [[nodiscard]] double demand_at(common::Seconds t) const;
+
+  /// Largest sample; 0 when empty.
+  [[nodiscard]] double peak() const;
+  /// Mean sample; 0 when empty.
+  [[nodiscard]] double mean() const;
+
+ private:
+  common::Seconds dt_;
+  std::vector<double> values_;
+};
+
+/// Samples `profile` every `dt` over [0, horizon] (inclusive of both ends).
+[[nodiscard]] Trace sample(const Profile& profile, common::Seconds dt,
+                           common::Seconds horizon);
+
+/// A trace wrapped back into the Profile interface (replay).
+class TraceProfile final : public Profile {
+ public:
+  explicit TraceProfile(Trace trace);
+  [[nodiscard]] double demand(common::Seconds t) const override;
+
+ private:
+  Trace trace_;
+};
+
+}  // namespace eclb::workload

@@ -1,0 +1,67 @@
+#include "workload/trace_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace eclb::workload {
+
+void save_trace(std::ostream& out, const Trace& trace) {
+  common::CsvWriter writer(out, {"time_s", "demand"});
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    writer.row({common::CsvWriter::cell(trace.time_of(i).value),
+                common::CsvWriter::cell(trace.at(i))});
+  }
+}
+
+bool save_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_trace(out, trace);
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> load_trace(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  // Tolerate any header naming, but require exactly two columns.
+  if (line.find(',') == std::string::npos) return std::nullopt;
+
+  std::vector<double> times;
+  std::vector<double> values;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) return std::nullopt;
+    try {
+      std::size_t used = 0;
+      const double t = std::stod(line.substr(0, comma), &used);
+      const double v = std::stod(line.substr(comma + 1));
+      (void)used;
+      if (v < 0.0 || !std::isfinite(t) || !std::isfinite(v)) return std::nullopt;
+      times.push_back(t);
+      values.push_back(v);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  if (times.size() < 2) return std::nullopt;
+
+  const double dt = times[1] - times[0];
+  if (dt <= 0.0) return std::nullopt;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const double step = times[i] - times[i - 1];
+    if (std::abs(step - dt) > 1e-6 * dt) return std::nullopt;  // non-uniform
+  }
+  return Trace(common::Seconds{dt}, std::move(values));
+}
+
+std::optional<Trace> load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return load_trace(in);
+}
+
+}  // namespace eclb::workload

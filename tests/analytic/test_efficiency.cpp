@@ -1,0 +1,75 @@
+#include "analytic/efficiency.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::analytic {
+namespace {
+
+using common::Watts;
+using energy::LinearPowerModel;
+
+TEST(Efficiency, PerformancePerWattZeroWhenIdle) {
+  const LinearPowerModel m(Watts{200.0}, 0.5);
+  EXPECT_DOUBLE_EQ(performance_per_watt(m, 0.0), 0.0);
+}
+
+TEST(Efficiency, PerformancePerWattIncreasesWithLoad) {
+  const LinearPowerModel m(Watts{200.0}, 0.5);
+  double prev = -1.0;
+  for (int i = 0; i <= 10; ++i) {
+    const double u = i / 10.0;
+    const double ppw = performance_per_watt(m, u);
+    EXPECT_GT(ppw, prev);
+    prev = ppw;
+  }
+}
+
+TEST(Efficiency, NonProportionalServerPeaksAtFullLoad) {
+  // Section 2's point: with a large idle floor, efficiency peaks at 100 %
+  // utilization -- which is why idle servers are so wasteful.
+  const LinearPowerModel m(Watts{200.0}, 0.5);
+  EXPECT_DOUBLE_EQ(peak_efficiency_utilization(m), 1.0);
+}
+
+TEST(Efficiency, IdealProportionalServerEfficientEverywhere) {
+  const LinearPowerModel ideal(Watts{200.0}, 0.0);
+  // performance per Watt is constant: u / (peak * u) = 1 / peak.
+  EXPECT_NEAR(performance_per_watt(ideal, 0.2), performance_per_watt(ideal, 0.9),
+              1e-12);
+}
+
+TEST(Efficiency, ProportionalityIndexIdealIsOne) {
+  const LinearPowerModel ideal(Watts{100.0}, 0.0);
+  EXPECT_NEAR(proportionality_index(ideal), 1.0, 1e-9);
+}
+
+TEST(Efficiency, ProportionalityIndexHalfIdleFloor) {
+  // Linear model with idle fraction f deviates (1-u) * f from ideal; the
+  // mean over u of f*(1-u) is f/2 -> index = 1 - f/2.
+  const LinearPowerModel m(Watts{100.0}, 0.5);
+  EXPECT_NEAR(proportionality_index(m), 0.75, 1e-3);
+}
+
+TEST(Efficiency, ProportionalityIndexOrdersModels) {
+  const LinearPowerModel good(Watts{100.0}, 0.2);
+  const LinearPowerModel bad(Watts{100.0}, 0.7);
+  EXPECT_GT(proportionality_index(good), proportionality_index(bad));
+}
+
+TEST(Efficiency, NormalizedEfficiencyMatchesDefinition) {
+  const LinearPowerModel m(Watts{200.0}, 0.5);
+  // a / b with b = 0.5 + 0.5 a.
+  EXPECT_NEAR(normalized_efficiency(m, 0.5), 0.5 / 0.75, 1e-12);
+  EXPECT_NEAR(normalized_efficiency(m, 1.0), 1.0, 1e-12);
+}
+
+TEST(Efficiency, SubsystemModelLessProportionalThanCpuAlone) {
+  // Memory/disk/network have narrow dynamic ranges (Section 2), dragging
+  // the whole-server proportionality down versus a CPU-like 70 % range.
+  const LinearPowerModel cpu_like(Watts{200.0}, 0.3);
+  const auto composed = energy::SubsystemPowerModel::typical_volume_server();
+  EXPECT_LT(proportionality_index(composed), proportionality_index(cpu_like));
+}
+
+}  // namespace
+}  // namespace eclb::analytic

@@ -1,0 +1,96 @@
+#include "analytic/qos.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eclb::analytic {
+namespace {
+
+TEST(Qos, ResponseTimeMatchesMm1) {
+  QosTarget t;
+  t.service_time = 0.020;
+  EXPECT_DOUBLE_EQ(response_time(t, 0.0), 0.020);
+  EXPECT_DOUBLE_EQ(response_time(t, 0.5), 0.040);
+  EXPECT_DOUBLE_EQ(response_time(t, 0.9), 0.200);
+}
+
+TEST(Qos, ResponseTimeDivergesAtSaturation) {
+  QosTarget t;
+  EXPECT_TRUE(std::isinf(response_time(t, 1.0)));
+  EXPECT_TRUE(std::isinf(response_time(t, 1.5)));
+}
+
+TEST(Qos, ResponseTimeMonotoneInUtilization) {
+  QosTarget t;
+  double prev = 0.0;
+  for (int i = 0; i <= 99; ++i) {
+    const double r = response_time(t, i / 100.0);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Qos, UtilizationCapInvertsResponseTime) {
+  QosTarget t;
+  t.service_time = 0.020;
+  t.max_response_time = 0.100;
+  const double cap = utilization_cap(t);
+  EXPECT_DOUBLE_EQ(cap, 0.8);
+  // At the cap the SLA is met with equality.
+  EXPECT_NEAR(response_time(t, cap), t.max_response_time, 1e-12);
+}
+
+TEST(Qos, ImpossibleSlaCapsAtZero) {
+  QosTarget t;
+  t.service_time = 0.200;
+  t.max_response_time = 0.100;  // tighter than the bare service time
+  EXPECT_DOUBLE_EQ(utilization_cap(t), 0.0);
+}
+
+TEST(Qos, MeetsSlaAtAndBelowCap) {
+  QosTarget t;
+  t.service_time = 0.020;
+  t.max_response_time = 0.100;
+  EXPECT_TRUE(meets_sla(t, 0.5));
+  EXPECT_TRUE(meets_sla(t, 0.8));
+  EXPECT_FALSE(meets_sla(t, 0.81));
+  EXPECT_FALSE(meets_sla(t, 1.0));
+}
+
+TEST(Qos, FitLeavesOptimalRegionWhenSlack) {
+  QosTarget t;
+  t.service_time = 0.010;
+  t.max_response_time = 0.100;  // cap 0.9
+  energy::RegimeThresholds thresholds;  // defaults: opt [0.35, 0.675]
+  const auto fit = fit_qos_to_regimes(t, thresholds);
+  EXPECT_FALSE(fit.sla_below_optimal_region);
+  EXPECT_FALSE(fit.sla_shrinks_optimal_region);
+  EXPECT_DOUBLE_EQ(fit.utilization_ceiling, thresholds.alpha_sopt_high);
+}
+
+TEST(Qos, FitDetectsShrunkOptimalRegion) {
+  QosTarget t;
+  t.service_time = 0.050;
+  t.max_response_time = 0.100;  // cap 0.5 -- inside [0.35, 0.675]
+  energy::RegimeThresholds thresholds;
+  const auto fit = fit_qos_to_regimes(t, thresholds);
+  EXPECT_FALSE(fit.sla_below_optimal_region);
+  EXPECT_TRUE(fit.sla_shrinks_optimal_region);
+  EXPECT_DOUBLE_EQ(fit.utilization_ceiling, 0.5);
+}
+
+TEST(Qos, FitDetectsSlaBelowOptimalRegion) {
+  // Section 6: real-time SaaS may be forced below the energy-optimal region.
+  QosTarget t;
+  t.service_time = 0.080;
+  t.max_response_time = 0.100;  // cap 0.2 < alpha_opt_low
+  energy::RegimeThresholds thresholds;
+  const auto fit = fit_qos_to_regimes(t, thresholds);
+  EXPECT_TRUE(fit.sla_below_optimal_region);
+  EXPECT_FALSE(fit.sla_shrinks_optimal_region);
+  EXPECT_DOUBLE_EQ(fit.utilization_ceiling, 0.2);
+}
+
+}  // namespace
+}  // namespace eclb::analytic

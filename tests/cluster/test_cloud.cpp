@@ -1,0 +1,151 @@
+#include "cluster/cloud.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::cluster {
+namespace {
+
+CloudConfig make_cloud_config(std::size_t clusters, double lo, double hi) {
+  CloudConfig cfg;
+  cfg.cluster_count = clusters;
+  cfg.cluster_template.server_count = 40;
+  cfg.cluster_template.initial_load_min = lo;
+  cfg.cluster_template.initial_load_max = hi;
+  cfg.cluster_template.seed = 17;
+  return cfg;
+}
+
+TEST(Cloud, BuildsRequestedClusters) {
+  Cloud cloud(make_cloud_config(3, 0.2, 0.4));
+  EXPECT_EQ(cloud.size(), 3U);
+  EXPECT_EQ(cloud.total_servers(), 120U);
+}
+
+TEST(Cloud, ClustersGetDistinctSeeds) {
+  Cloud cloud(make_cloud_config(2, 0.2, 0.4));
+  EXPECT_NE(cloud.cluster(0).total_demand(), cloud.cluster(1).total_demand());
+  EXPECT_EQ(cloud.cluster(0).config().seed + 1, cloud.cluster(1).config().seed);
+}
+
+TEST(Cloud, LoadFractionAggregates) {
+  Cloud cloud(make_cloud_config(4, 0.2, 0.4));
+  double demand = 0.0;
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    demand += cloud.cluster(i).total_demand();
+  }
+  EXPECT_NEAR(cloud.load_fraction(), demand / 160.0, 1e-12);
+}
+
+TEST(Cloud, StepReportsPerCluster) {
+  Cloud cloud(make_cloud_config(3, 0.2, 0.4));
+  const auto report = cloud.step();
+  ASSERT_EQ(report.clusters.size(), 3U);
+  EXPECT_GT(report.total_local() + report.total_in_cluster(), 0U);
+}
+
+TEST(Cloud, ReportAggregatesSum) {
+  Cloud cloud(make_cloud_config(2, 0.6, 0.8));
+  const auto report = cloud.step();
+  std::size_t local = 0;
+  std::size_t in_cluster = 0;
+  for (const auto& c : report.clusters) {
+    local += c.local_decisions;
+    in_cluster += c.in_cluster_decisions;
+  }
+  EXPECT_EQ(report.total_local(), local);
+  EXPECT_EQ(report.total_in_cluster(), in_cluster);
+}
+
+TEST(Cloud, EnergyGrowsAcrossSteps) {
+  Cloud cloud(make_cloud_config(2, 0.2, 0.4));
+  const auto before = cloud.total_energy();
+  cloud.step();
+  EXPECT_GT(cloud.total_energy().value, before.value);
+}
+
+TEST(Cloud, OverflowRoutedToLeastLoadedSibling) {
+  // A saturated cluster next to an empty one: overflow must land on the
+  // sibling instead of becoming an SLA violation.
+  CloudConfig cfg = make_cloud_config(2, 0.0, 0.0);
+  cfg.cluster_template.demand_change_probability = 0.0;
+  Cloud cloud(cfg);
+  // Fill cluster 0 completely by hand.
+  auto& full = cloud.mutable_cluster(0);
+  for (auto& s : full.mutable_servers()) {
+    (void)full.inject_vm(s.id(), common::AppId{1}, 0.97);
+  }
+  // Cluster 0 cannot take 0.5 more anywhere; the cloud dispatcher should.
+  EXPECT_FALSE(full.accept_external(common::AppId{2}, 0.5));
+  EXPECT_TRUE(cloud.mutable_cluster(1).accept_external(common::AppId{2}, 0.5));
+}
+
+TEST(Cloud, OverflowCountedInReports) {
+  // High load with growth: some increments cannot be placed locally and get
+  // offloaded; run a few steps and check the bookkeeping is consistent.
+  CloudConfig cfg = make_cloud_config(3, 0.6, 0.8);
+  cfg.cluster_template.demand_change_probability = 0.3;
+  Cloud cloud(cfg);
+  std::size_t offloaded_total = 0;
+  std::size_t placements_total = 0;
+  for (int i = 0; i < 15; ++i) {
+    const auto report = cloud.step();
+    placements_total += report.inter_cluster_placements;
+    for (const auto& c : report.clusters) offloaded_total += c.offloaded_requests;
+  }
+  EXPECT_EQ(offloaded_total, placements_total);
+}
+
+TEST(Cloud, IsolatedCloudNeverOffloads) {
+  CloudConfig cfg = make_cloud_config(3, 0.6, 0.8);
+  cfg.inter_cluster_overflow = false;
+  cfg.cluster_template.demand_change_probability = 0.3;
+  Cloud cloud(cfg);
+  for (int i = 0; i < 10; ++i) {
+    const auto report = cloud.step();
+    EXPECT_EQ(report.inter_cluster_placements, 0U);
+    for (const auto& c : report.clusters) {
+      EXPECT_EQ(c.offloaded_requests, 0U);
+    }
+  }
+}
+
+TEST(Cloud, OverflowReplacesViolationsInFirstStep) {
+  // The point of clustering for scalability: shared spare capacity.  Over a
+  // long horizon the two variants are not comparable -- the shared cloud
+  // *accepts* demand the isolated one rejects, so its later totals differ by
+  // design.  The clean comparison is the first step, where the same local
+  // placement failures either become offloads (shared) or violations
+  // (isolated).
+  auto build = [](bool overflow) {
+    CloudConfig cfg;
+    cfg.cluster_count = 2;
+    cfg.inter_cluster_overflow = overflow;
+    cfg.cluster_template.server_count = 40;
+    cfg.cluster_template.initial_load_min = 0.8;
+    cfg.cluster_template.initial_load_max = 0.9;
+    cfg.cluster_template.demand_change_probability = 0.5;
+    cfg.cluster_template.seed = 5;
+    return cfg;
+  };
+  auto cool_second_cluster = [](Cloud& cloud) {
+    auto& cool = cloud.mutable_cluster(1);
+    for (auto& s : cool.mutable_servers()) {
+      std::vector<common::VmId> ids;
+      for (const auto& v : s.vms()) ids.push_back(v.id());
+      for (auto id : ids) (void)s.force_demand(id, 0.02);
+    }
+  };
+  Cloud shared(build(true));
+  cool_second_cluster(shared);
+  Cloud isolated(build(false));
+  cool_second_cluster(isolated);
+
+  const auto shared_report = shared.step();
+  const auto isolated_report = isolated.step();
+  EXPECT_GT(shared_report.inter_cluster_placements, 0U);
+  EXPECT_LT(shared_report.total_sla_violations(),
+            isolated_report.total_sla_violations());
+}
+
+}  // namespace
+}  // namespace eclb::cluster

@@ -1,0 +1,40 @@
+#include "cluster/messages.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::cluster {
+namespace {
+
+using common::Joules;
+
+TEST(Messages, KindNames) {
+  EXPECT_EQ(to_string(MessageKind::kRegimeReport), "regime-report");
+  EXPECT_EQ(to_string(MessageKind::kWakeCommand), "wake-command");
+  EXPECT_EQ(to_string(MessageKind::kSleepNotice), "sleep-notice");
+}
+
+TEST(Messages, StartsEmpty) {
+  MessageStats stats;
+  EXPECT_EQ(stats.total(), 0U);
+  EXPECT_DOUBLE_EQ(stats.energy().value, 0.0);
+}
+
+TEST(Messages, RecordAccumulatesPerKind) {
+  MessageStats stats;
+  stats.record(MessageKind::kRegimeReport, 3, Joules{0.1});
+  stats.record(MessageKind::kTransferRequest, 2, Joules{0.1});
+  stats.record(MessageKind::kRegimeReport, 1, Joules{0.1});
+  EXPECT_EQ(stats.count(MessageKind::kRegimeReport), 4U);
+  EXPECT_EQ(stats.count(MessageKind::kTransferRequest), 2U);
+  EXPECT_EQ(stats.count(MessageKind::kWakeCommand), 0U);
+  EXPECT_EQ(stats.total(), 6U);
+}
+
+TEST(Messages, EnergySumsPerMessage) {
+  MessageStats stats;
+  stats.record(MessageKind::kCandidateList, 10, Joules{0.05});
+  EXPECT_NEAR(stats.energy().value, 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace eclb::cluster

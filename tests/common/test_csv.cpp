@@ -1,0 +1,63 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace eclb::common {
+namespace {
+
+TEST(Csv, HeaderWrittenOnConstruction) {
+  std::ostringstream out;
+  CsvWriter w(out, {"a", "b"});
+  EXPECT_EQ(out.str(), "a,b\n");
+  EXPECT_EQ(w.rows_written(), 0U);
+}
+
+TEST(Csv, PlainRow) {
+  std::ostringstream out;
+  CsvWriter w(out, {"x", "y"});
+  w.row({"1", "2"});
+  EXPECT_EQ(out.str(), "x,y\n1,2\n");
+  EXPECT_EQ(w.rows_written(), 1U);
+}
+
+TEST(Csv, QuotesCellsWithCommas) {
+  std::ostringstream out;
+  CsvWriter w(out, {"c"});
+  w.row({"hello, world"});
+  EXPECT_EQ(out.str(), "c\n\"hello, world\"\n");
+}
+
+TEST(Csv, EscapesEmbeddedQuotes) {
+  std::ostringstream out;
+  CsvWriter w(out, {"c"});
+  w.row({"say \"hi\""});
+  EXPECT_EQ(out.str(), "c\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, QuotesNewlines) {
+  std::ostringstream out;
+  CsvWriter w(out, {"c"});
+  w.row({"line1\nline2"});
+  EXPECT_EQ(out.str(), "c\n\"line1\nline2\"\n");
+}
+
+TEST(Csv, DoubleCellRoundTrips) {
+  EXPECT_EQ(CsvWriter::cell(0.5), "0.5");
+  EXPECT_EQ(CsvWriter::cell(2.25), "2.25");
+}
+
+TEST(Csv, IntegerCell) {
+  EXPECT_EQ(CsvWriter::cell(42LL), "42");
+  EXPECT_EQ(CsvWriter::cell(-7LL), "-7");
+}
+
+TEST(CsvDeathTest, RowWidthMismatchAborts) {
+  std::ostringstream out;
+  CsvWriter w(out, {"a", "b"});
+  EXPECT_DEATH(w.row({"only-one"}), "row width mismatch");
+}
+
+}  // namespace
+}  // namespace eclb::common

@@ -1,0 +1,62 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::common {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(Log::level()) {}
+  ~LogLevelGuard() { Log::set_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsWarn) {
+  // The experiments rely on quiet-by-default logging.
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kWarn);
+  EXPECT_EQ(Log::level(), LogLevel::kWarn);
+  EXPECT_FALSE(Log::enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Log::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Log::enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+}
+
+TEST(Log, LevelOrdering) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kDebug);
+  EXPECT_TRUE(Log::enabled(LogLevel::kDebug));
+  Log::set_level(LogLevel::kError);
+  EXPECT_FALSE(Log::enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+}
+
+TEST(Log, OffSuppressesEverything) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kOff);
+  EXPECT_FALSE(Log::enabled(LogLevel::kError));
+}
+
+TEST(Log, WriteBelowLevelIsNoop) {
+  // Must not crash and must not emit; we can only assert it runs.
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kOff);
+  Log::write(LogLevel::kDebug, "invisible %d", 42);
+  ECLB_LOG_DEBUG("also invisible %s", "x");
+  SUCCEED();
+}
+
+TEST(Log, MacrosCompileWithVariousArgs) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kOff);
+  ECLB_LOG_INFO("plain");
+  ECLB_LOG_WARN("formatted %d %s %.2f", 1, "two", 3.0);
+  ECLB_LOG_ERROR("%zu", static_cast<std::size_t>(9));
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace eclb::common

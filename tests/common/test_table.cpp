@@ -1,0 +1,64 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace eclb::common {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"long-name", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  // All lines have equal width.
+  std::istringstream lines(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.row({"only"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1U);
+}
+
+TEST(TextTable, NumFormatsDoubles) {
+  EXPECT_EQ(TextTable::num(2.25, 2), "2.25");
+  EXPECT_EQ(TextTable::num(0.6490, 4), "0.6490");
+  EXPECT_EQ(TextTable::num(1.0, 0), "1");
+}
+
+TEST(TextTable, NumFormatsIntegers) {
+  EXPECT_EQ(TextTable::num(10000LL), "10000");
+  EXPECT_EQ(TextTable::num(-3LL), "-3");
+}
+
+TEST(TextTable, HeaderRuleRowStructure) {
+  TextTable t({"h"});
+  t.row({"v"});
+  std::ostringstream out;
+  t.print(out);
+  std::istringstream lines(out.str());
+  std::string l1, l2, l3;
+  std::getline(lines, l1);
+  std::getline(lines, l2);
+  std::getline(lines, l3);
+  EXPECT_NE(l1.find('h'), std::string::npos);
+  EXPECT_NE(l2.find('-'), std::string::npos);
+  EXPECT_NE(l3.find('v'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eclb::common

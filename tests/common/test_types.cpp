@@ -1,0 +1,50 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace eclb::common {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  ServerId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(Ids, ConstructedIsValid) {
+  ServerId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.index(), 7U);
+}
+
+TEST(Ids, Comparison) {
+  EXPECT_EQ(VmId{3}, VmId{3});
+  EXPECT_NE(VmId{3}, VmId{4});
+  EXPECT_LT(VmId{3}, VmId{4});
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  // Compile-time property: ServerId and VmId must not be interchangeable.
+  static_assert(!std::is_same_v<ServerId, VmId>);
+  static_assert(!std::is_same_v<AppId, ClusterId>);
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<VmId> set;
+  set.insert(VmId{1});
+  set.insert(VmId{2});
+  set.insert(VmId{1});
+  EXPECT_EQ(set.size(), 2U);
+  EXPECT_TRUE(set.contains(VmId{2}));
+  EXPECT_FALSE(set.contains(VmId{3}));
+}
+
+TEST(Ids, SizeTConstruction) {
+  std::size_t raw = 42;
+  AppId id{raw};
+  EXPECT_EQ(id.index(), 42U);
+}
+
+}  // namespace
+}  // namespace eclb::common

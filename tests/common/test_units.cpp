@@ -1,0 +1,101 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::common {
+namespace {
+
+TEST(Units, SecondsArithmetic) {
+  const Seconds a{2.0};
+  const Seconds b{3.0};
+  EXPECT_DOUBLE_EQ((a + b).value, 5.0);
+  EXPECT_DOUBLE_EQ((b - a).value, 1.0);
+  EXPECT_DOUBLE_EQ((a * 4.0).value, 8.0);
+  EXPECT_DOUBLE_EQ((4.0 * a).value, 8.0);
+  EXPECT_DOUBLE_EQ(b / a, 1.5);
+}
+
+TEST(Units, SecondsCompoundAssignment) {
+  Seconds t{1.0};
+  t += Seconds{2.0};
+  EXPECT_DOUBLE_EQ(t.value, 3.0);
+  t -= Seconds{0.5};
+  EXPECT_DOUBLE_EQ(t.value, 2.5);
+}
+
+TEST(Units, SecondsComparison) {
+  EXPECT_LT(Seconds{1.0}, Seconds{2.0});
+  EXPECT_EQ(Seconds{1.0}, Seconds{1.0});
+  EXPECT_GE(Seconds{3.0}, Seconds{2.0});
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  const Watts p{100.0};
+  const Seconds t{60.0};
+  EXPECT_DOUBLE_EQ((p * t).value, 6000.0);
+  EXPECT_DOUBLE_EQ((t * p).value, 6000.0);
+}
+
+TEST(Units, EnergyOverTimeIsPower) {
+  const Joules e{6000.0};
+  EXPECT_DOUBLE_EQ((e / Seconds{60.0}).value, 100.0);
+}
+
+TEST(Units, EnergyOverPowerIsTime) {
+  const Joules e{6000.0};
+  EXPECT_DOUBLE_EQ((e / Watts{100.0}).value, 60.0);
+}
+
+TEST(Units, KwhConversion) {
+  // 1 kWh = 3.6e6 J.
+  EXPECT_DOUBLE_EQ(Joules{3.6e6}.kwh(), 1.0);
+  EXPECT_DOUBLE_EQ(Joules{1.8e6}.kwh(), 0.5);
+}
+
+TEST(Units, WattsAccumulate) {
+  Watts p{10.0};
+  p += Watts{5.0};
+  EXPECT_DOUBLE_EQ(p.value, 15.0);
+  EXPECT_DOUBLE_EQ((Watts{20.0} - Watts{5.0}).value, 15.0);
+  EXPECT_DOUBLE_EQ(Watts{30.0} / Watts{10.0}, 3.0);
+}
+
+TEST(Units, JoulesAccumulate) {
+  Joules e{100.0};
+  e += Joules{50.0};
+  EXPECT_DOUBLE_EQ(e.value, 150.0);
+  e -= Joules{25.0};
+  EXPECT_DOUBLE_EQ(e.value, 125.0);
+}
+
+TEST(Units, DataOverBandwidthIsTime) {
+  const MiB image{2048.0};
+  const MiBps bw{1024.0};
+  EXPECT_DOUBLE_EQ((image / bw).value, 2.0);
+}
+
+TEST(Units, BandwidthTimesTimeIsData) {
+  const MiBps bw{100.0};
+  const Seconds t{3.0};
+  EXPECT_DOUBLE_EQ((bw * t).value, 300.0);
+  EXPECT_DOUBLE_EQ((t * bw).value, 300.0);
+}
+
+TEST(Units, MiBArithmetic) {
+  MiB v{10.0};
+  v += MiB{5.0};
+  EXPECT_DOUBLE_EQ(v.value, 15.0);
+  EXPECT_DOUBLE_EQ((MiB{30.0} / MiB{10.0}), 3.0);
+  EXPECT_DOUBLE_EQ((MiB{10.0} * 2.0).value, 20.0);
+}
+
+TEST(Units, RoundTripPowerEnergyTime) {
+  const Watts p{173.0};
+  const Seconds t{42.5};
+  const Joules e = p * t;
+  EXPECT_NEAR((e / t).value, p.value, 1e-12);
+  EXPECT_NEAR((e / p).value, t.value, 1e-12);
+}
+
+}  // namespace
+}  // namespace eclb::common

@@ -1,0 +1,101 @@
+#include "energy/dvfs.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::energy {
+namespace {
+
+TEST(Dvfs, PeakIsSumOfComponents) {
+  DvfsSpec spec;
+  const DvfsPowerModel m(spec);
+  EXPECT_DOUBLE_EQ(m.peak_power().value,
+                   spec.platform_floor.value + spec.cpu_static.value +
+                       spec.cpu_dynamic_peak.value);
+  EXPECT_DOUBLE_EQ(m.power(1.0).value, m.peak_power().value);
+}
+
+TEST(Dvfs, GovernorTracksLoadAboveFloor) {
+  const DvfsPowerModel m;
+  EXPECT_DOUBLE_EQ(m.frequency_fraction(0.9), 0.9);
+  EXPECT_DOUBLE_EQ(m.frequency_fraction(0.5), 0.5);
+  // Below f_min the governor pins the floor frequency.
+  EXPECT_DOUBLE_EQ(m.frequency_fraction(0.1), m.spec().f_min_fraction);
+  EXPECT_DOUBLE_EQ(m.frequency_fraction(0.0), m.spec().f_min_fraction);
+}
+
+TEST(Dvfs, PowerMonotoneNonDecreasing) {
+  const DvfsPowerModel m;
+  double prev = -1.0;
+  for (int i = 0; i <= 200; ++i) {
+    const double p = m.power(i / 200.0).value;
+    EXPECT_GE(p, prev - 1e-9) << "u = " << i / 200.0;
+    prev = p;
+  }
+}
+
+TEST(Dvfs, ContinuousAtGovernorKnee) {
+  const DvfsPowerModel m;
+  const double knee = m.spec().f_min_fraction;
+  EXPECT_NEAR(m.power(knee - 1e-9).value, m.power(knee + 1e-9).value, 1e-3);
+}
+
+TEST(Dvfs, CubicScalingAboveKnee) {
+  // Between two loads above f_min, dynamic power scales with u^3 (frequency
+  // tracks utilization, active fraction is 1).
+  DvfsSpec spec;
+  spec.platform_floor = common::Watts{0.0};
+  spec.cpu_static = common::Watts{0.0};
+  const DvfsPowerModel m(spec);
+  const double p_half = m.power(0.5).value;
+  const double p_full = m.power(1.0).value;
+  EXPECT_NEAR(p_full / p_half, 8.0, 1e-9);
+}
+
+TEST(Dvfs, IdlePowerIsFloorPlusStatic) {
+  const DvfsPowerModel m;
+  // At u = 0 the core runs at f_min but executes nothing.
+  EXPECT_DOUBLE_EQ(m.power(0.0).value,
+                   m.spec().platform_floor.value + m.spec().cpu_static.value);
+}
+
+TEST(Dvfs, DvfsHelpsPerWorkAtMidLoad) {
+  // The "diminishing returns" shape of [14]: running slower saves energy per
+  // unit of work versus full speed...
+  DvfsSpec spec;
+  spec.platform_floor = common::Watts{10.0};  // small floor
+  spec.cpu_static = common::Watts{5.0};
+  const DvfsPowerModel m(spec);
+  EXPECT_LT(m.energy_per_work_ratio(0.7), 1.0);
+}
+
+TEST(Dvfs, StaticShareErodesLowFrequencySavings) {
+  // ...but a big static/floor share makes low-utilization operation cost
+  // MORE energy per unit of work -- why DVFS cannot replace sleep states.
+  DvfsSpec heavy;
+  heavy.platform_floor = common::Watts{120.0};
+  heavy.cpu_static = common::Watts{40.0};
+  const DvfsPowerModel m(heavy);
+  EXPECT_GT(m.energy_per_work_ratio(0.05), 1.0);
+}
+
+TEST(Dvfs, WorksWithRegimeBoundaryInversion) {
+  const DvfsPowerModel m;
+  // The generic monotone inversion must handle the DVFS curve.
+  for (double a : {0.1, 0.45, 0.8}) {
+    const double b = m.normalized_energy(a);
+    EXPECT_NEAR(m.normalized_energy(utilization_for_normalized_energy(m, b)), b,
+                1e-6);
+  }
+}
+
+TEST(DvfsDeathTest, RejectsBadSpec) {
+  DvfsSpec spec;
+  spec.f_min_fraction = 0.0;
+  EXPECT_DEATH(DvfsPowerModel{spec}, "f_min fraction");
+  DvfsSpec spec2;
+  spec2.cpu_dynamic_peak = common::Watts{0.0};
+  EXPECT_DEATH(DvfsPowerModel{spec2}, "dynamic peak");
+}
+
+}  // namespace
+}  // namespace eclb::energy

@@ -1,0 +1,141 @@
+#include "energy/power_model.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace eclb::energy {
+namespace {
+
+using common::Watts;
+
+TEST(LinearPowerModel, EndpointsMatchSpec) {
+  const LinearPowerModel m(Watts{200.0}, 0.5);
+  EXPECT_DOUBLE_EQ(m.power(0.0).value, 100.0);
+  EXPECT_DOUBLE_EQ(m.power(1.0).value, 200.0);
+  EXPECT_DOUBLE_EQ(m.peak_power().value, 200.0);
+  EXPECT_DOUBLE_EQ(m.idle_power().value, 100.0);
+}
+
+TEST(LinearPowerModel, MidpointIsLinear) {
+  const LinearPowerModel m(Watts{200.0}, 0.5);
+  EXPECT_DOUBLE_EQ(m.power(0.5).value, 150.0);
+  EXPECT_DOUBLE_EQ(m.power(0.25).value, 125.0);
+}
+
+TEST(LinearPowerModel, ClampsOutOfRangeUtilization) {
+  const LinearPowerModel m(Watts{100.0}, 0.4);
+  EXPECT_DOUBLE_EQ(m.power(-1.0).value, m.power(0.0).value);
+  EXPECT_DOUBLE_EQ(m.power(2.0).value, m.power(1.0).value);
+}
+
+TEST(LinearPowerModel, IdleFractionAndDynamicRange) {
+  const LinearPowerModel m(Watts{300.0}, 0.5);
+  EXPECT_DOUBLE_EQ(m.idle_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(m.dynamic_range(), 0.5);
+}
+
+TEST(LinearPowerModel, IdealProportionalServer) {
+  const LinearPowerModel ideal(Watts{100.0}, 0.0);
+  EXPECT_DOUBLE_EQ(ideal.power(0.0).value, 0.0);
+  EXPECT_DOUBLE_EQ(ideal.normalized_energy(0.3), 0.3);
+  EXPECT_DOUBLE_EQ(ideal.dynamic_range(), 1.0);
+}
+
+TEST(LinearPowerModel, NormalizedEnergyMatchesPaperPremise) {
+  // Section 2: an idle server draws as much as half the peak power.
+  const LinearPowerModel m(Watts{225.0}, 0.5);
+  EXPECT_DOUBLE_EQ(m.normalized_energy(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(m.normalized_energy(1.0), 1.0);
+  // b(a) = 0.5 + 0.5 a for the linear model.
+  EXPECT_DOUBLE_EQ(m.normalized_energy(0.3), 0.65);
+}
+
+TEST(PiecewisePowerModel, InterpolatesBetweenPoints) {
+  // Power at 0 %, 50 %, 100 %.
+  const PiecewisePowerModel m({Watts{100.0}, Watts{160.0}, Watts{200.0}});
+  EXPECT_DOUBLE_EQ(m.power(0.0).value, 100.0);
+  EXPECT_DOUBLE_EQ(m.power(0.5).value, 160.0);
+  EXPECT_DOUBLE_EQ(m.power(1.0).value, 200.0);
+  EXPECT_DOUBLE_EQ(m.power(0.25).value, 130.0);
+  EXPECT_DOUBLE_EQ(m.power(0.75).value, 180.0);
+}
+
+TEST(PiecewisePowerModel, ElevenPointSpecPowerStyle) {
+  std::vector<Watts> pts;
+  for (int i = 0; i <= 10; ++i) {
+    pts.push_back(Watts{100.0 + 10.0 * i});
+  }
+  const PiecewisePowerModel m(pts);
+  EXPECT_DOUBLE_EQ(m.power(0.33).value, 133.0);
+  EXPECT_DOUBLE_EQ(m.peak_power().value, 200.0);
+}
+
+TEST(PiecewisePowerModelDeathTest, RejectsDecreasingPoints) {
+  EXPECT_DEATH(PiecewisePowerModel({Watts{200.0}, Watts{100.0}}),
+               "non-decreasing");
+}
+
+TEST(SubsystemPowerModel, PeakIsSumOfParts) {
+  const SubsystemPowerModel m({{Watts{100.0}, 0.7}, {Watts{50.0}, 0.5}});
+  EXPECT_DOUBLE_EQ(m.peak_power().value, 150.0);
+  EXPECT_EQ(m.subsystem_count(), 2U);
+}
+
+TEST(SubsystemPowerModel, IdleReflectsDynamicRanges) {
+  const SubsystemPowerModel m({{Watts{100.0}, 0.7}, {Watts{50.0}, 0.2}});
+  // Idle: 100 * 0.3 + 50 * 0.8 = 70.
+  EXPECT_DOUBLE_EQ(m.power(0.0).value, 70.0);
+  EXPECT_DOUBLE_EQ(m.power(1.0).value, 150.0);
+}
+
+TEST(SubsystemPowerModel, TypicalVolumeServerMatchesSection2) {
+  const auto m = SubsystemPowerModel::typical_volume_server();
+  // Section 2 dynamic ranges: CPU has the widest; the composed server idles
+  // well above half of peak minus the CPU contribution.
+  EXPECT_EQ(m.subsystem_count(), 4U);
+  EXPECT_GT(m.idle_fraction(), 0.3);
+  EXPECT_LT(m.idle_fraction(), 0.7);
+  EXPECT_GT(m.peak_power().value, 300.0);
+}
+
+TEST(PowerModel, UtilizationInversionRoundTrips) {
+  const LinearPowerModel m(Watts{200.0}, 0.5);
+  for (double a : {0.0, 0.1, 0.35, 0.5, 0.9, 1.0}) {
+    const double b = m.normalized_energy(a);
+    EXPECT_NEAR(utilization_for_normalized_energy(m, b), a, 1e-9);
+  }
+}
+
+TEST(PowerModel, InversionClampsOutOfRange) {
+  const LinearPowerModel m(Watts{200.0}, 0.5);
+  EXPECT_DOUBLE_EQ(utilization_for_normalized_energy(m, 0.1), 0.0);  // below idle
+  EXPECT_DOUBLE_EQ(utilization_for_normalized_energy(m, 1.5), 1.0);  // above peak
+}
+
+// Property sweep: every model is monotone non-decreasing and bounded by
+// [idle, peak] on a utilization grid.
+class PowerModelMonotonicity
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PowerModelMonotonicity, LinearModelIsMonotoneAndBounded) {
+  const auto [peak, idle_fraction] = GetParam();
+  const LinearPowerModel m(Watts{peak}, idle_fraction);
+  double prev = -1.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double u = i / 100.0;
+    const double p = m.power(u).value;
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, m.idle_power().value - 1e-12);
+    EXPECT_LE(p, m.peak_power().value + 1e-12);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PowerModelMonotonicity,
+    ::testing::Combine(::testing::Values(100.0, 225.0, 675.0, 8163.0),
+                       ::testing::Values(0.0, 0.3, 0.5, 0.8)));
+
+}  // namespace
+}  // namespace eclb::energy

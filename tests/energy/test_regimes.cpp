@@ -1,0 +1,135 @@
+#include "energy/regimes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "energy/power_model.h"
+
+namespace eclb::energy {
+namespace {
+
+RegimeThresholds fixed() {
+  RegimeThresholds t;
+  t.alpha_sopt_low = 0.22;
+  t.alpha_opt_low = 0.35;
+  t.alpha_opt_high = 0.70;
+  t.alpha_sopt_high = 0.82;
+  return t;
+}
+
+TEST(Regimes, Names) {
+  EXPECT_EQ(to_string(Regime::kR1UndesirableLow), "R1");
+  EXPECT_EQ(to_string(Regime::kR3Optimal), "R3");
+  EXPECT_EQ(to_string(Regime::kR5UndesirableHigh), "R5");
+}
+
+TEST(Regimes, IndexRoundTrip) {
+  for (std::size_t i = 0; i < kRegimeCount; ++i) {
+    EXPECT_EQ(regime_index(regime_from_index(i)), i);
+  }
+  EXPECT_EQ(regime_index(Regime::kR1UndesirableLow), 0U);
+  EXPECT_EQ(regime_index(Regime::kR5UndesirableHigh), 4U);
+}
+
+TEST(Regimes, ClassifyInteriorPoints) {
+  const auto t = fixed();
+  EXPECT_EQ(t.classify(0.10), Regime::kR1UndesirableLow);
+  EXPECT_EQ(t.classify(0.30), Regime::kR2SuboptimalLow);
+  EXPECT_EQ(t.classify(0.50), Regime::kR3Optimal);
+  EXPECT_EQ(t.classify(0.75), Regime::kR4SuboptimalHigh);
+  EXPECT_EQ(t.classify(0.95), Regime::kR5UndesirableHigh);
+}
+
+TEST(Regimes, ClassifyBoundaries) {
+  const auto t = fixed();
+  // The optimal region is closed; undesirable regions open at inner edges.
+  EXPECT_EQ(t.classify(0.22), Regime::kR2SuboptimalLow);
+  EXPECT_EQ(t.classify(0.35), Regime::kR3Optimal);
+  EXPECT_EQ(t.classify(0.70), Regime::kR3Optimal);
+  EXPECT_EQ(t.classify(0.82), Regime::kR4SuboptimalHigh);
+  EXPECT_EQ(t.classify(0.0), Regime::kR1UndesirableLow);
+  EXPECT_EQ(t.classify(1.0), Regime::kR5UndesirableHigh);
+}
+
+TEST(Regimes, OptimalCenter) {
+  const auto t = fixed();
+  EXPECT_DOUBLE_EQ(t.optimal_center(), 0.525);
+  EXPECT_EQ(t.classify(t.optimal_center()), Regime::kR3Optimal);
+}
+
+TEST(Regimes, DefaultThresholdsValid) {
+  EXPECT_TRUE(RegimeThresholds{}.valid());
+}
+
+TEST(Regimes, InvalidOrderingDetected) {
+  RegimeThresholds t = fixed();
+  t.alpha_opt_low = 0.9;  // above opt_high
+  EXPECT_FALSE(t.valid());
+  t = fixed();
+  t.alpha_sopt_high = 1.0;  // must be < 1
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(Regimes, SampleWithinSection4Ranges) {
+  common::Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const auto t = RegimeThresholds::sample(rng);
+    EXPECT_TRUE(t.valid());
+    EXPECT_GE(t.alpha_sopt_low, 0.20);
+    EXPECT_LE(t.alpha_sopt_low, 0.25);
+    EXPECT_GE(t.alpha_opt_low, 0.25);
+    EXPECT_LE(t.alpha_opt_low, 0.45);
+    EXPECT_GE(t.alpha_opt_high, 0.55);
+    EXPECT_LE(t.alpha_opt_high, 0.80);
+    EXPECT_GE(t.alpha_sopt_high, 0.80);
+    EXPECT_LE(t.alpha_sopt_high, 0.85);
+  }
+}
+
+TEST(Regimes, SampleIsHeterogeneous) {
+  common::Rng rng(7);
+  const auto a = RegimeThresholds::sample(rng);
+  const auto b = RegimeThresholds::sample(rng);
+  EXPECT_NE(a.alpha_opt_low, b.alpha_opt_low);
+}
+
+TEST(Regimes, EnergyBoundariesThroughLinearModel) {
+  const auto t = fixed();
+  const LinearPowerModel m(common::Watts{200.0}, 0.5);
+  const auto b = energy_boundaries(t, m);
+  EXPECT_DOUBLE_EQ(b.beta_0, 0.5);
+  EXPECT_DOUBLE_EQ(b.beta_sopt_low, 0.5 + 0.5 * 0.22);
+  EXPECT_DOUBLE_EQ(b.beta_opt_low, 0.5 + 0.5 * 0.35);
+  EXPECT_DOUBLE_EQ(b.beta_opt_high, 0.5 + 0.5 * 0.70);
+  EXPECT_DOUBLE_EQ(b.beta_sopt_high, 0.5 + 0.5 * 0.82);
+  // Beta boundaries are ordered like the alpha thresholds (monotone model).
+  EXPECT_LT(b.beta_0, b.beta_sopt_low);
+  EXPECT_LT(b.beta_sopt_low, b.beta_opt_low);
+  EXPECT_LT(b.beta_opt_low, b.beta_opt_high);
+  EXPECT_LT(b.beta_opt_high, b.beta_sopt_high);
+}
+
+// Property: classification is total and monotone in load -- as load grows
+// the regime index never decreases.
+class RegimeMonotoneSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegimeMonotoneSweep, ClassificationMonotoneInLoad) {
+  common::Rng rng(GetParam());
+  const auto t = RegimeThresholds::sample(rng);
+  std::size_t prev = 0;
+  for (int i = 0; i <= 1000; ++i) {
+    const double a = i / 1000.0;
+    const std::size_t idx = regime_index(t.classify(a));
+    EXPECT_GE(idx, prev) << "load " << a;
+    EXPECT_LT(idx, kRegimeCount);
+    prev = idx;
+  }
+  EXPECT_EQ(t.classify(0.0), Regime::kR1UndesirableLow);
+  EXPECT_EQ(t.classify(1.0), Regime::kR5UndesirableHigh);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegimeMonotoneSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace eclb::energy

@@ -1,0 +1,72 @@
+#include "energy/server_power_data.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::energy {
+namespace {
+
+TEST(ServerPowerData, Names) {
+  EXPECT_EQ(to_string(ServerClass::kVolume), "volume");
+  EXPECT_EQ(to_string(ServerClass::kMidRange), "mid-range");
+  EXPECT_EQ(to_string(ServerClass::kHighEnd), "high-end");
+}
+
+TEST(ServerPowerData, Table1CornerValues) {
+  // Spot-check Table 1 of the paper.
+  EXPECT_DOUBLE_EQ(average_server_power(ServerClass::kVolume, 2000)->value, 186.0);
+  EXPECT_DOUBLE_EQ(average_server_power(ServerClass::kVolume, 2006)->value, 225.0);
+  EXPECT_DOUBLE_EQ(average_server_power(ServerClass::kMidRange, 2000)->value, 424.0);
+  EXPECT_DOUBLE_EQ(average_server_power(ServerClass::kMidRange, 2006)->value, 675.0);
+  EXPECT_DOUBLE_EQ(average_server_power(ServerClass::kHighEnd, 2000)->value, 5534.0);
+  EXPECT_DOUBLE_EQ(average_server_power(ServerClass::kHighEnd, 2006)->value, 8163.0);
+}
+
+TEST(ServerPowerData, MidYears) {
+  EXPECT_DOUBLE_EQ(average_server_power(ServerClass::kVolume, 2003)->value, 207.0);
+  EXPECT_DOUBLE_EQ(average_server_power(ServerClass::kHighEnd, 2004)->value, 6973.0);
+}
+
+TEST(ServerPowerData, OutOfRangeYears) {
+  EXPECT_FALSE(average_server_power(ServerClass::kVolume, 1999).has_value());
+  EXPECT_FALSE(average_server_power(ServerClass::kVolume, 2007).has_value());
+}
+
+TEST(ServerPowerData, RowsAreIncreasingOverTime) {
+  // The paper's observation: power consumption of servers has increased.
+  for (auto c : {ServerClass::kVolume, ServerClass::kMidRange,
+                 ServerClass::kHighEnd}) {
+    const auto row = power_row(c);
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      EXPECT_GT(row[i].value, row[i - 1].value);
+    }
+  }
+}
+
+TEST(ServerPowerData, GrowthRatesPositiveAndPlausible) {
+  for (auto c : {ServerClass::kVolume, ServerClass::kMidRange,
+                 ServerClass::kHighEnd}) {
+    const double g = power_growth_rate(c);
+    EXPECT_GT(g, 0.0);
+    EXPECT_LT(g, 0.10);  // single-digit percent per year
+  }
+  // Mid-range grew fastest in the dataset (~8 %/yr).
+  EXPECT_GT(power_growth_rate(ServerClass::kMidRange),
+            power_growth_rate(ServerClass::kVolume));
+}
+
+TEST(ServerPowerData, DefaultPeakIsMostRecentYear) {
+  EXPECT_DOUBLE_EQ(default_peak_power(ServerClass::kVolume).value, 225.0);
+  EXPECT_DOUBLE_EQ(default_peak_power(ServerClass::kHighEnd).value, 8163.0);
+}
+
+TEST(ServerPowerData, ClassesAreOrderedByPower) {
+  for (int year = kPowerDataFirstYear; year <= kPowerDataLastYear; ++year) {
+    EXPECT_LT(average_server_power(ServerClass::kVolume, year)->value,
+              average_server_power(ServerClass::kMidRange, year)->value);
+    EXPECT_LT(average_server_power(ServerClass::kMidRange, year)->value,
+              average_server_power(ServerClass::kHighEnd, year)->value);
+  }
+}
+
+}  // namespace
+}  // namespace eclb::energy

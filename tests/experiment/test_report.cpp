@@ -1,0 +1,81 @@
+#include "experiment/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace eclb::experiment {
+namespace {
+
+AggregateOutcome small_outcome() {
+  auto cfg = paper_cluster_config(60, AverageLoad::kLow30, 3);
+  return run_experiment(cfg, 5, 2);
+}
+
+TEST(Report, RegimePanelListsAllRegimes) {
+  const auto outcome = small_outcome();
+  std::ostringstream out;
+  print_regime_panel(out, "Panel (a)", outcome);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("Panel (a)"), std::string::npos);
+  for (const char* name : {"R1", "R2", "R3", "R4", "R5"}) {
+    EXPECT_NE(s.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(s.find("Initial servers"), std::string::npos);
+  EXPECT_NE(s.find("Final servers"), std::string::npos);
+}
+
+TEST(Report, RatioPanelHasOneRowPerInterval) {
+  const auto outcome = small_outcome();
+  std::ostringstream out;
+  print_ratio_panel(out, "Panel (b)", outcome);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("Panel (b)"), std::string::npos);
+  EXPECT_NE(s.find("shape:"), std::string::npos);
+  // 5 intervals -> rows labelled 0..4.
+  EXPECT_NE(s.find("| 4 "), std::string::npos);
+}
+
+TEST(Report, Table2RowCapturesAggregates) {
+  const auto outcome = small_outcome();
+  const auto row = make_table2_row("(a)", 60, AverageLoad::kLow30, outcome);
+  EXPECT_EQ(row.plot_label, "(a)");
+  EXPECT_EQ(row.cluster_size, 60U);
+  EXPECT_DOUBLE_EQ(row.average_ratio, outcome.average_ratio.mean());
+  EXPECT_DOUBLE_EQ(row.ratio_stddev, outcome.ratio_stddev.mean());
+  EXPECT_DOUBLE_EQ(row.sleepers, outcome.deep_sleepers.mean());
+}
+
+TEST(Report, Table2PrintsAllRows) {
+  const auto outcome = small_outcome();
+  std::vector<Table2Row> rows;
+  rows.push_back(make_table2_row("(a)", 60, AverageLoad::kLow30, outcome));
+  rows.push_back(make_table2_row("(b)", 60, AverageLoad::kHigh70, outcome));
+  std::ostringstream out;
+  print_table2(out, rows);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("(a)"), std::string::npos);
+  EXPECT_NE(s.find("(b)"), std::string::npos);
+  EXPECT_NE(s.find("30%"), std::string::npos);
+  EXPECT_NE(s.find("70%"), std::string::npos);
+  EXPECT_NE(s.find("Average ratio"), std::string::npos);
+}
+
+TEST(Report, SparklineShapes) {
+  EXPECT_EQ(sparkline({}), "");
+  const std::string flat = sparkline({1.0, 1.0, 1.0});
+  EXPECT_EQ(flat.size(), 3U);
+  const std::string ramp = sparkline({0.0, 0.5, 1.0});
+  EXPECT_EQ(ramp.front(), ' ');
+  EXPECT_EQ(ramp.back(), '#');
+}
+
+TEST(Report, SparklineHandlesNegativeValues) {
+  const std::string s = sparkline({-1.0, 0.0, 1.0});
+  EXPECT_EQ(s.size(), 3U);
+  EXPECT_EQ(s.front(), ' ');
+  EXPECT_EQ(s.back(), '#');
+}
+
+}  // namespace
+}  // namespace eclb::experiment

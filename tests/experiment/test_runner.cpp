@@ -1,0 +1,91 @@
+#include "experiment/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "experiment/scenario.h"
+
+namespace eclb::experiment {
+namespace {
+
+cluster::ClusterConfig tiny(AverageLoad load) {
+  auto cfg = paper_cluster_config(60, load, 5);
+  return cfg;
+}
+
+TEST(Runner, ReplicationCollectsSeries) {
+  const auto outcome = run_replication(tiny(AverageLoad::kLow30), 10);
+  EXPECT_EQ(outcome.reports.size(), 10U);
+  EXPECT_EQ(outcome.ratio_series.size(), 10U);
+  EXPECT_EQ(outcome.seed, 5U);
+  EXPECT_GT(outcome.total_energy.value, 0.0);
+}
+
+TEST(Runner, ReplicationHistogramsCoverCluster) {
+  const auto outcome = run_replication(tiny(AverageLoad::kLow30), 10);
+  std::size_t initial_total = 0;
+  for (auto h : outcome.initial_histogram) initial_total += h;
+  EXPECT_EQ(initial_total, 60U);
+  std::size_t final_total = 0;
+  for (auto h : outcome.final_histogram) final_total += h;
+  EXPECT_EQ(final_total + outcome.final_parked + outcome.final_deep_sleeping,
+            60U);
+}
+
+TEST(Runner, ReplicationStatsMatchSeries) {
+  const auto outcome = run_replication(tiny(AverageLoad::kHigh70), 10);
+  common::RunningStats check;
+  for (double r : outcome.ratio_series.y) check.add(r);
+  EXPECT_NEAR(outcome.average_ratio, check.mean(), 1e-12);
+  EXPECT_NEAR(outcome.ratio_stddev, check.stddev(), 1e-12);
+}
+
+TEST(Runner, ExperimentAggregatesReplications) {
+  const auto agg = run_experiment(tiny(AverageLoad::kLow30), 8, 3);
+  EXPECT_EQ(agg.replications.size(), 3U);
+  EXPECT_EQ(agg.mean_ratio_series.size(), 8U);
+  EXPECT_EQ(agg.average_ratio.count(), 3U);
+  // Distinct seeds.
+  EXPECT_EQ(agg.replications[0].seed, 5U);
+  EXPECT_EQ(agg.replications[1].seed, 6U);
+  EXPECT_EQ(agg.replications[2].seed, 7U);
+}
+
+TEST(Runner, MeanSeriesIsMeanOfReplications) {
+  const auto agg = run_experiment(tiny(AverageLoad::kLow30), 5, 2);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double expected = 0.5 * (agg.replications[0].ratio_series.y[i] +
+                                   agg.replications[1].ratio_series.y[i]);
+    EXPECT_NEAR(agg.mean_ratio_series.y[i], expected, 1e-12);
+  }
+}
+
+TEST(Runner, MeanHistogramsAreAverages) {
+  const auto agg = run_experiment(tiny(AverageLoad::kHigh70), 3, 2);
+  for (std::size_t b = 0; b < energy::kRegimeCount; ++b) {
+    const double expected =
+        0.5 * (static_cast<double>(agg.replications[0].initial_histogram[b]) +
+               static_cast<double>(agg.replications[1].initial_histogram[b]));
+    EXPECT_NEAR(agg.mean_initial_histogram[b], expected, 1e-12);
+  }
+}
+
+TEST(Runner, ParallelMatchesSerial) {
+  common::ThreadPool pool(2);
+  const auto serial = run_experiment(tiny(AverageLoad::kLow30), 6, 3, nullptr);
+  const auto parallel = run_experiment(tiny(AverageLoad::kLow30), 6, 3, &pool);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(serial.mean_ratio_series.y[i],
+                     parallel.mean_ratio_series.y[i]);
+  }
+  EXPECT_DOUBLE_EQ(serial.average_ratio.mean(), parallel.average_ratio.mean());
+}
+
+TEST(Runner, DeterministicAcrossCalls) {
+  const auto a = run_experiment(tiny(AverageLoad::kHigh70), 6, 2);
+  const auto b = run_experiment(tiny(AverageLoad::kHigh70), 6, 2);
+  EXPECT_DOUBLE_EQ(a.average_ratio.mean(), b.average_ratio.mean());
+  EXPECT_DOUBLE_EQ(a.energy_kwh.mean(), b.energy_kwh.mean());
+}
+
+}  // namespace
+}  // namespace eclb::experiment

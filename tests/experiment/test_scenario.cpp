@@ -1,0 +1,55 @@
+#include "experiment/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::experiment {
+namespace {
+
+TEST(Scenario, LoadNames) {
+  EXPECT_EQ(to_string(AverageLoad::kLow30), "30%");
+  EXPECT_EQ(to_string(AverageLoad::kHigh70), "70%");
+}
+
+TEST(Scenario, LowLoadRange) {
+  const auto cfg = paper_cluster_config(100, AverageLoad::kLow30, 1);
+  EXPECT_EQ(cfg.server_count, 100U);
+  EXPECT_DOUBLE_EQ(cfg.initial_load_min, 0.2);
+  EXPECT_DOUBLE_EQ(cfg.initial_load_max, 0.4);
+  EXPECT_EQ(cfg.seed, 1U);
+}
+
+TEST(Scenario, HighLoadRange) {
+  const auto cfg = paper_cluster_config(1000, AverageLoad::kHigh70, 9);
+  EXPECT_DOUBLE_EQ(cfg.initial_load_min, 0.6);
+  EXPECT_DOUBLE_EQ(cfg.initial_load_max, 0.8);
+}
+
+TEST(Scenario, Section4Defaults) {
+  const auto cfg = paper_cluster_config(100, AverageLoad::kLow30, 1);
+  // Threshold sampling ranges straight from Section 4.
+  EXPECT_DOUBLE_EQ(cfg.threshold_ranges.sopt_low_min, 0.20);
+  EXPECT_DOUBLE_EQ(cfg.threshold_ranges.sopt_low_max, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.threshold_ranges.opt_low_min, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.threshold_ranges.opt_low_max, 0.45);
+  EXPECT_DOUBLE_EQ(cfg.threshold_ranges.opt_high_min, 0.55);
+  EXPECT_DOUBLE_EQ(cfg.threshold_ranges.opt_high_max, 0.80);
+  EXPECT_DOUBLE_EQ(cfg.threshold_ranges.sopt_high_min, 0.80);
+  EXPECT_DOUBLE_EQ(cfg.threshold_ranges.sopt_high_max, 0.85);
+  // Section 6's 60 % rule.
+  EXPECT_DOUBLE_EQ(cfg.sleep_state_load_threshold, 0.60);
+  EXPECT_TRUE(cfg.allow_sleep);
+}
+
+TEST(Scenario, PaperConstants) {
+  EXPECT_EQ(kPaperIntervals, 40U);
+  ASSERT_EQ(kPaperClusterSizes.size(), 3U);
+  EXPECT_EQ(kPaperClusterSizes[0], 100U);
+  EXPECT_EQ(kPaperClusterSizes[1], 1000U);
+  EXPECT_EQ(kPaperClusterSizes[2], 10000U);
+  ASSERT_EQ(kSmallClusterSizes.size(), 4U);
+  EXPECT_EQ(kSmallClusterSizes[0], 20U);
+  EXPECT_EQ(kSmallClusterSizes[3], 80U);
+}
+
+}  // namespace
+}  // namespace eclb::experiment

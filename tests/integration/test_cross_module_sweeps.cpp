@@ -1,0 +1,192 @@
+// Cross-module parameterized sweeps: invariants that must hold for every
+// policy x workload combination (farm) and across the storage parameter
+// grid -- the broad-coverage counterpart of the focused unit tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "policy/farm.h"
+#include "policy/policies.h"
+#include "storage/storage_sim.h"
+#include "workload/profile.h"
+#include "workload/trace.h"
+
+namespace eclb {
+namespace {
+
+using common::Rng;
+using common::Seconds;
+
+// ---------------------------------------------------------------------------
+// Farm sweep: every standard policy on every workload class.
+// ---------------------------------------------------------------------------
+
+struct FarmSweepParam {
+  std::size_t policy_index;
+  const char* workload;
+};
+
+std::vector<std::string> farm_policy_names() {
+  std::vector<std::string> names;
+  for (const auto& p : policy::standard_policies()) {
+    names.emplace_back(p->name());
+  }
+  return names;
+}
+
+workload::Trace make_trace(const std::string& kind) {
+  Rng rng(31);
+  const Seconds day{24.0 * 3600.0};
+  std::shared_ptr<const workload::Profile> profile;
+  if (kind == "diurnal") {
+    profile = std::make_shared<workload::DiurnalProfile>(40.0, 25.0, day);
+  } else if (kind == "spiky") {
+    workload::SpikyProfile::Params sp;
+    sp.base = 25.0;
+    profile = std::make_shared<workload::SpikyProfile>(sp, rng);
+  } else if (kind == "walk") {
+    workload::RandomWalkProfile::Params rw;
+    rw.start = 40.0;
+    rw.ceiling = 85.0;
+    profile = std::make_shared<workload::RandomWalkProfile>(rw, rng);
+  } else {
+    profile = std::make_shared<workload::ConstantProfile>(35.0);
+  }
+  return workload::sample(*profile, Seconds{60.0}, day);
+}
+
+class FarmPolicySweep : public ::testing::TestWithParam<FarmSweepParam> {};
+
+TEST_P(FarmPolicySweep, UniversalFarmInvariants) {
+  const auto [policy_index, workload_kind] = GetParam();
+  auto policies = policy::standard_policies();
+  ASSERT_LT(policy_index, policies.size());
+  auto& policy = *policies[policy_index];
+  const auto trace = make_trace(workload_kind);
+
+  policy::FarmConfig fc;
+  fc.server_count = 100;
+  const auto r = policy::FarmSimulator(fc).run(policy, trace);
+
+  // 1. Every step is accounted for.
+  EXPECT_EQ(r.steps, trace.size());
+  // 2. Energy is positive and never exceeds the whole farm at peak power
+  //    (plus wake overhead headroom).
+  EXPECT_GT(r.energy.value, 0.0);
+  const double peak_bound = fc.peak_power.value * 100.0 *
+                            fc.step.value * static_cast<double>(r.steps) * 1.05;
+  EXPECT_LT(r.energy.value, peak_bound);
+  // 3. Awake count respects bounds at every step.
+  for (double awake : r.awake_series.y) {
+    EXPECT_GE(awake, static_cast<double>(fc.min_awake));
+    EXPECT_LE(awake, static_cast<double>(fc.server_count));
+  }
+  // 4. Violation accounting is consistent.
+  EXPECT_LE(r.violation_steps, r.steps);
+  if (r.violation_steps == 0) {
+    EXPECT_DOUBLE_EQ(r.unserved_demand, 0.0);
+  } else {
+    EXPECT_GT(r.unserved_demand, 0.0);
+  }
+  // 5. No policy beats the physical floor: serving the demand with perfectly
+  //    proportional, zero-idle servers.
+  double demand_integral = 0.0;
+  for (double d : r.demand_series.y) demand_integral += d;
+  const double floor = fc.peak_power.value * (1.0 - fc.idle_power_fraction) *
+                       demand_integral * fc.step.value;
+  EXPECT_GT(r.energy.value, 0.5 * floor);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesByWorkloads, FarmPolicySweep,
+    ::testing::Values(
+        FarmSweepParam{0, "diurnal"}, FarmSweepParam{0, "spiky"},
+        FarmSweepParam{0, "walk"}, FarmSweepParam{0, "constant"},
+        FarmSweepParam{1, "diurnal"}, FarmSweepParam{1, "spiky"},
+        FarmSweepParam{1, "walk"}, FarmSweepParam{1, "constant"},
+        FarmSweepParam{2, "diurnal"}, FarmSweepParam{2, "spiky"},
+        FarmSweepParam{3, "diurnal"}, FarmSweepParam{3, "spiky"},
+        FarmSweepParam{4, "diurnal"}, FarmSweepParam{4, "walk"},
+        FarmSweepParam{5, "diurnal"}, FarmSweepParam{5, "walk"}),
+    [](const ::testing::TestParamInfo<FarmSweepParam>& param_info) {
+      static const auto names = farm_policy_names();
+      std::string n = names.at(param_info.param.policy_index) + "_" +
+                      param_info.param.workload;
+      for (char& c : n) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return n;
+    });
+
+// ---------------------------------------------------------------------------
+// Storage sweep: invariants across skew and replica capacity.
+// ---------------------------------------------------------------------------
+
+class StorageSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(StorageSweep, UniversalStorageInvariants) {
+  const auto [zipf, capacity] = GetParam();
+  storage::StorageSimConfig cfg;
+  cfg.home_disks = 8;
+  cfg.active_disks = 1;
+  cfg.files = 400;
+  cfg.zipf_exponent = zipf;
+  cfg.requests_per_second = 2.0;
+  cfg.horizon = Seconds{1200.0};
+  cfg.seed = 5;
+  const storage::StorageSimulator sim(cfg);
+
+  storage::NoReplication none;
+  storage::SlidingWindowReplication window(capacity, Seconds{300.0});
+  const auto r_none = sim.run(none);
+  const auto r_window = sim.run(window);
+
+  // Conservation: both serve the full stream.
+  EXPECT_EQ(r_none.requests, r_window.requests);
+  EXPECT_EQ(r_none.replica_hits, 0U);
+  // Hit rate bounded and grows with skew/capacity trends are covered
+  // elsewhere; here: sanity bounds.
+  EXPECT_GE(r_window.hit_rate(), 0.0);
+  EXPECT_LE(r_window.hit_rate(), 1.0);
+  // Energy positive.  Replication usually shrinks the home-disk bill, but
+  // at weak skew the thinned traffic can straddle the spin-down breakeven
+  // and cost slightly *more* (spin-up churn) -- so the universal invariant
+  // is only a bounded deviation; the strict-savings claim is tested in the
+  // high-skew regime where [25] makes it.
+  EXPECT_GT(r_none.total_energy.value, 0.0);
+  EXPECT_LE(r_window.home_disk_energy.value,
+            1.10 * r_none.home_disk_energy.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SkewByCapacity, StorageSweep,
+    ::testing::Combine(::testing::Values(0.6, 0.9, 1.2),
+                       ::testing::Values(std::size_t{16}, std::size_t{64},
+                                         std::size_t{256})));
+
+// ---------------------------------------------------------------------------
+// Capacity monotonicity: more replica slots never reduce the hit rate.
+// ---------------------------------------------------------------------------
+
+TEST(StorageMonotonicity, HitRateGrowsWithCapacity) {
+  storage::StorageSimConfig cfg;
+  cfg.home_disks = 8;
+  cfg.active_disks = 1;
+  cfg.files = 400;
+  cfg.zipf_exponent = 1.0;
+  cfg.requests_per_second = 2.0;
+  cfg.horizon = Seconds{1200.0};
+  cfg.seed = 9;
+  const storage::StorageSimulator sim(cfg);
+  double prev = -1.0;
+  for (std::size_t capacity : {8U, 32U, 128U, 512U}) {
+    storage::SlidingWindowReplication window(capacity, Seconds{600.0});
+    const double rate = sim.run(window).hit_rate();
+    EXPECT_GE(rate, prev) << capacity;
+    prev = rate;
+  }
+}
+
+}  // namespace
+}  // namespace eclb

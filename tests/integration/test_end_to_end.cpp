@@ -1,0 +1,159 @@
+// End-to-end checks that the full stack reproduces the qualitative results
+// of Section 5 at test-friendly scale.
+#include <gtest/gtest.h>
+
+#include "analytic/homogeneous_model.h"
+#include "experiment/report.h"
+#include "experiment/runner.h"
+#include "experiment/scenario.h"
+#include "policy/farm.h"
+#include "policy/policies.h"
+#include "workload/trace.h"
+
+namespace eclb {
+namespace {
+
+using experiment::AverageLoad;
+
+experiment::AggregateOutcome run_scaled(std::size_t n, AverageLoad load,
+                                        std::size_t intervals = 40) {
+  auto cfg = experiment::paper_cluster_config(n, load, 11);
+  return experiment::run_experiment(cfg, intervals, 2);
+}
+
+TEST(EndToEnd, Figure2LowLoadShape) {
+  const auto outcome = run_scaled(200, AverageLoad::kLow30);
+  const auto& init = outcome.mean_initial_histogram;
+  const auto& fin = outcome.mean_final_histogram;
+  // Initially mass sits left of / in the optimal region, none above it.
+  EXPECT_NEAR(init[3], 0.0, 0.1);
+  EXPECT_NEAR(init[4], 0.0, 0.1);
+  EXPECT_GT(init[0] + init[1], 0.0);
+  // After balancing the undesirable share of awake servers is small
+  // ("almost 4%" in the paper); allow up to 10 % at this small scale.
+  double awake_total = 0.0;
+  for (double v : fin) awake_total += v;
+  if (awake_total > 0.0) {
+    EXPECT_LT((fin[0] + fin[4]) / awake_total, 0.10);
+  }
+  // The optimal region gained servers.
+  EXPECT_GT(fin[2], init[2]);
+}
+
+TEST(EndToEnd, Figure2HighLoadShape) {
+  const auto outcome = run_scaled(200, AverageLoad::kHigh70);
+  const auto& init = outcome.mean_initial_histogram;
+  const auto& fin = outcome.mean_final_histogram;
+  // Initially mass sits right of / in the optimal region.
+  EXPECT_NEAR(init[0], 0.0, 0.1);
+  EXPECT_NEAR(init[1], 0.0, 0.1);
+  // After balancing the cluster still runs hot (demand exceeds the
+  // below-optimal-high capacity at 70 % load, so a large R4 share is
+  // structural -- the paper's final histograms show the same), but the
+  // undesirable regimes stay marginal and the optimal+suboptimal regimes
+  // dominate, matching Figure 2 (b)/(d)/(f).
+  double awake_total = 0.0;
+  for (double v : fin) awake_total += v;
+  ASSERT_GT(awake_total, 0.0);
+  EXPECT_LT(fin[4] / awake_total, 0.05);            // R5 nearly empty
+  EXPECT_LT((fin[0] + fin[4]) / awake_total, 0.10); // undesirable small
+  EXPECT_GT((fin[2] + fin[3]) / awake_total, 0.90); // R3+R4 carry the load
+  EXPECT_GT(fin[2] / awake_total, 0.30);            // optimal well populated
+}
+
+TEST(EndToEnd, Figure3RatioDecays) {
+  // Low-cost local decisions become dominant as the system stabilizes: the
+  // mean ratio over the last 10 intervals is below the first-5-interval mean.
+  for (auto load : {AverageLoad::kLow30, AverageLoad::kHigh70}) {
+    const auto outcome = run_scaled(200, load);
+    const auto& y = outcome.mean_ratio_series.y;
+    ASSERT_EQ(y.size(), 40U);
+    double early = 0.0;
+    for (std::size_t i = 0; i < 5; ++i) early += y[i];
+    early /= 5.0;
+    double late = 0.0;
+    for (std::size_t i = 30; i < 40; ++i) late += y[i];
+    late /= 10.0;
+    EXPECT_LT(late, early) << to_string(load);
+    EXPECT_LT(late, 1.0) << to_string(load);  // local decisions dominate
+  }
+}
+
+TEST(EndToEnd, Figure3HighLoadConvergesFaster) {
+  // Paper: high load becomes local-dominant after ~5 intervals, low load
+  // after ~20.  Check the high-load series drops below its own mean sooner.
+  const auto low = run_scaled(300, AverageLoad::kLow30);
+  const auto high = run_scaled(300, AverageLoad::kHigh70);
+  auto first_below = [](const std::vector<double>& y, double level) {
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      if (y[i] <= level) return i;
+    }
+    return y.size();
+  };
+  const std::size_t high_conv = first_below(high.mean_ratio_series.y, 1.0);
+  EXPECT_LE(high_conv, 5U);
+}
+
+TEST(EndToEnd, Table2NoSleepersAtHighLoad) {
+  const auto outcome = run_scaled(300, AverageLoad::kHigh70);
+  EXPECT_NEAR(outcome.deep_sleepers.mean(), 0.0, 1e-9);
+}
+
+TEST(EndToEnd, Table2SleepersGrowWithClusterSize) {
+  // The cluster-size dependence of Table 2: deep sleepers per server grow
+  // with n at low load (guardrail granularity).
+  const auto small = run_scaled(100, AverageLoad::kLow30, 20);
+  const auto large = run_scaled(600, AverageLoad::kLow30, 20);
+  EXPECT_NEAR(small.deep_sleepers.mean(), 0.0, 1e-9);  // floor(0.8) = 0
+  EXPECT_GT(large.deep_sleepers.mean(), 1.0);
+}
+
+TEST(EndToEnd, EnergyAwarePolicyBeatsAlwaysOnInCluster) {
+  // Consolidation + sleep must save energy versus the same cluster with
+  // sleeping disabled, at low load, without demand growth noise.
+  auto cfg = experiment::paper_cluster_config(500, AverageLoad::kLow30, 3);
+  cfg.demand_change_probability = 0.0;
+  auto always_on = cfg;
+  always_on.allow_sleep = false;
+  const auto with_sleep = experiment::run_replication(cfg, 30);
+  const auto without = experiment::run_replication(always_on, 30);
+  EXPECT_LT(with_sleep.total_energy.value, without.total_energy.value);
+}
+
+TEST(EndToEnd, Equation13AgainstFarmSimulation) {
+  // The homogeneous model's 2.25x is an idealized bound; an actual farm
+  // (with transition costs) consolidating from a_avg=0.3 to a_opt=0.9
+  // should realize a large fraction of it.
+  const auto model = analytic::paper_example();
+  EXPECT_NEAR(model.energy_ratio(), 2.25, 1e-12);
+
+  policy::FarmConfig fc;
+  fc.server_count = 90;
+  fc.target_utilization = 0.9;  // a_opt
+  const policy::FarmSimulator sim(fc);
+  // Constant demand = 27 server-capacities (a_avg = 0.3 across 90 servers).
+  const workload::Trace flat(common::Seconds{60.0},
+                             std::vector<double>(240, 27.0));
+  policy::ReactivePolicy reactive;
+  const auto consolidated = sim.run(reactive, flat);
+  policy::AlwaysOnPolicy everyone;
+  const auto reference = sim.run(everyone, flat);
+  const double realized =
+      reference.energy.value / consolidated.energy.value;
+  // Idealized 2.25; the farm has idle-power floors at partial utilization
+  // and transition overhead, so expect well above 1.5.
+  EXPECT_GT(realized, 1.5);
+  EXPECT_LT(realized, 2.6);
+}
+
+TEST(EndToEnd, MigrationCostsAccumulateInClusterEnergy) {
+  auto cfg = experiment::paper_cluster_config(120, AverageLoad::kHigh70, 13);
+  cluster::Cluster with_migrations(cfg);
+  auto r = with_migrations.step();
+  ASSERT_GT(r.migrations, 0U);
+  // In-cluster decision cost ledger is populated and priced above vertical.
+  EXPECT_GT(with_migrations.in_cluster_cost_total().energy.value, 0.0);
+}
+
+}  // namespace
+}  // namespace eclb

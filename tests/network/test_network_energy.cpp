@@ -1,0 +1,100 @@
+#include "network/network_energy.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::network {
+namespace {
+
+using common::MiB;
+using common::MiBps;
+using common::Seconds;
+
+TEST(LinkPower, ClassicHasNarrowDynamicRange) {
+  // Section 2: ~15 % for networking switches.
+  const auto classic = LinkPowerModel::classic();
+  EXPECT_DOUBLE_EQ(classic.dynamic_range, 0.15);
+  EXPECT_NEAR(classic.power(0.0).value, 0.85 * classic.peak_per_link.value,
+              1e-12);
+  EXPECT_NEAR(classic.power(1.0).value, classic.peak_per_link.value, 1e-12);
+}
+
+TEST(LinkPower, ProportionalNearZeroWhenIdle) {
+  const auto prop = LinkPowerModel::proportional();
+  EXPECT_LT(prop.power(0.0).value, 0.1 * prop.peak_per_link.value);
+}
+
+TEST(LinkPower, ClampsUtilization) {
+  const auto m = LinkPowerModel::classic();
+  EXPECT_DOUBLE_EQ(m.power(-1.0).value, m.power(0.0).value);
+  EXPECT_DOUBLE_EQ(m.power(5.0).value, m.power(1.0).value);
+}
+
+TEST(FabricEnergy, StaticPartIndependentOfTraffic) {
+  const auto topo = star(100);
+  const auto classic = LinkPowerModel::classic();
+  TrafficSummary quiet;
+  quiet.volume = MiB{0.0};
+  quiet.duration = Seconds{3600.0};
+  TrafficSummary busy = quiet;
+  busy.volume = MiB{100000.0};
+  const auto e_quiet = fabric_energy(topo, classic, quiet);
+  const auto e_busy = fabric_energy(topo, classic, busy);
+  EXPECT_DOUBLE_EQ(e_quiet.static_energy.value, e_busy.static_energy.value);
+  EXPECT_DOUBLE_EQ(e_quiet.dynamic_energy.value, 0.0);
+  EXPECT_GT(e_busy.dynamic_energy.value, 0.0);
+}
+
+TEST(FabricEnergy, StaticFloorMatchesClosedForm) {
+  const auto topo = star(100);
+  const auto classic = LinkPowerModel::classic();
+  TrafficSummary t;
+  t.duration = Seconds{1000.0};
+  const auto e = fabric_energy(topo, classic, t);
+  // 100 links x 3 W x 0.85 x 1000 s.
+  EXPECT_NEAR(e.static_energy.value, 100.0 * 3.0 * 0.85 * 1000.0, 1e-6);
+}
+
+TEST(FabricEnergy, UtilizationAccountsForHops) {
+  const auto topo = star(10);  // 10 links, 2 hops
+  TrafficSummary t;
+  t.volume = MiB{1250.0};
+  t.duration = Seconds{1.0};
+  t.link_capacity = MiBps{1250.0};
+  const auto e = fabric_energy(topo, LinkPowerModel::classic(), t);
+  // link-bytes = 2 * 1250; capacity = 10 * 1250 -> u = 0.2.
+  EXPECT_NEAR(e.average_link_utilization, 0.2, 1e-12);
+}
+
+TEST(FabricEnergy, UtilizationSaturatesAtOne) {
+  const auto topo = star(2);
+  TrafficSummary t;
+  t.volume = MiB{1e9};
+  t.duration = Seconds{1.0};
+  const auto e = fabric_energy(topo, LinkPowerModel::classic(), t);
+  EXPECT_DOUBLE_EQ(e.average_link_utilization, 1.0);
+}
+
+TEST(FabricEnergy, ProportionalFabricWinsAtLowLoad) {
+  // The Section 2 argument for energy-proportional networks.
+  const auto topo = fat_tree(1000);
+  TrafficSummary light;
+  light.volume = MiB{10000.0};
+  light.duration = Seconds{3600.0};
+  const auto classic = fabric_energy(topo, LinkPowerModel::classic(), light);
+  const auto prop = fabric_energy(topo, LinkPowerModel::proportional(), light);
+  EXPECT_LT(prop.total().value, 0.3 * classic.total().value);
+}
+
+TEST(FabricEnergy, ModelsConvergeAtFullLoad) {
+  const auto topo = star(4);
+  TrafficSummary flood;
+  flood.volume = MiB{1e9};
+  flood.duration = Seconds{10.0};
+  const auto classic = fabric_energy(topo, LinkPowerModel::classic(), flood);
+  const auto prop = fabric_energy(topo, LinkPowerModel::proportional(), flood);
+  // At u = 1 both draw peak on every link.
+  EXPECT_NEAR(classic.total().value, prop.total().value, 1e-6);
+}
+
+}  // namespace
+}  // namespace eclb::network

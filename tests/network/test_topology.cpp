@@ -1,0 +1,83 @@
+#include "network/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::network {
+namespace {
+
+TEST(Topology, StarStructure) {
+  const auto t = star(100);
+  EXPECT_EQ(t.hosts, 100U);
+  EXPECT_EQ(t.switches, 1U);
+  EXPECT_EQ(t.links, 100U);
+  EXPECT_DOUBLE_EQ(t.average_hops, 2.0);
+  EXPECT_DOUBLE_EQ(t.links_per_host(), 1.0);
+}
+
+TEST(Topology, FatTreePicksSmallestK) {
+  // k = 4 supports 16 hosts; k = 8 supports 128.
+  EXPECT_NE(fat_tree(16).name.find("k=4"), std::string::npos);
+  EXPECT_NE(fat_tree(17).name.find("k=6"), std::string::npos);  // 6^3/4 = 54
+  EXPECT_NE(fat_tree(100).name.find("k=8"), std::string::npos);
+}
+
+TEST(Topology, FatTreeCounts) {
+  const auto t = fat_tree(16);  // k = 4, capacity 16
+  EXPECT_EQ(t.hosts, 16U);
+  EXPECT_EQ(t.switches, 4U * 4U + 4U);  // k^2 + k^2/4 = 20
+  EXPECT_EQ(t.links, 16U + 2U * 16U);   // hosts + 2 * capacity
+  EXPECT_GT(t.average_hops, 4.0);
+  EXPECT_LT(t.average_hops, 6.0);
+}
+
+TEST(Topology, FlattenedButterflyCounts) {
+  const auto t = flattened_butterfly(64, 8);  // 8 switches, 3x3 grid
+  EXPECT_EQ(t.hosts, 64U);
+  EXPECT_EQ(t.switches, 9U);
+  // 64 host links + rows 3*3 + columns 3*3 = 64 + 9 + 9.
+  EXPECT_EQ(t.links, 64U + 9U + 9U);
+  EXPECT_GT(t.average_hops, 2.0);
+  EXPECT_LE(t.average_hops, 4.0);
+}
+
+TEST(Topology, ButterflyHasShorterPathsThanFatTree) {
+  // [2]'s argument: the flattened butterfly reaches any switch in at most
+  // two hops, beating the fat tree's up-and-over paths.
+  for (std::size_t n : {100U, 1000U, 10000U}) {
+    EXPECT_LT(flattened_butterfly(n).average_hops, fat_tree(n).average_hops)
+        << n;
+  }
+}
+
+TEST(Topology, ButterflyUsesFewerSwitchesThanFatTree) {
+  for (std::size_t n : {100U, 1000U, 10000U}) {
+    EXPECT_LT(flattened_butterfly(n).switches, fat_tree(n).switches) << n;
+  }
+}
+
+TEST(Topology, StarIsCheapestButFlat) {
+  // The star wins on link count (it is the paper's intra-cluster fabric)
+  // but every flow shares one switch -- no scalability story.
+  const auto s = star(1000);
+  const auto f = fat_tree(1000);
+  EXPECT_LT(s.links, f.links);
+  EXPECT_EQ(s.switches, 1U);
+}
+
+TEST(Topology, LinksPerHostOrdering) {
+  const std::size_t n = 1024;
+  EXPECT_LT(star(n).links_per_host(), flattened_butterfly(n).links_per_host());
+  EXPECT_LT(flattened_butterfly(n).links_per_host(),
+            fat_tree(n).links_per_host());
+}
+
+TEST(Topology, SingleHostDegenerate) {
+  const auto s = star(1);
+  EXPECT_EQ(s.links, 1U);
+  const auto b = flattened_butterfly(1);
+  EXPECT_EQ(b.switches, 1U);
+  EXPECT_EQ(b.links, 1U);  // no inter-switch links in a 1x1 grid
+}
+
+}  // namespace
+}  // namespace eclb::network

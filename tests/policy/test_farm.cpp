@@ -1,0 +1,166 @@
+#include "policy/farm.h"
+
+#include <gtest/gtest.h>
+
+#include "policy/policies.h"
+#include "workload/profile.h"
+
+namespace eclb::policy {
+namespace {
+
+using common::Rng;
+using common::Seconds;
+
+FarmConfig make_config(std::size_t servers = 100) {
+  FarmConfig cfg;
+  cfg.server_count = servers;
+  return cfg;
+}
+
+workload::Trace diurnal_trace(double base = 40.0, double amplitude = 25.0) {
+  const workload::DiurnalProfile profile(base, amplitude, Seconds{86400.0});
+  return workload::sample(profile, Seconds{60.0}, Seconds{86400.0});
+}
+
+TEST(Farm, AlwaysOnNeverViolates) {
+  const FarmSimulator sim(make_config());
+  AlwaysOnPolicy policy;
+  const FarmResult r = sim.run(policy, diurnal_trace());
+  EXPECT_EQ(r.violation_steps, 0U);
+  EXPECT_DOUBLE_EQ(r.average_awake, 100.0);
+  EXPECT_EQ(r.sleep_transitions, 0U);
+  // By definition always-on saves nothing.
+  EXPECT_NEAR(r.energy_saving(), 0.0, 1e-9);
+}
+
+TEST(Farm, ReactiveSavesEnergy) {
+  const FarmSimulator sim(make_config());
+  ReactivePolicy policy;
+  const FarmResult r = sim.run(policy, diurnal_trace());
+  EXPECT_GT(r.energy_saving(), 0.15);
+  EXPECT_LT(r.average_awake, 100.0);
+}
+
+TEST(Farm, ReactivePaysInViolationsOnRisingLoad) {
+  // With deep C6 sleep (180 s wake) a purely reactive policy misses the
+  // rising edge of the diurnal wave.
+  const FarmSimulator sim(make_config());
+  ReactivePolicy reactive;
+  ReactiveExtraCapacityPolicy extra(0.20);
+  const auto trace = diurnal_trace();
+  const FarmResult r_reactive = sim.run(reactive, trace);
+  const FarmResult r_extra = sim.run(extra, trace);
+  EXPECT_GE(r_reactive.violation_steps, r_extra.violation_steps);
+  // The margin costs energy.
+  EXPECT_GT(r_extra.energy.value, r_reactive.energy.value);
+}
+
+TEST(Farm, DemandAlwaysServedWhenCapacitySufficient) {
+  const FarmSimulator sim(make_config());
+  AlwaysOnPolicy policy;
+  const workload::Trace flat(Seconds{60.0}, std::vector<double>(100, 50.0));
+  const FarmResult r = sim.run(policy, flat);
+  EXPECT_EQ(r.violation_steps, 0U);
+  EXPECT_DOUBLE_EQ(r.unserved_demand, 0.0);
+}
+
+TEST(Farm, ImpossibleDemandAlwaysViolates) {
+  const FarmSimulator sim(make_config(10));
+  AlwaysOnPolicy policy;
+  const workload::Trace heavy(Seconds{60.0}, std::vector<double>(50, 20.0));
+  const FarmResult r = sim.run(policy, heavy);
+  EXPECT_EQ(r.violation_steps, 50U);
+  EXPECT_NEAR(r.unserved_demand, 50 * 10.0, 1e-6);
+}
+
+TEST(Farm, EnergyPositiveAndBelowAlwaysOnBound) {
+  const FarmSimulator sim(make_config());
+  ReactivePolicy policy;
+  const FarmResult r = sim.run(policy, diurnal_trace());
+  EXPECT_GT(r.energy.value, 0.0);
+  EXPECT_LT(r.energy.value, r.always_on_energy.value);
+}
+
+TEST(Farm, SeriesLengthsMatchTrace) {
+  const FarmSimulator sim(make_config());
+  ReactivePolicy policy;
+  const auto trace = diurnal_trace();
+  const FarmResult r = sim.run(policy, trace);
+  EXPECT_EQ(r.steps, trace.size());
+  EXPECT_EQ(r.awake_series.size(), trace.size());
+  EXPECT_EQ(r.demand_series.size(), trace.size());
+}
+
+TEST(Farm, MinAwakeRespected) {
+  FarmConfig cfg = make_config();
+  cfg.min_awake = 5;
+  const FarmSimulator sim(cfg);
+  ReactivePolicy policy;
+  const workload::Trace idle(Seconds{60.0}, std::vector<double>(200, 0.0));
+  const FarmResult r = sim.run(policy, idle);
+  for (double awake : r.awake_series.y) {
+    EXPECT_GE(awake, 5.0);
+  }
+}
+
+TEST(Farm, C3SleepRecoversFasterThanC6) {
+  // Same reactive policy, spiky load: the shallow sleep state yields fewer
+  // violations because wake latency is 30 s instead of 180 s.
+  Rng rng(23);
+  workload::SpikyProfile::Params params;
+  params.base = 20.0;
+  params.spike_rate_per_hour = 3.0;
+  params.spike_min = 30.0;
+  params.spike_max = 50.0;
+  const workload::SpikyProfile profile(params, rng);
+  const auto trace = workload::sample(profile, Seconds{60.0}, Seconds{86400.0});
+
+  FarmConfig c3 = make_config();
+  c3.sleep_state = energy::CState::kC3;
+  FarmConfig c6 = make_config();
+  c6.sleep_state = energy::CState::kC6;
+  ReactivePolicy policy;
+  const FarmResult r3 = FarmSimulator(c3).run(policy, trace);
+  const FarmResult r6 = FarmSimulator(c6).run(policy, trace);
+  EXPECT_LE(r3.violation_steps, r6.violation_steps);
+  // But C6 holds less power while parked.
+  const auto& table = energy::default_cstate_table();
+  EXPECT_LT(energy::spec_for(table, energy::CState::kC6).hold_power_fraction,
+            energy::spec_for(table, energy::CState::kC3).hold_power_fraction);
+}
+
+TEST(Farm, OracleBeatsReactiveOnViolations) {
+  const workload::DiurnalProfile profile(40.0, 25.0, Seconds{86400.0});
+  const auto trace = workload::sample(profile, Seconds{60.0}, Seconds{86400.0});
+  FarmConfig cfg = make_config();
+  const FarmSimulator sim(cfg);
+  ReactivePolicy reactive;
+  const auto& sleep_spec =
+      energy::spec_for(cfg.cstates, cfg.sleep_state);
+  OraclePolicy oracle(profile, sleep_spec.wake_latency + cfg.step);
+  const FarmResult r_reactive = sim.run(reactive, trace);
+  const FarmResult r_oracle = sim.run(oracle, trace);
+  EXPECT_LE(r_oracle.violation_steps, r_reactive.violation_steps);
+  EXPECT_GT(r_oracle.energy_saving(), 0.10);
+}
+
+TEST(Farm, WakeAndSleepTransitionsCounted) {
+  const FarmSimulator sim(make_config());
+  ReactivePolicy policy;
+  const FarmResult r = sim.run(policy, diurnal_trace());
+  // A full diurnal cycle forces both directions.
+  EXPECT_GT(r.sleep_transitions, 0U);
+  EXPECT_GT(r.wake_transitions, 0U);
+}
+
+TEST(Farm, ViolationRateDefinition) {
+  FarmResult r;
+  r.steps = 200;
+  r.violation_steps = 10;
+  EXPECT_DOUBLE_EQ(r.violation_rate(), 0.05);
+  FarmResult empty;
+  EXPECT_DOUBLE_EQ(empty.violation_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace eclb::policy

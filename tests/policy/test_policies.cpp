@@ -1,0 +1,179 @@
+#include "policy/policies.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eclb::policy {
+namespace {
+
+using common::Seconds;
+
+PolicyInput make_input(std::vector<double>& history, std::size_t awake = 50,
+                       std::size_t total = 100) {
+  PolicyInput in;
+  in.now = Seconds{0.0};
+  in.step = Seconds{60.0};
+  in.demand_history = history;
+  in.awake = awake;
+  in.waking = 0;
+  in.total = total;
+  in.target_utilization = 0.8;
+  return in;
+}
+
+TEST(ServersFor, CeilingDivision) {
+  EXPECT_EQ(servers_for(40.0, 0.8), 50U);
+  EXPECT_EQ(servers_for(40.1, 0.8), 51U);
+  EXPECT_EQ(servers_for(0.0, 0.8), 1U);   // never zero
+  EXPECT_EQ(servers_for(-5.0, 0.8), 1U);
+  EXPECT_EQ(servers_for(1.0, 1.0), 1U);
+}
+
+TEST(AlwaysOn, KeepsEveryServerRunning) {
+  AlwaysOnPolicy p;
+  std::vector<double> h{1.0};
+  EXPECT_EQ(p.desired_awake(make_input(h)), 100U);
+  EXPECT_EQ(p.name(), "always-on");
+}
+
+TEST(Reactive, TracksLatestDemand) {
+  ReactivePolicy p;
+  std::vector<double> h{10.0, 20.0, 32.0};
+  EXPECT_EQ(p.desired_awake(make_input(h)), 40U);  // 32 / 0.8
+}
+
+TEST(Reactive, EmptyHistoryMinimal) {
+  ReactivePolicy p;
+  std::vector<double> h;
+  EXPECT_EQ(p.desired_awake(make_input(h)), 1U);
+}
+
+TEST(ReactiveExtra, AddsMargin) {
+  ReactiveExtraCapacityPolicy p(0.20);
+  std::vector<double> h{32.0};
+  // Reactive needs 40; +20 % -> 48.
+  EXPECT_EQ(p.desired_awake(make_input(h)), 48U);
+}
+
+TEST(ReactiveExtra, ZeroMarginEqualsReactive) {
+  ReactiveExtraCapacityPolicy extra(0.0);
+  ReactivePolicy plain;
+  std::vector<double> h{17.3};
+  EXPECT_EQ(extra.desired_awake(make_input(h)),
+            plain.desired_awake(make_input(h)));
+}
+
+TEST(AutoScale, ScalesUpImmediately) {
+  AutoScalePolicy p(/*patience=*/3, /*max_release=*/1, /*margin=*/0.0);
+  std::vector<double> h{60.0};
+  const auto in = make_input(h, /*awake=*/50);
+  EXPECT_EQ(p.desired_awake(in), 75U);  // 60 / 0.8
+}
+
+TEST(AutoScale, HoldsSurplusUntilPatienceExpires) {
+  AutoScalePolicy p(/*patience=*/3, /*max_release=*/1, /*margin=*/0.0);
+  std::vector<double> h{8.0};  // needs only 10 servers
+  const auto in = make_input(h, /*awake=*/50);
+  // First three surplus observations: hold at 50.
+  EXPECT_EQ(p.desired_awake(in), 50U);
+  EXPECT_EQ(p.desired_awake(in), 50U);
+  EXPECT_EQ(p.desired_awake(in), 50U);
+  // Patience exhausted: release one server per decision.
+  EXPECT_EQ(p.desired_awake(in), 49U);
+}
+
+TEST(AutoScale, DemandSpikeResetsPatience) {
+  AutoScalePolicy p(/*patience=*/2, /*max_release=*/1, /*margin=*/0.0);
+  std::vector<double> low{8.0};
+  std::vector<double> high{60.0};
+  (void)p.desired_awake(make_input(low, 50));
+  (void)p.desired_awake(make_input(low, 50));
+  // Spike: scale up, streak resets.
+  EXPECT_EQ(p.desired_awake(make_input(high, 50)), 75U);
+  // Surplus counting starts over.
+  EXPECT_EQ(p.desired_awake(make_input(low, 75)), 75U);
+}
+
+TEST(AutoScale, ResetClearsStreak) {
+  AutoScalePolicy p(/*patience=*/1, /*max_release=*/1, /*margin=*/0.0);
+  std::vector<double> h{8.0};
+  (void)p.desired_awake(make_input(h, 50));
+  (void)p.desired_awake(make_input(h, 50));
+  p.reset();
+  EXPECT_EQ(p.desired_awake(make_input(h, 50)), 50U);  // streak restarted
+}
+
+TEST(MovingWindow, AveragesRecentHistory) {
+  MovingWindowPolicy p(/*window=*/3, /*margin=*/0.0);
+  std::vector<double> h{100.0, 16.0, 24.0, 32.0};  // window mean = 24
+  EXPECT_EQ(p.desired_awake(make_input(h)), 30U);  // 24 / 0.8
+}
+
+TEST(MovingWindow, ShortHistoryUsesWhatExists) {
+  MovingWindowPolicy p(/*window=*/10, /*margin=*/0.0);
+  std::vector<double> h{16.0};
+  EXPECT_EQ(p.desired_awake(make_input(h)), 20U);
+}
+
+TEST(MovingWindow, LagsBehindStepChange) {
+  // The documented weakness of window averaging: after a step increase the
+  // prediction stays below the true demand.
+  MovingWindowPolicy p(/*window=*/4, /*margin=*/0.0);
+  std::vector<double> h{10.0, 10.0, 10.0, 40.0};
+  const auto desired = p.desired_awake(make_input(h));
+  EXPECT_LT(desired, servers_for(40.0, 0.8));
+  EXPECT_GT(desired, servers_for(10.0, 0.8));
+}
+
+TEST(LinearRegression, ExtrapolatesTrend) {
+  LinearRegressionPolicy p(/*window=*/4, /*margin=*/0.0);
+  std::vector<double> h{10.0, 20.0, 30.0, 40.0};  // slope 10 -> predicts 50
+  EXPECT_EQ(p.desired_awake(make_input(h)), servers_for(50.0, 0.8));
+}
+
+TEST(LinearRegression, FlatHistoryPredictsFlat) {
+  LinearRegressionPolicy p(/*window=*/4, /*margin=*/0.0);
+  std::vector<double> h{24.0, 24.0, 24.0, 24.0};
+  EXPECT_EQ(p.desired_awake(make_input(h)), 30U);
+}
+
+TEST(LinearRegression, NegativePredictionsClampToZero) {
+  LinearRegressionPolicy p(/*window=*/3, /*margin=*/0.0);
+  std::vector<double> h{20.0, 10.0, 0.0};  // trend heads below zero
+  EXPECT_EQ(p.desired_awake(make_input(h)), 1U);
+}
+
+TEST(LinearRegression, SinglePointFallsBack) {
+  LinearRegressionPolicy p(/*window=*/5, /*margin=*/0.0);
+  std::vector<double> h{16.0};
+  EXPECT_EQ(p.desired_awake(make_input(h)), 20U);
+}
+
+TEST(Oracle, ReadsFutureDemand) {
+  // Demand ramps linearly; the oracle provisions for one lookahead ahead.
+  workload::DiurnalProfile profile(50.0, 20.0, Seconds{86400.0});
+  OraclePolicy p(profile, Seconds{3600.0});
+  std::vector<double> h{1.0};
+  auto in = make_input(h);
+  in.now = Seconds{0.0};
+  const double expected =
+      std::max(profile.demand(Seconds{0.0}), profile.demand(Seconds{3600.0}));
+  EXPECT_EQ(p.desired_awake(in), servers_for(expected, 0.8));
+}
+
+TEST(StandardPolicies, LineupComplete) {
+  const auto lineup = standard_policies();
+  ASSERT_EQ(lineup.size(), 6U);
+  std::vector<std::string_view> names;
+  for (const auto& p : lineup) names.push_back(p->name());
+  EXPECT_EQ(names[0], "always-on");
+  EXPECT_EQ(names[1], "reactive");
+  EXPECT_EQ(names[2], "reactive+extra");
+  EXPECT_EQ(names[3], "autoscale");
+  EXPECT_EQ(names[4], "predictive-mw");
+  EXPECT_EQ(names[5], "predictive-lr");
+}
+
+}  // namespace
+}  // namespace eclb::policy

@@ -1,0 +1,98 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eclb::sim {
+namespace {
+
+using common::Seconds;
+
+EventFn noop() {
+  return [](Simulation&) {};
+}
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0U);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.peek_time().has_value());
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(Seconds{3.0}, noop());
+  q.push(Seconds{1.0}, noop());
+  q.push(Seconds{2.0}, noop());
+  EXPECT_DOUBLE_EQ(q.pop()->time.value, 1.0);
+  EXPECT_DOUBLE_EQ(q.pop()->time.value, 2.0);
+  EXPECT_DOUBLE_EQ(q.pop()->time.value, 3.0);
+}
+
+TEST(EventQueue, SameTimeFifoOrder) {
+  EventQueue q;
+  const EventId first = q.push(Seconds{5.0}, noop());
+  const EventId second = q.push(Seconds{5.0}, noop());
+  EXPECT_EQ(q.pop()->id, first);
+  EXPECT_EQ(q.pop()->id, second);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  const EventId a = q.push(Seconds{1.0}, noop());
+  q.push(Seconds{2.0}, noop());
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_EQ(q.size(), 1U);
+  EXPECT_DOUBLE_EQ(q.pop()->time.value, 2.0);
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{999}));
+  EXPECT_FALSE(q.cancel(EventId{0}));
+}
+
+TEST(EventQueue, DoubleCancelFails) {
+  EventQueue q;
+  const EventId a = q.push(Seconds{1.0}, noop());
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_FALSE(q.cancel(a));
+}
+
+TEST(EventQueue, PeekSkipsCancelled) {
+  EventQueue q;
+  const EventId a = q.push(Seconds{1.0}, noop());
+  q.push(Seconds{2.0}, noop());
+  q.cancel(a);
+  ASSERT_TRUE(q.peek_time().has_value());
+  EXPECT_DOUBLE_EQ(q.peek_time()->value, 2.0);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(Seconds{1.0}, noop());
+  q.push(Seconds{2.0}, noop());
+  EXPECT_EQ(q.size(), 2U);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1U);
+  (void)q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ManyEventsSortCorrectly) {
+  EventQueue q;
+  for (int i = 100; i > 0; --i) {
+    q.push(Seconds{static_cast<double>(i)}, noop());
+  }
+  double last = 0.0;
+  while (auto ev = q.pop()) {
+    EXPECT_GT(ev->time.value, last);
+    last = ev->time.value;
+  }
+  EXPECT_DOUBLE_EQ(last, 100.0);
+}
+
+}  // namespace
+}  // namespace eclb::sim

@@ -1,0 +1,174 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eclb::sim {
+namespace {
+
+using common::Seconds;
+
+TEST(Simulation, ClockStartsAtZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.now().value, 0.0);
+  EXPECT_EQ(sim.pending(), 0U);
+}
+
+TEST(Simulation, ScheduleAtFiresAtTime) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.schedule_at(Seconds{5.0}, [&fired_at](Simulation& s) {
+    fired_at = s.now().value;
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+  EXPECT_DOUBLE_EQ(sim.now().value, 5.0);
+}
+
+TEST(Simulation, ScheduleInIsRelative) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.schedule_in(Seconds{2.0}, [&times](Simulation& s) {
+    times.push_back(s.now().value);
+    s.schedule_in(Seconds{3.0}, [&times](Simulation& inner) {
+      times.push_back(inner.now().value);
+    });
+  });
+  sim.run_all();
+  ASSERT_EQ(times.size(), 2U);
+  EXPECT_DOUBLE_EQ(times[0], 2.0);
+  EXPECT_DOUBLE_EQ(times[1], 5.0);
+}
+
+TEST(Simulation, RunUntilStopsAtHorizon) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(Seconds{1.0}, [&fired](Simulation&) { ++fired; });
+  sim.schedule_at(Seconds{10.0}, [&fired](Simulation&) { ++fired; });
+  const auto count = sim.run_until(Seconds{5.0});
+  EXPECT_EQ(count, 1U);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now().value, 5.0);  // clock advances to the horizon
+  EXPECT_EQ(sim.pending(), 1U);            // the 10 s event still waits
+}
+
+TEST(Simulation, RunAllCountsEvents) {
+  Simulation sim;
+  for (int i = 1; i <= 7; ++i) {
+    sim.schedule_at(Seconds{static_cast<double>(i)}, [](Simulation&) {});
+  }
+  EXPECT_EQ(sim.run_all(), 7U);
+  EXPECT_EQ(sim.dispatched(), 7U);
+}
+
+TEST(Simulation, StepDispatchesOne) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(Seconds{1.0}, [&fired](Simulation&) { ++fired; });
+  sim.schedule_at(Seconds{2.0}, [&fired](Simulation&) { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id =
+      sim.schedule_at(Seconds{1.0}, [&fired](Simulation&) { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, StopEndsRunEarly) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(Seconds{1.0}, [&fired](Simulation& s) {
+    ++fired;
+    s.stop();
+  });
+  sim.schedule_at(Seconds{2.0}, [&fired](Simulation&) { ++fired; });
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1U);
+}
+
+TEST(Simulation, PeriodicFiresRepeatedly) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.schedule_every(Seconds{10.0}, [&times](Simulation& s) {
+    times.push_back(s.now().value);
+  });
+  sim.run_until(Seconds{35.0});
+  ASSERT_EQ(times.size(), 3U);
+  EXPECT_DOUBLE_EQ(times[0], 10.0);
+  EXPECT_DOUBLE_EQ(times[1], 20.0);
+  EXPECT_DOUBLE_EQ(times[2], 30.0);
+}
+
+TEST(Simulation, PeriodicCancelStopsSeries) {
+  Simulation sim;
+  int fired = 0;
+  PeriodicHandle handle = sim.schedule_every(Seconds{1.0}, [&fired](Simulation&) {
+    ++fired;
+  });
+  sim.run_until(Seconds{3.5});
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(handle.active());
+  EXPECT_TRUE(handle.cancel());
+  EXPECT_FALSE(handle.active());
+  sim.run_until(Seconds{10.0});
+  EXPECT_EQ(fired, 3);  // no further occurrences
+}
+
+TEST(Simulation, PeriodicCanCancelItself) {
+  Simulation sim;
+  int fired = 0;
+  PeriodicHandle handle;
+  handle = sim.schedule_every(Seconds{1.0}, [&fired, &handle](Simulation&) {
+    if (++fired == 2) handle.cancel();
+  });
+  sim.run_until(Seconds{10.0});
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, DoubleCancelPeriodicFails) {
+  Simulation sim;
+  PeriodicHandle handle = sim.schedule_every(Seconds{1.0}, [](Simulation&) {});
+  EXPECT_TRUE(handle.cancel());
+  EXPECT_FALSE(handle.cancel());
+}
+
+TEST(Simulation, EmptyPeriodicHandleInactive) {
+  PeriodicHandle handle;
+  EXPECT_FALSE(handle.active());
+  EXPECT_FALSE(handle.cancel());
+}
+
+TEST(Simulation, InterleavedOneShotAndPeriodic) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_every(Seconds{2.0}, [&order](Simulation&) { order.push_back(1); });
+  sim.schedule_at(Seconds{3.0}, [&order](Simulation&) { order.push_back(2); });
+  sim.run_until(Seconds{4.5});
+  // t=2 periodic, t=3 one-shot, t=4 periodic.
+  ASSERT_EQ(order.size(), 3U);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 1);
+}
+
+TEST(SimulationDeathTest, SchedulingInPastAborts) {
+  Simulation sim;
+  sim.schedule_at(Seconds{5.0}, [](Simulation&) {});
+  sim.run_all();
+  EXPECT_DEATH(sim.schedule_at(Seconds{1.0}, [](Simulation&) {}),
+               "cannot schedule in the past");
+}
+
+}  // namespace
+}  // namespace eclb::sim

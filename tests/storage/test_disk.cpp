@@ -1,0 +1,138 @@
+#include "storage/disk.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::storage {
+namespace {
+
+using common::Seconds;
+
+TEST(Disk, StartsIdle) {
+  Disk d;
+  EXPECT_EQ(d.state(), DiskState::kIdle);
+  EXPECT_DOUBLE_EQ(d.energy().value, 0.0);
+  EXPECT_EQ(d.spin_ups(), 0U);
+}
+
+TEST(Disk, StateNames) {
+  EXPECT_EQ(to_string(DiskState::kActive), "active");
+  EXPECT_EQ(to_string(DiskState::kIdle), "idle");
+  EXPECT_EQ(to_string(DiskState::kStandby), "standby");
+}
+
+TEST(Disk, IdleAccruesIdlePower) {
+  DiskSpec spec;
+  spec.idle_timeout = Seconds{60.0};
+  Disk d(spec);
+  d.advance(Seconds{30.0});  // below the 60 s timeout
+  EXPECT_EQ(d.state(), DiskState::kIdle);
+  EXPECT_NEAR(d.energy().value, spec.idle_power.value * 30.0, 1e-9);
+}
+
+TEST(Disk, SpinsDownAfterIdleTimeout) {
+  DiskSpec spec;
+  spec.idle_timeout = Seconds{60.0};
+  Disk d(spec);
+  d.advance(Seconds{120.0});
+  EXPECT_EQ(d.state(), DiskState::kStandby);
+  // 60 s idle + 60 s standby.
+  EXPECT_NEAR(d.energy().value,
+              spec.idle_power.value * 60.0 + spec.standby_power.value * 60.0,
+              1e-9);
+}
+
+TEST(Disk, ServeFromIdleHasNoPenalty) {
+  DiskSpec spec;
+  Disk d(spec);
+  const Seconds latency = d.serve(Seconds{10.0}, Seconds{0.01});
+  EXPECT_DOUBLE_EQ(latency.value, 0.01);
+  EXPECT_EQ(d.state(), DiskState::kActive);
+}
+
+TEST(Disk, ServeFromStandbyPaysSpinUp) {
+  DiskSpec spec;
+  Disk d(spec);
+  d.advance(Seconds{200.0});  // now in standby
+  const double energy_before = d.energy().value;
+  const Seconds latency = d.serve(Seconds{200.0}, Seconds{0.01});
+  EXPECT_NEAR(latency.value, spec.spin_up_time.value + 0.01, 1e-12);
+  EXPECT_EQ(d.spin_ups(), 1U);
+  EXPECT_NEAR(d.energy().value - energy_before, spec.spin_up_energy.value, 1e-9);
+}
+
+TEST(Disk, ActiveAccruesActivePowerAndBusyTime) {
+  DiskSpec spec;
+  Disk d(spec);
+  (void)d.serve(Seconds{0.0}, Seconds{2.0});
+  d.advance(Seconds{2.0});
+  EXPECT_NEAR(d.energy().value, spec.active_power.value * 2.0, 1e-9);
+  EXPECT_NEAR(d.busy_time().value, 2.0, 1e-12);
+}
+
+TEST(Disk, ReturnsToIdleAfterBusy) {
+  Disk d;
+  (void)d.serve(Seconds{0.0}, Seconds{1.0});
+  d.advance(Seconds{5.0});
+  EXPECT_EQ(d.state(), DiskState::kIdle);
+}
+
+TEST(Disk, IdleTimeoutCountsFromEndOfBusy) {
+  DiskSpec spec;
+  spec.idle_timeout = Seconds{60.0};
+  Disk d(spec);
+  (void)d.serve(Seconds{0.0}, Seconds{10.0});
+  d.advance(Seconds{65.0});  // 55 s after the busy period ended
+  EXPECT_EQ(d.state(), DiskState::kIdle);
+  d.advance(Seconds{71.0});  // 61 s after
+  EXPECT_EQ(d.state(), DiskState::kStandby);
+}
+
+TEST(Disk, QueuedRequestsSerialize) {
+  Disk d;
+  (void)d.serve(Seconds{0.0}, Seconds{1.0});
+  const Seconds latency = d.serve(Seconds{0.5}, Seconds{1.0});
+  // Waits 0.5 s for the first request plus its own 1 s service.
+  EXPECT_NEAR(latency.value, 1.5, 1e-12);
+}
+
+TEST(Disk, FrequentAccessNeverSpinsDown) {
+  DiskSpec spec;
+  spec.idle_timeout = Seconds{60.0};
+  Disk d(spec);
+  for (int i = 0; i < 20; ++i) {
+    (void)d.serve(Seconds{i * 30.0}, Seconds{0.01});
+  }
+  EXPECT_EQ(d.spin_ups(), 0U);
+}
+
+TEST(Disk, RareAccessSpinsUpEachTime) {
+  Disk d;
+  for (int i = 1; i <= 5; ++i) {
+    (void)d.serve(Seconds{i * 500.0}, Seconds{0.01});
+  }
+  EXPECT_EQ(d.spin_ups(), 5U);
+}
+
+TEST(Disk, StandbySavesEnergyVersusIdle) {
+  DiskSpec spec;
+  spec.idle_timeout = Seconds{60.0};
+  Disk sleeper(spec);
+  sleeper.advance(Seconds{3600.0});
+  // A disk forced to stay spinning by one tiny request per idle-timeout.
+  Disk spinner(spec);
+  for (int i = 0; i < 60; ++i) {
+    (void)spinner.serve(Seconds{i * 59.0}, Seconds{0.001});
+  }
+  spinner.advance(Seconds{3600.0});
+  EXPECT_LT(sleeper.energy().value, 0.5 * spinner.energy().value);
+}
+
+TEST(DiskDeathTest, RejectsInvertedPowerOrdering) {
+  DiskSpec spec;
+  spec.idle_power = common::Watts{20.0};
+  spec.active_power = common::Watts{10.0};
+  EXPECT_DEATH(Disk{spec}, "active power");
+}
+
+}  // namespace
+}  // namespace eclb::storage

@@ -1,0 +1,114 @@
+#include "storage/replication.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::storage {
+namespace {
+
+using common::Seconds;
+
+TEST(NoReplication, NeverReplicates) {
+  NoReplication policy;
+  EXPECT_FALSE(policy.access(1, Seconds{0.0}));
+  EXPECT_FALSE(policy.access(1, Seconds{1.0}));
+  EXPECT_FALSE(policy.replicated(1));
+}
+
+TEST(SlidingWindow, FirstAccessMissesThenHits) {
+  SlidingWindowReplication policy(10, Seconds{60.0});
+  EXPECT_FALSE(policy.access(7, Seconds{0.0}));  // admission, served at home
+  EXPECT_TRUE(policy.replicated(7));
+  EXPECT_TRUE(policy.access(7, Seconds{10.0}));  // replica hit
+}
+
+TEST(SlidingWindow, ReplicaExpiresOutsideWindow) {
+  SlidingWindowReplication policy(10, Seconds{60.0});
+  (void)policy.access(7, Seconds{0.0});
+  EXPECT_FALSE(policy.access(7, Seconds{100.0}));  // expired; readmitted
+  EXPECT_TRUE(policy.access(7, Seconds{110.0}));
+}
+
+TEST(SlidingWindow, RefreshExtendsWindow) {
+  SlidingWindowReplication policy(10, Seconds{60.0});
+  (void)policy.access(7, Seconds{0.0});
+  EXPECT_TRUE(policy.access(7, Seconds{50.0}));   // refresh
+  EXPECT_TRUE(policy.access(7, Seconds{100.0}));  // still within 50+60
+}
+
+TEST(SlidingWindow, CapacityEvictsStalest) {
+  SlidingWindowReplication policy(2, Seconds{1000.0});
+  (void)policy.access(1, Seconds{0.0});
+  (void)policy.access(2, Seconds{1.0});
+  (void)policy.access(3, Seconds{2.0});  // evicts file 1
+  EXPECT_FALSE(policy.replicated(1));
+  EXPECT_TRUE(policy.replicated(2));
+  EXPECT_TRUE(policy.replicated(3));
+  EXPECT_EQ(policy.size(), 2U);
+}
+
+TEST(SlidingWindow, ResetClears) {
+  SlidingWindowReplication policy(4, Seconds{60.0});
+  (void)policy.access(1, Seconds{0.0});
+  policy.reset();
+  EXPECT_FALSE(policy.replicated(1));
+  EXPECT_EQ(policy.size(), 0U);
+}
+
+TEST(CacheReplication, LruEvictsLeastRecent) {
+  CacheReplication policy(2, EvictionKind::kLru);
+  (void)policy.access(1, Seconds{0.0});
+  (void)policy.access(2, Seconds{1.0});
+  (void)policy.access(1, Seconds{2.0});  // 1 is now most recent
+  (void)policy.access(3, Seconds{3.0});  // evicts 2
+  EXPECT_TRUE(policy.replicated(1));
+  EXPECT_FALSE(policy.replicated(2));
+  EXPECT_TRUE(policy.replicated(3));
+}
+
+TEST(CacheReplication, MruEvictsMostRecent) {
+  CacheReplication policy(2, EvictionKind::kMru);
+  (void)policy.access(1, Seconds{0.0});
+  (void)policy.access(2, Seconds{1.0});
+  (void)policy.access(3, Seconds{2.0});  // evicts 2 (most recent)
+  EXPECT_TRUE(policy.replicated(1));
+  EXPECT_FALSE(policy.replicated(2));
+  EXPECT_TRUE(policy.replicated(3));
+}
+
+TEST(CacheReplication, LfuEvictsLeastFrequent) {
+  CacheReplication policy(2, EvictionKind::kLfu);
+  (void)policy.access(1, Seconds{0.0});
+  (void)policy.access(1, Seconds{1.0});
+  (void)policy.access(1, Seconds{2.0});  // frequency 3
+  (void)policy.access(2, Seconds{3.0});  // frequency 1
+  (void)policy.access(3, Seconds{4.0});  // evicts 2
+  EXPECT_TRUE(policy.replicated(1));
+  EXPECT_FALSE(policy.replicated(2));
+  EXPECT_TRUE(policy.replicated(3));
+}
+
+TEST(CacheReplication, HitUpdatesRecencyAndFrequency) {
+  CacheReplication policy(4, EvictionKind::kLru);
+  EXPECT_FALSE(policy.access(9, Seconds{0.0}));
+  EXPECT_TRUE(policy.access(9, Seconds{1.0}));
+  EXPECT_TRUE(policy.access(9, Seconds{2.0}));
+}
+
+TEST(CacheReplication, Names) {
+  EXPECT_EQ(CacheReplication(1, EvictionKind::kLru).name(), "lru");
+  EXPECT_EQ(CacheReplication(1, EvictionKind::kMru).name(), "mru");
+  EXPECT_EQ(CacheReplication(1, EvictionKind::kLfu).name(), "lfu");
+}
+
+TEST(ReplicationLineup, FivePolicies) {
+  const auto lineup = replication_lineup(16, Seconds{300.0});
+  ASSERT_EQ(lineup.size(), 5U);
+  EXPECT_EQ(lineup[0]->name(), "none");
+  EXPECT_EQ(lineup[1]->name(), "sliding-window");
+  EXPECT_EQ(lineup[2]->name(), "lru");
+  EXPECT_EQ(lineup[3]->name(), "mru");
+  EXPECT_EQ(lineup[4]->name(), "lfu");
+}
+
+}  // namespace
+}  // namespace eclb::storage

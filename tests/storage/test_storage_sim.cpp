@@ -1,0 +1,112 @@
+#include "storage/storage_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::storage {
+namespace {
+
+using common::Seconds;
+
+StorageSimConfig small_config() {
+  StorageSimConfig cfg;
+  cfg.home_disks = 10;
+  cfg.active_disks = 1;
+  cfg.files = 500;
+  cfg.zipf_exponent = 1.2;  // strong skew: a small hot set carries the load
+  cfg.requests_per_second = 2.0;
+  cfg.horizon = Seconds{1800.0};
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(StorageSim, StreamIsDeterministicAndOrdered) {
+  const StorageSimulator a(small_config());
+  const StorageSimulator b(small_config());
+  ASSERT_EQ(a.stream().size(), b.stream().size());
+  EXPECT_GT(a.stream().size(), 1000U);  // ~2/s over 1800 s
+  double last = 0.0;
+  for (std::size_t i = 0; i < a.stream().size(); ++i) {
+    EXPECT_EQ(a.stream()[i].second, b.stream()[i].second);
+    EXPECT_GE(a.stream()[i].first.value, last);
+    last = a.stream()[i].first.value;
+    EXPECT_LT(a.stream()[i].second, 500U);
+  }
+}
+
+TEST(StorageSim, ZipfSkewsTowardLowRanks) {
+  const StorageSimulator sim(small_config());
+  std::size_t head = 0;
+  for (const auto& [t, f] : sim.stream()) {
+    if (f < 50) ++head;  // top 10 % of files
+  }
+  // With exponent 0.9 the head should carry well over a third of accesses.
+  EXPECT_GT(static_cast<double>(head) / static_cast<double>(sim.stream().size()),
+            0.35);
+}
+
+TEST(StorageSim, EveryPolicyServesEveryRequest) {
+  const StorageSimulator sim(small_config());
+  for (auto& policy : replication_lineup(128, Seconds{300.0})) {
+    const auto r = sim.run(*policy);
+    EXPECT_EQ(r.requests, sim.stream().size()) << policy->name();
+    EXPECT_GT(r.total_energy.value, 0.0) << policy->name();
+  }
+}
+
+TEST(StorageSim, NoReplicationHasZeroHits) {
+  const StorageSimulator sim(small_config());
+  NoReplication none;
+  const auto r = sim.run(none);
+  EXPECT_EQ(r.replica_hits, 0U);
+  EXPECT_DOUBLE_EQ(r.hit_rate(), 0.0);
+}
+
+TEST(StorageSim, SlidingWindowSavesEnergyVersusNone) {
+  // The [25] claim: replication cuts disk power (they report up to 31 %).
+  const StorageSimulator sim(small_config());
+  NoReplication none;
+  SlidingWindowReplication window(128, Seconds{300.0});
+  const auto r_none = sim.run(none);
+  const auto r_window = sim.run(window);
+  EXPECT_GT(r_window.hit_rate(), 0.3);
+  EXPECT_LT(r_window.total_energy.value, r_none.total_energy.value);
+  // Home disks specifically get to sleep.
+  EXPECT_LT(r_window.home_disk_energy.value, r_none.home_disk_energy.value);
+}
+
+TEST(StorageSim, ReplicationShiftsServiceToReplicas) {
+  // Concentration: most requests move to the always-warm replica subset,
+  // and the home-disk share of the energy bill shrinks substantially.
+  const StorageSimulator sim(small_config());
+  NoReplication none;
+  SlidingWindowReplication window(128, Seconds{300.0});
+  const auto r_none = sim.run(none);
+  const auto r_window = sim.run(window);
+  EXPECT_GT(r_window.hit_rate(), 0.5);
+  EXPECT_LT(r_window.home_disk_energy.value, 0.8 * r_none.home_disk_energy.value);
+}
+
+TEST(StorageSim, LatencyTradeOffIsBounded) {
+  // The cost side of the [25] trade-off: home-disk misses now usually find
+  // a spun-down disk, so per-request latency rises -- but boundedly (the
+  // hot set never waits).
+  const StorageSimulator sim(small_config());
+  NoReplication none;
+  SlidingWindowReplication window(128, Seconds{300.0});
+  const auto r_none = sim.run(none);
+  const auto r_window = sim.run(window);
+  EXPECT_LT(r_window.mean_latency.value, 2.0 * r_none.mean_latency.value +
+                                             0.001);
+}
+
+TEST(StorageSim, RunsAreRepeatable) {
+  const StorageSimulator sim(small_config());
+  SlidingWindowReplication window(128, Seconds{300.0});
+  const auto a = sim.run(window);
+  const auto b = sim.run(window);  // reset() inside run makes this identical
+  EXPECT_DOUBLE_EQ(a.total_energy.value, b.total_energy.value);
+  EXPECT_EQ(a.replica_hits, b.replica_hits);
+}
+
+}  // namespace
+}  // namespace eclb::storage

@@ -1,0 +1,92 @@
+#include "vm/application.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::vm {
+namespace {
+
+using common::AppId;
+
+TEST(Application, ConstructionClampsDemand) {
+  DemandGrowthSpec g;
+  g.min_demand = 0.05;
+  g.max_demand = 0.5;
+  const Application low(AppId{1}, 0.0, g);
+  EXPECT_DOUBLE_EQ(low.demand(), 0.05);
+  const Application high(AppId{2}, 0.9, g);
+  EXPECT_DOUBLE_EQ(high.demand(), 0.5);
+}
+
+TEST(Application, NextDemandBoundedByLambda) {
+  // The paper's core assumption: per-interval demand growth is bounded by
+  // lambda_{i,k}.
+  DemandGrowthSpec g;
+  g.lambda = 0.03;
+  g.max_shrink = 0.02;
+  Application app(AppId{1}, 0.5, g);
+  common::Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const double next = app.next_demand(rng);
+    EXPECT_LE(next, app.demand() + g.lambda + 1e-12);
+    EXPECT_GE(next, app.demand() - g.max_shrink - 1e-12);
+  }
+}
+
+TEST(Application, NextDemandRespectsFloorAndCeiling) {
+  DemandGrowthSpec g;
+  g.lambda = 0.5;
+  g.max_shrink = 0.5;
+  g.min_demand = 0.1;
+  g.max_demand = 0.6;
+  Application app(AppId{1}, 0.3, g);
+  common::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const double next = app.next_demand(rng);
+    EXPECT_GE(next, 0.1);
+    EXPECT_LE(next, 0.6);
+  }
+}
+
+TEST(Application, SetDemandCommitsWithinBounds) {
+  DemandGrowthSpec g;
+  g.min_demand = 0.05;
+  g.max_demand = 0.9;
+  Application app(AppId{1}, 0.2, g);
+  app.set_demand(0.4);
+  EXPECT_DOUBLE_EQ(app.demand(), 0.4);
+  app.set_demand(5.0);
+  EXPECT_DOUBLE_EQ(app.demand(), 0.9);
+}
+
+TEST(Application, SampleGrowthWithinRequestedRange) {
+  common::Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto g = Application::sample_growth(rng, 0.01, 0.05);
+    EXPECT_GE(g.lambda, 0.01);
+    EXPECT_LE(g.lambda, 0.05);
+    // Stationary default: shrink matches lambda.
+    EXPECT_DOUBLE_EQ(g.max_shrink, g.lambda);
+  }
+}
+
+TEST(Application, UniqueLambdas) {
+  // "Each application has a unique lambda_{i,k}" -- samples differ.
+  common::Rng rng(13);
+  const auto a = Application::sample_growth(rng);
+  const auto b = Application::sample_growth(rng);
+  EXPECT_NE(a.lambda, b.lambda);
+}
+
+TEST(Application, ZeroLambdaNeverGrows) {
+  DemandGrowthSpec g;
+  g.lambda = 0.0;
+  g.max_shrink = 0.1;
+  Application app(AppId{1}, 0.5, g);
+  common::Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LE(app.next_demand(rng), app.demand() + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace eclb::vm

@@ -1,0 +1,150 @@
+#include "vm/migration.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::vm {
+namespace {
+
+using common::AppId;
+using common::MiB;
+using common::MiBps;
+using common::Seconds;
+using common::VmId;
+
+Vm make_vm(double ram_mib, double dirty_mibps) {
+  VmSpec spec;
+  spec.ram = MiB{ram_mib};
+  spec.dirty_rate = MiBps{dirty_mibps};
+  return Vm(VmId{1}, AppId{1}, 0.2, spec);
+}
+
+TEST(Migration, ConvergesForSlowDirtyRate) {
+  const Vm v = make_vm(2048.0, 40.0);
+  MigrationEnvironment env;  // 1000 MiB/s
+  const MigrationCost c = migrate_cost(v, env);
+  EXPECT_TRUE(c.converged);
+  EXPECT_GE(c.rounds, 1U);
+  EXPECT_GT(c.total_time.value, 2.0);  // at least the first full-RAM round
+  EXPECT_LE(c.downtime.value, env.target_downtime.value + env.switchover.value + 1e-9);
+  EXPECT_GE(c.data_transferred.value, v.spec().ram.value);
+}
+
+TEST(Migration, FirstRoundSendsFullRam) {
+  const Vm v = make_vm(1000.0, 0.0);  // nothing gets dirty
+  MigrationEnvironment env;
+  env.bandwidth = MiBps{500.0};
+  const MigrationCost c = migrate_cost(v, env);
+  EXPECT_TRUE(c.converged);
+  EXPECT_EQ(c.rounds, 1U);
+  EXPECT_DOUBLE_EQ(c.data_transferred.value, 1000.0);
+  EXPECT_NEAR(c.total_time.value, 2.0 + env.switchover.value, 1e-9);
+  EXPECT_NEAR(c.downtime.value, env.switchover.value, 1e-9);
+}
+
+TEST(Migration, NonConvergentVmHitsRoundCap) {
+  // Dirty rate equals bandwidth: each round re-sends as much as it pushed.
+  const Vm v = make_vm(1024.0, 1000.0);
+  MigrationEnvironment env;
+  env.bandwidth = MiBps{1000.0};
+  const MigrationCost c = migrate_cost(v, env);
+  EXPECT_FALSE(c.converged);
+  EXPECT_EQ(c.rounds, env.max_precopy_rounds);
+  // Downtime is the big stop-and-copy of the residue.
+  EXPECT_GT(c.downtime.value, env.target_downtime.value);
+}
+
+TEST(Migration, MoreDirtyMeansMoreDataAndTime) {
+  MigrationEnvironment env;
+  const MigrationCost slow = migrate_cost(make_vm(2048.0, 20.0), env);
+  const MigrationCost fast = migrate_cost(make_vm(2048.0, 400.0), env);
+  EXPECT_GT(fast.data_transferred.value, slow.data_transferred.value);
+  EXPECT_GT(fast.total_time.value, slow.total_time.value);
+  EXPECT_GE(fast.rounds, slow.rounds);
+}
+
+TEST(Migration, MoreBandwidthMeansLessTime) {
+  MigrationEnvironment slow_env;
+  slow_env.bandwidth = MiBps{250.0};
+  MigrationEnvironment fast_env;
+  fast_env.bandwidth = MiBps{2000.0};
+  const Vm v = make_vm(2048.0, 40.0);
+  EXPECT_GT(migrate_cost(v, slow_env).total_time.value,
+            migrate_cost(v, fast_env).total_time.value);
+}
+
+TEST(Migration, EnergyComponentsPositiveAndSum) {
+  const Vm v = make_vm(2048.0, 40.0);
+  MigrationEnvironment env;
+  const MigrationCost c = migrate_cost(v, env);
+  EXPECT_GT(c.source_energy.value, 0.0);
+  EXPECT_GT(c.target_energy.value, 0.0);
+  EXPECT_GT(c.network_energy.value, 0.0);
+  EXPECT_DOUBLE_EQ(c.total_energy().value,
+                   c.source_energy.value + c.target_energy.value +
+                       c.network_energy.value);
+}
+
+TEST(Migration, NetworkEnergyProportionalToData) {
+  const Vm v = make_vm(1000.0, 0.0);
+  MigrationEnvironment env;
+  env.network_joules_per_mib = 0.05;
+  const MigrationCost c = migrate_cost(v, env);
+  EXPECT_NEAR(c.network_energy.value, 1000.0 * 0.05, 1e-9);
+}
+
+TEST(Migration, BiggerVmCostsMore) {
+  MigrationEnvironment env;
+  const MigrationCost small = migrate_cost(make_vm(1024.0, 40.0), env);
+  const MigrationCost large = migrate_cost(make_vm(8192.0, 40.0), env);
+  EXPECT_GT(large.total_energy().value, small.total_energy().value);
+  EXPECT_GT(large.total_time.value, small.total_time.value);
+}
+
+TEST(VmStart, TransferPlusBoot) {
+  VmSpec spec;
+  spec.image_size = MiB{5000.0};
+  const Vm v(VmId{1}, AppId{1}, 0.1, spec);
+  VmStartEnvironment env;
+  env.image_bandwidth = MiBps{500.0};
+  env.boot_time = Seconds{20.0};
+  const VmStartCost c = vm_start_cost(v, env);
+  EXPECT_NEAR(c.time.value, 10.0 + 20.0, 1e-9);
+  EXPECT_GT(c.energy.value, 0.0);
+}
+
+TEST(VmStart, LargerImageCostsMore) {
+  VmSpec small_spec;
+  small_spec.image_size = MiB{1024.0};
+  VmSpec large_spec;
+  large_spec.image_size = MiB{16384.0};
+  VmStartEnvironment env;
+  const VmStartCost small = vm_start_cost(Vm(VmId{1}, AppId{1}, 0.1, small_spec), env);
+  const VmStartCost large = vm_start_cost(Vm(VmId{2}, AppId{1}, 0.1, large_spec), env);
+  EXPECT_GT(large.time.value, small.time.value);
+  EXPECT_GT(large.energy.value, small.energy.value);
+}
+
+// Property sweep over (ram, dirty rate): data transferred is always at least
+// the RAM size and downtime never exceeds the worst-case residue time.
+class MigrationSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MigrationSweep, InvariantsHold) {
+  const auto [ram, dirty] = GetParam();
+  const Vm v = make_vm(ram, dirty);
+  MigrationEnvironment env;
+  const MigrationCost c = migrate_cost(v, env);
+  EXPECT_GE(c.data_transferred.value, ram - 1e-9);
+  EXPECT_GT(c.total_time.value, 0.0);
+  EXPECT_GE(c.total_time.value, c.downtime.value - 1e-9);
+  EXPECT_GE(c.rounds, 1U);
+  EXPECT_LE(c.rounds, env.max_precopy_rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RamByDirtyRate, MigrationSweep,
+    ::testing::Combine(::testing::Values(512.0, 2048.0, 8192.0, 32768.0),
+                       ::testing::Values(0.0, 40.0, 400.0, 1500.0)));
+
+}  // namespace
+}  // namespace eclb::vm

@@ -1,0 +1,71 @@
+#include "vm/scaling.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::vm {
+namespace {
+
+using common::AppId;
+using common::VmId;
+
+TEST(Scaling, VerticalIsCheap) {
+  const ScalingCostParams params;
+  const ScalingCost p = vertical_cost(params);
+  EXPECT_DOUBLE_EQ(p.time.value, params.vertical_latency.value);
+  EXPECT_DOUBLE_EQ(p.energy.value, params.vertical_energy.value);
+}
+
+TEST(Scaling, LeaderCommunicationScalesWithMessages) {
+  ScalingCostParams params;
+  params.messages_per_negotiation = 4;
+  const ScalingCost j4 = leader_communication_cost(params);
+  params.messages_per_negotiation = 8;
+  const ScalingCost j8 = leader_communication_cost(params);
+  EXPECT_DOUBLE_EQ(j8.time.value, 2.0 * j4.time.value);
+  EXPECT_DOUBLE_EQ(j8.energy.value, 2.0 * j4.energy.value);
+}
+
+TEST(Scaling, HorizontalMigrationIncludesLeaderAndMigration) {
+  const ScalingCostParams params;
+  const Vm v(VmId{1}, AppId{1}, 0.2);
+  const ScalingCost q = horizontal_migration_cost(v, params);
+  const ScalingCost j = leader_communication_cost(params);
+  const MigrationCost m = migrate_cost(v, params.migration);
+  EXPECT_NEAR(q.time.value, j.time.value + m.total_time.value, 1e-9);
+  EXPECT_NEAR(q.energy.value, j.energy.value + m.total_energy().value, 1e-9);
+}
+
+TEST(Scaling, HorizontalStartIncludesLeaderAndBoot) {
+  const ScalingCostParams params;
+  const Vm v(VmId{1}, AppId{1}, 0.2);
+  const ScalingCost q = horizontal_start_cost(v, params);
+  const ScalingCost j = leader_communication_cost(params);
+  const VmStartCost s = vm_start_cost(v, params.vm_start);
+  EXPECT_NEAR(q.time.value, j.time.value + s.time.value, 1e-9);
+  EXPECT_NEAR(q.energy.value, j.energy.value + s.energy.value, 1e-9);
+}
+
+TEST(Scaling, HorizontalDominatesVertical) {
+  // The paper's premise: q_k + j_k >> p_k.  With default parameters the gap
+  // should be at least an order of magnitude in both time and energy.
+  const ScalingCostParams params;
+  const Vm v(VmId{1}, AppId{1}, 0.2);
+  const ScalingCost p = vertical_cost(params);
+  const ScalingCost q_mig = horizontal_migration_cost(v, params);
+  const ScalingCost q_start = horizontal_start_cost(v, params);
+  EXPECT_GT(q_mig.energy.value, 10.0 * p.energy.value);
+  EXPECT_GT(q_mig.time.value, 10.0 * p.time.value);
+  EXPECT_GT(q_start.energy.value, 10.0 * p.energy.value);
+}
+
+TEST(Scaling, CostAccumulation) {
+  ScalingCost total{};
+  const ScalingCostParams params;
+  total += vertical_cost(params);
+  total += vertical_cost(params);
+  EXPECT_DOUBLE_EQ(total.time.value, 2.0 * params.vertical_latency.value);
+  EXPECT_DOUBLE_EQ(total.energy.value, 2.0 * params.vertical_energy.value);
+}
+
+}  // namespace
+}  // namespace eclb::vm

@@ -1,0 +1,71 @@
+#include "vm/vm.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::vm {
+namespace {
+
+using common::AppId;
+using common::VmId;
+
+TEST(Vm, ConstructionStoresFields) {
+  const Vm v(VmId{1}, AppId{2}, 0.25);
+  EXPECT_EQ(v.id(), VmId{1});
+  EXPECT_EQ(v.app(), AppId{2});
+  EXPECT_DOUBLE_EQ(v.demand(), 0.25);
+  EXPECT_DOUBLE_EQ(v.served(), 0.25);
+}
+
+TEST(Vm, DemandClampedToUnitInterval) {
+  const Vm high(VmId{1}, AppId{1}, 1.5);
+  EXPECT_DOUBLE_EQ(high.demand(), 1.0);
+  const Vm low(VmId{2}, AppId{1}, -0.5);
+  EXPECT_DOUBLE_EQ(low.demand(), 0.0);
+}
+
+TEST(Vm, SetDemandClamps) {
+  Vm v(VmId{1}, AppId{1}, 0.3);
+  v.set_demand(0.7);
+  EXPECT_DOUBLE_EQ(v.demand(), 0.7);
+  v.set_demand(2.0);
+  EXPECT_DOUBLE_EQ(v.demand(), 1.0);
+}
+
+TEST(Vm, ShrinkingDemandCapsServed) {
+  Vm v(VmId{1}, AppId{1}, 0.8);
+  v.set_served(0.8);
+  v.set_demand(0.5);
+  EXPECT_LE(v.served(), v.demand());
+}
+
+TEST(Vm, SetServedWithinDemand) {
+  Vm v(VmId{1}, AppId{1}, 0.6);
+  v.set_served(0.4);
+  EXPECT_DOUBLE_EQ(v.served(), 0.4);
+}
+
+TEST(VmDeathTest, ServedAboveDemandAborts) {
+  Vm v(VmId{1}, AppId{1}, 0.5);
+  EXPECT_DEATH(v.set_served(0.9), "served must be in");
+}
+
+TEST(Vm, DefaultSpecIsSane) {
+  const Vm v(VmId{1}, AppId{1}, 0.1);
+  EXPECT_GT(v.spec().image_size.value, 0.0);
+  EXPECT_GT(v.spec().ram.value, 0.0);
+  EXPECT_GT(v.spec().dirty_rate.value, 0.0);
+}
+
+TEST(Vm, CustomSpecStored) {
+  VmSpec spec;
+  spec.image_size = common::MiB{8192.0};
+  spec.ram = common::MiB{4096.0};
+  spec.dirty_rate = common::MiBps{100.0};
+  const Vm v(VmId{3}, AppId{4}, 0.2, spec);
+  EXPECT_DOUBLE_EQ(v.spec().image_size.value, 8192.0);
+  EXPECT_DOUBLE_EQ(v.spec().ram.value, 4096.0);
+  EXPECT_DOUBLE_EQ(v.spec().dirty_rate.value, 100.0);
+}
+
+}  // namespace
+}  // namespace eclb::vm

@@ -1,0 +1,148 @@
+#include "workload/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace eclb::workload {
+namespace {
+
+using common::Rng;
+using common::Seconds;
+
+TEST(ConstantProfile, AlwaysSameLevel) {
+  const ConstantProfile p(42.0);
+  EXPECT_DOUBLE_EQ(p.demand(Seconds{0.0}), 42.0);
+  EXPECT_DOUBLE_EQ(p.demand(Seconds{1e6}), 42.0);
+}
+
+TEST(DiurnalProfile, PeriodicityAndBounds) {
+  const DiurnalProfile p(50.0, 20.0, Seconds{86400.0});
+  for (int h = 0; h < 48; ++h) {
+    const Seconds t{h * 3600.0};
+    const double d = p.demand(t);
+    EXPECT_GE(d, 30.0 - 1e-9);
+    EXPECT_LE(d, 70.0 + 1e-9);
+    EXPECT_NEAR(p.demand(t + Seconds{86400.0}), d, 1e-9);
+  }
+}
+
+TEST(DiurnalProfile, PeakAtQuarterPeriod) {
+  const DiurnalProfile p(50.0, 20.0, Seconds{86400.0});
+  EXPECT_NEAR(p.demand(Seconds{86400.0 / 4.0}), 70.0, 1e-9);
+  EXPECT_NEAR(p.demand(Seconds{3.0 * 86400.0 / 4.0}), 30.0, 1e-9);
+}
+
+TEST(DiurnalProfile, ClampsNegativeToZero) {
+  const DiurnalProfile p(5.0, 20.0, Seconds{100.0});
+  // At the trough the raw value is -15; the profile clamps.
+  EXPECT_DOUBLE_EQ(p.demand(Seconds{75.0}), 0.0);
+}
+
+TEST(SpikyProfile, BaseBetweenSpikes) {
+  Rng rng(3);
+  SpikyProfile::Params params;
+  params.base = 10.0;
+  params.spike_rate_per_hour = 0.0;  // no spikes at all
+  const SpikyProfile p(params, rng);
+  EXPECT_EQ(p.spike_count(), 0U);
+  EXPECT_DOUBLE_EQ(p.demand(Seconds{1000.0}), 10.0);
+}
+
+TEST(SpikyProfile, SpikesRaiseDemand) {
+  Rng rng(5);
+  SpikyProfile::Params params;
+  params.base = 10.0;
+  params.spike_rate_per_hour = 20.0;  // frequent spikes
+  const SpikyProfile p(params, rng);
+  EXPECT_GT(p.spike_count(), 0U);
+  // Somewhere over the horizon demand exceeds the base.
+  bool above_base = false;
+  for (int i = 0; i < 24 * 60; ++i) {
+    if (p.demand(Seconds{i * 60.0}) > params.base + 1e-9) {
+      above_base = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(above_base);
+}
+
+TEST(SpikyProfile, DeterministicGivenRngState) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  SpikyProfile::Params params;
+  const SpikyProfile a(params, rng_a);
+  const SpikyProfile b(params, rng_b);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.demand(Seconds{i * 600.0}), b.demand(Seconds{i * 600.0}));
+  }
+}
+
+TEST(SpikyProfile, SpikeHeightsWithinRange) {
+  Rng rng(9);
+  SpikyProfile::Params params;
+  params.base = 10.0;
+  params.spike_min = 5.0;
+  params.spike_max = 8.0;
+  params.spike_rate_per_hour = 1.0;
+  const SpikyProfile p(params, rng);
+  for (int i = 0; i < 24 * 360; ++i) {
+    const double d = p.demand(Seconds{i * 10.0});
+    EXPECT_GE(d, 10.0 - 1e-9);
+    // Overlapping spikes can stack, so only the single-spike common case is
+    // tightly bounded; allow a small number of stacked spikes.
+    EXPECT_LE(d, 10.0 + 4 * 8.0 + 1e-9);
+  }
+}
+
+TEST(RandomWalkProfile, StaysWithinBounds) {
+  Rng rng(11);
+  RandomWalkProfile::Params params;
+  params.start = 30.0;
+  params.max_step = 2.0;
+  params.floor = 10.0;
+  params.ceiling = 50.0;
+  const RandomWalkProfile p(params, rng);
+  for (int i = 0; i < 24 * 60; ++i) {
+    const double d = p.demand(Seconds{i * 60.0});
+    EXPECT_GE(d, 10.0 - 1e-9);
+    EXPECT_LE(d, 50.0 + 1e-9);
+  }
+}
+
+TEST(RandomWalkProfile, BoundedRateOfChange) {
+  // The paper's assumption: bounded rate of increase per interval.
+  Rng rng(13);
+  RandomWalkProfile::Params params;
+  params.max_step = 1.5;
+  params.grid = Seconds{60.0};
+  const RandomWalkProfile p(params, rng);
+  for (int i = 0; i + 1 < 24 * 60; ++i) {
+    const double a = p.demand(Seconds{i * 60.0});
+    const double b = p.demand(Seconds{(i + 1) * 60.0});
+    EXPECT_LE(std::abs(b - a), 1.5 + 1e-9);
+  }
+}
+
+TEST(RandomWalkProfile, InterpolatesBetweenGridPoints) {
+  Rng rng(17);
+  RandomWalkProfile::Params params;
+  params.grid = Seconds{60.0};
+  const RandomWalkProfile p(params, rng);
+  const double a = p.demand(Seconds{0.0});
+  const double b = p.demand(Seconds{60.0});
+  EXPECT_NEAR(p.demand(Seconds{30.0}), 0.5 * (a + b), 1e-9);
+}
+
+TEST(CompositeProfile, SumsParts) {
+  auto base = std::make_shared<ConstantProfile>(10.0);
+  auto wave = std::make_shared<DiurnalProfile>(5.0, 2.0, Seconds{100.0});
+  const CompositeProfile p({base, wave});
+  EXPECT_NEAR(p.demand(Seconds{0.0}),
+              base->demand(Seconds{0.0}) + wave->demand(Seconds{0.0}), 1e-12);
+  EXPECT_NEAR(p.demand(Seconds{25.0}),
+              base->demand(Seconds{25.0}) + wave->demand(Seconds{25.0}), 1e-12);
+}
+
+}  // namespace
+}  // namespace eclb::workload

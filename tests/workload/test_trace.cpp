@@ -1,0 +1,96 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::workload {
+namespace {
+
+using common::Seconds;
+
+TEST(Trace, PushAndAccess) {
+  Trace t(Seconds{60.0});
+  EXPECT_TRUE(t.empty());
+  t.push(1.0);
+  t.push(2.0);
+  EXPECT_EQ(t.size(), 2U);
+  EXPECT_DOUBLE_EQ(t.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(1), 2.0);
+  EXPECT_DOUBLE_EQ(t.time_of(1).value, 60.0);
+}
+
+TEST(Trace, ConstructFromValues) {
+  const Trace t(Seconds{10.0}, {3.0, 4.0, 5.0});
+  EXPECT_EQ(t.size(), 3U);
+  EXPECT_DOUBLE_EQ(t.at(2), 5.0);
+}
+
+TEST(Trace, DemandAtInterpolates) {
+  const Trace t(Seconds{10.0}, {0.0, 10.0, 20.0});
+  EXPECT_DOUBLE_EQ(t.demand_at(Seconds{0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(t.demand_at(Seconds{5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(t.demand_at(Seconds{15.0}), 15.0);
+}
+
+TEST(Trace, DemandAtClampsEnds) {
+  const Trace t(Seconds{10.0}, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(t.demand_at(Seconds{-5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(t.demand_at(Seconds{100.0}), 2.0);
+}
+
+TEST(Trace, EmptyTraceDemandIsZero) {
+  const Trace t(Seconds{10.0});
+  EXPECT_DOUBLE_EQ(t.demand_at(Seconds{5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(t.peak(), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+}
+
+TEST(Trace, PeakAndMean) {
+  const Trace t(Seconds{1.0}, {1.0, 5.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.peak(), 5.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 3.0);
+}
+
+TEST(Trace, SampleCoversHorizonInclusive) {
+  const ConstantProfile p(7.0);
+  const Trace t = sample(p, Seconds{60.0}, Seconds{600.0});
+  EXPECT_EQ(t.size(), 11U);  // 0, 60, ..., 600
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t.at(i), 7.0);
+  }
+}
+
+TEST(Trace, SampleFollowsProfile) {
+  const DiurnalProfile p(10.0, 5.0, Seconds{3600.0});
+  const Trace t = sample(p, Seconds{900.0}, Seconds{3600.0});
+  ASSERT_EQ(t.size(), 5U);
+  EXPECT_NEAR(t.at(0), 10.0, 1e-9);
+  EXPECT_NEAR(t.at(1), 15.0, 1e-9);  // quarter period peak
+  EXPECT_NEAR(t.at(3), 5.0, 1e-9);   // three-quarter trough
+}
+
+TEST(TraceProfile, ReplayMatchesTrace) {
+  const Trace t(Seconds{10.0}, {0.0, 10.0, 20.0});
+  const TraceProfile p(t);
+  EXPECT_DOUBLE_EQ(p.demand(Seconds{5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(p.demand(Seconds{20.0}), 20.0);
+}
+
+TEST(TraceProfile, RecordReplayRoundTrip) {
+  common::Rng rng(19);
+  RandomWalkProfile::Params params;
+  const RandomWalkProfile original(params, rng);
+  const Trace recorded = sample(original, Seconds{60.0}, Seconds{3600.0});
+  const TraceProfile replay(recorded);
+  for (int i = 0; i <= 60; ++i) {
+    const Seconds t{i * 60.0};
+    EXPECT_NEAR(replay.demand(t), original.demand(t), 1e-9);
+  }
+}
+
+TEST(TraceDeathTest, NegativeDemandAborts) {
+  Trace t(Seconds{1.0});
+  EXPECT_DEATH(t.push(-1.0), "demand must be >= 0");
+}
+
+}  // namespace
+}  // namespace eclb::workload

@@ -1,0 +1,235 @@
+// eclb_cli -- command-line front end for the simulator.
+//
+// Subcommands:
+//   cluster   run the Section 4/5 cluster protocol and print per-interval CSV
+//   farm      run a Section 3 capacity policy on a synthetic workload
+//   migrate   price one live migration (questions 5-8 of Section 3)
+//   model     evaluate the homogeneous model (Eqs. 6-13)
+//
+// Examples:
+//   eclb_cli cluster --servers 1000 --load 30 --intervals 40 --seed 7
+//   eclb_cli farm --policy autoscale --workload spiky --servers 100
+//   eclb_cli migrate --ram 4096 --dirty 200 --bandwidth 1000
+//   eclb_cli model --a-avg 0.3 --b-avg 0.6 --a-opt 0.9 --b-opt 0.8
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "analytic/homogeneous_model.h"
+#include "common/csv.h"
+#include "common/flags.h"
+#include "experiment/scenario.h"
+#include "policy/farm.h"
+#include "policy/policies.h"
+#include "vm/migration.h"
+#include "workload/profile.h"
+#include "workload/trace.h"
+#include "workload/trace_io.h"
+
+namespace {
+
+using namespace eclb;
+
+int usage() {
+  std::cerr <<
+      "usage: eclb_cli <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  cluster   --servers N --load 30|70 --intervals K --seed S [--tau SEC]\n"
+      "            [--no-sleep] [--no-rebalance]\n"
+      "            runs the energy-aware protocol, prints per-interval CSV\n"
+      "  farm      --policy always-on|reactive|reactive+extra|autoscale|\n"
+      "                     predictive-mw|predictive-lr\n"
+      "            --workload diurnal|spiky|walk|constant [--trace FILE]\n"
+      "            [--servers N] [--hours H] [--sleep-state C3|C6] [--seed S]\n"
+      "            scores a capacity policy (energy, violations)\n"
+      "  migrate   --ram MiB --dirty MiBps --bandwidth MiBps [--image MiB]\n"
+      "            prices one pre-copy live migration\n"
+      "  model     --a-avg X --b-avg X --a-opt X --b-opt X [--n N]\n"
+      "            evaluates E_ref/E_opt (Eq. 12)\n";
+  return 2;
+}
+
+int cmd_cluster(common::Flags& flags) {
+  const auto servers = static_cast<std::size_t>(flags.get_int("servers", 100));
+  const long long load = flags.get_int("load", 30);
+  const auto intervals = static_cast<std::size_t>(flags.get_int("intervals", 40));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  auto cfg = experiment::paper_cluster_config(
+      servers,
+      load >= 50 ? experiment::AverageLoad::kHigh70
+                 : experiment::AverageLoad::kLow30,
+      seed);
+  cfg.reallocation_interval = common::Seconds{flags.get_double("tau", 60.0)};
+  if (flags.get_bool("no-sleep")) cfg.allow_sleep = false;
+  if (flags.get_bool("no-rebalance")) cfg.rebalance_enabled = false;
+
+  cluster::Cluster cluster(cfg);
+  common::CsvWriter csv(std::cout,
+                        {"interval", "local", "in_cluster", "ratio", "migrations",
+                         "sleeps", "wakes", "parked", "deep_sleeping",
+                         "sla_violations", "energy_kwh"});
+  for (std::size_t i = 0; i < intervals; ++i) {
+    const auto r = cluster.step();
+    csv.row({common::CsvWriter::cell(static_cast<long long>(r.interval_index)),
+             common::CsvWriter::cell(static_cast<long long>(r.local_decisions)),
+             common::CsvWriter::cell(static_cast<long long>(r.in_cluster_decisions)),
+             common::CsvWriter::cell(r.decision_ratio()),
+             common::CsvWriter::cell(static_cast<long long>(r.migrations)),
+             common::CsvWriter::cell(static_cast<long long>(r.sleeps)),
+             common::CsvWriter::cell(static_cast<long long>(r.wakes)),
+             common::CsvWriter::cell(static_cast<long long>(r.parked_servers)),
+             common::CsvWriter::cell(static_cast<long long>(r.deep_sleeping_servers)),
+             common::CsvWriter::cell(static_cast<long long>(r.sla_violations)),
+             common::CsvWriter::cell(r.interval_energy.kwh())});
+  }
+  std::cerr << "total energy: " << cluster.total_energy().kwh() << " kWh, "
+            << cluster.message_stats().total() << " control messages\n";
+  return 0;
+}
+
+std::unique_ptr<policy::CapacityPolicy> make_policy(const std::string& name) {
+  for (auto& p : policy::standard_policies()) {
+    if (p->name() == name) return std::move(p);
+  }
+  return nullptr;
+}
+
+int cmd_farm(common::Flags& flags) {
+  const std::string policy_name = flags.get("policy", "reactive");
+  auto policy = make_policy(policy_name);
+  if (policy == nullptr) {
+    std::cerr << "unknown policy: " << policy_name << "\n";
+    return 2;
+  }
+  const auto servers = static_cast<std::size_t>(flags.get_int("servers", 100));
+  const double hours = flags.get_double("hours", 24.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const common::Seconds horizon{hours * 3600.0};
+
+  workload::Trace trace(common::Seconds{60.0});
+  const std::string trace_file = flags.get("trace");
+  if (!trace_file.empty()) {
+    auto loaded = workload::load_trace_file(trace_file);
+    if (!loaded.has_value()) {
+      std::cerr << "could not load trace: " << trace_file << "\n";
+      return 2;
+    }
+    trace = std::move(*loaded);
+  } else {
+    common::Rng rng(seed);
+    const std::string kind = flags.get("workload", "diurnal");
+    const double scale = static_cast<double>(servers);
+    std::shared_ptr<const workload::Profile> profile;
+    if (kind == "diurnal") {
+      profile = std::make_shared<workload::DiurnalProfile>(
+          0.45 * scale, 0.30 * scale, common::Seconds{24.0 * 3600.0});
+    } else if (kind == "spiky") {
+      workload::SpikyProfile::Params sp;
+      sp.base = 0.25 * scale;
+      sp.spike_min = 0.15 * scale;
+      sp.spike_max = 0.45 * scale;
+      sp.horizon = horizon;
+      profile = std::make_shared<workload::SpikyProfile>(sp, rng);
+    } else if (kind == "walk") {
+      workload::RandomWalkProfile::Params rw;
+      rw.start = 0.4 * scale;
+      rw.max_step = 0.012 * scale;
+      rw.ceiling = 0.8 * scale;
+      rw.horizon = horizon;
+      profile = std::make_shared<workload::RandomWalkProfile>(rw, rng);
+    } else if (kind == "constant") {
+      profile = std::make_shared<workload::ConstantProfile>(0.4 * scale);
+    } else {
+      std::cerr << "unknown workload: " << kind << "\n";
+      return 2;
+    }
+    trace = workload::sample(*profile, common::Seconds{60.0}, horizon);
+  }
+
+  policy::FarmConfig fc;
+  fc.server_count = servers;
+  const std::string sleep = flags.get("sleep-state", "C6");
+  fc.sleep_state = sleep == "C3" ? energy::CState::kC3 : energy::CState::kC6;
+  const auto result = policy::FarmSimulator(fc).run(*policy, trace);
+
+  std::printf("policy:          %s\n", result.policy_name.c_str());
+  std::printf("steps:           %zu (%.1f h)\n", result.steps,
+              static_cast<double>(result.steps) / 60.0);
+  std::printf("energy:          %.1f kWh (always-on: %.1f kWh, saving %.1f%%)\n",
+              result.energy.kwh(), result.always_on_energy.kwh(),
+              100.0 * result.energy_saving());
+  std::printf("violations:      %zu steps (%.2f%%), unserved %.1f\n",
+              result.violation_steps, 100.0 * result.violation_rate(),
+              result.unserved_demand);
+  std::printf("avg awake:       %.1f / %zu\n", result.average_awake, servers);
+  std::printf("transitions:     %zu wakes, %zu sleeps\n", result.wake_transitions,
+              result.sleep_transitions);
+  return 0;
+}
+
+int cmd_migrate(common::Flags& flags) {
+  vm::VmSpec spec;
+  spec.ram = common::MiB{flags.get_double("ram", 2048.0)};
+  spec.dirty_rate = common::MiBps{flags.get_double("dirty", 40.0)};
+  spec.image_size = common::MiB{flags.get_double("image", 4096.0)};
+  vm::MigrationEnvironment env;
+  env.bandwidth = common::MiBps{flags.get_double("bandwidth", 1000.0)};
+  const vm::Vm v(common::VmId{1}, common::AppId{1}, 0.2, spec);
+  const auto c = vm::migrate_cost(v, env);
+  std::printf("pre-copy rounds: %zu (%s)\n", c.rounds,
+              c.converged ? "converged" : "hit round cap");
+  std::printf("total time:      %.3f s\n", c.total_time.value);
+  std::printf("downtime:        %.3f s\n", c.downtime.value);
+  std::printf("data moved:      %.0f MiB\n", c.data_transferred.value);
+  std::printf("energy:          %.1f J (source %.1f + target %.1f + network %.1f)\n",
+              c.total_energy().value, c.source_energy.value, c.target_energy.value,
+              c.network_energy.value);
+  return 0;
+}
+
+int cmd_model(common::Flags& flags) {
+  analytic::HomogeneousModel m;
+  m.n = static_cast<std::size_t>(flags.get_int("n", 100));
+  const double a_avg = flags.get_double("a-avg", 0.3);
+  m.a_min = 0.0;
+  m.a_max = 2.0 * a_avg;
+  m.b_avg = flags.get_double("b-avg", 0.6);
+  m.a_opt = flags.get_double("a-opt", 0.9);
+  m.b_opt = flags.get_double("b-opt", 0.8);
+  if (!m.valid()) {
+    std::cerr << "invalid model parameters\n";
+    return 2;
+  }
+  std::printf("a_avg=%.3f b_avg=%.3f a_opt=%.3f b_opt=%.3f n=%zu\n", m.a_avg(),
+              m.b_avg, m.a_opt, m.b_opt, m.n);
+  std::printf("E_ref/E_opt = %.4f (Eq. 12)\n", m.energy_ratio());
+  std::printf("energy saving = %.1f%%\n", 100.0 * m.energy_saving());
+  std::printf("n_sleep = %.1f of %zu servers (Eq. 11)\n", m.n_sleep(), m.n);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  auto flags = common::Flags::parse(argc - 1, argv + 1);
+
+  int rc;
+  if (command == "cluster") {
+    rc = cmd_cluster(flags);
+  } else if (command == "farm") {
+    rc = cmd_farm(flags);
+  } else if (command == "migrate") {
+    rc = cmd_migrate(flags);
+  } else if (command == "model") {
+    rc = cmd_model(flags);
+  } else {
+    return usage();
+  }
+  for (const auto& err : flags.errors()) {
+    std::cerr << "warning: " << err << "\n";
+  }
+  return rc;
+}
