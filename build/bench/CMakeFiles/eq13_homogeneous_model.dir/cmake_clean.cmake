@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eq13_homogeneous_model.dir/eq13_homogeneous_model.cpp.o"
+  "CMakeFiles/eq13_homogeneous_model.dir/eq13_homogeneous_model.cpp.o.d"
+  "eq13_homogeneous_model"
+  "eq13_homogeneous_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq13_homogeneous_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_regime_boundaries.dir/fig1_regime_boundaries.cpp.o"
+  "CMakeFiles/fig1_regime_boundaries.dir/fig1_regime_boundaries.cpp.o.d"
+  "fig1_regime_boundaries"
+  "fig1_regime_boundaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_regime_boundaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_regime_distribution.dir/fig2_regime_distribution.cpp.o"
+  "CMakeFiles/fig2_regime_distribution.dir/fig2_regime_distribution.cpp.o.d"
+  "fig2_regime_distribution"
+  "fig2_regime_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_regime_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

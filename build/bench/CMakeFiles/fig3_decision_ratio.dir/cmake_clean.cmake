@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_decision_ratio.dir/fig3_decision_ratio.cpp.o"
+  "CMakeFiles/fig3_decision_ratio.dir/fig3_decision_ratio.cpp.o.d"
+  "fig3_decision_ratio"
+  "fig3_decision_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_decision_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

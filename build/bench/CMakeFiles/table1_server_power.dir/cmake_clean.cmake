@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_server_power.dir/table1_server_power.cpp.o"
+  "CMakeFiles/table1_server_power.dir/table1_server_power.cpp.o.d"
+  "table1_server_power"
+  "table1_server_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_server_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x10_network_fabric.dir/x10_network_fabric.cpp.o"
+  "CMakeFiles/x10_network_fabric.dir/x10_network_fabric.cpp.o.d"
+  "x10_network_fabric"
+  "x10_network_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x10_network_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x1_small_clusters.dir/x1_small_clusters.cpp.o"
+  "CMakeFiles/x1_small_clusters.dir/x1_small_clusters.cpp.o.d"
+  "x1_small_clusters"
+  "x1_small_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x1_small_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

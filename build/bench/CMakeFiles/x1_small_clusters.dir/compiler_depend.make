@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for x1_small_clusters.
+# This may be replaced when dependencies are built.

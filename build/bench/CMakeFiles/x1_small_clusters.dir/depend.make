@@ -1,0 +1,2 @@
+# Empty dependencies file for x1_small_clusters.
+# This may be replaced when dependencies are built.

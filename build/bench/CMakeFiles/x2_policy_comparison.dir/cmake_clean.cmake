@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2_policy_comparison.dir/x2_policy_comparison.cpp.o"
+  "CMakeFiles/x2_policy_comparison.dir/x2_policy_comparison.cpp.o.d"
+  "x2_policy_comparison"
+  "x2_policy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x3_migration_costs.dir/x3_migration_costs.cpp.o"
+  "CMakeFiles/x3_migration_costs.dir/x3_migration_costs.cpp.o.d"
+  "x3_migration_costs"
+  "x3_migration_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x3_migration_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x4_sleep_state_ablation.dir/x4_sleep_state_ablation.cpp.o"
+  "CMakeFiles/x4_sleep_state_ablation.dir/x4_sleep_state_ablation.cpp.o.d"
+  "x4_sleep_state_ablation"
+  "x4_sleep_state_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x4_sleep_state_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

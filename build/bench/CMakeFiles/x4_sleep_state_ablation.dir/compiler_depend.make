@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for x4_sleep_state_ablation.
+# This may be replaced when dependencies are built.

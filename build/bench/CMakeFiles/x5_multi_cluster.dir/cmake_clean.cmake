@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x5_multi_cluster.dir/x5_multi_cluster.cpp.o"
+  "CMakeFiles/x5_multi_cluster.dir/x5_multi_cluster.cpp.o.d"
+  "x5_multi_cluster"
+  "x5_multi_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x5_multi_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

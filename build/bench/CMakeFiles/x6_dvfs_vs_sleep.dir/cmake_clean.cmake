@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x6_dvfs_vs_sleep.dir/x6_dvfs_vs_sleep.cpp.o"
+  "CMakeFiles/x6_dvfs_vs_sleep.dir/x6_dvfs_vs_sleep.cpp.o.d"
+  "x6_dvfs_vs_sleep"
+  "x6_dvfs_vs_sleep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x6_dvfs_vs_sleep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

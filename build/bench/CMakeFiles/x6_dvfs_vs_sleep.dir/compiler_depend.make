@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for x6_dvfs_vs_sleep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for x6_dvfs_vs_sleep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x7_tau_sensitivity.dir/x7_tau_sensitivity.cpp.o"
+  "CMakeFiles/x7_tau_sensitivity.dir/x7_tau_sensitivity.cpp.o.d"
+  "x7_tau_sensitivity"
+  "x7_tau_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x7_tau_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x8_storage_replication.dir/x8_storage_replication.cpp.o"
+  "CMakeFiles/x8_storage_replication.dir/x8_storage_replication.cpp.o.d"
+  "x8_storage_replication"
+  "x8_storage_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x8_storage_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

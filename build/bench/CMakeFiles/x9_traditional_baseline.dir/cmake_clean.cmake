@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x9_traditional_baseline.dir/x9_traditional_baseline.cpp.o"
+  "CMakeFiles/x9_traditional_baseline.dir/x9_traditional_baseline.cpp.o.d"
+  "x9_traditional_baseline"
+  "x9_traditional_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x9_traditional_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for x9_traditional_baseline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale_saas.dir/autoscale_saas.cpp.o"
+  "CMakeFiles/autoscale_saas.dir/autoscale_saas.cpp.o.d"
+  "autoscale_saas"
+  "autoscale_saas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale_saas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_audit.dir/green_audit.cpp.o"
+  "CMakeFiles/green_audit.dir/green_audit.cpp.o.d"
+  "green_audit"
+  "green_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/efficiency.cpp" "src/analytic/CMakeFiles/eclb_analytic.dir/efficiency.cpp.o" "gcc" "src/analytic/CMakeFiles/eclb_analytic.dir/efficiency.cpp.o.d"
+  "/root/repo/src/analytic/homogeneous_model.cpp" "src/analytic/CMakeFiles/eclb_analytic.dir/homogeneous_model.cpp.o" "gcc" "src/analytic/CMakeFiles/eclb_analytic.dir/homogeneous_model.cpp.o.d"
+  "/root/repo/src/analytic/qos.cpp" "src/analytic/CMakeFiles/eclb_analytic.dir/qos.cpp.o" "gcc" "src/analytic/CMakeFiles/eclb_analytic.dir/qos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eclb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eclb_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_analytic.dir/efficiency.cpp.o"
+  "CMakeFiles/eclb_analytic.dir/efficiency.cpp.o.d"
+  "CMakeFiles/eclb_analytic.dir/homogeneous_model.cpp.o"
+  "CMakeFiles/eclb_analytic.dir/homogeneous_model.cpp.o.d"
+  "CMakeFiles/eclb_analytic.dir/qos.cpp.o"
+  "CMakeFiles/eclb_analytic.dir/qos.cpp.o.d"
+  "libeclb_analytic.a"
+  "libeclb_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

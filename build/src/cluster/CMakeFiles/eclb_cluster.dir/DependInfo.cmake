@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cloud.cpp" "src/cluster/CMakeFiles/eclb_cluster.dir/cloud.cpp.o" "gcc" "src/cluster/CMakeFiles/eclb_cluster.dir/cloud.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/eclb_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/eclb_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/leader.cpp" "src/cluster/CMakeFiles/eclb_cluster.dir/leader.cpp.o" "gcc" "src/cluster/CMakeFiles/eclb_cluster.dir/leader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eclb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eclb_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/eclb_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/eclb_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/eclb_analytic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

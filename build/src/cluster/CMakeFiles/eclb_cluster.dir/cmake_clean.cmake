@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_cluster.dir/cloud.cpp.o"
+  "CMakeFiles/eclb_cluster.dir/cloud.cpp.o.d"
+  "CMakeFiles/eclb_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/eclb_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/eclb_cluster.dir/leader.cpp.o"
+  "CMakeFiles/eclb_cluster.dir/leader.cpp.o.d"
+  "libeclb_cluster.a"
+  "libeclb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_common.dir/csv.cpp.o"
+  "CMakeFiles/eclb_common.dir/csv.cpp.o.d"
+  "CMakeFiles/eclb_common.dir/flags.cpp.o"
+  "CMakeFiles/eclb_common.dir/flags.cpp.o.d"
+  "CMakeFiles/eclb_common.dir/log.cpp.o"
+  "CMakeFiles/eclb_common.dir/log.cpp.o.d"
+  "CMakeFiles/eclb_common.dir/rng.cpp.o"
+  "CMakeFiles/eclb_common.dir/rng.cpp.o.d"
+  "CMakeFiles/eclb_common.dir/stats.cpp.o"
+  "CMakeFiles/eclb_common.dir/stats.cpp.o.d"
+  "CMakeFiles/eclb_common.dir/table.cpp.o"
+  "CMakeFiles/eclb_common.dir/table.cpp.o.d"
+  "CMakeFiles/eclb_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/eclb_common.dir/thread_pool.cpp.o.d"
+  "libeclb_common.a"
+  "libeclb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/cstates.cpp" "src/energy/CMakeFiles/eclb_energy.dir/cstates.cpp.o" "gcc" "src/energy/CMakeFiles/eclb_energy.dir/cstates.cpp.o.d"
+  "/root/repo/src/energy/dvfs.cpp" "src/energy/CMakeFiles/eclb_energy.dir/dvfs.cpp.o" "gcc" "src/energy/CMakeFiles/eclb_energy.dir/dvfs.cpp.o.d"
+  "/root/repo/src/energy/energy_meter.cpp" "src/energy/CMakeFiles/eclb_energy.dir/energy_meter.cpp.o" "gcc" "src/energy/CMakeFiles/eclb_energy.dir/energy_meter.cpp.o.d"
+  "/root/repo/src/energy/power_model.cpp" "src/energy/CMakeFiles/eclb_energy.dir/power_model.cpp.o" "gcc" "src/energy/CMakeFiles/eclb_energy.dir/power_model.cpp.o.d"
+  "/root/repo/src/energy/regimes.cpp" "src/energy/CMakeFiles/eclb_energy.dir/regimes.cpp.o" "gcc" "src/energy/CMakeFiles/eclb_energy.dir/regimes.cpp.o.d"
+  "/root/repo/src/energy/server_power_data.cpp" "src/energy/CMakeFiles/eclb_energy.dir/server_power_data.cpp.o" "gcc" "src/energy/CMakeFiles/eclb_energy.dir/server_power_data.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eclb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_energy.dir/cstates.cpp.o"
+  "CMakeFiles/eclb_energy.dir/cstates.cpp.o.d"
+  "CMakeFiles/eclb_energy.dir/dvfs.cpp.o"
+  "CMakeFiles/eclb_energy.dir/dvfs.cpp.o.d"
+  "CMakeFiles/eclb_energy.dir/energy_meter.cpp.o"
+  "CMakeFiles/eclb_energy.dir/energy_meter.cpp.o.d"
+  "CMakeFiles/eclb_energy.dir/power_model.cpp.o"
+  "CMakeFiles/eclb_energy.dir/power_model.cpp.o.d"
+  "CMakeFiles/eclb_energy.dir/regimes.cpp.o"
+  "CMakeFiles/eclb_energy.dir/regimes.cpp.o.d"
+  "CMakeFiles/eclb_energy.dir/server_power_data.cpp.o"
+  "CMakeFiles/eclb_energy.dir/server_power_data.cpp.o.d"
+  "libeclb_energy.a"
+  "libeclb_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_experiment.dir/driver.cpp.o"
+  "CMakeFiles/eclb_experiment.dir/driver.cpp.o.d"
+  "CMakeFiles/eclb_experiment.dir/report.cpp.o"
+  "CMakeFiles/eclb_experiment.dir/report.cpp.o.d"
+  "CMakeFiles/eclb_experiment.dir/runner.cpp.o"
+  "CMakeFiles/eclb_experiment.dir/runner.cpp.o.d"
+  "CMakeFiles/eclb_experiment.dir/scenario.cpp.o"
+  "CMakeFiles/eclb_experiment.dir/scenario.cpp.o.d"
+  "libeclb_experiment.a"
+  "libeclb_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/network_energy.cpp" "src/network/CMakeFiles/eclb_network.dir/network_energy.cpp.o" "gcc" "src/network/CMakeFiles/eclb_network.dir/network_energy.cpp.o.d"
+  "/root/repo/src/network/topology.cpp" "src/network/CMakeFiles/eclb_network.dir/topology.cpp.o" "gcc" "src/network/CMakeFiles/eclb_network.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eclb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_network.dir/network_energy.cpp.o"
+  "CMakeFiles/eclb_network.dir/network_energy.cpp.o.d"
+  "CMakeFiles/eclb_network.dir/topology.cpp.o"
+  "CMakeFiles/eclb_network.dir/topology.cpp.o.d"
+  "libeclb_network.a"
+  "libeclb_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/farm.cpp" "src/policy/CMakeFiles/eclb_policy.dir/farm.cpp.o" "gcc" "src/policy/CMakeFiles/eclb_policy.dir/farm.cpp.o.d"
+  "/root/repo/src/policy/policies.cpp" "src/policy/CMakeFiles/eclb_policy.dir/policies.cpp.o" "gcc" "src/policy/CMakeFiles/eclb_policy.dir/policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eclb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eclb_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eclb_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

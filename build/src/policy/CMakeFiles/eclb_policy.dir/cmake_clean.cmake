@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_policy.dir/farm.cpp.o"
+  "CMakeFiles/eclb_policy.dir/farm.cpp.o.d"
+  "CMakeFiles/eclb_policy.dir/policies.cpp.o"
+  "CMakeFiles/eclb_policy.dir/policies.cpp.o.d"
+  "libeclb_policy.a"
+  "libeclb_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_server.dir/server.cpp.o"
+  "CMakeFiles/eclb_server.dir/server.cpp.o.d"
+  "libeclb_server.a"
+  "libeclb_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

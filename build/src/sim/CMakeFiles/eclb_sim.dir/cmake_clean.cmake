@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/eclb_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/eclb_sim.dir/simulation.cpp.o"
+  "CMakeFiles/eclb_sim.dir/simulation.cpp.o.d"
+  "libeclb_sim.a"
+  "libeclb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

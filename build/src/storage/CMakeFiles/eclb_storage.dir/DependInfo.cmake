@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk.cpp" "src/storage/CMakeFiles/eclb_storage.dir/disk.cpp.o" "gcc" "src/storage/CMakeFiles/eclb_storage.dir/disk.cpp.o.d"
+  "/root/repo/src/storage/replication.cpp" "src/storage/CMakeFiles/eclb_storage.dir/replication.cpp.o" "gcc" "src/storage/CMakeFiles/eclb_storage.dir/replication.cpp.o.d"
+  "/root/repo/src/storage/storage_sim.cpp" "src/storage/CMakeFiles/eclb_storage.dir/storage_sim.cpp.o" "gcc" "src/storage/CMakeFiles/eclb_storage.dir/storage_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eclb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eclb_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

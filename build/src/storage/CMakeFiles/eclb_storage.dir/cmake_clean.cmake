@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_storage.dir/disk.cpp.o"
+  "CMakeFiles/eclb_storage.dir/disk.cpp.o.d"
+  "CMakeFiles/eclb_storage.dir/replication.cpp.o"
+  "CMakeFiles/eclb_storage.dir/replication.cpp.o.d"
+  "CMakeFiles/eclb_storage.dir/storage_sim.cpp.o"
+  "CMakeFiles/eclb_storage.dir/storage_sim.cpp.o.d"
+  "libeclb_storage.a"
+  "libeclb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

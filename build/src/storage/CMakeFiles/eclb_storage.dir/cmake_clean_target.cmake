@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeclb_storage.a"
+)

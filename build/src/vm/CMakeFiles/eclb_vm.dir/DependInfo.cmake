@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/application.cpp" "src/vm/CMakeFiles/eclb_vm.dir/application.cpp.o" "gcc" "src/vm/CMakeFiles/eclb_vm.dir/application.cpp.o.d"
+  "/root/repo/src/vm/migration.cpp" "src/vm/CMakeFiles/eclb_vm.dir/migration.cpp.o" "gcc" "src/vm/CMakeFiles/eclb_vm.dir/migration.cpp.o.d"
+  "/root/repo/src/vm/scaling.cpp" "src/vm/CMakeFiles/eclb_vm.dir/scaling.cpp.o" "gcc" "src/vm/CMakeFiles/eclb_vm.dir/scaling.cpp.o.d"
+  "/root/repo/src/vm/vm.cpp" "src/vm/CMakeFiles/eclb_vm.dir/vm.cpp.o" "gcc" "src/vm/CMakeFiles/eclb_vm.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eclb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

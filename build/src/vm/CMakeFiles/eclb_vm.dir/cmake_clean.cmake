@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_vm.dir/application.cpp.o"
+  "CMakeFiles/eclb_vm.dir/application.cpp.o.d"
+  "CMakeFiles/eclb_vm.dir/migration.cpp.o"
+  "CMakeFiles/eclb_vm.dir/migration.cpp.o.d"
+  "CMakeFiles/eclb_vm.dir/scaling.cpp.o"
+  "CMakeFiles/eclb_vm.dir/scaling.cpp.o.d"
+  "CMakeFiles/eclb_vm.dir/vm.cpp.o"
+  "CMakeFiles/eclb_vm.dir/vm.cpp.o.d"
+  "libeclb_vm.a"
+  "libeclb_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/profile.cpp" "src/workload/CMakeFiles/eclb_workload.dir/profile.cpp.o" "gcc" "src/workload/CMakeFiles/eclb_workload.dir/profile.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/eclb_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/eclb_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/eclb_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/eclb_workload.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eclb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_workload.dir/profile.cpp.o"
+  "CMakeFiles/eclb_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/eclb_workload.dir/trace.cpp.o"
+  "CMakeFiles/eclb_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/eclb_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/eclb_workload.dir/trace_io.cpp.o.d"
+  "libeclb_workload.a"
+  "libeclb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_test_analytic.dir/analytic/test_efficiency.cpp.o"
+  "CMakeFiles/eclb_test_analytic.dir/analytic/test_efficiency.cpp.o.d"
+  "CMakeFiles/eclb_test_analytic.dir/analytic/test_homogeneous.cpp.o"
+  "CMakeFiles/eclb_test_analytic.dir/analytic/test_homogeneous.cpp.o.d"
+  "CMakeFiles/eclb_test_analytic.dir/analytic/test_qos.cpp.o"
+  "CMakeFiles/eclb_test_analytic.dir/analytic/test_qos.cpp.o.d"
+  "eclb_test_analytic"
+  "eclb_test_analytic.pdb"
+  "eclb_test_analytic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_test_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_test_cluster.dir/cluster/test_cloud.cpp.o"
+  "CMakeFiles/eclb_test_cluster.dir/cluster/test_cloud.cpp.o.d"
+  "CMakeFiles/eclb_test_cluster.dir/cluster/test_cluster.cpp.o"
+  "CMakeFiles/eclb_test_cluster.dir/cluster/test_cluster.cpp.o.d"
+  "CMakeFiles/eclb_test_cluster.dir/cluster/test_leader.cpp.o"
+  "CMakeFiles/eclb_test_cluster.dir/cluster/test_leader.cpp.o.d"
+  "CMakeFiles/eclb_test_cluster.dir/cluster/test_messages.cpp.o"
+  "CMakeFiles/eclb_test_cluster.dir/cluster/test_messages.cpp.o.d"
+  "eclb_test_cluster"
+  "eclb_test_cluster.pdb"
+  "eclb_test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

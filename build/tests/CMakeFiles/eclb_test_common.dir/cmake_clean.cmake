@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_test_common.dir/common/test_csv.cpp.o"
+  "CMakeFiles/eclb_test_common.dir/common/test_csv.cpp.o.d"
+  "CMakeFiles/eclb_test_common.dir/common/test_flags.cpp.o"
+  "CMakeFiles/eclb_test_common.dir/common/test_flags.cpp.o.d"
+  "CMakeFiles/eclb_test_common.dir/common/test_log.cpp.o"
+  "CMakeFiles/eclb_test_common.dir/common/test_log.cpp.o.d"
+  "CMakeFiles/eclb_test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/eclb_test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/eclb_test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/eclb_test_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/eclb_test_common.dir/common/test_table.cpp.o"
+  "CMakeFiles/eclb_test_common.dir/common/test_table.cpp.o.d"
+  "CMakeFiles/eclb_test_common.dir/common/test_thread_pool.cpp.o"
+  "CMakeFiles/eclb_test_common.dir/common/test_thread_pool.cpp.o.d"
+  "CMakeFiles/eclb_test_common.dir/common/test_types.cpp.o"
+  "CMakeFiles/eclb_test_common.dir/common/test_types.cpp.o.d"
+  "CMakeFiles/eclb_test_common.dir/common/test_units.cpp.o"
+  "CMakeFiles/eclb_test_common.dir/common/test_units.cpp.o.d"
+  "eclb_test_common"
+  "eclb_test_common.pdb"
+  "eclb_test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

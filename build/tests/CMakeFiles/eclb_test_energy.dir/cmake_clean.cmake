@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_test_energy.dir/energy/test_cstates.cpp.o"
+  "CMakeFiles/eclb_test_energy.dir/energy/test_cstates.cpp.o.d"
+  "CMakeFiles/eclb_test_energy.dir/energy/test_dvfs.cpp.o"
+  "CMakeFiles/eclb_test_energy.dir/energy/test_dvfs.cpp.o.d"
+  "CMakeFiles/eclb_test_energy.dir/energy/test_energy_meter.cpp.o"
+  "CMakeFiles/eclb_test_energy.dir/energy/test_energy_meter.cpp.o.d"
+  "CMakeFiles/eclb_test_energy.dir/energy/test_power_model.cpp.o"
+  "CMakeFiles/eclb_test_energy.dir/energy/test_power_model.cpp.o.d"
+  "CMakeFiles/eclb_test_energy.dir/energy/test_regimes.cpp.o"
+  "CMakeFiles/eclb_test_energy.dir/energy/test_regimes.cpp.o.d"
+  "CMakeFiles/eclb_test_energy.dir/energy/test_server_power_data.cpp.o"
+  "CMakeFiles/eclb_test_energy.dir/energy/test_server_power_data.cpp.o.d"
+  "eclb_test_energy"
+  "eclb_test_energy.pdb"
+  "eclb_test_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_test_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_test_experiment.dir/experiment/test_driver.cpp.o"
+  "CMakeFiles/eclb_test_experiment.dir/experiment/test_driver.cpp.o.d"
+  "CMakeFiles/eclb_test_experiment.dir/experiment/test_report.cpp.o"
+  "CMakeFiles/eclb_test_experiment.dir/experiment/test_report.cpp.o.d"
+  "CMakeFiles/eclb_test_experiment.dir/experiment/test_runner.cpp.o"
+  "CMakeFiles/eclb_test_experiment.dir/experiment/test_runner.cpp.o.d"
+  "CMakeFiles/eclb_test_experiment.dir/experiment/test_scenario.cpp.o"
+  "CMakeFiles/eclb_test_experiment.dir/experiment/test_scenario.cpp.o.d"
+  "eclb_test_experiment"
+  "eclb_test_experiment.pdb"
+  "eclb_test_experiment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_test_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

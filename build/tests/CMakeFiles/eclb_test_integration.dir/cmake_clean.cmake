@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_test_integration.dir/integration/test_cross_module_sweeps.cpp.o"
+  "CMakeFiles/eclb_test_integration.dir/integration/test_cross_module_sweeps.cpp.o.d"
+  "CMakeFiles/eclb_test_integration.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/eclb_test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/eclb_test_integration.dir/integration/test_properties.cpp.o"
+  "CMakeFiles/eclb_test_integration.dir/integration/test_properties.cpp.o.d"
+  "eclb_test_integration"
+  "eclb_test_integration.pdb"
+  "eclb_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_test_network.dir/network/test_network_energy.cpp.o"
+  "CMakeFiles/eclb_test_network.dir/network/test_network_energy.cpp.o.d"
+  "CMakeFiles/eclb_test_network.dir/network/test_topology.cpp.o"
+  "CMakeFiles/eclb_test_network.dir/network/test_topology.cpp.o.d"
+  "eclb_test_network"
+  "eclb_test_network.pdb"
+  "eclb_test_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_test_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_test_policy.dir/policy/test_farm.cpp.o"
+  "CMakeFiles/eclb_test_policy.dir/policy/test_farm.cpp.o.d"
+  "CMakeFiles/eclb_test_policy.dir/policy/test_policies.cpp.o"
+  "CMakeFiles/eclb_test_policy.dir/policy/test_policies.cpp.o.d"
+  "eclb_test_policy"
+  "eclb_test_policy.pdb"
+  "eclb_test_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_test_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_test_server.dir/server/test_server.cpp.o"
+  "CMakeFiles/eclb_test_server.dir/server/test_server.cpp.o.d"
+  "eclb_test_server"
+  "eclb_test_server.pdb"
+  "eclb_test_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_test_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

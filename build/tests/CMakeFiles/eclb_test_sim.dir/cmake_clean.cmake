@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_test_sim.dir/sim/test_event_queue.cpp.o"
+  "CMakeFiles/eclb_test_sim.dir/sim/test_event_queue.cpp.o.d"
+  "CMakeFiles/eclb_test_sim.dir/sim/test_simulation.cpp.o"
+  "CMakeFiles/eclb_test_sim.dir/sim/test_simulation.cpp.o.d"
+  "eclb_test_sim"
+  "eclb_test_sim.pdb"
+  "eclb_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_test_storage.dir/storage/test_disk.cpp.o"
+  "CMakeFiles/eclb_test_storage.dir/storage/test_disk.cpp.o.d"
+  "CMakeFiles/eclb_test_storage.dir/storage/test_replication.cpp.o"
+  "CMakeFiles/eclb_test_storage.dir/storage/test_replication.cpp.o.d"
+  "CMakeFiles/eclb_test_storage.dir/storage/test_storage_sim.cpp.o"
+  "CMakeFiles/eclb_test_storage.dir/storage/test_storage_sim.cpp.o.d"
+  "eclb_test_storage"
+  "eclb_test_storage.pdb"
+  "eclb_test_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_test_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_test_vm.dir/vm/test_application.cpp.o"
+  "CMakeFiles/eclb_test_vm.dir/vm/test_application.cpp.o.d"
+  "CMakeFiles/eclb_test_vm.dir/vm/test_migration.cpp.o"
+  "CMakeFiles/eclb_test_vm.dir/vm/test_migration.cpp.o.d"
+  "CMakeFiles/eclb_test_vm.dir/vm/test_scaling.cpp.o"
+  "CMakeFiles/eclb_test_vm.dir/vm/test_scaling.cpp.o.d"
+  "CMakeFiles/eclb_test_vm.dir/vm/test_vm.cpp.o"
+  "CMakeFiles/eclb_test_vm.dir/vm/test_vm.cpp.o.d"
+  "eclb_test_vm"
+  "eclb_test_vm.pdb"
+  "eclb_test_vm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_test_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

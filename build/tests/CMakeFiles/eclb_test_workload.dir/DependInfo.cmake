@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_profile.cpp" "tests/CMakeFiles/eclb_test_workload.dir/workload/test_profile.cpp.o" "gcc" "tests/CMakeFiles/eclb_test_workload.dir/workload/test_profile.cpp.o.d"
+  "/root/repo/tests/workload/test_trace.cpp" "tests/CMakeFiles/eclb_test_workload.dir/workload/test_trace.cpp.o" "gcc" "tests/CMakeFiles/eclb_test_workload.dir/workload/test_trace.cpp.o.d"
+  "/root/repo/tests/workload/test_trace_io.cpp" "tests/CMakeFiles/eclb_test_workload.dir/workload/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/eclb_test_workload.dir/workload/test_trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiment/CMakeFiles/eclb_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/eclb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/eclb_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/eclb_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eclb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eclb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/eclb_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/eclb_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/eclb_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eclb_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eclb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eclb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

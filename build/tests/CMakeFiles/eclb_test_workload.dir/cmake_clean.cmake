@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_test_workload.dir/workload/test_profile.cpp.o"
+  "CMakeFiles/eclb_test_workload.dir/workload/test_profile.cpp.o.d"
+  "CMakeFiles/eclb_test_workload.dir/workload/test_trace.cpp.o"
+  "CMakeFiles/eclb_test_workload.dir/workload/test_trace.cpp.o.d"
+  "CMakeFiles/eclb_test_workload.dir/workload/test_trace_io.cpp.o"
+  "CMakeFiles/eclb_test_workload.dir/workload/test_trace_io.cpp.o.d"
+  "eclb_test_workload"
+  "eclb_test_workload.pdb"
+  "eclb_test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/eclb_test_common[1]_include.cmake")
+include("/root/repo/build/tests/eclb_test_sim[1]_include.cmake")
+include("/root/repo/build/tests/eclb_test_energy[1]_include.cmake")
+include("/root/repo/build/tests/eclb_test_vm[1]_include.cmake")
+include("/root/repo/build/tests/eclb_test_server[1]_include.cmake")
+include("/root/repo/build/tests/eclb_test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/eclb_test_workload[1]_include.cmake")
+include("/root/repo/build/tests/eclb_test_policy[1]_include.cmake")
+include("/root/repo/build/tests/eclb_test_analytic[1]_include.cmake")
+include("/root/repo/build/tests/eclb_test_network[1]_include.cmake")
+include("/root/repo/build/tests/eclb_test_storage[1]_include.cmake")
+include("/root/repo/build/tests/eclb_test_experiment[1]_include.cmake")
+include("/root/repo/build/tests/eclb_test_integration[1]_include.cmake")

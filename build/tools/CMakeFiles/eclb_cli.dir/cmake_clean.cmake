@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclb_cli.dir/eclb_cli.cpp.o"
+  "CMakeFiles/eclb_cli.dir/eclb_cli.cpp.o.d"
+  "eclb_cli"
+  "eclb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_usage_exits_nonzero "/root/repo/build/tools/eclb_cli")
+set_tests_properties(cli_usage_exits_nonzero PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_model "/root/repo/build/tools/eclb_cli" "model")
+set_tests_properties(cli_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_model_rejects_invalid "/root/repo/build/tools/eclb_cli" "model" "--a-opt" "0.1" "--a-avg" "0.5")
+set_tests_properties(cli_model_rejects_invalid PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_migrate "/root/repo/build/tools/eclb_cli" "migrate" "--ram" "1024" "--dirty" "50")
+set_tests_properties(cli_migrate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_cluster "/root/repo/build/tools/eclb_cli" "cluster" "--servers" "50" "--intervals" "3")
+set_tests_properties(cli_cluster PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_farm "/root/repo/build/tools/eclb_cli" "farm" "--policy" "reactive" "--workload" "constant" "--hours" "1")
+set_tests_properties(cli_farm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_farm_rejects_unknown_policy "/root/repo/build/tools/eclb_cli" "farm" "--policy" "nonsense")
+set_tests_properties(cli_farm_rejects_unknown_policy PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
