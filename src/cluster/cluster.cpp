@@ -1,11 +1,10 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 
+#include "cluster/protocol/engine.h"
+#include "cluster/protocol/view.h"
 #include "common/assert.h"
-#include "common/log.h"
 #include "energy/server_power_data.h"
 
 namespace eclb::cluster {
@@ -14,24 +13,19 @@ namespace {
 constexpr double kEps = 1e-9;
 }  // namespace
 
-std::string_view to_string(PlacementStrategy s) {
-  switch (s) {
-    case PlacementStrategy::kEnergyAware: return "energy-aware";
-    case PlacementStrategy::kLeastLoaded: return "least-loaded";
-    case PlacementStrategy::kRandom: return "random";
-    case PlacementStrategy::kRoundRobin: return "round-robin";
-  }
-  return "?";
-}
-
 Cluster::Cluster(ClusterConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      placement_(policy::make_placement(config_.placement)),
+      engine_(std::make_unique<protocol::ProtocolEngine>()) {
   ECLB_ASSERT(config_.server_count > 0, "Cluster: need at least one server");
   ECLB_ASSERT(config_.initial_load_min <= config_.initial_load_max,
               "Cluster: invalid initial load range");
   populate();
   energy_at_last_step_ = total_energy();
 }
+
+Cluster::~Cluster() = default;
 
 void Cluster::populate() {
   servers_.reserve(config_.server_count);
@@ -107,7 +101,7 @@ double Cluster::load_fraction() const {
 std::size_t Cluster::sleeping_count() const {
   std::size_t count = 0;
   for (const auto& s : servers_) {
-    if (!s.awake(now_)) ++count;
+    if (!s.awake(now())) ++count;
   }
   return count;
 }
@@ -135,7 +129,7 @@ energy::RegimeHistogram Cluster::regime_histogram() const {
     // Servers transitioning into a sleep state still report C0 as their
     // settled state; exclude everything that is not fully awake so the
     // histogram and sleeping_count() partition the cluster.
-    if (!s.awake(now_)) continue;
+    if (!s.awake(now())) continue;
     const auto r = s.regime();
     if (r.has_value()) ++hist[energy::regime_index(*r)];
   }
@@ -160,8 +154,8 @@ common::VmId Cluster::inject_vm(common::ServerId server, common::AppId app,
 
 bool Cluster::accept_external(common::AppId app, double demand) {
   if (demand <= 0.0) return false;
-  const auto target_id = leader_.find_target(
-      servers_, now_, demand, common::ServerId{}, PlacementTier::kStaySuboptimal);
+  const auto target_id =
+      placement_->pick(servers_, now(), demand, common::ServerId{}, rng_);
   if (!target_id.has_value()) return false;
   auto& target = server_ref(*target_id);
   const common::VmId new_id = spawn_vm(target, app, demand, /*force=*/false);
@@ -182,57 +176,24 @@ server::Server& Cluster::server_ref(common::ServerId id) {
   return servers_[id.index()];
 }
 
-void Cluster::process_due_transitions() {
-  // Charge energy at the exact completion instant of each due transition so
-  // the piecewise-constant integration stays correct, then settle it.
-  std::erase_if(pending_transitions_, [&](const auto& pending) {
-    const auto& [sid, end_time] = pending;
-    if (end_time > now_) return false;
-    auto& s = server_ref(sid);
-    s.settle(end_time);
-    s.update_energy(end_time);
-    return true;
+void Cluster::schedule_transition(common::ServerId id, common::Seconds done) {
+  // Settling at the exact completion instant keeps the piecewise-constant
+  // energy integration correct regardless of where the next round falls.
+  sim_.schedule_at(done, [this, id](sim::Simulation& sm) {
+    auto& s = server_ref(id);
+    s.settle(sm.now());
+    s.update_energy(sm.now());
   });
 }
 
 IntervalReport Cluster::step() {
-  now_ += config_.reallocation_interval;
+  const common::Seconds boundary = sim_.now() + config_.reallocation_interval;
   IntervalReport report;
-  report.interval_index = interval_index_++;
-
-  process_due_transitions();
-  for (auto& s : servers_) {
-    s.settle(now_);
-    s.update_energy(now_);
-  }
-
-  evolve_and_scale(report);
-  if (config_.regime_actions_enabled) {
-    shed_overloaded(report);
-    if (config_.rebalance_enabled) rebalance_above_center(report);
-    drain_and_sleep(report);
-  }
-  serve_and_account_violations(report);
-
-  // Every server outside R3 reports its regime to the leader (j_k traffic).
-  for (const auto& s : servers_) {
-    const auto r = s.regime();
-    if (r.has_value() && *r != energy::Regime::kR3Optimal) {
-      messages_.record(MessageKind::kRegimeReport, 1,
-                       config_.costs.energy_per_message);
-      traffic_energy_ += config_.costs.energy_per_message;
-    }
-  }
-
-  for (auto& s : servers_) s.update_energy(now_);
-
-  report.sleeping_servers = sleeping_count();
-  report.parked_servers = parked_count();
-  report.deep_sleeping_servers = deep_sleeping_count();
-  report.regimes = regime_histogram();
-  const common::Joules energy_now = total_energy();
-  report.interval_energy = energy_now - energy_at_last_step_;
-  energy_at_last_step_ = energy_now;
+  // Transitions completing at or before the boundary were scheduled earlier,
+  // so the kernel settles them (in completion order) before the round fires.
+  sim_.schedule_at(boundary,
+                   [this, &report](sim::Simulation&) { report = run_round(); });
+  sim_.run_until(boundary);
   return report;
 }
 
@@ -243,391 +204,28 @@ std::vector<IntervalReport> Cluster::run(std::size_t count) {
   return reports;
 }
 
-void Cluster::evolve_and_scale(IntervalReport& report) {
-  // Iterate by server index and take a VM-id snapshot per server: horizontal
-  // scaling may add VMs to other servers (and to later indices of this
-  // loop), which must not be re-evolved this interval.
+IntervalReport Cluster::run_round() {
+  recorder_.begin_interval(interval_index_++);
+  const common::Seconds round_now = sim_.now();
   for (auto& s : servers_) {
-    if (!s.awake(now_)) continue;
-    std::vector<common::VmId> ids;
-    ids.reserve(s.vm_count());
-    for (const auto& v : s.vms()) ids.push_back(v.id());
-
-    for (const auto vm_id : ids) {
-      if (!rng_.bernoulli(config_.demand_change_probability)) continue;
-      const vm::Vm* v = s.find(vm_id);
-      if (v == nullptr) continue;  // migrated away by an earlier decision
-      const auto git = growth_.find(vm_id);
-      ECLB_ASSERT(git != growth_.end(), "evolve: VM without growth spec");
-      const auto& g = git->second;
-      const double step_size = rng_.uniform(-g.max_shrink, g.lambda);
-      const double requested =
-          std::clamp(v->demand() + step_size, g.min_demand, g.max_demand);
-
-      if (requested <= v->demand() + kEps) {
-        // Shrinking (or unchanged) always succeeds locally and is free.
-        (void)s.force_demand(vm_id, requested);
-        continue;
-      }
-
-      const double delta = requested - v->demand();
-      // Vertical scaling: grant if the server stays out of the
-      // undesirable-high region (the energy-aware admission rule).
-      const bool fits_capacity = s.load() + delta <= 1.0 + kEps;
-      const bool stays_tolerable =
-          s.load() + delta <= s.thresholds().alpha_sopt_high + kEps;
-      if (fits_capacity && stays_tolerable && s.try_vertical_scale(vm_id, requested)) {
-        ++report.local_decisions;
-        local_cost_ += vm::vertical_cost(config_.costs);
-        continue;
-      }
-
-      // Horizontal scaling: start a new VM carrying the increment on a
-      // server picked by the configured placement strategy.
-      const auto target_id = pick_horizontal_target(delta, s.id());
-      if (target_id.has_value()) {
-        auto& target = server_ref(*target_id);
-        const common::VmId new_id =
-            spawn_vm(target, s.find(vm_id)->app(), delta, /*force=*/false);
-        const vm::ScalingCost cost = vm::horizontal_start_cost(
-            *target.find(new_id), config_.costs);
-        in_cluster_cost_ += cost;
-        target.charge_energy(cost.energy);
-        messages_.record(MessageKind::kTransferRequest,
-                         config_.costs.messages_per_negotiation,
-                         config_.costs.energy_per_message);
-        ++report.in_cluster_decisions;
-        ++report.horizontal_starts;
-      } else if (overflow_handler_ != nullptr &&
-                 overflow_handler_(s.find(vm_id)->app(), delta)) {
-        // A sibling cluster took the increment (multi-cluster cloud).
-        ++report.offloaded_requests;
-      } else {
-        // No capacity anywhere: ask the leader to wake a sleeper and record
-        // the unmet increment as an SLA violation for this interval.
-        request_wake(report);
-        ++report.sla_violations;
-        report.unserved_demand += delta;
-      }
-    }
-  }
-}
-
-std::optional<common::ServerId> Cluster::pick_horizontal_target(
-    double demand, common::ServerId exclude) {
-  switch (config_.placement) {
-    case PlacementStrategy::kEnergyAware:
-      return leader_.find_target(servers_, now_, demand, exclude,
-                                 PlacementTier::kStaySuboptimal);
-    case PlacementStrategy::kLeastLoaded: {
-      const server::Server* best = nullptr;
-      for (const auto& t : servers_) {
-        if (t.id() == exclude || !t.awake(now_)) continue;
-        if (t.load() + demand > 1.0 + kEps) continue;
-        if (best == nullptr || t.load() < best->load()) best = &t;
-      }
-      if (best == nullptr) return std::nullopt;
-      return best->id();
-    }
-    case PlacementStrategy::kRandom: {
-      std::vector<common::ServerId> feasible;
-      for (const auto& t : servers_) {
-        if (t.id() == exclude || !t.awake(now_)) continue;
-        if (t.load() + demand > 1.0 + kEps) continue;
-        feasible.push_back(t.id());
-      }
-      if (feasible.empty()) return std::nullopt;
-      return feasible[rng_.index(feasible.size())];
-    }
-    case PlacementStrategy::kRoundRobin: {
-      for (std::size_t probe = 0; probe < servers_.size(); ++probe) {
-        round_robin_cursor_ = (round_robin_cursor_ + 1) % servers_.size();
-        const auto& t = servers_[round_robin_cursor_];
-        if (t.id() == exclude || !t.awake(now_)) continue;
-        if (t.load() + demand > 1.0 + kEps) continue;
-        return t.id();
-      }
-      return std::nullopt;
-    }
-  }
-  return std::nullopt;
-}
-
-bool Cluster::migrate_vm(server::Server& source, common::VmId vm_id,
-                         common::ServerId target_id, IntervalReport& report) {
-  auto& target = server_ref(target_id);
-  const vm::Vm* v = source.find(vm_id);
-  if (v == nullptr || !target.awake(now_)) return false;
-  if (target.load() + v->demand() > 1.0 + kEps) return false;
-
-  const vm::ScalingCost cost = vm::horizontal_migration_cost(*v, config_.costs);
-  const vm::MigrationCost mig = vm::migrate_cost(*v, config_.costs.migration);
-
-  auto moved = source.remove(vm_id);
-  ECLB_ASSERT(moved.has_value(), "migrate_vm: VM vanished from source");
-  const bool placed = target.place(std::move(*moved));
-  ECLB_ASSERT(placed, "migrate_vm: target rejected a pre-checked VM");
-
-  source.charge_energy(mig.source_energy);
-  target.charge_energy(mig.target_energy);
-  traffic_energy_ += mig.network_energy;
-  in_cluster_cost_ += cost;
-  const auto negotiation_msgs = config_.costs.messages_per_negotiation;
-  messages_.record(MessageKind::kTransferRequest, negotiation_msgs,
-                   config_.costs.energy_per_message);
-  traffic_energy_ +=
-      config_.costs.energy_per_message * static_cast<double>(negotiation_msgs);
-  ++report.in_cluster_decisions;
-  ++report.migrations;
-  return true;
-}
-
-void Cluster::shed_overloaded(IntervalReport& report) {
-  // R5 first (urgent), then R4: migrate VMs away toward the optimal region.
-  // R4 servers are throttled to the per-interval send budget; R5 servers
-  // (and any oversubscribed server) may exceed it -- the undesirable-high
-  // region demands immediate action (Section 4).
-  // Negative-result cache for the whole shed phase: target loads only grow
-  // while shedding, so a demand that found no home cannot find one later in
-  // the phase.  Bounds the number of full leader scans per interval.
-  double min_failed_demand = std::numeric_limits<double>::infinity();
-
-  for (auto urgency : {energy::Regime::kR5UndesirableHigh,
-                       energy::Regime::kR4SuboptimalHigh}) {
-    for (auto& s : servers_) {
-      if (!s.awake(now_)) continue;
-      const auto r = s.regime();
-      if (!r.has_value() || *r != urgency) continue;
-
-      const bool urgent = urgency == energy::Regime::kR5UndesirableHigh;
-      std::size_t sends_left =
-          urgent ? s.vm_count() : config_.max_sends_per_interval;
-      while (sends_left > 0 && s.load() > s.thresholds().alpha_opt_high + kEps) {
-        // Move the largest VM that still has a home elsewhere; big moves
-        // need the fewest migrations to reach the optimal region.
-        std::vector<const vm::Vm*> candidates;
-        candidates.reserve(s.vm_count());
-        for (const auto& v : s.vms()) candidates.push_back(&v);
-        std::sort(candidates.begin(), candidates.end(),
-                  [](const vm::Vm* a, const vm::Vm* b) {
-                    return a->demand() > b->demand();
-                  });
-        bool moved = false;
-        for (const vm::Vm* v : candidates) {
-          if (v->demand() >= min_failed_demand) continue;
-          const auto target_id = leader_.find_target(
-              servers_, now_, v->demand(), s.id(), PlacementTier::kStayOptimal);
-          if (!target_id.has_value()) {
-            min_failed_demand = v->demand();
-            continue;
-          }
-          moved = migrate_vm(s, v->id(), *target_id, report);
-          if (moved) ++report.shed_migrations;
-          break;
-        }
-        if (!moved) {
-          if (urgent) {
-            // The R5 rule: when no partner exists, the leader wakes one or
-            // more sleeping servers (usable once their wake completes).
-            request_wake(report);
-          }
-          break;
-        }
-        --sends_left;
-      }
-    }
-  }
-}
-
-void Cluster::rebalance_above_center(IntervalReport& report) {
-  // Even-distribution pass: a server operating above the center of its
-  // optimal region offers its smallest VM to a peer that remains *below its
-  // own* center after accepting.  Because donors are above center and
-  // receivers stay below center, a VM never bounces back; the pass dies out
-  // once no below-center capacity remains (always, at high cluster load).
-  //
-  // Same negative-result cache as the shed phase: receivers only gain load
-  // during this pass, so a failed demand stays failed.
-  double min_failed_demand = std::numeric_limits<double>::infinity();
-  for (auto& s : servers_) {
-    if (!s.awake(now_)) continue;
-    if (s.vm_count() == 0) continue;
-    const double center = s.thresholds().optimal_center();
-    if (s.load() <= center + kEps) continue;
-
-    // Smallest VM first: fine-grained moves converge without overshooting.
-    const vm::Vm* smallest = nullptr;
-    for (const auto& v : s.vms()) {
-      if (smallest == nullptr || v.demand() < smallest->demand()) smallest = &v;
-    }
-    if (smallest == nullptr) continue;
-    // Do not overshoot out of the optimal region from above.
-    if (s.load() - smallest->demand() < s.thresholds().alpha_opt_low - kEps) {
-      continue;
-    }
-    if (smallest->demand() >= min_failed_demand) continue;
-    const auto target_id = leader_.find_below_center_target(
-        servers_, now_, smallest->demand(), s.id());
-    if (!target_id.has_value()) {
-      min_failed_demand = smallest->demand();
-      continue;
-    }
-    if (migrate_vm(s, smallest->id(), *target_id, report)) {
-      ++report.rebalance_migrations;
-    }
-  }
-}
-
-void Cluster::drain_and_sleep(IntervalReport& report) {
-  if (!config_.allow_sleep) return;
-
-  // Consolidation (the R1 action of Section 4): an undesirable-low server
-  // pushes its VMs *uphill* -- to R1/R2 peers carrying more load than
-  // itself that still end within their optimal region.  The uphill rule
-  // makes consolidation a strict order (no migration cycles).  Draining is
-  // throttled by the per-interval send budget, so emptying a server takes
-  // several intervals; that gradual trickle is Figure 3's low-load decay.
-  //
-  // Negative-result cache (see shed phase): acceptor loads only grow here.
-  // Donors run least-loaded first, so every later donor sees a *narrower*
-  // uphill target set than the one a failure was recorded against -- which
-  // keeps the cache sound.
-  double min_failed_demand = std::numeric_limits<double>::infinity();
-  std::vector<server::Server*> donors;
-  for (auto& s : servers_) {
-    if (!s.awake(now_)) continue;
-    const auto r = s.regime();
-    if (!r.has_value() || *r != energy::Regime::kR1UndesirableLow) continue;
-    if (s.vm_count() == 0) continue;
-    donors.push_back(&s);
-  }
-  std::sort(donors.begin(), donors.end(),
-            [](const server::Server* a, const server::Server* b) {
-              return a->load() < b->load();
-            });
-  for (server::Server* donor : donors) {
-    auto& s = *donor;
-    std::size_t sends_left = config_.max_sends_per_interval;
-    while (sends_left > 0 && s.vm_count() > 0) {
-      // Largest VM first: empties the donor fastest.
-      const vm::Vm* biggest = nullptr;
-      for (const auto& v : s.vms()) {
-        if (biggest == nullptr || v.demand() > biggest->demand()) biggest = &v;
-      }
-      if (biggest->demand() >= min_failed_demand) break;
-      // Uphill target: an R1/R2 peer with strictly more load, ending within
-      // its optimal region; fullest-fit (closest to its center) wins.
-      const server::Server* chosen = nullptr;
-      double best_score = std::numeric_limits<double>::infinity();
-      for (const auto& t : servers_) {
-        if (t.id() == s.id() || !t.awake(now_)) continue;
-        if (t.load() <= s.load() + kEps) continue;  // uphill only
-        const auto tr = t.regime();
-        if (!tr.has_value()) continue;
-        const double post = t.load() + biggest->demand();
-        // Partners are the lightly loaded: R1/R2 peers, or an R3 server
-        // that remains below the center of its optimal region.
-        const bool low = *tr == energy::Regime::kR1UndesirableLow ||
-                         *tr == energy::Regime::kR2SuboptimalLow;
-        const bool r3_below_center =
-            *tr == energy::Regime::kR3Optimal &&
-            post <= t.thresholds().optimal_center() + kEps;
-        if (!low && !r3_below_center) continue;
-        if (post > t.thresholds().alpha_opt_high + kEps) continue;
-        const double score = std::abs(post - t.thresholds().optimal_center());
-        if (score < best_score) {
-          best_score = score;
-          chosen = &t;
-        }
-      }
-      if (chosen == nullptr) {
-        min_failed_demand = biggest->demand();
-        break;
-      }
-      if (!migrate_vm(s, biggest->id(), chosen->id(), report)) break;
-      ++report.consolidation_migrations;
-      --sends_left;
-    }
-    if (s.vm_count() == 0) ++report.drains;
+    s.settle(round_now);
+    s.update_energy(round_now);
   }
 
-  // Sleep phase.  Deep sleep (C3/C6) removes capacity for 30 s / 180 s of
-  // wake latency, so it is guarded: at most floor(fraction * N) deep-sleep
-  // transitions per interval, and never within the post-wake cooldown.
-  // Drained servers that cannot deep-sleep park in C1 instead -- C1 wakes in
-  // ~1 ms, so parking removes no effective capacity and needs no guardrail.
-  std::size_t budget = static_cast<std::size_t>(std::floor(
-      config_.max_sleep_fraction_per_interval *
-      static_cast<double>(servers_.size())));
+  protocol::ClusterView view(*this, engine_->wake_action());
+  engine_->run(view);
 
-  const double cluster_load = load_fraction();
-  const energy::CState deep_state =
-      config_.forced_sleep_state.value_or(Leader::choose_sleep_state(
-          cluster_load, config_.sleep_state_load_threshold));
+  for (auto& s : servers_) s.update_energy(round_now);
 
-  // Deep-sleep pass: prefer servers already parked in C1 (their emptiness
-  // has persisted at least one interval), then freshly drained ones.
-  for (int pass = 0; pass < 2 && budget > 0; ++pass) {
-    for (auto& s : servers_) {
-      if (budget == 0) break;
-      if (s.vm_count() > 0 || s.in_transition(now_)) continue;
-      const bool parked = s.cstate() == energy::CState::kC1;
-      const bool fresh = s.awake(now_);
-      if (pass == 0 ? !parked : !fresh) continue;
-      const auto woken = last_wake_interval_.find(s.id());
-      if (woken != last_wake_interval_.end() &&
-          interval_index_ - woken->second <= config_.wake_cooldown_intervals) {
-        continue;
-      }
-      messages_.record(MessageKind::kSleepNotice, 1,
-                       config_.costs.energy_per_message);
-      traffic_energy_ += config_.costs.energy_per_message;
-      const common::Seconds done = parked ? s.deepen_sleep(deep_state, now_)
-                                          : s.begin_sleep(deep_state, now_);
-      pending_transitions_.emplace_back(s.id(), done);
-      ++report.sleeps;
-      --budget;
-    }
-  }
-
-  // Parking pass: any remaining awake empty server halts in C1.
-  for (auto& s : servers_) {
-    if (!s.awake(now_) || s.vm_count() > 0) continue;
-    const common::Seconds done = s.begin_sleep(energy::CState::kC1, now_);
-    pending_transitions_.emplace_back(s.id(), done);
-  }
-}
-
-void Cluster::request_wake(IntervalReport& report) {
-  const auto candidate = leader_.pick_wake_candidate(servers_, now_);
-  if (!candidate.has_value()) return;
-  auto& s = server_ref(*candidate);
-  messages_.record(MessageKind::kWakeCommand, 1, config_.costs.energy_per_message);
-  traffic_energy_ += config_.costs.energy_per_message;
-  const common::Seconds done = s.begin_wake(now_);
-  pending_transitions_.emplace_back(s.id(), done);
-  last_wake_interval_[s.id()] = interval_index_;
-  ++report.wakes;
-}
-
-void Cluster::serve_and_account_violations(IntervalReport& report) {
-  const double qos_cap = config_.qos.has_value()
-                             ? analytic::utilization_cap(*config_.qos)
-                             : 1.0;
-  for (auto& s : servers_) {
-    if (!s.awake(now_)) continue;
-    const double load = s.load();
-    if (config_.qos.has_value() && s.served_load() > qos_cap + kEps) {
-      // Response-time SLA breached (Section 6: QoS may force operation
-      // below the energy-optimal region).
-      ++report.qos_violations;
-    }
-    if (load <= 1.0 + kEps) continue;
-    // Oversubscribed: demand is served proportionally; the shortfall is an
-    // SLA violation for this interval.
-    ++report.sla_violations;
-    report.unserved_demand += load - 1.0;
-  }
+  FleetSnapshot snapshot;
+  snapshot.sleeping_servers = sleeping_count();
+  snapshot.parked_servers = parked_count();
+  snapshot.deep_sleeping_servers = deep_sleeping_count();
+  snapshot.regimes = regime_histogram();
+  const common::Joules energy_now = total_energy();
+  snapshot.interval_energy = energy_now - energy_at_last_step_;
+  energy_at_last_step_ = energy_now;
+  return recorder_.finish(snapshot);
 }
 
 }  // namespace eclb::cluster

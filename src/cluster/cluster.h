@@ -1,173 +1,49 @@
 // The clustered cloud model of Section 4.
 //
 // A Cluster owns N heterogeneous servers connected to a leader in a star
-// topology and executes the paper's reallocation protocol.  Once per
-// reallocation interval each server:
-//   1. evolves its applications' demand (bounded by lambda_{i,k}),
-//   2. resolves each demand increase by *vertical* scaling locally when the
-//      result stays out of the undesirable-high region, otherwise requests
-//      *horizontal* scaling through the leader (a new VM on a lightly
-//      loaded server),
-//   3. evaluates its next-interval regime and runs the per-regime actions:
-//      R5/R4 shed VMs toward lightly loaded servers (R5 may wake sleepers),
-//      R1 drains entirely onto R1/R2 peers and switches to a sleep state
-//      chosen by the 60 % cluster-load rule, R2 gathers passively, R3 rests.
+// topology and executes the paper's reallocation protocol.  The cluster is a
+// thin shell over three layers:
+//   * the protocol engine (cluster/protocol/) -- the per-regime actions of
+//     one reallocation round, run against a narrow ClusterView facade,
+//   * the placement layer (policy/placement.h) -- the pluggable rule picking
+//     horizontal-scaling targets (energy-aware vs the traditional baselines),
+//   * the instrumentation layer (cluster/recorder.h) -- actions emit typed
+//     events; the recorder rolls them into the per-interval reports.
 //
-// Vertical resizes count as local (low-cost) decisions; every migration or
-// remote VM start counts as an in-cluster (high-cost) decision.  The ratio
-// of the two is the paper's headline time series (Figure 3 / Table 2).
+// Time lives on the sim::Simulation event kernel: reallocation boundaries
+// and C-state transition completions are scheduled events on one clock, so
+// scripted scenario events (experiment/driver.h) interleave exactly where
+// they are scheduled.  See DESIGN.md "Architecture layers".
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
-#include <string_view>
 #include <unordered_map>
 #include <vector>
 
-#include "analytic/qos.h"
+#include "cluster/config.h"
 #include "cluster/leader.h"
 #include "cluster/messages.h"
+#include "cluster/recorder.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "common/units.h"
 #include "energy/regimes.h"
+#include "policy/placement.h"
 #include "server/server.h"
+#include "sim/simulation.h"
 #include "vm/application.h"
 #include "vm/scaling.h"
 
 namespace eclb::cluster {
 
-/// How horizontal-scaling targets are picked.
-enum class PlacementStrategy : std::uint8_t {
-  /// The paper's policy: leader tiers preferring lightly loaded servers
-  /// whose post-placement load lands near their optimal region.
-  kEnergyAware = 0,
-  /// Traditional load balancing: the least-loaded awake server with room.
-  kLeastLoaded = 1,
-  /// Random feasible server (the classic stateless balancer).
-  kRandom = 2,
-  /// Round-robin over awake servers with room.
-  kRoundRobin = 3,
-};
-
-/// Display name.
-[[nodiscard]] std::string_view to_string(PlacementStrategy s);
-
-/// Everything needed to build and drive a cluster.
-struct ClusterConfig {
-  std::size_t server_count{100};
-
-  /// Reallocation interval tau (uniform across servers by default).
-  common::Seconds reallocation_interval{common::Seconds{60.0}};
-
-  /// Initial per-server load is drawn uniformly from this range
-  /// ([0.2, 0.4] for the paper's 30 % experiments, [0.6, 0.8] for 70 %).
-  double initial_load_min{0.2};
-  double initial_load_max{0.4};
-
-  /// Per-application initial demand range (fraction of one server).
-  double app_demand_min{0.05};
-  double app_demand_max{0.15};
-
-  /// Range the unique lambda_{i,k} growth bounds are sampled from.
-  double lambda_min{0.01};
-  double lambda_max{0.05};
-
-  /// Probability an application re-evaluates its demand in an interval.
-  double demand_change_probability{0.05};
-
-  /// A server sends at most this many VMs per reallocation interval (its
-  /// migration NIC budget); spreads large re-balances over several
-  /// intervals, which is what produces the gradual decay of Figure 3.
-  std::size_t max_sends_per_interval{1};
-
-  /// Enables the even-distribution pass: servers above their optimal-region
-  /// center push one VM per interval to a server that stays *below* its own
-  /// center.  The pass self-quenches once no below-center capacity is left.
-  bool rebalance_enabled{true};
-
-  /// A freshly woken server may not re-enter sleep for this many intervals
-  /// (anti-thrash guard).
-  std::size_t wake_cooldown_intervals{5};
-
-  /// Server power curve: fraction of peak drawn when idle (~0.5 in §2).
-  double idle_power_fraction{0.5};
-  /// Peak power per server (Koomey volume-class 2006 value by default).
-  common::Watts peak_power{common::Watts{225.0}};
-
-  /// When true, servers are a hardware mix instead of uniform volume-class
-  /// machines: ~70 % volume, ~25 % mid-range, ~5 % high-end, with peak
-  /// powers from Table 1 and slightly worse idle fractions up the range.
-  bool heterogeneous_hardware{false};
-
-  /// Optional response-time SLA (Section 6's QoS tension).  When set,
-  /// servers operating above the SLA's utilization cap are reported as QoS
-  /// violations each interval.
-  std::optional<analytic::QosTarget> qos{};
-
-  /// Regime threshold sampling ranges (§4 defaults).
-  energy::RegimeThresholdRanges threshold_ranges{};
-
-  /// Horizontal-scaling target selection.
-  PlacementStrategy placement{PlacementStrategy::kEnergyAware};
-
-  /// Master switch for the regime-driven actions (R4/R5 shedding and R1
-  /// consolidation).  Off + kLeastLoaded placement + allow_sleep=false is
-  /// the *traditional* load balancer the paper's Section 1 reformulates.
-  bool regime_actions_enabled{true};
-
-  /// Master switch for consolidation (off reproduces an always-on cloud).
-  bool allow_sleep{true};
-  /// The 60 % rule threshold: above it sleepers go to C3, below to C6.
-  double sleep_state_load_threshold{0.60};
-  /// At most this fraction of the fleet may *start* sleeping per interval
-  /// (operational guardrail bounding capacity swing; also the mechanism
-  /// behind Table 2's strong cluster-size dependence).
-  double max_sleep_fraction_per_interval{0.008};
-
-  /// Restrict sleep depth (nullopt = leader's 60 % rule; forcing kC3 or kC6
-  /// supports the sleep-state ablation bench).
-  std::optional<energy::CState> forced_sleep_state{};
-
-  /// Price list for p_k / q_k / j_k.
-  vm::ScalingCostParams costs{};
-
-  /// Master seed; all randomness derives from it.
-  std::uint64_t seed{42};
-};
-
-/// What happened during one reallocation interval.
-struct IntervalReport {
-  std::size_t interval_index{0};
-  std::size_t local_decisions{0};      ///< Vertical resizes granted locally.
-  std::size_t in_cluster_decisions{0}; ///< Migrations + remote VM starts.
-  std::size_t migrations{0};           ///< Live migrations executed (all causes).
-  std::size_t shed_migrations{0};      ///< Caused by R4/R5 shedding.
-  std::size_t rebalance_migrations{0}; ///< Caused by the even-distribution pass.
-  std::size_t consolidation_migrations{0}; ///< Caused by R1 drains.
-  std::size_t horizontal_starts{0};    ///< Fresh VMs started remotely.
-  std::size_t offloaded_requests{0};   ///< Demand placed in a sibling cluster.
-  std::size_t drains{0};               ///< Servers fully drained this interval.
-  std::size_t sleeps{0};               ///< Sleep transitions begun.
-  std::size_t wakes{0};                ///< Wake transitions begun.
-  std::size_t sla_violations{0};       ///< Demand increments / loads not served.
-  std::size_t qos_violations{0};       ///< Servers above the response-time cap.
-  double unserved_demand{0.0};         ///< Total demand left unserved.
-  std::size_t sleeping_servers{0};     ///< Servers not awake after the step (any C-state).
-  std::size_t parked_servers{0};       ///< Servers halted in C1 (instant wake).
-  std::size_t deep_sleeping_servers{0};///< Servers in C3/C6 -- Table 2's "sleep state".
-  energy::RegimeHistogram regimes{};   ///< Awake servers per regime after the step.
-  common::Joules interval_energy{};    ///< Cluster energy burned this interval.
-
-  /// The paper's per-interval metric: in-cluster over local decisions
-  /// (denominator floored at 1 to stay finite).
-  [[nodiscard]] double decision_ratio() const {
-    return static_cast<double>(in_cluster_decisions) /
-           static_cast<double>(local_decisions == 0 ? 1 : local_decisions);
-  }
-};
+namespace protocol {
+class ClusterView;
+class ProtocolEngine;
+}  // namespace protocol
 
 /// The cluster itself.
 class Cluster {
@@ -179,6 +55,9 @@ class Cluster {
   /// Builds servers, samples heterogeneous thresholds and populates the
   /// initial VM load per `config`.
   explicit Cluster(ClusterConfig config);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   // --- observation ---------------------------------------------------------
 
@@ -188,8 +67,8 @@ class Cluster {
   [[nodiscard]] std::size_t size() const { return servers_.size(); }
   /// The configuration the cluster was built with.
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
-  /// Current simulation time (advanced by step()).
-  [[nodiscard]] common::Seconds now() const { return now_; }
+  /// Current simulation time (advanced by step() and the event kernel).
+  [[nodiscard]] common::Seconds now() const { return sim_.now(); }
 
   /// Sum of all VM demands across the cluster.
   [[nodiscard]] double total_demand() const;
@@ -215,15 +94,29 @@ class Cluster {
   [[nodiscard]] const vm::ScalingCost& in_cluster_cost_total() const {
     return in_cluster_cost_;
   }
+  /// The active placement policy (as selected by config().placement).
+  [[nodiscard]] const policy::PlacementPolicy& placement() const {
+    return *placement_;
+  }
 
   // --- driving -------------------------------------------------------------
 
-  /// Advances time to the next reallocation boundary and runs one protocol
-  /// round.  Returns the interval report.
+  /// Advances the event kernel to the next reallocation boundary (settling
+  /// any C-state transitions that complete on the way) and runs one protocol
+  /// round there.  Returns the interval report.
   IntervalReport step();
 
   /// Runs `count` intervals, returning one report per interval.
   std::vector<IntervalReport> run(std::size_t count);
+
+  /// The event kernel the cluster lives on.  Scenario drivers schedule
+  /// scripted events here; they interleave with rounds and transitions on
+  /// the one shared clock.
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] const sim::Simulation& simulation() const { return sim_; }
+
+  /// The interval recorder (install an event sink for tracing/metrics).
+  [[nodiscard]] IntervalRecorder& recorder() { return recorder_; }
 
   // --- multi-cluster hooks ---------------------------------------------------
 
@@ -233,9 +126,9 @@ class Cluster {
   }
 
   /// Accepts demand from a sibling cluster: starts a fresh VM of `demand`
-  /// CPU fraction on a server picked by this cluster's leader.  Returns
-  /// false when no server can take it.  Charges the usual horizontal-start
-  /// costs to the accepting server.
+  /// CPU fraction on a server picked by this cluster's placement policy.
+  /// Returns false when no server can take it.  Charges the usual
+  /// horizontal-start costs to the accepting server.
   bool accept_external(common::AppId app, double demand);
 
   /// Injects a workload VM onto a specific server (scenario setup: heating
@@ -254,21 +147,17 @@ class Cluster {
   [[nodiscard]] common::Rng& rng() { return rng_; }
 
  private:
+  friend class protocol::ClusterView;
+
   void populate();
   common::VmId spawn_vm(server::Server& host, common::AppId app, double demand,
                         bool force);
-  void evolve_and_scale(IntervalReport& report);
-  [[nodiscard]] std::optional<common::ServerId> pick_horizontal_target(
-      double demand, common::ServerId exclude);
-  void shed_overloaded(IntervalReport& report);
-  void rebalance_above_center(IntervalReport& report);
-  void drain_and_sleep(IntervalReport& report);
-  void serve_and_account_violations(IntervalReport& report);
-  bool migrate_vm(server::Server& source, common::VmId vm_id,
-                  common::ServerId target_id, IntervalReport& report);
-  void request_wake(IntervalReport& report);
-  void process_due_transitions();
   server::Server& server_ref(common::ServerId id);
+  /// Executes one protocol round at the current kernel time.
+  IntervalReport run_round();
+  /// Schedules the settle + energy charge of an in-flight C-state transition
+  /// at its exact completion instant.
+  void schedule_transition(common::ServerId id, common::Seconds done);
 
   ClusterConfig config_;
   common::Rng rng_;
@@ -280,15 +169,15 @@ class Cluster {
   vm::ScalingCost local_cost_{};
   vm::ScalingCost in_cluster_cost_{};
   common::Joules traffic_energy_{};  ///< Network energy (messages + migration data).
-  common::Seconds now_{common::Seconds{0.0}};
+  sim::Simulation sim_;              ///< The one clock everything runs on.
+  std::unique_ptr<policy::PlacementPolicy> placement_;
+  std::unique_ptr<protocol::ProtocolEngine> engine_;
+  IntervalRecorder recorder_;
   std::size_t interval_index_{0};
   common::Joules energy_at_last_step_{};
   std::uint32_t next_vm_id_{0};
   std::uint32_t next_app_id_{0};
-  std::size_t round_robin_cursor_{0};
-  /// (server, completion time) for in-flight C-state transitions.
-  std::vector<std::pair<common::ServerId, common::Seconds>> pending_transitions_;
-  /// Interval index at which each server last completed a wake (anti-thrash).
+  /// Interval index at which each server last began a wake (anti-thrash).
   std::unordered_map<common::ServerId, std::size_t> last_wake_interval_;
 };
 

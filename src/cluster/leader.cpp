@@ -1,72 +1,17 @@
 #include "cluster/leader.h"
 
-#include <cmath>
-#include <limits>
-
 namespace eclb::cluster {
-
-bool Leader::admissible(const server::Server& s, common::Seconds now, double demand,
-                        PlacementTier tier) {
-  if (!s.awake(now)) return false;
-  const double post = s.load() + demand;
-  const auto& t = s.thresholds();
-  switch (tier) {
-    case PlacementTier::kLowRegimesOnly: {
-      const auto r = s.regime();
-      const bool low = r.has_value() && (*r == energy::Regime::kR1UndesirableLow ||
-                                         *r == energy::Regime::kR2SuboptimalLow);
-      return low && post <= t.alpha_opt_high;
-    }
-    case PlacementTier::kStayOptimal:
-      return post <= t.alpha_opt_high;
-    case PlacementTier::kStaySuboptimal:
-      return post <= t.alpha_sopt_high;
-  }
-  return false;
-}
 
 std::optional<common::ServerId> Leader::find_target(
     std::span<const server::Server> servers, common::Seconds now, double demand,
     common::ServerId exclude, PlacementTier max_tier) const {
-  for (int tier = 0; tier <= static_cast<int>(max_tier); ++tier) {
-    const auto t = static_cast<PlacementTier>(tier);
-    const server::Server* best = nullptr;
-    double best_score = std::numeric_limits<double>::infinity();
-    for (const auto& s : servers) {
-      if (s.id() == exclude) continue;
-      if (!admissible(s, now, demand, t)) continue;
-      // Prefer the target whose post-placement load lands closest to its own
-      // optimal center: consolidates load and keeps targets in-regime.
-      const double score =
-          std::abs(s.load() + demand - s.thresholds().optimal_center());
-      if (score < best_score) {
-        best_score = score;
-        best = &s;
-      }
-    }
-    if (best != nullptr) return best->id();
-  }
-  return std::nullopt;
+  return policy::find_tiered_target(servers, now, demand, exclude, max_tier);
 }
 
 std::optional<common::ServerId> Leader::find_below_center_target(
     std::span<const server::Server> servers, common::Seconds now, double demand,
     common::ServerId exclude) const {
-  const server::Server* best = nullptr;
-  double best_score = std::numeric_limits<double>::infinity();
-  for (const auto& s : servers) {
-    if (s.id() == exclude || !s.awake(now)) continue;
-    const double post = s.load() + demand;
-    if (post > s.thresholds().optimal_center()) continue;
-    // Fullest viable target first: concentrates load.
-    const double score = s.thresholds().optimal_center() - post;
-    if (score < best_score) {
-      best_score = score;
-      best = &s;
-    }
-  }
-  if (best == nullptr) return std::nullopt;
-  return best->id();
+  return policy::find_below_center_target(servers, now, demand, exclude);
 }
 
 std::vector<common::ServerId> Leader::servers_in(

@@ -15,25 +15,19 @@
 #include "common/units.h"
 #include "energy/cstates.h"
 #include "energy/regimes.h"
+#include "policy/placement.h"
 #include "server/server.h"
 
 namespace eclb::cluster {
 
-/// How aggressive a placement search may be.
-enum class PlacementTier : std::uint8_t {
-  /// Only servers currently in R1/R2 that stay within their optimal region
-  /// -- the strict Section 4 rule for consolidation (drain) traffic.
-  kLowRegimesOnly = 0,
-  /// Any server whose post-placement load stays within its optimal region
-  /// (<= alpha_opt_high) -- used for R4/R5 shedding.
-  kStayOptimal = 1,
-  /// Any server whose post-placement load stays out of the undesirable-high
-  /// region (<= alpha_sopt_high) -- last resort for application growth.
-  kStaySuboptimal = 2,
-};
+/// The tier ladder lives with the placement layer; aliased here because it
+/// has always been part of the leader's vocabulary.
+using PlacementTier = policy::PlacementTier;
 
 /// Leader decision logic.  Holds no mutable server state; the cluster passes
-/// its live server array into each query.
+/// its live server array into each query.  Matchmaking searches delegate to
+/// the shared placement layer (policy/placement.h); the leader adds the
+/// sleep/wake arbitration that needs cluster-wide judgment.
 class Leader {
  public:
   /// Picks the best target able to absorb `demand` more load, searching
@@ -69,10 +63,6 @@ class Leader {
   /// they go to C6 (deep sleep, demand unlikely to return quickly).
   [[nodiscard]] static energy::CState choose_sleep_state(double cluster_load_fraction,
                                                          double threshold = 0.60);
-
- private:
-  [[nodiscard]] static bool admissible(const server::Server& s, common::Seconds now,
-                                       double demand, PlacementTier tier);
 };
 
 }  // namespace eclb::cluster

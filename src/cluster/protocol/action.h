@@ -1,0 +1,39 @@
+// The protocol-action interface.
+//
+// Section 4's reallocation round is a fixed sequence of per-regime actions.
+// Each action is an object with a narrow contract: it may be switched off by
+// configuration (`enabled`) and it executes against a ClusterView -- the
+// restricted facade through which all protocol mutations flow.  The engine
+// owns the sequence; the cluster owns neither the actions nor their order.
+#pragma once
+
+#include <string_view>
+
+namespace eclb::cluster {
+struct ClusterConfig;
+}  // namespace eclb::cluster
+
+namespace eclb::cluster::protocol {
+
+class ClusterView;
+
+/// One step of the reallocation round (or a helper invoked by other steps,
+/// like the leader's wake request).
+class ProtocolAction {
+ public:
+  virtual ~ProtocolAction() = default;
+
+  /// Display name (diagnostics and engine introspection).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Whether the action participates under `config`.  Defaults to always-on;
+  /// regime-driven actions key off the config's master switches.
+  [[nodiscard]] virtual bool enabled(const ClusterConfig& /*config*/) const {
+    return true;
+  }
+
+  /// Executes the action against the cluster for the current interval.
+  virtual void run(ClusterView& view) = 0;
+};
+
+}  // namespace eclb::cluster::protocol

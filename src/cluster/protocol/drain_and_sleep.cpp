@@ -1,0 +1,143 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/leader.h"
+#include "cluster/protocol/actions.h"
+#include "cluster/protocol/view.h"
+
+namespace eclb::cluster::protocol {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+bool DrainAndSleep::enabled(const ClusterConfig& config) const {
+  return config.regime_actions_enabled && config.allow_sleep;
+}
+
+void DrainAndSleep::run(ClusterView& view) {
+  const ClusterConfig& config = view.config();
+  const common::Seconds now = view.now();
+  const auto servers = view.servers();
+
+  // Consolidation (the R1 action of Section 4): an undesirable-low server
+  // pushes its VMs *uphill* -- to R1/R2 peers carrying more load than
+  // itself that still end within their optimal region.  The uphill rule
+  // makes consolidation a strict order (no migration cycles).  Draining is
+  // throttled by the per-interval send budget, so emptying a server takes
+  // several intervals; that gradual trickle is Figure 3's low-load decay.
+  //
+  // Negative-result cache (see shed phase): acceptor loads only grow here.
+  // Donors run least-loaded first, so every later donor sees a *narrower*
+  // uphill target set than the one a failure was recorded against -- which
+  // keeps the cache sound.
+  double min_failed_demand = std::numeric_limits<double>::infinity();
+  std::vector<server::Server*> donors;
+  for (auto& s : servers) {
+    if (!s.awake(now)) continue;
+    const auto r = s.regime();
+    if (!r.has_value() || *r != energy::Regime::kR1UndesirableLow) continue;
+    if (s.vm_count() == 0) continue;
+    donors.push_back(&s);
+  }
+  std::sort(donors.begin(), donors.end(),
+            [](const server::Server* a, const server::Server* b) {
+              return a->load() < b->load();
+            });
+  for (server::Server* donor : donors) {
+    auto& s = *donor;
+    std::size_t sends_left = config.max_sends_per_interval;
+    while (sends_left > 0 && s.vm_count() > 0) {
+      // Largest VM first: empties the donor fastest.
+      const vm::Vm* biggest = nullptr;
+      for (const auto& v : s.vms()) {
+        if (biggest == nullptr || v.demand() > biggest->demand()) biggest = &v;
+      }
+      if (biggest->demand() >= min_failed_demand) break;
+      // Uphill target: an R1/R2 peer with strictly more load, ending within
+      // its optimal region; fullest-fit (closest to its center) wins.
+      const server::Server* chosen = nullptr;
+      double best_score = std::numeric_limits<double>::infinity();
+      for (const auto& t : servers) {
+        if (t.id() == s.id() || !t.awake(now)) continue;
+        if (t.load() <= s.load() + kEps) continue;  // uphill only
+        const auto tr = t.regime();
+        if (!tr.has_value()) continue;
+        const double post = t.load() + biggest->demand();
+        // Partners are the lightly loaded: R1/R2 peers, or an R3 server
+        // that remains below the center of its optimal region.
+        const bool low = *tr == energy::Regime::kR1UndesirableLow ||
+                         *tr == energy::Regime::kR2SuboptimalLow;
+        const bool r3_below_center =
+            *tr == energy::Regime::kR3Optimal &&
+            post <= t.thresholds().optimal_center() + kEps;
+        if (!low && !r3_below_center) continue;
+        if (post > t.thresholds().alpha_opt_high + kEps) continue;
+        const double score = std::abs(post - t.thresholds().optimal_center());
+        if (score < best_score) {
+          best_score = score;
+          chosen = &t;
+        }
+      }
+      if (chosen == nullptr) {
+        min_failed_demand = biggest->demand();
+        break;
+      }
+      if (!view.migrate(s, biggest->id(), chosen->id(),
+                        MigrationCause::kConsolidation)) {
+        break;
+      }
+      --sends_left;
+    }
+    if (s.vm_count() == 0) view.recorder().drained(s.id());
+  }
+
+  // Sleep phase.  Deep sleep (C3/C6) removes capacity for 30 s / 180 s of
+  // wake latency, so it is guarded: at most floor(fraction * N) deep-sleep
+  // transitions per interval, and never within the post-wake cooldown.
+  // Drained servers that cannot deep-sleep park in C1 instead -- C1 wakes in
+  // ~1 ms, so parking removes no effective capacity and needs no guardrail.
+  std::size_t budget = static_cast<std::size_t>(std::floor(
+      config.max_sleep_fraction_per_interval *
+      static_cast<double>(servers.size())));
+
+  const double cluster_load = view.load_fraction();
+  const energy::CState deep_state =
+      config.forced_sleep_state.value_or(Leader::choose_sleep_state(
+          cluster_load, config.sleep_state_load_threshold));
+
+  // Deep-sleep pass: prefer servers already parked in C1 (their emptiness
+  // has persisted at least one interval), then freshly drained ones.
+  for (int pass = 0; pass < 2 && budget > 0; ++pass) {
+    for (auto& s : servers) {
+      if (budget == 0) break;
+      if (s.vm_count() > 0 || s.in_transition(now)) continue;
+      const bool parked = s.cstate() == energy::CState::kC1;
+      const bool fresh = s.awake(now);
+      if (pass == 0 ? !parked : !fresh) continue;
+      const auto woken = view.last_wake_interval(s.id());
+      if (woken.has_value() &&
+          view.interval_index() - *woken <= config.wake_cooldown_intervals) {
+        continue;
+      }
+      view.charge_message(MessageKind::kSleepNotice, 1, /*network_energy=*/true);
+      const common::Seconds done = parked ? s.deepen_sleep(deep_state, now)
+                                          : s.begin_sleep(deep_state, now);
+      view.begin_transition(s, done);
+      view.recorder().sleep_begun(s.id());
+      --budget;
+    }
+  }
+
+  // Parking pass: any remaining awake empty server halts in C1.
+  for (auto& s : servers) {
+    if (!s.awake(now) || s.vm_count() > 0) continue;
+    const common::Seconds done = s.begin_sleep(energy::CState::kC1, now);
+    view.begin_transition(s, done);
+  }
+}
+
+}  // namespace eclb::cluster::protocol

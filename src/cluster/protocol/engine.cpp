@@ -1,0 +1,26 @@
+#include "cluster/protocol/engine.h"
+
+#include "cluster/protocol/actions.h"
+#include "cluster/protocol/view.h"
+
+namespace eclb::cluster::protocol {
+
+ProtocolEngine::ProtocolEngine() : wake_(std::make_unique<RequestWake>()) {
+  actions_.push_back(std::make_unique<EvolveAndScale>());
+  actions_.push_back(std::make_unique<ShedOverloaded>());
+  actions_.push_back(std::make_unique<RebalanceAboveCenter>());
+  actions_.push_back(std::make_unique<DrainAndSleep>());
+  actions_.push_back(std::make_unique<ServeAndAccount>());
+  actions_.push_back(std::make_unique<RegimeReport>());
+}
+
+ProtocolEngine::~ProtocolEngine() = default;
+
+void ProtocolEngine::run(ClusterView& view) {
+  for (const auto& action : actions_) {
+    if (!action->enabled(view.config())) continue;
+    action->run(view);
+  }
+}
+
+}  // namespace eclb::cluster::protocol

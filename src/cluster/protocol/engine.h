@@ -1,0 +1,45 @@
+// The protocol engine: owns the reallocation round's action sequence.
+//
+// One engine instance lives inside each Cluster.  Per round the cluster
+// builds a ClusterView and calls run(); the engine walks its actions in
+// Section 4 order, skipping the ones the configuration switches off.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cluster/protocol/action.h"
+
+namespace eclb::cluster::protocol {
+
+class ClusterView;
+
+/// The fixed action sequence of one reallocation round.
+class ProtocolEngine {
+ public:
+  /// Builds the Section 4 sequence: evolve-and-scale, shed-overloaded,
+  /// rebalance-above-center, drain-and-sleep, serve-and-account,
+  /// regime-report -- plus the request-wake helper the others invoke.
+  ProtocolEngine();
+  ~ProtocolEngine();
+  ProtocolEngine(const ProtocolEngine&) = delete;
+  ProtocolEngine& operator=(const ProtocolEngine&) = delete;
+
+  /// Runs every enabled action against `view`, in sequence.
+  void run(ClusterView& view);
+
+  /// The wake-arbitration helper (ClusterView::request_wake delegates here).
+  [[nodiscard]] ProtocolAction& wake_action() { return *wake_; }
+
+  /// The round's action sequence, in execution order (introspection).
+  [[nodiscard]] std::span<const std::unique_ptr<ProtocolAction>> actions() const {
+    return actions_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<ProtocolAction>> actions_;
+  std::unique_ptr<ProtocolAction> wake_;
+};
+
+}  // namespace eclb::cluster::protocol

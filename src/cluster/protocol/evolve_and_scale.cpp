@@ -1,0 +1,74 @@
+#include <algorithm>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/protocol/actions.h"
+#include "cluster/protocol/view.h"
+#include "common/assert.h"
+
+namespace eclb::cluster::protocol {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+void EvolveAndScale::run(ClusterView& view) {
+  const ClusterConfig& config = view.config();
+  common::Rng& rng = view.rng();
+  const common::Seconds now = view.now();
+
+  // Iterate by server index and take a VM-id snapshot per server: horizontal
+  // scaling may add VMs to other servers (and to later indices of this
+  // loop), which must not be re-evolved this interval.
+  for (auto& s : view.servers()) {
+    if (!s.awake(now)) continue;
+    std::vector<common::VmId> ids;
+    ids.reserve(s.vm_count());
+    for (const auto& v : s.vms()) ids.push_back(v.id());
+
+    for (const auto vm_id : ids) {
+      if (!rng.bernoulli(config.demand_change_probability)) continue;
+      const vm::Vm* v = s.find(vm_id);
+      if (v == nullptr) continue;  // migrated away by an earlier decision
+      const vm::DemandGrowthSpec* g = view.growth_of(vm_id);
+      ECLB_ASSERT(g != nullptr, "evolve: VM without growth spec");
+      const double step_size = rng.uniform(-g->max_shrink, g->lambda);
+      const double requested =
+          std::clamp(v->demand() + step_size, g->min_demand, g->max_demand);
+
+      if (requested <= v->demand() + kEps) {
+        // Shrinking (or unchanged) always succeeds locally and is free.
+        (void)s.force_demand(vm_id, requested);
+        continue;
+      }
+
+      const double delta = requested - v->demand();
+      // Vertical scaling: grant if the server stays out of the
+      // undesirable-high region (the energy-aware admission rule).
+      const bool fits_capacity = s.load() + delta <= 1.0 + kEps;
+      const bool stays_tolerable =
+          s.load() + delta <= s.thresholds().alpha_sopt_high + kEps;
+      if (fits_capacity && stays_tolerable &&
+          s.try_vertical_scale(vm_id, requested)) {
+        view.grant_vertical(s.id());
+        continue;
+      }
+
+      // Horizontal scaling: start a new VM carrying the increment on a
+      // server picked by the configured placement policy.
+      const auto target_id = view.pick_horizontal_target(delta, s.id());
+      if (target_id.has_value()) {
+        view.spawn_remote(*target_id, s.find(vm_id)->app(), delta);
+      } else if (view.try_offload(s.find(vm_id)->app(), delta)) {
+        // A sibling cluster took the increment (multi-cluster cloud).
+      } else {
+        // No capacity anywhere: ask the leader to wake a sleeper and record
+        // the unmet increment as an SLA violation for this interval.
+        view.request_wake();
+        view.recorder().sla_violation(delta, s.id());
+      }
+    }
+  }
+}
+
+}  // namespace eclb::cluster::protocol

@@ -1,0 +1,57 @@
+#include <limits>
+
+#include "cluster/config.h"
+#include "cluster/protocol/actions.h"
+#include "cluster/protocol/view.h"
+
+namespace eclb::cluster::protocol {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+bool RebalanceAboveCenter::enabled(const ClusterConfig& config) const {
+  return config.regime_actions_enabled && config.rebalance_enabled;
+}
+
+void RebalanceAboveCenter::run(ClusterView& view) {
+  const common::Seconds now = view.now();
+
+  // Even-distribution pass: a server operating above the center of its
+  // optimal region offers its smallest VM to a peer that remains *below its
+  // own* center after accepting.  Because donors are above center and
+  // receivers stay below center, a VM never bounces back; the pass dies out
+  // once no below-center capacity remains (always, at high cluster load).
+  //
+  // Same negative-result cache as the shed phase: receivers only gain load
+  // during this pass, so a failed demand stays failed.
+  double min_failed_demand = std::numeric_limits<double>::infinity();
+  for (auto& s : view.servers()) {
+    if (!s.awake(now)) continue;
+    if (s.vm_count() == 0) continue;
+    const double center = s.thresholds().optimal_center();
+    if (s.load() <= center + kEps) continue;
+
+    // Smallest VM first: fine-grained moves converge without overshooting.
+    const vm::Vm* smallest = nullptr;
+    for (const auto& v : s.vms()) {
+      if (smallest == nullptr || v.demand() < smallest->demand()) smallest = &v;
+    }
+    if (smallest == nullptr) continue;
+    // Do not overshoot out of the optimal region from above.
+    if (s.load() - smallest->demand() < s.thresholds().alpha_opt_low - kEps) {
+      continue;
+    }
+    if (smallest->demand() >= min_failed_demand) continue;
+    const auto target_id =
+        view.find_below_center_target(smallest->demand(), s.id());
+    if (!target_id.has_value()) {
+      min_failed_demand = smallest->demand();
+      continue;
+    }
+    (void)view.migrate(s, smallest->id(), *target_id,
+                       MigrationCause::kRebalance);
+  }
+}
+
+}  // namespace eclb::cluster::protocol

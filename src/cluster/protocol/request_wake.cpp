@@ -1,0 +1,18 @@
+#include "cluster/config.h"
+#include "cluster/protocol/actions.h"
+#include "cluster/protocol/view.h"
+
+namespace eclb::cluster::protocol {
+
+void RequestWake::run(ClusterView& view) {
+  const auto candidate = view.pick_wake_candidate();
+  if (!candidate.has_value()) return;
+  auto& s = view.server(*candidate);
+  view.charge_message(MessageKind::kWakeCommand, 1, /*network_energy=*/true);
+  const common::Seconds done = s.begin_wake(view.now());
+  view.begin_transition(s, done);
+  view.note_wake(s.id());
+  view.recorder().wake_begun(s.id());
+}
+
+}  // namespace eclb::cluster::protocol

@@ -1,0 +1,44 @@
+#include "analytic/qos.h"
+#include "cluster/config.h"
+#include "cluster/protocol/actions.h"
+#include "cluster/protocol/view.h"
+
+namespace eclb::cluster::protocol {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+void ServeAndAccount::run(ClusterView& view) {
+  const ClusterConfig& config = view.config();
+  const common::Seconds now = view.now();
+  const double qos_cap = config.qos.has_value()
+                             ? analytic::utilization_cap(*config.qos)
+                             : 1.0;
+  for (auto& s : view.servers()) {
+    if (!s.awake(now)) continue;
+    const double load = s.load();
+    if (config.qos.has_value() && s.served_load() > qos_cap + kEps) {
+      // Response-time SLA breached (Section 6: QoS may force operation
+      // below the energy-optimal region).
+      view.recorder().qos_violation(s.id());
+    }
+    if (load <= 1.0 + kEps) continue;
+    // Oversubscribed: demand is served proportionally; the shortfall is an
+    // SLA violation for this interval.
+    view.recorder().sla_violation(load - 1.0, s.id());
+  }
+}
+
+void RegimeReport::run(ClusterView& view) {
+  // Every server outside R3 reports its regime to the leader (j_k traffic).
+  for (const auto& s : view.servers()) {
+    const auto r = s.regime();
+    if (r.has_value() && *r != energy::Regime::kR3Optimal) {
+      view.charge_message(MessageKind::kRegimeReport, 1,
+                          /*network_energy=*/true);
+    }
+  }
+}
+
+}  // namespace eclb::cluster::protocol

@@ -1,0 +1,78 @@
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/protocol/actions.h"
+#include "cluster/protocol/view.h"
+
+namespace eclb::cluster::protocol {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+bool ShedOverloaded::enabled(const ClusterConfig& config) const {
+  return config.regime_actions_enabled;
+}
+
+void ShedOverloaded::run(ClusterView& view) {
+  const ClusterConfig& config = view.config();
+  const common::Seconds now = view.now();
+
+  // R5 first (urgent), then R4: migrate VMs away toward the optimal region.
+  // R4 servers are throttled to the per-interval send budget; R5 servers
+  // (and any oversubscribed server) may exceed it -- the undesirable-high
+  // region demands immediate action (Section 4).
+  // Negative-result cache for the whole shed phase: target loads only grow
+  // while shedding, so a demand that found no home cannot find one later in
+  // the phase.  Bounds the number of full leader scans per interval.
+  double min_failed_demand = std::numeric_limits<double>::infinity();
+
+  for (auto urgency : {energy::Regime::kR5UndesirableHigh,
+                       energy::Regime::kR4SuboptimalHigh}) {
+    for (auto& s : view.servers()) {
+      if (!s.awake(now)) continue;
+      const auto r = s.regime();
+      if (!r.has_value() || *r != urgency) continue;
+
+      const bool urgent = urgency == energy::Regime::kR5UndesirableHigh;
+      std::size_t sends_left =
+          urgent ? s.vm_count() : config.max_sends_per_interval;
+      while (sends_left > 0 && s.load() > s.thresholds().alpha_opt_high + kEps) {
+        // Move the largest VM that still has a home elsewhere; big moves
+        // need the fewest migrations to reach the optimal region.
+        std::vector<const vm::Vm*> candidates;
+        candidates.reserve(s.vm_count());
+        for (const auto& v : s.vms()) candidates.push_back(&v);
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const vm::Vm* a, const vm::Vm* b) {
+                    return a->demand() > b->demand();
+                  });
+        bool moved = false;
+        for (const vm::Vm* v : candidates) {
+          if (v->demand() >= min_failed_demand) continue;
+          const auto target_id = view.find_target(
+              v->demand(), s.id(), policy::PlacementTier::kStayOptimal);
+          if (!target_id.has_value()) {
+            min_failed_demand = v->demand();
+            continue;
+          }
+          moved = view.migrate(s, v->id(), *target_id, MigrationCause::kShed);
+          break;
+        }
+        if (!moved) {
+          if (urgent) {
+            // The R5 rule: when no partner exists, the leader wakes one or
+            // more sleeping servers (usable once their wake completes).
+            view.request_wake();
+          }
+          break;
+        }
+        --sends_left;
+      }
+    }
+  }
+}
+
+}  // namespace eclb::cluster::protocol

@@ -1,0 +1,145 @@
+#include "cluster/protocol/view.h"
+
+#include "cluster/cluster.h"
+#include "cluster/protocol/action.h"
+#include "common/assert.h"
+#include "vm/scaling.h"
+
+namespace eclb::cluster::protocol {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+std::span<server::Server> ClusterView::servers() { return cluster_.servers_; }
+
+server::Server& ClusterView::server(common::ServerId id) {
+  return cluster_.server_ref(id);
+}
+
+const ClusterConfig& ClusterView::config() const { return cluster_.config_; }
+
+common::Seconds ClusterView::now() const { return cluster_.now(); }
+
+common::Rng& ClusterView::rng() { return cluster_.rng_; }
+
+IntervalRecorder& ClusterView::recorder() { return cluster_.recorder_; }
+
+std::size_t ClusterView::interval_index() const {
+  return cluster_.interval_index_;
+}
+
+double ClusterView::load_fraction() const { return cluster_.load_fraction(); }
+
+const vm::DemandGrowthSpec* ClusterView::growth_of(common::VmId id) const {
+  return cluster_.growth_of(id);
+}
+
+std::optional<common::ServerId> ClusterView::pick_horizontal_target(
+    double demand, common::ServerId exclude) {
+  return cluster_.placement_->pick(cluster_.servers_, now(), demand, exclude,
+                                   cluster_.rng_);
+}
+
+std::optional<common::ServerId> ClusterView::find_target(
+    double demand, common::ServerId exclude, policy::PlacementTier max_tier) const {
+  return cluster_.leader_.find_target(cluster_.servers_, now(), demand, exclude,
+                                      max_tier);
+}
+
+std::optional<common::ServerId> ClusterView::find_below_center_target(
+    double demand, common::ServerId exclude) const {
+  return cluster_.leader_.find_below_center_target(cluster_.servers_, now(),
+                                                   demand, exclude);
+}
+
+std::optional<common::ServerId> ClusterView::pick_wake_candidate() const {
+  return cluster_.leader_.pick_wake_candidate(cluster_.servers_, now());
+}
+
+void ClusterView::grant_vertical(common::ServerId server) {
+  cluster_.local_cost_ += vm::vertical_cost(cluster_.config_.costs);
+  cluster_.recorder_.local_decision(server);
+}
+
+void ClusterView::spawn_remote(common::ServerId target_id, common::AppId app,
+                               double demand) {
+  auto& target = cluster_.server_ref(target_id);
+  const common::VmId new_id =
+      cluster_.spawn_vm(target, app, demand, /*force=*/false);
+  const vm::ScalingCost cost =
+      vm::horizontal_start_cost(*target.find(new_id), cluster_.config_.costs);
+  cluster_.in_cluster_cost_ += cost;
+  target.charge_energy(cost.energy);
+  // Negotiation messages are counted but, unlike a migration, a fresh start
+  // moves no VM image over the network, so no traffic energy is charged.
+  charge_message(MessageKind::kTransferRequest,
+                 cluster_.config_.costs.messages_per_negotiation,
+                 /*network_energy=*/false);
+  cluster_.recorder_.horizontal_start(target_id);
+}
+
+bool ClusterView::migrate(server::Server& source, common::VmId vm_id,
+                          common::ServerId target_id, MigrationCause cause) {
+  auto& target = cluster_.server_ref(target_id);
+  const vm::Vm* v = source.find(vm_id);
+  if (v == nullptr || !target.awake(now())) return false;
+  if (target.load() + v->demand() > 1.0 + kEps) return false;
+
+  const vm::ScalingCost cost =
+      vm::horizontal_migration_cost(*v, cluster_.config_.costs);
+  const vm::MigrationCost mig =
+      vm::migrate_cost(*v, cluster_.config_.costs.migration);
+
+  auto moved = source.remove(vm_id);
+  ECLB_ASSERT(moved.has_value(), "migrate: VM vanished from source");
+  const bool placed = target.place(std::move(*moved));
+  ECLB_ASSERT(placed, "migrate: target rejected a pre-checked VM");
+
+  source.charge_energy(mig.source_energy);
+  target.charge_energy(mig.target_energy);
+  cluster_.traffic_energy_ += mig.network_energy;
+  cluster_.in_cluster_cost_ += cost;
+  charge_message(MessageKind::kTransferRequest,
+                 cluster_.config_.costs.messages_per_negotiation,
+                 /*network_energy=*/true);
+  cluster_.recorder_.migration(cause, target_id);
+  return true;
+}
+
+bool ClusterView::try_offload(common::AppId app, double demand) {
+  if (cluster_.overflow_handler_ == nullptr ||
+      !cluster_.overflow_handler_(app, demand)) {
+    return false;
+  }
+  cluster_.recorder_.offloaded();
+  return true;
+}
+
+void ClusterView::request_wake() { wake_action_.run(*this); }
+
+void ClusterView::charge_message(MessageKind kind, std::size_t n,
+                                 bool network_energy) {
+  cluster_.messages_.record(kind, n, cluster_.config_.costs.energy_per_message);
+  if (network_energy) {
+    cluster_.traffic_energy_ += cluster_.config_.costs.energy_per_message *
+                                static_cast<double>(n);
+  }
+}
+
+void ClusterView::begin_transition(server::Server& s, common::Seconds done) {
+  cluster_.schedule_transition(s.id(), done);
+}
+
+std::optional<std::size_t> ClusterView::last_wake_interval(
+    common::ServerId id) const {
+  const auto it = cluster_.last_wake_interval_.find(id);
+  if (it == cluster_.last_wake_interval_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ClusterView::note_wake(common::ServerId id) {
+  cluster_.last_wake_interval_[id] = cluster_.interval_index_;
+}
+
+}  // namespace eclb::cluster::protocol

@@ -1,0 +1,123 @@
+// The narrow facade protocol actions operate on.
+//
+// Actions never touch Cluster directly; they see servers, the leader's
+// queries, the RNG, and a small set of priced mutation primitives (remote VM
+// start, migration, offload, wake request, message charging).  Every
+// primitive records its typed event with the interval recorder, so the
+// actions stay focused on *policy* while the view guarantees consistent
+// *bookkeeping*.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "cluster/messages.h"
+#include "cluster/recorder.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/units.h"
+#include "policy/placement.h"
+#include "server/server.h"
+#include "vm/application.h"
+
+namespace eclb::cluster {
+class Cluster;
+struct ClusterConfig;
+}  // namespace eclb::cluster
+
+namespace eclb::cluster::protocol {
+
+class ProtocolAction;
+
+/// Per-round facade over one Cluster.  Constructed by Cluster::run_round and
+/// handed to each enabled action in sequence; lives on the stack for exactly
+/// one reallocation interval.
+class ClusterView {
+ public:
+  ClusterView(Cluster& cluster, ProtocolAction& wake_action)
+      : cluster_(cluster), wake_action_(wake_action) {}
+
+  // --- observation ---------------------------------------------------------
+
+  /// Live server array (mutable: actions resize demand and move VMs).
+  [[nodiscard]] std::span<server::Server> servers();
+  /// Server lookup by id (asserts on bad ids).
+  [[nodiscard]] server::Server& server(common::ServerId id);
+  /// The cluster's configuration.
+  [[nodiscard]] const ClusterConfig& config() const;
+  /// Simulation time of the current round.
+  [[nodiscard]] common::Seconds now() const;
+  /// The cluster's deterministic RNG (the only randomness source).
+  [[nodiscard]] common::Rng& rng();
+  /// This round's event recorder.
+  [[nodiscard]] IntervalRecorder& recorder();
+  /// Interval counter; already advanced for the running round, so wake
+  /// bookkeeping naturally measures whole intervals.
+  [[nodiscard]] std::size_t interval_index() const;
+  /// Cluster demand over capacity (the 60 % rule input).
+  [[nodiscard]] double load_fraction() const;
+  /// Growth spec attached to a VM; nullptr if unknown.
+  [[nodiscard]] const vm::DemandGrowthSpec* growth_of(common::VmId id) const;
+
+  // --- placement queries ---------------------------------------------------
+
+  /// Target for a horizontal-scaling start per the configured placement
+  /// policy (the strategy under evaluation).
+  [[nodiscard]] std::optional<common::ServerId> pick_horizontal_target(
+      double demand, common::ServerId exclude);
+  /// The leader's tiered energy-aware search (shedding, strict tiers).
+  [[nodiscard]] std::optional<common::ServerId> find_target(
+      double demand, common::ServerId exclude, policy::PlacementTier max_tier) const;
+  /// The leader's below-center search (even-distribution rebalance).
+  [[nodiscard]] std::optional<common::ServerId> find_below_center_target(
+      double demand, common::ServerId exclude) const;
+  /// The leader's wake pick: shallowest settled sleeper.
+  [[nodiscard]] std::optional<common::ServerId> pick_wake_candidate() const;
+
+  // --- priced mutations ----------------------------------------------------
+
+  /// Books a granted vertical resize on `server`: p_k cost + local decision.
+  void grant_vertical(common::ServerId server);
+
+  /// Starts a fresh VM of `demand` for `app` on `target` and books the
+  /// horizontal-start cost, negotiation messages and in-cluster decision.
+  void spawn_remote(common::ServerId target, common::AppId app, double demand);
+
+  /// Live-migrates `vm_id` off `source` onto `target_id`, booking migration
+  /// energy (source, target, network), negotiation messages and the
+  /// in-cluster decision.  False when the target cannot take the VM.
+  bool migrate(server::Server& source, common::VmId vm_id,
+               common::ServerId target_id, MigrationCause cause);
+
+  /// Offers `demand` to the overflow handler (a sibling cluster).  Books the
+  /// offload when accepted.
+  bool try_offload(common::AppId app, double demand);
+
+  /// Asks the leader to wake a sleeping server (the R5 rule); delegates to
+  /// the engine's RequestWake action.
+  void request_wake();
+
+  /// Records `n` control messages of kind `kind`; when `network_energy` is
+  /// set their cost is also charged to the cluster's traffic energy.
+  void charge_message(MessageKind kind, std::size_t n, bool network_energy);
+
+  /// Registers an in-flight C-state transition of `s` finishing at `done`;
+  /// the cluster settles it (and charges energy) at exactly that instant on
+  /// the event kernel.
+  void begin_transition(server::Server& s, common::Seconds done);
+
+  // --- wake bookkeeping ----------------------------------------------------
+
+  /// Interval at which `id` last began a wake; nullopt when it never woke.
+  [[nodiscard]] std::optional<std::size_t> last_wake_interval(
+      common::ServerId id) const;
+  /// Stamps `id` as woken this interval (anti-thrash cooldown input).
+  void note_wake(common::ServerId id);
+
+ private:
+  Cluster& cluster_;
+  ProtocolAction& wake_action_;
+};
+
+}  // namespace eclb::cluster::protocol

@@ -1,0 +1,108 @@
+#include "cluster/recorder.h"
+
+namespace eclb::cluster {
+
+std::string_view to_string(DecisionKind k) {
+  switch (k) {
+    case DecisionKind::kLocal: return "local";
+    case DecisionKind::kInCluster: return "in-cluster";
+  }
+  return "?";
+}
+
+std::string_view to_string(MigrationCause c) {
+  switch (c) {
+    case MigrationCause::kShed: return "shed";
+    case MigrationCause::kRebalance: return "rebalance";
+    case MigrationCause::kConsolidation: return "consolidation";
+  }
+  return "?";
+}
+
+void IntervalRecorder::begin_interval(std::size_t index) {
+  report_ = IntervalReport{};
+  report_.interval_index = index;
+}
+
+void IntervalRecorder::emit(ProtocolEvent event) {
+  event.interval = report_.interval_index;
+  if (sink_) sink_(event);
+}
+
+void IntervalRecorder::local_decision(common::ServerId server) {
+  ++report_.local_decisions;
+  emit({.kind = ProtocolEvent::Kind::kDecision,
+        .server = server,
+        .decision = DecisionKind::kLocal});
+}
+
+void IntervalRecorder::migration(MigrationCause cause, common::ServerId target) {
+  ++report_.in_cluster_decisions;
+  ++report_.migrations;
+  switch (cause) {
+    case MigrationCause::kShed: ++report_.shed_migrations; break;
+    case MigrationCause::kRebalance: ++report_.rebalance_migrations; break;
+    case MigrationCause::kConsolidation:
+      ++report_.consolidation_migrations;
+      break;
+  }
+  emit({.kind = ProtocolEvent::Kind::kMigration,
+        .server = target,
+        .cause = cause});
+  emit({.kind = ProtocolEvent::Kind::kDecision,
+        .server = target,
+        .decision = DecisionKind::kInCluster});
+}
+
+void IntervalRecorder::horizontal_start(common::ServerId target) {
+  ++report_.in_cluster_decisions;
+  ++report_.horizontal_starts;
+  emit({.kind = ProtocolEvent::Kind::kHorizontalStart, .server = target});
+  emit({.kind = ProtocolEvent::Kind::kDecision,
+        .server = target,
+        .decision = DecisionKind::kInCluster});
+}
+
+void IntervalRecorder::offloaded() {
+  ++report_.offloaded_requests;
+  emit({.kind = ProtocolEvent::Kind::kOffload});
+}
+
+void IntervalRecorder::drained(common::ServerId server) {
+  ++report_.drains;
+  emit({.kind = ProtocolEvent::Kind::kDrain, .server = server});
+}
+
+void IntervalRecorder::sleep_begun(common::ServerId server) {
+  ++report_.sleeps;
+  emit({.kind = ProtocolEvent::Kind::kSleep, .server = server});
+}
+
+void IntervalRecorder::wake_begun(common::ServerId server) {
+  ++report_.wakes;
+  emit({.kind = ProtocolEvent::Kind::kWake, .server = server});
+}
+
+void IntervalRecorder::sla_violation(double unserved, common::ServerId server) {
+  ++report_.sla_violations;
+  report_.unserved_demand += unserved;
+  emit({.kind = ProtocolEvent::Kind::kSlaViolation,
+        .server = server,
+        .unserved = unserved});
+}
+
+void IntervalRecorder::qos_violation(common::ServerId server) {
+  ++report_.qos_violations;
+  emit({.kind = ProtocolEvent::Kind::kQosViolation, .server = server});
+}
+
+IntervalReport IntervalRecorder::finish(const FleetSnapshot& snapshot) {
+  report_.sleeping_servers = snapshot.sleeping_servers;
+  report_.parked_servers = snapshot.parked_servers;
+  report_.deep_sleeping_servers = snapshot.deep_sleeping_servers;
+  report_.regimes = snapshot.regimes;
+  report_.interval_energy = snapshot.interval_energy;
+  return report_;
+}
+
+}  // namespace eclb::cluster

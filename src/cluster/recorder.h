@@ -1,0 +1,150 @@
+// Interval instrumentation: typed protocol events and the report they roll
+// up into.
+//
+// Protocol actions do not hand-assemble counters; they emit typed events
+// (migration, sleep/wake, SLA/QoS violation, local vs in-cluster decision)
+// to an IntervalRecorder.  The recorder aggregates them into the
+// IntervalReport the benches consume and offers a single choke point -- an
+// optional sink -- for future tracing or metrics export.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "energy/regimes.h"
+
+namespace eclb::cluster {
+
+/// Which cost class a scaling decision fell into (the paper's headline
+/// split: p_k-priced local resizes vs q_k + j_k-priced in-cluster moves).
+enum class DecisionKind : std::uint8_t {
+  kLocal = 0,      ///< Vertical resize granted on the requesting server.
+  kInCluster = 1,  ///< Leader-mediated migration or remote VM start.
+};
+
+/// Why a live migration happened.
+enum class MigrationCause : std::uint8_t {
+  kShed = 0,           ///< R4/R5 shedding toward the optimal region.
+  kRebalance = 1,      ///< Even-distribution pass above the optimal center.
+  kConsolidation = 2,  ///< R1 drain onto more-loaded peers.
+};
+
+/// Display name.
+[[nodiscard]] std::string_view to_string(DecisionKind k);
+[[nodiscard]] std::string_view to_string(MigrationCause c);
+
+/// One typed protocol event, as emitted by the actions.
+struct ProtocolEvent {
+  enum class Kind : std::uint8_t {
+    kDecision = 0,         ///< A scaling decision (see `decision`).
+    kMigration = 1,        ///< A live migration (see `cause`).
+    kHorizontalStart = 2,  ///< A fresh VM started on a remote server.
+    kOffload = 3,          ///< Demand placed in a sibling cluster.
+    kDrain = 4,            ///< A server fully emptied this interval.
+    kSleep = 5,            ///< A sleep transition begun.
+    kWake = 6,             ///< A wake transition begun.
+    kSlaViolation = 7,     ///< Demand left unserved (see `unserved`).
+    kQosViolation = 8,     ///< A server above the response-time cap.
+  };
+
+  Kind kind{Kind::kDecision};
+  std::size_t interval{0};                   ///< Interval index of the event.
+  common::ServerId server{};                 ///< Involved server, when known.
+  DecisionKind decision{DecisionKind::kLocal};      ///< For kDecision.
+  MigrationCause cause{MigrationCause::kShed};      ///< For kMigration.
+  double unserved{0.0};                      ///< For kSlaViolation.
+};
+
+/// What happened during one reallocation interval.
+struct IntervalReport {
+  std::size_t interval_index{0};
+  std::size_t local_decisions{0};      ///< Vertical resizes granted locally.
+  std::size_t in_cluster_decisions{0}; ///< Migrations + remote VM starts.
+  std::size_t migrations{0};           ///< Live migrations executed (all causes).
+  std::size_t shed_migrations{0};      ///< Caused by R4/R5 shedding.
+  std::size_t rebalance_migrations{0}; ///< Caused by the even-distribution pass.
+  std::size_t consolidation_migrations{0}; ///< Caused by R1 drains.
+  std::size_t horizontal_starts{0};    ///< Fresh VMs started remotely.
+  std::size_t offloaded_requests{0};   ///< Demand placed in a sibling cluster.
+  std::size_t drains{0};               ///< Servers fully drained this interval.
+  std::size_t sleeps{0};               ///< Sleep transitions begun.
+  std::size_t wakes{0};                ///< Wake transitions begun.
+  std::size_t sla_violations{0};       ///< Demand increments / loads not served.
+  std::size_t qos_violations{0};       ///< Servers above the response-time cap.
+  double unserved_demand{0.0};         ///< Total demand left unserved.
+  std::size_t sleeping_servers{0};     ///< Servers not awake after the step (any C-state).
+  std::size_t parked_servers{0};       ///< Servers halted in C1 (instant wake).
+  std::size_t deep_sleeping_servers{0};///< Servers in C3/C6 -- Table 2's "sleep state".
+  energy::RegimeHistogram regimes{};   ///< Awake servers per regime after the step.
+  common::Joules interval_energy{};    ///< Cluster energy burned this interval.
+
+  /// The paper's per-interval metric: in-cluster over local decisions
+  /// (denominator floored at 1 to stay finite).
+  [[nodiscard]] double decision_ratio() const {
+    return static_cast<double>(in_cluster_decisions) /
+           static_cast<double>(local_decisions == 0 ? 1 : local_decisions);
+  }
+};
+
+/// End-of-interval fleet observation the recorder folds into the report.
+struct FleetSnapshot {
+  std::size_t sleeping_servers{0};
+  std::size_t parked_servers{0};
+  std::size_t deep_sleeping_servers{0};
+  energy::RegimeHistogram regimes{};
+  common::Joules interval_energy{};
+};
+
+/// Aggregates one interval's protocol events into an IntervalReport and
+/// forwards every event to the optional sink.
+class IntervalRecorder {
+ public:
+  using EventSink = std::function<void(const ProtocolEvent&)>;
+
+  /// Installs a sink receiving every typed event (tracing, metrics export).
+  /// Pass nullptr to remove.  The sink observes events; it cannot veto them.
+  void set_sink(EventSink sink) { sink_ = std::move(sink); }
+
+  /// Opens the recording window for interval `index`.
+  void begin_interval(std::size_t index);
+
+  // --- typed events, one method per protocol occurrence -------------------
+
+  /// A vertical resize granted on `server` (a local decision).
+  void local_decision(common::ServerId server);
+  /// A live migration of cause `cause` into `target` (an in-cluster decision).
+  void migration(MigrationCause cause, common::ServerId target);
+  /// A fresh VM started on remote `target` (an in-cluster decision).
+  void horizontal_start(common::ServerId target);
+  /// Demand absorbed by a sibling cluster.
+  void offloaded();
+  /// `server` fully emptied this interval.
+  void drained(common::ServerId server);
+  /// `server` began a sleep transition.
+  void sleep_begun(common::ServerId server);
+  /// `server` began a wake transition.
+  void wake_begun(common::ServerId server);
+  /// `unserved` demand could not be served (an SLA violation).
+  void sla_violation(double unserved, common::ServerId server = {});
+  /// `server` operated above the QoS utilization cap.
+  void qos_violation(common::ServerId server);
+
+  /// Folds the end-of-interval fleet observation in and returns the
+  /// completed report.
+  [[nodiscard]] IntervalReport finish(const FleetSnapshot& snapshot);
+
+  /// The report being assembled (tests / mid-interval inspection).
+  [[nodiscard]] const IntervalReport& current() const { return report_; }
+
+ private:
+  void emit(ProtocolEvent event);
+
+  IntervalReport report_{};
+  EventSink sink_;
+};
+
+}  // namespace eclb::cluster

@@ -39,31 +39,26 @@ void DesClusterDriver::inject_demand_at(common::Seconds at_time,
 
 std::vector<cluster::IntervalReport> DesClusterDriver::run_until(
     common::Seconds horizon) {
-  const common::Seconds tau = cluster_.config().reallocation_interval;
-  std::vector<cluster::IntervalReport> reports;
-
-  // Actions fire as DES events; each marks itself due, and the next
-  // reallocation round applies it.  Actions scheduled between two rounds
-  // thus take effect at the following round -- the same visibility a real
-  // leader would have.
-  std::vector<Action> due;
+  sim::Simulation& sim = cluster_.simulation();
+  // Scripted actions become first-class events on the cluster's kernel: an
+  // action fires at its exact time, mid-interval, with the clock already
+  // advanced there.  An action scheduled exactly on a reallocation boundary
+  // runs before that round (it was enqueued first).
   std::sort(pending_.begin(), pending_.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (auto& [when, action] : pending_) {
     if (when > horizon) continue;
-    sim_.schedule_at(when, [&due, act = std::move(action)](sim::Simulation&) {
-      due.push_back(act);
+    sim.schedule_at(when, [this, act = std::move(action)](sim::Simulation&) {
+      act(cluster_);
     });
   }
   pending_.clear();
 
-  sim_.schedule_every(tau, [this, &due, &reports](sim::Simulation&) {
-    for (auto& action : due) action(cluster_);
-    due.clear();
-    reports.push_back(cluster_.step());
-  });
-
-  sim_.run_until(horizon);
+  const common::Seconds tau = cluster_.config().reallocation_interval;
+  std::vector<cluster::IntervalReport> reports;
+  while (sim.now() + tau <= horizon) reports.push_back(cluster_.step());
+  // Flush scripted events between the last round and the horizon.
+  sim.run_until(horizon);
   return reports;
 }
 

@@ -1,9 +1,10 @@
 // Discrete-event scenario driver.
 //
-// Runs a Cluster on the DES kernel so that reallocation rounds interleave
-// with *scripted events* at arbitrary simulation times -- demand shocks, VM
-// injections, consolidation toggles.  This is how "what happens if a flash
-// crowd lands at 12:34" scenarios are expressed without bending the
+// Schedules *scripted events* -- demand shocks, VM injections,
+// consolidation toggles -- on the cluster's own event kernel, so they
+// interleave with reallocation rounds and C-state transitions at their
+// exact simulation times.  This is how "what happens if a flash crowd
+// lands at 12:34" scenarios are expressed without bending the
 // interval-driven protocol.
 #pragma once
 
@@ -15,11 +16,11 @@
 
 namespace eclb::experiment {
 
-/// Drives one cluster on a Simulation clock.
+/// Drives one cluster on its simulation clock.
 class DesClusterDriver {
  public:
-  /// A scripted action; receives the cluster right before the reallocation
-  /// round that follows its scheduled time.
+  /// A scripted action; runs at its exact scheduled simulation time, before
+  /// any reallocation round at or after that time.
   using Action = std::function<void(cluster::Cluster&)>;
 
   /// Binds the driver to a cluster (not owned; must outlive the driver).
@@ -37,12 +38,13 @@ class DesClusterDriver {
   /// reports in order.  May be called once per driver.
   std::vector<cluster::IntervalReport> run_until(common::Seconds horizon);
 
-  /// The simulation clock (valid after run_until starts executing actions).
-  [[nodiscard]] const sim::Simulation& simulation() const { return sim_; }
+  /// The simulation clock (the cluster's own kernel).
+  [[nodiscard]] const sim::Simulation& simulation() const {
+    return cluster_.simulation();
+  }
 
  private:
   cluster::Cluster& cluster_;
-  sim::Simulation sim_;
   std::vector<std::pair<common::Seconds, Action>> pending_;
 };
 

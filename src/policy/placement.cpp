@@ -1,0 +1,149 @@
+#include "policy/placement.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace eclb::policy {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+/// Tier admissibility: can `s` absorb `demand` under `tier`'s rule?
+bool admissible(const server::Server& s, common::Seconds now, double demand,
+                PlacementTier tier) {
+  if (!s.awake(now)) return false;
+  const double post = s.load() + demand;
+  const auto& t = s.thresholds();
+  switch (tier) {
+    case PlacementTier::kLowRegimesOnly: {
+      const auto r = s.regime();
+      const bool low = r.has_value() && (*r == energy::Regime::kR1UndesirableLow ||
+                                         *r == energy::Regime::kR2SuboptimalLow);
+      return low && post <= t.alpha_opt_high;
+    }
+    case PlacementTier::kStayOptimal:
+      return post <= t.alpha_opt_high;
+    case PlacementTier::kStaySuboptimal:
+      return post <= t.alpha_sopt_high;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view to_string(PlacementStrategy s) {
+  switch (s) {
+    case PlacementStrategy::kEnergyAware: return "energy-aware";
+    case PlacementStrategy::kLeastLoaded: return "least-loaded";
+    case PlacementStrategy::kRandom: return "random";
+    case PlacementStrategy::kRoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+std::optional<common::ServerId> find_tiered_target(
+    std::span<const server::Server> servers, common::Seconds now, double demand,
+    common::ServerId exclude, PlacementTier max_tier) {
+  for (int tier = 0; tier <= static_cast<int>(max_tier); ++tier) {
+    const auto t = static_cast<PlacementTier>(tier);
+    const server::Server* best = nullptr;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (const auto& s : servers) {
+      if (s.id() == exclude) continue;
+      if (!admissible(s, now, demand, t)) continue;
+      // Prefer the target whose post-placement load lands closest to its own
+      // optimal center: consolidates load and keeps targets in-regime.
+      const double score =
+          std::abs(s.load() + demand - s.thresholds().optimal_center());
+      if (score < best_score) {
+        best_score = score;
+        best = &s;
+      }
+    }
+    if (best != nullptr) return best->id();
+  }
+  return std::nullopt;
+}
+
+std::optional<common::ServerId> find_below_center_target(
+    std::span<const server::Server> servers, common::Seconds now, double demand,
+    common::ServerId exclude) {
+  const server::Server* best = nullptr;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const auto& s : servers) {
+    if (s.id() == exclude || !s.awake(now)) continue;
+    const double post = s.load() + demand;
+    if (post > s.thresholds().optimal_center()) continue;
+    // Fullest viable target first: concentrates load.
+    const double score = s.thresholds().optimal_center() - post;
+    if (score < best_score) {
+      best_score = score;
+      best = &s;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->id();
+}
+
+std::optional<common::ServerId> EnergyAwarePlacement::pick(
+    std::span<const server::Server> servers, common::Seconds now, double demand,
+    common::ServerId exclude, common::Rng& /*rng*/) {
+  return find_tiered_target(servers, now, demand, exclude,
+                            PlacementTier::kStaySuboptimal);
+}
+
+std::optional<common::ServerId> LeastLoadedPlacement::pick(
+    std::span<const server::Server> servers, common::Seconds now, double demand,
+    common::ServerId exclude, common::Rng& /*rng*/) {
+  const server::Server* best = nullptr;
+  for (const auto& t : servers) {
+    if (t.id() == exclude || !t.awake(now)) continue;
+    if (t.load() + demand > 1.0 + kEps) continue;
+    if (best == nullptr || t.load() < best->load()) best = &t;
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->id();
+}
+
+std::optional<common::ServerId> RandomPlacement::pick(
+    std::span<const server::Server> servers, common::Seconds now, double demand,
+    common::ServerId exclude, common::Rng& rng) {
+  std::vector<common::ServerId> feasible;
+  for (const auto& t : servers) {
+    if (t.id() == exclude || !t.awake(now)) continue;
+    if (t.load() + demand > 1.0 + kEps) continue;
+    feasible.push_back(t.id());
+  }
+  if (feasible.empty()) return std::nullopt;
+  return feasible[rng.index(feasible.size())];
+}
+
+std::optional<common::ServerId> RoundRobinPlacement::pick(
+    std::span<const server::Server> servers, common::Seconds now, double demand,
+    common::ServerId exclude, common::Rng& /*rng*/) {
+  for (std::size_t probe = 0; probe < servers.size(); ++probe) {
+    cursor_ = (cursor_ + 1) % servers.size();
+    const auto& t = servers[cursor_];
+    if (t.id() == exclude || !t.awake(now)) continue;
+    if (t.load() + demand > 1.0 + kEps) continue;
+    return t.id();
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<PlacementPolicy> make_placement(PlacementStrategy strategy) {
+  switch (strategy) {
+    case PlacementStrategy::kEnergyAware:
+      return std::make_unique<EnergyAwarePlacement>();
+    case PlacementStrategy::kLeastLoaded:
+      return std::make_unique<LeastLoadedPlacement>();
+    case PlacementStrategy::kRandom:
+      return std::make_unique<RandomPlacement>();
+    case PlacementStrategy::kRoundRobin:
+      return std::make_unique<RoundRobinPlacement>();
+  }
+  return std::make_unique<EnergyAwarePlacement>();
+}
+
+}  // namespace eclb::policy

@@ -1,0 +1,132 @@
+// First-class placement policies for horizontal scaling.
+//
+// Section 4 routes every horizontal-scaling request through the cluster
+// leader; the *rule* used to pick the target server is the policy under
+// evaluation.  Each rule is a PlacementPolicy object so the protocol engine,
+// Cluster::accept_external, and the comparison benches (x2/x9) all draw from
+// the same implementations instead of a switch buried in the cluster.
+//
+// The energy-aware rule is the paper's: search progressively wider
+// admissibility tiers, preferring targets whose post-placement load lands
+// closest to the center of their own optimal region.  The other three are
+// the traditional baselines Section 1 reformulates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/units.h"
+#include "server/server.h"
+
+namespace eclb::policy {
+
+/// How horizontal-scaling targets are picked.
+enum class PlacementStrategy : std::uint8_t {
+  /// The paper's policy: leader tiers preferring lightly loaded servers
+  /// whose post-placement load lands near their optimal region.
+  kEnergyAware = 0,
+  /// Traditional load balancing: the least-loaded awake server with room.
+  kLeastLoaded = 1,
+  /// Random feasible server (the classic stateless balancer).
+  kRandom = 2,
+  /// Round-robin over awake servers with room.
+  kRoundRobin = 3,
+};
+
+/// Display name.
+[[nodiscard]] std::string_view to_string(PlacementStrategy s);
+
+/// How aggressive an energy-aware placement search may be.
+enum class PlacementTier : std::uint8_t {
+  /// Only servers currently in R1/R2 that stay within their optimal region
+  /// -- the strict Section 4 rule for consolidation (drain) traffic.
+  kLowRegimesOnly = 0,
+  /// Any server whose post-placement load stays within its optimal region
+  /// (<= alpha_opt_high) -- used for R4/R5 shedding.
+  kStayOptimal = 1,
+  /// Any server whose post-placement load stays out of the undesirable-high
+  /// region (<= alpha_sopt_high) -- last resort for application growth.
+  kStaySuboptimal = 2,
+};
+
+/// The paper's tiered search: widens from kLowRegimesOnly up to `max_tier`;
+/// within a tier the winner minimizes the post-placement distance to its own
+/// optimal-region center (concentrating load).  `exclude` is skipped.
+[[nodiscard]] std::optional<common::ServerId> find_tiered_target(
+    std::span<const server::Server> servers, common::Seconds now, double demand,
+    common::ServerId exclude, PlacementTier max_tier);
+
+/// Picks a target able to absorb `demand` while ending *below its own
+/// optimal center*.  Used by the even-distribution rebalance: a VM only
+/// moves from an above-center server to a server that stays below center,
+/// so rebalancing monotonically converges (no ping-pong).
+[[nodiscard]] std::optional<common::ServerId> find_below_center_target(
+    std::span<const server::Server> servers, common::Seconds now, double demand,
+    common::ServerId exclude);
+
+/// One target-selection rule.  Policies are stateful where the rule demands
+/// it (round-robin cursor); all randomness flows through the caller's RNG so
+/// a policy object never perturbs the experiment's determinism.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Picks a server able to absorb `demand` more load, or nullopt when the
+  /// rule finds none.  `exclude` is the requesting server and is skipped.
+  [[nodiscard]] virtual std::optional<common::ServerId> pick(
+      std::span<const server::Server> servers, common::Seconds now,
+      double demand, common::ServerId exclude, common::Rng& rng) = 0;
+
+  /// Display name (matches to_string of the corresponding strategy).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// The paper's energy-aware rule at the widest tier (kStaySuboptimal).
+class EnergyAwarePlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::optional<common::ServerId> pick(
+      std::span<const server::Server> servers, common::Seconds now,
+      double demand, common::ServerId exclude, common::Rng& rng) override;
+  [[nodiscard]] std::string_view name() const override { return "energy-aware"; }
+};
+
+/// Least-loaded awake server with capacity for the demand.
+class LeastLoadedPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::optional<common::ServerId> pick(
+      std::span<const server::Server> servers, common::Seconds now,
+      double demand, common::ServerId exclude, common::Rng& rng) override;
+  [[nodiscard]] std::string_view name() const override { return "least-loaded"; }
+};
+
+/// Uniformly random feasible server.
+class RandomPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::optional<common::ServerId> pick(
+      std::span<const server::Server> servers, common::Seconds now,
+      double demand, common::ServerId exclude, common::Rng& rng) override;
+  [[nodiscard]] std::string_view name() const override { return "random"; }
+};
+
+/// Round-robin over feasible servers; the cursor survives across calls.
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::optional<common::ServerId> pick(
+      std::span<const server::Server> servers, common::Seconds now,
+      double demand, common::ServerId exclude, common::Rng& rng) override;
+  [[nodiscard]] std::string_view name() const override { return "round-robin"; }
+
+ private:
+  std::size_t cursor_{0};
+};
+
+/// Builds the policy object implementing `strategy`.
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_placement(
+    PlacementStrategy strategy);
+
+}  // namespace eclb::policy

@@ -1,0 +1,122 @@
+#include "cluster/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eclb::cluster {
+namespace {
+
+using common::Joules;
+using common::ServerId;
+
+TEST(Recorder, MigrationBooksInClusterDecisionAndCause) {
+  IntervalRecorder rec;
+  rec.begin_interval(3);
+  rec.migration(MigrationCause::kShed, ServerId{1});
+  rec.migration(MigrationCause::kShed, ServerId{2});
+  rec.migration(MigrationCause::kRebalance, ServerId{3});
+  rec.migration(MigrationCause::kConsolidation, ServerId{4});
+  const auto& r = rec.current();
+  EXPECT_EQ(r.interval_index, 3U);
+  EXPECT_EQ(r.migrations, 4U);
+  EXPECT_EQ(r.in_cluster_decisions, 4U);
+  EXPECT_EQ(r.shed_migrations, 2U);
+  EXPECT_EQ(r.rebalance_migrations, 1U);
+  EXPECT_EQ(r.consolidation_migrations, 1U);
+  EXPECT_EQ(r.local_decisions, 0U);
+}
+
+TEST(Recorder, DecisionRatioCountsBothSides) {
+  IntervalRecorder rec;
+  rec.begin_interval(0);
+  rec.local_decision(ServerId{0});
+  rec.local_decision(ServerId{1});
+  rec.horizontal_start(ServerId{2});
+  const auto& r = rec.current();
+  EXPECT_EQ(r.local_decisions, 2U);
+  EXPECT_EQ(r.in_cluster_decisions, 1U);
+  EXPECT_EQ(r.horizontal_starts, 1U);
+  EXPECT_DOUBLE_EQ(r.decision_ratio(), 0.5);
+}
+
+TEST(Recorder, SlaViolationAccumulatesUnserved) {
+  IntervalRecorder rec;
+  rec.begin_interval(0);
+  rec.sla_violation(0.25, ServerId{0});
+  rec.sla_violation(0.5);
+  const auto& r = rec.current();
+  EXPECT_EQ(r.sla_violations, 2U);
+  EXPECT_DOUBLE_EQ(r.unserved_demand, 0.75);
+}
+
+TEST(Recorder, BeginIntervalResetsCounters) {
+  IntervalRecorder rec;
+  rec.begin_interval(0);
+  rec.local_decision(ServerId{0});
+  rec.offloaded();
+  rec.drained(ServerId{1});
+  rec.begin_interval(1);
+  const auto& r = rec.current();
+  EXPECT_EQ(r.interval_index, 1U);
+  EXPECT_EQ(r.local_decisions, 0U);
+  EXPECT_EQ(r.offloaded_requests, 0U);
+  EXPECT_EQ(r.drains, 0U);
+}
+
+TEST(Recorder, FinishFoldsFleetSnapshot) {
+  IntervalRecorder rec;
+  rec.begin_interval(7);
+  rec.sleep_begun(ServerId{0});
+  rec.wake_begun(ServerId{1});
+  FleetSnapshot snap;
+  snap.sleeping_servers = 5;
+  snap.parked_servers = 2;
+  snap.deep_sleeping_servers = 3;
+  snap.regimes[2] = 40;
+  snap.interval_energy = Joules{123.0};
+  const IntervalReport report = rec.finish(snap);
+  EXPECT_EQ(report.interval_index, 7U);
+  EXPECT_EQ(report.sleeps, 1U);
+  EXPECT_EQ(report.wakes, 1U);
+  EXPECT_EQ(report.sleeping_servers, 5U);
+  EXPECT_EQ(report.parked_servers, 2U);
+  EXPECT_EQ(report.deep_sleeping_servers, 3U);
+  EXPECT_EQ(report.regimes[2], 40U);
+  EXPECT_DOUBLE_EQ(report.interval_energy.value, 123.0);
+}
+
+TEST(Recorder, SinkSeesTypedEventsWithIntervalStamp) {
+  IntervalRecorder rec;
+  std::vector<ProtocolEvent> events;
+  rec.set_sink([&events](const ProtocolEvent& e) { events.push_back(e); });
+  rec.begin_interval(11);
+  rec.migration(MigrationCause::kRebalance, ServerId{6});
+  rec.qos_violation(ServerId{9});
+  // A migration emits the migration event plus its in-cluster decision.
+  ASSERT_EQ(events.size(), 3U);
+  EXPECT_EQ(events[0].kind, ProtocolEvent::Kind::kMigration);
+  EXPECT_EQ(events[0].cause, MigrationCause::kRebalance);
+  EXPECT_EQ(events[0].server, ServerId{6});
+  EXPECT_EQ(events[0].interval, 11U);
+  EXPECT_EQ(events[1].kind, ProtocolEvent::Kind::kDecision);
+  EXPECT_EQ(events[1].decision, DecisionKind::kInCluster);
+  EXPECT_EQ(events[2].kind, ProtocolEvent::Kind::kQosViolation);
+  EXPECT_EQ(events[2].server, ServerId{9});
+  // Removing the sink stops delivery but not aggregation.
+  rec.set_sink(nullptr);
+  rec.local_decision(ServerId{0});
+  EXPECT_EQ(events.size(), 3U);
+  EXPECT_EQ(rec.current().local_decisions, 1U);
+}
+
+TEST(Recorder, EnumNames) {
+  EXPECT_EQ(to_string(DecisionKind::kLocal), "local");
+  EXPECT_EQ(to_string(DecisionKind::kInCluster), "in-cluster");
+  EXPECT_EQ(to_string(MigrationCause::kShed), "shed");
+  EXPECT_EQ(to_string(MigrationCause::kRebalance), "rebalance");
+  EXPECT_EQ(to_string(MigrationCause::kConsolidation), "consolidation");
+}
+
+}  // namespace
+}  // namespace eclb::cluster

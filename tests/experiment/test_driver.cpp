@@ -37,7 +37,7 @@ TEST(Driver, MatchesDirectStepping) {
   EXPECT_DOUBLE_EQ(direct.total_energy().value, driven.total_energy().value);
 }
 
-TEST(Driver, ScriptedActionFiresBeforeFollowingRound) {
+TEST(Driver, ScriptedActionFiresAtItsExactTime) {
   auto cfg = small_cfg();
   cluster::Cluster c(cfg);
   DesClusterDriver driver(c);
@@ -46,10 +46,10 @@ TEST(Driver, ScriptedActionFiresBeforeFollowingRound) {
     fired_at.push_back(cl.now().value);
   });
   driver.run_until(common::Seconds{300.0});
-  // Scheduled at 90 s -> applied right before the round at 120 s, when the
-  // cluster clock still reads 60 s.
+  // Everything shares the cluster's event kernel, so the action runs at
+  // exactly t = 90 s -- mid-interval, before the round at 120 s.
   ASSERT_EQ(fired_at.size(), 1U);
-  EXPECT_DOUBLE_EQ(fired_at[0], 60.0);
+  EXPECT_DOUBLE_EQ(fired_at[0], 90.0);
 }
 
 TEST(Driver, ActionsBeyondHorizonDropped) {

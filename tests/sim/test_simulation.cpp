@@ -149,6 +149,61 @@ TEST(Simulation, EmptyPeriodicHandleInactive) {
   EXPECT_FALSE(handle.cancel());
 }
 
+TEST(Simulation, StopInsideRunUntilFreezesClockAtEvent) {
+  Simulation sim;
+  sim.schedule_at(Seconds{2.0}, [](Simulation& s) { s.stop(); });
+  sim.schedule_at(Seconds{4.0}, [](Simulation&) {});
+  const auto count = sim.run_until(Seconds{10.0});
+  EXPECT_EQ(count, 1U);
+  // A stopped run does not fast-forward to the horizon; the clock stays at
+  // the event that requested the stop.
+  EXPECT_DOUBLE_EQ(sim.now().value, 2.0);
+  EXPECT_EQ(sim.pending(), 1U);
+}
+
+TEST(Simulation, StopOnlyAffectsCurrentRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(Seconds{1.0}, [&fired](Simulation& s) {
+    ++fired;
+    s.stop();
+  });
+  sim.schedule_at(Seconds{2.0}, [&fired](Simulation&) { ++fired; });
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+  // The stop request is consumed; a fresh run drains the rest of the queue.
+  sim.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending(), 0U);
+}
+
+TEST(Simulation, PeriodicCancelBeforeFirstFiring) {
+  Simulation sim;
+  int fired = 0;
+  PeriodicHandle handle =
+      sim.schedule_every(Seconds{1.0}, [&fired](Simulation&) { ++fired; });
+  EXPECT_TRUE(handle.active());
+  EXPECT_TRUE(handle.cancel());
+  sim.run_until(Seconds{10.0});
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(handle.active());
+}
+
+TEST(Simulation, PeriodicHandleCopiesShareCancellation) {
+  Simulation sim;
+  int fired = 0;
+  PeriodicHandle original =
+      sim.schedule_every(Seconds{1.0}, [&fired](Simulation&) { ++fired; });
+  PeriodicHandle copy = original;
+  EXPECT_TRUE(copy.active());
+  EXPECT_TRUE(copy.cancel());
+  // Both handles refer to the same series; cancelling one cancels both.
+  EXPECT_FALSE(original.active());
+  EXPECT_FALSE(original.cancel());
+  sim.run_until(Seconds{5.0});
+  EXPECT_EQ(fired, 0);
+}
+
 TEST(Simulation, InterleavedOneShotAndPeriodic) {
   Simulation sim;
   std::vector<int> order;
