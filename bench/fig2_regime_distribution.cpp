@@ -15,6 +15,7 @@
 #include "experiment/report.h"
 #include "experiment/runner.h"
 #include "experiment/scenario.h"
+#include "obs/observer.h"
 
 int main(int argc, char** argv) {
   using namespace eclb;
@@ -26,6 +27,10 @@ int main(int argc, char** argv) {
             << "(40 reallocation intervals; histograms over awake servers;\n"
             << " parked/deep-sleeping servers are listed separately)\n\n";
 
+  obs::MetricsRegistry registry;
+  obs::ObsConfig obs_cfg;
+  obs_cfg.metrics = &registry;
+
   const char* labels[] = {"(a)", "(b)", "(c)", "(d)", "(e)", "(f)"};
   int panel = 0;
   for (std::size_t n : experiment::kPaperClusterSizes) {
@@ -34,7 +39,7 @@ int main(int argc, char** argv) {
       const std::size_t replications = n >= 10000 ? 1 : (n >= 1000 ? 2 : 5);
       auto cfg = experiment::paper_cluster_config(n, load, 1000 + n);
       const auto outcome = experiment::run_experiment(
-          cfg, experiment::kPaperIntervals, replications);
+          cfg, experiment::kPaperIntervals, replications, nullptr, obs_cfg);
       std::string title = std::string("Panel ") + labels[panel++] +
                           ": cluster size " + std::to_string(n) +
                           ", average load " + to_string(load) + "  (" +
@@ -52,6 +57,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  experiment::print_registry_summary(std::cout, registry);
   std::cout << "Paper shape check: after balancing the undesirable regimes"
                " (R1+R5) hold only a few percent of awake servers, the rest"
                " operate in R2/R3/R4.\n";

@@ -23,6 +23,7 @@
 #include "experiment/report.h"
 #include "experiment/runner.h"
 #include "experiment/scenario.h"
+#include "obs/observer.h"
 
 int main(int argc, char** argv) {
   using namespace eclb;
@@ -32,6 +33,10 @@ int main(int argc, char** argv) {
 
   std::cout << "== Table 2: in-cluster to local decision ratios and sleeping"
                " servers ==\n\n";
+
+  obs::MetricsRegistry registry;
+  obs::ObsConfig obs_cfg;
+  obs_cfg.metrics = &registry;
 
   const char* labels[] = {"(a)", "(b)", "(c)", "(d)", "(e)", "(f)"};
   std::vector<experiment::Table2Row> rows;
@@ -45,12 +50,14 @@ int main(int argc, char** argv) {
       const std::size_t replications = n >= 10000 ? 1 : (n >= 1000 ? 2 : 5);
       auto cfg = experiment::paper_cluster_config(n, load, 3000 + n);
       const auto outcome = experiment::run_experiment(
-          cfg, experiment::kPaperIntervals, replications);
+          cfg, experiment::kPaperIntervals, replications, nullptr, obs_cfg);
       rows.push_back(
           experiment::make_table2_row(labels[panel++], n, load, outcome));
     }
   }
   experiment::print_table2(std::cout, rows);
+  std::cout << "\n";
+  experiment::print_registry_summary(std::cout, registry);
 
   std::cout << "\nPaper reference:\n"
             << "| (a) | 100   | 30% | 0.0   | 0.6490 | 0.5229 |\n"

@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "cluster/protocol/engine.h"
 #include "cluster/protocol/view.h"
@@ -11,6 +12,12 @@ namespace eclb::cluster {
 
 namespace {
 constexpr double kEps = 1e-9;
+
+using WallClock = std::chrono::steady_clock;
+
+double wall_seconds_since(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
 }  // namespace
 
 Cluster::Cluster(ClusterConfig config)
@@ -204,13 +211,41 @@ std::vector<IntervalReport> Cluster::run(std::size_t count) {
   return reports;
 }
 
+void Cluster::attach_observer(ClusterObserver* observer) {
+  ECLB_ASSERT(observer != nullptr, "attach_observer: null observer");
+  observers_.push_back(observer);
+  recorder_.set_sink([this](const ProtocolEvent& event) {
+    for (ClusterObserver* o : observers_) o->on_event(event);
+  });
+}
+
+void Cluster::detach_observers() {
+  observers_.clear();
+  recorder_.set_sink(nullptr);
+}
+
+void Cluster::notify_phase(std::string_view phase, double wall_seconds) {
+  for (ClusterObserver* o : observers_) o->on_phase(phase, wall_seconds);
+}
+
 IntervalReport Cluster::run_round() {
+  // Phase timing uses the wall clock and only runs while observers are
+  // attached; it never feeds back into the simulation.
+  const bool observed = !observers_.empty();
+  const auto round_start = observed ? WallClock::now() : WallClock::time_point{};
+
   recorder_.begin_interval(interval_index_++);
+  for (ClusterObserver* o : observers_) {
+    o->on_interval_begin(interval_index_ - 1, sim_.now());
+  }
+
   const common::Seconds round_now = sim_.now();
+  const auto settle_start = observed ? WallClock::now() : WallClock::time_point{};
   for (auto& s : servers_) {
     s.settle(round_now);
     s.update_energy(round_now);
   }
+  if (observed) notify_phase("cstate_settle", wall_seconds_since(settle_start));
 
   protocol::ClusterView view(*this, engine_->wake_action());
   engine_->run(view);
@@ -225,7 +260,11 @@ IntervalReport Cluster::run_round() {
   const common::Joules energy_now = total_energy();
   snapshot.interval_energy = energy_now - energy_at_last_step_;
   energy_at_last_step_ = energy_now;
-  return recorder_.finish(snapshot);
+
+  const IntervalReport report = recorder_.finish(snapshot);
+  for (ClusterObserver* o : observers_) o->on_interval_end(report, sim_.now());
+  if (observed) notify_phase("round", wall_seconds_since(round_start));
+  return report;
 }
 
 }  // namespace eclb::cluster

@@ -21,6 +21,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -118,6 +119,22 @@ class Cluster {
   /// The interval recorder (install an event sink for tracing/metrics).
   [[nodiscard]] IntervalRecorder& recorder() { return recorder_; }
 
+  // --- observability --------------------------------------------------------
+
+  /// Attaches `observer` for the cluster's lifetime (caller keeps
+  /// ownership).  Observers receive every protocol event, interval
+  /// boundaries and wall-clock phase timings; they are read-only and never
+  /// perturb the simulation.  Installs the recorder sink, replacing any
+  /// manually set one.
+  void attach_observer(ClusterObserver* observer);
+  /// Detaches every observer and removes the recorder sink.
+  void detach_observers();
+  /// True when at least one observer is attached.
+  [[nodiscard]] bool has_observers() const { return !observers_.empty(); }
+  /// Reports a wall-clock phase duration to all observers (no-op when none
+  /// are attached; used by the protocol layers).
+  void notify_phase(std::string_view phase, double wall_seconds);
+
   // --- multi-cluster hooks ---------------------------------------------------
 
   /// Installs the overflow handler (see Cloud).  Pass nullptr to remove.
@@ -173,6 +190,7 @@ class Cluster {
   std::unique_ptr<policy::PlacementPolicy> placement_;
   std::unique_ptr<protocol::ProtocolEngine> engine_;
   IntervalRecorder recorder_;
+  std::vector<ClusterObserver*> observers_;
   std::size_t interval_index_{0};
   common::Joules energy_at_last_step_{};
   std::uint32_t next_vm_id_{0};

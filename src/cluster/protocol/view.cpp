@@ -1,5 +1,7 @@
 #include "cluster/protocol/view.h"
 
+#include <chrono>
+
 #include "cluster/cluster.h"
 #include "cluster/protocol/action.h"
 #include "common/assert.h"
@@ -9,6 +11,31 @@ namespace eclb::cluster::protocol {
 
 namespace {
 constexpr double kEps = 1e-9;
+
+/// RAII wall-clock timer for the "placement_search" phase; inert (no clock
+/// read) when the cluster has no observers attached.
+class PlacementPhase {
+ public:
+  explicit PlacementPhase(Cluster& cluster)
+      : cluster_(cluster), active_(cluster.has_observers()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ~PlacementPhase() {
+    if (active_) {
+      cluster_.notify_phase(
+          "placement_search",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+              .count());
+    }
+  }
+  PlacementPhase(const PlacementPhase&) = delete;
+  PlacementPhase& operator=(const PlacementPhase&) = delete;
+
+ private:
+  Cluster& cluster_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_{};
+};
 }  // namespace
 
 std::span<server::Server> ClusterView::servers() { return cluster_.servers_; }
@@ -37,23 +64,27 @@ const vm::DemandGrowthSpec* ClusterView::growth_of(common::VmId id) const {
 
 std::optional<common::ServerId> ClusterView::pick_horizontal_target(
     double demand, common::ServerId exclude) {
+  PlacementPhase phase(cluster_);
   return cluster_.placement_->pick(cluster_.servers_, now(), demand, exclude,
                                    cluster_.rng_);
 }
 
 std::optional<common::ServerId> ClusterView::find_target(
     double demand, common::ServerId exclude, policy::PlacementTier max_tier) const {
+  PlacementPhase phase(cluster_);
   return cluster_.leader_.find_target(cluster_.servers_, now(), demand, exclude,
                                       max_tier);
 }
 
 std::optional<common::ServerId> ClusterView::find_below_center_target(
     double demand, common::ServerId exclude) const {
+  PlacementPhase phase(cluster_);
   return cluster_.leader_.find_below_center_target(cluster_.servers_, now(),
                                                    demand, exclude);
 }
 
 std::optional<common::ServerId> ClusterView::pick_wake_candidate() const {
+  PlacementPhase phase(cluster_);
   return cluster_.leader_.pick_wake_candidate(cluster_.servers_, now());
 }
 

@@ -19,6 +19,26 @@ std::string_view to_string(MigrationCause c) {
   return "?";
 }
 
+std::string_view to_string(ProtocolEvent::Kind k) {
+  switch (k) {
+    case ProtocolEvent::Kind::kDecision: return "decision";
+    case ProtocolEvent::Kind::kMigration: return "migration";
+    case ProtocolEvent::Kind::kHorizontalStart: return "horizontal_start";
+    case ProtocolEvent::Kind::kOffload: return "offload";
+    case ProtocolEvent::Kind::kDrain: return "drain";
+    case ProtocolEvent::Kind::kSleep: return "sleep";
+    case ProtocolEvent::Kind::kWake: return "wake";
+    case ProtocolEvent::Kind::kSlaViolation: return "sla_violation";
+    case ProtocolEvent::Kind::kQosViolation: return "qos_violation";
+  }
+  return "?";
+}
+
+void ClusterObserver::on_interval_begin(std::size_t, common::Seconds) {}
+void ClusterObserver::on_event(const ProtocolEvent&) {}
+void ClusterObserver::on_interval_end(const IntervalReport&, common::Seconds) {}
+void ClusterObserver::on_phase(std::string_view, double) {}
+
 void IntervalRecorder::begin_interval(std::size_t index) {
   report_ = IntervalReport{};
   report_.interval_index = index;

@@ -59,6 +59,9 @@ struct ProtocolEvent {
   double unserved{0.0};                      ///< For kSlaViolation.
 };
 
+/// Display name of an event kind (stable; part of the trace schema).
+[[nodiscard]] std::string_view to_string(ProtocolEvent::Kind k);
+
 /// What happened during one reallocation interval.
 struct IntervalReport {
   std::size_t interval_index{0};
@@ -97,6 +100,27 @@ struct FleetSnapshot {
   std::size_t deep_sleeping_servers{0};
   energy::RegimeHistogram regimes{};
   common::Joules interval_energy{};
+};
+
+/// Read-only observer of one cluster's protocol execution, the hook the
+/// observability layer (src/obs) builds on.  Attach via
+/// Cluster::attach_observer; callbacks fire synchronously on the simulation
+/// thread and must not mutate the cluster (observation never changes a
+/// single simulated bit).
+class ClusterObserver {
+ public:
+  virtual ~ClusterObserver() = default;
+  /// A reallocation round is about to execute for `interval` at sim time
+  /// `now`.
+  virtual void on_interval_begin(std::size_t interval, common::Seconds now);
+  /// One typed protocol event, forwarded as the round emits it.
+  virtual void on_event(const ProtocolEvent& event);
+  /// The completed report of the round that just executed.
+  virtual void on_interval_end(const IntervalReport& report, common::Seconds now);
+  /// Wall-clock duration of an internal phase ("round", "placement_search",
+  /// "cstate_settle").  Only measured while observers are attached, so a
+  /// bare cluster pays nothing.
+  virtual void on_phase(std::string_view phase, double wall_seconds);
 };
 
 /// Aggregates one interval's protocol events into an IntervalReport and

@@ -1,5 +1,8 @@
 #include "common/log.h"
 
+#include <cstdarg>
+#include <vector>
+
 namespace eclb::common {
 
 LogLevel Log::level_ = LogLevel::kWarn;
@@ -13,6 +16,48 @@ const char* Log::name(LogLevel l) {
     case LogLevel::kOff: return "off";
   }
   return "?";
+}
+
+std::string Log::vformat_line(LogLevel l, const char* fmt, std::va_list args) {
+  std::string line("[");
+  line += name(l);
+  line += "] ";
+
+  char stack_buf[512];
+  std::va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(stack_buf, sizeof stack_buf, fmt, copy);
+  va_end(copy);
+  if (needed < 0) {
+    line += fmt;  // encoding error: fall back to the raw format string
+  } else if (static_cast<std::size_t>(needed) < sizeof stack_buf) {
+    line.append(stack_buf, static_cast<std::size_t>(needed));
+  } else {
+    std::vector<char> heap(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(heap.data(), heap.size(), fmt, args);
+    line.append(heap.data(), static_cast<std::size_t>(needed));
+  }
+  line += '\n';
+  return line;
+}
+
+std::string Log::format_line(LogLevel l, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::string line = vformat_line(l, fmt, args);
+  va_end(args);
+  return line;
+}
+
+void Log::emit(LogLevel l, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  const std::string line = vformat_line(l, fmt, args);
+  va_end(args);
+  // A single write keeps concurrent threads' lines whole: the previous
+  // three-call emission (prefix, message, newline) sheared across threads
+  // during parallel replications.
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace eclb::common

@@ -4,7 +4,9 @@
 // level; experiments run with Warn so ten-thousand-server runs stay quiet.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
+#include <string>
 #include <string_view>
 
 namespace eclb::common {
@@ -12,8 +14,8 @@ namespace eclb::common {
 /// Severity levels, ordered.
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide logger (the simulator is single-writer per thread; level
-/// changes are expected only at startup).
+/// Process-wide logger (level changes are expected only at startup; emission
+/// is safe from concurrent replication threads).
 class Log {
  public:
   /// Sets the minimum severity that is emitted.
@@ -23,17 +25,23 @@ class Log {
   /// True when messages at `l` would be emitted.
   [[nodiscard]] static bool enabled(LogLevel l) { return l >= level_; }
 
-  /// printf-style emission; no-op below the current level.
+  /// printf-style emission; no-op below the current level.  The whole line
+  /// (prefix, message, newline) is formatted into one buffer and written
+  /// with a single call, so lines from parallel replications never shear.
   template <class... Args>
   static void write(LogLevel l, const char* fmt, Args... args) {
     if (!enabled(l)) return;
-    std::fprintf(stderr, "[%s] ", name(l));
-    std::fprintf(stderr, fmt, args...);
-    std::fputc('\n', stderr);
+    emit(l, fmt, args...);
   }
+
+  /// Formats one complete log line: "[level] message\n" (exposed so tests
+  /// can check the exact bytes a write() call produces).
+  [[nodiscard]] static std::string format_line(LogLevel l, const char* fmt, ...);
 
  private:
   static const char* name(LogLevel l);
+  static void emit(LogLevel l, const char* fmt, ...);
+  static std::string vformat_line(LogLevel l, const char* fmt, std::va_list args);
   static LogLevel level_;
 };
 

@@ -65,11 +65,18 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x, double weight) {
+  if (!(x >= lo_)) {  // negated so NaN samples also count as underflow
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-  auto raw = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width));
-  raw = std::clamp<std::ptrdiff_t>(raw, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  counts_[static_cast<std::size_t>(raw)] += weight;
+  auto bin = static_cast<std::size_t>((x - lo_) / width);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // float edge rounding
+  counts_[bin] += weight;
 }
 
 double Histogram::bin_lo(std::size_t i) const {

@@ -47,8 +47,9 @@ class RunningStats {
   double max_{0.0};
 };
 
-/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the edge
-/// bins so totals are conserved.
+/// Fixed-bin histogram over [lo, hi).  Out-of-range samples are counted as
+/// underflow/overflow instead of being folded into the edge bins (which
+/// would silently corrupt the distribution tails).
 class Histogram {
  public:
   /// Creates `bins` equal-width bins spanning [lo, hi).  Requires bins > 0
@@ -68,12 +69,22 @@ class Histogram {
   [[nodiscard]] double bin_lo(std::size_t i) const;
   /// Exclusive upper edge of bin `i`.
   [[nodiscard]] double bin_hi(std::size_t i) const;
-  /// Total weight across all bins.
+  /// Total weight across the in-range bins.
   [[nodiscard]] double total() const;
+  /// Weight of samples below lo (NaN samples land here too).
+  [[nodiscard]] double underflow() const { return underflow_; }
+  /// Weight of samples at or above hi.
+  [[nodiscard]] double overflow() const { return overflow_; }
+  /// Total observed weight: in-range bins plus underflow and overflow.
+  [[nodiscard]] double total_observed() const {
+    return total() + underflow_ + overflow_;
+  }
 
  private:
   double lo_;
   double hi_;
+  double underflow_{0.0};
+  double overflow_{0.0};
   std::vector<double> counts_;
 };
 

@@ -1,8 +1,20 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
+
+#include "common/assert.h"
 
 namespace eclb::common {
+
+namespace {
+
+/// The pool the current thread is a worker of, if any.  Used to detect
+/// re-entrant parallel_for calls, which would deadlock: the calling worker
+/// blocks on futures only the (possibly fully-blocked) pool can complete.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -24,6 +36,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -39,12 +52,25 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  ECLB_ASSERT(tls_worker_pool != this,
+              "parallel_for: re-entrant call from a worker thread deadlocks");
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(submit([&fn, i] { fn(i); }));
   }
-  for (auto& f : futures) f.get();
+  // Wait for every future before (re)throwing: bailing out on the first
+  // failure would return while queued tasks still reference `fn` in this
+  // (unwound) frame -- a use-after-scope on the worker threads.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 }  // namespace eclb::common

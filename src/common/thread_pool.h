@@ -49,7 +49,10 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all
-  /// complete.  fn must be safe to invoke concurrently.
+  /// complete.  fn must be safe to invoke concurrently.  If one or more
+  /// invocations throw, every index still runs to completion and the first
+  /// captured exception is rethrown after the barrier.  Calling this from
+  /// one of the pool's own worker threads asserts (it would deadlock).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -77,4 +77,35 @@ std::string sparkline(const std::vector<double>& values) {
   return out;
 }
 
+void print_registry_summary(std::ostream& out,
+                            const obs::MetricsRegistry& registry) {
+  const auto count = [&registry](std::string_view name) -> std::uint64_t {
+    const obs::Counter* c = registry.find_counter(name);
+    return c == nullptr ? 0 : c->value();
+  };
+  out << "Aggregated protocol metrics (all panels, all replications):\n"
+      << "  intervals: " << count("run.intervals")
+      << "   decisions: " << count("protocol.decisions.local") << " local / "
+      << count("protocol.decisions.in_cluster") << " in-cluster\n"
+      << "  migrations: " << count("protocol.migrations") << " ("
+      << count("protocol.migrations.shed") << " shed, "
+      << count("protocol.migrations.rebalance") << " rebalance, "
+      << count("protocol.migrations.consolidation") << " consolidation)"
+      << "   remote starts: " << count("protocol.horizontal_starts") << "\n"
+      << "  sleeps: " << count("protocol.sleeps")
+      << "   wakes: " << count("protocol.wakes")
+      << "   SLA violations: " << count("protocol.sla_violations")
+      << "   QoS violations: " << count("protocol.qos_violations") << "\n";
+  const obs::Gauge* energy = registry.find_gauge("run.energy_kwh");
+  if (energy != nullptr) {
+    out << "  energy: " << energy->value() << " kWh\n";
+  }
+  const obs::HistogramMetric* ratio =
+      registry.find_histogram("interval.decision_ratio");
+  if (ratio != nullptr && ratio->count() > 0) {
+    out << "  interval decision ratio: mean " << ratio->mean() << " over "
+        << ratio->count() << " intervals\n";
+  }
+}
+
 }  // namespace eclb::experiment

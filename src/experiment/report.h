@@ -7,6 +7,7 @@
 #include "common/stats.h"
 #include "experiment/runner.h"
 #include "experiment/scenario.h"
+#include "obs/metrics.h"
 
 namespace eclb::experiment {
 
@@ -39,5 +40,10 @@ void print_table2(std::ostream& out, const std::vector<Table2Row>& rows);
 
 /// Renders a y-series as a one-line ASCII sparkline (8 levels).
 [[nodiscard]] std::string sparkline(const std::vector<double>& values);
+
+/// Prints the protocol counters a run accumulated in `registry` (the obs
+/// metrics names ClusterProbe maintains) as a compact human-readable block.
+void print_registry_summary(std::ostream& out,
+                            const obs::MetricsRegistry& registry);
 
 }  // namespace eclb::experiment

@@ -6,11 +6,16 @@
 
 namespace eclb::experiment {
 
-ReplicationOutcome run_replication(const cluster::ClusterConfig& config,
-                                   std::size_t intervals) {
+namespace {
+
+/// One replication with an optional observer attached for its duration.
+ReplicationOutcome replicate(const cluster::ClusterConfig& config,
+                             std::size_t intervals,
+                             cluster::ClusterObserver* observer) {
   ReplicationOutcome out;
   out.seed = config.seed;
   cluster::Cluster cluster(config);
+  if (observer != nullptr) cluster.attach_observer(observer);
   out.initial_histogram = cluster.regime_histogram();
 
   out.ratio_series.label = "ratio";
@@ -44,17 +49,56 @@ ReplicationOutcome run_replication(const cluster::ClusterConfig& config,
   return out;
 }
 
+}  // namespace
+
+std::uint64_t replication_seed(std::uint64_t base_seed,
+                               std::size_t replication) {
+  // splitmix64 over base + GAMMA * (r + 1).  The pre-mix input is a
+  // bijection of (base, r) along each axis, so unlike base + r the streams
+  // of (base, r) and (base + 1, r - 1) can never coincide; the finalizer
+  // then decorrelates neighbouring replications.
+  std::uint64_t x =
+      base_seed +
+      0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(replication) + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+ReplicationOutcome run_replication(const cluster::ClusterConfig& config,
+                                   std::size_t intervals) {
+  return replicate(config, intervals, nullptr);
+}
+
+ReplicationOutcome run_replication(const cluster::ClusterConfig& config,
+                                   std::size_t intervals,
+                                   const obs::ObsConfig& obs,
+                                   std::size_t replication) {
+  const auto probe = obs::ClusterProbe::make(obs, config.seed, replication);
+  return replicate(config, intervals, probe.get());
+}
+
 AggregateOutcome run_experiment(const cluster::ClusterConfig& config,
                                 std::size_t intervals, std::size_t replications,
                                 common::ThreadPool* pool) {
+  return run_experiment(config, intervals, replications, pool, obs::ObsConfig{});
+}
+
+AggregateOutcome run_experiment(const cluster::ClusterConfig& config,
+                                std::size_t intervals, std::size_t replications,
+                                common::ThreadPool* pool,
+                                const obs::ObsConfig& obs) {
   ECLB_ASSERT(replications >= 1, "run_experiment: need >= 1 replication");
   AggregateOutcome agg;
   agg.replications.resize(replications);
 
   auto run_one = [&](std::size_t r) {
     cluster::ClusterConfig cfg = config;
-    cfg.seed = config.seed + r;
-    agg.replications[r] = run_replication(cfg, intervals);
+    cfg.seed = replication_seed(config.seed, r);
+    agg.replications[r] = run_replication(cfg, intervals, obs, r);
   };
 
   if (pool != nullptr && replications > 1) {

@@ -9,6 +9,7 @@
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "energy/regimes.h"
+#include "obs/observer.h"
 
 namespace eclb::experiment {
 
@@ -45,16 +46,39 @@ struct AggregateOutcome {
   common::RunningStats violations;         ///< Across replications.
 };
 
+/// The seed replication `replication` of a run based on `base_seed` uses.
+/// A splitmix64 mix of both inputs, so the streams of (base, r) and
+/// (base + 1, r - 1) never coincide the way naive base + r derivation makes
+/// them.
+[[nodiscard]] std::uint64_t replication_seed(std::uint64_t base_seed,
+                                             std::size_t replication);
+
 /// Runs one replication of `config` for `intervals` intervals.
 [[nodiscard]] ReplicationOutcome run_replication(const cluster::ClusterConfig& config,
                                                  std::size_t intervals);
 
-/// Runs `replications` seeds derived from config.seed (seed, seed+1, ...)
+/// As above, observed: when `obs` is active a ClusterProbe (trace file named
+/// after config.seed and `replication`) watches the run.  Observation never
+/// changes the simulation's outcome.
+[[nodiscard]] ReplicationOutcome run_replication(const cluster::ClusterConfig& config,
+                                                 std::size_t intervals,
+                                                 const obs::ObsConfig& obs,
+                                                 std::size_t replication = 0);
+
+/// Runs `replications` seeds derived from config.seed via replication_seed()
 /// and aggregates.  When `pool` is non-null the replications execute
 /// concurrently.
 [[nodiscard]] AggregateOutcome run_experiment(const cluster::ClusterConfig& config,
                                               std::size_t intervals,
                                               std::size_t replications,
                                               common::ThreadPool* pool = nullptr);
+
+/// As above, observed: each replication gets its own probe (and trace file);
+/// metrics and profiler sinks aggregate across all of them.
+[[nodiscard]] AggregateOutcome run_experiment(const cluster::ClusterConfig& config,
+                                              std::size_t intervals,
+                                              std::size_t replications,
+                                              common::ThreadPool* pool,
+                                              const obs::ObsConfig& obs);
 
 }  // namespace eclb::experiment

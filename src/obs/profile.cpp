@@ -1,0 +1,39 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace eclb::obs {
+
+void Profiler::record(std::string_view phase, double wall_seconds) {
+  std::lock_guard lock(mu_);
+  auto it = phases_.find(phase);
+  if (it == phases_.end()) {
+    it = phases_.emplace(std::string(phase), PhaseStats{}).first;
+  }
+  PhaseStats& s = it->second;
+  ++s.calls;
+  s.total_seconds += wall_seconds;
+  s.max_seconds = std::max(s.max_seconds, wall_seconds);
+}
+
+std::vector<std::pair<std::string, PhaseStats>> Profiler::snapshot() const {
+  std::lock_guard lock(mu_);
+  return {phases_.begin(), phases_.end()};
+}
+
+void Profiler::write(std::ostream& out) const {
+  const auto phases = snapshot();
+  out << "phase                     calls      total_s       mean_s        max_s\n";
+  char buf[160];
+  for (const auto& [name, s] : phases) {
+    const double mean =
+        s.calls == 0 ? 0.0 : s.total_seconds / static_cast<double>(s.calls);
+    std::snprintf(buf, sizeof buf, "%-22s %8llu %12.6f %12.9f %12.9f\n",
+                  name.c_str(), static_cast<unsigned long long>(s.calls),
+                  s.total_seconds, mean, s.max_seconds);
+    out << buf;
+  }
+}
+
+}  // namespace eclb::obs

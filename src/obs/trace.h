@@ -1,0 +1,104 @@
+// JSONL protocol tracing: one file per replication, one JSON object per
+// line, buffered writes.
+//
+// Schema (stable; also documented in DESIGN.md "Observability"):
+//   {"type":"interval_begin","interval":I,"t":SIM_SECONDS}
+//   {"type":"event","interval":I,"kind":KIND[,"server":S]
+//        [,"decision":"local"|"in-cluster"]          kind == "decision"
+//        [,"cause":"shed"|"rebalance"|"consolidation"] kind == "migration"
+//        [,"unserved":U]}                            kind == "sla_violation"
+//   {"type":"interval_end","interval":I,"t":SIM_SECONDS,
+//    "local":N,"in_cluster":N,"migrations":N,"horizontal_starts":N,
+//    "offloads":N,"drains":N,"sleeps":N,"wakes":N,"sla_violations":N,
+//    "qos_violations":N,"unserved":U,"parked":N,"deep_sleeping":N,
+//    "energy_j":E}
+// KIND is cluster::to_string(ProtocolEvent::Kind); "server" is omitted when
+// the event has no associated server.  The per-interval event stream and the
+// interval_end summary are redundant by construction, which is what lets a
+// consumer cross-check a trace against the IntervalReport CSV.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/recorder.h"
+
+namespace eclb::obs {
+
+/// Buffered JSONL trace emitter.  Not thread-safe: one writer per
+/// replication (each replication owns its file).
+class TraceWriter {
+ public:
+  /// Opens `path` for writing; ok() reports failure.
+  explicit TraceWriter(std::string path);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void interval_begin(std::size_t interval, double sim_seconds);
+  void event(const cluster::ProtocolEvent& event);
+  void interval_end(const cluster::IntervalReport& report, double sim_seconds);
+
+  /// Drains the in-memory buffer to the file (also done on destruction).
+  void flush();
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void maybe_flush();
+
+  std::string path_;
+  std::FILE* file_{nullptr};
+  std::string buf_;
+};
+
+/// One parsed trace line.
+struct TraceRecord {
+  enum class Type : std::uint8_t {
+    kIntervalBegin = 0,
+    kEvent = 1,
+    kIntervalEnd = 2,
+  };
+
+  Type type{Type::kEvent};
+  std::size_t interval{0};
+  double sim_seconds{0.0};          ///< interval_begin / interval_end only.
+  cluster::ProtocolEvent event{};   ///< kEvent payload.
+
+  // interval_end summary counters (mirror of IntervalReport).
+  std::size_t local{0};
+  std::size_t in_cluster{0};
+  std::size_t migrations{0};
+  std::size_t horizontal_starts{0};
+  std::size_t offloads{0};
+  std::size_t drains{0};
+  std::size_t sleeps{0};
+  std::size_t wakes{0};
+  std::size_t sla_violations{0};
+  std::size_t qos_violations{0};
+  double unserved{0.0};
+  std::size_t parked{0};
+  std::size_t deep_sleeping{0};
+  double energy_joules{0.0};
+};
+
+/// Parses one line of TraceWriter output; nullopt on malformed input.
+[[nodiscard]] std::optional<TraceRecord> parse_trace_line(std::string_view line);
+
+/// Reads a whole trace file; nullopt when the file cannot be opened or any
+/// line fails to parse.
+[[nodiscard]] std::optional<std::vector<TraceRecord>> read_trace_file(
+    const std::string& path);
+
+/// Canonical per-replication trace file name:
+/// "<dir>/rep<replication>_seed<seed>.jsonl".
+[[nodiscard]] std::string trace_file_path(const std::string& dir,
+                                          std::uint64_t seed,
+                                          std::size_t replication);
+
+}  // namespace eclb::obs

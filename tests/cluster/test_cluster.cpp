@@ -414,5 +414,77 @@ TEST(ClusterDeathTest, ZeroServersAborts) {
   EXPECT_DEATH(Cluster{cfg}, "at least one server");
 }
 
+/// Counts observer callbacks; used to pin the attach/detach contract.
+class CountingObserver final : public ClusterObserver {
+ public:
+  void on_interval_begin(std::size_t, common::Seconds) override { ++begins; }
+  void on_event(const ProtocolEvent&) override { ++events; }
+  void on_interval_end(const IntervalReport& report, common::Seconds) override {
+    ++ends;
+    last_report = report;
+  }
+  void on_phase(std::string_view phase, double) override {
+    if (phase == "round") ++round_phases;
+  }
+
+  int begins{0};
+  int events{0};
+  int ends{0};
+  int round_phases{0};
+  IntervalReport last_report{};
+};
+
+TEST(Cluster, ObserverSeesEveryIntervalBoundary) {
+  Cluster c(small_config(0.2, 0.4));
+  CountingObserver obs;
+  c.attach_observer(&obs);
+  (void)c.run(4);
+  EXPECT_EQ(obs.begins, 4);
+  EXPECT_EQ(obs.ends, 4);
+  EXPECT_EQ(obs.round_phases, 4);
+  EXPECT_EQ(obs.last_report.interval_index, 3U);
+}
+
+TEST(Cluster, ObserverEventCountsMatchReport) {
+  Cluster c(small_config(0.5, 0.9));
+  CountingObserver obs;
+  c.attach_observer(&obs);
+  const auto report = c.step();
+  // Every counted occurrence was also delivered as a typed event; the
+  // decision events alone already bound the total from below.
+  EXPECT_GE(obs.events,
+            static_cast<int>(report.local_decisions +
+                             report.in_cluster_decisions));
+  EXPECT_GT(obs.events, 0);
+}
+
+TEST(Cluster, DetachedObserverHearsNothing) {
+  Cluster c(small_config(0.2, 0.4));
+  CountingObserver obs;
+  c.attach_observer(&obs);
+  (void)c.step();
+  const int after_first = obs.ends;
+  c.detach_observers();
+  (void)c.step();
+  EXPECT_EQ(obs.ends, after_first);
+}
+
+TEST(Cluster, ObservationDoesNotPerturbSimulation) {
+  Cluster plain(small_config(0.3, 0.6, 9));
+  Cluster watched(small_config(0.3, 0.6, 9));
+  CountingObserver obs;
+  watched.attach_observer(&obs);
+  for (int i = 0; i < 5; ++i) {
+    const auto rp = plain.step();
+    const auto rw = watched.step();
+    EXPECT_EQ(rp.local_decisions, rw.local_decisions);
+    EXPECT_EQ(rp.in_cluster_decisions, rw.in_cluster_decisions);
+    EXPECT_EQ(rp.migrations, rw.migrations);
+    EXPECT_EQ(rp.sleeps, rw.sleeps);
+    EXPECT_DOUBLE_EQ(rp.interval_energy.value, rw.interval_energy.value);
+  }
+  EXPECT_DOUBLE_EQ(plain.total_energy().value, watched.total_energy().value);
+}
+
 }  // namespace
 }  // namespace eclb::cluster

@@ -58,5 +58,28 @@ TEST(Log, MacrosCompileWithVariousArgs) {
   SUCCEED();
 }
 
+TEST(Log, FormatLineIsOneAtomicRecord) {
+  // The whole record -- prefix, message, newline -- is a single string, so
+  // concurrent writers cannot interleave mid-line.
+  const std::string line = Log::format_line(LogLevel::kWarn, "x=%d y=%s", 7, "z");
+  EXPECT_EQ(line, "[warn] x=7 y=z\n");
+}
+
+TEST(Log, FormatLineHandlesMessagesLongerThanStackBuffer) {
+  const std::string big(2000, 'a');
+  const std::string line = Log::format_line(LogLevel::kError, "%s", big.c_str());
+  EXPECT_EQ(line.size(), std::string("[error] \n").size() + big.size());
+  EXPECT_EQ(line.front(), '[');
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_NE(line.find(big), std::string::npos);
+}
+
+TEST(Log, FormatLinePrefixesEveryLevel) {
+  EXPECT_EQ(Log::format_line(LogLevel::kDebug, "m"), "[debug] m\n");
+  EXPECT_EQ(Log::format_line(LogLevel::kInfo, "m"), "[info] m\n");
+  EXPECT_EQ(Log::format_line(LogLevel::kWarn, "m"), "[warn] m\n");
+  EXPECT_EQ(Log::format_line(LogLevel::kError, "m"), "[error] m\n");
+}
+
 }  // namespace
 }  // namespace eclb::common

@@ -89,13 +89,27 @@ TEST(Histogram, SamplesLandInCorrectBins) {
   EXPECT_DOUBLE_EQ(h.total(), 3.0);
 }
 
-TEST(Histogram, OutOfRangeClampsToEdges) {
+TEST(Histogram, OutOfRangeCountedSeparately) {
   Histogram h(0.0, 1.0, 4);
   h.add(-5.0);
-  h.add(99.0);
+  h.add(99.0, 2.0);
+  // Outliers no longer fold into the edge bins; they are tallied apart.
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(3), 0.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  EXPECT_DOUBLE_EQ(h.total_observed(), 3.0);
+}
+
+TEST(Histogram, BoundariesSplitInRangeFromOutliers) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.0);   // lo is inclusive
+  h.add(1.0);   // hi is exclusive -> overflow
   EXPECT_DOUBLE_EQ(h.bin_weight(0), 1.0);
-  EXPECT_DOUBLE_EQ(h.bin_weight(3), 1.0);
-  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 1.0);
+  EXPECT_DOUBLE_EQ(h.total_observed(), 2.0);
 }
 
 TEST(Histogram, WeightedSamples) {

@@ -63,6 +63,73 @@ TEST(ThreadPool, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 20);
 }
 
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexDespiteFailures) {
+  // The barrier must complete before the rethrow: indices after a failing
+  // one still run, so shared outputs are fully written when the exception
+  // surfaces.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&hits](std::size_t i) {
+                                   hits[i].fetch_add(1);
+                                   if (i % 5 == 0) {
+                                     throw std::runtime_error("fail");
+                                   }
+                                 }),
+               std::runtime_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForConcurrentFailuresSurfaceOnce) {
+  // Every index throws from several workers at once; exactly one exception
+  // must escape (the first), and it must be a proper rethrow, not terminate.
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    int caught = 0;
+    try {
+      pool.parallel_for(32, [](std::size_t i) {
+        throw std::runtime_error("worker " + std::to_string(i));
+      });
+    } catch (const std::runtime_error&) {
+      ++caught;
+    }
+    EXPECT_EQ(caught, 1);
+  }
+}
+
+TEST(ThreadPoolDeathTest, ReentrantParallelForAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.parallel_for(2, [&pool](std::size_t) {
+          pool.parallel_for(2, [](std::size_t) {});
+        });
+      },
+      "re-entrant");
+}
+
+TEST(ThreadPool, NestedParallelForAcrossDistinctPoolsWorks) {
+  // Only re-entry into the SAME pool deadlocks; nesting across pools is fine.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> counter{0};
+  outer.parallel_for(4, [&inner, &counter](std::size_t) {
+    inner.parallel_for(4, [&counter](std::size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 16);
+}
+
 TEST(ThreadPool, ParallelReductionMatchesSerial) {
   ThreadPool pool(4);
   std::vector<long long> partial(16, 0);

@@ -44,10 +44,24 @@ TEST(Runner, ExperimentAggregatesReplications) {
   EXPECT_EQ(agg.replications.size(), 3U);
   EXPECT_EQ(agg.mean_ratio_series.size(), 8U);
   EXPECT_EQ(agg.average_ratio.count(), 3U);
-  // Distinct seeds.
-  EXPECT_EQ(agg.replications[0].seed, 5U);
-  EXPECT_EQ(agg.replications[1].seed, 6U);
-  EXPECT_EQ(agg.replications[2].seed, 7U);
+  // Seeds come from the splitmix64 derivation, one distinct stream each.
+  EXPECT_EQ(agg.replications[0].seed, replication_seed(5, 0));
+  EXPECT_EQ(agg.replications[1].seed, replication_seed(5, 1));
+  EXPECT_EQ(agg.replications[2].seed, replication_seed(5, 2));
+  EXPECT_NE(agg.replications[0].seed, agg.replications[1].seed);
+  EXPECT_NE(agg.replications[1].seed, agg.replications[2].seed);
+}
+
+TEST(Runner, ReplicationSeedsDoNotOverlapAcrossBaseSeeds) {
+  // The old base + r derivation made (seed, r+1) collide with (seed+1, r);
+  // the mixed derivation must keep neighbouring experiments disjoint.
+  for (std::uint64_t base = 1; base < 50; ++base) {
+    for (std::size_t r = 0; r < 8; ++r) {
+      EXPECT_NE(replication_seed(base, r + 1), replication_seed(base + 1, r))
+          << "base=" << base << " r=" << r;
+      EXPECT_NE(replication_seed(base, r), replication_seed(base + 1, r));
+    }
+  }
 }
 
 TEST(Runner, MeanSeriesIsMeanOfReplications) {
@@ -85,6 +99,82 @@ TEST(Runner, DeterministicAcrossCalls) {
   const auto b = run_experiment(tiny(AverageLoad::kHigh70), 6, 2);
   EXPECT_DOUBLE_EQ(a.average_ratio.mean(), b.average_ratio.mean());
   EXPECT_DOUBLE_EQ(a.energy_kwh.mean(), b.energy_kwh.mean());
+}
+
+TEST(Runner, ObservationDoesNotChangeOutcome) {
+  const auto plain = run_experiment(tiny(AverageLoad::kLow30), 6, 2);
+
+  obs::MetricsRegistry registry;
+  obs::Profiler profiler;
+  obs::ObsConfig oc;
+  oc.metrics = &registry;
+  oc.profiler = &profiler;
+  const auto observed = run_experiment(tiny(AverageLoad::kLow30), 6, 2,
+                                       nullptr, oc);
+
+  // Bit-identical simulation whether or not anyone is watching.
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(plain.mean_ratio_series.y[i],
+                     observed.mean_ratio_series.y[i]);
+  }
+  EXPECT_DOUBLE_EQ(plain.energy_kwh.mean(), observed.energy_kwh.mean());
+  EXPECT_DOUBLE_EQ(plain.violations.mean(), observed.violations.mean());
+}
+
+TEST(Runner, RegistryAggregatesAcrossReplications) {
+  obs::MetricsRegistry registry;
+  obs::ObsConfig oc;
+  oc.metrics = &registry;
+  const auto agg = run_experiment(tiny(AverageLoad::kHigh70), 5, 3, nullptr, oc);
+
+  const auto* intervals = registry.find_counter("run.intervals");
+  ASSERT_NE(intervals, nullptr);
+  EXPECT_EQ(intervals->value(), 5U * 3U);
+
+  std::size_t local = 0;
+  std::size_t in_cluster = 0;
+  std::size_t migrations = 0;
+  std::size_t violations = 0;
+  for (const auto& rep : agg.replications) {
+    local += rep.total_local;
+    in_cluster += rep.total_in_cluster;
+    migrations += rep.total_migrations;
+    violations += rep.total_violations;
+  }
+  EXPECT_EQ(registry.find_counter("protocol.decisions.local")->value(), local);
+  EXPECT_EQ(registry.find_counter("protocol.decisions.in_cluster")->value(),
+            in_cluster);
+  EXPECT_EQ(registry.find_counter("protocol.migrations")->value(), migrations);
+  EXPECT_EQ(registry.find_counter("protocol.sla_violations")->value(),
+            violations);
+
+  const auto* ratio = registry.find_histogram("interval.decision_ratio");
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_EQ(ratio->count(), 5U * 3U);
+}
+
+TEST(Runner, RegistryAggregationMatchesUnderParallelReplications) {
+  common::ThreadPool pool(3);
+  obs::MetricsRegistry serial_reg;
+  obs::MetricsRegistry parallel_reg;
+  obs::ObsConfig serial_oc;
+  serial_oc.metrics = &serial_reg;
+  obs::ObsConfig parallel_oc;
+  parallel_oc.metrics = &parallel_reg;
+
+  (void)run_experiment(tiny(AverageLoad::kLow30), 6, 3, nullptr, serial_oc);
+  (void)run_experiment(tiny(AverageLoad::kLow30), 6, 3, &pool, parallel_oc);
+
+  for (const char* name :
+       {"run.intervals", "protocol.decisions.local",
+        "protocol.decisions.in_cluster", "protocol.migrations",
+        "protocol.sleeps", "protocol.wakes", "protocol.sla_violations"}) {
+    const auto* s = serial_reg.find_counter(name);
+    const auto* p = parallel_reg.find_counter(name);
+    ASSERT_NE(s, nullptr) << name;
+    ASSERT_NE(p, nullptr) << name;
+    EXPECT_EQ(s->value(), p->value()) << name;
+  }
 }
 
 }  // namespace

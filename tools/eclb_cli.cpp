@@ -19,6 +19,7 @@
 #include "common/csv.h"
 #include "common/flags.h"
 #include "experiment/scenario.h"
+#include "obs/observer.h"
 #include "policy/farm.h"
 #include "policy/policies.h"
 #include "vm/migration.h"
@@ -37,7 +38,11 @@ int usage() {
       "commands:\n"
       "  cluster   --servers N --load 30|70 --intervals K --seed S [--tau SEC]\n"
       "            [--no-sleep] [--no-rebalance]\n"
-      "            runs the energy-aware protocol, prints per-interval CSV\n"
+      "            [--trace DIR] [--metrics FILE] [--profile]\n"
+      "            runs the energy-aware protocol, prints per-interval CSV;\n"
+      "            --trace writes a JSONL protocol trace into DIR, --metrics\n"
+      "            writes aggregated counters as JSON, --profile prints a\n"
+      "            wall-clock phase table to stderr\n"
       "  farm      --policy always-on|reactive|reactive+extra|autoscale|\n"
       "                     predictive-mw|predictive-lr\n"
       "            --workload diurnal|spiky|walk|constant [--trace FILE]\n"
@@ -64,7 +69,24 @@ int cmd_cluster(common::Flags& flags) {
   if (flags.get_bool("no-sleep")) cfg.allow_sleep = false;
   if (flags.get_bool("no-rebalance")) cfg.rebalance_enabled = false;
 
+  obs::MetricsRegistry registry;
+  obs::Profiler profiler;
+  obs::ObsConfig obs_cfg;
+  obs_cfg.trace_dir = flags.get("trace");
+  const std::string metrics_file = flags.get("metrics");
+  if (!metrics_file.empty()) obs_cfg.metrics = &registry;
+  if (flags.get_bool("profile")) obs_cfg.profiler = &profiler;
+  const auto probe = obs::ClusterProbe::make(obs_cfg, seed, /*replication=*/0);
+
   cluster::Cluster cluster(cfg);
+  if (probe != nullptr) {
+    cluster.attach_observer(probe.get());
+    if (probe->trace() != nullptr && !probe->trace()->ok()) {
+      std::cerr << "could not open trace file: " << probe->trace()->path()
+                << "\n";
+      return 2;
+    }
+  }
   common::CsvWriter csv(std::cout,
                         {"interval", "local", "in_cluster", "ratio", "migrations",
                          "sleeps", "wakes", "parked", "deep_sleeping",
@@ -85,6 +107,14 @@ int cmd_cluster(common::Flags& flags) {
   }
   std::cerr << "total energy: " << cluster.total_energy().kwh() << " kWh, "
             << cluster.message_stats().total() << " control messages\n";
+  if (probe != nullptr && probe->trace() != nullptr) {
+    std::cerr << "trace: " << probe->trace()->path() << "\n";
+  }
+  if (!metrics_file.empty() && !registry.write_json_file(metrics_file)) {
+    std::cerr << "could not write metrics file: " << metrics_file << "\n";
+    return 2;
+  }
+  if (obs_cfg.profiler != nullptr) profiler.write(std::cerr);
   return 0;
 }
 
