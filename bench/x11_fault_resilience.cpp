@@ -1,0 +1,107 @@
+// Extension X11: fault injection and the resilient leader protocol
+// (src/fault).
+//
+// Sweeps link-loss probability against three crash scenarios (none, one
+// mid-run leader crash, leader + two member crashes) on the paper's
+// 100-server high-load cluster and reports the energy/QoS cost of riding the
+// faults out: decision ratio, energy, SLA violations, MTTR, failovers and
+// the drop/retry traffic of the hardened protocol.  A final check verifies
+// the empty-plan identity -- with the fault layer installed but idle the run
+// is byte-identical to a fault-free one.
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/table.h"
+#include "experiment/runner.h"
+#include "experiment/scenario.h"
+#include "fault/injector.h"
+
+namespace {
+
+using namespace eclb;
+
+/// One 40-interval run under `plan`; returns the replication outcome.
+experiment::ReplicationOutcome run(const fault::FaultPlan& plan,
+                                   std::uint64_t seed) {
+  const auto cfg = experiment::paper_cluster_config(
+      100, experiment::AverageLoad::kHigh70, seed);
+  return experiment::run_replication(cfg, experiment::kPaperIntervals, plan);
+}
+
+/// Fingerprint of the per-interval surface, for the identity check.
+std::string fingerprint(const experiment::ReplicationOutcome& out) {
+  std::ostringstream s;
+  for (const auto& r : out.reports) {
+    s << r.local_decisions << ',' << r.in_cluster_decisions << ','
+      << r.migrations << ',' << r.sleeps << ',' << r.wakes << ','
+      << r.sla_violations << ',' << r.interval_energy.value << ';';
+  }
+  s << out.total_energy.value;
+  return s.str();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== X11: fault resilience sweep ==\n\n"
+            << "100 servers, high load (~70 %), 40 intervals, tau = 60 s;\n"
+            << "crash scenarios: none | leader@1200 s | leader@1200 s plus\n"
+            << "members 5 and 17 @600 s (recovering @1800 s).\n\n";
+
+  const double losses[] = {0.0, 0.02, 0.05, 0.1, 0.2};
+  const char* scenarios[] = {"none", "leader", "leader+members"};
+
+  common::TextTable table({"Loss p", "Crashes", "Ratio", "Energy (kWh)", "SLA",
+                           "MTTR (s)", "Failovers", "Drops", "Retries",
+                           "Failed mig"});
+  for (const double loss : losses) {
+    for (const char* scenario : scenarios) {
+      fault::FaultPlan plan;
+      if (loss > 0.0) plan.link_loss(common::Seconds{0.0}, loss);
+      const std::string name = scenario;
+      if (name != "none") plan.crash_leader(common::Seconds{1200.0});
+      if (name == "leader+members") {
+        plan.crash(common::Seconds{600.0}, common::ServerId{5})
+            .crash(common::Seconds{600.0}, common::ServerId{17})
+            .recover(common::Seconds{1800.0}, common::ServerId{5})
+            .recover(common::Seconds{1800.0}, common::ServerId{17});
+      }
+      const auto out = run(plan, 404);
+      table.row({common::TextTable::num(loss, 2), name,
+                 common::TextTable::num(out.average_ratio, 3),
+                 common::TextTable::num(out.total_energy.kwh(), 2),
+                 common::TextTable::num(
+                     static_cast<long long>(out.total_violations)),
+                 common::TextTable::num(out.mttr, 1),
+                 common::TextTable::num(
+                     static_cast<long long>(out.total_failovers)),
+                 common::TextTable::num(
+                     static_cast<long long>(out.total_dropped_messages)),
+                 common::TextTable::num(
+                     static_cast<long long>(out.total_retried_messages)),
+                 common::TextTable::num(
+                     static_cast<long long>(out.total_failed_migrations))});
+    }
+  }
+  table.print(std::cout);
+
+  // The empty-plan identity: an installed-but-idle fault layer must not
+  // move a single byte of the fault-free baseline.
+  const auto idle = run(fault::FaultPlan{}, 404);
+  const auto baseline = [] {
+    const auto cfg = experiment::paper_cluster_config(
+        100, experiment::AverageLoad::kHigh70, 404);
+    return experiment::run_replication(cfg, experiment::kPaperIntervals);
+  }();
+  const bool identical = fingerprint(idle) == fingerprint(baseline);
+  std::cout << "\nempty-plan identity: "
+            << (identical ? "byte-identical to the fault-free run" : "BROKEN")
+            << "\n\nShape check: crashes displace VMs that the protocol"
+               " re-places within one round of a live leader (MTTR ~ one"
+               " reallocation interval); lossy links inflate drops/retries"
+               " roughly linearly in p while energy and ratio stay close to"
+               " the fault-free baseline -- the protocol pays for resilience"
+               " in control traffic, not in placement quality.\n";
+  return identical ? 0 : 1;
+}

@@ -102,13 +102,22 @@ std::size_t Cluster::total_vms() const {
 }
 
 double Cluster::load_fraction() const {
-  return total_demand() / static_cast<double>(servers_.size());
+  // Denominator is the usable capacity: failed servers contribute nothing,
+  // derated servers their lowered ceiling.  Fault-free this sums to exactly
+  // the server count (1.0 each), preserving the historical definition bit
+  // for bit.
+  double capacity = 0.0;
+  for (const auto& s : servers_) {
+    if (!s.failed()) capacity += s.capacity();
+  }
+  if (capacity <= 0.0) return 0.0;
+  return total_demand() / capacity;
 }
 
 std::size_t Cluster::sleeping_count() const {
   std::size_t count = 0;
   for (const auto& s : servers_) {
-    if (!s.awake(now())) ++count;
+    if (!s.failed() && !s.awake(now())) ++count;
   }
   return count;
 }
@@ -181,6 +190,270 @@ bool Cluster::accept_external(common::AppId app, double demand) {
 server::Server& Cluster::server_ref(common::ServerId id) {
   ECLB_ASSERT(id.valid() && id.index() < servers_.size(), "server_ref: bad id");
   return servers_[id.index()];
+}
+
+// --- fault tolerance --------------------------------------------------------
+
+void Cluster::install_faults(FaultRuntime* runtime) {
+  ECLB_ASSERT(faults_ == nullptr || runtime == nullptr,
+              "install_faults: a fault runtime is already installed");
+  if (heartbeat_.active()) (void)heartbeat_.cancel();
+  faults_ = runtime;
+  if (faults_ == nullptr) return;
+  // A zero period disables the heartbeat protocol entirely -- the injector
+  // reports zero for an empty plan so arming it stays free of side effects.
+  const common::Seconds period = faults_->heartbeat_period();
+  if (period.value > 0.0) {
+    heartbeat_ = sim_.schedule_every(
+        period, [this](sim::Simulation&) { heartbeat_tick(); });
+  }
+}
+
+void Cluster::crash_server(common::ServerId id) {
+  auto& s = server_ref(id);
+  if (s.failed()) return;
+  const common::Seconds when = sim_.now();
+  s.settle(when);
+  auto displaced = s.take_all_vms();
+  s.fail(when);
+  ++failed_count_;
+  if (!displaced.empty()) {
+    auto& episode = crash_episodes_[id];
+    if (episode.outstanding == 0) episode.crashed_at = when;
+    episode.outstanding += displaced.size();
+    for (auto& v : displaced) {
+      orphans_.push_back({v.app(), v.demand(), id, when});
+      // The replacement VM gets a fresh id and growth spec on re-placement.
+      growth_.erase(v.id());
+    }
+  }
+  recorder_.server_crashed(id);
+  if (id == leader_server_ && !leader_down_) {
+    leader_down_ = true;
+    leader_down_since_ = when;
+    missed_heartbeats_ = 0;
+  }
+}
+
+void Cluster::recover_server(common::ServerId id) {
+  auto& s = server_ref(id);
+  if (!s.failed()) return;
+  s.repair(sim_.now());
+  ECLB_ASSERT(failed_count_ > 0, "recover_server: failure count underflow");
+  --failed_count_;
+  recorder_.server_recovered(id);
+  if (id == leader_server_ && leader_down_) {
+    // The leader host came back before the survivors elected a successor.
+    leader_down_ = false;
+    missed_heartbeats_ = 0;
+  }
+}
+
+void Cluster::derate_server(common::ServerId id, double capacity) {
+  auto& s = server_ref(id);
+  s.set_capacity(capacity);
+  // Served load may have changed; re-point the meter at the new power level.
+  s.update_energy(sim_.now());
+  recorder_.derated(id, capacity);
+}
+
+void Cluster::heartbeat_tick() {
+  if (faults_ == nullptr) return;
+  // One liveness probe per beat across the star fabric, priced like any
+  // other control exchange.
+  messages_.record(MessageKind::kHeartbeat, 1, config_.costs.energy_per_message);
+  traffic_energy_ += config_.costs.energy_per_message;
+  if (!leader_down_) {
+    missed_heartbeats_ = 0;
+    return;
+  }
+  ++missed_heartbeats_;
+  if (missed_heartbeats_ >= faults_->failover_after_missed()) elect_leader();
+}
+
+void Cluster::elect_leader() {
+  const common::Seconds when = sim_.now();
+  const server::Server* winner = nullptr;
+  for (const auto& s : servers_) {
+    if (!s.failed() && s.awake(when)) {
+      winner = &s;
+      break;
+    }
+  }
+  if (winner == nullptr) {
+    // No awake survivor: the lowest-id live server takes the role; the
+    // protocol will wake it like any other sleeper.
+    for (const auto& s : servers_) {
+      if (!s.failed()) {
+        winner = &s;
+        break;
+      }
+    }
+  }
+  if (winner == nullptr) return;  // the whole fleet is down
+  leader_server_ = winner->id();
+  leader_down_ = false;
+  missed_heartbeats_ = 0;
+  // Election broadcast among the survivors.
+  const std::size_t live = servers_.size() - failed_count_;
+  messages_.record(MessageKind::kElection, live, config_.costs.energy_per_message);
+  traffic_energy_ +=
+      config_.costs.energy_per_message * static_cast<double>(live);
+  recorder_.failover(leader_server_);
+  if (faults_ != nullptr) faults_->note_failover(when - leader_down_since_);
+}
+
+bool Cluster::do_migrate(server::Server& source, common::VmId vm_id,
+                         common::ServerId target_id, MigrationCause cause) {
+  auto& target = server_ref(target_id);
+  const vm::Vm* v = source.find(vm_id);
+  if (v == nullptr || !target.awake(sim_.now())) return false;
+  if (target.load() + v->demand() > target.capacity() + kEps) return false;
+
+  const vm::ScalingCost cost = vm::horizontal_migration_cost(*v, config_.costs);
+  const vm::MigrationCost mig = vm::migrate_cost(*v, config_.costs.migration);
+
+  auto moved = source.remove(vm_id);
+  ECLB_ASSERT(moved.has_value(), "migrate: VM vanished from source");
+  const bool placed = target.place(std::move(*moved));
+  ECLB_ASSERT(placed, "migrate: target rejected a pre-checked VM");
+
+  source.charge_energy(mig.source_energy);
+  target.charge_energy(mig.target_energy);
+  traffic_energy_ += mig.network_energy;
+  in_cluster_cost_ += cost;
+  messages_.record(MessageKind::kTransferRequest,
+                   config_.costs.messages_per_negotiation,
+                   config_.costs.energy_per_message);
+  traffic_energy_ += config_.costs.energy_per_message *
+                     static_cast<double>(config_.costs.messages_per_negotiation);
+  recorder_.migration(cause, target_id);
+  return true;
+}
+
+void Cluster::begin_wake_now(common::ServerId id) {
+  auto& s = server_ref(id);
+  const common::Seconds done = s.begin_wake(sim_.now());
+  schedule_transition(id, done);
+  last_wake_interval_[id] = interval_index_;
+  recorder_.wake_begun(id);
+}
+
+void Cluster::wake_command_dropped(common::ServerId id) {
+  faults_->note_dropped(MessageKind::kWakeCommand, 1);
+  recorder_.message_dropped(MessageKind::kWakeCommand, id);
+  schedule_wake_retry(id, 1);
+}
+
+void Cluster::schedule_wake_retry(common::ServerId id, std::size_t attempt) {
+  if (faults_ == nullptr || attempt > faults_->max_retries()) return;
+  sim_.schedule_in(
+      faults_->retry_backoff(attempt), [this, id, attempt](sim::Simulation& sm) {
+        if (faults_ == nullptr) return;
+        auto& s = server_ref(id);
+        s.settle(sm.now());
+        // Moot when the server crashed, woke another way, or is mid-flight.
+        if (s.failed() || s.awake(sm.now()) || s.in_transition(sm.now())) return;
+        messages_.record(MessageKind::kWakeCommand, 1,
+                         config_.costs.energy_per_message);
+        traffic_energy_ += config_.costs.energy_per_message;
+        recorder_.message_retried(MessageKind::kWakeCommand, id);
+        faults_->note_retried(MessageKind::kWakeCommand);
+        if (!faults_->deliver(MessageKind::kWakeCommand, id)) {
+          faults_->note_dropped(MessageKind::kWakeCommand, 1);
+          recorder_.message_dropped(MessageKind::kWakeCommand, id);
+          schedule_wake_retry(id, attempt + 1);
+          return;
+        }
+        begin_wake_now(id);
+      });
+}
+
+void Cluster::schedule_delayed_wake(common::ServerId id, common::Seconds delay) {
+  sim_.schedule_in(delay, [this, id](sim::Simulation& sm) {
+    auto& s = server_ref(id);
+    s.settle(sm.now());
+    if (s.failed() || s.awake(sm.now()) || s.in_transition(sm.now())) return;
+    begin_wake_now(id);
+  });
+}
+
+void Cluster::transfer_dropped(common::ServerId source, common::VmId vm,
+                               common::ServerId target, MigrationCause cause) {
+  faults_->note_dropped(MessageKind::kTransferRequest,
+                        config_.costs.messages_per_negotiation);
+  recorder_.message_dropped(MessageKind::kTransferRequest, target);
+  schedule_transfer_retry(source, vm, target, cause, 1);
+}
+
+void Cluster::schedule_transfer_retry(common::ServerId source, common::VmId vm,
+                                      common::ServerId target,
+                                      MigrationCause cause,
+                                      std::size_t attempt) {
+  if (faults_ == nullptr || attempt > faults_->max_retries()) return;
+  sim_.schedule_in(
+      faults_->retry_backoff(attempt),
+      [this, source, vm, target, cause, attempt](sim::Simulation& sm) {
+        if (faults_ == nullptr) return;
+        auto& src = server_ref(source);
+        auto& tgt = server_ref(target);
+        const vm::Vm* v = src.find(vm);
+        // Moot when the VM moved or vanished, or either endpoint is unusable.
+        if (v == nullptr || src.failed() || !tgt.awake(sm.now())) return;
+        if (tgt.load() + v->demand() > tgt.capacity() + kEps) return;
+        recorder_.message_retried(MessageKind::kTransferRequest, target);
+        faults_->note_retried(MessageKind::kTransferRequest);
+        if (!faults_->deliver(MessageKind::kTransferRequest, target)) {
+          // Re-sent and lost again: the negotiation cost is sunk once more.
+          messages_.record(MessageKind::kTransferRequest,
+                           config_.costs.messages_per_negotiation,
+                           config_.costs.energy_per_message);
+          traffic_energy_ +=
+              config_.costs.energy_per_message *
+              static_cast<double>(config_.costs.messages_per_negotiation);
+          faults_->note_dropped(MessageKind::kTransferRequest,
+                                config_.costs.messages_per_negotiation);
+          recorder_.message_dropped(MessageKind::kTransferRequest, target);
+          schedule_transfer_retry(source, vm, target, cause, attempt + 1);
+          return;
+        }
+        if (faults_->migration_fails(source, target)) {
+          messages_.record(MessageKind::kTransferRequest,
+                           config_.costs.messages_per_negotiation,
+                           config_.costs.energy_per_message);
+          traffic_energy_ +=
+              config_.costs.energy_per_message *
+              static_cast<double>(config_.costs.messages_per_negotiation);
+          recorder_.migration_failed(source);
+          return;
+        }
+        // do_migrate charges this attempt's negotiation messages itself.
+        (void)do_migrate(src, vm, target, cause);
+      });
+}
+
+void Cluster::replace_orphan(common::ServerId target_id, const OrphanVm& orphan) {
+  auto& target = server_ref(target_id);
+  const common::VmId new_id =
+      spawn_vm(target, orphan.app, orphan.demand, /*force=*/false);
+  const vm::ScalingCost cost =
+      vm::horizontal_start_cost(*target.find(new_id), config_.costs);
+  in_cluster_cost_ += cost;
+  target.charge_energy(cost.energy);
+  // A restart moves no VM image; only the negotiation messages are priced
+  // (matching a horizontal start).
+  messages_.record(MessageKind::kTransferRequest,
+                   config_.costs.messages_per_negotiation,
+                   config_.costs.energy_per_message);
+  recorder_.orphan_replaced(target_id);
+  const auto it = crash_episodes_.find(orphan.origin);
+  if (it != crash_episodes_.end() && --it->second.outstanding == 0) {
+    // Last displaced VM running again: service restored, MTTR sample closed.
+    if (faults_ != nullptr) {
+      faults_->note_repair(sim_.now() - it->second.crashed_at);
+    }
+    crash_episodes_.erase(it);
+  }
 }
 
 void Cluster::schedule_transition(common::ServerId id, common::Seconds done) {
@@ -256,6 +529,7 @@ IntervalReport Cluster::run_round() {
   snapshot.sleeping_servers = sleeping_count();
   snapshot.parked_servers = parked_count();
   snapshot.deep_sleeping_servers = deep_sleeping_count();
+  snapshot.failed_servers = failed_count_;
   snapshot.regimes = regime_histogram();
   const common::Joules energy_now = total_energy();
   snapshot.interval_energy = energy_now - energy_at_last_step_;

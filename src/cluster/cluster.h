@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cluster/config.h"
+#include "cluster/faults.h"
 #include "cluster/leader.h"
 #include "cluster/messages.h"
 #include "cluster/recorder.h"
@@ -45,6 +46,15 @@ namespace protocol {
 class ClusterView;
 class ProtocolEngine;
 }  // namespace protocol
+
+/// A VM displaced by a server crash, held by the cluster until the protocol
+/// re-places it (the RecoverOrphans action).
+struct OrphanVm {
+  common::AppId app{};            ///< Application the VM belonged to.
+  double demand{0.0};             ///< CPU demand to restore.
+  common::ServerId origin{};      ///< The crashed host.
+  common::Seconds orphaned_at{};  ///< When the crash happened.
+};
 
 /// The cluster itself.
 class Cluster {
@@ -135,6 +145,43 @@ class Cluster {
   /// are attached; used by the protocol layers).
   void notify_phase(std::string_view phase, double wall_seconds);
 
+  // --- fault tolerance -------------------------------------------------------
+
+  /// Installs the fault runtime (src/fault's injector; caller keeps
+  /// ownership).  Arms the leader heartbeat when the runtime's period is
+  /// positive.  Pass nullptr to disarm.  With no runtime installed -- or an
+  /// installed runtime that never injects -- the simulation is bit-identical
+  /// to a fault-free run.
+  void install_faults(FaultRuntime* runtime);
+  /// The installed fault runtime; nullptr when none.
+  [[nodiscard]] FaultRuntime* faults() const { return faults_; }
+
+  /// Crashes `id` at the current simulation time: its VMs become orphans
+  /// (queued for re-placement by the protocol), its power drops to zero, and
+  /// if it held leadership the cluster is leaderless until the heartbeat
+  /// protocol detects the loss and elects a survivor.  No-op when already
+  /// failed.
+  void crash_server(common::ServerId id);
+  /// Returns a failed server to service (awake, empty).  Its former VMs stay
+  /// wherever recovery placed them.  No-op when not failed.
+  void recover_server(common::ServerId id);
+  /// Derates `id` to `capacity` (in (0, 1]) of nominal; placement and SLA
+  /// accounting respect the lowered ceiling.
+  void derate_server(common::ServerId id, double capacity);
+
+  /// The server currently holding the leader role (initially server 0).
+  /// Leadership is a control-plane role: a *sleeping* leader host still
+  /// routes decisions (the role lives in its always-on management plane);
+  /// only a crash takes leadership down.
+  [[nodiscard]] common::ServerId leader_server() const { return leader_server_; }
+  /// False while the leader host is crashed and no successor has been
+  /// elected yet; all leader-mediated placement stalls in that window.
+  [[nodiscard]] bool leader_available() const { return !leader_down_; }
+  /// Servers currently failed.
+  [[nodiscard]] std::size_t failed_count() const { return failed_count_; }
+  /// Crash-orphaned VMs not yet re-placed.
+  [[nodiscard]] std::span<const OrphanVm> orphans() const { return orphans_; }
+
   // --- multi-cluster hooks ---------------------------------------------------
 
   /// Installs the overflow handler (see Cloud).  Pass nullptr to remove.
@@ -176,6 +223,35 @@ class Cluster {
   /// at its exact completion instant.
   void schedule_transition(common::ServerId id, common::Seconds done);
 
+  // --- fault-path helpers (called by ClusterView / scheduled events) --------
+
+  /// Executes a pre-checked migration: moves the VM, charges energies,
+  /// negotiation messages and the in-cluster decision.  Shared by the
+  /// protocol's migrate primitive and the dropped-transfer retry path.
+  bool do_migrate(server::Server& source, common::VmId vm_id,
+                  common::ServerId target_id, MigrationCause cause);
+  /// Begins waking `id` now (transition scheduling + bookkeeping).
+  void begin_wake_now(common::ServerId id);
+  /// Books a dropped wake command to `id` and schedules its first retry.
+  void wake_command_dropped(common::ServerId id);
+  void schedule_wake_retry(common::ServerId id, std::size_t attempt);
+  /// Begins `id`'s wake after a faulty-link propagation delay.
+  void schedule_delayed_wake(common::ServerId id, common::Seconds delay);
+  /// Books a dropped transfer request and schedules its first retry.
+  void transfer_dropped(common::ServerId source, common::VmId vm,
+                        common::ServerId target, MigrationCause cause);
+  void schedule_transfer_retry(common::ServerId source, common::VmId vm,
+                               common::ServerId target, MigrationCause cause,
+                               std::size_t attempt);
+  /// Re-places one orphan onto `target` (pre-checked by placement) and
+  /// closes its crash episode when it was the last outstanding VM.
+  void replace_orphan(common::ServerId target, const OrphanVm& orphan);
+  /// One beat of the leader liveness protocol.
+  void heartbeat_tick();
+  /// Deterministic re-election: lowest-id awake survivor, else lowest-id
+  /// non-failed server (it will be woken by the protocol).
+  void elect_leader();
+
   ClusterConfig config_;
   common::Rng rng_;
   Leader leader_;
@@ -197,6 +273,25 @@ class Cluster {
   std::uint32_t next_app_id_{0};
   /// Interval index at which each server last began a wake (anti-thrash).
   std::unordered_map<common::ServerId, std::size_t> last_wake_interval_;
+
+  // --- fault-tolerance state ------------------------------------------------
+
+  /// One crash's service-restoration bookkeeping: MTTR is the time from the
+  /// crash until its last displaced VM is running again.
+  struct CrashEpisode {
+    common::Seconds crashed_at{};
+    std::size_t outstanding{0};  ///< Orphans from this crash not yet re-placed.
+  };
+
+  FaultRuntime* faults_{nullptr};
+  common::ServerId leader_server_{0};
+  bool leader_down_{false};
+  common::Seconds leader_down_since_{};
+  std::size_t missed_heartbeats_{0};
+  sim::PeriodicHandle heartbeat_;
+  std::size_t failed_count_{0};
+  std::vector<OrphanVm> orphans_;
+  std::unordered_map<common::ServerId, CrashEpisode> crash_episodes_;
 };
 
 }  // namespace eclb::cluster

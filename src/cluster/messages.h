@@ -24,10 +24,13 @@ enum class MessageKind : std::uint8_t {
   kTransferAck = 3,    ///< Acceptance / completion acknowledgement.
   kWakeCommand = 4,    ///< Leader -> sleeping server wake-up.
   kSleepNotice = 5,    ///< Server -> leader before entering a sleep state.
+  kHeartbeat = 6,      ///< Leader liveness probe (only priced when the fault
+                       ///< layer arms the heartbeat protocol).
+  kElection = 7,       ///< Failover election broadcast among survivors.
 };
 
 /// Number of message kinds.
-inline constexpr std::size_t kMessageKindCount = 6;
+inline constexpr std::size_t kMessageKindCount = 8;
 
 /// Display name of a message kind.
 [[nodiscard]] constexpr std::string_view to_string(MessageKind k) {
@@ -38,6 +41,8 @@ inline constexpr std::size_t kMessageKindCount = 6;
     case MessageKind::kTransferAck: return "transfer-ack";
     case MessageKind::kWakeCommand: return "wake-command";
     case MessageKind::kSleepNotice: return "sleep-notice";
+    case MessageKind::kHeartbeat: return "heartbeat";
+    case MessageKind::kElection: return "election";
   }
   return "?";
 }

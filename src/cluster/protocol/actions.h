@@ -15,6 +15,16 @@
 
 namespace eclb::cluster::protocol {
 
+/// Crash recovery, first in the round: re-places orphaned VMs onto live
+/// servers through the placement policy; unplaceable orphans count an SLA
+/// violation, trigger a wake request and stay queued for the next round.
+/// No-op (and zero-cost) while no orphans are pending.
+class RecoverOrphans final : public ProtocolAction {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "recover-orphans"; }
+  void run(ClusterView& view) override;
+};
+
 /// Demand evolution and the scaling ladder: shrink locally for free, grow
 /// vertically when tolerable, otherwise horizontally through the placement
 /// policy, otherwise offload, otherwise wake a sleeper and record the miss.

@@ -45,7 +45,7 @@ void EvolveAndScale::run(ClusterView& view) {
       const double delta = requested - v->demand();
       // Vertical scaling: grant if the server stays out of the
       // undesirable-high region (the energy-aware admission rule).
-      const bool fits_capacity = s.load() + delta <= 1.0 + kEps;
+      const bool fits_capacity = s.load() + delta <= s.capacity() + kEps;
       const bool stays_tolerable =
           s.load() + delta <= s.thresholds().alpha_sopt_high + kEps;
       if (fits_capacity && stays_tolerable &&

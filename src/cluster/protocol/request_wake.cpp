@@ -9,6 +9,17 @@ void RequestWake::run(ClusterView& view) {
   if (!candidate.has_value()) return;
   auto& s = view.server(*candidate);
   view.charge_message(MessageKind::kWakeCommand, 1, /*network_energy=*/true);
+  // The command crosses the leader link: it can be lost (the retry protocol
+  // takes over off-round) or delayed (the wake starts late on the kernel).
+  if (!view.deliver_message(MessageKind::kWakeCommand, s.id())) {
+    view.wake_command_dropped(s.id());
+    return;
+  }
+  const common::Seconds delay = view.fault_link_delay(s.id());
+  if (delay.value > 0.0) {
+    view.schedule_delayed_wake(s.id(), delay);
+    return;
+  }
   const common::Seconds done = s.begin_wake(view.now());
   view.begin_transition(s, done);
   view.note_wake(s.id());

@@ -23,10 +23,10 @@ void ServeAndAccount::run(ClusterView& view) {
       // below the energy-optimal region).
       view.recorder().qos_violation(s.id());
     }
-    if (load <= 1.0 + kEps) continue;
+    if (load <= s.capacity() + kEps) continue;
     // Oversubscribed: demand is served proportionally; the shortfall is an
     // SLA violation for this interval.
-    view.recorder().sla_violation(load - 1.0, s.id());
+    view.recorder().sla_violation(load - s.capacity(), s.id());
   }
 }
 

@@ -1,6 +1,7 @@
 #include "cluster/protocol/view.h"
 
 #include <chrono>
+#include <utility>
 
 #include "cluster/cluster.h"
 #include "cluster/protocol/action.h"
@@ -64,6 +65,7 @@ const vm::DemandGrowthSpec* ClusterView::growth_of(common::VmId id) const {
 
 std::optional<common::ServerId> ClusterView::pick_horizontal_target(
     double demand, common::ServerId exclude) {
+  if (!leader_available()) return std::nullopt;
   PlacementPhase phase(cluster_);
   return cluster_.placement_->pick(cluster_.servers_, now(), demand, exclude,
                                    cluster_.rng_);
@@ -71,6 +73,7 @@ std::optional<common::ServerId> ClusterView::pick_horizontal_target(
 
 std::optional<common::ServerId> ClusterView::find_target(
     double demand, common::ServerId exclude, policy::PlacementTier max_tier) const {
+  if (!leader_available()) return std::nullopt;
   PlacementPhase phase(cluster_);
   return cluster_.leader_.find_target(cluster_.servers_, now(), demand, exclude,
                                       max_tier);
@@ -78,12 +81,14 @@ std::optional<common::ServerId> ClusterView::find_target(
 
 std::optional<common::ServerId> ClusterView::find_below_center_target(
     double demand, common::ServerId exclude) const {
+  if (!leader_available()) return std::nullopt;
   PlacementPhase phase(cluster_);
   return cluster_.leader_.find_below_center_target(cluster_.servers_, now(),
                                                    demand, exclude);
 }
 
 std::optional<common::ServerId> ClusterView::pick_wake_candidate() const {
+  if (!leader_available()) return std::nullopt;
   PlacementPhase phase(cluster_);
   return cluster_.leader_.pick_wake_candidate(cluster_.servers_, now());
 }
@@ -115,27 +120,29 @@ bool ClusterView::migrate(server::Server& source, common::VmId vm_id,
   auto& target = cluster_.server_ref(target_id);
   const vm::Vm* v = source.find(vm_id);
   if (v == nullptr || !target.awake(now())) return false;
-  if (target.load() + v->demand() > 1.0 + kEps) return false;
+  if (target.load() + v->demand() > target.capacity() + kEps) return false;
 
-  const vm::ScalingCost cost =
-      vm::horizontal_migration_cost(*v, cluster_.config_.costs);
-  const vm::MigrationCost mig =
-      vm::migrate_cost(*v, cluster_.config_.costs.migration);
-
-  auto moved = source.remove(vm_id);
-  ECLB_ASSERT(moved.has_value(), "migrate: VM vanished from source");
-  const bool placed = target.place(std::move(*moved));
-  ECLB_ASSERT(placed, "migrate: target rejected a pre-checked VM");
-
-  source.charge_energy(mig.source_energy);
-  target.charge_energy(mig.target_energy);
-  cluster_.traffic_energy_ += mig.network_energy;
-  cluster_.in_cluster_cost_ += cost;
-  charge_message(MessageKind::kTransferRequest,
-                 cluster_.config_.costs.messages_per_negotiation,
-                 /*network_energy=*/true);
-  cluster_.recorder_.migration(cause, target_id);
-  return true;
+  if (cluster_.faults_ != nullptr) {
+    if (!cluster_.faults_->deliver(MessageKind::kTransferRequest, target_id)) {
+      // The negotiation went onto the wire and was lost: its message cost is
+      // sunk, and the retry protocol takes over off-round.
+      charge_message(MessageKind::kTransferRequest,
+                     cluster_.config_.costs.messages_per_negotiation,
+                     /*network_energy=*/true);
+      cluster_.transfer_dropped(source.id(), vm_id, target_id, cause);
+      return false;
+    }
+    if (cluster_.faults_->migration_fails(source.id(), target_id)) {
+      // Negotiated, then the copy aborted mid-flight: pay the messages, the
+      // VM stays on the source.
+      charge_message(MessageKind::kTransferRequest,
+                     cluster_.config_.costs.messages_per_negotiation,
+                     /*network_energy=*/true);
+      cluster_.recorder_.migration_failed(source.id());
+      return false;
+    }
+  }
+  return cluster_.do_migrate(source, vm_id, target_id, cause);
 }
 
 bool ClusterView::try_offload(common::AppId app, double demand) {
@@ -171,6 +178,42 @@ std::optional<std::size_t> ClusterView::last_wake_interval(
 
 void ClusterView::note_wake(common::ServerId id) {
   cluster_.last_wake_interval_[id] = cluster_.interval_index_;
+}
+
+bool ClusterView::leader_available() const {
+  return cluster_.leader_available();
+}
+
+bool ClusterView::has_orphans() const { return !cluster_.orphans_.empty(); }
+
+std::vector<OrphanVm> ClusterView::take_orphans() {
+  return std::exchange(cluster_.orphans_, {});
+}
+
+void ClusterView::requeue_orphan(const OrphanVm& orphan) {
+  cluster_.orphans_.push_back(orphan);
+}
+
+void ClusterView::replace_orphan(common::ServerId target, const OrphanVm& orphan) {
+  cluster_.replace_orphan(target, orphan);
+}
+
+bool ClusterView::deliver_message(MessageKind kind, common::ServerId server) {
+  return cluster_.faults_ == nullptr || cluster_.faults_->deliver(kind, server);
+}
+
+common::Seconds ClusterView::fault_link_delay(common::ServerId server) const {
+  if (cluster_.faults_ == nullptr) return common::Seconds{0.0};
+  return cluster_.faults_->link_delay(server);
+}
+
+void ClusterView::wake_command_dropped(common::ServerId id) {
+  cluster_.wake_command_dropped(id);
+}
+
+void ClusterView::schedule_delayed_wake(common::ServerId id,
+                                        common::Seconds delay) {
+  cluster_.schedule_delayed_wake(id, delay);
 }
 
 }  // namespace eclb::cluster::protocol

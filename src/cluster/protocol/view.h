@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "cluster/messages.h"
 #include "cluster/recorder.h"
@@ -24,6 +25,7 @@
 namespace eclb::cluster {
 class Cluster;
 struct ClusterConfig;
+struct OrphanVm;
 }  // namespace eclb::cluster
 
 namespace eclb::cluster::protocol {
@@ -114,6 +116,32 @@ class ClusterView {
       common::ServerId id) const;
   /// Stamps `id` as woken this interval (anti-thrash cooldown input).
   void note_wake(common::ServerId id);
+
+  // --- fault-tolerance primitives -------------------------------------------
+
+  /// False while the leader host is crashed and not yet failed over; all
+  /// leader-mediated placement queries return nullopt in that window.
+  [[nodiscard]] bool leader_available() const;
+  /// True when crash-orphaned VMs await re-placement.
+  [[nodiscard]] bool has_orphans() const;
+  /// Takes the pending orphan queue (the RecoverOrphans action owns it for
+  /// the round; unplaceable ones come back via requeue_orphan).
+  [[nodiscard]] std::vector<OrphanVm> take_orphans();
+  /// Returns an unplaceable orphan to the cluster queue for the next round.
+  void requeue_orphan(const OrphanVm& orphan);
+  /// Restarts one orphan on pre-checked `target`, booking horizontal-start
+  /// cost + negotiation messages and closing the crash episode when it was
+  /// the last outstanding VM.
+  void replace_orphan(common::ServerId target, const OrphanVm& orphan);
+  /// Whether a control message of `kind` to `server` is delivered.  True
+  /// when no fault runtime is installed.
+  [[nodiscard]] bool deliver_message(MessageKind kind, common::ServerId server);
+  /// Extra propagation delay on `server`'s leader link (zero without faults).
+  [[nodiscard]] common::Seconds fault_link_delay(common::ServerId server) const;
+  /// Books a dropped wake command to `id` and arms the retry protocol.
+  void wake_command_dropped(common::ServerId id);
+  /// Begins `id`'s wake after a faulty-link propagation delay.
+  void schedule_delayed_wake(common::ServerId id, common::Seconds delay);
 
  private:
   Cluster& cluster_;

@@ -30,6 +30,14 @@ std::string_view to_string(ProtocolEvent::Kind k) {
     case ProtocolEvent::Kind::kWake: return "wake";
     case ProtocolEvent::Kind::kSlaViolation: return "sla_violation";
     case ProtocolEvent::Kind::kQosViolation: return "qos_violation";
+    case ProtocolEvent::Kind::kServerCrash: return "server_crash";
+    case ProtocolEvent::Kind::kServerRecover: return "server_recover";
+    case ProtocolEvent::Kind::kLeaderFailover: return "leader_failover";
+    case ProtocolEvent::Kind::kMessageDropped: return "message_dropped";
+    case ProtocolEvent::Kind::kMessageRetried: return "message_retried";
+    case ProtocolEvent::Kind::kOrphanReplaced: return "orphan_replaced";
+    case ProtocolEvent::Kind::kMigrationFailed: return "migration_failed";
+    case ProtocolEvent::Kind::kCapacityDerate: return "capacity_derate";
   }
   return "?";
 }
@@ -40,7 +48,9 @@ void ClusterObserver::on_interval_end(const IntervalReport&, common::Seconds) {}
 void ClusterObserver::on_phase(std::string_view, double) {}
 
 void IntervalRecorder::begin_interval(std::size_t index) {
-  report_ = IntervalReport{};
+  // finish() already reset the counters; only the stamp changes here.  Fault
+  // events recorded between rounds (retry timers, scheduled crashes) stay in
+  // the accumulating report and roll into this interval.
   report_.interval_index = index;
 }
 
@@ -116,13 +126,64 @@ void IntervalRecorder::qos_violation(common::ServerId server) {
   emit({.kind = ProtocolEvent::Kind::kQosViolation, .server = server});
 }
 
+void IntervalRecorder::server_crashed(common::ServerId server) {
+  ++report_.crashes;
+  emit({.kind = ProtocolEvent::Kind::kServerCrash, .server = server});
+}
+
+void IntervalRecorder::server_recovered(common::ServerId server) {
+  ++report_.recoveries;
+  emit({.kind = ProtocolEvent::Kind::kServerRecover, .server = server});
+}
+
+void IntervalRecorder::failover(common::ServerId winner) {
+  ++report_.failovers;
+  emit({.kind = ProtocolEvent::Kind::kLeaderFailover, .server = winner});
+}
+
+void IntervalRecorder::message_dropped(MessageKind kind, common::ServerId server) {
+  ++report_.dropped_messages;
+  emit({.kind = ProtocolEvent::Kind::kMessageDropped,
+        .server = server,
+        .message = kind});
+}
+
+void IntervalRecorder::message_retried(MessageKind kind, common::ServerId server) {
+  ++report_.retried_messages;
+  emit({.kind = ProtocolEvent::Kind::kMessageRetried,
+        .server = server,
+        .message = kind});
+}
+
+void IntervalRecorder::orphan_replaced(common::ServerId target) {
+  ++report_.orphans_replaced;
+  emit({.kind = ProtocolEvent::Kind::kOrphanReplaced, .server = target});
+}
+
+void IntervalRecorder::migration_failed(common::ServerId source) {
+  ++report_.failed_migrations;
+  emit({.kind = ProtocolEvent::Kind::kMigrationFailed, .server = source});
+}
+
+void IntervalRecorder::derated(common::ServerId server, double capacity) {
+  emit({.kind = ProtocolEvent::Kind::kCapacityDerate,
+        .server = server,
+        .value = capacity});
+}
+
 IntervalReport IntervalRecorder::finish(const FleetSnapshot& snapshot) {
   report_.sleeping_servers = snapshot.sleeping_servers;
   report_.parked_servers = snapshot.parked_servers;
   report_.deep_sleeping_servers = snapshot.deep_sleeping_servers;
+  report_.failed_servers = snapshot.failed_servers;
   report_.regimes = snapshot.regimes;
   report_.interval_energy = snapshot.interval_energy;
-  return report_;
+  const IntervalReport done = report_;
+  // Reset for the next window, pre-stamped with the next index so events
+  // firing between rounds carry the interval they will be counted in.
+  report_ = IntervalReport{};
+  report_.interval_index = done.interval_index + 1;
+  return done;
 }
 
 }  // namespace eclb::cluster

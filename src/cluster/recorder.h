@@ -13,6 +13,7 @@
 #include <functional>
 #include <string_view>
 
+#include "cluster/messages.h"
 #include "common/types.h"
 #include "common/units.h"
 #include "energy/regimes.h"
@@ -49,6 +50,14 @@ struct ProtocolEvent {
     kWake = 6,             ///< A wake transition begun.
     kSlaViolation = 7,     ///< Demand left unserved (see `unserved`).
     kQosViolation = 8,     ///< A server above the response-time cap.
+    kServerCrash = 9,      ///< A server failed (fault injection).
+    kServerRecover = 10,   ///< A failed server returned to service.
+    kLeaderFailover = 11,  ///< Leadership re-elected onto `server`.
+    kMessageDropped = 12,  ///< A control message was lost (see `message`).
+    kMessageRetried = 13,  ///< A dropped message was re-sent (see `message`).
+    kOrphanReplaced = 14,  ///< A crash-orphaned VM restarted on `server`.
+    kMigrationFailed = 15, ///< A live migration aborted mid-copy.
+    kCapacityDerate = 16,  ///< `server` derated to `value` capacity.
   };
 
   Kind kind{Kind::kDecision};
@@ -57,6 +66,8 @@ struct ProtocolEvent {
   DecisionKind decision{DecisionKind::kLocal};      ///< For kDecision.
   MigrationCause cause{MigrationCause::kShed};      ///< For kMigration.
   double unserved{0.0};                      ///< For kSlaViolation.
+  MessageKind message{MessageKind::kRegimeReport};  ///< For kMessageDropped/Retried.
+  double value{0.0};                         ///< For kCapacityDerate.
 };
 
 /// Display name of an event kind (stable; part of the trace schema).
@@ -79,9 +90,17 @@ struct IntervalReport {
   std::size_t sla_violations{0};       ///< Demand increments / loads not served.
   std::size_t qos_violations{0};       ///< Servers above the response-time cap.
   double unserved_demand{0.0};         ///< Total demand left unserved.
+  std::size_t crashes{0};              ///< Servers failed this interval (fault layer).
+  std::size_t recoveries{0};           ///< Failed servers repaired this interval.
+  std::size_t failovers{0};            ///< Leadership re-elections this interval.
+  std::size_t dropped_messages{0};     ///< Control messages lost on faulty links.
+  std::size_t retried_messages{0};     ///< Dropped messages re-sent (with backoff).
+  std::size_t orphans_replaced{0};     ///< Crash-orphaned VMs restarted elsewhere.
+  std::size_t failed_migrations{0};    ///< Live migrations aborted mid-copy.
   std::size_t sleeping_servers{0};     ///< Servers not awake after the step (any C-state).
   std::size_t parked_servers{0};       ///< Servers halted in C1 (instant wake).
   std::size_t deep_sleeping_servers{0};///< Servers in C3/C6 -- Table 2's "sleep state".
+  std::size_t failed_servers{0};       ///< Servers crashed and not yet repaired.
   energy::RegimeHistogram regimes{};   ///< Awake servers per regime after the step.
   common::Joules interval_energy{};    ///< Cluster energy burned this interval.
 
@@ -98,6 +117,7 @@ struct FleetSnapshot {
   std::size_t sleeping_servers{0};
   std::size_t parked_servers{0};
   std::size_t deep_sleeping_servers{0};
+  std::size_t failed_servers{0};
   energy::RegimeHistogram regimes{};
   common::Joules interval_energy{};
 };
@@ -133,7 +153,10 @@ class IntervalRecorder {
   /// Pass nullptr to remove.  The sink observes events; it cannot veto them.
   void set_sink(EventSink sink) { sink_ = std::move(sink); }
 
-  /// Opens the recording window for interval `index`.
+  /// Stamps the recording window with interval `index`.  Counters are NOT
+  /// reset here but in finish(): fault events (crashes, message retries) can
+  /// fire on the event kernel *between* rounds, and they must accrue to the
+  /// next report instead of being wiped when its round opens.
   void begin_interval(std::size_t index);
 
   // --- typed events, one method per protocol occurrence -------------------
@@ -156,9 +179,25 @@ class IntervalRecorder {
   void sla_violation(double unserved, common::ServerId server = {});
   /// `server` operated above the QoS utilization cap.
   void qos_violation(common::ServerId server);
+  /// `server` failed (fault injection).
+  void server_crashed(common::ServerId server);
+  /// `server` returned to service after a failure.
+  void server_recovered(common::ServerId server);
+  /// Leadership was re-elected onto `winner`.
+  void failover(common::ServerId winner);
+  /// A control message of `kind` bound for `server` was lost.
+  void message_dropped(MessageKind kind, common::ServerId server);
+  /// A previously dropped message of `kind` was re-sent to `server`.
+  void message_retried(MessageKind kind, common::ServerId server);
+  /// A crash-orphaned VM was restarted on `target`.
+  void orphan_replaced(common::ServerId target);
+  /// A live migration off `source` aborted mid-copy.
+  void migration_failed(common::ServerId source);
+  /// `server` was derated to `capacity` of nominal.
+  void derated(common::ServerId server, double capacity);
 
-  /// Folds the end-of-interval fleet observation in and returns the
-  /// completed report.
+  /// Folds the end-of-interval fleet observation in, resets the counters for
+  /// the next window and returns the completed report.
   [[nodiscard]] IntervalReport finish(const FleetSnapshot& snapshot);
 
   /// The report being assembled (tests / mid-interval inspection).

@@ -5,6 +5,19 @@
 
 namespace eclb::common {
 
+namespace {
+
+/// True when `s` parses entirely as a number -- the one case a "-"-leading
+/// token is a value ("-5", "-0.25", "-1e-3") rather than an option.
+bool looks_like_number(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  (void)std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0';
+}
+
+}  // namespace
+
 Flags Flags::parse(int argc, const char* const* argv) {
   Flags flags;
   for (int i = 1; i < argc; ++i) {
@@ -16,16 +29,25 @@ Flags Flags::parse(int argc, const char* const* argv) {
     const std::string body = arg.substr(2);
     const auto eq = body.find('=');
     if (eq != std::string::npos) {
+      // `--name=value`; `--name=` deliberately stores an empty value.
       flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
       continue;
     }
-    // Peek at the next token for a space-separated value.
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      flags.values_[body] = argv[i + 1];
-      ++i;
-    } else {
-      flags.values_[body] = "";
+    // Peek at the next token for a space-separated value.  Option-like
+    // tokens (leading "-" and not a number) are NOT swallowed, so
+    // `--verbose --out x` leaves --verbose valueless while
+    // `--threshold -5` still takes its negative value.
+    if (i + 1 < argc) {
+      const std::string next = argv[i + 1];
+      const bool option_like =
+          next.rfind("-", 0) == 0 && !looks_like_number(next);
+      if (!option_like) {
+        flags.values_[body] = next;
+        ++i;
+        continue;
+      }
     }
+    flags.values_[body] = std::nullopt;  // present, valueless
   }
   return flags;
 }
@@ -36,18 +58,20 @@ bool Flags::has(const std::string& name) const {
 
 std::string Flags::get(const std::string& name, const std::string& fallback) const {
   auto it = values_.find(name);
-  if (it == values_.end() || it->second.empty()) return fallback;
-  return it->second;
+  if (it == values_.end() || !it->second.has_value()) return fallback;
+  return *it->second;  // an explicit empty value ("--out=") passes through
 }
 
 long long Flags::get_int(const std::string& name, long long fallback) {
   auto it = values_.find(name);
-  if (it == values_.end() || it->second.empty()) return fallback;
+  if (it == values_.end() || !it->second.has_value() || it->second->empty()) {
+    return fallback;
+  }
   char* end = nullptr;
-  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  const long long v = std::strtoll(it->second->c_str(), &end, 10);
   if (end == nullptr || *end != '\0') {
-    errors_.push_back("--" + name + ": expected an integer, got '" + it->second +
-                      "'");
+    errors_.push_back("--" + name + ": expected an integer, got '" +
+                      *it->second + "'");
     return fallback;
   }
   return v;
@@ -55,11 +79,13 @@ long long Flags::get_int(const std::string& name, long long fallback) {
 
 double Flags::get_double(const std::string& name, double fallback) {
   auto it = values_.find(name);
-  if (it == values_.end() || it->second.empty()) return fallback;
+  if (it == values_.end() || !it->second.has_value() || it->second->empty()) {
+    return fallback;
+  }
   char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
+  const double v = std::strtod(it->second->c_str(), &end);
   if (end == nullptr || *end != '\0') {
-    errors_.push_back("--" + name + ": expected a number, got '" + it->second +
+    errors_.push_back("--" + name + ": expected a number, got '" + *it->second +
                       "'");
     return fallback;
   }
@@ -69,7 +95,8 @@ double Flags::get_double(const std::string& name, double fallback) {
 bool Flags::get_bool(const std::string& name, bool fallback) const {
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  const std::string& v = it->second;
+  if (!it->second.has_value()) return true;  // bare --flag
+  const std::string& v = *it->second;
   if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") return true;
   if (v == "0" || v == "false" || v == "no" || v == "off") return false;
   return fallback;

@@ -17,14 +17,18 @@ namespace eclb::common {
 class Flags {
  public:
   /// Parses argv.  Anything starting with "--" is a flag; a following token
-  /// that does not start with "--" becomes its value (unless the flag used
-  /// the `--name=value` form).  Remaining tokens are positional arguments.
+  /// becomes its value unless the flag used the `--name=value` form or the
+  /// token is option-like (starts with "-" and is not a number, so
+  /// `--threshold -5` works but `--verbose --out x` leaves `--verbose`
+  /// valueless).  Remaining tokens are positional arguments.
   static Flags parse(int argc, const char* const* argv);
 
   /// True when the flag was present (with or without a value).
   [[nodiscard]] bool has(const std::string& name) const;
 
-  /// String value; `fallback` when absent or valueless.
+  /// String value; `fallback` only when the flag is absent or valueless.
+  /// An explicit empty value (`--out=`) is returned as "" -- being able to
+  /// clear a default is the point of the `=` form.
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& fallback = "") const;
 
@@ -55,7 +59,10 @@ class Flags {
       const std::vector<std::string>& known) const;
 
  private:
-  std::unordered_map<std::string, std::string> values_;
+  /// nullopt marks a valueless flag (`--verbose`); an empty string is an
+  /// explicit empty value (`--out=`).  The distinction is what lets get()
+  /// honour deliberately cleared values.
+  std::unordered_map<std::string, std::optional<std::string>> values_;
   std::vector<std::string> positional_;
   std::vector<std::string> errors_;
 };

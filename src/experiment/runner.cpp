@@ -1,20 +1,26 @@
 #include "experiment/runner.h"
 
 #include <cmath>
+#include <optional>
 
 #include "common/assert.h"
+#include "fault/injector.h"
 
 namespace eclb::experiment {
 
 namespace {
 
-/// One replication with an optional observer attached for its duration.
+/// One replication with an optional observer and an optional fault plan
+/// attached for its duration.
 ReplicationOutcome replicate(const cluster::ClusterConfig& config,
                              std::size_t intervals,
-                             cluster::ClusterObserver* observer) {
+                             cluster::ClusterObserver* observer,
+                             const fault::FaultPlan* plan) {
   ReplicationOutcome out;
   out.seed = config.seed;
   cluster::Cluster cluster(config);
+  std::optional<fault::FaultInjector> injector;
+  if (plan != nullptr) injector.emplace(cluster, *plan);
   if (observer != nullptr) cluster.attach_observer(observer);
   out.initial_histogram = cluster.regime_histogram();
 
@@ -35,6 +41,13 @@ ReplicationOutcome replicate(const cluster::ClusterConfig& config,
     out.total_migrations += report.migrations;
     out.total_local += report.local_decisions;
     out.total_in_cluster += report.in_cluster_decisions;
+    out.total_crashes += report.crashes;
+    out.total_recoveries += report.recoveries;
+    out.total_failovers += report.failovers;
+    out.total_dropped_messages += report.dropped_messages;
+    out.total_retried_messages += report.retried_messages;
+    out.total_orphans_replaced += report.orphans_replaced;
+    out.total_failed_migrations += report.failed_migrations;
     out.reports.push_back(std::move(report));
   }
 
@@ -46,51 +59,19 @@ ReplicationOutcome replicate(const cluster::ClusterConfig& config,
   out.average_deep_sleepers = deep_stats.mean();
   out.average_parked = parked_stats.mean();
   out.total_energy = cluster.total_energy();
+  if (injector.has_value()) {
+    out.mttr = injector->stats().mttr();
+    out.mean_failover_outage = injector->stats().failover_outage.mean();
+  }
   return out;
 }
 
-}  // namespace
-
-std::uint64_t replication_seed(std::uint64_t base_seed,
-                               std::size_t replication) {
-  // splitmix64 over base + GAMMA * (r + 1).  The pre-mix input is a
-  // bijection of (base, r) along each axis, so unlike base + r the streams
-  // of (base, r) and (base + 1, r - 1) can never coincide; the finalizer
-  // then decorrelates neighbouring replications.
-  std::uint64_t x =
-      base_seed +
-      0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(replication) + 1);
-  x ^= x >> 30;
-  x *= 0xBF58476D1CE4E5B9ULL;
-  x ^= x >> 27;
-  x *= 0x94D049BB133111EBULL;
-  x ^= x >> 31;
-  return x;
-}
-
-ReplicationOutcome run_replication(const cluster::ClusterConfig& config,
-                                   std::size_t intervals) {
-  return replicate(config, intervals, nullptr);
-}
-
-ReplicationOutcome run_replication(const cluster::ClusterConfig& config,
-                                   std::size_t intervals,
-                                   const obs::ObsConfig& obs,
-                                   std::size_t replication) {
-  const auto probe = obs::ClusterProbe::make(obs, config.seed, replication);
-  return replicate(config, intervals, probe.get());
-}
-
-AggregateOutcome run_experiment(const cluster::ClusterConfig& config,
-                                std::size_t intervals, std::size_t replications,
-                                common::ThreadPool* pool) {
-  return run_experiment(config, intervals, replications, pool, obs::ObsConfig{});
-}
-
-AggregateOutcome run_experiment(const cluster::ClusterConfig& config,
-                                std::size_t intervals, std::size_t replications,
-                                common::ThreadPool* pool,
-                                const obs::ObsConfig& obs) {
+AggregateOutcome run_experiment_impl(const cluster::ClusterConfig& config,
+                                     std::size_t intervals,
+                                     std::size_t replications,
+                                     const fault::FaultPlan* plan,
+                                     common::ThreadPool* pool,
+                                     const obs::ObsConfig& obs) {
   ECLB_ASSERT(replications >= 1, "run_experiment: need >= 1 replication");
   AggregateOutcome agg;
   agg.replications.resize(replications);
@@ -98,7 +79,16 @@ AggregateOutcome run_experiment(const cluster::ClusterConfig& config,
   auto run_one = [&](std::size_t r) {
     cluster::ClusterConfig cfg = config;
     cfg.seed = replication_seed(config.seed, r);
-    agg.replications[r] = run_replication(cfg, intervals, obs, r);
+    const auto probe = obs::ClusterProbe::make(obs, cfg.seed, r);
+    if (plan != nullptr) {
+      // Each replication draws its own fault stream, derived the same way
+      // as the cluster seed so (plan seed, r) is reproducible.
+      fault::FaultPlan rep_plan = *plan;
+      rep_plan.set_seed(replication_seed(plan->seed(), r));
+      agg.replications[r] = replicate(cfg, intervals, probe.get(), &rep_plan);
+    } else {
+      agg.replications[r] = replicate(cfg, intervals, probe.get(), nullptr);
+    }
   };
 
   if (pool != nullptr && replications > 1) {
@@ -130,8 +120,75 @@ AggregateOutcome run_experiment(const cluster::ClusterConfig& config,
     agg.deep_sleepers.add(rep.average_deep_sleepers);
     agg.energy_kwh.add(rep.total_energy.kwh());
     agg.violations.add(static_cast<double>(rep.total_violations));
+    agg.failovers.add(static_cast<double>(rep.total_failovers));
+    agg.dropped_messages.add(static_cast<double>(rep.total_dropped_messages));
+    agg.mttr.add(rep.mttr);
   }
   return agg;
+}
+
+}  // namespace
+
+std::uint64_t replication_seed(std::uint64_t base_seed,
+                               std::size_t replication) {
+  // splitmix64 over base + GAMMA * (r + 1).  The pre-mix input is a
+  // bijection of (base, r) along each axis, so unlike base + r the streams
+  // of (base, r) and (base + 1, r - 1) can never coincide; the finalizer
+  // then decorrelates neighbouring replications.
+  std::uint64_t x =
+      base_seed +
+      0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(replication) + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+ReplicationOutcome run_replication(const cluster::ClusterConfig& config,
+                                   std::size_t intervals) {
+  return replicate(config, intervals, nullptr, nullptr);
+}
+
+ReplicationOutcome run_replication(const cluster::ClusterConfig& config,
+                                   std::size_t intervals,
+                                   const obs::ObsConfig& obs,
+                                   std::size_t replication) {
+  const auto probe = obs::ClusterProbe::make(obs, config.seed, replication);
+  return replicate(config, intervals, probe.get(), nullptr);
+}
+
+ReplicationOutcome run_replication(const cluster::ClusterConfig& config,
+                                   std::size_t intervals,
+                                   const fault::FaultPlan& plan,
+                                   const obs::ObsConfig& obs,
+                                   std::size_t replication) {
+  const auto probe = obs::ClusterProbe::make(obs, config.seed, replication);
+  return replicate(config, intervals, probe.get(), &plan);
+}
+
+AggregateOutcome run_experiment(const cluster::ClusterConfig& config,
+                                std::size_t intervals, std::size_t replications,
+                                common::ThreadPool* pool) {
+  return run_experiment_impl(config, intervals, replications, nullptr, pool,
+                             obs::ObsConfig{});
+}
+
+AggregateOutcome run_experiment(const cluster::ClusterConfig& config,
+                                std::size_t intervals, std::size_t replications,
+                                common::ThreadPool* pool,
+                                const obs::ObsConfig& obs) {
+  return run_experiment_impl(config, intervals, replications, nullptr, pool,
+                             obs);
+}
+
+AggregateOutcome run_experiment(const cluster::ClusterConfig& config,
+                                std::size_t intervals, std::size_t replications,
+                                const fault::FaultPlan& plan,
+                                common::ThreadPool* pool,
+                                const obs::ObsConfig& obs) {
+  return run_experiment_impl(config, intervals, replications, &plan, pool, obs);
 }
 
 }  // namespace eclb::experiment

@@ -9,6 +9,7 @@
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "energy/regimes.h"
+#include "fault/fault_plan.h"
 #include "obs/observer.h"
 
 namespace eclb::experiment {
@@ -31,6 +32,17 @@ struct ReplicationOutcome {
   std::size_t total_migrations{0};
   std::size_t total_local{0};
   std::size_t total_in_cluster{0};
+
+  // Resilience (all zero on fault-free runs).
+  std::size_t total_crashes{0};            ///< Server crashes injected.
+  std::size_t total_recoveries{0};         ///< Servers repaired.
+  std::size_t total_failovers{0};          ///< Leader re-elections.
+  std::size_t total_dropped_messages{0};   ///< Control messages lost.
+  std::size_t total_retried_messages{0};   ///< Dropped messages re-sent.
+  std::size_t total_orphans_replaced{0};   ///< Crash-orphaned VMs restarted.
+  std::size_t total_failed_migrations{0};  ///< Migrations aborted mid-copy.
+  double mttr{0.0};                  ///< Mean crash -> service-restored time (s).
+  double mean_failover_outage{0.0};  ///< Mean leaderless window (s).
 };
 
 /// Cross-replication aggregate.
@@ -44,6 +56,9 @@ struct AggregateOutcome {
   common::RunningStats deep_sleepers;      ///< Across replications.
   common::RunningStats energy_kwh;         ///< Across replications.
   common::RunningStats violations;         ///< Across replications.
+  common::RunningStats failovers;          ///< Across replications (faulted runs).
+  common::RunningStats dropped_messages;   ///< Across replications (faulted runs).
+  common::RunningStats mttr;               ///< Across replications (faulted runs).
 };
 
 /// The seed replication `replication` of a run based on `base_seed` uses.
@@ -80,5 +95,27 @@ struct AggregateOutcome {
                                               std::size_t replications,
                                               common::ThreadPool* pool,
                                               const obs::ObsConfig& obs);
+
+// --- faulted runs -----------------------------------------------------------
+
+/// Runs one replication of `config` under `plan` (see src/fault): the
+/// injector compiles the plan onto the cluster's kernel before the first
+/// interval.  An empty plan yields an outcome bit-identical to the
+/// fault-free overloads.
+[[nodiscard]] ReplicationOutcome run_replication(const cluster::ClusterConfig& config,
+                                                 std::size_t intervals,
+                                                 const fault::FaultPlan& plan,
+                                                 const obs::ObsConfig& obs = {},
+                                                 std::size_t replication = 0);
+
+/// Runs `replications` seeds under `plan`.  Each replication derives both
+/// its cluster seed and its fault-stream seed via replication_seed(), so
+/// replications see independent (but reproducible) loss draws.
+[[nodiscard]] AggregateOutcome run_experiment(const cluster::ClusterConfig& config,
+                                              std::size_t intervals,
+                                              std::size_t replications,
+                                              const fault::FaultPlan& plan,
+                                              common::ThreadPool* pool = nullptr,
+                                              const obs::ObsConfig& obs = {});
 
 }  // namespace eclb::experiment

@@ -1,0 +1,242 @@
+#include "fault/fault_plan.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+namespace eclb::fault {
+
+namespace {
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+bool parse_double(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  const std::string buf(s);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Splits `item` into comma-separated `key=value` arguments.
+bool parse_args(std::string_view args, std::string_view item,
+                std::vector<std::pair<std::string_view, std::string_view>>* out,
+                std::string* error) {
+  while (!args.empty()) {
+    const std::size_t comma = args.find(',');
+    const std::string_view part = trim(args.substr(0, comma));
+    args = comma == std::string_view::npos ? std::string_view{}
+                                           : args.substr(comma + 1);
+    const std::size_t eq = part.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      set_error(error, "faults: expected key=value in '" + std::string(item) + "'");
+      return false;
+    }
+    out->emplace_back(trim(part.substr(0, eq)), trim(part.substr(eq + 1)));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kServerCrash: return "crash";
+    case FaultKind::kServerRecover: return "recover";
+    case FaultKind::kLeaderCrash: return "leader";
+    case FaultKind::kLinkLoss: return "loss";
+    case FaultKind::kLinkDelay: return "delay";
+    case FaultKind::kMigrationFailureRate: return "migfail";
+    case FaultKind::kCapacityDerate: return "derate";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::crash(common::Seconds at, common::ServerId server) {
+  events_.push_back({FaultKind::kServerCrash, at, server, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::recover(common::Seconds at, common::ServerId server) {
+  events_.push_back({FaultKind::kServerRecover, at, server, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_leader(common::Seconds at) {
+  events_.push_back({FaultKind::kLeaderCrash, at, common::ServerId{}, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_loss(common::Seconds at, double p) {
+  events_.push_back({FaultKind::kLinkLoss, at, common::ServerId{}, p});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_delay(common::Seconds at, common::Seconds delay) {
+  events_.push_back({FaultKind::kLinkDelay, at, common::ServerId{}, delay.value});
+  return *this;
+}
+
+FaultPlan& FaultPlan::migration_failure_rate(common::Seconds at, double p) {
+  events_.push_back({FaultKind::kMigrationFailureRate, at, common::ServerId{}, p});
+  return *this;
+}
+
+FaultPlan& FaultPlan::derate(common::Seconds at, common::ServerId server,
+                             double capacity) {
+  events_.push_back({FaultKind::kCapacityDerate, at, server, capacity});
+  return *this;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
+                                          std::string* error) {
+  FaultPlan plan;
+  while (!spec.empty()) {
+    const std::size_t semi = spec.find(';');
+    const std::string_view item = trim(spec.substr(0, semi));
+    spec = semi == std::string_view::npos ? std::string_view{}
+                                          : spec.substr(semi + 1);
+    if (item.empty()) continue;
+
+    const std::size_t at_pos = item.find('@');
+    if (at_pos == std::string_view::npos) {
+      // Plan parameter: key=value.
+      const std::size_t eq = item.find('=');
+      if (eq == std::string_view::npos || eq == 0) {
+        set_error(error, "faults: unrecognized item '" + std::string(item) + "'");
+        return std::nullopt;
+      }
+      const std::string_view key = trim(item.substr(0, eq));
+      const std::string_view value = trim(item.substr(eq + 1));
+      double d = 0.0;
+      std::uint64_t n = 0;
+      if (key == "seed" && parse_u64(value, &n)) {
+        plan.seed_ = n;
+      } else if (key == "hb" && parse_double(value, &d) && d >= 0.0) {
+        plan.params_.heartbeat_period = common::Seconds{d};
+      } else if (key == "miss" && parse_u64(value, &n) && n >= 1) {
+        plan.params_.failover_after_missed = static_cast<std::size_t>(n);
+      } else if (key == "retries" && parse_u64(value, &n)) {
+        plan.params_.max_retries = static_cast<std::size_t>(n);
+      } else if (key == "backoff" && parse_double(value, &d) && d > 0.0) {
+        plan.params_.retry_backoff_base = common::Seconds{d};
+      } else {
+        set_error(error, "faults: bad parameter '" + std::string(item) + "'");
+        return std::nullopt;
+      }
+      continue;
+    }
+
+    // Fault item: kind@TIME[:k=v,...]
+    const std::string_view kind = trim(item.substr(0, at_pos));
+    std::string_view rest = item.substr(at_pos + 1);
+    const std::size_t colon = rest.find(':');
+    const std::string_view time_text = trim(rest.substr(0, colon));
+    const std::string_view arg_text =
+        colon == std::string_view::npos ? std::string_view{}
+                                        : rest.substr(colon + 1);
+    double at = 0.0;
+    if (!parse_double(time_text, &at) || at < 0.0) {
+      set_error(error, "faults: bad time in '" + std::string(item) + "'");
+      return std::nullopt;
+    }
+    std::vector<std::pair<std::string_view, std::string_view>> args;
+    if (!parse_args(arg_text, item, &args, error)) return std::nullopt;
+
+    std::optional<common::ServerId> server;
+    std::optional<double> probability;
+    std::optional<double> delay;
+    std::optional<double> capacity;
+    for (const auto& [key, value] : args) {
+      double d = 0.0;
+      std::uint64_t n = 0;
+      if (key == "s" && parse_u64(value, &n)) {
+        server = common::ServerId{n};
+      } else if (key == "p" && parse_double(value, &d) && d >= 0.0 && d <= 1.0) {
+        probability = d;
+      } else if (key == "d" && parse_double(value, &d) && d >= 0.0) {
+        delay = d;
+      } else if (key == "c" && parse_double(value, &d) && d > 0.0 && d <= 1.0) {
+        capacity = d;
+      } else {
+        set_error(error,
+                  "faults: bad argument '" + std::string(key) + "' in '" +
+                      std::string(item) + "'");
+        return std::nullopt;
+      }
+    }
+
+    const common::Seconds when{at};
+    if (kind == "crash" && server.has_value()) {
+      plan.crash(when, *server);
+    } else if (kind == "recover" && server.has_value()) {
+      plan.recover(when, *server);
+    } else if (kind == "leader" && args.empty()) {
+      plan.crash_leader(when);
+    } else if (kind == "loss" && probability.has_value()) {
+      plan.link_loss(when, *probability);
+    } else if (kind == "delay" && delay.has_value()) {
+      plan.link_delay(when, common::Seconds{*delay});
+    } else if (kind == "migfail" && probability.has_value()) {
+      plan.migration_failure_rate(when, *probability);
+    } else if (kind == "derate" && server.has_value() && capacity.has_value()) {
+      plan.derate(when, *server, *capacity);
+    } else {
+      set_error(error,
+                "faults: unrecognized or incomplete item '" + std::string(item) +
+                    "' (see --help for the grammar)");
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_spec() const {
+  std::ostringstream out;
+  out << "seed=" << seed_ << ";hb=" << params_.heartbeat_period.value
+      << ";miss=" << params_.failover_after_missed
+      << ";retries=" << params_.max_retries
+      << ";backoff=" << params_.retry_backoff_base.value;
+  for (const auto& e : events_) {
+    out << ';' << to_string(e.kind) << '@' << e.at.value;
+    switch (e.kind) {
+      case FaultKind::kServerCrash:
+      case FaultKind::kServerRecover:
+        out << ":s=" << e.server.index();
+        break;
+      case FaultKind::kLeaderCrash: break;
+      case FaultKind::kLinkLoss:
+      case FaultKind::kMigrationFailureRate:
+        out << ":p=" << e.value;
+        break;
+      case FaultKind::kLinkDelay:
+        out << ":d=" << e.value;
+        break;
+      case FaultKind::kCapacityDerate:
+        out << ":s=" << e.server.index() << ",c=" << e.value;
+        break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace eclb::fault

@@ -1,0 +1,108 @@
+#include "fault/injector.h"
+
+#include <utility>
+
+namespace eclb::fault {
+
+FaultInjector::FaultInjector(cluster::Cluster& cluster, FaultPlan plan)
+    : cluster_(cluster),
+      plan_(std::move(plan)),
+      rng_(plan_.seed()),
+      links_(cluster.size()) {
+  for (const auto& event : plan_.events()) {
+    cluster_.simulation().schedule_at(
+        event.at, [this, event](sim::Simulation&) { apply(event); });
+  }
+  cluster_.install_faults(this);
+}
+
+FaultInjector::~FaultInjector() { cluster_.install_faults(nullptr); }
+
+void FaultInjector::apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kServerCrash:
+      ++stats_.crashes;
+      cluster_.crash_server(event.server);
+      break;
+    case FaultKind::kServerRecover:
+      ++stats_.recoveries;
+      cluster_.recover_server(event.server);
+      break;
+    case FaultKind::kLeaderCrash:
+      // Resolved at fire time so stacked leader crashes chase the failover
+      // chain instead of hitting the original leader twice.
+      ++stats_.crashes;
+      cluster_.crash_server(cluster_.leader_server());
+      break;
+    case FaultKind::kLinkLoss:
+      links_.set_drop_probability_all(event.value);
+      break;
+    case FaultKind::kLinkDelay:
+      links_.set_delay_all(event.value);
+      break;
+    case FaultKind::kMigrationFailureRate:
+      migration_failure_rate_ = event.value;
+      break;
+    case FaultKind::kCapacityDerate:
+      cluster_.derate_server(event.server, event.value);
+      break;
+  }
+}
+
+bool FaultInjector::deliver(cluster::MessageKind, common::ServerId server) {
+  // LinkTable::deliver never consumes a draw on a loss-free link, so a
+  // transparent table keeps the fault stream untouched.
+  return links_.deliver(server.index(), rng_);
+}
+
+common::Seconds FaultInjector::link_delay(common::ServerId server) const {
+  return common::Seconds{links_.delay(server.index())};
+}
+
+bool FaultInjector::migration_fails(common::ServerId, common::ServerId) {
+  if (migration_failure_rate_ <= 0.0) return false;
+  if (!rng_.bernoulli(migration_failure_rate_)) return false;
+  ++stats_.migration_failures;
+  return true;
+}
+
+common::Seconds FaultInjector::retry_backoff(std::size_t attempt) const {
+  // Exponential: base, 2*base, 4*base, ... per 1-based attempt.
+  double factor = 1.0;
+  for (std::size_t i = 1; i < attempt; ++i) factor *= 2.0;
+  return common::Seconds{plan_.params().retry_backoff_base.value * factor};
+}
+
+std::size_t FaultInjector::max_retries() const {
+  return plan_.params().max_retries;
+}
+
+common::Seconds FaultInjector::heartbeat_period() const {
+  // An empty plan runs no heartbeat: no extra messages, no extra energy, so
+  // the no-fault benches stay byte-identical with the injector installed.
+  if (plan_.empty()) return common::Seconds{0.0};
+  return plan_.params().heartbeat_period;
+}
+
+std::size_t FaultInjector::failover_after_missed() const {
+  return plan_.params().failover_after_missed;
+}
+
+void FaultInjector::note_dropped(cluster::MessageKind, std::size_t n) {
+  stats_.dropped_messages += n;
+}
+
+void FaultInjector::note_retried(cluster::MessageKind) {
+  ++stats_.retried_messages;
+}
+
+void FaultInjector::note_failover(common::Seconds outage) {
+  ++stats_.failovers;
+  stats_.failover_outage.add(outage.value);
+}
+
+void FaultInjector::note_repair(common::Seconds repair_time) {
+  stats_.repair_time.add(repair_time.value);
+}
+
+}  // namespace eclb::fault

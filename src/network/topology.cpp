@@ -71,4 +71,54 @@ TopologySpec flattened_butterfly(std::size_t hosts, std::size_t concentration) {
   return spec;
 }
 
+LinkTable::LinkTable(std::size_t hosts, double base_delay)
+    : delays_(hosts, base_delay),
+      drop_probabilities_(hosts, 0.0),
+      unreachable_(hosts, false) {
+  ECLB_ASSERT(base_delay >= 0.0, "LinkTable: negative base delay");
+}
+
+double LinkTable::delay(std::size_t host) const { return delays_.at(host); }
+
+double LinkTable::drop_probability(std::size_t host) const {
+  return drop_probabilities_.at(host);
+}
+
+bool LinkTable::reachable(std::size_t host) const {
+  return !unreachable_.at(host);
+}
+
+void LinkTable::set_delay(std::size_t host, double seconds) {
+  ECLB_ASSERT(seconds >= 0.0, "LinkTable: negative delay");
+  delays_.at(host) = seconds;
+}
+
+void LinkTable::set_delay_all(double seconds) {
+  ECLB_ASSERT(seconds >= 0.0, "LinkTable: negative delay");
+  for (auto& d : delays_) d = seconds;
+}
+
+void LinkTable::set_drop_probability(std::size_t host, double p) {
+  ECLB_ASSERT(p >= 0.0 && p <= 1.0, "LinkTable: loss probability outside [0, 1]");
+  drop_probabilities_.at(host) = p;
+}
+
+void LinkTable::set_drop_probability_all(double p) {
+  ECLB_ASSERT(p >= 0.0 && p <= 1.0, "LinkTable: loss probability outside [0, 1]");
+  for (auto& d : drop_probabilities_) d = p;
+}
+
+void LinkTable::set_unreachable(std::size_t host, bool unreachable) {
+  unreachable_.at(host) = unreachable;
+}
+
+bool LinkTable::deliver(std::size_t host, common::Rng& rng) const {
+  if (unreachable_.at(host)) return false;
+  const double p = drop_probabilities_.at(host);
+  // Loss-free links must not consume a draw: an installed-but-transparent
+  // table leaves downstream streams bit-identical to no table at all.
+  if (p <= 0.0) return true;
+  return !rng.bernoulli(p);
+}
+
 }  // namespace eclb::network

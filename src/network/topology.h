@@ -13,6 +13,9 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
+
+#include "common/rng.h"
 
 namespace eclb::network {
 
@@ -47,5 +50,49 @@ struct TopologySpec {
 /// on average including the two host links.
 [[nodiscard]] TopologySpec flattened_butterfly(std::size_t hosts,
                                                std::size_t concentration = 8);
+
+/// Per-host link state for the star fabric: propagation delay, loss
+/// probability and reachability of each host's channel to the leader switch.
+/// The fault layer mutates this table to model degraded or partitioned
+/// links; a freshly built table (zero delay, zero loss, all reachable) is
+/// behaviourally transparent.
+class LinkTable {
+ public:
+  /// Builds `hosts` links, each with `base_delay` propagation delay,
+  /// loss-free and reachable.
+  explicit LinkTable(std::size_t hosts, double base_delay = 0.0);
+
+  /// Number of links (== hosts).
+  [[nodiscard]] std::size_t size() const { return delays_.size(); }
+
+  /// Propagation delay of `host`'s link, in seconds.
+  [[nodiscard]] double delay(std::size_t host) const;
+  /// Loss probability of `host`'s link, in [0, 1].
+  [[nodiscard]] double drop_probability(std::size_t host) const;
+  /// False when `host` is partitioned from the leader switch.
+  [[nodiscard]] bool reachable(std::size_t host) const;
+
+  /// Sets `host`'s propagation delay (seconds, >= 0).
+  void set_delay(std::size_t host, double seconds);
+  /// Sets every link's propagation delay.
+  void set_delay_all(double seconds);
+  /// Sets `host`'s loss probability (in [0, 1]).
+  void set_drop_probability(std::size_t host, double p);
+  /// Sets every link's loss probability.
+  void set_drop_probability_all(double p);
+  /// Partitions or reconnects `host`.
+  void set_unreachable(std::size_t host, bool unreachable);
+
+  /// One delivery trial on `host`'s link: false when the host is
+  /// unreachable, otherwise a Bernoulli draw against the loss probability.
+  /// A loss-free link never consumes randomness, so a transparent table
+  /// leaves `rng`'s stream untouched.
+  [[nodiscard]] bool deliver(std::size_t host, common::Rng& rng) const;
+
+ private:
+  std::vector<double> delays_;
+  std::vector<double> drop_probabilities_;
+  std::vector<bool> unreachable_;
+};
 
 }  // namespace eclb::network

@@ -22,6 +22,13 @@ ClusterProbe::ClusterProbe(std::unique_ptr<TraceWriter> trace,
   wakes_ = &metrics_->counter("protocol.wakes");
   sla_violations_ = &metrics_->counter("protocol.sla_violations");
   qos_violations_ = &metrics_->counter("protocol.qos_violations");
+  crashes_ = &metrics_->counter("fault.crashes");
+  recoveries_ = &metrics_->counter("fault.recoveries");
+  failovers_ = &metrics_->counter("fault.failovers");
+  dropped_messages_ = &metrics_->counter("fault.dropped_messages");
+  retried_messages_ = &metrics_->counter("fault.retried_messages");
+  orphans_replaced_ = &metrics_->counter("fault.orphans_replaced");
+  failed_migrations_ = &metrics_->counter("fault.failed_migrations");
   intervals_ = &metrics_->counter("run.intervals");
   unserved_demand_ = &metrics_->gauge("protocol.unserved_demand");
   energy_kwh_ = &metrics_->gauge("run.energy_kwh");
@@ -82,6 +89,16 @@ void ClusterProbe::on_event(const cluster::ProtocolEvent& event) {
       unserved_demand_->add(event.unserved);
       break;
     case Kind::kQosViolation: qos_violations_->inc(); break;
+    case Kind::kServerCrash: crashes_->inc(); break;
+    case Kind::kServerRecover: recoveries_->inc(); break;
+    case Kind::kLeaderFailover: failovers_->inc(); break;
+    case Kind::kMessageDropped: dropped_messages_->inc(); break;
+    case Kind::kMessageRetried: retried_messages_->inc(); break;
+    case Kind::kOrphanReplaced: orphans_replaced_->inc(); break;
+    case Kind::kMigrationFailed: failed_migrations_->inc(); break;
+    case Kind::kCapacityDerate:
+      // A configuration change, not a rate -- visible in the trace stream.
+      break;
   }
 }
 

@@ -79,6 +79,13 @@ class ClusterProbe final : public cluster::ClusterObserver {
   Counter* wakes_{nullptr};
   Counter* sla_violations_{nullptr};
   Counter* qos_violations_{nullptr};
+  Counter* crashes_{nullptr};
+  Counter* recoveries_{nullptr};
+  Counter* failovers_{nullptr};
+  Counter* dropped_messages_{nullptr};
+  Counter* retried_messages_{nullptr};
+  Counter* orphans_replaced_{nullptr};
+  Counter* failed_migrations_{nullptr};
   Counter* intervals_{nullptr};
   Gauge* unserved_demand_{nullptr};
   Gauge* energy_kwh_{nullptr};

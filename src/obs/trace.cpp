@@ -80,6 +80,16 @@ void TraceWriter::event(const cluster::ProtocolEvent& event) {
       buf_ += ",\"unserved\":";
       append_double(buf_, event.unserved);
       break;
+    case cluster::ProtocolEvent::Kind::kMessageDropped:
+    case cluster::ProtocolEvent::Kind::kMessageRetried:
+      buf_ += ",\"message\":\"";
+      buf_ += cluster::to_string(event.message);
+      buf_ += '"';
+      break;
+    case cluster::ProtocolEvent::Kind::kCapacityDerate:
+      buf_ += ",\"capacity\":";
+      append_double(buf_, event.value);
+      break;
     default:
       break;
   }
@@ -110,6 +120,20 @@ void TraceWriter::interval_end(const cluster::IntervalReport& report,
   field("wakes", report.wakes);
   field("sla_violations", report.sla_violations);
   field("qos_violations", report.qos_violations);
+  // Fault counters only appear when nonzero: a fault-free trace stays
+  // byte-identical to one produced before the fault layer existed.
+  if (report.crashes != 0) field("crashes", report.crashes);
+  if (report.recoveries != 0) field("recoveries", report.recoveries);
+  if (report.failovers != 0) field("failovers", report.failovers);
+  if (report.dropped_messages != 0) field("dropped", report.dropped_messages);
+  if (report.retried_messages != 0) field("retried", report.retried_messages);
+  if (report.orphans_replaced != 0) {
+    field("orphans_replaced", report.orphans_replaced);
+  }
+  if (report.failed_migrations != 0) {
+    field("failed_migrations", report.failed_migrations);
+  }
+  if (report.failed_servers != 0) field("failed", report.failed_servers);
   buf_ += ",\"unserved\":";
   append_double(buf_, report.unserved_demand);
   field("parked", report.parked_servers);
@@ -172,7 +196,18 @@ std::optional<cluster::ProtocolEvent::Kind> parse_kind(std::string_view name) {
   for (const Kind k :
        {Kind::kDecision, Kind::kMigration, Kind::kHorizontalStart,
         Kind::kOffload, Kind::kDrain, Kind::kSleep, Kind::kWake,
-        Kind::kSlaViolation, Kind::kQosViolation}) {
+        Kind::kSlaViolation, Kind::kQosViolation, Kind::kServerCrash,
+        Kind::kServerRecover, Kind::kLeaderFailover, Kind::kMessageDropped,
+        Kind::kMessageRetried, Kind::kOrphanReplaced, Kind::kMigrationFailed,
+        Kind::kCapacityDerate}) {
+    if (name == cluster::to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::optional<cluster::MessageKind> parse_message_kind(std::string_view name) {
+  for (std::size_t i = 0; i < cluster::kMessageKindCount; ++i) {
+    const auto k = static_cast<cluster::MessageKind>(i);
     if (name == cluster::to_string(k)) return k;
   }
   return std::nullopt;
@@ -213,6 +248,14 @@ std::optional<TraceRecord> parse_event(std::string_view line, TraceRecord rec) {
   if (const auto u = number_value(line, "unserved"); u.has_value()) {
     rec.event.unserved = *u;
   }
+  if (const auto m = string_value(line, "message"); m.has_value()) {
+    const auto message = parse_message_kind(*m);
+    if (!message.has_value()) return std::nullopt;
+    rec.event.message = *message;
+  }
+  if (const auto c = number_value(line, "capacity"); c.has_value()) {
+    rec.event.value = *c;
+  }
   return rec;
 }
 
@@ -238,6 +281,19 @@ std::optional<TraceRecord> parse_interval_end(std::string_view line,
       !counter("deep_sleeping", rec.deep_sleeping)) {
     return std::nullopt;
   }
+  // Fault counters are optional (the writer omits zeros).
+  const auto optional_counter = [&line](std::string_view key, std::size_t& out) {
+    const auto v = size_value(line, key);
+    if (v.has_value()) out = *v;
+  };
+  optional_counter("crashes", rec.crashes);
+  optional_counter("recoveries", rec.recoveries);
+  optional_counter("failovers", rec.failovers);
+  optional_counter("dropped", rec.dropped);
+  optional_counter("retried", rec.retried);
+  optional_counter("orphans_replaced", rec.orphans_replaced);
+  optional_counter("failed_migrations", rec.failed_migrations);
+  optional_counter("failed", rec.failed);
   const auto unserved = number_value(line, "unserved");
   const auto energy = number_value(line, "energy_j");
   if (!unserved.has_value() || !energy.has_value()) return std::nullopt;

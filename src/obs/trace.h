@@ -6,12 +6,17 @@
 //   {"type":"event","interval":I,"kind":KIND[,"server":S]
 //        [,"decision":"local"|"in-cluster"]          kind == "decision"
 //        [,"cause":"shed"|"rebalance"|"consolidation"] kind == "migration"
-//        [,"unserved":U]}                            kind == "sla_violation"
+//        [,"unserved":U]                             kind == "sla_violation"
+//        [,"message":MSG_KIND]       kind == "message_dropped"/"message_retried"
+//        [,"capacity":C]}                            kind == "capacity_derate"
 //   {"type":"interval_end","interval":I,"t":SIM_SECONDS,
 //    "local":N,"in_cluster":N,"migrations":N,"horizontal_starts":N,
 //    "offloads":N,"drains":N,"sleeps":N,"wakes":N,"sla_violations":N,
-//    "qos_violations":N,"unserved":U,"parked":N,"deep_sleeping":N,
-//    "energy_j":E}
+//    "qos_violations":N,
+//    [fault counters, present only when nonzero: "crashes","recoveries",
+//     "failovers","dropped","retried","orphans_replaced",
+//     "failed_migrations","failed",]
+//    "unserved":U,"parked":N,"deep_sleeping":N,"energy_j":E}
 // KIND is cluster::to_string(ProtocolEvent::Kind); "server" is omitted when
 // the event has no associated server.  The per-interval event stream and the
 // interval_end summary are redundant by construction, which is what lets a
@@ -85,6 +90,16 @@ struct TraceRecord {
   std::size_t parked{0};
   std::size_t deep_sleeping{0};
   double energy_joules{0.0};
+
+  // Fault counters (the writer omits them when zero; absent parses as 0).
+  std::size_t crashes{0};
+  std::size_t recoveries{0};
+  std::size_t failovers{0};
+  std::size_t dropped{0};
+  std::size_t retried{0};
+  std::size_t orphans_replaced{0};
+  std::size_t failed_migrations{0};
+  std::size_t failed{0};
 };
 
 /// Parses one line of TraceWriter output; nullopt on malformed input.

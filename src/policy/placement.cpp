@@ -99,7 +99,7 @@ std::optional<common::ServerId> LeastLoadedPlacement::pick(
   const server::Server* best = nullptr;
   for (const auto& t : servers) {
     if (t.id() == exclude || !t.awake(now)) continue;
-    if (t.load() + demand > 1.0 + kEps) continue;
+    if (t.load() + demand > t.capacity() + kEps) continue;
     if (best == nullptr || t.load() < best->load()) best = &t;
   }
   if (best == nullptr) return std::nullopt;
@@ -112,7 +112,7 @@ std::optional<common::ServerId> RandomPlacement::pick(
   std::vector<common::ServerId> feasible;
   for (const auto& t : servers) {
     if (t.id() == exclude || !t.awake(now)) continue;
-    if (t.load() + demand > 1.0 + kEps) continue;
+    if (t.load() + demand > t.capacity() + kEps) continue;
     feasible.push_back(t.id());
   }
   if (feasible.empty()) return std::nullopt;
@@ -126,7 +126,7 @@ std::optional<common::ServerId> RoundRobinPlacement::pick(
     cursor_ = (cursor_ + 1) % servers.size();
     const auto& t = servers[cursor_];
     if (t.id() == exclude || !t.awake(now)) continue;
-    if (t.load() + demand > 1.0 + kEps) continue;
+    if (t.load() + demand > t.capacity() + kEps) continue;
     return t.id();
   }
   return std::nullopt;

@@ -21,28 +21,35 @@ Server::Server(common::ServerId id, ServerConfig config)
   meter_ = energy::EnergyMeter(common::Seconds{0.0}, power(common::Seconds{0.0}));
 }
 
+void Server::set_capacity(double fraction) {
+  ECLB_ASSERT(fraction > 0.0 && fraction <= 1.0,
+              "set_capacity: fraction must be in (0, 1]");
+  capacity_ = fraction;
+}
+
 double Server::load() const { return cached_load_; }
 
-double Server::served_load() const { return std::min(load(), 1.0); }
+double Server::served_load() const { return std::min(load(), capacity_); }
 
-double Server::overload() const { return std::max(0.0, load() - 1.0); }
+double Server::overload() const { return std::max(0.0, load() - capacity_); }
 
-double Server::headroom() const { return std::max(0.0, 1.0 - load()); }
+double Server::headroom() const { return std::max(0.0, capacity_ - load()); }
 
 double Server::headroom_to(double a_target) const {
-  return std::max(0.0, a_target - load());
+  return std::max(0.0, std::min(a_target, capacity_) - load());
 }
 
 std::optional<energy::Regime> Server::regime() const {
-  if (cstates_.state() != energy::CState::kC0) return std::nullopt;
+  if (failed_ || cstates_.state() != energy::CState::kC0) return std::nullopt;
   return config_.thresholds.classify(served_load());
 }
 
 bool Server::place(vm::Vm vm_instance) {
+  if (failed_) return false;
   if (cstates_.state() != energy::CState::kC0 || cstates_.transition_target()) {
     return false;
   }
-  if (load() + vm_instance.demand() > 1.0 + kEps) return false;
+  if (load() + vm_instance.demand() > capacity_ + kEps) return false;
   cached_load_ += vm_instance.demand();
   vms_.push_back(std::move(vm_instance));
   return true;
@@ -74,9 +81,9 @@ bool Server::try_vertical_scale(common::VmId id, double new_demand) {
   auto it = std::find_if(vms_.begin(), vms_.end(),
                          [id](const vm::Vm& v) { return v.id() == id; });
   if (it == vms_.end()) return false;
-  if (cstates_.state() != energy::CState::kC0) return false;
+  if (failed_ || cstates_.state() != energy::CState::kC0) return false;
   const double delta = new_demand - it->demand();
-  if (delta > 0.0 && load() + delta > 1.0 + kEps) return false;
+  if (delta > 0.0 && load() + delta > capacity_ + kEps) return false;
   const double before = it->demand();
   it->set_demand(new_demand);
   cached_load_ += it->demand() - before;
@@ -93,9 +100,33 @@ bool Server::force_demand(common::VmId id, double new_demand) {
   return true;
 }
 
+std::vector<vm::Vm> Server::take_all_vms() {
+  std::vector<vm::Vm> out = std::move(vms_);
+  vms_.clear();
+  cached_load_ = 0.0;
+  return out;
+}
+
+void Server::fail(common::Seconds now) {
+  if (failed_) return;
+  ECLB_ASSERT(vms_.empty(), "fail: orphan hosted VMs via take_all_vms() first");
+  failed_ = true;
+  // Power loss voids any in-flight C-state transition; a stale settle event
+  // scheduled for it finds nothing to complete (settle is a no-op then).
+  cstates_ = energy::CStateMachine(config_.cstates);
+  update_energy(now);
+}
+
+void Server::repair(common::Seconds now) {
+  ECLB_ASSERT(failed_, "repair: server is not failed");
+  failed_ = false;
+  cstates_ = energy::CStateMachine(config_.cstates);
+  update_energy(now);
+}
+
 bool Server::awake(common::Seconds now) const {
-  return cstates_.state() == energy::CState::kC0 && !cstates_.transitioning(now) &&
-         !cstates_.transition_target().has_value();
+  return !failed_ && cstates_.state() == energy::CState::kC0 &&
+         !cstates_.transitioning(now) && !cstates_.transition_target().has_value();
 }
 
 bool Server::asleep(common::Seconds now) const { return !awake(now); }
@@ -149,6 +180,7 @@ common::Seconds Server::begin_wake(common::Seconds now) {
 void Server::settle(common::Seconds now) { cstates_.settle(now); }
 
 common::Watts Server::power(common::Seconds now) const {
+  if (failed_) return common::Watts{0.0};
   const auto fraction = cstates_.power_fraction(now);
   if (fraction.has_value()) {
     return config_.power_model->peak_power() * *fraction;

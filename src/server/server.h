@@ -58,17 +58,25 @@ class Server {
 
   // --- load & regime -------------------------------------------------------
 
-  /// Total CPU demand of hosted VMs (may exceed 1 transiently if demands
-  /// grow before the next reallocation; served load is capped at 1).
+  /// Usable CPU capacity, normally 1.0.  A fault-layer derate lowers it
+  /// (thermal throttling, a failed DIMM bank); placement and SLA accounting
+  /// respect the lowered ceiling.
+  [[nodiscard]] double capacity() const { return capacity_; }
+
+  /// Sets the usable capacity to `fraction` of nominal (in (0, 1]).
+  void set_capacity(double fraction);
+
+  /// Total CPU demand of hosted VMs (may exceed capacity transiently if
+  /// demands grow before the next reallocation; served load is capped).
   [[nodiscard]] double load() const;
 
-  /// Load actually served this interval: min(load, 1).
+  /// Load actually served this interval: min(load, capacity).
   [[nodiscard]] double served_load() const;
 
   /// Demand beyond capacity (0 when not oversubscribed).
   [[nodiscard]] double overload() const;
 
-  /// Spare capacity up to full utilization: max(0, 1 - load).
+  /// Spare capacity up to full utilization: max(0, capacity - load).
   [[nodiscard]] double headroom() const;
 
   /// Spare capacity up to a target normalized performance `a_target`.
@@ -113,6 +121,25 @@ class Server {
   /// must be absorbed even though it oversubscribes; SLA accounting then
   /// sees the overload).  Returns false when the VM is not hosted here.
   bool force_demand(common::VmId id, double new_demand);
+
+  /// Removes and returns every hosted VM (crash handling: the cluster takes
+  /// custody of the orphans).  Load drops to zero.
+  [[nodiscard]] std::vector<vm::Vm> take_all_vms();
+
+  // --- failure -------------------------------------------------------------
+
+  /// True while crashed (fault layer).  A failed server is not awake, hosts
+  /// no VMs, draws no power and rejects placements until repair().
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  /// Marks the server failed at `now` (power loss: energy integration stops,
+  /// any in-flight C-state transition is voided).  The caller must orphan
+  /// the hosted VMs via take_all_vms() first.  No-op when already failed.
+  void fail(common::Seconds now);
+
+  /// Returns a failed server to service at `now`: boots awake (C0), empty,
+  /// integrating energy again.  Requires failed().
+  void repair(common::Seconds now);
 
   // --- sleep states --------------------------------------------------------
 
@@ -173,6 +200,8 @@ class Server {
   /// Sum of hosted VM demands, maintained incrementally: load() is on the
   /// hot path of every leader placement scan and must be O(1).
   double cached_load_{0.0};
+  double capacity_{1.0};
+  bool failed_{false};
   energy::CStateMachine cstates_;
   energy::EnergyMeter meter_;
 };

@@ -50,18 +50,69 @@ TEST(Recorder, SlaViolationAccumulatesUnserved) {
   EXPECT_DOUBLE_EQ(r.unserved_demand, 0.75);
 }
 
-TEST(Recorder, BeginIntervalResetsCounters) {
+TEST(Recorder, FinishResetsCountersForNextInterval) {
   IntervalRecorder rec;
   rec.begin_interval(0);
   rec.local_decision(ServerId{0});
   rec.offloaded();
   rec.drained(ServerId{1});
-  rec.begin_interval(1);
+  (void)rec.finish(FleetSnapshot{});
   const auto& r = rec.current();
-  EXPECT_EQ(r.interval_index, 1U);
+  EXPECT_EQ(r.interval_index, 1U);  // pre-stamped with the next index
   EXPECT_EQ(r.local_decisions, 0U);
   EXPECT_EQ(r.offloaded_requests, 0U);
   EXPECT_EQ(r.drains, 0U);
+}
+
+TEST(Recorder, EventsBetweenRoundsAccrueToNextInterval) {
+  // Fault events can fire on the kernel between rounds (retry timers,
+  // scheduled crashes).  begin_interval must NOT wipe them.
+  IntervalRecorder rec;
+  rec.begin_interval(0);
+  rec.local_decision(ServerId{0});
+  (void)rec.finish(FleetSnapshot{});
+  // Mid-gap: a crash and a retried wake command land before round 1 opens.
+  rec.server_crashed(ServerId{3});
+  rec.message_retried(MessageKind::kWakeCommand, ServerId{4});
+  rec.begin_interval(1);
+  const auto& r = rec.current();
+  EXPECT_EQ(r.interval_index, 1U);
+  EXPECT_EQ(r.crashes, 1U);
+  EXPECT_EQ(r.retried_messages, 1U);
+  EXPECT_EQ(r.local_decisions, 0U);  // last round's counters did reset
+}
+
+TEST(Recorder, FaultEventsRollUpIntoReport) {
+  IntervalRecorder rec;
+  std::vector<ProtocolEvent> seen;
+  rec.set_sink([&seen](const ProtocolEvent& e) { seen.push_back(e); });
+  rec.begin_interval(2);
+  rec.server_crashed(ServerId{1});
+  rec.failover(ServerId{0});
+  rec.message_dropped(MessageKind::kTransferRequest, ServerId{5});
+  rec.message_retried(MessageKind::kTransferRequest, ServerId{5});
+  rec.orphan_replaced(ServerId{6});
+  rec.migration_failed(ServerId{7});
+  rec.derated(ServerId{8}, 0.5);
+  rec.server_recovered(ServerId{1});
+  FleetSnapshot snap;
+  snap.failed_servers = 1;
+  const IntervalReport report = rec.finish(snap);
+  EXPECT_EQ(report.crashes, 1U);
+  EXPECT_EQ(report.recoveries, 1U);
+  EXPECT_EQ(report.failovers, 1U);
+  EXPECT_EQ(report.dropped_messages, 1U);
+  EXPECT_EQ(report.retried_messages, 1U);
+  EXPECT_EQ(report.orphans_replaced, 1U);
+  EXPECT_EQ(report.failed_migrations, 1U);
+  EXPECT_EQ(report.failed_servers, 1U);
+  ASSERT_EQ(seen.size(), 8U);
+  EXPECT_EQ(seen[0].kind, ProtocolEvent::Kind::kServerCrash);
+  EXPECT_EQ(seen[2].kind, ProtocolEvent::Kind::kMessageDropped);
+  EXPECT_EQ(seen[2].message, MessageKind::kTransferRequest);
+  EXPECT_EQ(seen[6].kind, ProtocolEvent::Kind::kCapacityDerate);
+  EXPECT_DOUBLE_EQ(seen[6].value, 0.5);
+  EXPECT_EQ(seen[6].interval, 2U);
 }
 
 TEST(Recorder, FinishFoldsFleetSnapshot) {

@@ -107,5 +107,52 @@ TEST(Flags, LastOccurrenceWins) {
   EXPECT_EQ(f.get_int("n", 0), 2);
 }
 
+TEST(Flags, ExplicitEmptyValuePassesThroughGet) {
+  // `--out=` deliberately clears a default: get() must not substitute the
+  // fallback for the explicit empty string.
+  auto f = parse({"--out="});
+  EXPECT_TRUE(f.has("out"));
+  EXPECT_EQ(f.get("out", "default.csv"), "");
+}
+
+TEST(Flags, ValuelessFlagStillGetsFallback) {
+  auto f = parse({"--out"});
+  EXPECT_TRUE(f.has("out"));
+  EXPECT_EQ(f.get("out", "default.csv"), "default.csv");
+}
+
+TEST(Flags, TypedGettersFallBackOnExplicitEmpty) {
+  // An empty string is not a number; typed getters fall back silently
+  // rather than recording a parse error.
+  auto f = parse({"--n=", "--x="});
+  EXPECT_EQ(f.get_int("n", 13), 13);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 2.5), 2.5);
+  EXPECT_TRUE(f.errors().empty());
+}
+
+TEST(Flags, BooleanFlagDoesNotSwallowFollowingFlag) {
+  // `--verbose --out x`: --verbose must stay valueless instead of eating
+  // "--out" as its value.
+  auto f = parse({"--verbose", "--out", "x"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_EQ(f.get("out"), "x");
+}
+
+TEST(Flags, NegativeNumberIsAValueNotAFlag) {
+  auto f = parse({"--threshold", "-5", "--delta", "-0.25", "--eps", "-1e-3"});
+  EXPECT_EQ(f.get_int("threshold", 0), -5);
+  EXPECT_DOUBLE_EQ(f.get_double("delta", 0.0), -0.25);
+  EXPECT_DOUBLE_EQ(f.get_double("eps", 0.0), -1e-3);
+}
+
+TEST(Flags, SingleDashTokenIsNotSwallowed) {
+  // A non-numeric "-..." token is option-like, so the preceding flag stays
+  // valueless and the token falls through as a positional argument.
+  const auto f = parse({"--quick", "-v"});
+  EXPECT_TRUE(f.get_bool("quick"));
+  ASSERT_EQ(f.positional().size(), 1U);
+  EXPECT_EQ(f.positional()[0], "-v");
+}
+
 }  // namespace
 }  // namespace eclb::common

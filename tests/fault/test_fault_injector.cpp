@@ -1,0 +1,246 @@
+// End-to-end tests of the fault injector: plan events fire at their exact
+// simulation times, the hardened protocol rides out leader loss and lossy
+// links, and identical (seed, plan) pairs reproduce bit-identically.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "fault/injector.h"
+
+namespace eclb::fault {
+namespace {
+
+using common::Seconds;
+using common::ServerId;
+
+cluster::ClusterConfig small_config(std::uint64_t seed = 1,
+                                    double lo = 0.2, double hi = 0.4) {
+  cluster::ClusterConfig cfg;
+  cfg.server_count = 50;
+  cfg.initial_load_min = lo;
+  cfg.initial_load_max = hi;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(FaultInjector, InstallsAndDetaches) {
+  cluster::Cluster c(small_config());
+  {
+    FaultInjector injector(c, FaultPlan{});
+    EXPECT_EQ(c.faults(), &injector);
+  }
+  EXPECT_EQ(c.faults(), nullptr);
+}
+
+TEST(FaultInjector, EmptyPlanReportsZeroHeartbeatPeriod) {
+  cluster::Cluster c(small_config());
+  FaultInjector injector(c, FaultPlan{});
+  EXPECT_DOUBLE_EQ(injector.heartbeat_period().value, 0.0);
+  FaultPlan armed;
+  armed.crash(Seconds{10.0}, ServerId{1});
+  cluster::Cluster c2(small_config());
+  FaultInjector injector2(c2, armed);
+  EXPECT_DOUBLE_EQ(injector2.heartbeat_period().value, 5.0);
+}
+
+TEST(FaultInjector, EmptyPlanPerturbsNothing) {
+  // The acceptance bar for the whole layer: an installed-but-quiet injector
+  // leaves every observable of the run bit-identical to a plain run.
+  cluster::Cluster plain(small_config(42));
+  cluster::Cluster faulted(small_config(42));
+  FaultInjector injector(faulted, FaultPlan{});
+  for (int i = 0; i < 10; ++i) {
+    const auto a = plain.step();
+    const auto b = faulted.step();
+    EXPECT_EQ(a.local_decisions, b.local_decisions) << i;
+    EXPECT_EQ(a.in_cluster_decisions, b.in_cluster_decisions) << i;
+    EXPECT_EQ(a.migrations, b.migrations) << i;
+    EXPECT_EQ(a.sleeps, b.sleeps) << i;
+    EXPECT_EQ(a.wakes, b.wakes) << i;
+    EXPECT_EQ(a.sla_violations, b.sla_violations) << i;
+    EXPECT_EQ(a.interval_energy.value, b.interval_energy.value) << i;
+  }
+  EXPECT_EQ(plain.total_energy().value, faulted.total_energy().value);
+  EXPECT_EQ(plain.message_stats().total(), faulted.message_stats().total());
+  const auto& st = injector.stats();
+  EXPECT_EQ(st.crashes + st.dropped_messages + st.failovers, 0U);
+}
+
+TEST(FaultInjector, CrashEventFiresAtItsScheduledTime) {
+  cluster::Cluster c(small_config());
+  FaultPlan plan;
+  plan.crash(Seconds{90.0}, ServerId{5});  // mid second interval
+  FaultInjector injector(c, plan);
+  c.step();  // t = 60: nothing yet
+  EXPECT_FALSE(c.servers()[5].failed());
+  EXPECT_EQ(injector.stats().crashes, 0U);
+  c.step();  // t = 120: the crash fired at 90
+  EXPECT_TRUE(c.servers()[5].failed());
+  EXPECT_EQ(injector.stats().crashes, 1U);
+  EXPECT_EQ(c.failed_count(), 1U);
+}
+
+TEST(FaultInjector, MidRunLeaderCrashFailsOverAndRestoresService) {
+  // The ISSUE acceptance scenario in miniature: kill the leader mid-run,
+  // expect a deterministic failover, orphan re-placement and a full-length
+  // run with resilience metrics.
+  cluster::Cluster c(small_config(7));
+  FaultPlan plan;
+  plan.crash_leader(Seconds{90.0});
+  FaultInjector injector(c, plan);
+  const ServerId old_leader = c.leader_server();
+
+  std::vector<cluster::IntervalReport> reports;
+  for (int i = 0; i < 40; ++i) reports.push_back(c.step());
+
+  EXPECT_EQ(reports.size(), 40U);
+  EXPECT_NE(c.leader_server(), old_leader);
+  EXPECT_TRUE(c.leader_available());
+  EXPECT_TRUE(c.orphans().empty());
+
+  const auto& st = injector.stats();
+  EXPECT_EQ(st.crashes, 1U);
+  EXPECT_EQ(st.failovers, 1U);
+  // Crash at 90 fires before that instant's heartbeat (earlier sequence
+  // number), so the beats at 90/95/100 miss -> election at t = 100.
+  EXPECT_DOUBLE_EQ(st.failover_outage.mean(), 10.0);
+  // Orphans re-placed at the first led round (t = 120) -> MTTR = 30 s.
+  EXPECT_DOUBLE_EQ(st.mttr(), 30.0);
+
+  std::size_t failovers = 0;
+  std::size_t replaced = 0;
+  for (const auto& r : reports) {
+    failovers += r.failovers;
+    replaced += r.orphans_replaced;
+  }
+  EXPECT_EQ(failovers, 1U);
+  EXPECT_GT(replaced, 0U);
+}
+
+TEST(FaultInjector, TotalLossDropsAndRetriesUpToTheCap) {
+  cluster::Cluster c(small_config(3));
+  FaultPlan plan;
+  plan.link_loss(Seconds{0.0}, 1.0);
+  FaultInjector injector(c, plan);
+  for (int i = 0; i < 10; ++i) c.step();
+  const auto& st = injector.stats();
+  EXPECT_GT(st.dropped_messages, 0U);
+  EXPECT_GT(st.retried_messages, 0U);
+  // With p = 1 every retry drops too, so drops strictly dominate retries.
+  EXPECT_GT(st.dropped_messages, st.retried_messages);
+}
+
+TEST(FaultInjector, CertainMigrationFailureAbortsEveryCopy) {
+  cluster::Cluster c(small_config(3));
+  FaultPlan plan;
+  plan.migration_failure_rate(Seconds{0.0}, 1.0);
+  FaultInjector injector(c, plan);
+  EXPECT_DOUBLE_EQ(injector.migration_failure_rate(), 0.0);
+  std::size_t migrations = 0;
+  std::size_t failed = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto r = c.step();
+    migrations += r.migrations;
+    failed += r.failed_migrations;
+  }
+  EXPECT_DOUBLE_EQ(injector.migration_failure_rate(), 1.0);
+  EXPECT_EQ(migrations, 0U);
+  EXPECT_GT(failed, 0U);
+  EXPECT_EQ(injector.stats().migration_failures, failed);
+}
+
+TEST(FaultInjector, DerateAndRecoverEventsApply) {
+  cluster::Cluster c(small_config());
+  FaultPlan plan;
+  plan.derate(Seconds{30.0}, ServerId{4}, 0.5)
+      .crash(Seconds{30.0}, ServerId{9})
+      .recover(Seconds{90.0}, ServerId{9});
+  FaultInjector injector(c, plan);
+  c.step();
+  EXPECT_DOUBLE_EQ(c.servers()[4].capacity(), 0.5);
+  EXPECT_TRUE(c.servers()[9].failed());
+  c.step();
+  EXPECT_FALSE(c.servers()[9].failed());
+  EXPECT_EQ(injector.stats().recoveries, 1U);
+}
+
+TEST(FaultInjector, RetryBackoffDoublesPerAttempt) {
+  cluster::Cluster c(small_config());
+  FaultPlan plan;
+  plan.params().retry_backoff_base = Seconds{0.5};
+  FaultInjector injector(c, plan);
+  EXPECT_DOUBLE_EQ(injector.retry_backoff(1).value, 0.5);
+  EXPECT_DOUBLE_EQ(injector.retry_backoff(2).value, 1.0);
+  EXPECT_DOUBLE_EQ(injector.retry_backoff(3).value, 2.0);
+  EXPECT_DOUBLE_EQ(injector.retry_backoff(4).value, 4.0);
+}
+
+TEST(FaultInjector, IdenticalSeedAndPlanReproduceBitIdentically) {
+  auto run = [] {
+    cluster::Cluster c(small_config(1001, 0.6, 0.8));
+    FaultPlan plan;
+    plan.crash_leader(Seconds{300.0})
+        .link_loss(Seconds{0.0}, 0.1)
+        .migration_failure_rate(Seconds{0.0}, 0.2)
+        .set_seed(99);
+    FaultInjector injector(c, plan);
+    std::vector<cluster::IntervalReport> reports;
+    for (int i = 0; i < 20; ++i) reports.push_back(c.step());
+    struct Result {
+      std::vector<cluster::IntervalReport> reports;
+      double energy;
+      std::size_t dropped;
+      std::size_t retried;
+      std::size_t migration_failures;
+      double mttr;
+    };
+    return Result{std::move(reports), c.total_energy().value,
+                  injector.stats().dropped_messages,
+                  injector.stats().retried_messages,
+                  injector.stats().migration_failures,
+                  injector.stats().mttr()};
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.retried, b.retried);
+  EXPECT_EQ(a.migration_failures, b.migration_failures);
+  EXPECT_EQ(a.mttr, b.mttr);
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    EXPECT_EQ(a.reports[i].migrations, b.reports[i].migrations) << i;
+    EXPECT_EQ(a.reports[i].dropped_messages, b.reports[i].dropped_messages) << i;
+    EXPECT_EQ(a.reports[i].retried_messages, b.reports[i].retried_messages) << i;
+    EXPECT_EQ(a.reports[i].interval_energy.value,
+              b.reports[i].interval_energy.value)
+        << i;
+  }
+}
+
+TEST(FaultInjector, DifferentFaultSeedsDiverge) {
+  auto dropped_with_seed = [](std::uint64_t fault_seed) {
+    cluster::Cluster c(small_config(3));
+    FaultPlan plan;
+    plan.link_loss(Seconds{0.0}, 0.5).set_seed(fault_seed);
+    FaultInjector injector(c, plan);
+    for (int i = 0; i < 10; ++i) c.step();
+    return injector.stats().dropped_messages;
+  };
+  // Not guaranteed for arbitrary seeds, but these diverge -- and the test
+  // pins that the plan seed actually feeds the loss draws.
+  EXPECT_NE(dropped_with_seed(1), dropped_with_seed(2));
+}
+
+TEST(FaultInjector, LinksAreExposedForTests) {
+  cluster::Cluster c(small_config());
+  FaultInjector injector(c, FaultPlan{});
+  EXPECT_EQ(injector.links().size(), c.size());
+  injector.links().set_unreachable(3, true);
+  EXPECT_FALSE(injector.deliver(cluster::MessageKind::kWakeCommand,
+                                ServerId{3}));
+}
+
+}  // namespace
+}  // namespace eclb::fault

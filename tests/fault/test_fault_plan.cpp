@@ -1,0 +1,179 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace eclb::fault {
+namespace {
+
+using common::Seconds;
+using common::ServerId;
+
+TEST(FaultPlan, DefaultPlanIsEmpty) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_TRUE(plan.events().empty());
+  EXPECT_DOUBLE_EQ(plan.params().heartbeat_period.value, 5.0);
+  EXPECT_EQ(plan.params().failover_after_missed, 3U);
+  EXPECT_EQ(plan.params().max_retries, 4U);
+  EXPECT_DOUBLE_EQ(plan.params().retry_backoff_base.value, 0.5);
+}
+
+TEST(FaultPlan, BuildersAppendInOrder) {
+  FaultPlan plan;
+  plan.crash(Seconds{10.0}, ServerId{3})
+      .recover(Seconds{50.0}, ServerId{3})
+      .crash_leader(Seconds{100.0})
+      .link_loss(Seconds{0.0}, 0.05)
+      .link_delay(Seconds{5.0}, Seconds{0.2})
+      .migration_failure_rate(Seconds{1.0}, 0.1)
+      .derate(Seconds{20.0}, ServerId{7}, 0.5);
+  ASSERT_EQ(plan.events().size(), 7U);
+  EXPECT_FALSE(plan.empty());
+
+  const auto events = plan.events();
+  EXPECT_EQ(events[0].kind, FaultKind::kServerCrash);
+  EXPECT_DOUBLE_EQ(events[0].at.value, 10.0);
+  EXPECT_EQ(events[0].server, ServerId{3});
+  EXPECT_EQ(events[1].kind, FaultKind::kServerRecover);
+  EXPECT_EQ(events[2].kind, FaultKind::kLeaderCrash);
+  EXPECT_EQ(events[3].kind, FaultKind::kLinkLoss);
+  EXPECT_DOUBLE_EQ(events[3].value, 0.05);
+  EXPECT_EQ(events[4].kind, FaultKind::kLinkDelay);
+  EXPECT_DOUBLE_EQ(events[4].value, 0.2);
+  EXPECT_EQ(events[5].kind, FaultKind::kMigrationFailureRate);
+  EXPECT_DOUBLE_EQ(events[5].value, 0.1);
+  EXPECT_EQ(events[6].kind, FaultKind::kCapacityDerate);
+  EXPECT_EQ(events[6].server, ServerId{7});
+  EXPECT_DOUBLE_EQ(events[6].value, 0.5);
+}
+
+TEST(FaultPlan, KindNames) {
+  EXPECT_EQ(to_string(FaultKind::kServerCrash), "crash");
+  EXPECT_EQ(to_string(FaultKind::kServerRecover), "recover");
+  EXPECT_EQ(to_string(FaultKind::kLeaderCrash), "leader");
+  EXPECT_EQ(to_string(FaultKind::kLinkLoss), "loss");
+  EXPECT_EQ(to_string(FaultKind::kLinkDelay), "delay");
+  EXPECT_EQ(to_string(FaultKind::kMigrationFailureRate), "migfail");
+  EXPECT_EQ(to_string(FaultKind::kCapacityDerate), "derate");
+}
+
+TEST(FaultPlanParse, EmptySpecYieldsEmptyPlan) {
+  const auto plan = FaultPlan::parse("");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->empty());
+  // Stray separators and whitespace are tolerated too.
+  EXPECT_TRUE(FaultPlan::parse(" ; ;; ")->empty());
+}
+
+TEST(FaultPlanParse, FullGrammar) {
+  const auto plan = FaultPlan::parse(
+      "crash@600:s=3; recover@1200:s=3; leader@900; loss@0:p=0.05;"
+      "delay@10:d=0.25; migfail@5:p=0.1; derate@20:s=7,c=0.5");
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->events().size(), 7U);
+  const auto events = plan->events();
+  EXPECT_EQ(events[0].kind, FaultKind::kServerCrash);
+  EXPECT_DOUBLE_EQ(events[0].at.value, 600.0);
+  EXPECT_EQ(events[0].server, ServerId{3});
+  EXPECT_EQ(events[1].kind, FaultKind::kServerRecover);
+  EXPECT_EQ(events[2].kind, FaultKind::kLeaderCrash);
+  EXPECT_DOUBLE_EQ(events[2].at.value, 900.0);
+  EXPECT_EQ(events[3].kind, FaultKind::kLinkLoss);
+  EXPECT_DOUBLE_EQ(events[3].value, 0.05);
+  EXPECT_EQ(events[4].kind, FaultKind::kLinkDelay);
+  EXPECT_DOUBLE_EQ(events[4].value, 0.25);
+  EXPECT_EQ(events[5].kind, FaultKind::kMigrationFailureRate);
+  EXPECT_EQ(events[6].kind, FaultKind::kCapacityDerate);
+  EXPECT_EQ(events[6].server, ServerId{7});
+  EXPECT_DOUBLE_EQ(events[6].value, 0.5);
+}
+
+TEST(FaultPlanParse, PlanParameters) {
+  const auto plan =
+      FaultPlan::parse("seed=99; hb=2.5; miss=5; retries=7; backoff=0.125");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->seed(), 99U);
+  EXPECT_DOUBLE_EQ(plan->params().heartbeat_period.value, 2.5);
+  EXPECT_EQ(plan->params().failover_after_missed, 5U);
+  EXPECT_EQ(plan->params().max_retries, 7U);
+  EXPECT_DOUBLE_EQ(plan->params().retry_backoff_base.value, 0.125);
+  // Parameters alone do not make the plan non-empty.
+  EXPECT_TRUE(plan->empty());
+}
+
+TEST(FaultPlanParse, RejectsMalformedItems) {
+  std::string error;
+  EXPECT_FALSE(FaultPlan::parse("explode@5", &error).has_value());
+  EXPECT_NE(error.find("explode@5"), std::string::npos);
+
+  EXPECT_FALSE(FaultPlan::parse("crash@abc:s=1", &error).has_value());
+  EXPECT_NE(error.find("bad time"), std::string::npos);
+
+  EXPECT_FALSE(FaultPlan::parse("crash@-5:s=1", &error).has_value());
+
+  // crash needs its target server.
+  EXPECT_FALSE(FaultPlan::parse("crash@5", &error).has_value());
+
+  // leader takes no arguments.
+  EXPECT_FALSE(FaultPlan::parse("leader@5:s=1", &error).has_value());
+
+  // Probabilities outside [0, 1] are rejected.
+  EXPECT_FALSE(FaultPlan::parse("loss@0:p=1.5", &error).has_value());
+  EXPECT_FALSE(FaultPlan::parse("loss@0:p=-0.1", &error).has_value());
+
+  // Capacity must be in (0, 1].
+  EXPECT_FALSE(FaultPlan::parse("derate@0:s=1,c=0", &error).has_value());
+  EXPECT_FALSE(FaultPlan::parse("derate@0:s=1,c=1.5", &error).has_value());
+
+  // Unknown argument key.
+  EXPECT_FALSE(FaultPlan::parse("crash@5:q=1", &error).has_value());
+  EXPECT_NE(error.find("bad argument"), std::string::npos);
+
+  // Dangling parameter forms.
+  EXPECT_FALSE(FaultPlan::parse("seed", &error).has_value());
+  EXPECT_FALSE(FaultPlan::parse("=5", &error).has_value());
+  EXPECT_FALSE(FaultPlan::parse("hb=-1", &error).has_value());
+  EXPECT_FALSE(FaultPlan::parse("miss=0", &error).has_value());
+  EXPECT_FALSE(FaultPlan::parse("backoff=0", &error).has_value());
+}
+
+TEST(FaultPlanParse, ErrorPointerIsOptional) {
+  EXPECT_FALSE(FaultPlan::parse("bogus@x", nullptr).has_value());
+}
+
+TEST(FaultPlanParse, RoundTripsThroughToSpec) {
+  const auto original = FaultPlan::parse(
+      "seed=1234; hb=3; miss=2; retries=6; backoff=0.25;"
+      "crash@600:s=3; leader@900; loss@0:p=0.05; delay@10:d=0.2;"
+      "migfail@5:p=0.1; derate@20:s=7,c=0.5; recover@1200:s=3");
+  ASSERT_TRUE(original.has_value());
+  const std::string spec = original->to_spec();
+  const auto reparsed = FaultPlan::parse(spec);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->to_spec(), spec);
+
+  EXPECT_EQ(reparsed->seed(), original->seed());
+  ASSERT_EQ(reparsed->events().size(), original->events().size());
+  for (std::size_t i = 0; i < original->events().size(); ++i) {
+    const auto& a = original->events()[i];
+    const auto& b = reparsed->events()[i];
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_DOUBLE_EQ(a.at.value, b.at.value) << i;
+    EXPECT_EQ(a.server, b.server) << i;
+    EXPECT_DOUBLE_EQ(a.value, b.value) << i;
+  }
+}
+
+TEST(FaultPlanParse, LastParameterWins) {
+  const auto plan = FaultPlan::parse("seed=1;seed=2");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->seed(), 2U);
+}
+
+TEST(FaultPlan, SetSeedChains) {
+  FaultPlan plan;
+  EXPECT_EQ(plan.set_seed(77).seed(), 77U);
+}
+
+}  // namespace
+}  // namespace eclb::fault

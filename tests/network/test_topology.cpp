@@ -79,5 +79,83 @@ TEST(Topology, SingleHostDegenerate) {
   EXPECT_EQ(b.links, 1U);  // no inter-switch links in a 1x1 grid
 }
 
+TEST(LinkTable, FreshTableIsTransparent) {
+  LinkTable links(4);
+  common::Rng rng(1);
+  for (std::size_t h = 0; h < links.size(); ++h) {
+    EXPECT_DOUBLE_EQ(links.delay(h), 0.0);
+    EXPECT_DOUBLE_EQ(links.drop_probability(h), 0.0);
+    EXPECT_TRUE(links.reachable(h));
+    EXPECT_TRUE(links.deliver(h, rng));
+  }
+}
+
+TEST(LinkTable, LossFreeDeliveryConsumesNoRandomness) {
+  // The empty-plan bit-identity guarantee depends on this: a transparent
+  // table must leave the RNG stream exactly where it was.
+  LinkTable links(2);
+  common::Rng rng(42);
+  common::Rng untouched(42);
+  EXPECT_TRUE(links.deliver(0, rng));
+  EXPECT_TRUE(links.deliver(1, rng));
+  EXPECT_EQ(rng.next_u64(), untouched.next_u64());
+}
+
+TEST(LinkTable, CertainLossAlwaysDrops) {
+  LinkTable links(1);
+  links.set_drop_probability(0, 1.0);
+  common::Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(links.deliver(0, rng));
+}
+
+TEST(LinkTable, LossProbabilityMatchesEmpirically) {
+  LinkTable links(1);
+  links.set_drop_probability(0, 0.3);
+  common::Rng rng(99);
+  int dropped = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (!links.deliver(0, rng)) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / trials, 0.3, 0.02);
+}
+
+TEST(LinkTable, UnreachableHostNeverDeliversNorDraws) {
+  LinkTable links(3);
+  links.set_drop_probability_all(0.5);
+  links.set_unreachable(1, true);
+  common::Rng rng(5);
+  common::Rng untouched(5);
+  EXPECT_FALSE(links.deliver(1, rng));
+  // Partition verdicts are deterministic -- no Bernoulli draw happened.
+  EXPECT_EQ(rng.next_u64(), untouched.next_u64());
+  links.set_unreachable(1, false);
+  EXPECT_TRUE(links.reachable(1));
+}
+
+TEST(LinkTable, PerHostAndAllSetters) {
+  LinkTable links(3, 0.001);
+  EXPECT_DOUBLE_EQ(links.delay(2), 0.001);
+  links.set_delay(1, 0.25);
+  EXPECT_DOUBLE_EQ(links.delay(1), 0.25);
+  EXPECT_DOUBLE_EQ(links.delay(0), 0.001);
+  links.set_delay_all(0.5);
+  EXPECT_DOUBLE_EQ(links.delay(0), 0.5);
+  EXPECT_DOUBLE_EQ(links.delay(2), 0.5);
+  links.set_drop_probability(2, 0.75);
+  EXPECT_DOUBLE_EQ(links.drop_probability(2), 0.75);
+  EXPECT_DOUBLE_EQ(links.drop_probability(0), 0.0);
+  links.set_drop_probability_all(0.1);
+  EXPECT_DOUBLE_EQ(links.drop_probability(0), 0.1);
+}
+
+TEST(LinkTable, ZeroDelayLinkKeepsSynchronousSemantics) {
+  // Delay 0 is the fault-free fast path: callers check `delay > 0` before
+  // scheduling a deferred delivery, so the stored value must stay exactly 0.
+  LinkTable links(1);
+  links.set_delay(0, 0.0);
+  EXPECT_DOUBLE_EQ(links.delay(0), 0.0);
+}
+
 }  // namespace
 }  // namespace eclb::network

@@ -149,6 +149,14 @@ TEST(Trace, EventStreamReconstructsIntervalReports) {
             counted.unserved_demand += rec.event.unserved;
             break;
           case Kind::kQosViolation: ++counted.qos_violations; break;
+          case Kind::kServerCrash: ++counted.crashes; break;
+          case Kind::kServerRecover: ++counted.recoveries; break;
+          case Kind::kLeaderFailover: ++counted.failovers; break;
+          case Kind::kMessageDropped: ++counted.dropped_messages; break;
+          case Kind::kMessageRetried: ++counted.retried_messages; break;
+          case Kind::kOrphanReplaced: ++counted.orphans_replaced; break;
+          case Kind::kMigrationFailed: ++counted.failed_migrations; break;
+          case Kind::kCapacityDerate: break;  // config change, no counter
         }
         break;
       }

@@ -14,11 +14,13 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "analytic/homogeneous_model.h"
 #include "common/csv.h"
 #include "common/flags.h"
 #include "experiment/scenario.h"
+#include "fault/injector.h"
 #include "obs/observer.h"
 #include "policy/farm.h"
 #include "policy/policies.h"
@@ -37,12 +39,16 @@ int usage() {
       "\n"
       "commands:\n"
       "  cluster   --servers N --load 30|70 --intervals K --seed S [--tau SEC]\n"
-      "            [--no-sleep] [--no-rebalance]\n"
+      "            [--no-sleep] [--no-rebalance] [--faults SPEC]\n"
       "            [--trace DIR] [--metrics FILE] [--profile]\n"
       "            runs the energy-aware protocol, prints per-interval CSV;\n"
       "            --trace writes a JSONL protocol trace into DIR, --metrics\n"
       "            writes aggregated counters as JSON, --profile prints a\n"
-      "            wall-clock phase table to stderr\n"
+      "            wall-clock phase table to stderr; --faults injects a\n"
+      "            deterministic fault schedule, e.g.\n"
+      "            \"leader@1200;loss@0:p=0.05;crash@600:s=3;seed=9\"\n"
+      "            (kinds: crash recover leader loss delay migfail derate;\n"
+      "            params: seed hb miss retries backoff)\n"
       "  farm      --policy always-on|reactive|reactive+extra|autoscale|\n"
       "                     predictive-mw|predictive-lr\n"
       "            --workload diurnal|spiky|walk|constant [--trace FILE]\n"
@@ -69,6 +75,16 @@ int cmd_cluster(common::Flags& flags) {
   if (flags.get_bool("no-sleep")) cfg.allow_sleep = false;
   if (flags.get_bool("no-rebalance")) cfg.rebalance_enabled = false;
 
+  std::optional<fault::FaultPlan> plan;
+  if (flags.has("faults")) {
+    std::string error;
+    plan = fault::FaultPlan::parse(flags.get("faults"), &error);
+    if (!plan.has_value()) {
+      std::cerr << "--faults: " << error << "\n";
+      return 2;
+    }
+  }
+
   obs::MetricsRegistry registry;
   obs::Profiler profiler;
   obs::ObsConfig obs_cfg;
@@ -79,6 +95,8 @@ int cmd_cluster(common::Flags& flags) {
   const auto probe = obs::ClusterProbe::make(obs_cfg, seed, /*replication=*/0);
 
   cluster::Cluster cluster(cfg);
+  std::optional<fault::FaultInjector> injector;
+  if (plan.has_value()) injector.emplace(cluster, *plan);
   if (probe != nullptr) {
     cluster.attach_observer(probe.get());
     if (probe->trace() != nullptr && !probe->trace()->ok()) {
@@ -107,6 +125,14 @@ int cmd_cluster(common::Flags& flags) {
   }
   std::cerr << "total energy: " << cluster.total_energy().kwh() << " kWh, "
             << cluster.message_stats().total() << " control messages\n";
+  if (injector.has_value()) {
+    const auto& st = injector->stats();
+    std::cerr << "resilience: " << st.crashes << " crashes, " << st.recoveries
+              << " recoveries, " << st.failovers << " failovers, "
+              << st.dropped_messages << " dropped, " << st.retried_messages
+              << " retried, " << st.migration_failures
+              << " failed migrations, MTTR " << st.mttr() << " s\n";
+  }
   if (probe != nullptr && probe->trace() != nullptr) {
     std::cerr << "trace: " << probe->trace()->path() << "\n";
   }
