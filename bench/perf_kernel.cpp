@@ -1,103 +1,297 @@
-// P1: google-benchmark microbenchmarks of the simulation substrate --
-// event-queue throughput, DES dispatch rate, cluster construction and the
-// per-interval protocol step across cluster sizes.
-#include <benchmark/benchmark.h>
+// P1: the recorded perf baseline for the scan-free protocol hot path.
+//
+// Standalone harness (no external benchmark framework): sweeps the
+// per-interval cluster step across cluster sizes with the regime index
+// enabled and disabled, measures steady-state event-queue throughput with a
+// global allocation counter, and emits the results as BENCH_perf.json
+// (schema "eclb-perf-1").  With --check <reference.json> it compares the
+// measured indexed-over-legacy speedups against the checked-in reference
+// and exits non-zero on a >2x regression -- the CI perf smoke gate.
+//
+// Usage:
+//   perf_kernel [--ci] [--full] [--out BENCH_perf.json] [--check ref.json]
+//     --ci    small sizes only (100, 1000): fast enough for every CI run.
+//     --full  adds the legacy path at 100000 servers (minutes, local only).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "cluster/cluster.h"
-#include "common/rng.h"
+#include "common/flags.h"
 #include "experiment/scenario.h"
-#include "sim/simulation.h"
-#include "vm/migration.h"
+#include "sim/event_queue.h"
+
+// --- global allocation counter ---------------------------------------------
+//
+// Counts every operator-new on the process; the event-queue benchmark reads
+// it around its steady-state cycle to prove the hot path performs zero
+// per-event heap allocations (SBO callbacks + retained heap capacity).
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
 using namespace eclb;
+using Clock = std::chrono::steady_clock;
 
-void BM_EventQueuePushPop(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// --- cluster step sweep -----------------------------------------------------
+
+struct StepSample {
+  std::size_t servers{0};
+  bool indexed{false};
+  std::size_t intervals{0};
+  double ms_per_interval{0.0};
+};
+
+/// Intervals to time per size: enough for a stable mean, bounded so the
+/// legacy path at large N stays tractable.
+std::size_t intervals_for(std::size_t servers) {
+  if (servers <= 100) return 200;
+  if (servers <= 1000) return 50;
+  if (servers <= 10000) return 10;
+  return 3;
+}
+
+StepSample time_cluster_step(std::size_t servers, bool indexed) {
+  auto cfg = experiment::paper_cluster_config(
+      servers, experiment::AverageLoad::kLow30, 42);
+  cfg.use_regime_index = indexed;
+  cluster::Cluster c(cfg);
+  c.step();  // warmup: first-interval transients (initial sleep wave)
+  c.step();
+  const std::size_t k = intervals_for(servers);
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < k; ++i) c.step();
+  const double elapsed = seconds_since(start);
+  StepSample s;
+  s.servers = servers;
+  s.indexed = indexed;
+  s.intervals = k;
+  s.ms_per_interval = 1e3 * elapsed / static_cast<double>(k);
+  return s;
+}
+
+// --- event-queue benchmark --------------------------------------------------
+
+struct QueueSample {
+  std::size_t events{0};
+  double ns_per_event{0.0};
+  double allocs_per_event{0.0};
+};
+
+QueueSample time_event_queue(std::size_t n) {
+  sim::EventQueue q;
   common::Rng rng(1);
-  for (auto _ : state) {
-    sim::EventQueue q;
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1e6);
+
+  // Cycle 0 warms the heap vector to full capacity; pops retain it, so the
+  // measured cycle runs allocation-free end to end.
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    const std::size_t allocs_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    const auto start = Clock::now();
     for (std::size_t i = 0; i < n; ++i) {
-      q.push(common::Seconds{rng.uniform(0.0, 1e6)}, [](sim::Simulation&) {});
+      q.push(common::Seconds{times[i]}, [](sim::Simulation&) {});
     }
-    while (auto ev = q.pop()) benchmark::DoNotOptimize(ev->time);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000)->Arg(100000);
-
-void BM_SimulationDispatch(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    sim::Simulation simulation;
-    for (std::size_t i = 0; i < n; ++i) {
-      simulation.schedule_at(common::Seconds{static_cast<double>(i)},
-                             [](sim::Simulation&) {});
+    std::size_t popped = 0;
+    while (q.pop().has_value()) ++popped;
+    const double elapsed = seconds_since(start);
+    const std::size_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+    if (popped != n) {
+      std::fprintf(stderr, "event queue lost events: %zu != %zu\n", popped, n);
+      std::exit(2);
     }
-    benchmark::DoNotOptimize(simulation.run_all());
+    if (cycle == 1) {
+      QueueSample s;
+      s.events = n;
+      s.ns_per_event = 1e9 * elapsed / (2.0 * static_cast<double>(n));
+      s.allocs_per_event =
+          static_cast<double>(allocs) / static_cast<double>(n);
+      return s;
+    }
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
+  return {};
 }
-BENCHMARK(BM_SimulationDispatch)->Arg(1000)->Arg(100000);
 
-void BM_ClusterConstruction(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    auto cfg = experiment::paper_cluster_config(
-        n, experiment::AverageLoad::kLow30, 42);
-    cluster::Cluster c(cfg);
-    benchmark::DoNotOptimize(c.total_demand());
-  }
-}
-BENCHMARK(BM_ClusterConstruction)->Arg(100)->Arg(1000)->Arg(10000)
-    ->Unit(benchmark::kMillisecond);
+// --- JSON output ------------------------------------------------------------
 
-void BM_ClusterStepLowLoad(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  auto cfg =
-      experiment::paper_cluster_config(n, experiment::AverageLoad::kLow30, 42);
-  cluster::Cluster c(cfg);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(c.step().local_decisions);
+std::string json_report(const std::vector<StepSample>& steps,
+                        const QueueSample& queue) {
+  std::ostringstream out;
+  out.precision(6);
+  out << "{\n  \"schema\": \"eclb-perf-1\",\n  \"generated_by\": \"perf_kernel\",\n";
+  out << "  \"cluster_step\": [\n";
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const auto& s = steps[i];
+    out << "    {\"servers\": " << s.servers << ", \"mode\": \""
+        << (s.indexed ? "indexed" : "legacy") << "\", \"intervals\": "
+        << s.intervals << ", \"ms_per_interval\": " << s.ms_per_interval
+        << "}" << (i + 1 < steps.size() ? "," : "") << "\n";
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
+  out << "  ],\n  \"step_speedup\": {";
+  bool first = true;
+  for (const auto& a : steps) {
+    if (!a.indexed) continue;
+    for (const auto& b : steps) {
+      if (b.indexed || b.servers != a.servers) continue;
+      out << (first ? "" : ", ") << "\"" << a.servers
+          << "\": " << b.ms_per_interval / a.ms_per_interval;
+      first = false;
+    }
+  }
+  out << "},\n  \"event_queue\": {\"events\": " << queue.events
+      << ", \"ns_per_event\": " << queue.ns_per_event
+      << ", \"allocs_per_event\": " << queue.allocs_per_event << "}\n}\n";
+  return out.str();
 }
-BENCHMARK(BM_ClusterStepLowLoad)->Arg(100)->Arg(1000)->Arg(10000)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_ClusterStepHighLoad(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  auto cfg =
-      experiment::paper_cluster_config(n, experiment::AverageLoad::kHigh70, 42);
-  cluster::Cluster c(cfg);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(c.step().local_decisions);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
+/// Pulls `"key": <number>` pairs out of the flat reference JSON.  The file
+/// is generated by this tool, so a line-oriented scan is sufficient -- no
+/// JSON library in the container.
+std::optional<double> json_number(const std::string& text,
+                                  const std::string& key) {
+  const auto at = text.find("\"" + key + "\"");
+  if (at == std::string::npos) return std::nullopt;
+  const auto colon = text.find(':', at);
+  if (colon == std::string::npos) return std::nullopt;
+  return std::strtod(text.c_str() + colon + 1, nullptr);
 }
-BENCHMARK(BM_ClusterStepHighLoad)->Arg(100)->Arg(1000)->Arg(10000)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_MigrationCostModel(benchmark::State& state) {
-  const vm::Vm v(common::VmId{1}, common::AppId{1}, 0.2);
-  const vm::MigrationEnvironment env;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(vm::migrate_cost(v, env).total_time);
+int check_against_reference(const std::string& ref_path,
+                            const std::vector<StepSample>& steps,
+                            const QueueSample& queue) {
+  std::ifstream in(ref_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read reference %s\n", ref_path.c_str());
+    return 2;
   }
-}
-BENCHMARK(BM_MigrationCostModel);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string ref = buf.str();
+  int failures = 0;
 
-void BM_RngUniform(benchmark::State& state) {
-  common::Rng rng(7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.uniform01());
+  for (const auto& a : steps) {
+    if (!a.indexed) continue;
+    for (const auto& b : steps) {
+      if (b.indexed || b.servers != a.servers) continue;
+      const double measured = b.ms_per_interval / a.ms_per_interval;
+      const auto expect = json_number(ref, std::to_string(a.servers));
+      if (!expect.has_value()) continue;  // size not in the reference
+      // Gate at half the recorded speedup: generous enough for CI-runner
+      // noise, tight enough to catch the index silently falling back to
+      // scans (which would drop the ratio to ~1).
+      if (measured < *expect / 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: step speedup at %zu servers regressed: "
+                     "measured %.2fx, reference %.2fx (gate %.2fx)\n",
+                     a.servers, measured, *expect, *expect / 2.0);
+        ++failures;
+      } else {
+        std::printf("ok: step speedup at %zu servers %.2fx (reference %.2fx)\n",
+                    a.servers, measured, *expect);
+      }
+    }
   }
+
+  const auto ref_allocs = json_number(ref, "allocs_per_event");
+  if (ref_allocs.has_value() && queue.allocs_per_event > *ref_allocs) {
+    std::fprintf(stderr,
+                 "FAIL: event queue allocates %.4f per event "
+                 "(reference %.4f)\n",
+                 queue.allocs_per_event, *ref_allocs);
+    ++failures;
+  } else {
+    std::printf("ok: event queue allocs/event %.4f\n", queue.allocs_per_event);
+  }
+  return failures == 0 ? 0 : 1;
 }
-BENCHMARK(BM_RngUniform);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = common::Flags::parse(argc, argv);
+  const auto bad = flags.unknown({"ci", "full", "out", "check"});
+  if (!bad.empty()) {
+    std::fprintf(stderr, "unknown flag --%s\n", bad.front().c_str());
+    return 2;
+  }
+  const bool ci = flags.get_bool("ci");
+  const bool full = flags.get_bool("full");
+  const std::string out_path = flags.get("out", "BENCH_perf.json");
+
+  std::vector<std::size_t> sizes{100, 1000};
+  if (!ci) sizes.push_back(10000);
+
+  std::vector<StepSample> steps;
+  for (const auto n : sizes) {
+    for (const bool indexed : {true, false}) {
+      std::printf("cluster step: %zu servers, %s...\n", n,
+                  indexed ? "indexed" : "legacy");
+      std::fflush(stdout);
+      steps.push_back(time_cluster_step(n, indexed));
+      std::printf("  %.3f ms/interval\n", steps.back().ms_per_interval);
+    }
+  }
+  if (!ci) {
+    // The whole point of the index: 1e5 servers is interactive.
+    std::printf("cluster step: 100000 servers, indexed...\n");
+    std::fflush(stdout);
+    steps.push_back(time_cluster_step(100000, true));
+    std::printf("  %.3f ms/interval\n", steps.back().ms_per_interval);
+    if (full) {
+      std::printf("cluster step: 100000 servers, legacy (slow)...\n");
+      std::fflush(stdout);
+      steps.push_back(time_cluster_step(100000, false));
+      std::printf("  %.3f ms/interval\n", steps.back().ms_per_interval);
+    }
+  }
+
+  std::printf("event queue: steady-state push/pop...\n");
+  std::fflush(stdout);
+  const QueueSample queue = time_event_queue(ci ? 20000 : 100000);
+  std::printf("  %.1f ns/event, %.4f allocs/event\n", queue.ns_per_event,
+              queue.allocs_per_event);
+
+  const std::string report = json_report(steps, queue);
+  std::ofstream out(out_path);
+  out << report;
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (flags.has("check")) {
+    return check_against_reference(flags.get("check"), steps, queue);
+  }
+  return 0;
+}

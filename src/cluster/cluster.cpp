@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "cluster/index/regime_index.h"
 #include "cluster/protocol/engine.h"
 #include "cluster/protocol/view.h"
 #include "common/assert.h"
@@ -29,6 +30,11 @@ Cluster::Cluster(ClusterConfig config)
   ECLB_ASSERT(config_.initial_load_min <= config_.initial_load_max,
               "Cluster: invalid initial load range");
   populate();
+  if (config_.use_regime_index) {
+    index_ = std::make_unique<index::RegimeIndex>(
+        std::span<const server::Server>(servers_));
+    for (auto& s : servers_) s.set_state_listener(index_.get());
+  }
   energy_at_last_step_ = total_energy();
 }
 
@@ -96,6 +102,7 @@ double Cluster::total_demand() const {
 }
 
 std::size_t Cluster::total_vms() const {
+  if (index_ != nullptr) return index_->total_vms();
   std::size_t total = 0;
   for (const auto& s : servers_) total += s.vm_count();
   return total;
@@ -115,6 +122,7 @@ double Cluster::load_fraction() const {
 }
 
 std::size_t Cluster::sleeping_count() const {
+  if (index_ != nullptr) return index_->sleeping_count();
   std::size_t count = 0;
   for (const auto& s : servers_) {
     if (!s.failed() && !s.awake(now())) ++count;
@@ -123,6 +131,7 @@ std::size_t Cluster::sleeping_count() const {
 }
 
 std::size_t Cluster::parked_count() const {
+  if (index_ != nullptr) return index_->parked_count();
   std::size_t count = 0;
   for (const auto& s : servers_) {
     if (s.effective_cstate() == energy::CState::kC1) ++count;
@@ -131,6 +140,7 @@ std::size_t Cluster::parked_count() const {
 }
 
 std::size_t Cluster::deep_sleeping_count() const {
+  if (index_ != nullptr) return index_->deep_sleeping_count();
   std::size_t count = 0;
   for (const auto& s : servers_) {
     const auto c = s.effective_cstate();
@@ -140,6 +150,7 @@ std::size_t Cluster::deep_sleeping_count() const {
 }
 
 energy::RegimeHistogram Cluster::regime_histogram() const {
+  if (index_ != nullptr) return index_->regime_histogram();
   energy::RegimeHistogram hist{};
   for (const auto& s : servers_) {
     // Servers transitioning into a sleep state still report C0 as their
@@ -168,10 +179,21 @@ common::VmId Cluster::inject_vm(common::ServerId server, common::AppId app,
   return spawn_vm(server_ref(server), app, demand, /*force=*/true);
 }
 
+std::optional<common::ServerId> Cluster::pick_placement(
+    double demand, common::ServerId exclude) {
+  if (index_ != nullptr &&
+      config_.placement == PlacementStrategy::kEnergyAware) {
+    // EnergyAwarePlacement::pick never consumes randomness, so routing
+    // around it through the index cannot shift the RNG stream.
+    return index_->find_tiered_target(demand, exclude,
+                                      policy::PlacementTier::kStaySuboptimal);
+  }
+  return placement_->pick(servers_, now(), demand, exclude, rng_);
+}
+
 bool Cluster::accept_external(common::AppId app, double demand) {
   if (demand <= 0.0) return false;
-  const auto target_id =
-      placement_->pick(servers_, now(), demand, common::ServerId{}, rng_);
+  const auto target_id = pick_placement(demand, common::ServerId{});
   if (!target_id.has_value()) return false;
   auto& target = server_ref(*target_id);
   const common::VmId new_id = spawn_vm(target, app, demand, /*force=*/false);

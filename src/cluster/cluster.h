@@ -42,6 +42,10 @@
 
 namespace eclb::cluster {
 
+namespace index {
+class RegimeIndex;
+}  // namespace index
+
 namespace protocol {
 class ClusterView;
 class ProtocolEngine;
@@ -209,6 +213,11 @@ class Cluster {
   [[nodiscard]] const vm::DemandGrowthSpec* growth_of(common::VmId id) const;
   /// The RNG (forked from the master seed).
   [[nodiscard]] common::Rng& rng() { return rng_; }
+  /// The incremental regime index; nullptr when config().use_regime_index is
+  /// false (legacy scan mode).
+  [[nodiscard]] const index::RegimeIndex* regime_index() const {
+    return index_.get();
+  }
 
  private:
   friend class protocol::ClusterView;
@@ -217,6 +226,12 @@ class Cluster {
   common::VmId spawn_vm(server::Server& host, common::AppId app, double demand,
                         bool force);
   server::Server& server_ref(common::ServerId id);
+  /// Placement through the configured policy, routed through the regime
+  /// index when it is enabled and the policy is the energy-aware one (the
+  /// only strategy the index models).  Shared by the protocol view and
+  /// accept_external so both take the same fast path.
+  std::optional<common::ServerId> pick_placement(double demand,
+                                                 common::ServerId exclude);
   /// Executes one protocol round at the current kernel time.
   IntervalReport run_round();
   /// Schedules the settle + energy charge of an in-flight C-state transition
@@ -257,6 +272,9 @@ class Cluster {
   Leader leader_;
   OverflowHandler overflow_handler_;
   std::vector<server::Server> servers_;
+  /// Declared after servers_ so it is destroyed first; servers never notify
+  /// from their destructor, so the dangling listener pointer is harmless.
+  std::unique_ptr<index::RegimeIndex> index_;
   std::unordered_map<common::VmId, vm::DemandGrowthSpec> growth_;
   MessageStats messages_;
   vm::ScalingCost local_cost_{};

@@ -97,6 +97,15 @@ struct ClusterConfig {
   /// supports the sleep-state ablation bench).
   std::optional<energy::CState> forced_sleep_state{};
 
+  /// When true (the default) the cluster maintains the incremental regime
+  /// index (src/cluster/index) and the protocol's placement searches,
+  /// cursors and fleet aggregates run scan-free in O(log n) / O(1).  When
+  /// false every query falls back to the legacy full scans.  Both paths are
+  /// bit-identical by contract (the randomized equivalence suite and the
+  /// golden-hash tests enforce it); the switch exists for the perf bench
+  /// and for differential testing.
+  bool use_regime_index{true};
+
   /// Price list for p_k / q_k / j_k.
   vm::ScalingCostParams costs{};
 

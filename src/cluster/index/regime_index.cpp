@@ -1,0 +1,382 @@
+#include "cluster/index/regime_index.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace eclb::cluster::index {
+
+namespace {
+/// The protocol's comparison epsilon (matches placement and the actions).
+constexpr double kEps = 1e-9;
+/// Safety margin between the approximate key distance and the exact legacy
+/// score.  The two differ only by rounding error of sums of values <= ~2
+/// (a handful of ulps, ~1e-15); 1e-9 is nine orders of magnitude above that
+/// and still far below any load difference the simulation produces.
+constexpr double kSlop = 1e-9;
+
+constexpr std::uint32_t kNoId = std::numeric_limits<std::uint32_t>::max();
+
+std::optional<common::ServerId> next_in_set(
+    const std::set<std::uint32_t>& ids, std::optional<common::ServerId> after) {
+  const auto it =
+      after.has_value() ? ids.upper_bound(after->value) : ids.begin();
+  if (it == ids.end()) return std::nullopt;
+  return common::ServerId{*it};
+}
+}  // namespace
+
+RegimeIndex::RegimeIndex(std::span<const server::Server> servers)
+    : servers_(servers) {
+  rebuild();
+}
+
+void RegimeIndex::rebuild() {
+  for (auto& b : by_key_) b.clear();
+  for (auto& b : by_id_) b.clear();
+  for (auto& b : sleepers_) b.clear();
+  above_center_.clear();
+  awake_empty_.clear();
+  total_vms_ = 0;
+  sleeping_ = 0;
+  reporters_ = 0;
+  cnt_effective_.fill(0);
+  max_opt_halfwidth_ = 0.0;
+  max_sopt_halfwidth_ = 0.0;
+
+  slots_.assign(servers_.size(), Slot{});
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    const auto& t = servers_[i].thresholds();
+    const double center = t.optimal_center();
+    max_opt_halfwidth_ = std::max(max_opt_halfwidth_, t.alpha_opt_high - center);
+    max_sopt_halfwidth_ =
+        std::max(max_sopt_halfwidth_, t.alpha_sopt_high - center);
+    slots_[i] = classify(servers_[i]);
+    file_slot(static_cast<std::uint32_t>(i), slots_[i]);
+  }
+}
+
+void RegimeIndex::server_state_changed(const server::Server& s) {
+  update_slot(s.id().index());
+}
+
+RegimeIndex::Slot RegimeIndex::classify(const server::Server& s) const {
+  Slot slot;
+  slot.load = s.load();
+  slot.vm_count = static_cast<std::uint32_t>(s.vm_count());
+  const bool failed = s.failed();
+  const bool pending = s.transition_pending();
+  const energy::CState state = s.cstate();
+  // Time-independent awake: with no pending target a settled C0 server is
+  // awake at every instant, and with one it is awake at none (see
+  // Server::awake -- transitioning(now) implies a pending target).
+  const bool awake = !failed && state == energy::CState::kC0 && !pending;
+  slot.awake = awake;
+  slot.sleeping = !failed && !awake;
+  slot.effective = static_cast<std::int8_t>(s.effective_cstate());
+  const auto& t = s.thresholds();
+  const double center = t.optimal_center();
+  slot.key = slot.load - center;
+  if (awake) {
+    slot.regime = static_cast<std::int8_t>(
+        energy::regime_index(t.classify(s.served_load())));
+  }
+  if (!failed && !pending && state != energy::CState::kC0) {
+    // Settled sleeper; depth index C1->0, C3->1, C6->2.
+    slot.sleeper = static_cast<std::int8_t>(static_cast<int>(state) - 1);
+  }
+  slot.above_center = awake && slot.load > center + kEps;
+  slot.awake_empty = awake && slot.vm_count == 0;
+  // Server::regime() is defined (and reported to the leader) whenever the
+  // server is unfailed with settled state C0 -- including one still easing
+  // into sleep -- so the report fan-in uses that wider condition.
+  slot.reporter = !failed && state == energy::CState::kC0 &&
+                  t.classify(s.served_load()) != energy::Regime::kR3Optimal;
+  return slot;
+}
+
+void RegimeIndex::file_slot(std::uint32_t id, const Slot& slot) {
+  if (slot.regime >= 0) {
+    by_key_[slot.regime].insert({slot.key, id});
+    by_id_[slot.regime].insert(id);
+  }
+  if (slot.sleeper >= 0) sleepers_[slot.sleeper].insert(id);
+  if (slot.above_center) above_center_.insert(id);
+  if (slot.awake_empty) awake_empty_.insert(id);
+  total_vms_ += slot.vm_count;
+  if (slot.sleeping) ++sleeping_;
+  if (slot.reporter) ++reporters_;
+  ++cnt_effective_[static_cast<std::size_t>(slot.effective)];
+}
+
+void RegimeIndex::unfile_slot(std::uint32_t id, const Slot& slot) {
+  if (slot.regime >= 0) {
+    by_key_[slot.regime].erase({slot.key, id});
+    by_id_[slot.regime].erase(id);
+  }
+  if (slot.sleeper >= 0) sleepers_[slot.sleeper].erase(id);
+  if (slot.above_center) above_center_.erase(id);
+  if (slot.awake_empty) awake_empty_.erase(id);
+  total_vms_ -= slot.vm_count;
+  if (slot.sleeping) --sleeping_;
+  if (slot.reporter) --reporters_;
+  --cnt_effective_[static_cast<std::size_t>(slot.effective)];
+}
+
+void RegimeIndex::update_slot(std::size_t i) {
+  ECLB_ASSERT(i < slots_.size(), "RegimeIndex: server index out of range");
+  const std::uint32_t id = static_cast<std::uint32_t>(i);
+  const Slot fresh = classify(servers_[i]);
+  unfile_slot(id, slots_[i]);
+  file_slot(id, fresh);
+  slots_[i] = fresh;
+}
+
+energy::RegimeHistogram RegimeIndex::regime_histogram() const {
+  energy::RegimeHistogram hist{};
+  for (std::size_t r = 0; r < energy::kRegimeCount; ++r) {
+    hist[r] = by_id_[r].size();
+  }
+  return hist;
+}
+
+template <class Admit>
+std::optional<common::ServerId> RegimeIndex::search(
+    std::span<const BucketRef> buckets, double demand, common::ServerId exclude,
+    const Admit& admit) const {
+  // Bidirectional expansion per bucket around the ideal key -demand (where
+  // post-placement load would land exactly on the center): `up` walks keys
+  // >= the pivot in increasing order, `down_pos` walks keys below it in
+  // decreasing order.  At each step the globally closest unexamined
+  // candidate (by key distance) is rescored with the exact legacy
+  // expression; the search stops once every remaining candidate is provably
+  // worse than the best exact score found.
+  struct Cursor {
+    const std::set<LoadKey>* keys;
+    std::set<LoadKey>::const_iterator up;
+    std::set<LoadKey>::const_iterator down_pos;
+    double hi_cutoff;
+    int regime_idx;
+  };
+  std::array<Cursor, energy::kRegimeCount> cursors;
+  std::size_t n_cursors = 0;
+  const double pivot = -demand;
+  for (const auto& b : buckets) {
+    const auto& keys = by_key_[b.regime_idx];
+    if (keys.empty()) continue;
+    auto& c = cursors[n_cursors++];
+    c.keys = &keys;
+    c.up = keys.lower_bound(LoadKey{pivot, 0});
+    c.down_pos = c.up;
+    c.hi_cutoff = b.hi_cutoff;
+    c.regime_idx = b.regime_idx;
+  }
+
+  double best_score = std::numeric_limits<double>::infinity();
+  std::uint32_t best_id = kNoId;
+  for (;;) {
+    double min_dist = std::numeric_limits<double>::infinity();
+    Cursor* pick = nullptr;
+    bool pick_up = false;
+    for (std::size_t i = 0; i < n_cursors; ++i) {
+      auto& c = cursors[i];
+      if (c.up != c.keys->end()) {
+        const double d = c.up->first + demand;
+        if (d > c.hi_cutoff) {
+          // Keys only grow upward; nothing beyond the cutoff is admissible.
+          c.up = c.keys->end();
+        } else if (d < min_dist) {
+          min_dist = d;
+          pick = &c;
+          pick_up = true;
+        }
+      }
+      if (c.down_pos != c.keys->begin()) {
+        const double d = -(std::prev(c.down_pos)->first + demand);
+        if (d < min_dist) {
+          min_dist = d;
+          pick = &c;
+          pick_up = false;
+        }
+      }
+    }
+    if (pick == nullptr) break;
+    if (best_id != kNoId && min_dist > best_score + kSlop) break;
+    std::uint32_t id = 0;
+    if (pick_up) {
+      id = pick->up->second;
+      ++pick->up;
+    } else {
+      --pick->down_pos;
+      id = pick->down_pos->second;
+    }
+    if (id == exclude.value) continue;
+    const std::optional<double> score = admit(servers_[id], pick->regime_idx);
+    if (score.has_value() &&
+        (*score < best_score || (*score == best_score && id < best_id))) {
+      best_score = *score;
+      best_id = id;
+    }
+  }
+  if (best_id == kNoId) return std::nullopt;
+  return common::ServerId{best_id};
+}
+
+std::optional<common::ServerId> RegimeIndex::find_tiered_target(
+    double demand, common::ServerId exclude,
+    policy::PlacementTier max_tier) const {
+  // Per tier, bucket membership already encodes "awake" plus the tier's
+  // regime restriction; the remaining legacy admissibility condition (the
+  // post-placement threshold) and the score are evaluated exactly.  The
+  // regime containment is sound because post <= alpha implies
+  // served = min(load, capacity) <= alpha, so the candidate's regime is at
+  // most the alpha boundary's regime.
+  for (int tier = 0; tier <= static_cast<int>(max_tier); ++tier) {
+    const auto t = static_cast<policy::PlacementTier>(tier);
+    BucketRef buckets[4];
+    std::size_t n = 0;
+    double cutoff = 0.0;
+    int max_regime_idx = 0;
+    switch (t) {
+      case policy::PlacementTier::kLowRegimesOnly:
+        max_regime_idx = 1;  // R1, R2
+        cutoff = max_opt_halfwidth_ + kSlop;
+        break;
+      case policy::PlacementTier::kStayOptimal:
+        max_regime_idx = 2;  // R1..R3
+        cutoff = max_opt_halfwidth_ + kSlop;
+        break;
+      case policy::PlacementTier::kStaySuboptimal:
+        max_regime_idx = 3;  // R1..R4
+        cutoff = max_sopt_halfwidth_ + kSlop;
+        break;
+    }
+    for (int r = 0; r <= max_regime_idx; ++r) buckets[n++] = {r, cutoff};
+    const auto found = search(
+        std::span<const BucketRef>(buckets, n), demand, exclude,
+        [&](const server::Server& s, int /*regime_idx*/) -> std::optional<double> {
+          const double post = s.load() + demand;
+          const auto& th = s.thresholds();
+          const double bound = (t == policy::PlacementTier::kStaySuboptimal)
+                                   ? th.alpha_sopt_high
+                                   : th.alpha_opt_high;
+          if (post > bound) return std::nullopt;
+          return std::abs(s.load() + demand - th.optimal_center());
+        });
+    if (found.has_value()) return found;
+  }
+  return std::nullopt;
+}
+
+std::optional<common::ServerId> RegimeIndex::find_below_center_target(
+    double demand, common::ServerId exclude) const {
+  // Admissible targets end at or below their own center, so load < center:
+  // every candidate is awake in R1..R3 and its key + demand is <= rounding
+  // error -- the upward cutoff is just the slop margin.
+  const BucketRef buckets[3] = {{0, kSlop}, {1, kSlop}, {2, kSlop}};
+  return search(
+      std::span<const BucketRef>(buckets, 3), demand, exclude,
+      [&](const server::Server& s, int /*regime_idx*/) -> std::optional<double> {
+        const double post = s.load() + demand;
+        if (post > s.thresholds().optimal_center()) return std::nullopt;
+        return s.thresholds().optimal_center() - post;
+      });
+}
+
+std::optional<common::ServerId> RegimeIndex::find_drain_target(
+    const server::Server& donor, double demand) const {
+  // Legacy conditions, re-checked exactly per candidate: strictly-uphill
+  // load, R1/R2 peer or R3 staying below center, post within the optimal
+  // region (+kEps).  The R3 bucket's cutoff encodes its tighter
+  // below-center bound.
+  const double donor_load = donor.load();
+  const BucketRef buckets[3] = {{0, max_opt_halfwidth_ + kEps + kSlop},
+                                {1, max_opt_halfwidth_ + kEps + kSlop},
+                                {2, kEps + kSlop}};
+  return search(
+      std::span<const BucketRef>(buckets, 3), demand, donor.id(),
+      [&](const server::Server& t, int regime_idx) -> std::optional<double> {
+        if (t.load() <= donor_load + kEps) return std::nullopt;  // uphill only
+        const double post = t.load() + demand;
+        if (regime_idx == 2 &&
+            post > t.thresholds().optimal_center() + kEps) {
+          return std::nullopt;
+        }
+        if (post > t.thresholds().alpha_opt_high + kEps) return std::nullopt;
+        return std::abs(post - t.thresholds().optimal_center());
+      });
+}
+
+std::optional<common::ServerId> RegimeIndex::pick_wake_candidate() const {
+  // Legacy scan keeps the first (lowest-id) server with the shallowest
+  // settled sleep state; depth buckets in id order reproduce that directly.
+  for (const auto& depth : sleepers_) {
+    if (!depth.empty()) return common::ServerId{*depth.begin()};
+  }
+  return std::nullopt;
+}
+
+std::optional<common::ServerId> RegimeIndex::next_in_regime(
+    energy::Regime r, std::optional<common::ServerId> after) const {
+  return next_in_set(by_id_[energy::regime_index(r)], after);
+}
+
+std::optional<common::ServerId> RegimeIndex::next_above_center(
+    std::optional<common::ServerId> after) const {
+  return next_in_set(above_center_, after);
+}
+
+std::optional<common::ServerId> RegimeIndex::next_parked(
+    std::optional<common::ServerId> after) const {
+  return next_in_set(sleepers_[0], after);
+}
+
+std::optional<common::ServerId> RegimeIndex::next_awake_empty(
+    std::optional<common::ServerId> after) const {
+  return next_in_set(awake_empty_, after);
+}
+
+std::optional<std::string> RegimeIndex::self_check() const {
+  RegimeIndex fresh(servers_);
+  std::ostringstream err;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    const Slot& a = slots_[i];
+    const Slot& b = fresh.slots_[i];
+    if (a.key != b.key || a.load != b.load || a.vm_count != b.vm_count ||
+        a.regime != b.regime || a.sleeper != b.sleeper ||
+        a.effective != b.effective || a.awake != b.awake ||
+        a.sleeping != b.sleeping || a.above_center != b.above_center ||
+        a.awake_empty != b.awake_empty || a.reporter != b.reporter) {
+      err << "slot " << i << " stale (regime " << int(a.regime) << " vs "
+          << int(b.regime) << ", load " << a.load << " vs " << b.load << ")";
+      return err.str();
+    }
+  }
+  for (std::size_t r = 0; r < energy::kRegimeCount; ++r) {
+    if (by_key_[r] != fresh.by_key_[r]) {
+      err << "by_key[" << r << "] diverged";
+      return err.str();
+    }
+    if (by_id_[r] != fresh.by_id_[r]) {
+      err << "by_id[" << r << "] diverged";
+      return err.str();
+    }
+  }
+  for (std::size_t d = 0; d < sleepers_.size(); ++d) {
+    if (sleepers_[d] != fresh.sleepers_[d]) {
+      err << "sleepers[" << d << "] diverged";
+      return err.str();
+    }
+  }
+  if (above_center_ != fresh.above_center_) return "above_center diverged";
+  if (awake_empty_ != fresh.awake_empty_) return "awake_empty diverged";
+  if (total_vms_ != fresh.total_vms_) return "total_vms diverged";
+  if (sleeping_ != fresh.sleeping_) return "sleeping count diverged";
+  if (reporters_ != fresh.reporters_) return "reporter count diverged";
+  if (cnt_effective_ != fresh.cnt_effective_) return "effective counts diverged";
+  return std::nullopt;
+}
+
+}  // namespace eclb::cluster::index

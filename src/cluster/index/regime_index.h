@@ -1,0 +1,197 @@
+// Incremental regime index: the scan-free backing store for the protocol
+// hot path.
+//
+// Every protocol action used to re-derive "which servers are in regime X,
+// ordered how" by scanning all N servers per query, making one reallocation
+// round O(N * queries).  The index maintains that information incrementally:
+// servers notify it on every state change (ServerStateListener), and it
+// keeps
+//   * per-regime buckets of *awake* servers, twice: ordered by id (the
+//     protocol's deterministic visit order) and ordered by load distance to
+//     the server's own optimal-region center (the placement score axis),
+//   * sleeper buckets per settled sleep depth (C1/C3/C6), ordered by id,
+//   * membership sets for the rebalance donors (awake above center) and the
+//     drain/park candidates (awake and empty),
+//   * running integer aggregates (VM count, sleeping/parked/deep counts,
+//     regime-report fan-in) that previously cost one fleet scan each per
+//     interval snapshot.
+//
+// Bit-identity contract: every query reproduces the corresponding legacy
+// full-scan *exactly* -- same winner, same tie-breaks, same floating-point
+// comparisons -- so golden-hash CSVs are unchanged with the index enabled.
+// Two techniques make that possible:
+//   1. Candidate enumeration is approximate, scoring is exact.  The ordered
+//      buckets are keyed by (load - center), which tracks the legacy score
+//      |load + demand - center| only up to FP rounding.  Searches therefore
+//      expand outward from the ideal key, re-compute the *legacy* score
+//      expression for every candidate examined, and only stop once the key
+//      distance provably exceeds the best exact score by kSlop (a margin
+//      nine orders of magnitude above the achievable rounding error).
+//   2. Cursor queries return a *superset* in id order and the actions keep
+//      their original visit-time condition checks, so mid-pass mutations
+//      (a donor shedding out of its regime) resolve identically to the
+//      legacy scan-and-test loop.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "energy/cstates.h"
+#include "energy/regimes.h"
+#include "policy/placement.h"
+#include "server/server.h"
+
+namespace eclb::cluster::index {
+
+/// The incremental index over one cluster's server array.  Install with
+/// Server::set_state_listener on every server; the span must stay valid and
+/// stable (Cluster reserves the vector up front) for the index's lifetime.
+class RegimeIndex final : public server::ServerStateListener {
+ public:
+  /// Builds the index from the servers' current state.
+  explicit RegimeIndex(std::span<const server::Server> servers);
+
+  /// ServerStateListener: re-files one server after a state change.
+  void server_state_changed(const server::Server& s) override;
+
+  /// Rebuilds everything from scratch (constructor body; test hook).
+  void rebuild();
+
+  // --- aggregates (all O(1)) ----------------------------------------------
+
+  /// Total VM count across the cluster.
+  [[nodiscard]] std::size_t total_vms() const { return total_vms_; }
+  /// Non-failed servers that are not awake (== Cluster::sleeping_count).
+  [[nodiscard]] std::size_t sleeping_count() const { return sleeping_; }
+  /// Servers whose effective C-state is C1.
+  [[nodiscard]] std::size_t parked_count() const {
+    return cnt_effective_[static_cast<std::size_t>(energy::CState::kC1)];
+  }
+  /// Servers whose effective C-state is C3 or C6.
+  [[nodiscard]] std::size_t deep_sleeping_count() const {
+    return cnt_effective_[static_cast<std::size_t>(energy::CState::kC3)] +
+           cnt_effective_[static_cast<std::size_t>(energy::CState::kC6)];
+  }
+  /// Histogram of awake servers over the five regimes.
+  [[nodiscard]] energy::RegimeHistogram regime_histogram() const;
+  /// Servers that report their regime to the leader each interval (regime
+  /// defined and != R3; includes servers still settling into sleep, exactly
+  /// like the legacy RegimeReport scan).
+  [[nodiscard]] std::size_t regime_reporter_count() const { return reporters_; }
+
+  // --- exact-equivalent placement searches --------------------------------
+
+  /// The paper's tiered search; bit-identical to policy::find_tiered_target
+  /// over the same servers.
+  [[nodiscard]] std::optional<common::ServerId> find_tiered_target(
+      double demand, common::ServerId exclude,
+      policy::PlacementTier max_tier) const;
+
+  /// Bit-identical to policy::find_below_center_target.
+  [[nodiscard]] std::optional<common::ServerId> find_below_center_target(
+      double demand, common::ServerId exclude) const;
+
+  /// The consolidation (drain) uphill search: bit-identical to the donor's
+  /// inline scan in DrainAndSleep -- an R1/R2 peer, or an R3 peer staying
+  /// below its center, with strictly more load than `donor`, ending within
+  /// its optimal region; fullest-fit (closest to its own center) wins.
+  [[nodiscard]] std::optional<common::ServerId> find_drain_target(
+      const server::Server& donor, double demand) const;
+
+  /// Bit-identical to Leader::pick_wake_candidate: the lowest-id settled
+  /// sleeper in the shallowest occupied sleep state.
+  [[nodiscard]] std::optional<common::ServerId> pick_wake_candidate() const;
+
+  // --- ordered cursors (id order; supersets of the legacy visit sets) -----
+
+  /// Next awake server in `r` with id greater than `after` (nullopt = from
+  /// the start).  Returns nullopt when exhausted.
+  [[nodiscard]] std::optional<common::ServerId> next_in_regime(
+      energy::Regime r, std::optional<common::ServerId> after) const;
+  /// Next awake server with load above its optimal center (+kEps).
+  [[nodiscard]] std::optional<common::ServerId> next_above_center(
+      std::optional<common::ServerId> after) const;
+  /// Next settled C1 sleeper.
+  [[nodiscard]] std::optional<common::ServerId> next_parked(
+      std::optional<common::ServerId> after) const;
+  /// Next awake server hosting no VMs.
+  [[nodiscard]] std::optional<common::ServerId> next_awake_empty(
+      std::optional<common::ServerId> after) const;
+
+  // --- verification hooks --------------------------------------------------
+
+  /// Full consistency audit against a fresh classification of every server;
+  /// returns a description of the first mismatch, nullopt when coherent.
+  [[nodiscard]] std::optional<std::string> self_check() const;
+
+ private:
+  /// Everything the index knows about one server, derived from
+  /// time-independent accessors only (see Server::transition_pending).
+  struct Slot {
+    double key{0.0};          ///< load - optimal_center (bucket sort key).
+    double load{0.0};
+    std::uint32_t vm_count{0};
+    std::int8_t regime{-1};   ///< 0-based regime when awake, else -1.
+    std::int8_t sleeper{-1};  ///< Settled sleep depth (C1->0,C3->1,C6->2), else -1.
+    std::int8_t effective{0};  ///< effective_cstate as an int.
+    bool awake{false};
+    bool sleeping{false};     ///< !failed && !awake.
+    bool above_center{false};
+    bool awake_empty{false};
+    bool reporter{false};     ///< Counts toward the regime-report fan-in.
+  };
+
+  /// (key, id) pairs; the id disambiguates equal keys.
+  using LoadKey = std::pair<double, std::uint32_t>;
+
+  /// One bucket in a placement search: which regime, and the largest key
+  /// distance any admissible candidate can have (beyond it the upward scan
+  /// stops; the margin over the true per-server bound is baked in).
+  struct BucketRef {
+    int regime_idx;
+    double hi_cutoff;
+  };
+
+  [[nodiscard]] Slot classify(const server::Server& s) const;
+  void update_slot(std::size_t i);
+  void file_slot(std::uint32_t id, const Slot& slot);
+  void unfile_slot(std::uint32_t id, const Slot& slot);
+
+  /// Bidirectional best-score search over `buckets` around the ideal key
+  /// -demand.  `admit(server, regime_idx)` returns the *exact legacy score*
+  /// when the candidate is admissible, nullopt otherwise.  The winner is the
+  /// exact lexicographic minimum of (score, id) -- the legacy scan's answer.
+  template <class Admit>
+  [[nodiscard]] std::optional<common::ServerId> search(
+      std::span<const BucketRef> buckets, double demand,
+      common::ServerId exclude, const Admit& admit) const;
+
+  std::span<const server::Server> servers_;
+  std::vector<Slot> slots_;
+
+  std::array<std::set<LoadKey>, energy::kRegimeCount> by_key_;
+  std::array<std::set<std::uint32_t>, energy::kRegimeCount> by_id_;
+  /// Settled sleepers by depth: [0]=C1, [1]=C3, [2]=C6.
+  std::array<std::set<std::uint32_t>, 3> sleepers_;
+  std::set<std::uint32_t> above_center_;
+  std::set<std::uint32_t> awake_empty_;
+
+  std::size_t total_vms_{0};
+  std::size_t sleeping_{0};
+  std::size_t reporters_{0};
+  std::array<std::size_t, energy::kCStateCount> cnt_effective_{};
+
+  /// Fleet-wide maxima of (alpha_opt_high - center) and
+  /// (alpha_sopt_high - center): sound upward cutoffs for the searches.
+  double max_opt_halfwidth_{0.0};
+  double max_sopt_halfwidth_{0.0};
+};
+
+}  // namespace eclb::cluster::index

@@ -10,10 +10,6 @@
 
 namespace eclb::cluster::protocol {
 
-namespace {
-constexpr double kEps = 1e-9;
-}  // namespace
-
 bool DrainAndSleep::enabled(const ClusterConfig& config) const {
   return config.regime_actions_enabled && config.allow_sleep;
 }
@@ -36,7 +32,13 @@ void DrainAndSleep::run(ClusterView& view) {
   // keeps the cache sound.
   double min_failed_demand = std::numeric_limits<double>::infinity();
   std::vector<server::Server*> donors;
-  for (auto& s : servers) {
+  // Donors are snapshotted (id order) before any migration, so the cursor
+  // walk and the legacy full scan see the same fleet state.
+  for (auto sid = view.next_in_regime(energy::Regime::kR1UndesirableLow,
+                                      std::nullopt);
+       sid.has_value();
+       sid = view.next_in_regime(energy::Regime::kR1UndesirableLow, sid)) {
+    auto& s = view.server(*sid);
     if (!s.awake(now)) continue;
     const auto r = s.regime();
     if (!r.has_value() || *r != energy::Regime::kR1UndesirableLow) continue;
@@ -59,34 +61,12 @@ void DrainAndSleep::run(ClusterView& view) {
       if (biggest->demand() >= min_failed_demand) break;
       // Uphill target: an R1/R2 peer with strictly more load, ending within
       // its optimal region; fullest-fit (closest to its center) wins.
-      const server::Server* chosen = nullptr;
-      double best_score = std::numeric_limits<double>::infinity();
-      for (const auto& t : servers) {
-        if (t.id() == s.id() || !t.awake(now)) continue;
-        if (t.load() <= s.load() + kEps) continue;  // uphill only
-        const auto tr = t.regime();
-        if (!tr.has_value()) continue;
-        const double post = t.load() + biggest->demand();
-        // Partners are the lightly loaded: R1/R2 peers, or an R3 server
-        // that remains below the center of its optimal region.
-        const bool low = *tr == energy::Regime::kR1UndesirableLow ||
-                         *tr == energy::Regime::kR2SuboptimalLow;
-        const bool r3_below_center =
-            *tr == energy::Regime::kR3Optimal &&
-            post <= t.thresholds().optimal_center() + kEps;
-        if (!low && !r3_below_center) continue;
-        if (post > t.thresholds().alpha_opt_high + kEps) continue;
-        const double score = std::abs(post - t.thresholds().optimal_center());
-        if (score < best_score) {
-          best_score = score;
-          chosen = &t;
-        }
-      }
-      if (chosen == nullptr) {
+      const auto chosen = view.find_drain_target(s, biggest->demand());
+      if (!chosen.has_value()) {
         min_failed_demand = biggest->demand();
         break;
       }
-      if (!view.migrate(s, biggest->id(), chosen->id(),
+      if (!view.migrate(s, biggest->id(), *chosen,
                         MigrationCause::kConsolidation)) {
         break;
       }
@@ -112,8 +92,15 @@ void DrainAndSleep::run(ClusterView& view) {
   // Deep-sleep pass: prefer servers already parked in C1 (their emptiness
   // has persisted at least one interval), then freshly drained ones.
   for (int pass = 0; pass < 2 && budget > 0; ++pass) {
-    for (auto& s : servers) {
+    // Pass 0 walks the settled-C1 bucket, pass 1 the awake-empty set; both
+    // only lose members as servers begin transitions, and the visit-time
+    // checks below remain authoritative (identical to the legacy scan).
+    const auto next = [&](std::optional<common::ServerId> after) {
+      return pass == 0 ? view.next_parked(after) : view.next_awake_empty(after);
+    };
+    for (auto sid = next(std::nullopt); sid.has_value(); sid = next(sid)) {
       if (budget == 0) break;
+      auto& s = view.server(*sid);
       if (s.vm_count() > 0 || s.in_transition(now)) continue;
       const bool parked = s.cstate() == energy::CState::kC1;
       const bool fresh = s.awake(now);
@@ -133,7 +120,9 @@ void DrainAndSleep::run(ClusterView& view) {
   }
 
   // Parking pass: any remaining awake empty server halts in C1.
-  for (auto& s : servers) {
+  for (auto sid = view.next_awake_empty(std::nullopt); sid.has_value();
+       sid = view.next_awake_empty(sid)) {
+    auto& s = view.server(*sid);
     if (!s.awake(now) || s.vm_count() > 0) continue;
     const common::Seconds done = s.begin_sleep(energy::CState::kC1, now);
     view.begin_transition(s, done);

@@ -26,7 +26,13 @@ void RebalanceAboveCenter::run(ClusterView& view) {
   // Same negative-result cache as the shed phase: receivers only gain load
   // during this pass, so a failed demand stays failed.
   double min_failed_demand = std::numeric_limits<double>::infinity();
-  for (auto& s : view.servers()) {
+  // Cursor over the above-center membership set (id order).  Receivers stay
+  // at or below their own center, so nothing *enters* the set mid-pass;
+  // donors that drop below center simply stop being visited -- exactly the
+  // servers the legacy scan's visit-time checks would have skipped.
+  for (auto sid = view.next_above_center(std::nullopt); sid.has_value();
+       sid = view.next_above_center(sid)) {
+    auto& s = view.server(*sid);
     if (!s.awake(now)) continue;
     if (s.vm_count() == 0) continue;
     const double center = s.thresholds().optimal_center();

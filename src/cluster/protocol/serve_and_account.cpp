@@ -32,12 +32,13 @@ void ServeAndAccount::run(ClusterView& view) {
 
 void RegimeReport::run(ClusterView& view) {
   // Every server outside R3 reports its regime to the leader (j_k traffic).
-  for (const auto& s : view.servers()) {
-    const auto r = s.regime();
-    if (r.has_value() && *r != energy::Regime::kR3Optimal) {
-      view.charge_message(MessageKind::kRegimeReport, 1,
-                          /*network_energy=*/true);
-    }
+  // The fan-in is a maintained aggregate; charging per report (rather than
+  // once with n=reporters) keeps the message stats and traffic energy
+  // bit-identical to the historical per-server loop.
+  const std::size_t reporters = view.count_regime_reporters();
+  for (std::size_t i = 0; i < reporters; ++i) {
+    view.charge_message(MessageKind::kRegimeReport, 1,
+                        /*network_energy=*/true);
   }
 }
 

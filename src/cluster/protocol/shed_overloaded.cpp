@@ -31,7 +31,14 @@ void ShedOverloaded::run(ClusterView& view) {
 
   for (auto urgency : {energy::Regime::kR5UndesirableHigh,
                        energy::Regime::kR4SuboptimalHigh}) {
-    for (auto& s : view.servers()) {
+    // Cursor over the urgency bucket (id order).  Shedding only shrinks the
+    // R4/R5 buckets mid-pass -- targets must end within their optimal
+    // region -- so the walk visits exactly the servers the legacy full scan
+    // would have accepted at visit time; the checks below stay as the
+    // authoritative filter either way.
+    for (auto sid = view.next_in_regime(urgency, std::nullopt);
+         sid.has_value(); sid = view.next_in_regime(urgency, sid)) {
+      auto& s = view.server(*sid);
       if (!s.awake(now)) continue;
       const auto r = s.regime();
       if (!r.has_value() || *r != urgency) continue;

@@ -77,6 +77,36 @@ class ClusterView {
   /// The leader's wake pick: shallowest settled sleeper.
   [[nodiscard]] std::optional<common::ServerId> pick_wake_candidate() const;
 
+  /// The consolidation uphill search (drain phase): an R1/R2 peer -- or an
+  /// R3 peer staying below its own center -- with strictly more load than
+  /// `donor`, ending within its optimal region; fullest-fit wins.
+  [[nodiscard]] std::optional<common::ServerId> find_drain_target(
+      const server::Server& donor, double demand) const;
+
+  // --- scan-free cursors & counts ------------------------------------------
+  //
+  // Id-ordered *supersets* of the legacy visit sets.  Actions re-apply their
+  // visit-time condition checks on every returned server, so the indexed and
+  // legacy modes make bit-identical decisions: with the regime index the
+  // cursor walks the relevant bucket; without it, it degenerates to plain id
+  // iteration over all servers -- exactly the legacy loop.
+
+  /// Next awake server in regime `r` with id greater than `after`
+  /// (nullopt = start); nullopt when exhausted.
+  [[nodiscard]] std::optional<common::ServerId> next_in_regime(
+      energy::Regime r, std::optional<common::ServerId> after) const;
+  /// Next awake server loaded above its own optimal center.
+  [[nodiscard]] std::optional<common::ServerId> next_above_center(
+      std::optional<common::ServerId> after) const;
+  /// Next settled C1 sleeper.
+  [[nodiscard]] std::optional<common::ServerId> next_parked(
+      std::optional<common::ServerId> after) const;
+  /// Next awake server hosting no VMs.
+  [[nodiscard]] std::optional<common::ServerId> next_awake_empty(
+      std::optional<common::ServerId> after) const;
+  /// Servers whose regime is defined and != R3 (the j_k report fan-in).
+  [[nodiscard]] std::size_t count_regime_reporters() const;
+
   // --- priced mutations ----------------------------------------------------
 
   /// Books a granted vertical resize on `server`: p_k cost + local decision.

@@ -1,0 +1,88 @@
+#include "obs/handles.h"
+
+namespace eclb::obs {
+
+ProtocolInstruments ProtocolInstruments::resolve(MetricsRegistry& registry) {
+  ProtocolInstruments h;
+  h.decisions_local = &registry.counter("protocol.decisions.local");
+  h.decisions_in_cluster = &registry.counter("protocol.decisions.in_cluster");
+  h.migrations = &registry.counter("protocol.migrations");
+  h.migrations_shed = &registry.counter("protocol.migrations.shed");
+  h.migrations_rebalance = &registry.counter("protocol.migrations.rebalance");
+  h.migrations_consolidation =
+      &registry.counter("protocol.migrations.consolidation");
+  h.horizontal_starts = &registry.counter("protocol.horizontal_starts");
+  h.offloads = &registry.counter("protocol.offloads");
+  h.drains = &registry.counter("protocol.drains");
+  h.sleeps = &registry.counter("protocol.sleeps");
+  h.wakes = &registry.counter("protocol.wakes");
+  h.sla_violations = &registry.counter("protocol.sla_violations");
+  h.qos_violations = &registry.counter("protocol.qos_violations");
+  h.crashes = &registry.counter("fault.crashes");
+  h.recoveries = &registry.counter("fault.recoveries");
+  h.failovers = &registry.counter("fault.failovers");
+  h.dropped_messages = &registry.counter("fault.dropped_messages");
+  h.retried_messages = &registry.counter("fault.retried_messages");
+  h.orphans_replaced = &registry.counter("fault.orphans_replaced");
+  h.failed_migrations = &registry.counter("fault.failed_migrations");
+  h.intervals = &registry.counter("run.intervals");
+  h.unserved_demand = &registry.gauge("protocol.unserved_demand");
+  h.energy_kwh = &registry.gauge("run.energy_kwh");
+  h.decision_ratio = &registry.histogram("interval.decision_ratio", 0.0, 8.0, 32);
+  return h;
+}
+
+void ProtocolInstruments::record(const cluster::ProtocolEvent& event) {
+  if (!bound()) return;
+  using Kind = cluster::ProtocolEvent::Kind;
+  switch (event.kind) {
+    case Kind::kDecision:
+      // Every in-cluster action also emits a kDecision, so the split is
+      // counted here and only here.
+      (event.decision == cluster::DecisionKind::kLocal ? decisions_local
+                                                       : decisions_in_cluster)
+          ->inc();
+      break;
+    case Kind::kMigration:
+      migrations->inc();
+      switch (event.cause) {
+        case cluster::MigrationCause::kShed: migrations_shed->inc(); break;
+        case cluster::MigrationCause::kRebalance:
+          migrations_rebalance->inc();
+          break;
+        case cluster::MigrationCause::kConsolidation:
+          migrations_consolidation->inc();
+          break;
+      }
+      break;
+    case Kind::kHorizontalStart: horizontal_starts->inc(); break;
+    case Kind::kOffload: offloads->inc(); break;
+    case Kind::kDrain: drains->inc(); break;
+    case Kind::kSleep: sleeps->inc(); break;
+    case Kind::kWake: wakes->inc(); break;
+    case Kind::kSlaViolation:
+      sla_violations->inc();
+      unserved_demand->add(event.unserved);
+      break;
+    case Kind::kQosViolation: qos_violations->inc(); break;
+    case Kind::kServerCrash: crashes->inc(); break;
+    case Kind::kServerRecover: recoveries->inc(); break;
+    case Kind::kLeaderFailover: failovers->inc(); break;
+    case Kind::kMessageDropped: dropped_messages->inc(); break;
+    case Kind::kMessageRetried: retried_messages->inc(); break;
+    case Kind::kOrphanReplaced: orphans_replaced->inc(); break;
+    case Kind::kMigrationFailed: failed_migrations->inc(); break;
+    case Kind::kCapacityDerate:
+      // A configuration change, not a rate -- visible in the trace stream.
+      break;
+  }
+}
+
+void ProtocolInstruments::record_interval(const cluster::IntervalReport& report) {
+  if (!bound()) return;
+  intervals->inc();
+  decision_ratio->observe(report.decision_ratio());
+  energy_kwh->add(report.interval_energy.kwh());
+}
+
+}  // namespace eclb::obs

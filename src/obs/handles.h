@@ -1,0 +1,60 @@
+// Pre-resolved instrument handles for the protocol event stream.
+//
+// MetricsRegistry lookups take a mutex and a string-keyed map walk -- fine
+// at registration, hostile on the per-event hot path.  ProtocolInstruments
+// resolves the full protocol/fault/run instrument set exactly once and then
+// records events through raw pointers (lock-free relaxed atomics).  The
+// bundle is a value type: anything sitting on the event stream (the cluster
+// probe, a recorder sink, an engine-side tap) copies the resolved handles
+// instead of re-deriving its own name list.
+#pragma once
+
+#include "cluster/recorder.h"
+#include "obs/metrics.h"
+
+namespace eclb::obs {
+
+/// The resolved instrument set for one MetricsRegistry.  Default
+/// constructed it is inert (all null) and record() is a no-op; resolve()
+/// binds every handle.  Copyable: handles stay valid for the registry's
+/// lifetime.
+struct ProtocolInstruments {
+  Counter* decisions_local{nullptr};
+  Counter* decisions_in_cluster{nullptr};
+  Counter* migrations{nullptr};
+  Counter* migrations_shed{nullptr};
+  Counter* migrations_rebalance{nullptr};
+  Counter* migrations_consolidation{nullptr};
+  Counter* horizontal_starts{nullptr};
+  Counter* offloads{nullptr};
+  Counter* drains{nullptr};
+  Counter* sleeps{nullptr};
+  Counter* wakes{nullptr};
+  Counter* sla_violations{nullptr};
+  Counter* qos_violations{nullptr};
+  Counter* crashes{nullptr};
+  Counter* recoveries{nullptr};
+  Counter* failovers{nullptr};
+  Counter* dropped_messages{nullptr};
+  Counter* retried_messages{nullptr};
+  Counter* orphans_replaced{nullptr};
+  Counter* failed_migrations{nullptr};
+  Counter* intervals{nullptr};
+  Gauge* unserved_demand{nullptr};
+  Gauge* energy_kwh{nullptr};
+  HistogramMetric* decision_ratio{nullptr};
+
+  /// Registers (on first use) and binds every instrument in `registry`.
+  [[nodiscard]] static ProtocolInstruments resolve(MetricsRegistry& registry);
+
+  /// True when the handles are bound.
+  [[nodiscard]] bool bound() const { return decisions_local != nullptr; }
+
+  /// Books one protocol event.  No-op when unbound.
+  void record(const cluster::ProtocolEvent& event);
+
+  /// Books an interval boundary.  No-op when unbound.
+  void record_interval(const cluster::IntervalReport& report);
+};
+
+}  // namespace eclb::obs

@@ -7,33 +7,9 @@ namespace eclb::obs {
 ClusterProbe::ClusterProbe(std::unique_ptr<TraceWriter> trace,
                            MetricsRegistry* metrics, Profiler* profiler)
     : trace_(std::move(trace)), metrics_(metrics), profiler_(profiler) {
-  if (metrics_ == nullptr) return;
-  decisions_local_ = &metrics_->counter("protocol.decisions.local");
-  decisions_in_cluster_ = &metrics_->counter("protocol.decisions.in_cluster");
-  migrations_ = &metrics_->counter("protocol.migrations");
-  migrations_shed_ = &metrics_->counter("protocol.migrations.shed");
-  migrations_rebalance_ = &metrics_->counter("protocol.migrations.rebalance");
-  migrations_consolidation_ =
-      &metrics_->counter("protocol.migrations.consolidation");
-  horizontal_starts_ = &metrics_->counter("protocol.horizontal_starts");
-  offloads_ = &metrics_->counter("protocol.offloads");
-  drains_ = &metrics_->counter("protocol.drains");
-  sleeps_ = &metrics_->counter("protocol.sleeps");
-  wakes_ = &metrics_->counter("protocol.wakes");
-  sla_violations_ = &metrics_->counter("protocol.sla_violations");
-  qos_violations_ = &metrics_->counter("protocol.qos_violations");
-  crashes_ = &metrics_->counter("fault.crashes");
-  recoveries_ = &metrics_->counter("fault.recoveries");
-  failovers_ = &metrics_->counter("fault.failovers");
-  dropped_messages_ = &metrics_->counter("fault.dropped_messages");
-  retried_messages_ = &metrics_->counter("fault.retried_messages");
-  orphans_replaced_ = &metrics_->counter("fault.orphans_replaced");
-  failed_migrations_ = &metrics_->counter("fault.failed_migrations");
-  intervals_ = &metrics_->counter("run.intervals");
-  unserved_demand_ = &metrics_->gauge("protocol.unserved_demand");
-  energy_kwh_ = &metrics_->gauge("run.energy_kwh");
-  decision_ratio_ =
-      &metrics_->histogram("interval.decision_ratio", 0.0, 8.0, 32);
+  if (metrics_ != nullptr) {
+    instruments_ = ProtocolInstruments::resolve(*metrics_);
+  }
 }
 
 std::unique_ptr<ClusterProbe> ClusterProbe::make(const ObsConfig& config,
@@ -57,59 +33,13 @@ void ClusterProbe::on_interval_begin(std::size_t interval, common::Seconds now) 
 
 void ClusterProbe::on_event(const cluster::ProtocolEvent& event) {
   if (trace_ != nullptr) trace_->event(event);
-  if (metrics_ == nullptr) return;
-  using Kind = cluster::ProtocolEvent::Kind;
-  switch (event.kind) {
-    case Kind::kDecision:
-      // Every in-cluster action also emits a kDecision, so the split is
-      // counted here and only here.
-      (event.decision == cluster::DecisionKind::kLocal ? decisions_local_
-                                                       : decisions_in_cluster_)
-          ->inc();
-      break;
-    case Kind::kMigration:
-      migrations_->inc();
-      switch (event.cause) {
-        case cluster::MigrationCause::kShed: migrations_shed_->inc(); break;
-        case cluster::MigrationCause::kRebalance:
-          migrations_rebalance_->inc();
-          break;
-        case cluster::MigrationCause::kConsolidation:
-          migrations_consolidation_->inc();
-          break;
-      }
-      break;
-    case Kind::kHorizontalStart: horizontal_starts_->inc(); break;
-    case Kind::kOffload: offloads_->inc(); break;
-    case Kind::kDrain: drains_->inc(); break;
-    case Kind::kSleep: sleeps_->inc(); break;
-    case Kind::kWake: wakes_->inc(); break;
-    case Kind::kSlaViolation:
-      sla_violations_->inc();
-      unserved_demand_->add(event.unserved);
-      break;
-    case Kind::kQosViolation: qos_violations_->inc(); break;
-    case Kind::kServerCrash: crashes_->inc(); break;
-    case Kind::kServerRecover: recoveries_->inc(); break;
-    case Kind::kLeaderFailover: failovers_->inc(); break;
-    case Kind::kMessageDropped: dropped_messages_->inc(); break;
-    case Kind::kMessageRetried: retried_messages_->inc(); break;
-    case Kind::kOrphanReplaced: orphans_replaced_->inc(); break;
-    case Kind::kMigrationFailed: failed_migrations_->inc(); break;
-    case Kind::kCapacityDerate:
-      // A configuration change, not a rate -- visible in the trace stream.
-      break;
-  }
+  instruments_.record(event);
 }
 
 void ClusterProbe::on_interval_end(const cluster::IntervalReport& report,
                                    common::Seconds now) {
   if (trace_ != nullptr) trace_->interval_end(report, now.value);
-  if (metrics_ != nullptr) {
-    intervals_->inc();
-    decision_ratio_->observe(report.decision_ratio());
-    energy_kwh_->add(report.interval_energy.kwh());
-  }
+  instruments_.record_interval(report);
 }
 
 void ClusterProbe::on_phase(std::string_view phase, double wall_seconds) {

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "cluster/recorder.h"
+#include "obs/handles.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -64,32 +65,9 @@ class ClusterProbe final : public cluster::ClusterObserver {
   MetricsRegistry* metrics_;
   Profiler* profiler_;
 
-  // Instruments resolved once at construction so the per-event path never
-  // touches the registry map.
-  Counter* decisions_local_{nullptr};
-  Counter* decisions_in_cluster_{nullptr};
-  Counter* migrations_{nullptr};
-  Counter* migrations_shed_{nullptr};
-  Counter* migrations_rebalance_{nullptr};
-  Counter* migrations_consolidation_{nullptr};
-  Counter* horizontal_starts_{nullptr};
-  Counter* offloads_{nullptr};
-  Counter* drains_{nullptr};
-  Counter* sleeps_{nullptr};
-  Counter* wakes_{nullptr};
-  Counter* sla_violations_{nullptr};
-  Counter* qos_violations_{nullptr};
-  Counter* crashes_{nullptr};
-  Counter* recoveries_{nullptr};
-  Counter* failovers_{nullptr};
-  Counter* dropped_messages_{nullptr};
-  Counter* retried_messages_{nullptr};
-  Counter* orphans_replaced_{nullptr};
-  Counter* failed_migrations_{nullptr};
-  Counter* intervals_{nullptr};
-  Gauge* unserved_demand_{nullptr};
-  Gauge* energy_kwh_{nullptr};
-  HistogramMetric* decision_ratio_{nullptr};
+  /// Instruments resolved once at construction (obs/handles.h) so the
+  /// per-event path never touches the registry map.
+  ProtocolInstruments instruments_;
 };
 
 }  // namespace eclb::obs

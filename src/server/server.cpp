@@ -25,6 +25,7 @@ void Server::set_capacity(double fraction) {
   ECLB_ASSERT(fraction > 0.0 && fraction <= 1.0,
               "set_capacity: fraction must be in (0, 1]");
   capacity_ = fraction;
+  notify_changed();
 }
 
 double Server::load() const { return cached_load_; }
@@ -52,12 +53,14 @@ bool Server::place(vm::Vm vm_instance) {
   if (load() + vm_instance.demand() > capacity_ + kEps) return false;
   cached_load_ += vm_instance.demand();
   vms_.push_back(std::move(vm_instance));
+  notify_changed();
   return true;
 }
 
 void Server::force_place(vm::Vm vm_instance) {
   cached_load_ += vm_instance.demand();
   vms_.push_back(std::move(vm_instance));
+  notify_changed();
 }
 
 std::optional<vm::Vm> Server::remove(common::VmId id) {
@@ -68,6 +71,7 @@ std::optional<vm::Vm> Server::remove(common::VmId id) {
   vms_.erase(it);
   cached_load_ -= out.demand();
   if (vms_.empty()) cached_load_ = 0.0;  // cancel float drift at the anchor
+  notify_changed();
   return out;
 }
 
@@ -87,6 +91,7 @@ bool Server::try_vertical_scale(common::VmId id, double new_demand) {
   const double before = it->demand();
   it->set_demand(new_demand);
   cached_load_ += it->demand() - before;
+  notify_changed();
   return true;
 }
 
@@ -97,6 +102,7 @@ bool Server::force_demand(common::VmId id, double new_demand) {
   const double before = it->demand();
   it->set_demand(new_demand);
   cached_load_ += it->demand() - before;
+  notify_changed();
   return true;
 }
 
@@ -104,6 +110,7 @@ std::vector<vm::Vm> Server::take_all_vms() {
   std::vector<vm::Vm> out = std::move(vms_);
   vms_.clear();
   cached_load_ = 0.0;
+  notify_changed();
   return out;
 }
 
@@ -115,6 +122,7 @@ void Server::fail(common::Seconds now) {
   // scheduled for it finds nothing to complete (settle is a no-op then).
   cstates_ = energy::CStateMachine(config_.cstates);
   update_energy(now);
+  notify_changed();
 }
 
 void Server::repair(common::Seconds now) {
@@ -122,6 +130,7 @@ void Server::repair(common::Seconds now) {
   failed_ = false;
   cstates_ = energy::CStateMachine(config_.cstates);
   update_energy(now);
+  notify_changed();
 }
 
 bool Server::awake(common::Seconds now) const {
@@ -139,6 +148,10 @@ bool Server::in_transition(common::Seconds now) const {
   return cstates_.transitioning(now) || cstates_.transition_target().has_value();
 }
 
+bool Server::transition_pending() const {
+  return cstates_.transition_target().has_value();
+}
+
 common::Seconds Server::begin_sleep(energy::CState target, common::Seconds now) {
   ECLB_ASSERT(target != energy::CState::kC0, "begin_sleep: target must be a sleep state");
   ECLB_ASSERT(vms_.empty(), "begin_sleep: server still hosts VMs");
@@ -146,6 +159,7 @@ common::Seconds Server::begin_sleep(energy::CState target, common::Seconds now) 
   update_energy(now);
   const common::Seconds done = cstates_.begin_transition(target, now);
   update_energy(now);  // re-sample power now that the transition started
+  notify_changed();
   return done;
 }
 
@@ -160,6 +174,7 @@ common::Seconds Server::deepen_sleep(energy::CState target, common::Seconds now)
   update_energy(now);
   const common::Seconds done = cstates_.begin_transition(target, now);
   update_energy(now);
+  notify_changed();
   return done;
 }
 
@@ -174,10 +189,19 @@ common::Seconds Server::begin_wake(common::Seconds now) {
   // count.
   const common::Seconds done = cstates_.begin_transition(energy::CState::kC0, now);
   update_energy(now);
+  notify_changed();
   return done;
 }
 
-void Server::settle(common::Seconds now) { cstates_.settle(now); }
+void Server::settle(common::Seconds now) {
+  // settle() is called for every server every round; only an actually
+  // completed transition is worth a notification.
+  const bool was_transitioning = cstates_.transition_target().has_value();
+  cstates_.settle(now);
+  if (was_transitioning && !cstates_.transition_target().has_value()) {
+    notify_changed();
+  }
+}
 
 common::Watts Server::power(common::Seconds now) const {
   if (failed_) return common::Watts{0.0};

@@ -22,6 +22,22 @@
 
 namespace eclb::server {
 
+class Server;
+
+/// Observer of one server's externally visible state (load, VM count,
+/// failure, C-state).  The cluster's regime index implements this to keep
+/// its buckets incremental: every mutator notifies at most once, after the
+/// server is back in a consistent state.  Read-only queries never notify.
+class ServerStateListener {
+ public:
+  /// `s` just changed load, VM membership, capacity, failure state or
+  /// C-state.  The listener may read any const accessor of `s`.
+  virtual void server_state_changed(const Server& s) = 0;
+
+ protected:
+  ~ServerStateListener() = default;
+};
+
 /// Static configuration of one server.
 struct ServerConfig {
   energy::RegimeThresholds thresholds{};       ///< alpha boundaries (Fig. 1).
@@ -152,6 +168,12 @@ class Server {
   /// True while a C-state transition (either direction) is in flight.
   [[nodiscard]] bool in_transition(common::Seconds now) const;
 
+  /// True while a transition target is committed and not yet settled.  This
+  /// is in_transition() without the clock: a transition stays pending until
+  /// settle() is explicitly called, so the answer is time-independent --
+  /// which is what lets the regime index classify servers incrementally.
+  [[nodiscard]] bool transition_pending() const;
+
   /// Current C-state (source state while transitioning).
   [[nodiscard]] energy::CState cstate() const { return cstates_.state(); }
 
@@ -193,7 +215,20 @@ class Server {
   /// migration).
   void charge_energy(common::Joules amount) { meter_.charge(amount); }
 
+  // --- change notification -------------------------------------------------
+
+  /// Installs (or clears, with nullptr) the state-change listener.  The
+  /// listener must outlive the server or be cleared first.
+  void set_state_listener(ServerStateListener* listener) {
+    listener_ = listener;
+  }
+
  private:
+  /// Invoked at the end of every mutator that changed observable state.
+  void notify_changed() {
+    if (listener_ != nullptr) listener_->server_state_changed(*this);
+  }
+
   common::ServerId id_;
   ServerConfig config_;
   std::vector<vm::Vm> vms_;
@@ -204,6 +239,7 @@ class Server {
   bool failed_{false};
   energy::CStateMachine cstates_;
   energy::EnergyMeter meter_;
+  ServerStateListener* listener_{nullptr};
 };
 
 }  // namespace eclb::server

@@ -1,8 +1,11 @@
 // Event primitives for the discrete-event kernel.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
 
 #include "common/units.h"
 
@@ -19,7 +22,123 @@ struct EventId {
 
 /// The action an event performs when it fires.  The callback receives the
 /// simulation so it can read the clock and schedule follow-up events.
-using EventFn = std::function<void(Simulation&)>;
+///
+/// This is a move-only, small-buffer-optimized replacement for
+/// std::function<void(Simulation&)>: every callback the kernel schedules on
+/// its hot path (C-state settles, round boundaries, retry timers, the
+/// periodic repeater) captures well under kInlineSize bytes, so scheduling
+/// an event performs no heap allocation.  Larger captures transparently
+/// fall back to the heap.
+class EventCallback {
+ public:
+  /// Storage for in-place callables.  Sized to hold the kernel's own
+  /// repeater (two shared_ptr + a period) plus the cluster's retry lambdas
+  /// with room to spare.
+  static constexpr std::size_t kInlineSize = 56;
+
+  EventCallback() = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                std::is_invocable_v<std::decay_t<F>&, Simulation&>>>
+  EventCallback(F&& f) {  // NOLINT: implicit by design, drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept { move_from(other); }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { reset(); }
+
+  /// True when a callable is held.
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Invokes the callable.  Undefined when empty.
+  void operator()(Simulation& simulation) { ops_->invoke(buf_, simulation); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self, Simulation& simulation);
+    /// Move-constructs *self into `to`, then destroys *self.
+    void (*relocate)(void* self, void* to) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <class Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineSize &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <class Fn>
+  static constexpr Ops inline_ops{
+      [](void* self, Simulation& simulation) {
+        (*std::launder(reinterpret_cast<Fn*>(self)))(simulation);
+      },
+      [](void* self, void* to) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(self));
+        ::new (to) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* self) noexcept {
+        std::launder(reinterpret_cast<Fn*>(self))->~Fn();
+      },
+  };
+
+  template <class Fn>
+  static constexpr Ops heap_ops{
+      [](void* self, Simulation& simulation) {
+        (**std::launder(reinterpret_cast<Fn**>(self)))(simulation);
+      },
+      [](void* self, void* to) noexcept {
+        // The pointee stays put; only the owning slot relocates.
+        ::new (to) Fn*(*std::launder(reinterpret_cast<Fn**>(self)));
+      },
+      [](void* self) noexcept {
+        delete *std::launder(reinterpret_cast<Fn**>(self));
+      },
+  };
+
+  void move_from(EventCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_{nullptr};
+};
+
+/// The callback type events carry.
+using EventFn = EventCallback;
 
 /// A pending event.  Ordering is (time, then insertion sequence) so that
 /// same-time events fire in the order they were scheduled -- determinism the
@@ -30,13 +149,11 @@ struct Event {
   EventFn fn;
 };
 
-/// Min-heap comparator for the event queue: earlier time first, then lower
+/// True when `a` fires strictly before `b`: earlier time first, then lower
 /// sequence number.
-struct EventLater {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.time.value != b.time.value) return a.time.value > b.time.value;
-    return a.id.value > b.id.value;
-  }
-};
+[[nodiscard]] inline bool event_before(const Event& a, const Event& b) {
+  if (a.time.value != b.time.value) return a.time.value < b.time.value;
+  return a.id.value < b.id.value;
+}
 
 }  // namespace eclb::sim

@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.h"
@@ -7,9 +8,10 @@
 namespace eclb::sim {
 
 EventId EventQueue::push(common::Seconds time, EventFn fn) {
-  ECLB_ASSERT(fn != nullptr, "EventQueue: null event function");
+  ECLB_ASSERT(static_cast<bool>(fn), "EventQueue: null event function");
   EventId id{next_seq_++};
-  heap_.push(Event{time, id, std::move(fn)});
+  heap_.push_back(Event{time, id, std::move(fn)});
+  sift_up(heap_.size() - 1);
   ++live_;
   return id;
 }
@@ -17,26 +19,75 @@ EventId EventQueue::push(common::Seconds time, EventFn fn) {
 bool EventQueue::cancel(EventId id) {
   if (id.value == 0 || id.value >= next_seq_) return false;
   const bool inserted = cancelled_.insert(id.value).second;
-  if (inserted && live_ > 0) --live_;
-  return inserted;
+  if (!inserted) return false;
+  if (live_ > 0) --live_;
+  if (cancelled_.size() >= kCompactMin && cancelled_.size() * 2 >= heap_.size()) {
+    compact();
+  }
+  return true;
+}
+
+void EventQueue::sift_up(std::size_t at) {
+  while (at > 0) {
+    const std::size_t parent = (at - 1) / 4;
+    if (!event_before(heap_[at], heap_[parent])) return;
+    std::swap(heap_[at], heap_[parent]);
+    at = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t at) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = at * 4 + 1;
+    if (first_child >= n) return;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (event_before(heap_[c], heap_[best])) best = c;
+    }
+    if (!event_before(heap_[best], heap_[at])) return;
+    std::swap(heap_[at], heap_[best]);
+    at = best;
+  }
+}
+
+void EventQueue::pop_root() {
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
 }
 
 void EventQueue::drop_cancelled_top() {
   while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id.value);
+    auto it = cancelled_.find(heap_.front().id.value);
     if (it == cancelled_.end()) return;
     cancelled_.erase(it);
-    heap_.pop();
+    pop_root();
   }
+}
+
+void EventQueue::compact() {
+  // One pass partitions live events to the front; a bottom-up heapify then
+  // restores the invariant in O(n).  Every pending cancellation is purged,
+  // and stale ids (cancellations of events that had already fired) vanish
+  // with the set -- the lazy-cancel history can no longer grow unboundedly.
+  auto keep_end = std::remove_if(heap_.begin(), heap_.end(), [this](const Event& e) {
+    return cancelled_.count(e.id.value) != 0;
+  });
+  heap_.erase(keep_end, heap_.end());
+  cancelled_.clear();
+  if (heap_.size() > 1) {
+    for (std::size_t i = heap_.size() / 4 + 1; i-- > 0;) sift_down(i);
+  }
+  live_ = heap_.size();
 }
 
 std::optional<Event> EventQueue::pop() {
   drop_cancelled_top();
   if (heap_.empty()) return std::nullopt;
-  // priority_queue::top() is const&; the event is copied out.  Events are
-  // small (a time, an id, one std::function), so this is acceptable.
-  Event ev = heap_.top();
-  heap_.pop();
+  Event ev = std::move(heap_.front());
+  pop_root();
   --live_;
   return ev;
 }
@@ -44,7 +95,7 @@ std::optional<Event> EventQueue::pop() {
 std::optional<common::Seconds> EventQueue::peek_time() {
   drop_cancelled_top();
   if (heap_.empty()) return std::nullopt;
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 }  // namespace eclb::sim

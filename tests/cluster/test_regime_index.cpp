@@ -1,0 +1,282 @@
+// Equivalence suite for the incremental regime index (src/cluster/index).
+//
+// The index's contract is *bit-identity* with the legacy full scans: every
+// aggregate, cursor and placement search must reproduce the scan answer
+// exactly, under arbitrary interleavings of protocol rounds, crashes,
+// recoveries, derates and injected VMs.  Three layers of checking:
+//   1. self_check(): the index audits itself against a fresh classification
+//      of every server (catches stale incremental state).
+//   2. Naive oracles: tests recompute each aggregate/search with the legacy
+//      scan expressions and compare.
+//   3. Differential full runs: an indexed cluster and a use_regime_index =
+//      false cluster with the same seed must emit identical interval
+//      reports, message stats and energy -- fault-free and under a
+//      FaultPlan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/index/regime_index.h"
+#include "cluster/leader.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "policy/placement.h"
+
+namespace eclb::cluster {
+namespace {
+
+using common::Seconds;
+using common::ServerId;
+
+ClusterConfig base_config(std::uint64_t seed, bool indexed = true) {
+  ClusterConfig cfg;
+  cfg.server_count = 60;
+  cfg.initial_load_min = 0.2;
+  cfg.initial_load_max = 0.4;
+  cfg.seed = seed;
+  cfg.use_regime_index = indexed;
+  return cfg;
+}
+
+/// Applies a deterministic churn step `round` to `c`: crash, recover,
+/// derate or inject, cycling over the fleet.
+void churn(Cluster& c, int round) {
+  const auto n = static_cast<std::uint32_t>(c.size());
+  const ServerId victim{static_cast<std::uint32_t>((round * 7 + 3) % n)};
+  switch (round % 4) {
+    case 0: c.crash_server(victim); break;
+    case 1: c.recover_server(victim); break;
+    case 2: c.derate_server(victim, 0.5 + 0.1 * (round % 5)); break;
+    default:
+      if (!c.servers()[victim.value].failed()) {
+        c.inject_vm(victim, common::AppId{static_cast<std::uint32_t>(9000 + round)},
+                    0.05);
+      }
+      break;
+  }
+}
+
+TEST(RegimeIndex, InstalledByDefaultAndAbsentWhenDisabled) {
+  Cluster on(base_config(1));
+  EXPECT_NE(on.regime_index(), nullptr);
+  Cluster off(base_config(1, /*indexed=*/false));
+  EXPECT_EQ(off.regime_index(), nullptr);
+}
+
+TEST(RegimeIndex, SelfCheckPassesAfterConstruction) {
+  Cluster c(base_config(2));
+  ASSERT_NE(c.regime_index(), nullptr);
+  const auto err = c.regime_index()->self_check();
+  EXPECT_FALSE(err.has_value()) << *err;
+}
+
+TEST(RegimeIndex, SelfCheckPassesUnderRandomizedChurn) {
+  for (std::uint64_t seed : {3u, 11u, 42u}) {
+    Cluster c(base_config(seed));
+    ASSERT_NE(c.regime_index(), nullptr);
+    for (int round = 0; round < 24; ++round) {
+      c.step();
+      churn(c, round);
+      const auto err = c.regime_index()->self_check();
+      ASSERT_FALSE(err.has_value())
+          << "seed " << seed << " round " << round << ": " << *err;
+    }
+  }
+}
+
+TEST(RegimeIndex, AggregatesMatchNaiveScans) {
+  Cluster c(base_config(5));
+  ASSERT_NE(c.regime_index(), nullptr);
+  for (int round = 0; round < 16; ++round) {
+    c.step();
+    churn(c, round);
+    const auto& idx = *c.regime_index();
+    const auto now = c.now();
+
+    std::size_t vms = 0, sleeping = 0, parked = 0, deep = 0, reporters = 0;
+    energy::RegimeHistogram hist{};
+    for (const auto& s : c.servers()) {
+      vms += s.vm_count();
+      if (!s.failed() && !s.awake(now)) ++sleeping;
+      const auto cs = s.effective_cstate();
+      if (cs == energy::CState::kC1) ++parked;
+      if (cs == energy::CState::kC3 || cs == energy::CState::kC6) ++deep;
+      if (s.awake(now)) {
+        const auto r = s.regime();
+        if (r.has_value()) ++hist[energy::regime_index(*r)];
+      }
+      // The j_k fan-in counts every server whose regime is *defined* -- the
+      // legacy loop includes hosts still settling into sleep.
+      const auto r = s.regime();
+      if (r.has_value() && *r != energy::Regime::kR3Optimal) ++reporters;
+    }
+    EXPECT_EQ(idx.total_vms(), vms);
+    EXPECT_EQ(idx.sleeping_count(), sleeping);
+    EXPECT_EQ(idx.parked_count(), parked);
+    EXPECT_EQ(idx.deep_sleeping_count(), deep);
+    EXPECT_EQ(idx.regime_reporter_count(), reporters);
+    EXPECT_EQ(idx.regime_histogram(), hist);
+  }
+}
+
+TEST(RegimeIndex, PlacementSearchesMatchLegacyScans) {
+  Cluster c(base_config(7));
+  ASSERT_NE(c.regime_index(), nullptr);
+  const Leader leader;
+  for (int round = 0; round < 16; ++round) {
+    c.step();
+    churn(c, round);
+    const auto& idx = *c.regime_index();
+    const auto servers = c.servers();
+    const auto now = c.now();
+
+    for (double demand : {0.01, 0.08, 0.2, 0.45}) {
+      for (std::uint32_t ex : {0u, 5u, 31u}) {
+        const ServerId exclude{ex};
+        for (auto tier : {policy::PlacementTier::kLowRegimesOnly,
+                          policy::PlacementTier::kStayOptimal,
+                          policy::PlacementTier::kStaySuboptimal}) {
+          EXPECT_EQ(idx.find_tiered_target(demand, exclude, tier),
+                    policy::find_tiered_target(servers, now, demand, exclude, tier))
+              << "round " << round << " demand " << demand << " ex " << ex;
+        }
+        EXPECT_EQ(idx.find_below_center_target(demand, exclude),
+                  policy::find_below_center_target(servers, now, demand, exclude))
+            << "round " << round << " demand " << demand << " ex " << ex;
+      }
+    }
+    EXPECT_EQ(idx.pick_wake_candidate(), leader.pick_wake_candidate(servers, now));
+  }
+}
+
+TEST(RegimeIndex, DrainSearchMatchesLegacyScan) {
+  Cluster c(base_config(9));
+  ASSERT_NE(c.regime_index(), nullptr);
+  constexpr double kEps = 1e-9;
+  std::size_t compared = 0;
+  for (int round = 0; round < 16; ++round) {
+    c.step();
+    const auto servers = c.servers();
+    const auto now = c.now();
+    for (const auto& donor : servers) {
+      if (!donor.awake(now) || donor.vms().empty()) continue;
+      const double demand = donor.vms().front().demand();
+
+      // The legacy inline scan from DrainAndSleep, verbatim.
+      std::optional<ServerId> want;
+      double best = 0.0;
+      for (const auto& t : servers) {
+        if (t.id() == donor.id() || !t.awake(now)) continue;
+        if (t.load() <= donor.load() + kEps) continue;
+        const auto r = t.regime();
+        if (!r.has_value()) continue;
+        const auto& th = t.thresholds();
+        const double post = t.load() + demand;
+        const bool low = *r == energy::Regime::kR1UndesirableLow ||
+                         *r == energy::Regime::kR2SuboptimalLow;
+        const bool r3_below = *r == energy::Regime::kR3Optimal &&
+                              post <= th.optimal_center() + kEps;
+        if (!low && !r3_below) continue;
+        if (post > th.alpha_opt_high + kEps) continue;
+        const double score = std::abs(post - th.optimal_center());
+        if (!want.has_value() || score < best) {
+          want = t.id();
+          best = score;
+        }
+      }
+      EXPECT_EQ(c.regime_index()->find_drain_target(donor, demand), want)
+          << "round " << round << " donor " << donor.id().value;
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 100U);  // the oracle actually exercised real donors
+}
+
+/// Field-by-field interval report comparison (operator== would hide which
+/// counter diverged).
+void expect_reports_equal(const IntervalReport& a, const IntervalReport& b,
+                          std::size_t i) {
+  EXPECT_EQ(a.local_decisions, b.local_decisions) << "interval " << i;
+  EXPECT_EQ(a.in_cluster_decisions, b.in_cluster_decisions) << "interval " << i;
+  EXPECT_EQ(a.migrations, b.migrations) << "interval " << i;
+  EXPECT_EQ(a.shed_migrations, b.shed_migrations) << "interval " << i;
+  EXPECT_EQ(a.rebalance_migrations, b.rebalance_migrations) << "interval " << i;
+  EXPECT_EQ(a.consolidation_migrations, b.consolidation_migrations)
+      << "interval " << i;
+  EXPECT_EQ(a.horizontal_starts, b.horizontal_starts) << "interval " << i;
+  EXPECT_EQ(a.drains, b.drains) << "interval " << i;
+  EXPECT_EQ(a.sleeps, b.sleeps) << "interval " << i;
+  EXPECT_EQ(a.wakes, b.wakes) << "interval " << i;
+  EXPECT_EQ(a.sla_violations, b.sla_violations) << "interval " << i;
+  EXPECT_EQ(a.crashes, b.crashes) << "interval " << i;
+  EXPECT_EQ(a.recoveries, b.recoveries) << "interval " << i;
+  EXPECT_EQ(a.failovers, b.failovers) << "interval " << i;
+  EXPECT_EQ(a.dropped_messages, b.dropped_messages) << "interval " << i;
+  EXPECT_EQ(a.retried_messages, b.retried_messages) << "interval " << i;
+  EXPECT_EQ(a.orphans_replaced, b.orphans_replaced) << "interval " << i;
+  EXPECT_EQ(a.failed_migrations, b.failed_migrations) << "interval " << i;
+  EXPECT_EQ(a.sleeping_servers, b.sleeping_servers) << "interval " << i;
+  EXPECT_EQ(a.parked_servers, b.parked_servers) << "interval " << i;
+  EXPECT_EQ(a.deep_sleeping_servers, b.deep_sleeping_servers) << "interval " << i;
+  EXPECT_EQ(a.failed_servers, b.failed_servers) << "interval " << i;
+  EXPECT_EQ(a.regimes, b.regimes) << "interval " << i;
+  EXPECT_DOUBLE_EQ(a.unserved_demand, b.unserved_demand) << "interval " << i;
+  EXPECT_DOUBLE_EQ(a.interval_energy.value, b.interval_energy.value)
+      << "interval " << i;
+}
+
+TEST(RegimeIndex, FullRunBitIdenticalToLegacyScans) {
+  for (std::uint64_t seed : {13u, 99u}) {
+    Cluster indexed(base_config(seed, /*indexed=*/true));
+    Cluster legacy(base_config(seed, /*indexed=*/false));
+    for (std::size_t i = 0; i < 80; ++i) {
+      const auto ra = indexed.step();
+      const auto rb = legacy.step();
+      expect_reports_equal(ra, rb, i);
+    }
+    EXPECT_DOUBLE_EQ(indexed.total_demand(), legacy.total_demand());
+    EXPECT_DOUBLE_EQ(indexed.total_energy().value, legacy.total_energy().value);
+    EXPECT_EQ(indexed.total_vms(), legacy.total_vms());
+    EXPECT_EQ(indexed.message_stats().total(),
+              legacy.message_stats().total());
+  }
+}
+
+fault::FaultPlan stress_plan() {
+  fault::FaultPlan plan;
+  plan.crash(Seconds{90.0}, ServerId{4});
+  plan.crash(Seconds{150.0}, ServerId{17});
+  plan.crash_leader(Seconds{210.0});
+  plan.recover(Seconds{400.0}, ServerId{4});
+  plan.derate(Seconds{450.0}, ServerId{23}, 0.6);
+  plan.link_loss(Seconds{500.0}, 0.2);
+  plan.migration_failure_rate(Seconds{560.0}, 0.3);
+  plan.link_delay(Seconds{620.0}, Seconds{0.05});
+  return plan;
+}
+
+TEST(RegimeIndex, FullRunBitIdenticalToLegacyScansUnderFaultPlan) {
+  Cluster indexed(base_config(21, /*indexed=*/true));
+  Cluster legacy(base_config(21, /*indexed=*/false));
+  fault::FaultInjector fi(indexed, stress_plan());
+  fault::FaultInjector fl(legacy, stress_plan());
+  for (std::size_t i = 0; i < 40; ++i) {
+    const auto ra = indexed.step();
+    const auto rb = legacy.step();
+    expect_reports_equal(ra, rb, i);
+    if (indexed.regime_index() != nullptr) {
+      const auto err = indexed.regime_index()->self_check();
+      ASSERT_FALSE(err.has_value()) << "interval " << i << ": " << *err;
+    }
+  }
+  EXPECT_DOUBLE_EQ(indexed.total_energy().value, legacy.total_energy().value);
+  EXPECT_EQ(fi.stats().crashes, fl.stats().crashes);
+  EXPECT_EQ(fi.stats().failovers, fl.stats().failovers);
+}
+
+}  // namespace
+}  // namespace eclb::cluster

@@ -39,7 +39,7 @@ int usage() {
       "\n"
       "commands:\n"
       "  cluster   --servers N --load 30|70 --intervals K --seed S [--tau SEC]\n"
-      "            [--no-sleep] [--no-rebalance] [--faults SPEC]\n"
+      "            [--no-sleep] [--no-rebalance] [--legacy-scan] [--faults SPEC]\n"
       "            [--trace DIR] [--metrics FILE] [--profile]\n"
       "            runs the energy-aware protocol, prints per-interval CSV;\n"
       "            --trace writes a JSONL protocol trace into DIR, --metrics\n"
@@ -74,6 +74,9 @@ int cmd_cluster(common::Flags& flags) {
   cfg.reallocation_interval = common::Seconds{flags.get_double("tau", 60.0)};
   if (flags.get_bool("no-sleep")) cfg.allow_sleep = false;
   if (flags.get_bool("no-rebalance")) cfg.rebalance_enabled = false;
+  // Differential escape hatch: run the legacy full-scan protocol path (the
+  // output is bit-identical by contract; the flag exists to prove it).
+  if (flags.get_bool("legacy-scan")) cfg.use_regime_index = false;
 
   std::optional<fault::FaultPlan> plan;
   if (flags.has("faults")) {
