@@ -8,9 +8,11 @@
 // the drop/retry traffic of the hardened protocol.  A final check verifies
 // the empty-plan identity -- with the fault layer installed but idle the run
 // is byte-identical to a fault-free one.
+#include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/table.h"
 #include "experiment/runner.h"
@@ -21,12 +23,19 @@ namespace {
 
 using namespace eclb;
 
-/// One 40-interval run under `plan`; returns the replication outcome.
+/// `--tiny` shrinks the sweep to a CI-smoke size (fewer servers, intervals
+/// and loss points) while keeping every scenario shape.
+bool g_tiny = false;
+
+std::size_t servers() { return g_tiny ? 40 : 100; }
+std::size_t intervals() { return g_tiny ? 20 : experiment::kPaperIntervals; }
+
+/// One run under `plan`; returns the replication outcome.
 experiment::ReplicationOutcome run(const fault::FaultPlan& plan,
                                    std::uint64_t seed) {
   const auto cfg = experiment::paper_cluster_config(
-      100, experiment::AverageLoad::kHigh70, seed);
-  return experiment::run_replication(cfg, experiment::kPaperIntervals, plan);
+      servers(), experiment::AverageLoad::kHigh70, seed);
+  return experiment::run_replication(cfg, intervals(), plan);
 }
 
 /// Fingerprint of the per-interval surface, for the identity check.
@@ -43,13 +52,19 @@ std::string fingerprint(const experiment::ReplicationOutcome& out) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) g_tiny = true;
+  }
   std::cout << "== X11: fault resilience sweep ==\n\n"
-            << "100 servers, high load (~70 %), 40 intervals, tau = 60 s;\n"
+            << servers() << " servers, high load (~70 %), " << intervals()
+            << " intervals, tau = 60 s;\n"
             << "crash scenarios: none | leader@1200 s | leader@1200 s plus\n"
             << "members 5 and 17 @600 s (recovering @1800 s).\n\n";
 
-  const double losses[] = {0.0, 0.02, 0.05, 0.1, 0.2};
+  const std::vector<double> losses =
+      g_tiny ? std::vector<double>{0.0, 0.1}
+             : std::vector<double>{0.0, 0.02, 0.05, 0.1, 0.2};
   const char* scenarios[] = {"none", "leader", "leader+members"};
 
   common::TextTable table({"Loss p", "Crashes", "Ratio", "Energy (kWh)", "SLA",
@@ -91,8 +106,8 @@ int main() {
   const auto idle = run(fault::FaultPlan{}, 404);
   const auto baseline = [] {
     const auto cfg = experiment::paper_cluster_config(
-        100, experiment::AverageLoad::kHigh70, 404);
-    return experiment::run_replication(cfg, experiment::kPaperIntervals);
+        servers(), experiment::AverageLoad::kHigh70, 404);
+    return experiment::run_replication(cfg, intervals());
   }();
   const bool identical = fingerprint(idle) == fingerprint(baseline);
   std::cout << "\nempty-plan identity: "

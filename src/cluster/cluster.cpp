@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_set>
 
 #include "cluster/index/regime_index.h"
 #include "cluster/protocol/engine.h"
@@ -30,6 +31,7 @@ Cluster::Cluster(ClusterConfig config)
   ECLB_ASSERT(config_.initial_load_min <= config_.initial_load_max,
               "Cluster: invalid initial load range");
   populate();
+  membership_.form(servers_.size(), common::ServerId{0});
   if (config_.use_regime_index) {
     index_ = std::make_unique<index::RegimeIndex>(
         std::span<const server::Server>(servers_));
@@ -181,6 +183,22 @@ common::VmId Cluster::inject_vm(common::ServerId server, common::AppId app,
 
 std::optional<common::ServerId> Cluster::pick_placement(
     double demand, common::ServerId exclude) {
+  if (membership_.partitioned()) {
+    // Horizontal capacity is only brokered on the quorum side; minority
+    // sub-leaders run degraded (vertical/local scaling only).  The regime
+    // index is not side-aware, so partitioned searches take the legacy scan
+    // with a side filter; the rebuilt index resumes after reconciliation.
+    const std::int32_t side = exclude.valid() ? membership_.group_of(exclude)
+                                              : membership_.quorum();
+    if (side != membership_.quorum()) return std::nullopt;
+    const policy::PlacementFilter filter{&membership_.groups(), side};
+    if (config_.placement == PlacementStrategy::kEnergyAware) {
+      return policy::find_tiered_target(servers_, now(), demand, exclude,
+                                        policy::PlacementTier::kStaySuboptimal,
+                                        &filter);
+    }
+    return placement_->pick(servers_, now(), demand, exclude, rng_, &filter);
+  }
   if (index_ != nullptr &&
       config_.placement == PlacementStrategy::kEnergyAware) {
     // EnergyAwarePlacement::pick never consumes randomness, so routing
@@ -239,21 +257,30 @@ void Cluster::crash_server(common::ServerId id) {
   auto displaced = s.take_all_vms();
   s.fail(when);
   ++failed_count_;
-  if (!displaced.empty()) {
+  std::size_t orphaned = 0;
+  for (auto& v : displaced) {
+    // The replacement VM gets a fresh id and growth spec on re-placement.
+    growth_.erase(v.id());
+    if (take_shadow_entry(v.id())) {
+      // A shadow lost to a crash is not re-placed: its original still runs
+      // on the other side of the partition, so no service was lost and a
+      // restart would just re-create the duplicate.
+      continue;
+    }
+    orphans_.push_back({v.app(), v.demand(), id, when});
+    ++orphaned;
+  }
+  if (orphaned > 0) {
     auto& episode = crash_episodes_[id];
     if (episode.outstanding == 0) episode.crashed_at = when;
-    episode.outstanding += displaced.size();
-    for (auto& v : displaced) {
-      orphans_.push_back({v.app(), v.demand(), id, when});
-      // The replacement VM gets a fresh id and growth spec on re-placement.
-      growth_.erase(v.id());
-    }
+    episode.outstanding += orphaned;
   }
   recorder_.server_crashed(id);
-  if (id == leader_server_ && !leader_down_) {
-    leader_down_ = true;
-    leader_down_since_ = when;
-    missed_heartbeats_ = 0;
+  SideState& side = membership_.side_of(id);
+  if (id == side.leader && !side.leader_down) {
+    side.leader_down = true;
+    side.leader_down_since = when;
+    side.missed_heartbeats = 0;
   }
 }
 
@@ -264,10 +291,11 @@ void Cluster::recover_server(common::ServerId id) {
   ECLB_ASSERT(failed_count_ > 0, "recover_server: failure count underflow");
   --failed_count_;
   recorder_.server_recovered(id);
-  if (id == leader_server_ && leader_down_) {
-    // The leader host came back before the survivors elected a successor.
-    leader_down_ = false;
-    missed_heartbeats_ = 0;
+  SideState& side = membership_.side_of(id);
+  if (id == side.leader && side.leader_down) {
+    // The leader host came back before its side elected a successor.
+    side.leader_down = false;
+    side.missed_heartbeats = 0;
   }
 }
 
@@ -281,48 +309,73 @@ void Cluster::derate_server(common::ServerId id, double capacity) {
 
 void Cluster::heartbeat_tick() {
   if (faults_ == nullptr) return;
-  // One liveness probe per beat across the star fabric, priced like any
-  // other control exchange.
-  messages_.record(MessageKind::kHeartbeat, 1, config_.costs.energy_per_message);
-  traffic_energy_ += config_.costs.energy_per_message;
-  if (!leader_down_) {
-    missed_heartbeats_ = 0;
-    return;
+  // One liveness probe per side per beat across the star fabric, priced
+  // like any other control exchange (one side -- the whole-fabric case --
+  // keeps the historical single probe).
+  for (std::size_t g = 0; g < membership_.side_count(); ++g) {
+    const auto group = static_cast<std::int32_t>(g);
+    messages_.record(MessageKind::kHeartbeat, 1,
+                     config_.costs.energy_per_message);
+    traffic_energy_ += config_.costs.energy_per_message;
+    SideState& side = membership_.side(group);
+    if (!side.leader_down) {
+      side.missed_heartbeats = 0;
+      continue;
+    }
+    ++side.missed_heartbeats;
+    if (side.missed_heartbeats >= faults_->failover_after_missed()) {
+      elect_side_leader(group, side.provisional);
+    }
   }
-  ++missed_heartbeats_;
-  if (missed_heartbeats_ >= faults_->failover_after_missed()) elect_leader();
 }
 
-void Cluster::elect_leader() {
+void Cluster::elect_side_leader(std::int32_t group, bool provisional) {
   const common::Seconds when = sim_.now();
   const server::Server* winner = nullptr;
   for (const auto& s : servers_) {
+    if (membership_.group_of(s.id()) != group) continue;
     if (!s.failed() && s.awake(when)) {
       winner = &s;
       break;
     }
   }
   if (winner == nullptr) {
-    // No awake survivor: the lowest-id live server takes the role; the
-    // protocol will wake it like any other sleeper.
+    // No awake survivor on this side: its lowest-id live member takes the
+    // role; the protocol will wake it like any other sleeper.
     for (const auto& s : servers_) {
+      if (membership_.group_of(s.id()) != group) continue;
       if (!s.failed()) {
         winner = &s;
         break;
       }
     }
   }
-  if (winner == nullptr) return;  // the whole fleet is down
-  leader_server_ = winner->id();
-  leader_down_ = false;
-  missed_heartbeats_ = 0;
-  // Election broadcast among the survivors.
-  const std::size_t live = servers_.size() - failed_count_;
+  SideState& side = membership_.side(group);
+  // The whole side is down: the role stays with the dead incumbent (still
+  // marked down) exactly as the pre-partition protocol behaved.
+  if (winner == nullptr) return;
+  const bool was_down = side.leader_down;
+  const common::Seconds down_since = side.leader_down_since;
+  side.leader = winner->id();
+  side.leader_down = false;
+  side.missed_heartbeats = 0;
+  // Raft-style: every successful election moves its side to a fresh epoch
+  // from the shared monotonic counter, fencing the predecessor's in-flight
+  // commands.
+  side.epoch = membership_.next_epoch();
+  side.provisional = provisional;
+  // Election broadcast among the side's live members.
+  std::size_t live = 0;
+  for (const auto& s : servers_) {
+    if (membership_.group_of(s.id()) == group && !s.failed()) ++live;
+  }
   messages_.record(MessageKind::kElection, live, config_.costs.energy_per_message);
   traffic_energy_ +=
       config_.costs.energy_per_message * static_cast<double>(live);
-  recorder_.failover(leader_server_);
-  if (faults_ != nullptr) faults_->note_failover(when - leader_down_since_);
+  recorder_.failover(side.leader);
+  if (was_down && faults_ != nullptr) {
+    faults_->note_failover(when - down_since);
+  }
 }
 
 bool Cluster::do_migrate(server::Server& source, common::VmId vm_id,
@@ -364,14 +417,24 @@ void Cluster::begin_wake_now(common::ServerId id) {
 void Cluster::wake_command_dropped(common::ServerId id) {
   faults_->note_dropped(MessageKind::kWakeCommand, 1);
   recorder_.message_dropped(MessageKind::kWakeCommand, id);
-  schedule_wake_retry(id, 1);
+  schedule_wake_retry(id, 1, membership_.epoch_of(id));
 }
 
-void Cluster::schedule_wake_retry(common::ServerId id, std::size_t attempt) {
+void Cluster::schedule_wake_retry(common::ServerId id, std::size_t attempt,
+                                  Epoch issued) {
   if (faults_ == nullptr || attempt > faults_->max_retries()) return;
   sim_.schedule_in(
-      faults_->retry_backoff(attempt), [this, id, attempt](sim::Simulation& sm) {
+      faults_->retry_backoff(attempt),
+      [this, id, attempt, issued](sim::Simulation& sm) {
         if (faults_ == nullptr) return;
+        // Epoch fence: the retry chain belongs to the epoch that issued the
+        // original command; once the receiver's side moved on (election,
+        // partition, reconcile) the stale command is dropped and counted.
+        if (membership_.is_stale(issued, id)) {
+          recorder_.command_fenced(MessageKind::kWakeCommand, id);
+          faults_->note_fenced(MessageKind::kWakeCommand);
+          return;
+        }
         auto& s = server_ref(id);
         s.settle(sm.now());
         // Moot when the server crashed, woke another way, or is mid-flight.
@@ -384,7 +447,7 @@ void Cluster::schedule_wake_retry(common::ServerId id, std::size_t attempt) {
         if (!faults_->deliver(MessageKind::kWakeCommand, id)) {
           faults_->note_dropped(MessageKind::kWakeCommand, 1);
           recorder_.message_dropped(MessageKind::kWakeCommand, id);
-          schedule_wake_retry(id, attempt + 1);
+          schedule_wake_retry(id, attempt + 1, issued);
           return;
         }
         begin_wake_now(id);
@@ -392,7 +455,13 @@ void Cluster::schedule_wake_retry(common::ServerId id, std::size_t attempt) {
 }
 
 void Cluster::schedule_delayed_wake(common::ServerId id, common::Seconds delay) {
-  sim_.schedule_in(delay, [this, id](sim::Simulation& sm) {
+  const Epoch issued = membership_.epoch_of(id);
+  sim_.schedule_in(delay, [this, id, issued](sim::Simulation& sm) {
+    if (membership_.is_stale(issued, id)) {
+      recorder_.command_fenced(MessageKind::kWakeCommand, id);
+      if (faults_ != nullptr) faults_->note_fenced(MessageKind::kWakeCommand);
+      return;
+    }
     auto& s = server_ref(id);
     s.settle(sm.now());
     if (s.failed() || s.awake(sm.now()) || s.in_transition(sm.now())) return;
@@ -405,18 +474,33 @@ void Cluster::transfer_dropped(common::ServerId source, common::VmId vm,
   faults_->note_dropped(MessageKind::kTransferRequest,
                         config_.costs.messages_per_negotiation);
   recorder_.message_dropped(MessageKind::kTransferRequest, target);
-  schedule_transfer_retry(source, vm, target, cause, 1);
+  schedule_transfer_retry(source, vm, target, cause, 1,
+                          membership_.epoch_of(source));
 }
 
 void Cluster::schedule_transfer_retry(common::ServerId source, common::VmId vm,
                                       common::ServerId target,
                                       MigrationCause cause,
-                                      std::size_t attempt) {
+                                      std::size_t attempt, Epoch issued) {
   if (faults_ == nullptr || attempt > faults_->max_retries()) return;
   sim_.schedule_in(
       faults_->retry_backoff(attempt),
-      [this, source, vm, target, cause, attempt](sim::Simulation& sm) {
+      [this, source, vm, target, cause, attempt, issued](sim::Simulation& sm) {
         if (faults_ == nullptr) return;
+        // Epoch fence (see schedule_wake_retry): the receiving end judges
+        // staleness against its side's current epoch.
+        if (membership_.is_stale(issued, target)) {
+          recorder_.command_fenced(MessageKind::kTransferRequest, target);
+          faults_->note_fenced(MessageKind::kTransferRequest);
+          return;
+        }
+        // A transfer never crosses an active partition.
+        if (membership_.partitioned() &&
+            membership_.group_of(source) != membership_.group_of(target)) {
+          recorder_.command_fenced(MessageKind::kTransferRequest, target);
+          faults_->note_fenced(MessageKind::kTransferRequest);
+          return;
+        }
         auto& src = server_ref(source);
         auto& tgt = server_ref(target);
         const vm::Vm* v = src.find(vm);
@@ -436,7 +520,8 @@ void Cluster::schedule_transfer_retry(common::ServerId source, common::VmId vm,
           faults_->note_dropped(MessageKind::kTransferRequest,
                                 config_.costs.messages_per_negotiation);
           recorder_.message_dropped(MessageKind::kTransferRequest, target);
-          schedule_transfer_retry(source, vm, target, cause, attempt + 1);
+          schedule_transfer_retry(source, vm, target, cause, attempt + 1,
+                                  issued);
           return;
         }
         if (faults_->migration_fails(source, target)) {
@@ -468,7 +553,11 @@ void Cluster::replace_orphan(common::ServerId target_id, const OrphanVm& orphan)
                    config_.costs.messages_per_negotiation,
                    config_.costs.energy_per_message);
   recorder_.orphan_replaced(target_id);
-  const auto it = crash_episodes_.find(orphan.origin);
+  close_crash_outstanding(orphan.origin);
+}
+
+void Cluster::close_crash_outstanding(common::ServerId origin) {
+  const auto it = crash_episodes_.find(origin);
   if (it != crash_episodes_.end() && --it->second.outstanding == 0) {
     // Last displaced VM running again: service restored, MTTR sample closed.
     if (faults_ != nullptr) {
@@ -476,6 +565,127 @@ void Cluster::replace_orphan(common::ServerId target_id, const OrphanVm& orphan)
     }
     crash_episodes_.erase(it);
   }
+}
+
+bool Cluster::take_shadow_entry(common::VmId vm) {
+  for (auto it = shadow_ledger_.begin(); it != shadow_ledger_.end(); ++it) {
+    if (it->shadow == vm) {
+      shadow_ledger_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+const server::Server* Cluster::find_vm_host(common::VmId vm) const {
+  for (const auto& s : servers_) {
+    if (s.find(vm) != nullptr) return &s;
+  }
+  return nullptr;
+}
+
+// --- partition tolerance -----------------------------------------------------
+
+std::int32_t Cluster::begin_partition(const std::vector<std::int32_t>& group_of) {
+  if (membership_.partitioned() || reconcile_pending_) return -1;
+  ECLB_ASSERT(group_of.size() == servers_.size(),
+              "begin_partition: group map size mismatch");
+  std::int32_t side_count = 0;
+  for (const auto g : group_of) {
+    ECLB_ASSERT(g >= 0, "begin_partition: negative group index");
+    side_count = std::max(side_count, g + 1);
+  }
+  if (side_count < 2) return -1;
+  std::vector<bool> live(servers_.size());
+  for (std::size_t i = 0; i < servers_.size(); ++i) live[i] = !servers_[i].failed();
+  const std::int32_t quorum = quorum_group(group_of, live);
+
+  const SideState old = membership_.side(0);
+  membership_.split(group_of, quorum, static_cast<std::size_t>(side_count));
+  recorder_.partition_started(static_cast<std::size_t>(side_count));
+
+  for (std::int32_t g = 0; g < side_count; ++g) {
+    if (g == quorum && old.leader.valid() &&
+        membership_.group_of(old.leader) == g &&
+        !server_ref(old.leader).failed()) {
+      // The quorum keeps the committed epoch and its incumbent leader; its
+      // heartbeat state carries over untouched.
+      SideState& side = membership_.side(g);
+      side.leader = old.leader;
+      side.epoch = old.epoch;
+      side.provisional = false;
+      side.leader_down = old.leader_down;
+      side.leader_down_since = old.leader_down_since;
+      side.missed_heartbeats = old.missed_heartbeats;
+      continue;
+    }
+    // Minority sides -- and a quorum that lost its leader across the split
+    // -- elect immediately; minorities are provisional (sub-leaders that
+    // yield at reconciliation unless they hold the highest live epoch).
+    elect_side_leader(g, /*provisional=*/g != quorum);
+  }
+  shadow_restart_minority();
+  return quorum;
+}
+
+void Cluster::heal_partition() {
+  if (!membership_.partitioned() || reconcile_pending_) return;
+  reconcile_pending_ = true;
+  heal_time_ = sim_.now();
+  recorder_.partition_healed();
+}
+
+void Cluster::shadow_restart_minority() {
+  if (!config_.partition_shadow_restart) return;
+  // The quorum side cannot reach minority-hosted applications, so it
+  // restarts replacements for them on its own side -- the split-brain
+  // divergence the reconciliation pass later resolves.  Deterministic scan
+  // order (server id, then VM placement order) keeps the run reproducible.
+  for (const auto& s : servers_) {
+    if (membership_.in_quorum(s.id()) || s.failed()) continue;
+    for (const auto& v : s.vms()) {
+      const auto target = pick_placement(v.demand(), common::ServerId{});
+      if (!target.has_value()) continue;  // quorum full: wait out the split
+      auto& host = server_ref(*target);
+      const common::VmId shadow = spawn_vm(host, v.app(), v.demand(),
+                                           /*force=*/false);
+      const vm::ScalingCost cost =
+          vm::horizontal_start_cost(*host.find(shadow), config_.costs);
+      in_cluster_cost_ += cost;
+      host.charge_energy(cost.energy);
+      messages_.record(MessageKind::kTransferRequest,
+                       config_.costs.messages_per_negotiation,
+                       config_.costs.energy_per_message);
+      shadow_ledger_.push_back({v.app(), s.id(), v.id(), shadow});
+      recorder_.shadow_started(*target);
+      if (faults_ != nullptr) faults_->note_shadow_started();
+    }
+  }
+}
+
+std::optional<std::string> Cluster::self_audit() const {
+  if (!membership_.partitioned()) {
+    if (reconcile_pending_) return "reconcile pending on a whole fabric";
+    if (!shadow_ledger_.empty()) {
+      return "shadow ledger not empty outside a partition";
+    }
+    const SideState& side = membership_.side(0);
+    if (side.epoch != membership_.highest_epoch()) {
+      return "whole-fabric leader not at the highest epoch";
+    }
+  }
+  std::unordered_set<common::VmId> seen;
+  for (const auto& s : servers_) {
+    for (const auto& v : s.vms()) {
+      if (!seen.insert(v.id()).second) {
+        return "VM id double-placed across the fleet";
+      }
+    }
+  }
+  if (index_ != nullptr) {
+    if (auto err = index_->self_check(); err.has_value()) return err;
+  }
+  return std::nullopt;
 }
 
 void Cluster::schedule_transition(common::ServerId id, common::Seconds done) {

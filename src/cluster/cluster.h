@@ -21,6 +21,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "cluster/config.h"
 #include "cluster/faults.h"
 #include "cluster/leader.h"
+#include "cluster/membership.h"
 #include "cluster/messages.h"
 #include "cluster/recorder.h"
 #include "common/rng.h"
@@ -176,15 +178,56 @@ class Cluster {
   /// The server currently holding the leader role (initially server 0).
   /// Leadership is a control-plane role: a *sleeping* leader host still
   /// routes decisions (the role lives in its always-on management plane);
-  /// only a crash takes leadership down.
-  [[nodiscard]] common::ServerId leader_server() const { return leader_server_; }
+  /// only a crash takes leadership down.  While partitioned this is the
+  /// quorum side's leader; minority sub-leaders live in membership().
+  [[nodiscard]] common::ServerId leader_server() const {
+    return membership_.side(membership_.quorum()).leader;
+  }
   /// False while the leader host is crashed and no successor has been
   /// elected yet; all leader-mediated placement stalls in that window.
-  [[nodiscard]] bool leader_available() const { return !leader_down_; }
+  [[nodiscard]] bool leader_available() const {
+    const SideState& side = membership_.side(membership_.quorum());
+    return side.leader.valid() && !side.leader_down;
+  }
   /// Servers currently failed.
   [[nodiscard]] std::size_t failed_count() const { return failed_count_; }
   /// Crash-orphaned VMs not yet re-placed.
   [[nodiscard]] std::span<const OrphanVm> orphans() const { return orphans_; }
+
+  // --- partition tolerance ---------------------------------------------------
+
+  /// Splits the membership into the sides of `group_of` (one group index
+  /// per server).  The quorum side -- most live members, deterministic
+  /// tie-breaks (see quorum_group) -- keeps the committed epoch and the full
+  /// protocol; every other side elects a sub-leader at a bumped
+  /// *provisional* epoch and runs degraded (vertical/local scaling only, no
+  /// cross-side migration or wake).  When configured, the quorum
+  /// shadow-restarts applications stranded on minority servers.  Returns the
+  /// quorum group, or -1 when the call is a no-op (already partitioned, or a
+  /// reconciliation is still pending).
+  std::int32_t begin_partition(const std::vector<std::int32_t>& group_of);
+  /// Marks the fabric whole again.  Membership stays split until the next
+  /// protocol round, whose anti-entropy reconciliation pass merges the
+  /// views, resolves duplicated/orphaned placements and rebuilds the regime
+  /// index; the gap is the heal-convergence window the recorder reports.
+  void heal_partition();
+
+  /// The membership view: sides, side leaders, epochs.
+  [[nodiscard]] const Membership& membership() const { return membership_; }
+  /// True between a heal and the reconciliation pass that follows it.
+  [[nodiscard]] bool reconcile_pending() const { return reconcile_pending_; }
+  /// True when `id` sits on a non-quorum side of an active partition (the
+  /// degraded mode: vertical/local scaling only).
+  [[nodiscard]] bool degraded(common::ServerId id) const {
+    return membership_.partitioned() && id.valid() && !membership_.in_quorum(id);
+  }
+
+  /// Structural invariant audit: a whole fabric has exactly one side whose
+  /// leader holds the highest epoch and an empty shadow ledger; VM ids are
+  /// unique fleet-wide (no double placement); the regime index agrees with a
+  /// fresh classification.  Returns a description of the first violation, or
+  /// nullopt when sound.
+  [[nodiscard]] std::optional<std::string> self_audit() const;
 
   // --- multi-cluster hooks ---------------------------------------------------
 
@@ -248,8 +291,12 @@ class Cluster {
   /// Begins waking `id` now (transition scheduling + bookkeeping).
   void begin_wake_now(common::ServerId id);
   /// Books a dropped wake command to `id` and schedules its first retry.
+  /// Scheduled commands carry `issued`, the epoch of the side that sent
+  /// them: a receiver whose side has since moved to a newer epoch fences
+  /// the command instead of executing it (the stale-leader guard).
   void wake_command_dropped(common::ServerId id);
-  void schedule_wake_retry(common::ServerId id, std::size_t attempt);
+  void schedule_wake_retry(common::ServerId id, std::size_t attempt,
+                           Epoch issued);
   /// Begins `id`'s wake after a faulty-link propagation delay.
   void schedule_delayed_wake(common::ServerId id, common::Seconds delay);
   /// Books a dropped transfer request and schedules its first retry.
@@ -257,15 +304,34 @@ class Cluster {
                         common::ServerId target, MigrationCause cause);
   void schedule_transfer_retry(common::ServerId source, common::VmId vm,
                                common::ServerId target, MigrationCause cause,
-                               std::size_t attempt);
+                               std::size_t attempt, Epoch issued);
   /// Re-places one orphan onto `target` (pre-checked by placement) and
   /// closes its crash episode when it was the last outstanding VM.
   void replace_orphan(common::ServerId target, const OrphanVm& orphan);
-  /// One beat of the leader liveness protocol.
+  /// One beat of the per-side leader liveness protocol.
   void heartbeat_tick();
-  /// Deterministic re-election: lowest-id awake survivor, else lowest-id
-  /// non-failed server (it will be woken by the protocol).
-  void elect_leader();
+  /// Deterministic re-election within one side: its lowest-id awake live
+  /// member, else its lowest-id live member (woken by the protocol later).
+  /// Every successful election allocates a fresh epoch from the shared
+  /// monotonic counter and stamps the side `provisional` as requested.
+  void elect_side_leader(std::int32_t group, bool provisional);
+  /// Shadow-restarts applications hosted on live minority servers onto the
+  /// quorum side (when config().partition_shadow_restart), recording every
+  /// replacement in the shadow ledger for the reconciliation pass.
+  void shadow_restart_minority();
+  /// The anti-entropy pass after a heal: merges the membership views under
+  /// the surviving highest-epoch leader at a fresh epoch, retires duplicate
+  /// shadow placements (original survived) or adopts them (original lost),
+  /// rebuilds the regime index and emits the convergence metrics.  Defined
+  /// in protocol/reconcile_partitions.cpp beside the action that drives it.
+  void reconcile_partitions();
+  /// Drops the ledger entry tracking `vm` as a shadow; true when it was one.
+  bool take_shadow_entry(common::VmId vm);
+  /// Closes one outstanding orphan of `origin`'s crash episode (MTTR sample
+  /// when it was the last).
+  void close_crash_outstanding(common::ServerId origin);
+  /// The server currently hosting `vm`; nullptr when none does.
+  [[nodiscard]] const server::Server* find_vm_host(common::VmId vm) const;
 
   ClusterConfig config_;
   common::Rng rng_;
@@ -301,11 +367,22 @@ class Cluster {
     std::size_t outstanding{0};  ///< Orphans from this crash not yet re-placed.
   };
 
+  /// One quorum-side shadow restart of an application stranded across a
+  /// partition.  Resolved by the reconciliation pass: original still
+  /// running -> the shadow is retired as a duplicate; original gone -> the
+  /// shadow is adopted as the surviving instance.
+  struct ShadowVm {
+    common::AppId app{};
+    common::ServerId origin{};  ///< Minority host of the original VM.
+    common::VmId original{};    ///< The unreachable original.
+    common::VmId shadow{};      ///< The quorum-side replacement.
+  };
+
   FaultRuntime* faults_{nullptr};
-  common::ServerId leader_server_{0};
-  bool leader_down_{false};
-  common::Seconds leader_down_since_{};
-  std::size_t missed_heartbeats_{0};
+  Membership membership_;
+  bool reconcile_pending_{false};
+  common::Seconds heal_time_{};
+  std::vector<ShadowVm> shadow_ledger_;
   sim::PeriodicHandle heartbeat_;
   std::size_t failed_count_{0};
   std::vector<OrphanVm> orphans_;

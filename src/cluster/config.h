@@ -21,6 +21,17 @@ namespace eclb::cluster {
 using PlacementStrategy = policy::PlacementStrategy;
 using policy::to_string;
 
+/// Retry schedule for dropped control messages (wake commands, VM transfer
+/// negotiations).  Attempt `a` (1-based) is re-sent after
+/// min(base_delay * 2^(a-1), max_delay), up to `max_attempts` retries.
+///// Purely deterministic: the schedule depends only on these values, never on
+/// a random draw, so identical (seed, plan) runs retry at identical times.
+struct RetryPolicy {
+  std::size_t max_attempts{4};            ///< Retries before abandoning.
+  common::Seconds base_delay{0.5};        ///< First retry delay.
+  common::Seconds max_delay{8.0};         ///< Ceiling on the doubled delay.
+};
+
 /// Everything needed to build and drive a cluster.
 struct ClusterConfig {
   std::size_t server_count{100};
@@ -105,6 +116,18 @@ struct ClusterConfig {
   /// golden-hash tests enforce it); the switch exists for the perf bench
   /// and for differential testing.
   bool use_regime_index{true};
+
+  /// Retry schedule for dropped control messages.  The fault layer's
+  /// FaultPlan can override individual fields per plan (`retries=`,
+  /// `backoff=`, `cap=` spec parameters); unset overrides fall back here.
+  RetryPolicy retry{};
+
+  /// When true (the default) the quorum side of a fabric partition
+  /// shadow-restarts replacements for applications hosted on servers it can
+  /// no longer reach -- the split-brain divergence the post-heal
+  /// reconciliation pass must detect and retire.  Off, the quorum waits out
+  /// the partition and reconciliation only merges membership.
+  bool partition_shadow_restart{true};
 
   /// Price list for p_k / q_k / j_k.
   vm::ScalingCostParams costs{};

@@ -73,6 +73,25 @@ class FaultRuntime {
   /// Service displaced by a crash was fully restored `repair_time` seconds
   /// after the crash (the MTTR sample).
   virtual void note_repair(common::Seconds repair_time) = 0;
+
+  // --- partition bookkeeping (default no-ops so pre-partition runtimes and
+  // --- test stubs keep compiling unchanged) --------------------------------
+
+  /// A stale-epoch command of `kind` was fenced by its receiver.
+  virtual void note_fenced(MessageKind kind) { (void)kind; }
+  /// The quorum side shadow-restarted an application stranded on a
+  /// minority side (split-brain divergence the reconciliation resolves).
+  virtual void note_shadow_started() {}
+  /// Post-heal reconciliation converged `convergence` seconds after the
+  /// heal, retiring `duplicates_resolved` duplicate placements and
+  /// re-adopting `orphans_adopted` shadow VMs whose originals were lost.
+  virtual void note_reconciled(common::Seconds convergence,
+                               std::size_t duplicates_resolved,
+                               std::size_t orphans_adopted) {
+    (void)convergence;
+    (void)duplicates_resolved;
+    (void)orphans_adopted;
+  }
 };
 
 }  // namespace eclb::cluster

@@ -4,14 +4,16 @@ namespace eclb::cluster {
 
 std::optional<common::ServerId> Leader::find_target(
     std::span<const server::Server> servers, common::Seconds now, double demand,
-    common::ServerId exclude, PlacementTier max_tier) const {
-  return policy::find_tiered_target(servers, now, demand, exclude, max_tier);
+    common::ServerId exclude, PlacementTier max_tier,
+    const policy::PlacementFilter* filter) const {
+  return policy::find_tiered_target(servers, now, demand, exclude, max_tier,
+                                    filter);
 }
 
 std::optional<common::ServerId> Leader::find_below_center_target(
     std::span<const server::Server> servers, common::Seconds now, double demand,
-    common::ServerId exclude) const {
-  return policy::find_below_center_target(servers, now, demand, exclude);
+    common::ServerId exclude, const policy::PlacementFilter* filter) const {
+  return policy::find_below_center_target(servers, now, demand, exclude, filter);
 }
 
 std::vector<common::ServerId> Leader::servers_in(
@@ -33,9 +35,11 @@ std::vector<common::ServerId> Leader::servers_in(
 }
 
 std::optional<common::ServerId> Leader::pick_wake_candidate(
-    std::span<const server::Server> servers, common::Seconds now) const {
+    std::span<const server::Server> servers, common::Seconds now,
+    const policy::PlacementFilter* filter) const {
   const server::Server* best = nullptr;
   for (const auto& s : servers) {
+    if (filter != nullptr && !filter->admits(s.id())) continue;
     if (s.awake(now)) continue;
     // A server mid-transition (falling asleep or already waking) cannot be
     // redirected; only settled sleepers are wakeable.

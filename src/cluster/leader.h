@@ -34,10 +34,12 @@ class Leader {
   /// progressively wider tiers up to `max_tier`.  Within a tier the winner
   /// minimizes the post-placement distance to its own optimal-region center
   /// (concentrating load, per the paper's consolidation goal).  `exclude`
-  /// is skipped (the requesting server).  Returns nullopt when nothing fits.
+  /// is skipped (the requesting server); `filter` (when given) restricts the
+  /// search to one partition side.  Returns nullopt when nothing fits.
   [[nodiscard]] std::optional<common::ServerId> find_target(
       std::span<const server::Server> servers, common::Seconds now, double demand,
-      common::ServerId exclude, PlacementTier max_tier) const;
+      common::ServerId exclude, PlacementTier max_tier,
+      const policy::PlacementFilter* filter = nullptr) const;
 
   /// Picks a target able to absorb `demand` while ending *below its own
   /// optimal center*.  Used by the even-distribution rebalance: a VM only
@@ -46,7 +48,8 @@ class Leader {
   /// when no such server exists.
   [[nodiscard]] std::optional<common::ServerId> find_below_center_target(
       std::span<const server::Server> servers, common::Seconds now, double demand,
-      common::ServerId exclude) const;
+      common::ServerId exclude,
+      const policy::PlacementFilter* filter = nullptr) const;
 
   /// Ids of awake servers currently in any of `regimes`.
   [[nodiscard]] std::vector<common::ServerId> servers_in(
@@ -54,9 +57,11 @@ class Leader {
       std::initializer_list<energy::Regime> regimes) const;
 
   /// Picks a sleeping, settled server to wake, preferring the shallowest
-  /// sleep state (fastest / cheapest wake).  Returns nullopt when none.
+  /// sleep state (fastest / cheapest wake).  `filter` (when given) restricts
+  /// the candidates to one partition side.  Returns nullopt when none.
   [[nodiscard]] std::optional<common::ServerId> pick_wake_candidate(
-      std::span<const server::Server> servers, common::Seconds now) const;
+      std::span<const server::Server> servers, common::Seconds now,
+      const policy::PlacementFilter* filter = nullptr) const;
 
   /// The Section 6 rule: when cluster load exceeds `threshold` (default
   /// 60 %) new sleepers go to C3 (fast wake likely needed soon); below it

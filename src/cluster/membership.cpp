@@ -1,0 +1,98 @@
+#include "cluster/membership.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace eclb::cluster {
+
+std::int32_t quorum_group(const std::vector<std::int32_t>& group_of,
+                          const std::vector<bool>& live) {
+  ECLB_ASSERT(group_of.size() == live.size(),
+              "quorum_group: group map / liveness size mismatch");
+  std::int32_t side_count = 0;
+  for (const auto g : group_of) {
+    side_count = std::max(side_count, g + 1);
+  }
+  std::vector<std::size_t> live_members(static_cast<std::size_t>(side_count), 0);
+  // Lowest live id per group; group_of.size() is a sentinel for "none".
+  std::vector<std::size_t> lowest_live(static_cast<std::size_t>(side_count),
+                                       group_of.size());
+  for (std::size_t i = 0; i < group_of.size(); ++i) {
+    if (!live[i]) continue;
+    const auto g = static_cast<std::size_t>(group_of[i]);
+    ++live_members[g];
+    lowest_live[g] = std::min(lowest_live[g], i);
+  }
+  std::int32_t best = 0;
+  for (std::int32_t g = 1; g < side_count; ++g) {
+    const auto gi = static_cast<std::size_t>(g);
+    const auto bi = static_cast<std::size_t>(best);
+    if (live_members[gi] > live_members[bi] ||
+        (live_members[gi] == live_members[bi] &&
+         lowest_live[gi] < lowest_live[bi])) {
+      best = g;
+    }
+  }
+  return best;
+}
+
+void Membership::form(std::size_t servers, common::ServerId leader) {
+  group_of_.assign(servers, 0);
+  sides_.assign(1, SideState{});
+  sides_[0].leader = leader;
+  sides_[0].epoch = 1;
+  quorum_group_ = 0;
+  epoch_counter_ = 1;
+}
+
+std::int32_t Membership::group_of(common::ServerId id) const {
+  if (sides_.size() <= 1) return 0;
+  return group_of_.at(id.index());
+}
+
+SideState& Membership::side(std::int32_t group) {
+  return sides_.at(static_cast<std::size_t>(group));
+}
+
+const SideState& Membership::side(std::int32_t group) const {
+  return sides_.at(static_cast<std::size_t>(group));
+}
+
+SideState& Membership::side_of(common::ServerId id) {
+  return side(group_of(id));
+}
+
+const SideState& Membership::side_of(common::ServerId id) const {
+  return side(group_of(id));
+}
+
+Epoch Membership::highest_epoch() const {
+  Epoch best = 0;
+  for (const auto& s : sides_) best = std::max(best, s.epoch);
+  return best;
+}
+
+void Membership::split(std::vector<std::int32_t> group_of, std::int32_t quorum,
+                       std::size_t side_count) {
+  ECLB_ASSERT(group_of.size() == group_of_.size(),
+              "Membership: split map size mismatch");
+  ECLB_ASSERT(side_count >= 2, "Membership: a split needs >= 2 sides");
+  group_of_ = std::move(group_of);
+  sides_.assign(side_count, SideState{});
+  for (std::size_t g = 0; g < side_count; ++g) {
+    sides_[g].group = static_cast<std::int32_t>(g);
+  }
+  quorum_group_ = quorum;
+}
+
+void Membership::merge(common::ServerId leader, Epoch epoch) {
+  std::fill(group_of_.begin(), group_of_.end(), 0);
+  sides_.assign(1, SideState{});
+  sides_[0].leader = leader;
+  sides_[0].epoch = epoch;
+  quorum_group_ = 0;
+  ECLB_ASSERT(epoch <= epoch_counter_, "Membership: merged epoch from the future");
+}
+
+}  // namespace eclb::cluster

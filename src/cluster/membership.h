@@ -1,0 +1,100 @@
+// Partition-tolerant membership: sides, side leaders, and leadership epochs.
+//
+// While the star fabric is whole the cluster has exactly one membership
+// side (group 0) holding the classic leader state.  A fabric partition
+// splits the view into one SideState per group: the quorum side keeps the
+// committed epoch, every other side elects a sub-leader at a bumped
+// *provisional* epoch and runs degraded (local/vertical scaling only).
+// Epochs are allocated from a single monotonic counter, so no two
+// elections -- on any side, in any order -- ever share an epoch, and the
+// highest epoch at heal time identifies the surviving leader.  Receivers
+// fence (drop and count) any command stamped with an epoch older than
+// their side's, which is what stops a stale leader's in-flight wake and
+// transfer commands from perturbing a side that has moved on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/messages.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace eclb::cluster {
+
+/// Leadership state of one partition side.
+struct SideState {
+  std::int32_t group{0};             ///< Group index (position in sides()).
+  common::ServerId leader{};         ///< Side leader; may be invalid when the
+                                     ///< side has no live member.
+  Epoch epoch{1};                    ///< Epoch the side operates under.
+  bool provisional{false};           ///< True for minority sub-leaders.
+  bool leader_down{false};           ///< Heartbeat protocol state, per side.
+  common::Seconds leader_down_since{};
+  std::size_t missed_heartbeats{0};
+};
+
+/// Deterministic quorum rule: the group with the most live members keeps
+/// the committed epoch; ties break toward the group holding the
+/// lowest-numbered live server, and toward the lowest group index when no
+/// group has a live member at all.
+[[nodiscard]] std::int32_t quorum_group(
+    const std::vector<std::int32_t>& group_of, const std::vector<bool>& live);
+
+/// The membership view itself: who sits on which side, who leads each side,
+/// and at what epoch.  Pure bookkeeping -- elections, message pricing and
+/// recording stay with the Cluster, which drives this class.
+class Membership {
+ public:
+  /// Forms the whole-cluster view: `servers` members on one side, led by
+  /// `leader` at epoch 1.
+  void form(std::size_t servers, common::ServerId leader);
+
+  [[nodiscard]] bool partitioned() const { return sides_.size() > 1; }
+  [[nodiscard]] std::size_t side_count() const { return sides_.size(); }
+  /// Per-server group map (all zero while whole).
+  [[nodiscard]] const std::vector<std::int32_t>& groups() const {
+    return group_of_;
+  }
+  [[nodiscard]] std::int32_t group_of(common::ServerId id) const;
+  [[nodiscard]] SideState& side(std::int32_t group);
+  [[nodiscard]] const SideState& side(std::int32_t group) const;
+  [[nodiscard]] SideState& side_of(common::ServerId id);
+  [[nodiscard]] const SideState& side_of(common::ServerId id) const;
+  /// Group holding the committed (non-provisional) epoch.
+  [[nodiscard]] std::int32_t quorum() const { return quorum_group_; }
+  [[nodiscard]] bool in_quorum(common::ServerId id) const {
+    return group_of(id) == quorum_group_;
+  }
+
+  /// Epoch governing `id`'s side.
+  [[nodiscard]] Epoch epoch_of(common::ServerId id) const {
+    return side_of(id).epoch;
+  }
+  /// Largest epoch any side operates under.
+  [[nodiscard]] Epoch highest_epoch() const;
+  /// True when a command stamped `issued` must be fenced by `receiver`.
+  [[nodiscard]] bool is_stale(Epoch issued, common::ServerId receiver) const {
+    return issued < epoch_of(receiver);
+  }
+  /// Allocates the next (strictly larger, never reused) epoch.
+  [[nodiscard]] Epoch next_epoch() { return ++epoch_counter_; }
+  /// The counter itself (tests / audits).
+  [[nodiscard]] Epoch epoch_counter() const { return epoch_counter_; }
+
+  /// Splits into `side_count` sides per `group_of` with `quorum` holding
+  /// the committed epoch.  Side states are reset; the caller installs each
+  /// side's leader and epoch (elections are the cluster's job).
+  void split(std::vector<std::int32_t> group_of, std::int32_t quorum,
+             std::size_t side_count);
+  /// Collapses back to one whole-cluster side led by `leader` at `epoch`.
+  void merge(common::ServerId leader, Epoch epoch);
+
+ private:
+  std::vector<std::int32_t> group_of_;  ///< size == servers; all 0 when whole.
+  std::vector<SideState> sides_;        ///< Indexed by group.
+  std::int32_t quorum_group_{0};
+  Epoch epoch_counter_{1};
+};
+
+}  // namespace eclb::cluster

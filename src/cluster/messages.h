@@ -27,10 +27,17 @@ enum class MessageKind : std::uint8_t {
   kHeartbeat = 6,      ///< Leader liveness probe (only priced when the fault
                        ///< layer arms the heartbeat protocol).
   kElection = 7,       ///< Failover election broadcast among survivors.
+  kReconcile = 8,      ///< Post-heal anti-entropy membership exchange.
 };
 
 /// Number of message kinds.
-inline constexpr std::size_t kMessageKindCount = 8;
+inline constexpr std::size_t kMessageKindCount = 9;
+
+/// Leadership epoch.  Every leader-issued command is stamped with the
+/// epoch of the side that issued it; a receiver whose side has moved to a
+/// newer epoch fences (drops and counts) the stale command.  Epochs only
+/// ever increase, so a fenced command can never be un-fenced.
+using Epoch = std::uint64_t;
 
 /// Display name of a message kind.
 [[nodiscard]] constexpr std::string_view to_string(MessageKind k) {
@@ -43,6 +50,7 @@ inline constexpr std::size_t kMessageKindCount = 8;
     case MessageKind::kSleepNotice: return "sleep-notice";
     case MessageKind::kHeartbeat: return "heartbeat";
     case MessageKind::kElection: return "election";
+    case MessageKind::kReconcile: return "reconcile";
   }
   return "?";
 }

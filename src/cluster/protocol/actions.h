@@ -15,6 +15,18 @@
 
 namespace eclb::cluster::protocol {
 
+/// Anti-entropy reconciliation after a partition heals: merges the sides'
+/// membership under the highest-epoch leader, resolves shadow-restarted
+/// duplicates, adopts stranded VMs and rebuilds the regime index.  No-op
+/// (and zero-cost) unless a heal is pending.
+class ReconcilePartitions final : public ProtocolAction {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "reconcile-partitions";
+  }
+  void run(ClusterView& view) override;
+};
+
 /// Crash recovery, first in the round: re-places orphaned VMs onto live
 /// servers through the placement policy; unplaceable orphans count an SLA
 /// violation, trigger a wake request and stay queued for the next round.

@@ -40,6 +40,7 @@ void DrainAndSleep::run(ClusterView& view) {
        sid = view.next_in_regime(energy::Regime::kR1UndesirableLow, sid)) {
     auto& s = view.server(*sid);
     if (!s.awake(now)) continue;
+    if (view.degraded(s.id())) continue;  // no migrations off a minority side
     const auto r = s.regime();
     if (!r.has_value() || *r != energy::Regime::kR1UndesirableLow) continue;
     if (s.vm_count() == 0) continue;
@@ -101,6 +102,9 @@ void DrainAndSleep::run(ClusterView& view) {
     for (auto sid = next(std::nullopt); sid.has_value(); sid = next(sid)) {
       if (budget == 0) break;
       auto& s = view.server(*sid);
+      // No sleep commands cross to a minority side: the quorum leader cannot
+      // reach it, and the sub-leader defers capacity changes until the heal.
+      if (view.degraded(s.id())) continue;
       if (s.vm_count() > 0 || s.in_transition(now)) continue;
       const bool parked = s.cstate() == energy::CState::kC1;
       const bool fresh = s.awake(now);
@@ -124,6 +128,7 @@ void DrainAndSleep::run(ClusterView& view) {
        sid = view.next_awake_empty(sid)) {
     auto& s = view.server(*sid);
     if (!s.awake(now) || s.vm_count() > 0) continue;
+    if (view.degraded(s.id())) continue;
     const common::Seconds done = s.begin_sleep(energy::CState::kC1, now);
     view.begin_transition(s, done);
   }

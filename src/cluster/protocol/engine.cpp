@@ -6,9 +6,12 @@
 namespace eclb::cluster::protocol {
 
 ProtocolEngine::ProtocolEngine() : wake_(std::make_unique<RequestWake>()) {
-  // Recovery runs first: orphaned demand is re-placed before the round
-  // evolves demand and rebalances, so the fleet the later actions see is
-  // already whole (or the deficit is booked as an SLA violation).
+  // Recovery runs first: a healed partition reconciles before anything else
+  // (so the round sees one membership), then orphaned demand is re-placed
+  // before the round evolves demand and rebalances, so the fleet the later
+  // actions see is already whole (or the deficit is booked as an SLA
+  // violation).
+  actions_.push_back(std::make_unique<ReconcilePartitions>());
   actions_.push_back(std::make_unique<RecoverOrphans>());
   actions_.push_back(std::make_unique<EvolveAndScale>());
   actions_.push_back(std::make_unique<ShedOverloaded>());

@@ -59,12 +59,12 @@ void EvolveAndScale::run(ClusterView& view) {
       const auto target_id = view.pick_horizontal_target(delta, s.id());
       if (target_id.has_value()) {
         view.spawn_remote(*target_id, s.find(vm_id)->app(), delta);
-      } else if (view.try_offload(s.find(vm_id)->app(), delta)) {
+      } else if (view.try_offload(s.find(vm_id)->app(), delta, s.id())) {
         // A sibling cluster took the increment (multi-cluster cloud).
       } else {
         // No capacity anywhere: ask the leader to wake a sleeper and record
         // the unmet increment as an SLA violation for this interval.
-        view.request_wake();
+        view.request_wake(s.id());
         view.recorder().sla_violation(delta, s.id());
       }
     }

@@ -34,6 +34,7 @@ void RebalanceAboveCenter::run(ClusterView& view) {
        sid = view.next_above_center(sid)) {
     auto& s = view.server(*sid);
     if (!s.awake(now)) continue;
+    if (view.degraded(s.id())) continue;  // no migrations off a minority side
     if (s.vm_count() == 0) continue;
     const double center = s.thresholds().optimal_center();
     if (s.load() <= center + kEps) continue;

@@ -1,0 +1,138 @@
+// Anti-entropy reconciliation: the first action of every round.
+//
+// After a fabric heal the membership is still split -- each side carries its
+// own leader and epoch, and the quorum may hold shadow restarts of
+// applications that kept running on a minority side.  This pass merges the
+// views under the surviving highest-epoch leader at a fresh epoch, resolves
+// the ledger of shadow placements (original survived -> retire the shadow as
+// a duplicate; original lost -> the shadow *is* the surviving instance),
+// rebuilds the regime index and emits the heal-convergence metrics.
+//
+// Cluster::reconcile_partitions lives here beside the action that drives it:
+// the merge logic is protocol policy, not cluster bookkeeping, and keeping
+// the two together makes the reconciliation rules reviewable in one file.
+
+#include <algorithm>
+#include <cstddef>
+
+#include "cluster/cluster.h"
+#include "cluster/config.h"
+#include "cluster/index/regime_index.h"
+#include "cluster/protocol/actions.h"
+#include "cluster/protocol/view.h"
+#include "common/assert.h"
+
+namespace eclb::cluster::protocol {
+
+void ReconcilePartitions::run(ClusterView& view) {
+  if (!view.reconcile_pending()) return;
+  view.reconcile_partitions();
+}
+
+}  // namespace eclb::cluster::protocol
+
+namespace eclb::cluster {
+
+void Cluster::reconcile_partitions() {
+  if (!reconcile_pending_ || !membership_.partitioned()) return;
+  const common::Seconds when = sim_.now();
+
+  // 1. Surviving leader: the live leader operating at the highest epoch
+  // wins, provisional or not -- a minority sub-leader that outlived the
+  // quorum's incumbent (crashed mid-split) keeps the role.  Epochs are
+  // unique across sides, so there are no ties.
+  common::ServerId new_leader{};
+  Epoch best_epoch = 0;
+  for (std::size_t g = 0; g < membership_.side_count(); ++g) {
+    const SideState& side = membership_.side(static_cast<std::int32_t>(g));
+    if (!side.leader.valid() || server_ref(side.leader).failed()) continue;
+    if (side.leader_down) continue;
+    if (side.epoch > best_epoch) {
+      best_epoch = side.epoch;
+      new_leader = side.leader;
+    }
+  }
+  if (!new_leader.valid()) {
+    // Every side leader is dead: fall back to the election rule applied
+    // fleet-wide -- lowest-id awake live server, else lowest-id live server.
+    for (const auto& s : servers_) {
+      if (!s.failed() && s.awake(when)) {
+        new_leader = s.id();
+        break;
+      }
+    }
+    if (!new_leader.valid()) {
+      for (const auto& s : servers_) {
+        if (!s.failed()) {
+          new_leader = s.id();
+          break;
+        }
+      }
+    }
+  }
+
+  // 2. Resolve the shadow ledger (deterministic: insertion order).
+  std::size_t duplicates = 0;
+  std::size_t adopted = 0;
+  for (const auto& entry : shadow_ledger_) {
+    const server::Server* shadow_host = find_vm_host(entry.shadow);
+    if (shadow_host == nullptr) continue;  // shadow died with its host
+    server::Server& origin = server_ref(entry.origin);
+    const bool original_alive =
+        !origin.failed() && origin.find(entry.original) != nullptr;
+    if (original_alive) {
+      // Both instances survived the split: the original (the older
+      // placement) wins and the quorum's shadow is retired.
+      auto& host = server_ref(shadow_host->id());
+      auto removed = host.remove(entry.shadow);
+      ECLB_ASSERT(removed.has_value(), "reconcile: ledger shadow vanished");
+      growth_.erase(entry.shadow);
+      recorder_.duplicate_resolved(host.id());
+      ++duplicates;
+      continue;
+    }
+    // The original was lost (its host crashed during the split): the shadow
+    // is adopted as the surviving instance, and the orphan the crash queued
+    // for that application is already covered -- drop it and close the
+    // crash episode's outstanding count.
+    ++adopted;
+    const auto it = std::find_if(
+        orphans_.begin(), orphans_.end(), [&entry](const OrphanVm& o) {
+          return o.app == entry.app && o.origin == entry.origin;
+        });
+    if (it != orphans_.end()) {
+      orphans_.erase(it);
+      close_crash_outstanding(entry.origin);
+    }
+  }
+  shadow_ledger_.clear();
+
+  // 3. Merge the membership under the survivor at a fresh epoch -- every
+  // command still in flight from any pre-heal side is now stale and fences.
+  const Epoch fresh = membership_.next_epoch();
+  membership_.merge(new_leader, fresh);
+  reconcile_pending_ = false;
+
+  // 4. The anti-entropy state exchange itself: one reconcile message per
+  // live server across the re-joined star fabric.
+  std::size_t live = 0;
+  for (const auto& s : servers_) {
+    if (!s.failed()) ++live;
+  }
+  messages_.record(MessageKind::kReconcile, live,
+                   config_.costs.energy_per_message);
+  traffic_energy_ +=
+      config_.costs.energy_per_message * static_cast<double>(live);
+
+  // 5. The index bypassed its buckets while partitioned (side-filtered
+  // legacy scans); rebuild so the next round is scan-free again.
+  if (index_ != nullptr) index_->rebuild();
+
+  const common::Seconds convergence = when - heal_time_;
+  recorder_.reconciled(convergence, new_leader);
+  if (faults_ != nullptr) {
+    faults_->note_reconciled(convergence, duplicates, adopted);
+  }
+}
+
+}  // namespace eclb::cluster

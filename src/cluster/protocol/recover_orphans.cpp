@@ -17,6 +17,14 @@ void RecoverOrphans::run(ClusterView& view) {
   if (!view.has_orphans()) return;
   const auto pending = view.take_orphans();
   for (const auto& orphan : pending) {
+    if (view.degraded(orphan.origin)) {
+      // A minority-side orphan cannot be re-placed (its side has no spare
+      // capacity authority and the quorum already shadow-restarted it);
+      // book the unserved demand and wait for the heal.
+      view.recorder().sla_violation(orphan.demand, orphan.origin);
+      view.requeue_orphan(orphan);
+      continue;
+    }
     const auto target = view.pick_horizontal_target(orphan.demand, orphan.origin);
     if (target.has_value()) {
       view.replace_orphan(*target, orphan);
@@ -25,7 +33,7 @@ void RecoverOrphans::run(ClusterView& view) {
     // No room (or no leader): the displaced demand goes unserved this
     // interval; wake capacity and keep the orphan for the next round.
     view.recorder().sla_violation(orphan.demand, orphan.origin);
-    view.request_wake();
+    view.request_wake(orphan.origin);
     view.requeue_orphan(orphan);
   }
 }

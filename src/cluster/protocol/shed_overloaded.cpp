@@ -40,6 +40,7 @@ void ShedOverloaded::run(ClusterView& view) {
          sid.has_value(); sid = view.next_in_regime(urgency, sid)) {
       auto& s = view.server(*sid);
       if (!s.awake(now)) continue;
+      if (view.degraded(s.id())) continue;  // no migrations off a minority side
       const auto r = s.regime();
       if (!r.has_value() || *r != urgency) continue;
 
@@ -72,7 +73,7 @@ void ShedOverloaded::run(ClusterView& view) {
           if (urgent) {
             // The R5 rule: when no partner exists, the leader wakes one or
             // more sleeping servers (usable once their wake completes).
-            view.request_wake();
+            view.request_wake(s.id());
           }
           break;
         }

@@ -76,7 +76,17 @@ std::optional<common::ServerId> ClusterView::pick_horizontal_target(
 std::optional<common::ServerId> ClusterView::find_target(
     double demand, common::ServerId exclude, policy::PlacementTier max_tier) const {
   if (!leader_available()) return std::nullopt;
+  if (cluster_.degraded(exclude)) return std::nullopt;
   PlacementPhase phase(cluster_);
+  if (cluster_.membership_.partitioned()) {
+    // The regime index is not side-aware: partitioned searches take the
+    // legacy scan confined to the quorum side (degraded requesters were
+    // already turned away above).
+    const policy::PlacementFilter filter{&cluster_.membership_.groups(),
+                                         cluster_.membership_.quorum()};
+    return cluster_.leader_.find_target(cluster_.servers_, now(), demand,
+                                        exclude, max_tier, &filter);
+  }
   if (cluster_.index_ != nullptr) {
     return cluster_.index_->find_tiered_target(demand, exclude, max_tier);
   }
@@ -87,7 +97,14 @@ std::optional<common::ServerId> ClusterView::find_target(
 std::optional<common::ServerId> ClusterView::find_below_center_target(
     double demand, common::ServerId exclude) const {
   if (!leader_available()) return std::nullopt;
+  if (cluster_.degraded(exclude)) return std::nullopt;
   PlacementPhase phase(cluster_);
+  if (cluster_.membership_.partitioned()) {
+    const policy::PlacementFilter filter{&cluster_.membership_.groups(),
+                                         cluster_.membership_.quorum()};
+    return cluster_.leader_.find_below_center_target(cluster_.servers_, now(),
+                                                     demand, exclude, &filter);
+  }
   if (cluster_.index_ != nullptr) {
     return cluster_.index_->find_below_center_target(demand, exclude);
   }
@@ -98,6 +115,14 @@ std::optional<common::ServerId> ClusterView::find_below_center_target(
 std::optional<common::ServerId> ClusterView::pick_wake_candidate() const {
   if (!leader_available()) return std::nullopt;
   PlacementPhase phase(cluster_);
+  if (cluster_.membership_.partitioned()) {
+    // Only quorum-side sleepers are wakeable: a wake command cannot cross
+    // the split fabric.
+    const policy::PlacementFilter filter{&cluster_.membership_.groups(),
+                                         cluster_.membership_.quorum()};
+    return cluster_.leader_.pick_wake_candidate(cluster_.servers_, now(),
+                                                &filter);
+  }
   if (cluster_.index_ != nullptr) {
     return cluster_.index_->pick_wake_candidate();
   }
@@ -106,9 +131,12 @@ std::optional<common::ServerId> ClusterView::pick_wake_candidate() const {
 
 std::optional<common::ServerId> ClusterView::find_drain_target(
     const server::Server& donor, double demand) const {
-  if (cluster_.index_ != nullptr) {
+  const bool split = cluster_.membership_.partitioned();
+  if (!split && cluster_.index_ != nullptr) {
     return cluster_.index_->find_drain_target(donor, demand);
   }
+  const std::int32_t donor_group =
+      split ? cluster_.membership_.group_of(donor.id()) : 0;
   // Legacy scan (verbatim from the drain action): an R1/R2 peer with
   // strictly more load, or an R3 peer staying below its own center, ending
   // within its optimal region; fullest-fit (closest to its center) wins.
@@ -117,6 +145,7 @@ std::optional<common::ServerId> ClusterView::find_drain_target(
   double best_score = std::numeric_limits<double>::infinity();
   for (const auto& t : cluster_.servers_) {
     if (t.id() == donor.id() || !t.awake(at)) continue;
+    if (split && cluster_.membership_.group_of(t.id()) != donor_group) continue;
     if (t.load() <= donor.load() + kEps) continue;  // uphill only
     const auto tr = t.regime();
     if (!tr.has_value()) continue;
@@ -215,6 +244,13 @@ void ClusterView::spawn_remote(common::ServerId target_id, common::AppId app,
 
 bool ClusterView::migrate(server::Server& source, common::VmId vm_id,
                           common::ServerId target_id, MigrationCause cause) {
+  // A VM image cannot cross an active partition (belt-and-braces: the
+  // side-filtered searches should never propose such a pair).
+  if (cluster_.membership_.partitioned() &&
+      cluster_.membership_.group_of(source.id()) !=
+          cluster_.membership_.group_of(target_id)) {
+    return false;
+  }
   auto& target = cluster_.server_ref(target_id);
   const vm::Vm* v = source.find(vm_id);
   if (v == nullptr || !target.awake(now())) return false;
@@ -243,7 +279,9 @@ bool ClusterView::migrate(server::Server& source, common::VmId vm_id,
   return cluster_.do_migrate(source, vm_id, target_id, cause);
 }
 
-bool ClusterView::try_offload(common::AppId app, double demand) {
+bool ClusterView::try_offload(common::AppId app, double demand,
+                              common::ServerId requester) {
+  if (cluster_.degraded(requester)) return false;
   if (cluster_.overflow_handler_ == nullptr ||
       !cluster_.overflow_handler_(app, demand)) {
     return false;
@@ -252,7 +290,10 @@ bool ClusterView::try_offload(common::AppId app, double demand) {
   return true;
 }
 
-void ClusterView::request_wake() { wake_action_.run(*this); }
+void ClusterView::request_wake(common::ServerId requester) {
+  if (cluster_.degraded(requester)) return;
+  wake_action_.run(*this);
+}
 
 void ClusterView::charge_message(MessageKind kind, std::size_t n,
                                  bool network_energy) {
@@ -313,5 +354,15 @@ void ClusterView::schedule_delayed_wake(common::ServerId id,
                                         common::Seconds delay) {
   cluster_.schedule_delayed_wake(id, delay);
 }
+
+bool ClusterView::degraded(common::ServerId id) const {
+  return cluster_.degraded(id);
+}
+
+bool ClusterView::reconcile_pending() const {
+  return cluster_.reconcile_pending();
+}
+
+void ClusterView::reconcile_partitions() { cluster_.reconcile_partitions(); }
 
 }  // namespace eclb::cluster::protocol

@@ -123,12 +123,16 @@ class ClusterView {
                common::ServerId target_id, MigrationCause cause);
 
   /// Offers `demand` to the overflow handler (a sibling cluster).  Books the
-  /// offload when accepted.
-  bool try_offload(common::AppId app, double demand);
+  /// offload when accepted.  Denied while `requester` is on a degraded
+  /// (non-quorum) partition side -- its uplink runs through the quorum's
+  /// switch.
+  bool try_offload(common::AppId app, double demand,
+                   common::ServerId requester);
 
   /// Asks the leader to wake a sleeping server (the R5 rule); delegates to
-  /// the engine's RequestWake action.
-  void request_wake();
+  /// the engine's RequestWake action.  No-op while `requester` is on a
+  /// degraded partition side (no cross-side wake commands).
+  void request_wake(common::ServerId requester);
 
   /// Records `n` control messages of kind `kind`; when `network_energy` is
   /// set their cost is also charged to the cluster's traffic energy.
@@ -172,6 +176,17 @@ class ClusterView {
   void wake_command_dropped(common::ServerId id);
   /// Begins `id`'s wake after a faulty-link propagation delay.
   void schedule_delayed_wake(common::ServerId id, common::Seconds delay);
+
+  // --- partition tolerance ----------------------------------------------------
+
+  /// True when `id` sits on a non-quorum side of an active partition; such
+  /// servers run degraded (vertical/local scaling only) and the migration,
+  /// sleep and wake passes skip them.
+  [[nodiscard]] bool degraded(common::ServerId id) const;
+  /// True between a heal and the reconciliation pass that follows it.
+  [[nodiscard]] bool reconcile_pending() const;
+  /// Runs the anti-entropy reconciliation (the ReconcilePartitions action).
+  void reconcile_partitions();
 
  private:
   Cluster& cluster_;

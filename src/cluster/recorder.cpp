@@ -38,6 +38,12 @@ std::string_view to_string(ProtocolEvent::Kind k) {
     case ProtocolEvent::Kind::kOrphanReplaced: return "orphan_replaced";
     case ProtocolEvent::Kind::kMigrationFailed: return "migration_failed";
     case ProtocolEvent::Kind::kCapacityDerate: return "capacity_derate";
+    case ProtocolEvent::Kind::kPartitionStart: return "partition_start";
+    case ProtocolEvent::Kind::kPartitionHeal: return "partition_heal";
+    case ProtocolEvent::Kind::kCommandFenced: return "command_fenced";
+    case ProtocolEvent::Kind::kShadowStart: return "shadow_start";
+    case ProtocolEvent::Kind::kDuplicateResolved: return "duplicate_resolved";
+    case ProtocolEvent::Kind::kReconcile: return "reconcile";
   }
   return "?";
 }
@@ -169,6 +175,41 @@ void IntervalRecorder::derated(common::ServerId server, double capacity) {
   emit({.kind = ProtocolEvent::Kind::kCapacityDerate,
         .server = server,
         .value = capacity});
+}
+
+void IntervalRecorder::partition_started(std::size_t sides) {
+  ++report_.partitions;
+  emit({.kind = ProtocolEvent::Kind::kPartitionStart,
+        .value = static_cast<double>(sides)});
+}
+
+void IntervalRecorder::partition_healed() {
+  emit({.kind = ProtocolEvent::Kind::kPartitionHeal});
+}
+
+void IntervalRecorder::command_fenced(MessageKind kind, common::ServerId server) {
+  ++report_.fenced_commands;
+  emit({.kind = ProtocolEvent::Kind::kCommandFenced,
+        .server = server,
+        .message = kind});
+}
+
+void IntervalRecorder::shadow_started(common::ServerId target) {
+  ++report_.shadow_starts;
+  emit({.kind = ProtocolEvent::Kind::kShadowStart, .server = target});
+}
+
+void IntervalRecorder::duplicate_resolved(common::ServerId server) {
+  ++report_.duplicates_resolved;
+  emit({.kind = ProtocolEvent::Kind::kDuplicateResolved, .server = server});
+}
+
+void IntervalRecorder::reconciled(common::Seconds convergence,
+                                  common::ServerId leader) {
+  ++report_.heals;
+  emit({.kind = ProtocolEvent::Kind::kReconcile,
+        .server = leader,
+        .value = convergence.value});
 }
 
 IntervalReport IntervalRecorder::finish(const FleetSnapshot& snapshot) {

@@ -58,6 +58,12 @@ struct ProtocolEvent {
     kOrphanReplaced = 14,  ///< A crash-orphaned VM restarted on `server`.
     kMigrationFailed = 15, ///< A live migration aborted mid-copy.
     kCapacityDerate = 16,  ///< `server` derated to `value` capacity.
+    kPartitionStart = 17,  ///< The fabric split into `value` sides.
+    kPartitionHeal = 18,   ///< The fabric healed; reconciliation is pending.
+    kCommandFenced = 19,   ///< A stale-epoch command to `server` was fenced.
+    kShadowStart = 20,     ///< Quorum restarted a minority-hosted VM on `server`.
+    kDuplicateResolved = 21, ///< Reconciliation retired a duplicate on `server`.
+    kReconcile = 22,       ///< Post-heal reconciliation converged (`value` = s).
   };
 
   Kind kind{Kind::kDecision};
@@ -97,6 +103,11 @@ struct IntervalReport {
   std::size_t retried_messages{0};     ///< Dropped messages re-sent (with backoff).
   std::size_t orphans_replaced{0};     ///< Crash-orphaned VMs restarted elsewhere.
   std::size_t failed_migrations{0};    ///< Live migrations aborted mid-copy.
+  std::size_t partitions{0};           ///< Fabric partitions begun this interval.
+  std::size_t heals{0};                ///< Fabric heals (reconciliations) this interval.
+  std::size_t fenced_commands{0};      ///< Stale-epoch commands fenced by receivers.
+  std::size_t shadow_starts{0};        ///< Minority-hosted VMs shadow-restarted by quorum.
+  std::size_t duplicates_resolved{0};  ///< Duplicate placements retired at reconcile.
   std::size_t sleeping_servers{0};     ///< Servers not awake after the step (any C-state).
   std::size_t parked_servers{0};       ///< Servers halted in C1 (instant wake).
   std::size_t deep_sleeping_servers{0};///< Servers in C3/C6 -- Table 2's "sleep state".
@@ -195,6 +206,18 @@ class IntervalRecorder {
   void migration_failed(common::ServerId source);
   /// `server` was derated to `capacity` of nominal.
   void derated(common::ServerId server, double capacity);
+  /// The fabric split into `sides` disjoint server groups.
+  void partition_started(std::size_t sides);
+  /// The fabric healed (a reconciliation pass will merge the sides).
+  void partition_healed();
+  /// A stale-epoch command of `kind` bound for `server` was fenced.
+  void command_fenced(MessageKind kind, common::ServerId server);
+  /// Quorum shadow-restarted a minority-hosted VM on `target`.
+  void shadow_started(common::ServerId target);
+  /// Reconciliation retired a duplicate placement on `server`.
+  void duplicate_resolved(common::ServerId server);
+  /// Reconciliation converged `convergence` seconds after the heal.
+  void reconciled(common::Seconds convergence, common::ServerId leader);
 
   /// Folds the end-of-interval fleet observation in, resets the counters for
   /// the next window and returns the completed report.

@@ -1,15 +1,29 @@
 #include "fault/fault_plan.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdlib>
 #include <sstream>
+
+#include "common/assert.h"
 
 namespace eclb::fault {
 
 namespace {
 
+constexpr std::string_view kKindGrammar =
+    "crash@T:s=ID, recover@T:s=ID, leader@T, loss@T:p=P, delay@T:d=SECS, "
+    "migfail@T:p=P, derate@T:s=ID,c=CAP, part@T:g=GROUPS[,heal=T2], heal@T";
+
+constexpr std::string_view kParamGrammar =
+    "seed=N, hb=SECS, miss=N, retries=N, backoff=SECS, cap=SECS";
+
 void set_error(std::string* error, std::string message) {
   if (error != nullptr) *error = std::move(message);
+}
+
+std::string at_offset(std::size_t offset) {
+  return " at offset " + std::to_string(offset);
 }
 
 std::string_view trim(std::string_view s) {
@@ -37,8 +51,9 @@ bool parse_u64(std::string_view s, std::uint64_t* out) {
   return true;
 }
 
-/// Splits `item` into comma-separated `key=value` arguments.
-bool parse_args(std::string_view args, std::string_view item,
+/// Splits `item` into comma-separated `key=value` arguments.  `offset` is
+/// the item's byte offset in the full spec (for diagnostics).
+bool parse_args(std::string_view args, std::string_view item, std::size_t offset,
                 std::vector<std::pair<std::string_view, std::string_view>>* out,
                 std::string* error) {
   while (!args.empty()) {
@@ -48,12 +63,80 @@ bool parse_args(std::string_view args, std::string_view item,
                                            : args.substr(comma + 1);
     const std::size_t eq = part.find('=');
     if (eq == std::string_view::npos || eq == 0) {
-      set_error(error, "faults: expected key=value in '" + std::string(item) + "'");
+      set_error(error, "faults: expected key=value in '" + std::string(item) +
+                           "'" + at_offset(offset));
       return false;
     }
     out->emplace_back(trim(part.substr(0, eq)), trim(part.substr(eq + 1)));
   }
   return true;
+}
+
+/// Parses a partition group spec: `|`-separated groups of `+`-separated
+/// members, each a server ID or an inclusive range LO-HI.
+bool parse_groups(std::string_view text,
+                  std::vector<std::vector<common::ServerId>>* out) {
+  while (true) {
+    const std::size_t bar = text.find('|');
+    std::string_view group_text = trim(text.substr(0, bar));
+    std::vector<common::ServerId> group;
+    while (!group_text.empty()) {
+      const std::size_t plus = group_text.find('+');
+      const std::string_view member = trim(group_text.substr(0, plus));
+      group_text = plus == std::string_view::npos
+                       ? std::string_view{}
+                       : group_text.substr(plus + 1);
+      const std::size_t dash = member.find('-');
+      std::uint64_t lo = 0;
+      std::uint64_t hi = 0;
+      if (dash == std::string_view::npos) {
+        if (!parse_u64(member, &lo)) return false;
+        hi = lo;
+      } else {
+        if (!parse_u64(trim(member.substr(0, dash)), &lo) ||
+            !parse_u64(trim(member.substr(dash + 1)), &hi) || hi < lo) {
+          return false;
+        }
+      }
+      for (std::uint64_t id = lo; id <= hi; ++id) {
+        group.push_back(common::ServerId{id});
+      }
+    }
+    if (group.empty()) return false;
+    out->push_back(std::move(group));
+    if (bar == std::string_view::npos) break;
+    text = text.substr(bar + 1);
+  }
+  if (out->size() < 2) return false;
+  // Disjointness: no server may sit in two groups.
+  std::vector<std::uint64_t> all;
+  for (const auto& g : *out) {
+    for (const auto id : g) all.push_back(id.index());
+  }
+  std::sort(all.begin(), all.end());
+  return std::adjacent_find(all.begin(), all.end()) == all.end();
+}
+
+void append_members(std::ostringstream& out,
+                    const std::vector<common::ServerId>& group) {
+  // Consecutive ascending runs compress to LO-HI.
+  bool first = true;
+  std::size_t i = 0;
+  while (i < group.size()) {
+    std::size_t j = i;
+    while (j + 1 < group.size() &&
+           group[j + 1].index() == group[j].index() + 1) {
+      ++j;
+    }
+    if (!first) out << '+';
+    first = false;
+    if (j == i) {
+      out << group[i].index();
+    } else {
+      out << group[i].index() << '-' << group[j].index();
+    }
+    i = j + 1;
+  }
 }
 
 }  // namespace
@@ -67,54 +150,79 @@ std::string_view to_string(FaultKind k) {
     case FaultKind::kLinkDelay: return "delay";
     case FaultKind::kMigrationFailureRate: return "migfail";
     case FaultKind::kCapacityDerate: return "derate";
+    case FaultKind::kPartitionStart: return "part";
+    case FaultKind::kPartitionHeal: return "heal";
   }
   return "?";
 }
 
 FaultPlan& FaultPlan::crash(common::Seconds at, common::ServerId server) {
-  events_.push_back({FaultKind::kServerCrash, at, server, 0.0});
+  events_.push_back({FaultKind::kServerCrash, at, server, 0.0, {}});
   return *this;
 }
 
 FaultPlan& FaultPlan::recover(common::Seconds at, common::ServerId server) {
-  events_.push_back({FaultKind::kServerRecover, at, server, 0.0});
+  events_.push_back({FaultKind::kServerRecover, at, server, 0.0, {}});
   return *this;
 }
 
 FaultPlan& FaultPlan::crash_leader(common::Seconds at) {
-  events_.push_back({FaultKind::kLeaderCrash, at, common::ServerId{}, 0.0});
+  events_.push_back({FaultKind::kLeaderCrash, at, common::ServerId{}, 0.0, {}});
   return *this;
 }
 
 FaultPlan& FaultPlan::link_loss(common::Seconds at, double p) {
-  events_.push_back({FaultKind::kLinkLoss, at, common::ServerId{}, p});
+  events_.push_back({FaultKind::kLinkLoss, at, common::ServerId{}, p, {}});
   return *this;
 }
 
 FaultPlan& FaultPlan::link_delay(common::Seconds at, common::Seconds delay) {
-  events_.push_back({FaultKind::kLinkDelay, at, common::ServerId{}, delay.value});
+  events_.push_back(
+      {FaultKind::kLinkDelay, at, common::ServerId{}, delay.value, {}});
   return *this;
 }
 
 FaultPlan& FaultPlan::migration_failure_rate(common::Seconds at, double p) {
-  events_.push_back({FaultKind::kMigrationFailureRate, at, common::ServerId{}, p});
+  events_.push_back(
+      {FaultKind::kMigrationFailureRate, at, common::ServerId{}, p, {}});
   return *this;
 }
 
 FaultPlan& FaultPlan::derate(common::Seconds at, common::ServerId server,
                              double capacity) {
-  events_.push_back({FaultKind::kCapacityDerate, at, server, capacity});
+  events_.push_back({FaultKind::kCapacityDerate, at, server, capacity, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(
+    common::Seconds at, std::vector<std::vector<common::ServerId>> groups,
+    common::Seconds heal_at) {
+  ECLB_ASSERT(groups.size() >= 2, "FaultPlan: a partition needs >= 2 groups");
+  ECLB_ASSERT(heal_at.value > at.value, "FaultPlan: heal must follow the split");
+  events_.push_back({FaultKind::kPartitionStart, at, common::ServerId{}, 0.0,
+                     std::move(groups)});
+  return heal(heal_at);
+}
+
+FaultPlan& FaultPlan::heal(common::Seconds at) {
+  events_.push_back({FaultKind::kPartitionHeal, at, common::ServerId{}, 0.0, {}});
   return *this;
 }
 
 std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
                                           std::string* error) {
   FaultPlan plan;
-  while (!spec.empty()) {
-    const std::size_t semi = spec.find(';');
-    const std::string_view item = trim(spec.substr(0, semi));
-    spec = semi == std::string_view::npos ? std::string_view{}
-                                          : spec.substr(semi + 1);
+  const std::string_view full = spec;
+  std::size_t cursor = 0;
+  while (cursor < full.size()) {
+    std::size_t semi = full.find(';', cursor);
+    if (semi == std::string_view::npos) semi = full.size();
+    const std::string_view raw = full.substr(cursor, semi - cursor);
+    std::size_t lead = 0;
+    while (lead < raw.size() && (raw[lead] == ' ' || raw[lead] == '\t')) ++lead;
+    const std::size_t offset = cursor + lead;  // Item start in the full spec.
+    const std::string_view item = trim(raw);
+    cursor = semi + 1;
     if (item.empty()) continue;
 
     const std::size_t at_pos = item.find('@');
@@ -122,7 +230,10 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
       // Plan parameter: key=value.
       const std::size_t eq = item.find('=');
       if (eq == std::string_view::npos || eq == 0) {
-        set_error(error, "faults: unrecognized item '" + std::string(item) + "'");
+        set_error(error, "faults: unrecognized item '" + std::string(item) +
+                             "'" + at_offset(offset) +
+                             "; expected kind@TIME[:k=v,...] or one of " +
+                             std::string(kParamGrammar));
         return std::nullopt;
       }
       const std::string_view key = trim(item.substr(0, eq));
@@ -139,8 +250,12 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
         plan.params_.max_retries = static_cast<std::size_t>(n);
       } else if (key == "backoff" && parse_double(value, &d) && d > 0.0) {
         plan.params_.retry_backoff_base = common::Seconds{d};
+      } else if (key == "cap" && parse_double(value, &d) && d > 0.0) {
+        plan.params_.retry_backoff_cap = common::Seconds{d};
       } else {
-        set_error(error, "faults: bad parameter '" + std::string(item) + "'");
+        set_error(error, "faults: bad parameter '" + std::string(item) + "'" +
+                             at_offset(offset) + "; expected one of " +
+                             std::string(kParamGrammar));
         return std::nullopt;
       }
       continue;
@@ -156,16 +271,20 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
                                         : rest.substr(colon + 1);
     double at = 0.0;
     if (!parse_double(time_text, &at) || at < 0.0) {
-      set_error(error, "faults: bad time in '" + std::string(item) + "'");
+      set_error(error, "faults: bad time in '" + std::string(item) + "'" +
+                           at_offset(offset) +
+                           "; expected kind@TIME with TIME >= 0 seconds");
       return std::nullopt;
     }
     std::vector<std::pair<std::string_view, std::string_view>> args;
-    if (!parse_args(arg_text, item, &args, error)) return std::nullopt;
+    if (!parse_args(arg_text, item, offset, &args, error)) return std::nullopt;
 
     std::optional<common::ServerId> server;
     std::optional<double> probability;
     std::optional<double> delay;
     std::optional<double> capacity;
+    std::optional<double> heal_at;
+    std::vector<std::vector<common::ServerId>> groups;
     for (const auto& [key, value] : args) {
       double d = 0.0;
       std::uint64_t n = 0;
@@ -177,10 +296,16 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
         delay = d;
       } else if (key == "c" && parse_double(value, &d) && d > 0.0 && d <= 1.0) {
         capacity = d;
+      } else if (key == "g" && parse_groups(value, &groups)) {
+        // Parsed in place; validity checked by parse_groups.
+      } else if (key == "heal" && parse_double(value, &d) && d > at) {
+        heal_at = d;
       } else {
         set_error(error,
                   "faults: bad argument '" + std::string(key) + "' in '" +
-                      std::string(item) + "'");
+                      std::string(item) + "'" + at_offset(offset) +
+                      "; expected s=ID, p=PROB, d=SECS, c=CAP, "
+                      "g=GROUPS (e.g. g=0-4|5-9) or heal=T2 > T");
         return std::nullopt;
       }
     }
@@ -200,10 +325,20 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
       plan.migration_failure_rate(when, *probability);
     } else if (kind == "derate" && server.has_value() && capacity.has_value()) {
       plan.derate(when, *server, *capacity);
+    } else if (kind == "part" && !groups.empty()) {
+      if (heal_at.has_value()) {
+        plan.partition(when, std::move(groups), common::Seconds{*heal_at});
+      } else {
+        plan.events_.push_back({FaultKind::kPartitionStart, when,
+                                common::ServerId{}, 0.0, std::move(groups)});
+      }
+    } else if (kind == "heal" && args.empty()) {
+      plan.heal(when);
     } else {
       set_error(error,
                 "faults: unrecognized or incomplete item '" + std::string(item) +
-                    "' (see --help for the grammar)");
+                    "'" + at_offset(offset) + "; expected one of " +
+                    std::string(kKindGrammar) + " (see --help for the grammar)");
       return std::nullopt;
     }
   }
@@ -213,9 +348,16 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
 std::string FaultPlan::to_spec() const {
   std::ostringstream out;
   out << "seed=" << seed_ << ";hb=" << params_.heartbeat_period.value
-      << ";miss=" << params_.failover_after_missed
-      << ";retries=" << params_.max_retries
-      << ";backoff=" << params_.retry_backoff_base.value;
+      << ";miss=" << params_.failover_after_missed;
+  if (params_.max_retries.has_value()) {
+    out << ";retries=" << *params_.max_retries;
+  }
+  if (params_.retry_backoff_base.has_value()) {
+    out << ";backoff=" << params_.retry_backoff_base->value;
+  }
+  if (params_.retry_backoff_cap.has_value()) {
+    out << ";cap=" << params_.retry_backoff_cap->value;
+  }
   for (const auto& e : events_) {
     out << ';' << to_string(e.kind) << '@' << e.at.value;
     switch (e.kind) {
@@ -234,6 +376,17 @@ std::string FaultPlan::to_spec() const {
       case FaultKind::kCapacityDerate:
         out << ":s=" << e.server.index() << ",c=" << e.value;
         break;
+      case FaultKind::kPartitionStart: {
+        out << ":g=";
+        bool first_group = true;
+        for (const auto& g : e.groups) {
+          if (!first_group) out << '|';
+          first_group = false;
+          append_members(out, g);
+        }
+        break;
+      }
+      case FaultKind::kPartitionHeal: break;
     }
   }
   return out.str();

@@ -33,6 +33,8 @@ enum class FaultKind : std::uint8_t {
   kLinkDelay = 4,        ///< Set every leader link's propagation delay to `value` s.
   kMigrationFailureRate = 5,  ///< Set the mid-copy migration failure rate to `value`.
   kCapacityDerate = 6,   ///< Derate `server` to `value` (in (0, 1]) of nominal.
+  kPartitionStart = 7,   ///< Split the fabric into the event's server `groups`.
+  kPartitionHeal = 8,    ///< Heal the fabric (a reconciliation pass follows).
 };
 
 /// Display name of a fault kind (stable; part of the flag syntax).
@@ -44,6 +46,9 @@ struct FaultEvent {
   common::Seconds at{};        ///< Absolute simulation time the event fires.
   common::ServerId server{};   ///< Target server, for the per-server kinds.
   double value{0.0};           ///< Probability / delay / capacity, per kind.
+  /// Partition sides (kPartitionStart only): groups[g] lists group g's
+  /// members; servers not listed in any group join group 0.
+  std::vector<std::vector<common::ServerId>> groups{};
 };
 
 /// Hardened-protocol parameters a plan carries (heartbeat cadence, failover
@@ -51,8 +56,12 @@ struct FaultEvent {
 struct FaultPlanParams {
   common::Seconds heartbeat_period{5.0};   ///< Leader liveness probe cadence.
   std::size_t failover_after_missed{3};    ///< Missed beats before re-election.
-  std::size_t max_retries{4};              ///< Retries of a dropped message.
-  common::Seconds retry_backoff_base{0.5}; ///< First retry delay; doubles per attempt.
+  /// Retry-policy *overrides*.  Unset fields defer to the cluster's
+  /// ClusterConfig::retry policy, so retry behaviour is configured with the
+  /// experiment and a plan only pins it when the spec says so explicitly.
+  std::optional<std::size_t> max_retries{};              ///< `retries=N`.
+  std::optional<common::Seconds> retry_backoff_base{};   ///< `backoff=SECS`.
+  std::optional<common::Seconds> retry_backoff_cap{};    ///< `cap=SECS`.
 };
 
 /// A deterministic fault schedule plus the protocol parameters and the seed
@@ -78,6 +87,13 @@ class FaultPlan {
   FaultPlan& migration_failure_rate(common::Seconds at, double p);
   /// At `at`, derate `server` to `capacity` (in (0, 1]) of nominal.
   FaultPlan& derate(common::Seconds at, common::ServerId server, double capacity);
+  /// From `at` until `heal_at`, splits the fabric into `groups` (at least
+  /// two disjoint server sets; servers listed nowhere join group 0).
+  FaultPlan& partition(common::Seconds at,
+                       std::vector<std::vector<common::ServerId>> groups,
+                       common::Seconds heal_at);
+  /// Heals whatever partition is in force at `at` (no-op when whole).
+  FaultPlan& heal(common::Seconds at);
 
   // --- observation ----------------------------------------------------------
 
@@ -109,10 +125,17 @@ class FaultPlan {
   ///   delay@T:d=SECS    all links add SECS propagation delay from time T
   ///   migfail@T:p=P     migrations abort with probability P from time T
   ///   derate@T:s=ID,c=CAP   derate server ID to CAP capacity at time T
-  ///   seed=N  hb=SECS  miss=N  retries=N  backoff=SECS   (plan parameters)
+  ///   part@T:g=GROUPS[,heal=T2]   partition the fabric at time T into
+  ///                     GROUPS: `|`-separated groups of `+`-separated
+  ///                     members, each a server ID or an ID range LO-HI
+  ///                     (e.g. g=0-4|5-9); optional heal at time T2
+  ///   heal@T            heal the partition in force at time T
+  ///   seed=N  hb=SECS  miss=N  retries=N  backoff=SECS  cap=SECS
+  ///                     (plan parameters)
   ///
   /// Returns nullopt on a malformed spec and, when `error` is non-null,
-  /// stores a human-readable description of the first problem.
+  /// stores a human-readable description of the first problem including the
+  /// byte offset of the offending token and the grammar expected there.
   [[nodiscard]] static std::optional<FaultPlan> parse(std::string_view spec,
                                                       std::string* error = nullptr);
 

@@ -1,6 +1,8 @@
 #include "fault/injector.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 namespace eclb::fault {
 
@@ -46,6 +48,30 @@ void FaultInjector::apply(const FaultEvent& event) {
     case FaultKind::kCapacityDerate:
       cluster_.derate_server(event.server, event.value);
       break;
+    case FaultKind::kPartitionStart: {
+      // Compile the event's member lists into the per-server group map the
+      // cluster and the link table share; unlisted servers join group 0.
+      std::vector<std::int32_t> group_of(cluster_.size(), 0);
+      for (std::size_t g = 0; g < event.groups.size(); ++g) {
+        for (const auto id : event.groups[g]) {
+          if (!id.valid() || id.index() >= cluster_.size()) continue;
+          group_of[id.index()] = static_cast<std::int32_t>(g);
+        }
+      }
+      const std::int32_t quorum = cluster_.begin_partition(group_of);
+      if (quorum >= 0) {
+        links_.set_partition(group_of, quorum);
+        ++stats_.partitions;
+      }
+      break;
+    }
+    case FaultKind::kPartitionHeal:
+      if (cluster_.membership().partitioned() && !cluster_.reconcile_pending()) {
+        links_.clear_partition();
+        cluster_.heal_partition();
+        ++stats_.heals;
+      }
+      break;
   }
 }
 
@@ -67,14 +93,21 @@ bool FaultInjector::migration_fails(common::ServerId, common::ServerId) {
 }
 
 common::Seconds FaultInjector::retry_backoff(std::size_t attempt) const {
-  // Exponential: base, 2*base, 4*base, ... per 1-based attempt.
+  // Exponential with a ceiling: min(base * 2^(a-1), cap) per 1-based
+  // attempt.  The plan's `backoff=` / `cap=` overrides win; unset fields
+  // defer to the experiment's ClusterConfig::retry policy.
+  const cluster::RetryPolicy& policy = cluster_.config().retry;
+  const double base =
+      plan_.params().retry_backoff_base.value_or(policy.base_delay).value;
+  const double cap =
+      plan_.params().retry_backoff_cap.value_or(policy.max_delay).value;
   double factor = 1.0;
   for (std::size_t i = 1; i < attempt; ++i) factor *= 2.0;
-  return common::Seconds{plan_.params().retry_backoff_base.value * factor};
+  return common::Seconds{std::min(base * factor, cap)};
 }
 
 std::size_t FaultInjector::max_retries() const {
-  return plan_.params().max_retries;
+  return plan_.params().max_retries.value_or(cluster_.config().retry.max_attempts);
 }
 
 common::Seconds FaultInjector::heartbeat_period() const {
@@ -103,6 +136,20 @@ void FaultInjector::note_failover(common::Seconds outage) {
 
 void FaultInjector::note_repair(common::Seconds repair_time) {
   stats_.repair_time.add(repair_time.value);
+}
+
+void FaultInjector::note_fenced(cluster::MessageKind) {
+  ++stats_.fenced_commands;
+}
+
+void FaultInjector::note_shadow_started() { ++stats_.shadow_restarts; }
+
+void FaultInjector::note_reconciled(common::Seconds convergence,
+                                    std::size_t duplicates_resolved,
+                                    std::size_t orphans_adopted) {
+  stats_.duplicates_resolved += duplicates_resolved;
+  stats_.orphans_adopted += orphans_adopted;
+  stats_.heal_convergence.add(convergence.value);
 }
 
 }  // namespace eclb::fault

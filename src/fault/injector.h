@@ -32,8 +32,15 @@ struct ResilienceStats {
   std::size_t dropped_messages{0};    ///< Control messages lost on faulty links.
   std::size_t retried_messages{0};    ///< Dropped messages re-sent with backoff.
   std::size_t migration_failures{0};  ///< Live migrations aborted mid-copy.
+  std::size_t partitions{0};          ///< Plan-injected fabric splits.
+  std::size_t heals{0};               ///< Plan-injected fabric heals.
+  std::size_t fenced_commands{0};     ///< Stale-epoch commands dropped.
+  std::size_t shadow_restarts{0};     ///< Quorum-side shadow VM restarts.
+  std::size_t duplicates_resolved{0};  ///< Shadows retired at reconciliation.
+  std::size_t orphans_adopted{0};     ///< Shadows adopted (original lost).
   common::RunningStats repair_time;   ///< Crash -> service-restored samples.
   common::RunningStats failover_outage;  ///< Leaderless windows, in seconds.
+  common::RunningStats heal_convergence;  ///< Heal -> reconciled, in seconds.
 
   /// Mean time to repair: average seconds from a crash until its last
   /// displaced VM is running again; 0 when no episode completed.
@@ -79,6 +86,11 @@ class FaultInjector final : public cluster::FaultRuntime {
   void note_retried(cluster::MessageKind kind) override;
   void note_failover(common::Seconds outage) override;
   void note_repair(common::Seconds repair_time) override;
+  void note_fenced(cluster::MessageKind kind) override;
+  void note_shadow_started() override;
+  void note_reconciled(common::Seconds convergence,
+                       std::size_t duplicates_resolved,
+                       std::size_t orphans_adopted) override;
 
  private:
   void apply(const FaultEvent& event);

@@ -112,8 +112,32 @@ void LinkTable::set_unreachable(std::size_t host, bool unreachable) {
   unreachable_.at(host) = unreachable;
 }
 
+void LinkTable::set_partition(std::vector<std::int32_t> group_of,
+                              std::int32_t switch_group) {
+  ECLB_ASSERT(group_of.size() == delays_.size(),
+              "LinkTable: partition map size mismatch");
+  group_of_ = std::move(group_of);
+  switch_group_ = switch_group;
+}
+
+void LinkTable::clear_partition() {
+  group_of_.clear();
+  switch_group_ = 0;
+}
+
+std::int32_t LinkTable::group_of(std::size_t host) const {
+  if (group_of_.empty()) return 0;
+  return group_of_.at(host);
+}
+
+bool LinkTable::connected(std::size_t a, std::size_t b) const {
+  if (group_of_.empty()) return true;
+  return group_of_.at(a) == group_of_.at(b);
+}
+
 bool LinkTable::deliver(std::size_t host, common::Rng& rng) const {
   if (unreachable_.at(host)) return false;
+  if (!group_of_.empty() && group_of_.at(host) != switch_group_) return false;
   const double p = drop_probabilities_.at(host);
   // Loss-free links must not consume a draw: an installed-but-transparent
   // table leaves downstream streams bit-identical to no table at all.

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -83,16 +84,41 @@ class LinkTable {
   /// Partitions or reconnects `host`.
   void set_unreachable(std::size_t host, bool unreachable);
 
+  // --- fabric partitions ---------------------------------------------------
+  // A partition splits the star fabric into disjoint host groups.  The
+  // leader switch stays with exactly one group (`switch_group`, the quorum
+  // side), so deliveries to hosts outside that group fail; hosts within any
+  // one group can still reach each other through side-local paths, which
+  // `connected()` exposes for the membership layer.
+
+  /// Partitions the fabric: `group_of[h]` is host `h`'s side and the switch
+  /// stays with `switch_group`.  `group_of.size()` must equal size().
+  void set_partition(std::vector<std::int32_t> group_of,
+                     std::int32_t switch_group);
+  /// Heals the fabric (all hosts back on the switch side).
+  void clear_partition();
+  /// True while a partition is in force.
+  [[nodiscard]] bool partitioned() const { return !group_of_.empty(); }
+  /// Side of `host` (0 when the fabric is whole).
+  [[nodiscard]] std::int32_t group_of(std::size_t host) const;
+  /// Side holding the leader switch (0 when the fabric is whole).
+  [[nodiscard]] std::int32_t switch_group() const { return switch_group_; }
+  /// True when `a` and `b` share a side (always true while whole).
+  [[nodiscard]] bool connected(std::size_t a, std::size_t b) const;
+
   /// One delivery trial on `host`'s link: false when the host is
-  /// unreachable, otherwise a Bernoulli draw against the loss probability.
-  /// A loss-free link never consumes randomness, so a transparent table
-  /// leaves `rng`'s stream untouched.
+  /// unreachable or cut off from the leader switch by a partition,
+  /// otherwise a Bernoulli draw against the loss probability.  A loss-free
+  /// link never consumes randomness, so a transparent table leaves `rng`'s
+  /// stream untouched.
   [[nodiscard]] bool deliver(std::size_t host, common::Rng& rng) const;
 
  private:
   std::vector<double> delays_;
   std::vector<double> drop_probabilities_;
   std::vector<bool> unreachable_;
+  std::vector<std::int32_t> group_of_;  ///< Empty while the fabric is whole.
+  std::int32_t switch_group_{0};
 };
 
 }  // namespace eclb::network

@@ -25,6 +25,11 @@ ProtocolInstruments ProtocolInstruments::resolve(MetricsRegistry& registry) {
   h.retried_messages = &registry.counter("fault.retried_messages");
   h.orphans_replaced = &registry.counter("fault.orphans_replaced");
   h.failed_migrations = &registry.counter("fault.failed_migrations");
+  h.partitions = &registry.counter("fault.partitions");
+  h.heals = &registry.counter("fault.heals");
+  h.fenced_commands = &registry.counter("fault.fenced_commands");
+  h.shadow_starts = &registry.counter("fault.shadow_starts");
+  h.duplicates_resolved = &registry.counter("fault.duplicates_resolved");
   h.intervals = &registry.counter("run.intervals");
   h.unserved_demand = &registry.gauge("protocol.unserved_demand");
   h.energy_kwh = &registry.gauge("run.energy_kwh");
@@ -74,6 +79,15 @@ void ProtocolInstruments::record(const cluster::ProtocolEvent& event) {
     case Kind::kMigrationFailed: failed_migrations->inc(); break;
     case Kind::kCapacityDerate:
       // A configuration change, not a rate -- visible in the trace stream.
+      break;
+    case Kind::kPartitionStart: partitions->inc(); break;
+    case Kind::kPartitionHeal: heals->inc(); break;
+    case Kind::kCommandFenced: fenced_commands->inc(); break;
+    case Kind::kShadowStart: shadow_starts->inc(); break;
+    case Kind::kDuplicateResolved: duplicates_resolved->inc(); break;
+    case Kind::kReconcile:
+      // Convergence time rides in the trace stream's `value`; the heal
+      // itself is counted at kPartitionHeal.
       break;
   }
 }

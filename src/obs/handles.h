@@ -39,6 +39,11 @@ struct ProtocolInstruments {
   Counter* retried_messages{nullptr};
   Counter* orphans_replaced{nullptr};
   Counter* failed_migrations{nullptr};
+  Counter* partitions{nullptr};
+  Counter* heals{nullptr};
+  Counter* fenced_commands{nullptr};
+  Counter* shadow_starts{nullptr};
+  Counter* duplicates_resolved{nullptr};
   Counter* intervals{nullptr};
   Gauge* unserved_demand{nullptr};
   Gauge* energy_kwh{nullptr};

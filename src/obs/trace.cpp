@@ -82,12 +82,21 @@ void TraceWriter::event(const cluster::ProtocolEvent& event) {
       break;
     case cluster::ProtocolEvent::Kind::kMessageDropped:
     case cluster::ProtocolEvent::Kind::kMessageRetried:
+    case cluster::ProtocolEvent::Kind::kCommandFenced:
       buf_ += ",\"message\":\"";
       buf_ += cluster::to_string(event.message);
       buf_ += '"';
       break;
     case cluster::ProtocolEvent::Kind::kCapacityDerate:
       buf_ += ",\"capacity\":";
+      append_double(buf_, event.value);
+      break;
+    case cluster::ProtocolEvent::Kind::kPartitionStart:
+      buf_ += ",\"sides\":";
+      append_double(buf_, event.value);
+      break;
+    case cluster::ProtocolEvent::Kind::kReconcile:
+      buf_ += ",\"convergence\":";
       append_double(buf_, event.value);
       break;
     default:
@@ -134,6 +143,13 @@ void TraceWriter::interval_end(const cluster::IntervalReport& report,
     field("failed_migrations", report.failed_migrations);
   }
   if (report.failed_servers != 0) field("failed", report.failed_servers);
+  if (report.partitions != 0) field("partitions", report.partitions);
+  if (report.heals != 0) field("heals", report.heals);
+  if (report.fenced_commands != 0) field("fenced", report.fenced_commands);
+  if (report.shadow_starts != 0) field("shadow_starts", report.shadow_starts);
+  if (report.duplicates_resolved != 0) {
+    field("duplicates_resolved", report.duplicates_resolved);
+  }
   buf_ += ",\"unserved\":";
   append_double(buf_, report.unserved_demand);
   field("parked", report.parked_servers);
@@ -199,7 +215,9 @@ std::optional<cluster::ProtocolEvent::Kind> parse_kind(std::string_view name) {
         Kind::kSlaViolation, Kind::kQosViolation, Kind::kServerCrash,
         Kind::kServerRecover, Kind::kLeaderFailover, Kind::kMessageDropped,
         Kind::kMessageRetried, Kind::kOrphanReplaced, Kind::kMigrationFailed,
-        Kind::kCapacityDerate}) {
+        Kind::kCapacityDerate, Kind::kPartitionStart, Kind::kPartitionHeal,
+        Kind::kCommandFenced, Kind::kShadowStart, Kind::kDuplicateResolved,
+        Kind::kReconcile}) {
     if (name == cluster::to_string(k)) return k;
   }
   return std::nullopt;
@@ -256,6 +274,12 @@ std::optional<TraceRecord> parse_event(std::string_view line, TraceRecord rec) {
   if (const auto c = number_value(line, "capacity"); c.has_value()) {
     rec.event.value = *c;
   }
+  if (const auto s = number_value(line, "sides"); s.has_value()) {
+    rec.event.value = *s;
+  }
+  if (const auto c = number_value(line, "convergence"); c.has_value()) {
+    rec.event.value = *c;
+  }
   return rec;
 }
 
@@ -294,6 +318,11 @@ std::optional<TraceRecord> parse_interval_end(std::string_view line,
   optional_counter("orphans_replaced", rec.orphans_replaced);
   optional_counter("failed_migrations", rec.failed_migrations);
   optional_counter("failed", rec.failed);
+  optional_counter("partitions", rec.partitions);
+  optional_counter("heals", rec.heals);
+  optional_counter("fenced", rec.fenced);
+  optional_counter("shadow_starts", rec.shadow_starts);
+  optional_counter("duplicates_resolved", rec.duplicates_resolved);
   const auto unserved = number_value(line, "unserved");
   const auto energy = number_value(line, "energy_j");
   if (!unserved.has_value() || !energy.has_value()) return std::nullopt;

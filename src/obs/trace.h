@@ -8,14 +8,18 @@
 //        [,"cause":"shed"|"rebalance"|"consolidation"] kind == "migration"
 //        [,"unserved":U]                             kind == "sla_violation"
 //        [,"message":MSG_KIND]       kind == "message_dropped"/"message_retried"
-//        [,"capacity":C]}                            kind == "capacity_derate"
+//                                            /"command_fenced"
+//        [,"capacity":C]                             kind == "capacity_derate"
+//        [,"sides":N]                                kind == "partition_start"
+//        [,"convergence":S]}                         kind == "reconcile"
 //   {"type":"interval_end","interval":I,"t":SIM_SECONDS,
 //    "local":N,"in_cluster":N,"migrations":N,"horizontal_starts":N,
 //    "offloads":N,"drains":N,"sleeps":N,"wakes":N,"sla_violations":N,
 //    "qos_violations":N,
 //    [fault counters, present only when nonzero: "crashes","recoveries",
 //     "failovers","dropped","retried","orphans_replaced",
-//     "failed_migrations","failed",]
+//     "failed_migrations","failed","partitions","heals","fenced",
+//     "shadow_starts","duplicates_resolved",]
 //    "unserved":U,"parked":N,"deep_sleeping":N,"energy_j":E}
 // KIND is cluster::to_string(ProtocolEvent::Kind); "server" is omitted when
 // the event has no associated server.  The per-interval event stream and the
@@ -100,6 +104,11 @@ struct TraceRecord {
   std::size_t orphans_replaced{0};
   std::size_t failed_migrations{0};
   std::size_t failed{0};
+  std::size_t partitions{0};
+  std::size_t heals{0};
+  std::size_t fenced{0};
+  std::size_t shadow_starts{0};
+  std::size_t duplicates_resolved{0};
 };
 
 /// Parses one line of TraceWriter output; nullopt on malformed input.

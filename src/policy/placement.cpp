@@ -44,13 +44,15 @@ std::string_view to_string(PlacementStrategy s) {
 
 std::optional<common::ServerId> find_tiered_target(
     std::span<const server::Server> servers, common::Seconds now, double demand,
-    common::ServerId exclude, PlacementTier max_tier) {
+    common::ServerId exclude, PlacementTier max_tier,
+    const PlacementFilter* filter) {
   for (int tier = 0; tier <= static_cast<int>(max_tier); ++tier) {
     const auto t = static_cast<PlacementTier>(tier);
     const server::Server* best = nullptr;
     double best_score = std::numeric_limits<double>::infinity();
     for (const auto& s : servers) {
       if (s.id() == exclude) continue;
+      if (filter != nullptr && !filter->admits(s.id())) continue;
       if (!admissible(s, now, demand, t)) continue;
       // Prefer the target whose post-placement load lands closest to its own
       // optimal center: consolidates load and keeps targets in-regime.
@@ -68,11 +70,12 @@ std::optional<common::ServerId> find_tiered_target(
 
 std::optional<common::ServerId> find_below_center_target(
     std::span<const server::Server> servers, common::Seconds now, double demand,
-    common::ServerId exclude) {
+    common::ServerId exclude, const PlacementFilter* filter) {
   const server::Server* best = nullptr;
   double best_score = std::numeric_limits<double>::infinity();
   for (const auto& s : servers) {
     if (s.id() == exclude || !s.awake(now)) continue;
+    if (filter != nullptr && !filter->admits(s.id())) continue;
     const double post = s.load() + demand;
     if (post > s.thresholds().optimal_center()) continue;
     // Fullest viable target first: concentrates load.
@@ -88,17 +91,20 @@ std::optional<common::ServerId> find_below_center_target(
 
 std::optional<common::ServerId> EnergyAwarePlacement::pick(
     std::span<const server::Server> servers, common::Seconds now, double demand,
-    common::ServerId exclude, common::Rng& /*rng*/) {
+    common::ServerId exclude, common::Rng& /*rng*/,
+    const PlacementFilter* filter) {
   return find_tiered_target(servers, now, demand, exclude,
-                            PlacementTier::kStaySuboptimal);
+                            PlacementTier::kStaySuboptimal, filter);
 }
 
 std::optional<common::ServerId> LeastLoadedPlacement::pick(
     std::span<const server::Server> servers, common::Seconds now, double demand,
-    common::ServerId exclude, common::Rng& /*rng*/) {
+    common::ServerId exclude, common::Rng& /*rng*/,
+    const PlacementFilter* filter) {
   const server::Server* best = nullptr;
   for (const auto& t : servers) {
     if (t.id() == exclude || !t.awake(now)) continue;
+    if (filter != nullptr && !filter->admits(t.id())) continue;
     if (t.load() + demand > t.capacity() + kEps) continue;
     if (best == nullptr || t.load() < best->load()) best = &t;
   }
@@ -108,10 +114,11 @@ std::optional<common::ServerId> LeastLoadedPlacement::pick(
 
 std::optional<common::ServerId> RandomPlacement::pick(
     std::span<const server::Server> servers, common::Seconds now, double demand,
-    common::ServerId exclude, common::Rng& rng) {
+    common::ServerId exclude, common::Rng& rng, const PlacementFilter* filter) {
   std::vector<common::ServerId> feasible;
   for (const auto& t : servers) {
     if (t.id() == exclude || !t.awake(now)) continue;
+    if (filter != nullptr && !filter->admits(t.id())) continue;
     if (t.load() + demand > t.capacity() + kEps) continue;
     feasible.push_back(t.id());
   }
@@ -121,11 +128,13 @@ std::optional<common::ServerId> RandomPlacement::pick(
 
 std::optional<common::ServerId> RoundRobinPlacement::pick(
     std::span<const server::Server> servers, common::Seconds now, double demand,
-    common::ServerId exclude, common::Rng& /*rng*/) {
+    common::ServerId exclude, common::Rng& /*rng*/,
+    const PlacementFilter* filter) {
   for (std::size_t probe = 0; probe < servers.size(); ++probe) {
     cursor_ = (cursor_ + 1) % servers.size();
     const auto& t = servers[cursor_];
     if (t.id() == exclude || !t.awake(now)) continue;
+    if (filter != nullptr && !filter->admits(t.id())) continue;
     if (t.load() + demand > t.capacity() + kEps) continue;
     return t.id();
   }

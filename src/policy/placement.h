@@ -17,6 +17,7 @@
 #include <optional>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -54,12 +55,29 @@ enum class PlacementTier : std::uint8_t {
   kStaySuboptimal = 2,
 };
 
+/// Optional membership restriction on a placement search.  When installed,
+/// only servers mapped to `group` by the per-server `groups` map are
+/// eligible targets -- the partition-aware searches use it to confine
+/// placements to the requester's side of a fabric split.  A null `groups`
+/// pointer admits everything (the fault-free fast path).
+struct PlacementFilter {
+  const std::vector<std::int32_t>* groups{nullptr};  ///< Per-server group map.
+  std::int32_t group{0};                             ///< The admitted group.
+
+  [[nodiscard]] bool admits(common::ServerId id) const {
+    return groups == nullptr || id.index() >= groups->size() ||
+           (*groups)[id.index()] == group;
+  }
+};
+
 /// The paper's tiered search: widens from kLowRegimesOnly up to `max_tier`;
 /// within a tier the winner minimizes the post-placement distance to its own
-/// optimal-region center (concentrating load).  `exclude` is skipped.
+/// optimal-region center (concentrating load).  `exclude` is skipped, as is
+/// every server `filter` (when given) does not admit.
 [[nodiscard]] std::optional<common::ServerId> find_tiered_target(
     std::span<const server::Server> servers, common::Seconds now, double demand,
-    common::ServerId exclude, PlacementTier max_tier);
+    common::ServerId exclude, PlacementTier max_tier,
+    const PlacementFilter* filter = nullptr);
 
 /// Picks a target able to absorb `demand` while ending *below its own
 /// optimal center*.  Used by the even-distribution rebalance: a VM only
@@ -67,7 +85,7 @@ enum class PlacementTier : std::uint8_t {
 /// so rebalancing monotonically converges (no ping-pong).
 [[nodiscard]] std::optional<common::ServerId> find_below_center_target(
     std::span<const server::Server> servers, common::Seconds now, double demand,
-    common::ServerId exclude);
+    common::ServerId exclude, const PlacementFilter* filter = nullptr);
 
 /// One target-selection rule.  Policies are stateful where the rule demands
 /// it (round-robin cursor); all randomness flows through the caller's RNG so
@@ -77,10 +95,15 @@ class PlacementPolicy {
   virtual ~PlacementPolicy() = default;
 
   /// Picks a server able to absorb `demand` more load, or nullopt when the
-  /// rule finds none.  `exclude` is the requesting server and is skipped.
+  /// rule finds none.  `exclude` is the requesting server and is skipped;
+  /// `filter` (when given) restricts the eligible set -- partition-aware
+  /// callers pass the requester's side.  Every override repeats the same
+  /// null default so the five-argument call means the same thing through
+  /// any static type.
   [[nodiscard]] virtual std::optional<common::ServerId> pick(
       std::span<const server::Server> servers, common::Seconds now,
-      double demand, common::ServerId exclude, common::Rng& rng) = 0;
+      double demand, common::ServerId exclude, common::Rng& rng,
+      const PlacementFilter* filter = nullptr) = 0;
 
   /// Display name (matches to_string of the corresponding strategy).
   [[nodiscard]] virtual std::string_view name() const = 0;
@@ -91,7 +114,8 @@ class EnergyAwarePlacement final : public PlacementPolicy {
  public:
   [[nodiscard]] std::optional<common::ServerId> pick(
       std::span<const server::Server> servers, common::Seconds now,
-      double demand, common::ServerId exclude, common::Rng& rng) override;
+      double demand, common::ServerId exclude, common::Rng& rng,
+      const PlacementFilter* filter = nullptr) override;
   [[nodiscard]] std::string_view name() const override { return "energy-aware"; }
 };
 
@@ -100,7 +124,8 @@ class LeastLoadedPlacement final : public PlacementPolicy {
  public:
   [[nodiscard]] std::optional<common::ServerId> pick(
       std::span<const server::Server> servers, common::Seconds now,
-      double demand, common::ServerId exclude, common::Rng& rng) override;
+      double demand, common::ServerId exclude, common::Rng& rng,
+      const PlacementFilter* filter = nullptr) override;
   [[nodiscard]] std::string_view name() const override { return "least-loaded"; }
 };
 
@@ -109,7 +134,8 @@ class RandomPlacement final : public PlacementPolicy {
  public:
   [[nodiscard]] std::optional<common::ServerId> pick(
       std::span<const server::Server> servers, common::Seconds now,
-      double demand, common::ServerId exclude, common::Rng& rng) override;
+      double demand, common::ServerId exclude, common::Rng& rng,
+      const PlacementFilter* filter = nullptr) override;
   [[nodiscard]] std::string_view name() const override { return "random"; }
 };
 
@@ -118,7 +144,8 @@ class RoundRobinPlacement final : public PlacementPolicy {
  public:
   [[nodiscard]] std::optional<common::ServerId> pick(
       std::span<const server::Server> servers, common::Seconds now,
-      double demand, common::ServerId exclude, common::Rng& rng) override;
+      double demand, common::ServerId exclude, common::Rng& rng,
+      const PlacementFilter* filter = nullptr) override;
   [[nodiscard]] std::string_view name() const override { return "round-robin"; }
 
  private:

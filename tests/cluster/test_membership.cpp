@@ -1,0 +1,108 @@
+// Unit tests for the membership layer: quorum selection, epoch monotonicity,
+// split/merge bookkeeping and the stale-command fence predicate.
+#include "cluster/membership.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eclb::cluster {
+namespace {
+
+using common::ServerId;
+
+TEST(QuorumGroup, MajorityWins) {
+  const std::vector<std::int32_t> groups{0, 0, 0, 1, 1};
+  const std::vector<bool> live{true, true, true, true, true};
+  EXPECT_EQ(quorum_group(groups, live), 0);
+}
+
+TEST(QuorumGroup, LivenessDecidesNotSize) {
+  // Group 0 has more members but fewer survivors.
+  const std::vector<std::int32_t> groups{0, 0, 0, 1, 1};
+  const std::vector<bool> live{true, false, false, true, true};
+  EXPECT_EQ(quorum_group(groups, live), 1);
+}
+
+TEST(QuorumGroup, TieBreaksTowardLowestLiveServer) {
+  const std::vector<std::int32_t> groups{1, 0, 1, 0};
+  const std::vector<bool> live{true, true, true, true};
+  // Two live members each; server 0 sits in group 1.
+  EXPECT_EQ(quorum_group(groups, live), 1);
+}
+
+TEST(QuorumGroup, AllDeadFallsBackToLowestGroup) {
+  const std::vector<std::int32_t> groups{1, 1, 0, 0};
+  const std::vector<bool> live{false, false, false, false};
+  EXPECT_EQ(quorum_group(groups, live), 0);
+}
+
+TEST(Membership, FormsWholeViewAtEpochOne) {
+  Membership m;
+  m.form(10, ServerId{0});
+  EXPECT_FALSE(m.partitioned());
+  EXPECT_EQ(m.side_count(), 1U);
+  EXPECT_EQ(m.quorum(), 0);
+  EXPECT_EQ(m.side(0).leader, ServerId{0});
+  EXPECT_EQ(m.epoch_of(ServerId{7}), 1U);
+  EXPECT_EQ(m.highest_epoch(), 1U);
+  EXPECT_TRUE(m.in_quorum(ServerId{3}));
+}
+
+TEST(Membership, EpochCounterIsStrictlyMonotonic) {
+  Membership m;
+  m.form(4, ServerId{0});
+  const Epoch a = m.next_epoch();
+  const Epoch b = m.next_epoch();
+  EXPECT_GT(a, 1U);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(m.epoch_counter(), b);
+}
+
+TEST(Membership, SplitTracksSidesAndQuorum) {
+  Membership m;
+  m.form(6, ServerId{0});
+  m.split({0, 0, 0, 0, 1, 1}, /*quorum=*/0, /*side_count=*/2);
+  ASSERT_TRUE(m.partitioned());
+  EXPECT_EQ(m.side_count(), 2U);
+  EXPECT_EQ(m.group_of(ServerId{1}), 0);
+  EXPECT_EQ(m.group_of(ServerId{5}), 1);
+  EXPECT_TRUE(m.in_quorum(ServerId{0}));
+  EXPECT_FALSE(m.in_quorum(ServerId{4}));
+  EXPECT_EQ(&m.side_of(ServerId{5}), &m.side(1));
+}
+
+TEST(Membership, StaleFenceComparesAgainstReceiversSide) {
+  Membership m;
+  m.form(4, ServerId{0});
+  m.split({0, 0, 1, 1}, /*quorum=*/0, /*side_count=*/2);
+  m.side(0).leader = ServerId{0};
+  m.side(0).epoch = 1;
+  m.side(1).leader = ServerId{2};
+  m.side(1).epoch = m.next_epoch();  // minority bumped to epoch 2
+
+  // A command issued at the committed epoch is stale for the bumped side
+  // but current for the quorum.
+  EXPECT_TRUE(m.is_stale(1, ServerId{2}));
+  EXPECT_FALSE(m.is_stale(1, ServerId{0}));
+  EXPECT_FALSE(m.is_stale(2, ServerId{2}));
+  EXPECT_EQ(m.highest_epoch(), 2U);
+}
+
+TEST(Membership, MergeCollapsesToOneSide) {
+  Membership m;
+  m.form(4, ServerId{0});
+  m.split({0, 0, 1, 1}, 0, 2);
+  m.side(1).epoch = m.next_epoch();
+  const Epoch fresh = m.next_epoch();
+  m.merge(ServerId{2}, fresh);
+  EXPECT_FALSE(m.partitioned());
+  EXPECT_EQ(m.side(0).leader, ServerId{2});
+  EXPECT_EQ(m.epoch_of(ServerId{0}), fresh);
+  EXPECT_EQ(m.highest_epoch(), fresh);
+  // Everything issued before the merge is now stale everywhere.
+  EXPECT_TRUE(m.is_stale(fresh - 1, ServerId{3}));
+}
+
+}  // namespace
+}  // namespace eclb::cluster

@@ -176,6 +176,36 @@ TEST(FaultInjector, RetryBackoffDoublesPerAttempt) {
   EXPECT_DOUBLE_EQ(injector.retry_backoff(4).value, 4.0);
 }
 
+TEST(FaultInjector, RetryPolicyDefaultsComeFromClusterConfig) {
+  auto cfg = small_config();
+  cfg.retry.max_attempts = 6;
+  cfg.retry.base_delay = Seconds{0.25};
+  cfg.retry.max_delay = Seconds{1.0};
+  cluster::Cluster c(cfg);
+  FaultInjector injector(c, FaultPlan{});  // no plan overrides
+  EXPECT_EQ(injector.max_retries(), 6U);
+  EXPECT_DOUBLE_EQ(injector.retry_backoff(1).value, 0.25);
+  EXPECT_DOUBLE_EQ(injector.retry_backoff(2).value, 0.5);
+  // The doubled delay saturates at the configured cap.
+  EXPECT_DOUBLE_EQ(injector.retry_backoff(3).value, 1.0);
+  EXPECT_DOUBLE_EQ(injector.retry_backoff(4).value, 1.0);
+}
+
+TEST(FaultInjector, PlanOverridesWinOverClusterConfig) {
+  auto cfg = small_config();
+  cfg.retry.max_attempts = 6;
+  cfg.retry.base_delay = Seconds{0.25};
+  cluster::Cluster c(cfg);
+  FaultPlan plan;
+  plan.params().max_retries = 2;
+  plan.params().retry_backoff_base = Seconds{1.0};
+  plan.params().retry_backoff_cap = Seconds{1.5};
+  FaultInjector injector(c, plan);
+  EXPECT_EQ(injector.max_retries(), 2U);
+  EXPECT_DOUBLE_EQ(injector.retry_backoff(1).value, 1.0);
+  EXPECT_DOUBLE_EQ(injector.retry_backoff(2).value, 1.5);
+}
+
 TEST(FaultInjector, IdenticalSeedAndPlanReproduceBitIdentically) {
   auto run = [] {
     cluster::Cluster c(small_config(1001, 0.6, 0.8));
@@ -231,6 +261,87 @@ TEST(FaultInjector, DifferentFaultSeedsDiverge) {
   // Not guaranteed for arbitrary seeds, but these diverge -- and the test
   // pins that the plan seed actually feeds the loss draws.
   EXPECT_NE(dropped_with_seed(1), dropped_with_seed(2));
+}
+
+TEST(FaultInjector, PartitionEventSplitsFabricAndMembership) {
+  cluster::Cluster c(small_config(7));
+  FaultPlan plan;
+  std::vector<std::vector<ServerId>> groups(2);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    groups[i < 40 ? 0 : 1].push_back(ServerId{i});
+  }
+  plan.partition(Seconds{90.0}, groups, Seconds{330.0});
+  FaultInjector injector(c, plan);
+
+  c.step();  // t = 60: whole
+  EXPECT_FALSE(c.membership().partitioned());
+  c.step();  // t = 120: split since 90
+  ASSERT_TRUE(c.membership().partitioned());
+  EXPECT_EQ(c.membership().quorum(), 0);  // 40 live vs 10
+  EXPECT_TRUE(injector.links().partitioned());
+  EXPECT_EQ(injector.links().switch_group(), 0);
+  // Minority hosts are cut from the leader switch: no delivery, no draw.
+  EXPECT_FALSE(injector.deliver(cluster::MessageKind::kWakeCommand,
+                                ServerId{45}));
+  EXPECT_TRUE(c.degraded(ServerId{45}));
+  EXPECT_FALSE(c.degraded(ServerId{5}));
+  EXPECT_EQ(injector.stats().partitions, 1U);
+
+  // The minority side elected a provisional sub-leader at a bumped epoch.
+  const auto& minority = c.membership().side(1);
+  EXPECT_TRUE(minority.provisional);
+  EXPECT_GT(minority.epoch, c.membership().side(0).epoch);
+
+  for (int i = 0; i < 5; ++i) c.step();  // heal at 330, reconcile at 360
+  EXPECT_FALSE(c.membership().partitioned());
+  EXPECT_FALSE(c.reconcile_pending());
+  EXPECT_FALSE(injector.links().partitioned());
+  EXPECT_EQ(injector.stats().heals, 1U);
+  EXPECT_EQ(injector.stats().heal_convergence.count(), 1U);
+  // Heal fires at 330, the reconciliation pass runs at the next round (360).
+  EXPECT_DOUBLE_EQ(injector.stats().heal_convergence.mean(), 30.0);
+  EXPECT_EQ(c.self_audit(), std::nullopt);
+}
+
+TEST(FaultInjector, PartitionRunIsBitReproducible) {
+  auto run = [] {
+    cluster::Cluster c(small_config(1001, 0.5, 0.7));
+    FaultPlan plan;
+    std::vector<std::vector<ServerId>> groups(2);
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      groups[i % 3 == 0 ? 1 : 0].push_back(ServerId{i});
+    }
+    plan.partition(Seconds{120.0}, groups, Seconds{600.0})
+        .crash(Seconds{180.0}, ServerId{3})
+        .link_loss(Seconds{0.0}, 0.05)
+        .set_seed(17);
+    FaultInjector injector(c, plan);
+    double energy_trace = 0.0;
+    std::size_t events = 0;
+    for (int i = 0; i < 20; ++i) {
+      const auto r = c.step();
+      energy_trace += r.interval_energy.value * static_cast<double>(i + 1);
+      events += r.migrations + r.fenced_commands + r.shadow_starts +
+                r.duplicates_resolved + r.sla_violations;
+    }
+    struct Result {
+      double energy;
+      double trace;
+      std::size_t events;
+      std::size_t shadows;
+      std::size_t fenced;
+    };
+    return Result{c.total_energy().value, energy_trace, events,
+                  injector.stats().shadow_restarts,
+                  injector.stats().fenced_commands};
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.shadows, b.shadows);
+  EXPECT_EQ(a.fenced, b.fenced);
 }
 
 TEST(FaultInjector, LinksAreExposedForTests) {

@@ -14,8 +14,10 @@ TEST(FaultPlan, DefaultPlanIsEmpty) {
   EXPECT_TRUE(plan.events().empty());
   EXPECT_DOUBLE_EQ(plan.params().heartbeat_period.value, 5.0);
   EXPECT_EQ(plan.params().failover_after_missed, 3U);
-  EXPECT_EQ(plan.params().max_retries, 4U);
-  EXPECT_DOUBLE_EQ(plan.params().retry_backoff_base.value, 0.5);
+  // The retry policy defaults are unset: they defer to ClusterConfig::retry.
+  EXPECT_FALSE(plan.params().max_retries.has_value());
+  EXPECT_FALSE(plan.params().retry_backoff_base.has_value());
+  EXPECT_FALSE(plan.params().retry_backoff_cap.has_value());
 }
 
 TEST(FaultPlan, BuildersAppendInOrder) {
@@ -55,6 +57,8 @@ TEST(FaultPlan, KindNames) {
   EXPECT_EQ(to_string(FaultKind::kLinkDelay), "delay");
   EXPECT_EQ(to_string(FaultKind::kMigrationFailureRate), "migfail");
   EXPECT_EQ(to_string(FaultKind::kCapacityDerate), "derate");
+  EXPECT_EQ(to_string(FaultKind::kPartitionStart), "part");
+  EXPECT_EQ(to_string(FaultKind::kPartitionHeal), "heal");
 }
 
 TEST(FaultPlanParse, EmptySpecYieldsEmptyPlan) {
@@ -89,16 +93,84 @@ TEST(FaultPlanParse, FullGrammar) {
 }
 
 TEST(FaultPlanParse, PlanParameters) {
-  const auto plan =
-      FaultPlan::parse("seed=99; hb=2.5; miss=5; retries=7; backoff=0.125");
+  const auto plan = FaultPlan::parse(
+      "seed=99; hb=2.5; miss=5; retries=7; backoff=0.125; cap=2");
   ASSERT_TRUE(plan.has_value());
   EXPECT_EQ(plan->seed(), 99U);
   EXPECT_DOUBLE_EQ(plan->params().heartbeat_period.value, 2.5);
   EXPECT_EQ(plan->params().failover_after_missed, 5U);
-  EXPECT_EQ(plan->params().max_retries, 7U);
-  EXPECT_DOUBLE_EQ(plan->params().retry_backoff_base.value, 0.125);
+  ASSERT_TRUE(plan->params().max_retries.has_value());
+  EXPECT_EQ(*plan->params().max_retries, 7U);
+  ASSERT_TRUE(plan->params().retry_backoff_base.has_value());
+  EXPECT_DOUBLE_EQ(plan->params().retry_backoff_base->value, 0.125);
+  ASSERT_TRUE(plan->params().retry_backoff_cap.has_value());
+  EXPECT_DOUBLE_EQ(plan->params().retry_backoff_cap->value, 2.0);
   // Parameters alone do not make the plan non-empty.
   EXPECT_TRUE(plan->empty());
+}
+
+TEST(FaultPlanParse, PartitionGrammar) {
+  const auto plan = FaultPlan::parse("part@100:g=0-4|5-9,heal=300");
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->events().size(), 2U);
+  const auto& split = plan->events()[0];
+  EXPECT_EQ(split.kind, FaultKind::kPartitionStart);
+  EXPECT_DOUBLE_EQ(split.at.value, 100.0);
+  ASSERT_EQ(split.groups.size(), 2U);
+  ASSERT_EQ(split.groups[0].size(), 5U);
+  EXPECT_EQ(split.groups[0].front(), ServerId{0});
+  EXPECT_EQ(split.groups[0].back(), ServerId{4});
+  ASSERT_EQ(split.groups[1].size(), 5U);
+  EXPECT_EQ(split.groups[1].front(), ServerId{5});
+  EXPECT_EQ(split.groups[1].back(), ServerId{9});
+  const auto& heal = plan->events()[1];
+  EXPECT_EQ(heal.kind, FaultKind::kPartitionHeal);
+  EXPECT_DOUBLE_EQ(heal.at.value, 300.0);
+}
+
+TEST(FaultPlanParse, PartitionMembersMixRangesAndSingles) {
+  const auto plan = FaultPlan::parse("part@10:g=0+2-3|1+4; heal@50");
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->events().size(), 2U);
+  const auto& split = plan->events()[0];
+  ASSERT_EQ(split.groups.size(), 2U);
+  EXPECT_EQ(split.groups[0],
+            (std::vector<ServerId>{ServerId{0}, ServerId{2}, ServerId{3}}));
+  EXPECT_EQ(split.groups[1], (std::vector<ServerId>{ServerId{1}, ServerId{4}}));
+  EXPECT_EQ(plan->events()[1].kind, FaultKind::kPartitionHeal);
+}
+
+TEST(FaultPlanParse, PartitionRejectsBadGroupSpecs) {
+  std::string error;
+  // One group is not a partition.
+  EXPECT_FALSE(FaultPlan::parse("part@10:g=0-9", &error).has_value());
+  // Overlapping groups.
+  EXPECT_FALSE(FaultPlan::parse("part@10:g=0-4|4-9", &error).has_value());
+  // Inverted range.
+  EXPECT_FALSE(FaultPlan::parse("part@10:g=4-0|5-9", &error).has_value());
+  // Empty group.
+  EXPECT_FALSE(FaultPlan::parse("part@10:g=|5-9", &error).has_value());
+  // Heal must follow the split.
+  EXPECT_FALSE(FaultPlan::parse("part@10:g=0-4|5-9,heal=5", &error).has_value());
+  // heal takes no arguments.
+  EXPECT_FALSE(FaultPlan::parse("heal@10:s=1", &error).has_value());
+}
+
+TEST(FaultPlanParse, DiagnosticsCarryOffsetAndGrammar) {
+  std::string error;
+  // The offset points at the offending item, not the start of the spec.
+  ASSERT_FALSE(FaultPlan::parse("crash@5:s=1; explode@7", &error).has_value());
+  EXPECT_NE(error.find("explode@7"), std::string::npos);
+  EXPECT_NE(error.find("at offset 13"), std::string::npos);
+  EXPECT_NE(error.find("part@T:g=GROUPS"), std::string::npos) << error;
+
+  ASSERT_FALSE(FaultPlan::parse("hb=2.5; bogus=1", &error).has_value());
+  EXPECT_NE(error.find("at offset 8"), std::string::npos);
+  EXPECT_NE(error.find("cap=SECS"), std::string::npos) << error;
+
+  ASSERT_FALSE(FaultPlan::parse("loss@0:p=0.1; crash@5:q=1", &error).has_value());
+  EXPECT_NE(error.find("at offset 14"), std::string::npos);
+  EXPECT_NE(error.find("bad argument 'q'"), std::string::npos) << error;
 }
 
 TEST(FaultPlanParse, RejectsMalformedItems) {
@@ -143,9 +215,10 @@ TEST(FaultPlanParse, ErrorPointerIsOptional) {
 
 TEST(FaultPlanParse, RoundTripsThroughToSpec) {
   const auto original = FaultPlan::parse(
-      "seed=1234; hb=3; miss=2; retries=6; backoff=0.25;"
+      "seed=1234; hb=3; miss=2; retries=6; backoff=0.25; cap=4;"
       "crash@600:s=3; leader@900; loss@0:p=0.05; delay@10:d=0.2;"
-      "migfail@5:p=0.1; derate@20:s=7,c=0.5; recover@1200:s=3");
+      "migfail@5:p=0.1; derate@20:s=7,c=0.5; recover@1200:s=3;"
+      "part@100:g=0-4|5+7-9,heal=300");
   ASSERT_TRUE(original.has_value());
   const std::string spec = original->to_spec();
   const auto reparsed = FaultPlan::parse(spec);

@@ -151,5 +151,18 @@ TEST(FaultFreeDeterminism, EmptyPlanLeavesExperimentCsvByteIdentical) {
   EXPECT_EQ(fnv1a(faulted), g.experiment_hash);
 }
 
+TEST(FaultFreeDeterminism, ParamsOnlyPlanStaysByteIdentical) {
+  // A plan that sets retry/partition-era parameters but schedules no events
+  // is still empty: the membership layer, epoch counters and shadow-restart
+  // machinery are compiled in and armed, yet a run must stay byte-identical
+  // to the pre-fault baseline.
+  auto plan = fault::FaultPlan::parse("retries=9; backoff=0.125; cap=2; miss=2");
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_TRUE(plan->empty());
+  const auto& g = kGolden[0];
+  const std::string faulted = cluster_csv(100, g.load, g.seed, 40, &*plan);
+  EXPECT_EQ(fnv1a(faulted), g.cluster_hash);
+}
+
 }  // namespace
 }  // namespace eclb

@@ -149,6 +149,38 @@ TEST(LinkTable, PerHostAndAllSetters) {
   EXPECT_DOUBLE_EQ(links.drop_probability(0), 0.1);
 }
 
+TEST(LinkTable, PartitionCutsHostsOffTheSwitchSide) {
+  LinkTable links(6);
+  links.set_partition({0, 0, 0, 1, 1, 2}, /*switch_group=*/0);
+  ASSERT_TRUE(links.partitioned());
+  EXPECT_EQ(links.switch_group(), 0);
+  common::Rng rng(3);
+  common::Rng untouched(3);
+  // Switch-side hosts deliver; every other side fails without an RNG draw.
+  EXPECT_TRUE(links.deliver(0, rng));
+  EXPECT_TRUE(links.deliver(2, rng));
+  EXPECT_FALSE(links.deliver(3, rng));
+  EXPECT_FALSE(links.deliver(5, rng));
+  EXPECT_EQ(rng.next_u64(), untouched.next_u64());
+}
+
+TEST(LinkTable, PartitionGroupsAndConnectivity) {
+  LinkTable links(5);
+  EXPECT_TRUE(links.connected(0, 4));  // whole fabric: everyone connected
+  EXPECT_EQ(links.group_of(4), 0);
+  links.set_partition({0, 1, 0, 1, 1}, /*switch_group=*/1);
+  EXPECT_EQ(links.group_of(0), 0);
+  EXPECT_EQ(links.group_of(1), 1);
+  EXPECT_TRUE(links.connected(0, 2));   // same minority side
+  EXPECT_TRUE(links.connected(1, 4));   // same switch side
+  EXPECT_FALSE(links.connected(0, 1));  // across the split
+  links.clear_partition();
+  EXPECT_FALSE(links.partitioned());
+  EXPECT_TRUE(links.connected(0, 1));
+  common::Rng rng(9);
+  EXPECT_TRUE(links.deliver(0, rng));
+}
+
 TEST(LinkTable, ZeroDelayLinkKeepsSynchronousSemantics) {
   // Delay 0 is the fault-free fast path: callers check `delay > 0` before
   // scheduling a deferred delivery, so the stored value must stay exactly 0.

@@ -157,6 +157,12 @@ TEST(Trace, EventStreamReconstructsIntervalReports) {
           case Kind::kOrphanReplaced: ++counted.orphans_replaced; break;
           case Kind::kMigrationFailed: ++counted.failed_migrations; break;
           case Kind::kCapacityDerate: break;  // config change, no counter
+          case Kind::kPartitionStart: ++counted.partitions; break;
+          case Kind::kPartitionHeal: ++counted.heals; break;
+          case Kind::kCommandFenced: ++counted.fenced_commands; break;
+          case Kind::kShadowStart: ++counted.shadow_starts; break;
+          case Kind::kDuplicateResolved: ++counted.duplicates_resolved; break;
+          case Kind::kReconcile: break;  // heals counts the episode
         }
         break;
       }

@@ -46,9 +46,10 @@ int usage() {
       "            writes aggregated counters as JSON, --profile prints a\n"
       "            wall-clock phase table to stderr; --faults injects a\n"
       "            deterministic fault schedule, e.g.\n"
-      "            \"leader@1200;loss@0:p=0.05;crash@600:s=3;seed=9\"\n"
-      "            (kinds: crash recover leader loss delay migfail derate;\n"
-      "            params: seed hb miss retries backoff)\n"
+      "            \"leader@1200;loss@0:p=0.05;crash@600:s=3;seed=9\" or\n"
+      "            \"part@600:g=0-49|50-99,heal=1800\"\n"
+      "            (kinds: crash recover leader loss delay migfail derate\n"
+      "            part heal; params: seed hb miss retries backoff cap)\n"
       "  farm      --policy always-on|reactive|reactive+extra|autoscale|\n"
       "                     predictive-mw|predictive-lr\n"
       "            --workload diurnal|spiky|walk|constant [--trace FILE]\n"
@@ -135,6 +136,17 @@ int cmd_cluster(common::Flags& flags) {
               << st.dropped_messages << " dropped, " << st.retried_messages
               << " retried, " << st.migration_failures
               << " failed migrations, MTTR " << st.mttr() << " s\n";
+    if (st.partitions > 0) {
+      std::cerr << "partitions: " << st.partitions << " splits, " << st.heals
+                << " heals, " << st.fenced_commands << " fenced commands, "
+                << st.shadow_restarts << " shadow restarts, "
+                << st.duplicates_resolved << " duplicates resolved, "
+                << st.orphans_adopted << " orphans adopted, heal convergence "
+                << (st.heal_convergence.count() > 0
+                        ? st.heal_convergence.mean()
+                        : 0.0)
+                << " s\n";
+    }
   }
   if (probe != nullptr && probe->trace() != nullptr) {
     std::cerr << "trace: " << probe->trace()->path() << "\n";
