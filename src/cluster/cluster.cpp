@@ -44,6 +44,7 @@ Cluster::~Cluster() = default;
 
 void Cluster::populate() {
   servers_.reserve(config_.server_count);
+  state_.reserve(config_.server_count);
   auto volume_model = std::make_shared<energy::LinearPowerModel>(
       config_.peak_power, config_.idle_power_fraction);
   // Hardware mix for the heterogeneous option (Table 1 peaks; idle
@@ -65,7 +66,8 @@ void Cluster::populate() {
       }
     }
     sc.reallocation_interval = config_.reallocation_interval;
-    servers_.emplace_back(common::ServerId{i}, std::move(sc));
+    // Slots are allocated in id order, so slot == id.index() fleet-wide.
+    servers_.emplace_back(common::ServerId{i}, std::move(sc), &state_);
   }
   // Initial population: fill each server with applications until its load
   // reaches a uniformly drawn target (Section 5's experimental setup).
@@ -92,14 +94,18 @@ common::VmId Cluster::spawn_vm(server::Server& host, common::AppId app,
     const bool ok = host.place(std::move(instance));
     ECLB_ASSERT(ok, "spawn_vm: placement rejected after leader admitted it");
   }
-  growth_[id] = vm::Application::sample_growth(rng_, config_.lambda_min,
-                                               config_.lambda_max);
+  if (growth_.size() <= id.value) growth_.resize(id.value + 1);
+  growth_[id.value] = {vm::Application::sample_growth(rng_, config_.lambda_min,
+                                                      config_.lambda_max),
+                       true};
   return id;
 }
 
 double Cluster::total_demand() const {
+  // Same accumulation order as the legacy per-server walk (slot == id), so
+  // the sum is bit-identical -- it just streams one contiguous column.
   double total = 0.0;
-  for (const auto& s : servers_) total += s.load();
+  for (const double load : state_.loads()) total += load;
   return total;
 }
 
@@ -116,8 +122,10 @@ double Cluster::load_fraction() const {
   // the server count (1.0 each), preserving the historical definition bit
   // for bit.
   double capacity = 0.0;
-  for (const auto& s : servers_) {
-    if (!s.failed()) capacity += s.capacity();
+  const std::span<const std::uint8_t> alive = state_.alive_flags();
+  const std::span<const double> caps = state_.capacities();
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    if (alive[i] != 0) capacity += caps[i];
   }
   if (capacity <= 0.0) return 0.0;
   return total_demand() / capacity;
@@ -172,8 +180,8 @@ common::Joules Cluster::total_energy() const {
 }
 
 const vm::DemandGrowthSpec* Cluster::growth_of(common::VmId id) const {
-  auto it = growth_.find(id);
-  return it == growth_.end() ? nullptr : &it->second;
+  if (id.value >= growth_.size() || !growth_[id.value].valid) return nullptr;
+  return &growth_[id.value].spec;
 }
 
 common::VmId Cluster::inject_vm(common::ServerId server, common::AppId app,
@@ -260,7 +268,7 @@ void Cluster::crash_server(common::ServerId id) {
   std::size_t orphaned = 0;
   for (auto& v : displaced) {
     // The replacement VM gets a fresh id and growth spec on re-placement.
-    growth_.erase(v.id());
+    retire_growth(v.id());
     if (take_shadow_entry(v.id())) {
       // A shadow lost to a crash is not re-placed: its original still runs
       // on the other side of the partition, so no service was lost and a
@@ -597,7 +605,8 @@ std::int32_t Cluster::begin_partition(const std::vector<std::int32_t>& group_of)
   }
   if (side_count < 2) return -1;
   std::vector<bool> live(servers_.size());
-  for (std::size_t i = 0; i < servers_.size(); ++i) live[i] = !servers_[i].failed();
+  const std::span<const std::uint8_t> alive = state_.alive_flags();
+  for (std::size_t i = 0; i < servers_.size(); ++i) live[i] = alive[i] != 0;
   const std::int32_t quorum = quorum_group(group_of, live);
 
   const SideState old = membership_.side(0);
@@ -733,6 +742,43 @@ void Cluster::notify_phase(std::string_view phase, double wall_seconds) {
   for (ClusterObserver* o : observers_) o->on_phase(phase, wall_seconds);
 }
 
+void Cluster::sweep_settle_and_energy(common::Seconds now, bool settle) {
+  // Fleet-wide energy step, split on the pending flag: servers with no
+  // C-state transition in flight -- virtually the whole fleet -- have a
+  // time-independent power level pre-computed in the table's static_power
+  // column, so their meters advance without touching the C-state machinery
+  // or the virtual power model.  Pending servers (and, when `settle` is
+  // set, any transition that just completed) take the exact legacy path.
+  // settle() on a non-pending server is a no-op, so skipping it changes
+  // nothing; the visit order is the legacy order, so energy accumulation is
+  // bit-identical.
+  const std::span<const std::uint8_t> pending = state_.pending_flags();
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (pending[i] != 0) {
+      if (settle) servers_[i].settle(now);
+      servers_[i].update_energy(now);
+    } else {
+      servers_[i].update_energy_static(now);
+    }
+  }
+}
+
+ClusterMemoryStats Cluster::memory_stats() const {
+  ClusterMemoryStats m;
+  m.state_table_bytes = state_.memory_bytes();
+  if (index_ != nullptr) m.index_bytes = index_->memory_bytes();
+  m.server_objects_bytes = servers_.capacity() * sizeof(server::Server);
+  for (const auto& s : servers_) m.vm_storage_bytes += s.vm_storage_bytes();
+  m.recorder_bytes = recorder_.memory_bytes();
+  m.total_bytes = m.state_table_bytes + m.index_bytes + m.server_objects_bytes +
+                  m.vm_storage_bytes + m.recorder_bytes;
+  m.bytes_per_server =
+      servers_.empty() ? 0.0
+                       : static_cast<double>(m.total_bytes) /
+                             static_cast<double>(servers_.size());
+  return m;
+}
+
 IntervalReport Cluster::run_round() {
   // Phase timing uses the wall clock and only runs while observers are
   // attached; it never feeds back into the simulation.
@@ -746,16 +792,13 @@ IntervalReport Cluster::run_round() {
 
   const common::Seconds round_now = sim_.now();
   const auto settle_start = observed ? WallClock::now() : WallClock::time_point{};
-  for (auto& s : servers_) {
-    s.settle(round_now);
-    s.update_energy(round_now);
-  }
+  sweep_settle_and_energy(round_now, /*settle=*/true);
   if (observed) notify_phase("cstate_settle", wall_seconds_since(settle_start));
 
   protocol::ClusterView view(*this, engine_->wake_action());
   engine_->run(view);
 
-  for (auto& s : servers_) s.update_energy(round_now);
+  sweep_settle_and_energy(round_now, /*settle=*/false);
 
   FleetSnapshot snapshot;
   snapshot.sleeping_servers = sleeping_count();

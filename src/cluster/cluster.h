@@ -53,6 +53,19 @@ class ClusterView;
 class ProtocolEngine;
 }  // namespace protocol
 
+/// Heap footprint of one cluster's data plane, broken down by owner (see
+/// Cluster::memory_stats and eclb_cli --mem-stats).  All figures are exact
+/// capacities, not RSS estimates.
+struct ClusterMemoryStats {
+  std::size_t state_table_bytes{0};     ///< SoA columns (server/state_table.h).
+  std::size_t index_bytes{0};           ///< Regime index (bitsets + key arena).
+  std::size_t server_objects_bytes{0};  ///< The Server array itself.
+  std::size_t vm_storage_bytes{0};      ///< Hosted-VM vectors across the fleet.
+  std::size_t recorder_bytes{0};        ///< The interval event buffer.
+  std::size_t total_bytes{0};           ///< Sum of the above.
+  double bytes_per_server{0.0};         ///< total_bytes / server count.
+};
+
 /// A VM displaced by a server crash, held by the cluster until the protocol
 /// re-places it (the RecoverOrphans action).
 struct OrphanVm {
@@ -115,6 +128,16 @@ class Cluster {
   [[nodiscard]] const policy::PlacementPolicy& placement() const {
     return *placement_;
   }
+
+  /// The SoA table holding every server's hot state (slot == id index).
+  /// Fleet-wide passes read its column spans instead of walking Server
+  /// objects.
+  [[nodiscard]] const server::ServerStateTable& state_table() const {
+    return state_;
+  }
+
+  /// Exact heap footprint of the cluster's data plane.
+  [[nodiscard]] ClusterMemoryStats memory_stats() const;
 
   // --- driving -------------------------------------------------------------
 
@@ -277,6 +300,11 @@ class Cluster {
                                                  common::ServerId exclude);
   /// Executes one protocol round at the current kernel time.
   IntervalReport run_round();
+  /// Fleet-wide settle + energy step over the state table's pending column:
+  /// non-pending servers advance their meters from the cached static power,
+  /// pending ones take the full time-dependent path (bit-identical to the
+  /// legacy per-server settle/update_energy loop).
+  void sweep_settle_and_energy(common::Seconds now, bool settle);
   /// Schedules the settle + energy charge of an in-flight C-state transition
   /// at its exact completion instant.
   void schedule_transition(common::ServerId id, common::Seconds done);
@@ -337,11 +365,27 @@ class Cluster {
   common::Rng rng_;
   Leader leader_;
   OverflowHandler overflow_handler_;
+  /// The shared SoA state table.  Declared before servers_ (servers write
+  /// their rows through it during construction) and therefore destroyed
+  /// after them, so a Server never outlives its row.
+  server::ServerStateTable state_;
   std::vector<server::Server> servers_;
   /// Declared after servers_ so it is destroyed first; servers never notify
   /// from their destructor, so the dangling listener pointer is harmless.
   std::unique_ptr<index::RegimeIndex> index_;
-  std::unordered_map<common::VmId, vm::DemandGrowthSpec> growth_;
+  /// Growth specs by VM id.  Ids are allocated sequentially (next_vm_id_),
+  /// so a flat id-indexed registry replaces the hash map on the evolve hot
+  /// path: one predictable load per lookup.  Retired ids (crash, shadow
+  /// retirement) keep a tombstone entry -- growth_of returns nullptr for
+  /// them, exactly like an erased map entry.
+  struct GrowthEntry {
+    vm::DemandGrowthSpec spec{};
+    bool valid{false};
+  };
+  std::vector<GrowthEntry> growth_;
+  void retire_growth(common::VmId id) {
+    if (id.value < growth_.size()) growth_[id.value].valid = false;
+  }
   MessageStats messages_;
   vm::ScalingCost local_cost_{};
   vm::ScalingCost in_cluster_cost_{};

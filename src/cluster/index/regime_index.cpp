@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/assert.h"
+#include "energy/regime_batch.h"
 
 namespace eclb::cluster::index {
 
@@ -20,11 +21,11 @@ constexpr double kSlop = 1e-9;
 constexpr std::uint32_t kNoId = std::numeric_limits<std::uint32_t>::max();
 
 std::optional<common::ServerId> next_in_set(
-    const std::set<std::uint32_t>& ids, std::optional<common::ServerId> after) {
-  const auto it =
-      after.has_value() ? ids.upper_bound(after->value) : ids.begin();
-  if (it == ids.end()) return std::nullopt;
-  return common::ServerId{*it};
+    const common::DenseBitset& ids, std::optional<common::ServerId> after) {
+  const auto next =
+      after.has_value() ? ids.next_after(after->value) : ids.first();
+  if (!next.has_value()) return std::nullopt;
+  return common::ServerId{static_cast<std::uint32_t>(*next)};
 }
 }  // namespace
 
@@ -34,11 +35,11 @@ RegimeIndex::RegimeIndex(std::span<const server::Server> servers)
 }
 
 void RegimeIndex::rebuild() {
-  for (auto& b : by_key_) b.clear();
-  for (auto& b : by_id_) b.clear();
-  for (auto& b : sleepers_) b.clear();
-  above_center_.clear();
-  awake_empty_.clear();
+  for (auto& b : by_key_) b.configure(servers_.size());
+  for (auto& b : by_id_) b.resize(servers_.size());
+  for (auto& b : sleepers_) b.resize(servers_.size());
+  above_center_.resize(servers_.size());
+  awake_empty_.resize(servers_.size());
   total_vms_ = 0;
   sleeping_ = 0;
   reporters_ = 0;
@@ -63,37 +64,36 @@ void RegimeIndex::server_state_changed(const server::Server& s) {
 }
 
 RegimeIndex::Slot RegimeIndex::classify(const server::Server& s) const {
+  // Read the server's packed state-table record: sync_derived rewrites it
+  // from the scalar columns at every notification point, so between
+  // mutations it matches what the legacy per-accessor classification
+  // computed -- awake in particular is time-independent (see
+  // Server::transition_pending and ServerStateTable::awake).  One aligned
+  // 32-byte load replaces ten scattered column reads on the refile path.
+  const server::ServerStateTable::IndexRow& row =
+      s.state_table().index_row(s.slot());
   Slot slot;
-  slot.load = s.load();
-  slot.vm_count = static_cast<std::uint32_t>(s.vm_count());
-  const bool failed = s.failed();
-  const bool pending = s.transition_pending();
-  const energy::CState state = s.cstate();
-  // Time-independent awake: with no pending target a settled C0 server is
-  // awake at every instant, and with one it is awake at none (see
-  // Server::awake -- transitioning(now) implies a pending target).
-  const bool awake = !failed && state == energy::CState::kC0 && !pending;
+  slot.load = row.load;
+  slot.vm_count = row.vm_count;
+  const bool awake = row.awake != 0;
+  const bool alive = row.alive != 0;
   slot.awake = awake;
-  slot.sleeping = !failed && !awake;
-  slot.effective = static_cast<std::int8_t>(s.effective_cstate());
-  const auto& t = s.thresholds();
-  const double center = t.optimal_center();
-  slot.key = slot.load - center;
-  if (awake) {
-    slot.regime = static_cast<std::int8_t>(
-        energy::regime_index(t.classify(s.served_load())));
-  }
-  if (!failed && !pending && state != energy::CState::kC0) {
-    // Settled sleeper; depth index C1->0, C3->1, C6->2.
-    slot.sleeper = static_cast<std::int8_t>(static_cast<int>(state) - 1);
-  }
-  slot.above_center = awake && slot.load > center + kEps;
+  slot.sleeping = alive && !awake;
+  slot.effective = static_cast<std::int8_t>(row.effective);
+  slot.key = slot.load - row.center;
+  slot.regime = row.regime;
+  slot.sleeper = row.sleep_depth;
+  slot.above_center = awake && slot.load > row.center + kEps;
   slot.awake_empty = awake && slot.vm_count == 0;
   // Server::regime() is defined (and reported to the leader) whenever the
   // server is unfailed with settled state C0 -- including one still easing
-  // into sleep -- so the report fan-in uses that wider condition.
-  slot.reporter = !failed && state == energy::CState::kC0 &&
-                  t.classify(s.served_load()) != energy::Regime::kR3Optimal;
+  // into sleep -- so the report fan-in uses that wider condition via the
+  // always-valid classified column.
+  slot.reporter =
+      alive &&
+      row.cstate_src == static_cast<std::uint8_t>(energy::CState::kC0) &&
+      row.classified != static_cast<std::int8_t>(
+                            energy::regime_index(energy::Regime::kR3Optimal));
   return slot;
 }
 
@@ -129,15 +129,84 @@ void RegimeIndex::update_slot(std::size_t i) {
   ECLB_ASSERT(i < slots_.size(), "RegimeIndex: server index out of range");
   const std::uint32_t id = static_cast<std::uint32_t>(i);
   const Slot fresh = classify(servers_[i]);
-  unfile_slot(id, slots_[i]);
+  Slot& cur = slots_[i];
+  // Notifications frequently fire without moving any indexed fact (settle
+  // sweeps, energy accounting): skip those outright.  The next most common
+  // case is a demand nudge that keeps the server in its regime with every
+  // membership flag unchanged -- then only the key-ordered axis and the VM
+  // aggregate move, and the five bitsets plus the scalar tallies can stay
+  // untouched.  Both paths leave every structure bit-identical to the full
+  // unfile+file below.
+  if (fresh == cur) return;
+  Slot masked = fresh;
+  masked.key = cur.key;
+  masked.load = cur.load;
+  masked.vm_count = cur.vm_count;
+  if (masked == cur) {
+    if (fresh.regime >= 0 && fresh.key != cur.key) {
+      auto& keys = by_key_[fresh.regime];
+      keys.erase({cur.key, id});
+      keys.insert({fresh.key, id});
+    }
+    total_vms_ += fresh.vm_count;
+    total_vms_ -= cur.vm_count;
+    cur = fresh;
+    return;
+  }
+  unfile_slot(id, cur);
   file_slot(id, fresh);
-  slots_[i] = fresh;
+  cur = fresh;
+}
+
+void RegimeIndex::refresh_changed() {
+  if (servers_.empty()) return;
+  // One vectorized sweep re-derives every server's regime from the shared
+  // state-table columns; the per-slot compare below then refiles only the
+  // servers whose classification actually moved (the regime-delta list).
+  // Cluster fleets share one table with slot == id; a mixed fleet of
+  // standalone servers (unit tests) skips the batch pass and classifies
+  // row-by-row, which reads the identical columns.
+  const server::ServerStateTable& table = servers_.front().state_table();
+  const bool shared = table.size() == servers_.size();
+  if (shared) {
+    batch_scratch_.resize(table.size());
+    energy::classify_regimes(table.loads(), table.capacities(),
+                             table.alpha_sopt_lows(), table.alpha_opt_lows(),
+                             table.alpha_opt_highs(), table.alpha_sopt_highs(),
+                             batch_scratch_);
+  }
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    Slot fresh = classify(servers_[i]);
+    if (shared) {
+      const server::ServerSlot slot = servers_[i].slot();
+      ECLB_ASSERT(batch_scratch_[slot] == table.classified(slot),
+                  "refresh_changed: batch pass disagrees with classified column");
+      fresh.regime = fresh.awake ? batch_scratch_[slot]
+                                 : server::ServerStateTable::kNone;
+    }
+    if (fresh == slots_[i]) continue;
+    const auto id = static_cast<std::uint32_t>(i);
+    unfile_slot(id, slots_[i]);
+    file_slot(id, fresh);
+    slots_[i] = fresh;
+  }
+}
+
+std::size_t RegimeIndex::memory_bytes() const {
+  std::size_t bytes = counting_.live_bytes();
+  for (const auto& b : by_key_) bytes += b.memory_bytes();
+  for (const auto& b : by_id_) bytes += b.memory_bytes();
+  for (const auto& b : sleepers_) bytes += b.memory_bytes();
+  bytes += above_center_.memory_bytes() + awake_empty_.memory_bytes();
+  bytes += slots_.capacity() * sizeof(Slot);
+  bytes += batch_scratch_.capacity();
+  return bytes;
 }
 
 energy::RegimeHistogram RegimeIndex::regime_histogram() const {
   energy::RegimeHistogram hist{};
   for (std::size_t r = 0; r < energy::kRegimeCount; ++r) {
-    hist[r] = by_id_[r].size();
+    hist[r] = by_id_[r].count();
   }
   return hist;
 }
@@ -153,10 +222,19 @@ std::optional<common::ServerId> RegimeIndex::search(
   // candidate (by key distance) is rescored with the exact legacy
   // expression; the search stops once every remaining candidate is provably
   // worse than the best exact score found.
+  // Each cursor keeps its two frontier candidates (key and id) materialized:
+  // the pick loop below runs once per candidate examined and compares plain
+  // doubles, touching the container only when a frontier advances.
   struct Cursor {
-    const std::set<LoadKey>* keys;
-    std::set<LoadKey>::const_iterator up;
-    std::set<LoadKey>::const_iterator down_pos;
+    const KeySet* keys;
+    KeySet::const_iterator up;    ///< At the next upward candidate.
+    KeySet::const_iterator down;  ///< At the next downward candidate.
+    double up_key;
+    double down_key;
+    std::uint32_t up_id;
+    std::uint32_t down_id;
+    bool has_up;
+    bool has_down;
     double hi_cutoff;
     int regime_idx;
   };
@@ -169,7 +247,18 @@ std::optional<common::ServerId> RegimeIndex::search(
     auto& c = cursors[n_cursors++];
     c.keys = &keys;
     c.up = keys.lower_bound(LoadKey{pivot, 0});
-    c.down_pos = c.up;
+    c.has_up = c.up != keys.end();
+    if (c.has_up) {
+      c.up_key = c.up->first;
+      c.up_id = c.up->second;
+    }
+    c.down = c.up;
+    c.has_down = c.down != keys.begin();
+    if (c.has_down) {
+      --c.down;
+      c.down_key = c.down->first;
+      c.down_id = c.down->second;
+    }
     c.hi_cutoff = b.hi_cutoff;
     c.regime_idx = b.regime_idx;
   }
@@ -182,19 +271,19 @@ std::optional<common::ServerId> RegimeIndex::search(
     bool pick_up = false;
     for (std::size_t i = 0; i < n_cursors; ++i) {
       auto& c = cursors[i];
-      if (c.up != c.keys->end()) {
-        const double d = c.up->first + demand;
+      if (c.has_up) {
+        const double d = c.up_key + demand;
         if (d > c.hi_cutoff) {
           // Keys only grow upward; nothing beyond the cutoff is admissible.
-          c.up = c.keys->end();
+          c.has_up = false;
         } else if (d < min_dist) {
           min_dist = d;
           pick = &c;
           pick_up = true;
         }
       }
-      if (c.down_pos != c.keys->begin()) {
-        const double d = -(std::prev(c.down_pos)->first + demand);
+      if (c.has_down) {
+        const double d = -(c.down_key + demand);
         if (d < min_dist) {
           min_dist = d;
           pick = &c;
@@ -206,11 +295,22 @@ std::optional<common::ServerId> RegimeIndex::search(
     if (best_id != kNoId && min_dist > best_score + kSlop) break;
     std::uint32_t id = 0;
     if (pick_up) {
-      id = pick->up->second;
+      id = pick->up_id;
       ++pick->up;
+      pick->has_up = pick->up != pick->keys->end();
+      if (pick->has_up) {
+        pick->up_key = pick->up->first;
+        pick->up_id = pick->up->second;
+      }
     } else {
-      --pick->down_pos;
-      id = pick->down_pos->second;
+      id = pick->down_id;
+      if (pick->down == pick->keys->begin()) {
+        pick->has_down = false;
+      } else {
+        --pick->down;
+        pick->down_key = pick->down->first;
+        pick->down_id = pick->down->second;
+      }
     }
     if (id == exclude.value) continue;
     const std::optional<double> score = admit(servers_[id], pick->regime_idx);
@@ -313,7 +413,9 @@ std::optional<common::ServerId> RegimeIndex::pick_wake_candidate() const {
   // Legacy scan keeps the first (lowest-id) server with the shallowest
   // settled sleep state; depth buckets in id order reproduce that directly.
   for (const auto& depth : sleepers_) {
-    if (!depth.empty()) return common::ServerId{*depth.begin()};
+    if (const auto first = depth.first(); first.has_value()) {
+      return common::ServerId{static_cast<std::uint32_t>(*first)};
+    }
   }
   return std::nullopt;
 }
@@ -344,11 +446,7 @@ std::optional<std::string> RegimeIndex::self_check() const {
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     const Slot& a = slots_[i];
     const Slot& b = fresh.slots_[i];
-    if (a.key != b.key || a.load != b.load || a.vm_count != b.vm_count ||
-        a.regime != b.regime || a.sleeper != b.sleeper ||
-        a.effective != b.effective || a.awake != b.awake ||
-        a.sleeping != b.sleeping || a.above_center != b.above_center ||
-        a.awake_empty != b.awake_empty || a.reporter != b.reporter) {
+    if (a != b) {
       err << "slot " << i << " stale (regime " << int(a.regime) << " vs "
           << int(b.regime) << ", load " << a.load << " vs " << b.load << ")";
       return err.str();

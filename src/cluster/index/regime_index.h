@@ -31,17 +31,27 @@
 //      their original visit-time condition checks, so mid-pass mutations
 //      (a donor shedding out of its regime) resolve identically to the
 //      legacy scan-and-test loop.
+//
+// Storage (this PR): the id-ordered membership sets are dense bitsets over
+// the slot universe (one word write per refile, word-scan cursors), and the
+// load-keyed search axes are bucketed sorted vectors (KeyBucketSet) whose
+// storage comes from a pooled arena with a counting upstream -- refiling a
+// server is a short memmove in a small bucket instead of two red-black tree
+// walks, and the index can report its exact heap footprint (memory_bytes).
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory_resource>
 #include <optional>
-#include <set>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "cluster/index/key_bucket_set.h"
+#include "common/arena.h"
+#include "common/dense_bitset.h"
 #include "common/types.h"
 #include "energy/cstates.h"
 #include "energy/regimes.h"
@@ -63,6 +73,18 @@ class RegimeIndex final : public server::ServerStateListener {
 
   /// Rebuilds everything from scratch (constructor body; test hook).
   void rebuild();
+
+  /// Delta refresh: batch-reclassifies the fleet from the state table's
+  /// columns (energy/regime_batch) and refiles only the servers whose
+  /// classification changed.  End state identical to rebuild(), but bulk
+  /// transitions that touch a fraction of the fleet (partition heal,
+  /// membership reconciliation) cost O(changed) refiles instead of
+  /// O(N log N) reconstruction.
+  void refresh_changed();
+
+  /// Exact heap bytes held by the index (bitsets, slot mirror, and the
+  /// arena feeding the key-ordered search trees).
+  [[nodiscard]] std::size_t memory_bytes() const;
 
   // --- aggregates (all O(1)) ----------------------------------------------
 
@@ -146,10 +168,14 @@ class RegimeIndex final : public server::ServerStateListener {
     bool above_center{false};
     bool awake_empty{false};
     bool reporter{false};     ///< Counts toward the regime-report fan-in.
+
+    friend bool operator==(const Slot&, const Slot&) = default;
   };
 
   /// (key, id) pairs; the id disambiguates equal keys.
   using LoadKey = std::pair<double, std::uint32_t>;
+  /// Key-ordered search axis: bucketed sorted vectors over the arena.
+  using KeySet = KeyBucketSet;
 
   /// One bucket in a placement search: which regime, and the largest key
   /// distance any admissible candidate can have (beyond it the upward scan
@@ -175,13 +201,23 @@ class RegimeIndex final : public server::ServerStateListener {
 
   std::span<const server::Server> servers_;
   std::vector<Slot> slots_;
+  /// Scratch for refresh_changed's batch classification pass.
+  std::vector<std::int8_t> batch_scratch_;
 
-  std::array<std::set<LoadKey>, energy::kRegimeCount> by_key_;
-  std::array<std::set<std::uint32_t>, energy::kRegimeCount> by_id_;
+  /// Arena for the key sets: the pool recycles bucket storage across
+  /// refiles, the counting upstream makes memory_bytes() exact.  Declared
+  /// before the sets (construction order) and destroyed after them.
+  common::CountingMemoryResource counting_;
+  std::pmr::unsynchronized_pool_resource pool_{&counting_};
+
+  std::array<KeySet, energy::kRegimeCount> by_key_{
+      KeySet{&pool_}, KeySet{&pool_}, KeySet{&pool_}, KeySet{&pool_},
+      KeySet{&pool_}};
+  std::array<common::DenseBitset, energy::kRegimeCount> by_id_;
   /// Settled sleepers by depth: [0]=C1, [1]=C3, [2]=C6.
-  std::array<std::set<std::uint32_t>, 3> sleepers_;
-  std::set<std::uint32_t> above_center_;
-  std::set<std::uint32_t> awake_empty_;
+  std::array<common::DenseBitset, 3> sleepers_;
+  common::DenseBitset above_center_;
+  common::DenseBitset awake_empty_;
 
   std::size_t total_vms_{0};
   std::size_t sleeping_{0};

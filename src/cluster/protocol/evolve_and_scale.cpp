@@ -1,5 +1,5 @@
 #include <algorithm>
-#include <vector>
+#include <cstddef>
 
 #include "cluster/config.h"
 #include "cluster/protocol/actions.h"
@@ -15,34 +15,50 @@ constexpr double kEps = 1e-9;
 void EvolveAndScale::run(ClusterView& view) {
   const ClusterConfig& config = view.config();
   common::Rng& rng = view.rng();
-  const common::Seconds now = view.now();
 
-  // Iterate by server index and take a VM-id snapshot per server: horizontal
-  // scaling may add VMs to other servers (and to later indices of this
-  // loop), which must not be re-evolved this interval.
-  for (auto& s : view.servers()) {
-    if (!s.awake(now)) continue;
-    std::vector<common::VmId> ids;
-    ids.reserve(s.vm_count());
-    for (const auto& v : s.vms()) ids.push_back(v.id());
+  // Iterate by server index over each server's roster as it stood when the
+  // server's own pass began: horizontal scaling may add VMs to *other*
+  // servers (and to later indices of this loop), which must not be
+  // re-evolved this interval.  The donor's own roster cannot change during
+  // its pass -- every placement primitive excludes the requester, demand
+  // resizes act in place, and nothing migrates VMs here -- so bounding the
+  // walk at the initial count visits exactly the VM ids the legacy snapshot
+  // captured, in the same order, without materializing them.  The hot part
+  // of the pass (one bernoulli draw per hosted VM) then touches no VM
+  // records at all; a record is loaded only for the few draws that hit.
+  //
+  // The awake/vm-count gates read the state table's columns live at visit
+  // time, exactly like the legacy per-server accessor checks; a skipped
+  // server (asleep, or hosting nothing) draws no randomness in either
+  // formulation, so the RNG stream is unchanged.
+  const std::span<server::Server> servers = view.servers();
+  const server::ServerStateTable& state = view.state();
+  const std::span<const std::uint8_t> awake_col = state.awake_flags();
+  const std::span<const std::uint32_t> vm_count_col = state.vm_counts();
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    if (awake_col[i] == 0 || vm_count_col[i] == 0) continue;
+    server::Server& s = servers[i];
+    const std::size_t roster = s.vm_count();
 
-    for (const auto vm_id : ids) {
+    for (std::size_t j = 0; j < roster; ++j) {
       if (!rng.bernoulli(config.demand_change_probability)) continue;
-      const vm::Vm* v = s.find(vm_id);
-      if (v == nullptr) continue;  // migrated away by an earlier decision
+      ECLB_ASSERT(s.vm_count() == roster,
+                  "evolve: roster changed under the index walk");
+      const vm::Vm& v = s.vms()[j];
+      const common::VmId vm_id = v.id();
       const vm::DemandGrowthSpec* g = view.growth_of(vm_id);
       ECLB_ASSERT(g != nullptr, "evolve: VM without growth spec");
       const double step_size = rng.uniform(-g->max_shrink, g->lambda);
       const double requested =
-          std::clamp(v->demand() + step_size, g->min_demand, g->max_demand);
+          std::clamp(v.demand() + step_size, g->min_demand, g->max_demand);
 
-      if (requested <= v->demand() + kEps) {
+      if (requested <= v.demand() + kEps) {
         // Shrinking (or unchanged) always succeeds locally and is free.
         (void)s.force_demand(vm_id, requested);
         continue;
       }
 
-      const double delta = requested - v->demand();
+      const double delta = requested - v.demand();
       // Vertical scaling: grant if the server stays out of the
       // undesirable-high region (the energy-aware admission rule).
       const bool fits_capacity = s.load() + delta <= s.capacity() + kEps;
@@ -58,8 +74,8 @@ void EvolveAndScale::run(ClusterView& view) {
       // server picked by the configured placement policy.
       const auto target_id = view.pick_horizontal_target(delta, s.id());
       if (target_id.has_value()) {
-        view.spawn_remote(*target_id, s.find(vm_id)->app(), delta);
-      } else if (view.try_offload(s.find(vm_id)->app(), delta, s.id())) {
+        view.spawn_remote(*target_id, v.app(), delta);
+      } else if (view.try_offload(v.app(), delta, s.id())) {
         // A sibling cluster took the increment (multi-cluster cloud).
       } else {
         // No capacity anywhere: ask the leader to wake a sleeper and record

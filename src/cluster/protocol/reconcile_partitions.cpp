@@ -86,7 +86,7 @@ void Cluster::reconcile_partitions() {
       auto& host = server_ref(shadow_host->id());
       auto removed = host.remove(entry.shadow);
       ECLB_ASSERT(removed.has_value(), "reconcile: ledger shadow vanished");
-      growth_.erase(entry.shadow);
+      retire_growth(entry.shadow);
       recorder_.duplicate_resolved(host.id());
       ++duplicates;
       continue;
@@ -125,8 +125,9 @@ void Cluster::reconcile_partitions() {
       config_.costs.energy_per_message * static_cast<double>(live);
 
   // 5. The index bypassed its buckets while partitioned (side-filtered
-  // legacy scans); rebuild so the next round is scan-free again.
-  if (index_ != nullptr) index_->rebuild();
+  // legacy scans); a batch reclassification sweep refiles only the servers
+  // the partition actually moved, and the next round is scan-free again.
+  if (index_ != nullptr) index_->refresh_changed();
 
   const common::Seconds convergence = when - heal_time_;
   recorder_.reconciled(convergence, new_leader);

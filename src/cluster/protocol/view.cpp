@@ -44,6 +44,10 @@ class PlacementPhase {
 
 std::span<server::Server> ClusterView::servers() { return cluster_.servers_; }
 
+const server::ServerStateTable& ClusterView::state() const {
+  return cluster_.state_;
+}
+
 server::Server& ClusterView::server(common::ServerId id) {
   return cluster_.server_ref(id);
 }

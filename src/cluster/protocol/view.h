@@ -44,6 +44,9 @@ class ClusterView {
 
   /// Live server array (mutable: actions resize demand and move VMs).
   [[nodiscard]] std::span<server::Server> servers();
+  /// The cluster's SoA state table (slot == id index): live column views
+  /// for fleet-wide scans that do not need the Server objects.
+  [[nodiscard]] const server::ServerStateTable& state() const;
   /// Server lookup by id (asserts on bad ids).
   [[nodiscard]] server::Server& server(common::ServerId id);
   /// The cluster's configuration.

@@ -1,0 +1,125 @@
+// A fixed-universe bitset with population count and ordered iteration.
+//
+// The regime index keeps many id-ordered membership sets over the dense
+// server-slot universe [0, N).  std::set<uint32_t> costs a heap node and a
+// tree rebalance per insert/erase and a pointer chase per cursor step; over
+// a dense universe a bitmap does the same job with one word write and a
+// find-first-set scan, and the whole structure lives in (N / 8) contiguous
+// bytes.  Membership mutation is O(1), the ordered cursor is O(N / 64) worst
+// case (typically one or two word reads), and equality is a word-wise
+// compare -- which is exactly the shape the index's self_check audit needs.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace eclb::common {
+
+/// An ordered set of integers drawn from the fixed universe [0, size()).
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(std::size_t universe) { resize(universe); }
+
+  /// Resets to an empty set over [0, universe).
+  void resize(std::size_t universe) {
+    universe_ = universe;
+    words_.assign((universe + kBits - 1) / kBits, 0);
+    count_ = 0;
+  }
+
+  /// Removes every member; the universe is unchanged.
+  void clear() {
+    words_.assign(words_.size(), 0);
+    count_ = 0;
+  }
+
+  [[nodiscard]] std::size_t universe() const { return universe_; }
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  [[nodiscard]] bool contains(std::size_t i) const {
+    return (words_[i / kBits] >> (i % kBits)) & 1u;
+  }
+
+  void insert(std::size_t i) {
+    std::uint64_t& w = words_[i / kBits];
+    const std::uint64_t bit = std::uint64_t{1} << (i % kBits);
+    count_ += static_cast<std::size_t>((w & bit) == 0);
+    w |= bit;
+  }
+
+  void erase(std::size_t i) {
+    std::uint64_t& w = words_[i / kBits];
+    const std::uint64_t bit = std::uint64_t{1} << (i % kBits);
+    count_ -= static_cast<std::size_t>((w & bit) != 0);
+    w &= ~bit;
+  }
+
+  /// Smallest member, nullopt when empty.
+  [[nodiscard]] std::optional<std::size_t> first() const {
+    return scan_from(0);
+  }
+
+  /// Smallest member strictly greater than `i`, nullopt when exhausted.
+  [[nodiscard]] std::optional<std::size_t> next_after(std::size_t i) const {
+    return scan_from(i + 1);
+  }
+
+  /// Largest member, nullopt when empty.
+  [[nodiscard]] std::optional<std::size_t> last() const {
+    return universe_ == 0 ? std::nullopt : scan_back_from(universe_ - 1);
+  }
+
+  /// Largest member strictly smaller than `i`, nullopt when exhausted.
+  [[nodiscard]] std::optional<std::size_t> prev_before(std::size_t i) const {
+    return i == 0 ? std::nullopt : scan_back_from(i - 1);
+  }
+
+  /// Heap bytes held (arena accounting).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
+  friend bool operator==(const DenseBitset& a, const DenseBitset& b) {
+    return a.universe_ == b.universe_ && a.words_ == b.words_;
+  }
+
+ private:
+  static constexpr std::size_t kBits = 64;
+
+  [[nodiscard]] std::optional<std::size_t> scan_from(std::size_t i) const {
+    if (i >= universe_) return std::nullopt;
+    std::size_t w = i / kBits;
+    std::uint64_t word = words_[w] & (~std::uint64_t{0} << (i % kBits));
+    while (word == 0) {
+      if (++w == words_.size()) return std::nullopt;
+      word = words_[w];
+    }
+    return w * kBits + static_cast<std::size_t>(std::countr_zero(word));
+  }
+
+  /// Largest member <= i, nullopt when none.
+  [[nodiscard]] std::optional<std::size_t> scan_back_from(std::size_t i) const {
+    if (universe_ == 0) return std::nullopt;
+    if (i >= universe_) i = universe_ - 1;
+    std::size_t w = i / kBits;
+    std::uint64_t word =
+        words_[w] & (~std::uint64_t{0} >> (kBits - 1 - i % kBits));
+    while (word == 0) {
+      if (w == 0) return std::nullopt;
+      word = words_[--w];
+    }
+    return w * kBits + (kBits - 1) -
+           static_cast<std::size_t>(std::countl_zero(word));
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t universe_{0};
+  std::size_t count_{0};
+};
+
+}  // namespace eclb::common

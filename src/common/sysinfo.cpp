@@ -1,0 +1,60 @@
+#include "common/sysinfo.h"
+
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
+
+#if defined(__linux__)
+#include <fstream>
+#include <sstream>
+#endif
+
+namespace eclb::common {
+
+SysInfo query_sysinfo() {
+  SysInfo info;
+  info.os = "unknown";
+  info.release = "unknown";
+  info.machine = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+  utsname u{};
+  if (uname(&u) == 0) {
+    info.os = u.sysname;
+    info.release = u.release;
+    info.machine = u.machine;
+  }
+#endif
+#if defined(__VERSION__)
+  info.compiler = __VERSION__;
+#else
+  info.compiler = "unknown";
+#endif
+  info.cpus = std::thread::hardware_concurrency();
+#if defined(NDEBUG)
+  info.assertions = false;
+#else
+  info.assertions = true;
+#endif
+  return info;
+}
+
+std::size_t peak_rss_bytes() {
+#if defined(__linux__)
+  // VmHWM in /proc/self/status is the peak resident set in kB.
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      std::size_t kb = 0;
+      fields >> kb;
+      return kb * 1024;
+    }
+  }
+#endif
+  return 0;
+}
+
+}  // namespace eclb::common

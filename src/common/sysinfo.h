@@ -1,0 +1,32 @@
+// Host and build metadata for benchmark provenance.
+//
+// Perf numbers without the machine and compiler that produced them are not
+// comparable across runs; BENCH_perf.json embeds this block so a regression
+// flagged by CI can be traced to a toolchain or host change rather than a
+// code change.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace eclb::common {
+
+/// Static facts about the host and the binary's build.
+struct SysInfo {
+  std::string os;        ///< kernel name, e.g. "Linux".
+  std::string release;   ///< kernel release string.
+  std::string machine;   ///< hardware identifier, e.g. "x86_64".
+  std::string compiler;  ///< compiler version string (__VERSION__).
+  std::size_t cpus{0};   ///< online hardware threads.
+  bool assertions{false};  ///< true when built without NDEBUG.
+};
+
+/// Collects the current host/build facts.  Never fails; unknown fields come
+/// back as "unknown" / 0.
+[[nodiscard]] SysInfo query_sysinfo();
+
+/// Peak resident set size of this process in bytes (VmHWM), or 0 when the
+/// platform does not expose it.
+[[nodiscard]] std::size_t peak_rss_bytes();
+
+}  // namespace eclb::common

@@ -36,10 +36,43 @@ common::Joules wake_energy(const CStateSpec& s, common::Watts peak) {
   return (peak * s.wake_power_fraction) * s.wake_latency;
 }
 
-CStateMachine::CStateMachine() : table_(default_cstate_table()) {}
+namespace {
+
+bool specs_equal(const CStateSpec& a, const CStateSpec& b) {
+  return a.state == b.state && a.hold_power_fraction == b.hold_power_fraction &&
+         a.entry_latency.value == b.entry_latency.value &&
+         a.wake_latency.value == b.wake_latency.value &&
+         a.wake_power_fraction == b.wake_power_fraction;
+}
+
+/// Shared instance of the default table; the fleet-wide common case.
+std::shared_ptr<const std::array<CStateSpec, kCStateCount>> shared_default_table() {
+  static const auto kShared =
+      std::make_shared<const std::array<CStateSpec, kCStateCount>>(
+          default_cstate_table());
+  return kShared;
+}
+
+std::shared_ptr<const std::array<CStateSpec, kCStateCount>> intern_table(
+    const std::array<CStateSpec, kCStateCount>& table) {
+  const auto& def = default_cstate_table();
+  bool is_default = true;
+  for (std::size_t i = 0; i < kCStateCount; ++i) {
+    if (!specs_equal(table[i], def[i])) {
+      is_default = false;
+      break;
+    }
+  }
+  if (is_default) return shared_default_table();
+  return std::make_shared<const std::array<CStateSpec, kCStateCount>>(table);
+}
+
+}  // namespace
+
+CStateMachine::CStateMachine() : table_(shared_default_table()) {}
 
 CStateMachine::CStateMachine(std::array<CStateSpec, kCStateCount> table)
-    : table_(table) {}
+    : table_(intern_table(table)) {}
 
 std::optional<CState> CStateMachine::transition_target() const {
   return target_;
@@ -54,7 +87,7 @@ common::Seconds CStateMachine::begin_transition(CState target, common::Seconds n
   settle(now);
   ECLB_ASSERT(target != state_, "CStateMachine: already in target state");
   const CStateSpec& spec =
-      target == CState::kC0 ? spec_for(table_, state_) : spec_for(table_, target);
+      target == CState::kC0 ? spec_for(*table_, state_) : spec_for(*table_, target);
   const common::Seconds latency =
       target == CState::kC0 ? spec.wake_latency : spec.entry_latency;
   target_ = target;
@@ -69,20 +102,26 @@ void CStateMachine::settle(common::Seconds now) {
   }
 }
 
+void CStateMachine::reset() {
+  state_ = CState::kC0;
+  target_.reset();
+  transition_end_ = common::Seconds{};
+}
+
 std::optional<double> CStateMachine::power_fraction(common::Seconds now) const {
   if (target_.has_value() && now < transition_end_) {
     if (*target_ == CState::kC0) {
       // Waking: near-peak draw per [9].
-      return spec_for(table_, state_).wake_power_fraction;
+      return spec_for(*table_, state_).wake_power_fraction;
     }
     // Entering sleep: still burning roughly the source state's power.
     return state_ == CState::kC0 ? std::optional<double>{}
-                                 : std::optional<double>{spec_for(table_, state_).hold_power_fraction};
+                                 : std::optional<double>{spec_for(*table_, state_).hold_power_fraction};
   }
   // Settled (or end time passed but settle() not yet called; report target).
   const CState effective = target_.has_value() ? *target_ : state_;
   if (effective == CState::kC0) return std::nullopt;
-  return spec_for(table_, effective).hold_power_fraction;
+  return spec_for(*table_, effective).hold_power_fraction;
 }
 
 }  // namespace eclb::energy

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string_view>
 
@@ -81,6 +82,11 @@ class CStateMachine {
   /// Call with the current time before querying power.
   void settle(common::Seconds now);
 
+  /// Returns to settled C0 with no transition in flight, keeping the table
+  /// (power-cycle semantics: a crash or repair voids any in-flight
+  /// transition).
+  void reset();
+
   /// Instantaneous power fraction (of server peak) attributable to the
   /// C-state machinery at `now`: hold power when parked, transition power
   /// while moving.  In C0 this returns nullopt -- the load-dependent power
@@ -88,10 +94,13 @@ class CStateMachine {
   [[nodiscard]] std::optional<double> power_fraction(common::Seconds now) const;
 
   /// The spec table in use.
-  [[nodiscard]] const std::array<CStateSpec, kCStateCount>& table() const { return table_; }
+  [[nodiscard]] const std::array<CStateSpec, kCStateCount>& table() const { return *table_; }
 
  private:
-  std::array<CStateSpec, kCStateCount> table_;
+  /// Interned: the ~160-byte spec table is shared, not copied per machine.
+  /// Nearly every server uses the default table, so the common case is one
+  /// static instance for the whole fleet and a Server shrinks accordingly.
+  std::shared_ptr<const std::array<CStateSpec, kCStateCount>> table_;
   CState state_{CState::kC0};
   std::optional<CState> target_;
   common::Seconds transition_end_{};

@@ -1,0 +1,26 @@
+#include "energy/regime_batch.h"
+
+#include "common/assert.h"
+
+namespace eclb::energy {
+
+void classify_regimes(std::span<const double> load,
+                      std::span<const double> capacity,
+                      std::span<const double> alpha_sopt_low,
+                      std::span<const double> alpha_opt_low,
+                      std::span<const double> alpha_opt_high,
+                      std::span<const double> alpha_sopt_high,
+                      std::span<std::int8_t> out) {
+  const std::size_t n = load.size();
+  ECLB_ASSERT(capacity.size() == n && alpha_sopt_low.size() == n &&
+                  alpha_opt_low.size() == n && alpha_opt_high.size() == n &&
+                  alpha_sopt_high.size() == n && out.size() == n,
+              "classify_regimes: span length mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = classify_regime_branchless(load[i], capacity[i], alpha_sopt_low[i],
+                                        alpha_opt_low[i], alpha_opt_high[i],
+                                        alpha_sopt_high[i]);
+  }
+}
+
+}  // namespace eclb::energy

@@ -18,6 +18,7 @@
 #include "energy/energy_meter.h"
 #include "energy/power_model.h"
 #include "energy/regimes.h"
+#include "server/state_table.h"
 #include "vm/vm.h"
 
 namespace eclb::server {
@@ -50,10 +51,23 @@ struct ServerConfig {
 /// A server in the cluster.  Owns its hosted VMs; placement/eviction is
 /// orchestrated by the cluster leader but executed here so the invariants
 /// (capacity, energy accounting) live in one place.
+///
+/// Hot scalar state (load, capacity, wake/alive flags, regime) lives in a
+/// ServerStateTable row; this object keeps identity and ownership (VM list,
+/// power model, C-state machine, energy meter) and reads/writes its row
+/// through inline accessors.  Cluster-owned servers share the cluster's
+/// table (slot == id().index()); a standalone server owns a private
+/// single-slot table, so unit tests need no ceremony.
 class Server {
  public:
-  /// Constructs an awake, empty server.  `config.power_model` must be set.
+  /// Constructs an awake, empty server with its own single-slot state
+  /// table.  `config.power_model` must be set.
   Server(common::ServerId id, ServerConfig config);
+
+  /// Constructs an awake, empty server whose hot state lives in a row of
+  /// `table` (allocated here via add_slot; the table must outlive the
+  /// server).  Pass nullptr to fall back to a private table.
+  Server(common::ServerId id, ServerConfig config, ServerStateTable* table);
 
   // --- identity & static data ---------------------------------------------
 
@@ -61,23 +75,28 @@ class Server {
   [[nodiscard]] common::ServerId id() const { return id_; }
   /// Regime thresholds (alpha boundaries).
   [[nodiscard]] const energy::RegimeThresholds& thresholds() const {
-    return config_.thresholds;
+    return thresholds_;
   }
   /// Power curve.
   [[nodiscard]] const energy::PowerModel& power_model() const {
-    return *config_.power_model;
+    return *power_model_;
   }
   /// Reallocation interval tau_k.
   [[nodiscard]] common::Seconds reallocation_interval() const {
-    return config_.reallocation_interval;
+    return reallocation_interval_;
   }
+
+  /// The state table holding this server's hot fields.
+  [[nodiscard]] const ServerStateTable& state_table() const { return *table_; }
+  /// This server's row in the state table.
+  [[nodiscard]] ServerSlot slot() const { return slot_; }
 
   // --- load & regime -------------------------------------------------------
 
   /// Usable CPU capacity, normally 1.0.  A fault-layer derate lowers it
   /// (thermal throttling, a failed DIMM bank); placement and SLA accounting
   /// respect the lowered ceiling.
-  [[nodiscard]] double capacity() const { return capacity_; }
+  [[nodiscard]] double capacity() const { return table_->capacity(slot_); }
 
   /// Sets the usable capacity to `fraction` of nominal (in (0, 1]).
   void set_capacity(double fraction);
@@ -104,7 +123,7 @@ class Server {
 
   /// Regime the server *would* be in at hypothetical load `a`.
   [[nodiscard]] energy::Regime regime_at(double a) const {
-    return config_.thresholds.classify(a);
+    return thresholds_.classify(a);
   }
 
   // --- VM management -------------------------------------------------------
@@ -113,6 +132,10 @@ class Server {
   [[nodiscard]] std::span<const vm::Vm> vms() const { return vms_; }
   /// Number of hosted VMs (the paper's "number of applications").
   [[nodiscard]] std::size_t vm_count() const { return vms_.size(); }
+  /// Heap bytes held by the hosted-VM vector (memory accounting).
+  [[nodiscard]] std::size_t vm_storage_bytes() const {
+    return vms_.capacity() * sizeof(vm::Vm);
+  }
 
   /// Places a VM.  Fails (returns false, VM untouched) when the server is
   /// not awake or the VM's demand exceeds the remaining capacity.
@@ -146,7 +169,7 @@ class Server {
 
   /// True while crashed (fault layer).  A failed server is not awake, hosts
   /// no VMs, draws no power and rejects placements until repair().
-  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] bool failed() const { return !table_->alive(slot_); }
 
   /// Marks the server failed at `now` (power loss: energy integration stops,
   /// any in-flight C-state transition is voided).  The caller must orphan
@@ -208,6 +231,12 @@ class Server {
   /// load or state change, passing the current time.
   void update_energy(common::Seconds now);
 
+  /// Fast-path update_energy for a server with no transition pending: the
+  /// power level is then time-independent and pre-computed into the state
+  /// table's static_power column, so this skips the C-state machinery and
+  /// the virtual power-model call.  Bit-identical to update_energy(now).
+  void update_energy_static(common::Seconds now);
+
   /// Energy consumed since construction.
   [[nodiscard]] common::Joules energy_used() const { return meter_.total(); }
 
@@ -225,18 +254,31 @@ class Server {
 
  private:
   /// Invoked at the end of every mutator that changed observable state.
+  /// Syncs the derived state-table columns first, so listeners (and any
+  /// fleet-wide pass between mutations) see exact derived state.
   void notify_changed() {
+    sync_derived();
     if (listener_ != nullptr) listener_->server_state_changed(*this);
   }
 
+  /// Recomputes the derived columns of this server's table row (vm count,
+  /// wake/pending flags, C-states, regimes, sleep depth, static power).
+  void sync_derived();
+
+  /// Instantaneous power in watts assuming no transition is pending; the
+  /// value cached in the static_power column.
+  [[nodiscard]] double compute_static_power() const;
+
   common::ServerId id_;
-  ServerConfig config_;
+  energy::RegimeThresholds thresholds_;
+  std::shared_ptr<const energy::PowerModel> power_model_;
+  common::Seconds reallocation_interval_{};
   std::vector<vm::Vm> vms_;
-  /// Sum of hosted VM demands, maintained incrementally: load() is on the
-  /// hot path of every leader placement scan and must be O(1).
-  double cached_load_{0.0};
-  double capacity_{1.0};
-  bool failed_{false};
+  /// Set only for standalone servers (no shared table supplied); heap
+  /// allocation keeps the row's address stable across Server moves.
+  std::unique_ptr<ServerStateTable> own_table_;
+  ServerStateTable* table_{nullptr};
+  ServerSlot slot_{0};
   energy::CStateMachine cstates_;
   energy::EnergyMeter meter_;
   ServerStateListener* listener_{nullptr};

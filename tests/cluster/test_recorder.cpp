@@ -64,6 +64,30 @@ TEST(Recorder, FinishResetsCountersForNextInterval) {
   EXPECT_EQ(r.drains, 0U);
 }
 
+TEST(Recorder, IntervalEventsRetainedUntilFinish) {
+  // The arena-backed event buffer keeps this interval's typed events
+  // readable in order (observers replay them at round end), then finish()
+  // clears the rows but keeps the heap capacity for the next interval.
+  IntervalRecorder rec;
+  rec.begin_interval(2);
+  rec.local_decision(ServerId{0});
+  rec.migration(MigrationCause::kShed, ServerId{1});
+  rec.sla_violation(0.25, ServerId{2});
+  const auto events = rec.interval_events();
+  ASSERT_EQ(events.size(), 4U);  // migration books its in-cluster decision too
+  EXPECT_EQ(events[0].kind, ProtocolEvent::Kind::kDecision);
+  EXPECT_EQ(events[1].kind, ProtocolEvent::Kind::kMigration);
+  EXPECT_EQ(events[2].kind, ProtocolEvent::Kind::kDecision);
+  EXPECT_EQ(events[3].kind, ProtocolEvent::Kind::kSlaViolation);
+  for (const auto& e : events) EXPECT_EQ(e.interval, 2U);
+
+  const std::size_t bytes_before = rec.memory_bytes();
+  EXPECT_GT(bytes_before, 0U);
+  (void)rec.finish(FleetSnapshot{});
+  EXPECT_TRUE(rec.interval_events().empty());
+  EXPECT_EQ(rec.memory_bytes(), bytes_before);  // capacity retained
+}
+
 TEST(Recorder, EventsBetweenRoundsAccrueToNextInterval) {
   // Fault events can fire on the kernel between rounds (retry timers,
   // scheduled crashes).  begin_interval must NOT wipe them.

@@ -19,6 +19,7 @@
 #include "analytic/homogeneous_model.h"
 #include "common/csv.h"
 #include "common/flags.h"
+#include "common/sysinfo.h"
 #include "experiment/scenario.h"
 #include "fault/injector.h"
 #include "obs/observer.h"
@@ -40,11 +41,13 @@ int usage() {
       "commands:\n"
       "  cluster   --servers N --load 30|70 --intervals K --seed S [--tau SEC]\n"
       "            [--no-sleep] [--no-rebalance] [--legacy-scan] [--faults SPEC]\n"
-      "            [--trace DIR] [--metrics FILE] [--profile]\n"
+      "            [--trace DIR] [--metrics FILE] [--profile] [--mem-stats]\n"
       "            runs the energy-aware protocol, prints per-interval CSV;\n"
       "            --trace writes a JSONL protocol trace into DIR, --metrics\n"
       "            writes aggregated counters as JSON, --profile prints a\n"
-      "            wall-clock phase table to stderr; --faults injects a\n"
+      "            wall-clock phase table to stderr, --mem-stats prints peak\n"
+      "            RSS and the data-plane memory breakdown (state table,\n"
+      "            regime index, per-server bytes); --faults injects a\n"
       "            deterministic fault schedule, e.g.\n"
       "            \"leader@1200;loss@0:p=0.05;crash@600:s=3;seed=9\" or\n"
       "            \"part@600:g=0-49|50-99,heal=1800\"\n"
@@ -156,6 +159,20 @@ int cmd_cluster(common::Flags& flags) {
     return 2;
   }
   if (obs_cfg.profiler != nullptr) profiler.write(std::cerr);
+  if (flags.get_bool("mem-stats")) {
+    const auto m = cluster.memory_stats();
+    std::cerr << "memory: state table " << m.state_table_bytes
+              << " B, regime index " << m.index_bytes << " B, server objects "
+              << m.server_objects_bytes << " B, vm storage "
+              << m.vm_storage_bytes << " B, recorder " << m.recorder_bytes
+              << " B\n"
+              << "memory: total " << m.total_bytes << " B ("
+              << m.bytes_per_server << " B/server)";
+    if (const auto rss = common::peak_rss_bytes(); rss > 0) {
+      std::cerr << ", peak RSS " << rss << " B";
+    }
+    std::cerr << "\n";
+  }
   return 0;
 }
 
