@@ -3,18 +3,23 @@
 // Standalone harness (no external benchmark framework): sweeps the
 // per-interval cluster step across cluster sizes with the regime index
 // enabled and disabled (8 warmup intervals past the placement transient,
-// then the median of individually timed intervals), measures steady-state
+// then the median of individually timed intervals), times the sharded
+// fabric (10 x 100 anchor, 100 x 1000 = 1e5-server scale point) and
+// smoke-checks its thread-count determinism, measures steady-state
 // event-queue throughput with a global allocation counter, and emits the
 // results as BENCH_perf.json (schema "eclb-perf-2").  With --check <reference.json> it compares the
 // measured indexed-over-legacy speedups against the checked-in reference
-// and exits non-zero on a >2x regression, and gates the SoA data plane's
-// bytes-per-server footprint at 1.5x the recorded value -- the CI perf
-// smoke gate.
+// and exits non-zero on a >2x regression, gates the SoA data plane's
+// bytes-per-server footprint at 1.5x the recorded value, the fabric
+// overhead ratio at half the recorded figure and fabric determinism hard --
+// the CI perf smoke gate.
 //
 // Usage:
 //   perf_kernel [--ci] [--full] [--out BENCH_perf.json] [--check ref.json]
-//     --ci    small sizes only (100, 1000): fast enough for every CI run.
-//     --full  adds the legacy path at 100000 servers (minutes, local only).
+//     --ci    small sizes only (100, 1000 flat + 10 x 100 fabric): fast
+//             enough for every CI run.
+//     --full  adds the legacy path at 100000 servers and the 1e6-server
+//             fabric (minutes, local only).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -28,6 +33,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/fabric.h"
 #include "common/flags.h"
 #include "common/sysinfo.h"
 #include "experiment/scenario.h"
@@ -123,6 +129,74 @@ StepSample time_cluster_step(std::size_t servers, bool indexed) {
   return s;
 }
 
+// --- fabric step sweep ------------------------------------------------------
+
+struct FabricSample {
+  std::size_t shards{0};
+  std::size_t servers_per_shard{0};
+  std::size_t threads{0};
+  std::size_t intervals{0};
+  double ms_per_interval{0.0};
+};
+
+cluster::FabricConfig fabric_config(std::size_t shards,
+                                    std::size_t servers_per_shard,
+                                    std::size_t threads) {
+  cluster::FabricConfig cfg;
+  cfg.shard_count = shards;
+  cfg.threads = threads;
+  cfg.cluster_template = experiment::paper_cluster_config(
+      servers_per_shard, experiment::AverageLoad::kLow30, 42);
+  return cfg;
+}
+
+FabricSample time_fabric_step(std::size_t shards, std::size_t servers_per_shard,
+                              std::size_t threads) {
+  cluster::Fabric fabric(fabric_config(shards, servers_per_shard, threads));
+  // Same warmup + median-of-laps discipline as time_cluster_step, budgeted
+  // on total fabric servers.
+  constexpr std::size_t kWarmupIntervals = 8;
+  for (std::size_t i = 0; i < kWarmupIntervals; ++i) fabric.step();
+  const std::size_t k = intervals_for(shards * servers_per_shard);
+  std::vector<double> laps(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto start = Clock::now();
+    fabric.step();
+    laps[i] = seconds_since(start);
+  }
+  std::sort(laps.begin(), laps.end());
+  const double median = (k % 2 != 0)
+                            ? laps[k / 2]
+                            : 0.5 * (laps[k / 2 - 1] + laps[k / 2]);
+  FabricSample s;
+  s.shards = shards;
+  s.servers_per_shard = servers_per_shard;
+  s.threads = threads;
+  s.intervals = k;
+  s.ms_per_interval = 1e3 * median;
+  return s;
+}
+
+/// The barrier protocol's promise, smoke-checked on every perf run: the same
+/// fabric seed replayed at 1 and 2 worker threads produces bit-identical
+/// per-interval digests and final state.
+bool fabric_determinism_ok() {
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kServers = 50;
+  constexpr std::size_t kSteps = 6;
+  std::vector<std::uint64_t> runs[2];
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    cluster::Fabric fabric(fabric_config(kShards, kServers, threads));
+    auto& digests = runs[threads - 1];
+    digests.reserve(kSteps + 1);
+    for (std::size_t i = 0; i < kSteps; ++i) {
+      digests.push_back(cluster::fabric_report_digest(fabric.step()));
+    }
+    digests.push_back(fabric.state_digest());
+  }
+  return runs[0] == runs[1];
+}
+
 // --- event-queue benchmark --------------------------------------------------
 
 struct QueueSample {
@@ -180,8 +254,29 @@ std::optional<double> bytes_per_server_1000(
   return std::nullopt;
 }
 
+/// Fabric-over-flat ratio at the canonical 1000-server size: the flat
+/// indexed 1000-server step time over the 10 x 100 fabric step time (same
+/// total servers, 1 worker thread).  Present in both --ci and full runs and
+/// gated as a ratio so the figure survives CI runners of any speed; a
+/// collapse toward zero means the fabric layer's per-interval overhead
+/// (mailboxes, ledger, barrier) has blown up relative to the work it wraps.
+std::optional<double> fabric_efficiency_1000(
+    const std::vector<StepSample>& steps,
+    const std::vector<FabricSample>& fabrics) {
+  for (const auto& f : fabrics) {
+    if (f.shards != 10 || f.servers_per_shard != 100 || f.threads != 1) continue;
+    for (const auto& s : steps) {
+      if (s.indexed && s.servers == 1000) {
+        return s.ms_per_interval / f.ms_per_interval;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 std::string json_report(const std::vector<StepSample>& steps,
-                        const QueueSample& queue) {
+                        const std::vector<FabricSample>& fabrics,
+                        bool determinism_ok, const QueueSample& queue) {
   const common::SysInfo sys = common::query_sysinfo();
   std::ostringstream out;
   out.precision(6);
@@ -199,7 +294,22 @@ std::string json_report(const std::vector<StepSample>& steps,
         << ", \"bytes_per_server\": " << s.bytes_per_server << "}"
         << (i + 1 < steps.size() ? "," : "") << "\n";
   }
-  out << "  ],\n";
+  out << "  ],\n  \"fabric_step\": [\n";
+  for (std::size_t i = 0; i < fabrics.size(); ++i) {
+    const auto& f = fabrics[i];
+    out << "    {\"shards\": " << f.shards << ", \"servers_per_shard\": "
+        << f.servers_per_shard << ", \"total_servers\": "
+        << f.shards * f.servers_per_shard << ", \"threads\": " << f.threads
+        << ", \"intervals\": " << f.intervals << ", \"ms_per_interval\": "
+        << f.ms_per_interval << "}" << (i + 1 < fabrics.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ],\n  \"fabric_determinism\": "
+      << (determinism_ok ? "true" : "false") << ",\n";
+  if (const auto eff = fabric_efficiency_1000(steps, fabrics);
+      eff.has_value()) {
+    out << "  \"fabric_efficiency_1000\": " << *eff << ",\n";
+  }
   if (const auto bps = bytes_per_server_1000(steps); bps.has_value()) {
     out << "  \"bytes_per_server_1000\": " << *bps << ",\n";
   }
@@ -234,7 +344,8 @@ std::optional<double> json_number(const std::string& text,
 
 int check_against_reference(const std::string& ref_path,
                             const std::vector<StepSample>& steps,
-                            const QueueSample& queue) {
+                            const std::vector<FabricSample>& fabrics,
+                            bool determinism_ok, const QueueSample& queue) {
   std::ifstream in(ref_path);
   if (!in) {
     std::fprintf(stderr, "cannot read reference %s\n", ref_path.c_str());
@@ -284,6 +395,33 @@ int check_against_reference(const std::string& ref_path,
     } else {
       std::printf("ok: bytes/server at 1000 servers %.0f (reference %.0f)\n",
                   *measured_bps, *ref_bps);
+    }
+  }
+
+  // Fabric gates: the barrier protocol must replay bit-identically across
+  // thread counts (hard fail, no reference needed), and the fabric layer's
+  // per-interval overhead at the canonical 1000-server size must stay
+  // within 2x of the recorded flat-over-fabric ratio.
+  if (!determinism_ok) {
+    std::fprintf(stderr,
+                 "FAIL: fabric replay diverged between 1 and 2 threads\n");
+    ++failures;
+  } else {
+    std::printf("ok: fabric replay bit-identical at 1 vs 2 threads\n");
+  }
+  const auto ref_eff = json_number(ref, "fabric_efficiency_1000");
+  const auto measured_eff = fabric_efficiency_1000(steps, fabrics);
+  if (ref_eff.has_value() && measured_eff.has_value()) {
+    const double gate = *ref_eff / 2.0;
+    if (*measured_eff < gate) {
+      std::fprintf(stderr,
+                   "FAIL: fabric efficiency at 1000 servers regressed: "
+                   "measured %.2f, reference %.2f (gate %.2f)\n",
+                   *measured_eff, *ref_eff, gate);
+      ++failures;
+    } else {
+      std::printf("ok: fabric efficiency at 1000 servers %.2f (reference %.2f)\n",
+                  *measured_eff, *ref_eff);
     }
   }
 
@@ -340,20 +478,47 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fabric sweep: 10 x 100 at 1 thread anchors the efficiency gate in every
+  // run; the larger fabrics are the scale figures this tier exists for.
+  std::vector<FabricSample> fabrics;
+  std::printf("fabric step: 10 x 100 servers, 1 thread...\n");
+  std::fflush(stdout);
+  fabrics.push_back(time_fabric_step(10, 100, 1));
+  std::printf("  %.3f ms/interval\n", fabrics.back().ms_per_interval);
+  if (!ci) {
+    // The fabric's scale point: 1e5 servers as 100 shards, stepped on
+    // hardware threads (0 = hardware concurrency).
+    std::printf("fabric step: 100 x 1000 servers, hardware threads...\n");
+    std::fflush(stdout);
+    fabrics.push_back(time_fabric_step(100, 1000, 0));
+    std::printf("  %.3f ms/interval\n", fabrics.back().ms_per_interval);
+    if (full) {
+      std::printf("fabric step: 1000 x 1000 servers, hardware threads...\n");
+      std::fflush(stdout);
+      fabrics.push_back(time_fabric_step(1000, 1000, 0));
+      std::printf("  %.3f ms/interval\n", fabrics.back().ms_per_interval);
+    }
+  }
+  std::printf("fabric determinism: 1 vs 2 threads...\n");
+  std::fflush(stdout);
+  const bool determinism_ok = fabric_determinism_ok();
+  std::printf("  %s\n", determinism_ok ? "bit-identical" : "DIVERGED");
+
   std::printf("event queue: steady-state push/pop...\n");
   std::fflush(stdout);
   const QueueSample queue = time_event_queue(ci ? 20000 : 100000);
   std::printf("  %.1f ns/event, %.4f allocs/event\n", queue.ns_per_event,
               queue.allocs_per_event);
 
-  const std::string report = json_report(steps, queue);
+  const std::string report = json_report(steps, fabrics, determinism_ok, queue);
   std::ofstream out(out_path);
   out << report;
   out.close();
   std::printf("wrote %s\n", out_path.c_str());
 
   if (flags.has("check")) {
-    return check_against_reference(flags.get("check"), steps, queue);
+    return check_against_reference(flags.get("check"), steps, fabrics,
+                                   determinism_ok, queue);
   }
-  return 0;
+  return determinism_ok ? 0 : 1;
 }

@@ -1,78 +1,21 @@
-// The multi-cluster cloud of Section 4.
+// Compatibility shim: the multi-cluster Cloud is now the sharded Fabric.
 //
-// "Hierarchical organization has long been recognized as an effective way to
-// cope with system complexity.  Clustering supports scalability, as the
-// number of systems increase we add new clusters."  A Cloud is a set of
-// independently led clusters; each runs the Section 4 protocol on its own
-// members, and demand a cluster cannot place locally overflows to a sibling
-// chosen by the cloud-level dispatcher (most spare capacity first).
+// The original Cloud stepped clusters sequentially and dispatched overflow
+// by calling straight into siblings mid-interval -- the call-through design
+// whose non-stable sort, correlated `seed + i` member seeds and unguarded
+// load_fraction() this tier's rewrite fixed.  The Fabric keeps the same
+// surface (size / cluster / step / run and the per-interval report) while
+// stepping shards in parallel under the interval-barrier mailbox protocol;
+// see fabric.h for the determinism argument.  New code should name Fabric
+// directly.
 #pragma once
 
-#include <memory>
-#include <vector>
-
-#include "cluster/cluster.h"
+#include "cluster/fabric.h"
 
 namespace eclb::cluster {
 
-/// Cloud-level configuration.
-struct CloudConfig {
-  std::size_t cluster_count{4};
-  /// Template for every member cluster; per-cluster seeds derive from
-  /// template.seed + cluster index.
-  ClusterConfig cluster_template{};
-  /// Route overflow demand to sibling clusters (off = isolated clusters).
-  bool inter_cluster_overflow{true};
-};
-
-/// One cloud-wide reallocation round.
-struct CloudIntervalReport {
-  std::vector<IntervalReport> clusters;   ///< Per-cluster detail.
-  std::size_t inter_cluster_placements{0};///< Requests absorbed by siblings.
-
-  /// Sum of a per-cluster field across the cloud.
-  [[nodiscard]] std::size_t total_local() const;
-  [[nodiscard]] std::size_t total_in_cluster() const;
-  [[nodiscard]] std::size_t total_sla_violations() const;
-  [[nodiscard]] std::size_t total_deep_sleeping() const;
-  [[nodiscard]] common::Joules total_energy() const;
-};
-
-/// A cloud of clusters.
-class Cloud {
- public:
-  explicit Cloud(CloudConfig config);
-  ~Cloud();
-  Cloud(const Cloud&) = delete;
-  Cloud& operator=(const Cloud&) = delete;
-
-  /// Number of member clusters.
-  [[nodiscard]] std::size_t size() const { return clusters_.size(); }
-  /// Member access.
-  [[nodiscard]] const Cluster& cluster(std::size_t i) const { return *clusters_.at(i); }
-  [[nodiscard]] Cluster& mutable_cluster(std::size_t i) { return *clusters_.at(i); }
-
-  /// Total servers across the cloud.
-  [[nodiscard]] std::size_t total_servers() const;
-  /// Demand over capacity across the cloud.
-  [[nodiscard]] double load_fraction() const;
-  /// Energy across the cloud.
-  [[nodiscard]] common::Joules total_energy() const;
-
-  /// Runs one reallocation round on every cluster (in index order; the
-  /// overflow dispatcher may place demand into clusters not yet stepped this
-  /// round, which models the leaders' asynchronous cooperation).
-  CloudIntervalReport step();
-
-  /// Runs `count` rounds.
-  std::vector<CloudIntervalReport> run(std::size_t count);
-
- private:
-  bool dispatch_overflow(std::size_t origin, common::AppId app, double demand);
-
-  CloudConfig config_;
-  std::vector<std::unique_ptr<Cluster>> clusters_;
-  std::size_t overflow_placements_this_step_{0};
-};
+using Cloud = Fabric;
+using CloudConfig = FabricConfig;
+using CloudIntervalReport = FabricIntervalReport;
 
 }  // namespace eclb::cluster

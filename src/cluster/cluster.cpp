@@ -116,17 +116,23 @@ std::size_t Cluster::total_vms() const {
   return total;
 }
 
-double Cluster::load_fraction() const {
-  // Denominator is the usable capacity: failed servers contribute nothing,
-  // derated servers their lowered ceiling.  Fault-free this sums to exactly
-  // the server count (1.0 each), preserving the historical definition bit
-  // for bit.
+double Cluster::usable_capacity() const {
+  // Failed servers contribute nothing, derated servers their lowered
+  // ceiling.  Fault-free this sums to exactly the server count (1.0 each),
+  // preserving the historical load_fraction definition bit for bit.
   double capacity = 0.0;
   const std::span<const std::uint8_t> alive = state_.alive_flags();
   const std::span<const double> caps = state_.capacities();
   for (std::size_t i = 0; i < alive.size(); ++i) {
     if (alive[i] != 0) capacity += caps[i];
   }
+  return capacity;
+}
+
+double Cluster::load_fraction() const {
+  // Guarded: an all-failed cluster has zero usable capacity, and 0/0 must
+  // read as "no load" (0.0), never NaN.
+  const double capacity = usable_capacity();
   if (capacity <= 0.0) return 0.0;
   return total_demand() / capacity;
 }

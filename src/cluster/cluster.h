@@ -104,8 +104,12 @@ class Cluster {
   [[nodiscard]] double total_demand() const;
   /// Total VM count.
   [[nodiscard]] std::size_t total_vms() const;
-  /// Demand as a fraction of total cluster capacity (= server count).
+  /// Demand as a fraction of usable capacity; 0 when no capacity is usable.
   [[nodiscard]] double load_fraction() const;
+  /// Usable capacity: alive servers' (possibly derated) ceilings summed.
+  /// Fault-free this is exactly the server count (1.0 each).  This is the
+  /// figure a shard leader reports upward to the fabric's routing tier.
+  [[nodiscard]] double usable_capacity() const;
   /// Servers currently not awake.
   [[nodiscard]] std::size_t sleeping_count() const;
   /// Servers currently halted in C1.

@@ -22,6 +22,18 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index) {
+  // splitmix64 finalizer over base + GAMMA * (index + 1); see rng.h for why
+  // this derivation keeps neighbouring (base, index) streams disjoint.
+  std::uint64_t x = base + 0x9E3779B97F4A7C15ULL * (index + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
 Rng::Rng(std::uint64_t seed) {
   // xoshiro state must not be all-zero; splitmix64 guarantees that with
   // overwhelming probability, and we re-roll in the pathological case.

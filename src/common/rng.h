@@ -14,6 +14,16 @@
 
 namespace eclb::common {
 
+/// A splitmix64 mix of (base, index): the canonical derivation of an
+/// independent child seed `index` from a master seed `base`.  The pre-mix
+/// input `base + GAMMA * (index + 1)` is a bijection of (base, index) along
+/// each axis, so -- unlike the naive `base + index` -- the streams of
+/// (base, i + 1) and (base + 1, i) can never coincide; the splitmix64
+/// finalizer then decorrelates neighbouring children.  Shared by
+/// experiment::replication_seed (per-replication streams) and the fabric's
+/// per-shard cluster/fault seeds.
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index);
+
 /// Seedable xoshiro256** PRNG plus the small set of distributions the
 /// simulator needs.  Copyable: copying forks the stream (both copies produce
 /// the same subsequent values), which is how per-replication streams are

@@ -131,19 +131,11 @@ AggregateOutcome run_experiment_impl(const cluster::ClusterConfig& config,
 
 std::uint64_t replication_seed(std::uint64_t base_seed,
                                std::size_t replication) {
-  // splitmix64 over base + GAMMA * (r + 1).  The pre-mix input is a
-  // bijection of (base, r) along each axis, so unlike base + r the streams
-  // of (base, r) and (base + 1, r - 1) can never coincide; the finalizer
-  // then decorrelates neighbouring replications.
-  std::uint64_t x =
-      base_seed +
-      0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(replication) + 1);
-  x ^= x >> 30;
-  x *= 0xBF58476D1CE4E5B9ULL;
-  x ^= x >> 27;
-  x *= 0x94D049BB133111EBULL;
-  x ^= x >> 31;
-  return x;
+  // The shared splitmix64 derivation (common::mix_seed): bijective pre-mix,
+  // so unlike base + r the streams of (base, r) and (base + 1, r - 1) can
+  // never coincide.  The fabric derives its per-shard seeds the same way.
+  return common::mix_seed(base_seed,
+                          static_cast<std::uint64_t>(replication));
 }
 
 ReplicationOutcome run_replication(const cluster::ClusterConfig& config,

@@ -152,4 +152,42 @@ void FaultInjector::note_reconciled(common::Seconds convergence,
   stats_.heal_convergence.add(convergence.value);
 }
 
+FabricFaultSession::FabricFaultSession(cluster::Fabric& fabric,
+                                       const FaultPlan& plan) {
+  injectors_.reserve(fabric.size());
+  for (std::size_t i = 0; i < fabric.size(); ++i) {
+    FaultPlan shard_plan = plan;
+    // Same splitmix64 derivation as the fabric's cluster seeds and the
+    // runner's per-replication fault streams: shard i's injected randomness
+    // is a pure function of (plan seed, i), never of sibling activity.
+    shard_plan.set_seed(
+        common::mix_seed(plan.seed(), static_cast<std::uint64_t>(i)));
+    injectors_.push_back(std::make_unique<FaultInjector>(
+        fabric.mutable_cluster(i), std::move(shard_plan)));
+  }
+}
+
+ResilienceStats FabricFaultSession::combined_stats() const {
+  ResilienceStats total;
+  for (const auto& inj : injectors_) {
+    const ResilienceStats& s = inj->stats();
+    total.crashes += s.crashes;
+    total.recoveries += s.recoveries;
+    total.failovers += s.failovers;
+    total.dropped_messages += s.dropped_messages;
+    total.retried_messages += s.retried_messages;
+    total.migration_failures += s.migration_failures;
+    total.partitions += s.partitions;
+    total.heals += s.heals;
+    total.fenced_commands += s.fenced_commands;
+    total.shadow_restarts += s.shadow_restarts;
+    total.duplicates_resolved += s.duplicates_resolved;
+    total.orphans_adopted += s.orphans_adopted;
+    total.repair_time.merge(s.repair_time);
+    total.failover_outage.merge(s.failover_outage);
+    total.heal_convergence.merge(s.heal_convergence);
+  }
+  return total;
+}
+
 }  // namespace eclb::fault

@@ -11,8 +11,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/fabric.h"
 #include "cluster/faults.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -101,6 +104,33 @@ class FaultInjector final : public cluster::FaultRuntime {
   network::LinkTable links_;
   double migration_failure_rate_{0.0};
   ResilienceStats stats_;
+};
+
+/// Fault injection across a sharded fabric: one FaultInjector per shard,
+/// each running the same plan on its own kernel with its own fault stream
+/// seeded by common::mix_seed(plan seed, shard) -- the same derivation the
+/// fabric uses for cluster seeds, so (fabric seed, plan seed) fully
+/// determines every shard's fault schedule regardless of thread count.
+/// The fabric must outlive the session.
+class FabricFaultSession {
+ public:
+  FabricFaultSession(cluster::Fabric& fabric, const FaultPlan& plan);
+  FabricFaultSession(const FabricFaultSession&) = delete;
+  FabricFaultSession& operator=(const FabricFaultSession&) = delete;
+
+  /// Shard `i`'s injector.
+  [[nodiscard]] const FaultInjector& injector(std::size_t i) const {
+    return *injectors_.at(i);
+  }
+  /// Number of per-shard injectors (== the fabric's shard count).
+  [[nodiscard]] std::size_t size() const { return injectors_.size(); }
+
+  /// Resilience statistics summed across all shards (RunningStats merged
+  /// sample-set over sample-set).
+  [[nodiscard]] ResilienceStats combined_stats() const;
+
+ private:
+  std::vector<std::unique_ptr<FaultInjector>> injectors_;
 };
 
 }  // namespace eclb::fault

@@ -27,6 +27,21 @@ std::unique_ptr<ClusterProbe> ClusterProbe::make(const ObsConfig& config,
                                         config.profiler);
 }
 
+std::unique_ptr<ClusterProbe> ClusterProbe::make_shard(const ObsConfig& config,
+                                                       std::uint64_t seed,
+                                                       std::size_t shard) {
+  if (!config.active()) return nullptr;
+  std::unique_ptr<TraceWriter> trace;
+  if (!config.trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.trace_dir, ec);
+    trace = std::make_unique<TraceWriter>(
+        shard_trace_file_path(config.trace_dir, seed, shard));
+  }
+  return std::make_unique<ClusterProbe>(std::move(trace), config.metrics,
+                                        config.profiler);
+}
+
 void ClusterProbe::on_interval_begin(std::size_t interval, common::Seconds now) {
   if (trace_ != nullptr) trace_->interval_begin(interval, now.value);
 }

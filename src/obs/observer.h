@@ -51,6 +51,14 @@ class ClusterProbe final : public cluster::ClusterObserver {
   [[nodiscard]] static std::unique_ptr<ClusterProbe> make(
       const ObsConfig& config, std::uint64_t seed, std::size_t replication);
 
+  /// Builds a probe for shard `shard` of a fabric templated on `seed`;
+  /// nullptr when `config` is inactive.  Traces land in per-shard files
+  /// (shard_trace_file_path) so cross-shard attribution is unambiguous;
+  /// metrics and profiler sinks are thread-safe and may be shared by every
+  /// shard's probe even when shards step on pool workers.
+  [[nodiscard]] static std::unique_ptr<ClusterProbe> make_shard(
+      const ObsConfig& config, std::uint64_t seed, std::size_t shard);
+
   void on_interval_begin(std::size_t interval, common::Seconds now) override;
   void on_event(const cluster::ProtocolEvent& event) override;
   void on_interval_end(const cluster::IntervalReport& report,

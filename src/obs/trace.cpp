@@ -382,4 +382,19 @@ std::string trace_file_path(const std::string& dir, std::uint64_t seed,
   return path;
 }
 
+std::string shard_trace_file_path(const std::string& dir, std::uint64_t seed,
+                                  std::size_t shard) {
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += "shard";
+  append_size(path, shard);
+  path += "_seed";
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(seed));
+  path += buf;
+  path += ".jsonl";
+  return path;
+}
+
 }  // namespace eclb::obs

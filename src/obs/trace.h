@@ -125,4 +125,11 @@ struct TraceRecord {
                                           std::uint64_t seed,
                                           std::size_t replication);
 
+/// Canonical per-shard trace file name for fabric runs:
+/// "<dir>/shard<shard>_seed<seed>.jsonl".  `seed` is the fabric's template
+/// seed, so one fabric run's shard files group under one seed.
+[[nodiscard]] std::string shard_trace_file_path(const std::string& dir,
+                                                std::uint64_t seed,
+                                                std::size_t shard);
+
 }  // namespace eclb::obs

@@ -1,13 +1,19 @@
+// Covers the Cloud compatibility surface (cloud.h), which is now the
+// sharded Fabric: construction, aggregation, overflow routing through the
+// barrier mailboxes.  Fabric-specific machinery (mailbox ordering, router
+// tie-breaks, thread-count determinism) lives in test_fabric.cpp.
 #include "cluster/cloud.h"
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+
 namespace eclb::cluster {
 namespace {
 
-CloudConfig make_cloud_config(std::size_t clusters, double lo, double hi) {
+CloudConfig make_cloud_config(std::size_t shards, double lo, double hi) {
   CloudConfig cfg;
-  cfg.cluster_count = clusters;
+  cfg.shard_count = shards;
   cfg.cluster_template.server_count = 40;
   cfg.cluster_template.initial_load_min = lo;
   cfg.cluster_template.initial_load_max = hi;
@@ -24,7 +30,11 @@ TEST(Cloud, BuildsRequestedClusters) {
 TEST(Cloud, ClustersGetDistinctSeeds) {
   Cloud cloud(make_cloud_config(2, 0.2, 0.4));
   EXPECT_NE(cloud.cluster(0).total_demand(), cloud.cluster(1).total_demand());
-  EXPECT_EQ(cloud.cluster(0).config().seed + 1, cloud.cluster(1).config().seed);
+  // Shard seeds come from the splitmix64 mix, not the correlated `seed + i`
+  // pattern the old Cloud used.
+  EXPECT_EQ(cloud.cluster(0).config().seed, common::mix_seed(17, 0));
+  EXPECT_EQ(cloud.cluster(1).config().seed, common::mix_seed(17, 1));
+  EXPECT_NE(cloud.cluster(1).config().seed, cloud.cluster(0).config().seed + 1);
 }
 
 TEST(Cloud, LoadFractionAggregates) {
@@ -74,7 +84,7 @@ TEST(Cloud, OverflowRoutedToLeastLoadedSibling) {
   for (auto& s : full.mutable_servers()) {
     (void)full.inject_vm(s.id(), common::AppId{1}, 0.97);
   }
-  // Cluster 0 cannot take 0.5 more anywhere; the cloud dispatcher should.
+  // Cluster 0 cannot take 0.5 more anywhere; the sibling can.
   EXPECT_FALSE(full.accept_external(common::AppId{2}, 0.5));
   EXPECT_TRUE(cloud.mutable_cluster(1).accept_external(common::AppId{2}, 0.5));
 }
@@ -82,17 +92,22 @@ TEST(Cloud, OverflowRoutedToLeastLoadedSibling) {
 TEST(Cloud, OverflowCountedInReports) {
   // High load with growth: some increments cannot be placed locally and get
   // offloaded; run a few steps and check the bookkeeping is consistent.
+  // Under the mailbox protocol every offload the origins booked is either a
+  // sibling placement or a fabric-level unplaced overflow -- never silently
+  // dropped.
   CloudConfig cfg = make_cloud_config(3, 0.6, 0.8);
   cfg.cluster_template.demand_change_probability = 0.3;
   Cloud cloud(cfg);
   std::size_t offloaded_total = 0;
   std::size_t placements_total = 0;
+  std::size_t unplaced_total = 0;
   for (int i = 0; i < 15; ++i) {
     const auto report = cloud.step();
     placements_total += report.inter_cluster_placements;
+    unplaced_total += report.unplaced_overflows;
     for (const auto& c : report.clusters) offloaded_total += c.offloaded_requests;
   }
-  EXPECT_EQ(offloaded_total, placements_total);
+  EXPECT_EQ(offloaded_total, placements_total + unplaced_total);
 }
 
 TEST(Cloud, IsolatedCloudNeverOffloads) {
@@ -103,6 +118,7 @@ TEST(Cloud, IsolatedCloudNeverOffloads) {
   for (int i = 0; i < 10; ++i) {
     const auto report = cloud.step();
     EXPECT_EQ(report.inter_cluster_placements, 0U);
+    EXPECT_EQ(report.unplaced_overflows, 0U);
     for (const auto& c : report.clusters) {
       EXPECT_EQ(c.offloaded_requests, 0U);
     }
@@ -118,7 +134,7 @@ TEST(Cloud, OverflowReplacesViolationsInFirstStep) {
   // (isolated).
   auto build = [](bool overflow) {
     CloudConfig cfg;
-    cfg.cluster_count = 2;
+    cfg.shard_count = 2;
     cfg.inter_cluster_overflow = overflow;
     cfg.cluster_template.server_count = 40;
     cfg.cluster_template.initial_load_min = 0.8;

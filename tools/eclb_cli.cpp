@@ -15,8 +15,10 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "analytic/homogeneous_model.h"
+#include "cluster/fabric.h"
 #include "common/csv.h"
 #include "common/flags.h"
 #include "common/sysinfo.h"
@@ -41,8 +43,14 @@ int usage() {
       "commands:\n"
       "  cluster   --servers N --load 30|70 --intervals K --seed S [--tau SEC]\n"
       "            [--no-sleep] [--no-rebalance] [--legacy-scan] [--faults SPEC]\n"
+      "            [--shards M] [--fabric-threads T]\n"
       "            [--trace DIR] [--metrics FILE] [--profile] [--mem-stats]\n"
       "            runs the energy-aware protocol, prints per-interval CSV;\n"
+      "            --shards >= 2 runs the sharded fabric instead: --servers\n"
+      "            is the fabric total split evenly across M shards, stepped\n"
+      "            on T worker threads (default 1; 0 = hardware; any T is\n"
+      "            bit-identical), faults injected per shard, traces written\n"
+      "            per shard;\n"
       "            --trace writes a JSONL protocol trace into DIR, --metrics\n"
       "            writes aggregated counters as JSON, --profile prints a\n"
       "            wall-clock phase table to stderr, --mem-stats prints peak\n"
@@ -65,7 +73,146 @@ int usage() {
   return 2;
 }
 
+/// The fabric variant of the cluster command (--shards >= 2): same flag
+/// surface, per-shard fault streams and traces, fabric-aggregated CSV rows.
+int cmd_cluster_fabric(common::Flags& flags, std::size_t shards) {
+  const auto servers = static_cast<std::size_t>(flags.get_int("servers", 100));
+  const long long load = flags.get_int("load", 30);
+  const auto intervals = static_cast<std::size_t>(flags.get_int("intervals", 40));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  if (servers < shards || servers % shards != 0) {
+    std::cerr << "--servers (" << servers << ") must be a positive multiple"
+              << " of --shards (" << shards << ")\n";
+    return 2;
+  }
+
+  cluster::FabricConfig fcfg;
+  fcfg.shard_count = shards;
+  fcfg.threads = static_cast<std::size_t>(flags.get_int("fabric-threads", 1));
+  fcfg.cluster_template = experiment::paper_cluster_config(
+      servers / shards,
+      load >= 50 ? experiment::AverageLoad::kHigh70
+                 : experiment::AverageLoad::kLow30,
+      seed);
+  fcfg.cluster_template.reallocation_interval =
+      common::Seconds{flags.get_double("tau", 60.0)};
+  if (flags.get_bool("no-sleep")) fcfg.cluster_template.allow_sleep = false;
+  if (flags.get_bool("no-rebalance")) {
+    fcfg.cluster_template.rebalance_enabled = false;
+  }
+  if (flags.get_bool("legacy-scan")) {
+    fcfg.cluster_template.use_regime_index = false;
+  }
+
+  std::optional<fault::FaultPlan> plan;
+  if (flags.has("faults")) {
+    std::string error;
+    plan = fault::FaultPlan::parse(flags.get("faults"), &error);
+    if (!plan.has_value()) {
+      std::cerr << "--faults: " << error << "\n";
+      return 2;
+    }
+  }
+
+  obs::MetricsRegistry registry;
+  obs::Profiler profiler;
+  obs::ObsConfig obs_cfg;
+  obs_cfg.trace_dir = flags.get("trace");
+  const std::string metrics_file = flags.get("metrics");
+  if (!metrics_file.empty()) obs_cfg.metrics = &registry;
+  if (flags.get_bool("profile")) obs_cfg.profiler = &profiler;
+
+  cluster::Fabric fabric(fcfg);
+  std::optional<fault::FabricFaultSession> faults;
+  if (plan.has_value()) faults.emplace(fabric, *plan);
+
+  // One probe per shard: traces split per shard file; the metrics registry
+  // and profiler are thread-safe and shared across all of them.
+  std::vector<std::unique_ptr<obs::ClusterProbe>> probes;
+  for (std::size_t i = 0; i < fabric.size(); ++i) {
+    auto probe = obs::ClusterProbe::make_shard(obs_cfg, seed, i);
+    if (probe == nullptr) break;
+    if (probe->trace() != nullptr && !probe->trace()->ok()) {
+      std::cerr << "could not open trace file: " << probe->trace()->path()
+                << "\n";
+      return 2;
+    }
+    fabric.mutable_cluster(i).attach_observer(probe.get());
+    probes.push_back(std::move(probe));
+  }
+
+  common::CsvWriter csv(std::cout,
+                        {"interval", "local", "in_cluster", "ratio",
+                         "migrations", "sleeps", "wakes", "parked",
+                         "deep_sleeping", "sla_violations", "offloaded",
+                         "unplaced", "energy_kwh"});
+  for (std::size_t i = 0; i < intervals; ++i) {
+    const auto r = fabric.step();
+    std::size_t migrations = 0;
+    std::size_t sleeps = 0;
+    std::size_t wakes = 0;
+    std::size_t parked = 0;
+    for (const auto& c : r.clusters) {
+      migrations += c.migrations;
+      sleeps += c.sleeps;
+      wakes += c.wakes;
+      parked += c.parked_servers;
+    }
+    const std::size_t local = r.total_local();
+    const std::size_t in_cluster = r.total_in_cluster();
+    csv.row({common::CsvWriter::cell(static_cast<long long>(i)),
+             common::CsvWriter::cell(static_cast<long long>(local)),
+             common::CsvWriter::cell(static_cast<long long>(in_cluster)),
+             common::CsvWriter::cell(static_cast<double>(in_cluster) /
+                                     static_cast<double>(local == 0 ? 1 : local)),
+             common::CsvWriter::cell(static_cast<long long>(migrations)),
+             common::CsvWriter::cell(static_cast<long long>(sleeps)),
+             common::CsvWriter::cell(static_cast<long long>(wakes)),
+             common::CsvWriter::cell(static_cast<long long>(parked)),
+             common::CsvWriter::cell(
+                 static_cast<long long>(r.total_deep_sleeping())),
+             common::CsvWriter::cell(
+                 static_cast<long long>(r.total_sla_violations())),
+             common::CsvWriter::cell(
+                 static_cast<long long>(r.inter_cluster_placements)),
+             common::CsvWriter::cell(
+                 static_cast<long long>(r.unplaced_overflows)),
+             common::CsvWriter::cell(r.total_energy().kwh())});
+  }
+
+  std::size_t messages = 0;
+  for (std::size_t i = 0; i < fabric.size(); ++i) {
+    messages += fabric.cluster(i).message_stats().total();
+  }
+  std::cerr << "fabric: " << shards << " shards x " << servers / shards
+            << " servers, " << fcfg.threads << " thread"
+            << (fcfg.threads == 1 ? "" : "s") << "\n"
+            << "total energy: " << fabric.total_energy().kwh() << " kWh, "
+            << messages << " control messages\n";
+  if (faults.has_value()) {
+    const auto st = faults->combined_stats();
+    std::cerr << "resilience (all shards): " << st.crashes << " crashes, "
+              << st.recoveries << " recoveries, " << st.failovers
+              << " failovers, " << st.dropped_messages << " dropped, "
+              << st.retried_messages << " retried, " << st.migration_failures
+              << " failed migrations, MTTR " << st.mttr() << " s\n";
+  }
+  for (const auto& probe : probes) {
+    if (probe->trace() != nullptr) {
+      std::cerr << "trace: " << probe->trace()->path() << "\n";
+    }
+  }
+  if (!metrics_file.empty() && !registry.write_json_file(metrics_file)) {
+    std::cerr << "could not write metrics file: " << metrics_file << "\n";
+    return 2;
+  }
+  if (obs_cfg.profiler != nullptr) profiler.write(std::cerr);
+  return 0;
+}
+
 int cmd_cluster(common::Flags& flags) {
+  const auto shards = static_cast<std::size_t>(flags.get_int("shards", 1));
+  if (shards >= 2) return cmd_cluster_fabric(flags, shards);
   const auto servers = static_cast<std::size_t>(flags.get_int("servers", 100));
   const long long load = flags.get_int("load", 30);
   const auto intervals = static_cast<std::size_t>(flags.get_int("intervals", 40));
