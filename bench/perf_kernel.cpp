@@ -38,6 +38,7 @@
 #include "common/sysinfo.h"
 #include "experiment/scenario.h"
 #include "sim/event_queue.h"
+#include "workload/engine/engine.h"
 
 // --- global allocation counter ---------------------------------------------
 //
@@ -197,6 +198,48 @@ bool fabric_determinism_ok() {
   return runs[0] == runs[1];
 }
 
+// --- request engine benchmark -----------------------------------------------
+
+struct RequestSample {
+  std::size_t requests{0};
+  double requests_per_sec{0.0};
+};
+
+/// Times the open-loop arrival generator on a mixed three-stream workload
+/// (Poisson + diurnal + flash-crowd MMPP with lognormal service times) --
+/// the per-request hot path behind `--requests` and the X13 bench.  The
+/// throughput figure is requests generated per wall-clock second, gated in
+/// the reference at half the recorded value.
+RequestSample time_request_engine(std::size_t target_requests) {
+  std::string error;
+  const auto cfg = workload::engine::RequestWorkloadConfig::parse(
+      "poisson:rate=400,mean=0.2;diurnal:rate=300,amp=0.6,period=3600;"
+      "flash:rate=200,burst=6,on=120,off=600;seed=17",
+      &error);
+  if (!cfg.has_value()) {
+    std::fprintf(stderr, "request engine spec: %s\n", error.c_str());
+    std::exit(2);
+  }
+  workload::engine::RequestEngine engine(*cfg);
+  std::vector<std::vector<workload::engine::Request>> per_stream;
+  // Warm one window so buffer growth is off the clock.
+  engine.generate(common::Seconds{0.0}, common::Seconds{60.0}, &per_stream);
+  const std::uint64_t warm = engine.total_generated();
+  double t = 60.0;
+  const auto start = Clock::now();
+  while (engine.total_generated() - warm < target_requests) {
+    engine.generate(common::Seconds{t}, common::Seconds{t + 60.0},
+                    &per_stream);
+    t += 60.0;
+  }
+  const double elapsed = seconds_since(start);
+  RequestSample s;
+  s.requests = engine.total_generated() - warm;
+  s.requests_per_sec =
+      elapsed > 0.0 ? static_cast<double>(s.requests) / elapsed : 0.0;
+  return s;
+}
+
 // --- event-queue benchmark --------------------------------------------------
 
 struct QueueSample {
@@ -276,7 +319,8 @@ std::optional<double> fabric_efficiency_1000(
 
 std::string json_report(const std::vector<StepSample>& steps,
                         const std::vector<FabricSample>& fabrics,
-                        bool determinism_ok, const QueueSample& queue) {
+                        bool determinism_ok, const QueueSample& queue,
+                        const RequestSample& requests) {
   const common::SysInfo sys = common::query_sysinfo();
   std::ostringstream out;
   out.precision(6);
@@ -326,7 +370,9 @@ std::string json_report(const std::vector<StepSample>& steps,
   }
   out << "},\n  \"event_queue\": {\"events\": " << queue.events
       << ", \"ns_per_event\": " << queue.ns_per_event
-      << ", \"allocs_per_event\": " << queue.allocs_per_event << "}\n}\n";
+      << ", \"allocs_per_event\": " << queue.allocs_per_event << "},\n";
+  out << "  \"request_engine\": {\"requests\": " << requests.requests
+      << ", \"requests_per_sec\": " << requests.requests_per_sec << "}\n}\n";
   return out.str();
 }
 
@@ -345,7 +391,8 @@ std::optional<double> json_number(const std::string& text,
 int check_against_reference(const std::string& ref_path,
                             const std::vector<StepSample>& steps,
                             const std::vector<FabricSample>& fabrics,
-                            bool determinism_ok, const QueueSample& queue) {
+                            bool determinism_ok, const QueueSample& queue,
+                            const RequestSample& requests) {
   std::ifstream in(ref_path);
   if (!in) {
     std::fprintf(stderr, "cannot read reference %s\n", ref_path.c_str());
@@ -422,6 +469,24 @@ int check_against_reference(const std::string& ref_path,
     } else {
       std::printf("ok: fabric efficiency at 1000 servers %.2f (reference %.2f)\n",
                   *measured_eff, *ref_eff);
+    }
+  }
+
+  // Request engine gate: arrival generation throughput must stay within 2x
+  // of the recorded figure -- catches per-request allocation or an O(n^2)
+  // slip in the thinning/sampling loop.
+  const auto ref_rps = json_number(ref, "requests_per_sec");
+  if (ref_rps.has_value()) {
+    const double gate = *ref_rps / 2.0;
+    if (requests.requests_per_sec < gate) {
+      std::fprintf(stderr,
+                   "FAIL: request engine throughput regressed: "
+                   "measured %.0f req/s, reference %.0f (gate %.0f)\n",
+                   requests.requests_per_sec, *ref_rps, gate);
+      ++failures;
+    } else {
+      std::printf("ok: request engine %.0f req/s (reference %.0f)\n",
+                  requests.requests_per_sec, *ref_rps);
     }
   }
 
@@ -510,7 +575,13 @@ int main(int argc, char** argv) {
   std::printf("  %.1f ns/event, %.4f allocs/event\n", queue.ns_per_event,
               queue.allocs_per_event);
 
-  const std::string report = json_report(steps, fabrics, determinism_ok, queue);
+  std::printf("request engine: open-loop arrival generation...\n");
+  std::fflush(stdout);
+  const RequestSample requests = time_request_engine(ci ? 200000 : 1000000);
+  std::printf("  %.0f requests/s\n", requests.requests_per_sec);
+
+  const std::string report =
+      json_report(steps, fabrics, determinism_ok, queue, requests);
   std::ofstream out(out_path);
   out << report;
   out.close();
@@ -518,7 +589,7 @@ int main(int argc, char** argv) {
 
   if (flags.has("check")) {
     return check_against_reference(flags.get("check"), steps, fabrics,
-                                   determinism_ok, queue);
+                                   determinism_ok, queue, requests);
   }
   return determinism_ok ? 0 : 1;
 }

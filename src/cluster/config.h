@@ -55,6 +55,14 @@ struct ClusterConfig {
   /// Probability an application re-evaluates its demand in an interval.
   double demand_change_probability{0.05};
 
+  /// When false, the protocol's stochastic per-VM demand evolution (the
+  /// EvolveAndScale bernoulli pass) is skipped entirely.  The request-level
+  /// workload engine runs in this mode: an external driver sets every VM's
+  /// demand from its request backlog before each round, and the protocol
+  /// only reacts (shed, rebalance, sleep, SLA accounting).  Default true --
+  /// the paper's self-evolving demand model.
+  bool demand_evolution_enabled{true};
+
   /// A server sends at most this many VMs per reallocation interval (its
   /// migration NIC budget); spreads large re-balances over several
   /// intervals, which is what produces the gradual decay of Figure 3.

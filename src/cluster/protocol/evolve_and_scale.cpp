@@ -14,6 +14,9 @@ constexpr double kEps = 1e-9;
 
 void EvolveAndScale::run(ClusterView& view) {
   const ClusterConfig& config = view.config();
+  // Externally driven demand (the request engine) replaces this pass
+  // wholesale; skipping before any draw keeps the RNG stream untouched.
+  if (!config.demand_evolution_enabled) return;
   common::Rng& rng = view.rng();
 
   // Iterate by server index over each server's roster as it stood when the

@@ -44,6 +44,7 @@ std::string_view to_string(ProtocolEvent::Kind k) {
     case ProtocolEvent::Kind::kShadowStart: return "shadow_start";
     case ProtocolEvent::Kind::kDuplicateResolved: return "duplicate_resolved";
     case ProtocolEvent::Kind::kReconcile: return "reconcile";
+    case ProtocolEvent::Kind::kRequestBatch: return "request_batch";
   }
   return "?";
 }
@@ -211,6 +212,22 @@ void IntervalRecorder::reconciled(common::Seconds convergence,
   emit({.kind = ProtocolEvent::Kind::kReconcile,
         .server = leader,
         .value = convergence.value});
+}
+
+void IntervalRecorder::request_batch(std::size_t arrived, std::size_t completed,
+                                     std::size_t violated, std::size_t dropped,
+                                     double backlog) {
+  report_.requests_arrived += arrived;
+  report_.requests_completed += completed;
+  report_.request_sla_violations += violated;
+  report_.requests_dropped += dropped;
+  report_.request_backlog = backlog;
+  emit({.kind = ProtocolEvent::Kind::kRequestBatch,
+        .value = backlog,
+        .requests_arrived = static_cast<std::uint32_t>(arrived),
+        .requests_completed = static_cast<std::uint32_t>(completed),
+        .requests_violated = static_cast<std::uint32_t>(violated),
+        .requests_dropped = static_cast<std::uint32_t>(dropped)});
 }
 
 IntervalReport IntervalRecorder::finish(const FleetSnapshot& snapshot) {

@@ -66,6 +66,7 @@ struct ProtocolEvent {
     kShadowStart = 20,     ///< Quorum restarted a minority-hosted VM on `server`.
     kDuplicateResolved = 21, ///< Reconciliation retired a duplicate on `server`.
     kReconcile = 22,       ///< Post-heal reconciliation converged (`value` = s).
+    kRequestBatch = 23,    ///< Request-engine interval totals (request fields).
   };
 
   Kind kind{Kind::kDecision};
@@ -75,7 +76,12 @@ struct ProtocolEvent {
   MigrationCause cause{MigrationCause::kShed};      ///< For kMigration.
   double unserved{0.0};                      ///< For kSlaViolation.
   MessageKind message{MessageKind::kRegimeReport};  ///< For kMessageDropped/Retried.
-  double value{0.0};                         ///< For kCapacityDerate.
+  double value{0.0};                         ///< For kCapacityDerate; queued
+                                             ///< work for kRequestBatch.
+  std::uint32_t requests_arrived{0};         ///< For kRequestBatch.
+  std::uint32_t requests_completed{0};       ///< For kRequestBatch.
+  std::uint32_t requests_violated{0};        ///< For kRequestBatch.
+  std::uint32_t requests_dropped{0};         ///< For kRequestBatch.
 };
 
 /// Display name of an event kind (stable; part of the trace schema).
@@ -110,6 +116,11 @@ struct IntervalReport {
   std::size_t fenced_commands{0};      ///< Stale-epoch commands fenced by receivers.
   std::size_t shadow_starts{0};        ///< Minority-hosted VMs shadow-restarted by quorum.
   std::size_t duplicates_resolved{0};  ///< Duplicate placements retired at reconcile.
+  std::size_t requests_arrived{0};     ///< Requests routed this interval (request engine).
+  std::size_t requests_completed{0};   ///< Requests finished this interval.
+  std::size_t request_sla_violations{0}; ///< Completions beyond their SLA budget.
+  std::size_t requests_dropped{0};     ///< Requests lost to vanished VMs.
+  double request_backlog{0.0};         ///< Queued work at interval end (capacity-seconds).
   std::size_t sleeping_servers{0};     ///< Servers not awake after the step (any C-state).
   std::size_t parked_servers{0};       ///< Servers halted in C1 (instant wake).
   std::size_t deep_sleeping_servers{0};///< Servers in C3/C6 -- Table 2's "sleep state".
@@ -220,6 +231,12 @@ class IntervalRecorder {
   void duplicate_resolved(common::ServerId server);
   /// Reconciliation converged `convergence` seconds after the heal.
   void reconciled(common::Seconds convergence, common::ServerId leader);
+  /// The request engine's interval totals: `arrived` requests routed,
+  /// `completed` finished (`violated` of them beyond their SLA), `dropped`
+  /// lost to vanished VMs, `backlog` work still queued (capacity-seconds).
+  void request_batch(std::size_t arrived, std::size_t completed,
+                     std::size_t violated, std::size_t dropped,
+                     double backlog);
 
   /// Folds the end-of-interval fleet observation in, resets the counters for
   /// the next window and returns the completed report.

@@ -1,0 +1,248 @@
+#include "experiment/request_driver.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace eclb::experiment {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t SlaSummary::digest() const {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, arrived);
+  fnv_mix(h, completed);
+  fnv_mix(h, dropped);
+  fnv_mix(h, sla_violations);
+  std::uint64_t backlog_bits = 0;
+  static_assert(sizeof backlog_bits == sizeof backlog);
+  std::memcpy(&backlog_bits, &backlog, sizeof backlog_bits);
+  fnv_mix(h, backlog_bits);
+  fnv_mix(h, histogram.digest());
+  return h;
+}
+
+void SlaSummary::merge(const SlaSummary& other) {
+  arrived += other.arrived;
+  completed += other.completed;
+  dropped += other.dropped;
+  sla_violations += other.sla_violations;
+  backlog += other.backlog;
+  histogram.merge(other.histogram);
+  p50 = histogram.quantile(0.50);
+  p99 = histogram.quantile(0.99);
+  p999 = histogram.quantile(0.999);
+}
+
+RequestDriver::RequestDriver(cluster::Cluster& cluster,
+                             workload::engine::RequestWorkloadConfig config)
+    : cluster_(cluster), engine_(std::move(config)) {
+  ECLB_ASSERT(!cluster_.config().demand_evolution_enabled,
+              "RequestDriver: build the cluster with demand_evolution_enabled "
+              "= false; the driver owns the demand signal");
+  rr_.assign(engine_.stream_count(), 0);
+  targets_.resize(engine_.stream_count());
+}
+
+void RequestDriver::advance_interval() {
+  const common::Seconds t0 = cluster_.now();
+  const common::Seconds tau = cluster_.config().reallocation_interval;
+  const common::Seconds t1{t0.value + tau.value};
+  engine_.generate(t0, t1, &per_stream_);
+
+  const std::size_t nstreams = engine_.stream_count();
+
+  // 1. Snapshot the live fleet in deterministic (server index, roster
+  //    position) order.  The capacity share is the host's oversubscription
+  //    discount: an overloaded server serves every hosted VM
+  //    proportionally, exactly how ServeAndAccount grants demand.
+  slots_.clear();
+  for (auto& t : targets_) t.clear();
+  const std::span<server::Server> servers = cluster_.mutable_servers();
+  for (std::size_t si = 0; si < servers.size(); ++si) {
+    const server::Server& s = servers[si];
+    const double load = s.load();
+    const double share =
+        load > s.capacity() && load > 0.0 ? s.capacity() / load : 1.0;
+    for (const vm::Vm& v : s.vms()) {
+      const std::size_t owner =
+          nstreams == 0 ? 0 : v.app().index() % nstreams;
+      VmSlot slot;
+      slot.id = v.id();
+      slot.server = si;
+      slot.rate = v.demand() * share;
+      slot.sla_seconds = nstreams == 0
+                             ? 0.0
+                             : engine_.config().streams[owner].sla_seconds;
+      if (owner < targets_.size()) targets_[owner].push_back(slots_.size());
+      slots_.push_back(slot);
+    }
+  }
+
+  // 2. Route each stream's arrivals round-robin over the VMs it owns
+  //    (falling back to the whole fleet when the stream owns none).  The
+  //    cursors persist across intervals so routing does not restart at the
+  //    first VM every window.
+  std::vector<std::size_t> all_slots;
+  for (std::size_t s = 0; s < nstreams; ++s) {
+    const std::vector<workload::engine::Request>& reqs = per_stream_[s];
+    if (reqs.empty()) continue;
+    const std::vector<std::size_t>* tgt = &targets_[s];
+    if (tgt->empty()) {
+      if (all_slots.empty() && !slots_.empty()) {
+        all_slots.resize(slots_.size());
+        for (std::size_t i = 0; i < slots_.size(); ++i) all_slots[i] = i;
+      }
+      tgt = &all_slots;
+    }
+    if (tgt->empty()) {
+      // No VM anywhere to take the stream: the requests are lost.
+      dropped_ += reqs.size();
+      continue;
+    }
+    for (const workload::engine::Request& r : reqs) {
+      const std::size_t idx = (*tgt)[rr_[s] % tgt->size()];
+      ++rr_[s];
+      queues_[slots_[idx].id].push(r);
+    }
+    arrived_ += reqs.size();
+  }
+
+  // 3. Serve every queue over the window at its VM's granted share; queues
+  //    whose VM vanished (crash orphan retired, shadow resolved) drop their
+  //    requests.  The map iterates in VmId order -- deterministic.
+  std::unordered_map<common::VmId, std::size_t> slot_of;
+  slot_of.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) slot_of[slots_[i].id] = i;
+  for (auto it = queues_.begin(); it != queues_.end();) {
+    const auto found = slot_of.find(it->first);
+    if (found == slot_of.end()) {
+      dropped_ += it->second.drop_all();
+      it = queues_.erase(it);
+      continue;
+    }
+    const VmSlot& slot = slots_[found->second];
+    const workload::engine::QueueServeStats stats =
+        it->second.serve(t0, t1, slot.rate, slot.sla_seconds, &hist_);
+    completed_ += stats.completed;
+    violations_ += stats.sla_violations;
+    ++it;
+  }
+
+  // 4. Convert backlog into each VM's next demand and refresh the queue
+  //    mirror the VM carries.  Walk the slots (server index order) so the
+  //    force_demand sequence is deterministic.
+  const double util = engine_.config().target_utilization;
+  double backlog_total = 0.0;
+  for (const VmSlot& slot : slots_) {
+    double backlog = 0.0;
+    std::size_t depth = 0;
+    const auto it = queues_.find(slot.id);
+    if (it != queues_.end()) {
+      backlog = it->second.backlog_work();
+      depth = it->second.depth();
+    }
+    backlog_total += backlog;
+    const double demand =
+        std::clamp(backlog / (tau.value * util), 0.0, 1.0);
+    server::Server& host = servers[slot.server];
+    (void)host.force_demand(slot.id, demand);
+    (void)host.set_vm_queue_state(slot.id, static_cast<std::uint32_t>(depth),
+                                  backlog);
+  }
+  backlog_ = backlog_total;
+
+  // 5. Book the batch; the recorder pre-stamped the upcoming interval, so
+  //    the counts land in the round cluster.step() is about to run.
+  cluster_.recorder().request_batch(
+      static_cast<std::size_t>(arrived_ - last_arrived_),
+      static_cast<std::size_t>(completed_ - last_completed_),
+      static_cast<std::size_t>(violations_ - last_violations_),
+      static_cast<std::size_t>(dropped_ - last_dropped_), backlog_total);
+  last_arrived_ = arrived_;
+  last_completed_ = completed_;
+  last_violations_ = violations_;
+  last_dropped_ = dropped_;
+}
+
+SlaSummary RequestDriver::summary() const {
+  SlaSummary s;
+  s.arrived = arrived_;
+  s.completed = completed_;
+  s.dropped = dropped_;
+  s.sla_violations = violations_;
+  s.backlog = backlog_;
+  s.histogram = hist_;
+  s.p50 = hist_.quantile(0.50);
+  s.p99 = hist_.quantile(0.99);
+  s.p999 = hist_.quantile(0.999);
+  return s;
+}
+
+workload::engine::RequestWorkloadConfig shard_workload_config(
+    const workload::engine::RequestWorkloadConfig& config, std::size_t shard,
+    std::size_t shard_count) {
+  ECLB_ASSERT(shard_count > 0 && shard < shard_count,
+              "shard_workload_config: shard out of range");
+  workload::engine::RequestWorkloadConfig out = config;
+  if (shard_count == 1) return out;
+  const double split = static_cast<double>(shard_count);
+  for (workload::engine::StreamSpec& spec : out.streams) {
+    spec.rate /= split;
+    spec.trace_scale /= split;
+  }
+  out.seed = common::mix_seed(config.seed, shard);
+  return out;
+}
+
+FabricRequestSession::FabricRequestSession(
+    cluster::Fabric& fabric,
+    const workload::engine::RequestWorkloadConfig& config) {
+  drivers_.reserve(fabric.size());
+  for (std::size_t i = 0; i < fabric.size(); ++i) {
+    drivers_.push_back(std::make_unique<RequestDriver>(
+        fabric.mutable_cluster(i),
+        shard_workload_config(config, i, fabric.size())));
+  }
+}
+
+bool FabricRequestSession::ok() const {
+  for (const auto& d : drivers_) {
+    if (!d->ok()) return false;
+  }
+  return true;
+}
+
+std::string FabricRequestSession::error() const {
+  for (const auto& d : drivers_) {
+    if (!d->ok()) return d->error();
+  }
+  return {};
+}
+
+void FabricRequestSession::advance_interval() {
+  for (const auto& d : drivers_) d->advance_interval();
+}
+
+SlaSummary FabricRequestSession::summary() const {
+  SlaSummary merged;
+  for (const auto& d : drivers_) merged.merge(d->summary());
+  return merged;
+}
+
+}  // namespace eclb::experiment

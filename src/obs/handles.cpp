@@ -30,8 +30,13 @@ ProtocolInstruments ProtocolInstruments::resolve(MetricsRegistry& registry) {
   h.fenced_commands = &registry.counter("fault.fenced_commands");
   h.shadow_starts = &registry.counter("fault.shadow_starts");
   h.duplicates_resolved = &registry.counter("fault.duplicates_resolved");
+  h.requests_arrived = &registry.counter("requests.arrived");
+  h.requests_completed = &registry.counter("requests.completed");
+  h.request_sla_violations = &registry.counter("requests.sla_violations");
+  h.requests_dropped = &registry.counter("requests.dropped");
   h.intervals = &registry.counter("run.intervals");
   h.unserved_demand = &registry.gauge("protocol.unserved_demand");
+  h.request_backlog = &registry.gauge("requests.backlog_seconds");
   h.energy_kwh = &registry.gauge("run.energy_kwh");
   h.decision_ratio = &registry.histogram("interval.decision_ratio", 0.0, 8.0, 32);
   return h;
@@ -88,6 +93,15 @@ void ProtocolInstruments::record(const cluster::ProtocolEvent& event) {
     case Kind::kReconcile:
       // Convergence time rides in the trace stream's `value`; the heal
       // itself is counted at kPartitionHeal.
+      break;
+    case Kind::kRequestBatch:
+      requests_arrived->inc(event.requests_arrived);
+      requests_completed->inc(event.requests_completed);
+      request_sla_violations->inc(event.requests_violated);
+      requests_dropped->inc(event.requests_dropped);
+      // `value` carries the end-of-interval backlog (seconds of queued
+      // work): a level, so the gauge is overwritten, not accumulated.
+      request_backlog->set(event.value);
       break;
   }
 }

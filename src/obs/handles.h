@@ -44,8 +44,13 @@ struct ProtocolInstruments {
   Counter* fenced_commands{nullptr};
   Counter* shadow_starts{nullptr};
   Counter* duplicates_resolved{nullptr};
+  Counter* requests_arrived{nullptr};
+  Counter* requests_completed{nullptr};
+  Counter* request_sla_violations{nullptr};
+  Counter* requests_dropped{nullptr};
   Counter* intervals{nullptr};
   Gauge* unserved_demand{nullptr};
+  Gauge* request_backlog{nullptr};
   Gauge* energy_kwh{nullptr};
   HistogramMetric* decision_ratio{nullptr};
 

@@ -99,6 +99,18 @@ void TraceWriter::event(const cluster::ProtocolEvent& event) {
       buf_ += ",\"convergence\":";
       append_double(buf_, event.value);
       break;
+    case cluster::ProtocolEvent::Kind::kRequestBatch:
+      buf_ += ",\"arrived\":";
+      append_size(buf_, event.requests_arrived);
+      buf_ += ",\"completed\":";
+      append_size(buf_, event.requests_completed);
+      buf_ += ",\"violated\":";
+      append_size(buf_, event.requests_violated);
+      buf_ += ",\"dropped\":";
+      append_size(buf_, event.requests_dropped);
+      buf_ += ",\"backlog\":";
+      append_double(buf_, event.value);
+      break;
     default:
       break;
   }
@@ -149,6 +161,24 @@ void TraceWriter::interval_end(const cluster::IntervalReport& report,
   if (report.shadow_starts != 0) field("shadow_starts", report.shadow_starts);
   if (report.duplicates_resolved != 0) {
     field("duplicates_resolved", report.duplicates_resolved);
+  }
+  // Request-engine counters follow the fault-counter rule: omitted when
+  // zero, so an engine-off trace is byte-identical to a pre-engine one.
+  if (report.requests_arrived != 0) {
+    field("requests_arrived", report.requests_arrived);
+  }
+  if (report.requests_completed != 0) {
+    field("requests_completed", report.requests_completed);
+  }
+  if (report.request_sla_violations != 0) {
+    field("requests_violated", report.request_sla_violations);
+  }
+  if (report.requests_dropped != 0) {
+    field("requests_dropped", report.requests_dropped);
+  }
+  if (report.request_backlog != 0.0) {
+    buf_ += ",\"request_backlog\":";
+    append_double(buf_, report.request_backlog);
   }
   buf_ += ",\"unserved\":";
   append_double(buf_, report.unserved_demand);
@@ -217,7 +247,7 @@ std::optional<cluster::ProtocolEvent::Kind> parse_kind(std::string_view name) {
         Kind::kMessageRetried, Kind::kOrphanReplaced, Kind::kMigrationFailed,
         Kind::kCapacityDerate, Kind::kPartitionStart, Kind::kPartitionHeal,
         Kind::kCommandFenced, Kind::kShadowStart, Kind::kDuplicateResolved,
-        Kind::kReconcile}) {
+        Kind::kReconcile, Kind::kRequestBatch}) {
     if (name == cluster::to_string(k)) return k;
   }
   return std::nullopt;
@@ -280,6 +310,23 @@ std::optional<TraceRecord> parse_event(std::string_view line, TraceRecord rec) {
   if (const auto c = number_value(line, "convergence"); c.has_value()) {
     rec.event.value = *c;
   }
+  if (rec.event.kind == cluster::ProtocolEvent::Kind::kRequestBatch) {
+    const auto arrived = size_value(line, "arrived");
+    const auto completed = size_value(line, "completed");
+    const auto violated = size_value(line, "violated");
+    const auto dropped = size_value(line, "dropped");
+    const auto backlog = number_value(line, "backlog");
+    if (!arrived.has_value() || !completed.has_value() ||
+        !violated.has_value() || !dropped.has_value() ||
+        !backlog.has_value()) {
+      return std::nullopt;
+    }
+    rec.event.requests_arrived = static_cast<std::uint32_t>(*arrived);
+    rec.event.requests_completed = static_cast<std::uint32_t>(*completed);
+    rec.event.requests_violated = static_cast<std::uint32_t>(*violated);
+    rec.event.requests_dropped = static_cast<std::uint32_t>(*dropped);
+    rec.event.value = *backlog;
+  }
   return rec;
 }
 
@@ -323,6 +370,13 @@ std::optional<TraceRecord> parse_interval_end(std::string_view line,
   optional_counter("fenced", rec.fenced);
   optional_counter("shadow_starts", rec.shadow_starts);
   optional_counter("duplicates_resolved", rec.duplicates_resolved);
+  optional_counter("requests_arrived", rec.requests_arrived);
+  optional_counter("requests_completed", rec.requests_completed);
+  optional_counter("requests_violated", rec.requests_violated);
+  optional_counter("requests_dropped", rec.requests_dropped);
+  if (const auto b = number_value(line, "request_backlog"); b.has_value()) {
+    rec.request_backlog = *b;
+  }
   const auto unserved = number_value(line, "unserved");
   const auto energy = number_value(line, "energy_j");
   if (!unserved.has_value() || !energy.has_value()) return std::nullopt;

@@ -11,7 +11,9 @@
 //                                            /"command_fenced"
 //        [,"capacity":C]                             kind == "capacity_derate"
 //        [,"sides":N]                                kind == "partition_start"
-//        [,"convergence":S]}                         kind == "reconcile"
+//        [,"convergence":S]                          kind == "reconcile"
+//        [,"arrived":N,"completed":N,"violated":N,"dropped":N,"backlog":W]}
+//                                            kind == "request_batch"
 //   {"type":"interval_end","interval":I,"t":SIM_SECONDS,
 //    "local":N,"in_cluster":N,"migrations":N,"horizontal_starts":N,
 //    "offloads":N,"drains":N,"sleeps":N,"wakes":N,"sla_violations":N,
@@ -20,6 +22,9 @@
 //     "failovers","dropped","retried","orphans_replaced",
 //     "failed_migrations","failed","partitions","heals","fenced",
 //     "shadow_starts","duplicates_resolved",]
+//    [request-engine counters, present only when nonzero:
+//     "requests_arrived","requests_completed","requests_violated",
+//     "requests_dropped","request_backlog",]
 //    "unserved":U,"parked":N,"deep_sleeping":N,"energy_j":E}
 // KIND is cluster::to_string(ProtocolEvent::Kind); "server" is omitted when
 // the event has no associated server.  The per-interval event stream and the
@@ -109,6 +114,13 @@ struct TraceRecord {
   std::size_t fenced{0};
   std::size_t shadow_starts{0};
   std::size_t duplicates_resolved{0};
+
+  // Request-engine counters (omitted when zero, i.e. the engine is off).
+  std::size_t requests_arrived{0};
+  std::size_t requests_completed{0};
+  std::size_t requests_violated{0};
+  std::size_t requests_dropped{0};
+  double request_backlog{0.0};
 };
 
 /// Parses one line of TraceWriter output; nullopt on malformed input.

@@ -1,0 +1,38 @@
+#include "workload/engine/engine.h"
+
+namespace eclb::workload::engine {
+
+RequestEngine::RequestEngine(RequestWorkloadConfig config)
+    : config_(std::move(config)) {
+  streams_.reserve(config_.streams.size());
+  for (std::size_t i = 0; i < config_.streams.size(); ++i) {
+    streams_.emplace_back(config_.streams[i], config_.seed,
+                          static_cast<std::uint32_t>(i));
+  }
+}
+
+bool RequestEngine::ok() const {
+  for (const ArrivalStream& s : streams_) {
+    if (!s.ok()) return false;
+  }
+  return true;
+}
+
+std::string RequestEngine::error() const {
+  for (const ArrivalStream& s : streams_) {
+    if (!s.ok()) return s.error();
+  }
+  return {};
+}
+
+void RequestEngine::generate(common::Seconds t0, common::Seconds t1,
+                             std::vector<std::vector<Request>>* per_stream) {
+  per_stream->resize(streams_.size());
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    (*per_stream)[i].clear();
+    streams_[i].generate(t0, t1, &(*per_stream)[i]);
+    generated_ += (*per_stream)[i].size();
+  }
+}
+
+}  // namespace eclb::workload::engine

@@ -1,0 +1,79 @@
+#include "workload/engine/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eclb::workload::engine {
+
+void LatencyHistogram::record(double seconds) {
+  ++count_;
+  if (!(seconds >= kLoSeconds)) {  // negatives and NaN land in underflow
+    ++underflow_;
+    return;
+  }
+  if (seconds >= kHiSeconds) {
+    ++overflow_;
+    return;
+  }
+  const double pos =
+      std::log10(seconds / kLoSeconds) * static_cast<double>(kBucketsPerDecade);
+  const auto idx = static_cast<std::size_t>(std::clamp(
+      pos, 0.0, static_cast<double>(kBucketCount - 1)));
+  ++buckets_[idx];
+}
+
+double LatencyHistogram::bucket_lower(std::size_t i) {
+  return kLoSeconds *
+         std::pow(10.0, static_cast<double>(i) /
+                            static_cast<double>(kBucketsPerDecade));
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the wanted sample, 1-based; walk the cumulative counts.
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = underflow_;
+  if (rank <= seen) return kLoSeconds;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (rank <= seen + buckets_[i]) {
+      // Geometric interpolation between the bucket edges: the grid is
+      // logarithmic, so the midpoint in log space is the honest estimate.
+      const double lo = bucket_lower(i);
+      const double hi = bucket_lower(i + 1);
+      const double frac = (static_cast<double>(rank - seen) - 0.5) /
+                          static_cast<double>(buckets_[i]);
+      return lo * std::pow(hi / lo, std::clamp(frac, 0.0, 1.0));
+    }
+    seen += buckets_[i];
+  }
+  return kHiSeconds;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+}
+
+std::uint64_t LatencyHistogram::digest() const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis.
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFFu;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(underflow_);
+  mix(overflow_);
+  mix(count_);
+  for (const std::uint64_t b : buckets_) mix(b);
+  return h;
+}
+
+}  // namespace eclb::workload::engine

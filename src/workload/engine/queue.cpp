@@ -1,0 +1,54 @@
+#include "workload/engine/queue.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace eclb::workload::engine {
+
+void RequestQueue::push(const Request& r) {
+  ECLB_ASSERT(r.service > 0.0, "request queue: service work must be > 0");
+  pending_.push_back(Pending{r.arrival, r.service});
+  backlog_work_ += r.service;
+}
+
+QueueServeStats RequestQueue::serve(common::Seconds t0, common::Seconds t1,
+                                    double rate, double sla_seconds,
+                                    LatencyHistogram* hist) {
+  QueueServeStats stats;
+  if (!(rate > 0.0) || t1 <= t0) return stats;
+
+  double cursor = std::max(ready_at_.value, t0.value);
+  while (!pending_.empty()) {
+    Pending& head = pending_.front();
+    const double start = std::max(head.arrival.value, cursor);
+    if (start >= t1.value) break;
+    const double finish = start + head.remaining / rate;
+    if (finish > t1.value) {
+      // The window closes mid-request: bank the work done, keep the head.
+      const double done = rate * (t1.value - start);
+      head.remaining -= done;
+      backlog_work_ = std::max(0.0, backlog_work_ - done);
+      cursor = t1.value;
+      break;
+    }
+    const double sojourn = finish - head.arrival.value;
+    if (hist != nullptr) hist->record(sojourn);
+    ++stats.completed;
+    if (sojourn > sla_seconds) ++stats.sla_violations;
+    backlog_work_ = std::max(0.0, backlog_work_ - head.remaining);
+    pending_.pop_front();
+    cursor = finish;
+  }
+  ready_at_ = common::Seconds{std::min(cursor, t1.value)};
+  return stats;
+}
+
+std::size_t RequestQueue::drop_all() {
+  const std::size_t n = pending_.size();
+  pending_.clear();
+  backlog_work_ = 0.0;
+  return n;
+}
+
+}  // namespace eclb::workload::engine

@@ -1,0 +1,59 @@
+// Per-VM FIFO request queues: the layer that turns request backlog into the
+// utilization signal the protocol consumes.
+//
+// A queue holds the requests routed to one VM and serves them in arrival
+// order at whatever capacity share the host grants (an exact fluid G/G/1
+// model: a request's completion is max(arrival, queue-ready) plus its
+// remaining work over the service rate).  Sojourn times land in the shared
+// log-scale histogram; the remaining backlog is what the request driver
+// converts into the VM's next demand.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/units.h"
+#include "workload/engine/arrivals.h"
+#include "workload/engine/latency.h"
+
+namespace eclb::workload::engine {
+
+/// What one serve window completed.
+struct QueueServeStats {
+  std::size_t completed{0};       ///< Requests finished in the window.
+  std::size_t sla_violations{0};  ///< Finished with sojourn > the SLA.
+};
+
+/// FIFO queue of requests pending on one VM.
+class RequestQueue {
+ public:
+  /// Enqueues a request (callers push in arrival order).
+  void push(const Request& r);
+
+  /// Serves the window [t0, t1) at `rate` capacity-seconds per second (the
+  /// VM's granted share; 0 while the host is overloaded away or gone).
+  /// Completed sojourns are recorded into `hist` and checked against
+  /// `sla_seconds`.  Partial work on the head request carries over.
+  QueueServeStats serve(common::Seconds t0, common::Seconds t1, double rate,
+                        double sla_seconds, LatencyHistogram* hist);
+
+  /// Requests waiting (including the partially served head).
+  [[nodiscard]] std::size_t depth() const { return pending_.size(); }
+  /// Remaining work in the queue, capacity-seconds.
+  [[nodiscard]] double backlog_work() const { return backlog_work_; }
+
+  /// Drops everything (the VM vanished); returns the number dropped.
+  std::size_t drop_all();
+
+ private:
+  struct Pending {
+    common::Seconds arrival{};
+    double remaining{0.0};  ///< Capacity-seconds of work left.
+  };
+
+  std::deque<Pending> pending_;
+  double backlog_work_{0.0};
+  common::Seconds ready_at_{common::Seconds{0.0}};  ///< Server-free time.
+};
+
+}  // namespace eclb::workload::engine

@@ -1,0 +1,51 @@
+// The `--requests` flag grammar: a compact spec for request workloads.
+//
+// Mirrors the fault-plan spec (fault/fault_plan.h): semicolon-separated
+// items, each a stream `kind:key=value,...` or a bare global `key=value`
+// parameter, parsed with byte-offset diagnostics and an expected-grammar
+// hint -- never an ad-hoc parse error.  parse(to_spec()) round-trips.
+//
+//   --requests "poisson:rate=200,mean=0.2;flash:rate=50,burst=8;seed=7"
+//
+// Stream items:
+//   poisson:rate=R                        homogeneous Poisson arrivals
+//   diurnal:rate=R[,amp=A,period=S]       sinusoidal day/night swing
+//   flash:rate=R[,burst=M,on=S,off=S]     MMPP-2 flash crowds
+//   trace:file=PATH[,scale=F]             rate replayed from a trace stream
+// Per-stream options (any item): service=exp|lognormal|pareto, mean=S,
+//   sigma=F, alpha=F, sla=SECS.
+// Global parameters: seed=N, util=F (queue-to-demand target utilization),
+//   sla=SECS (default for streams without their own).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/engine/arrivals.h"
+
+namespace eclb::workload::engine {
+
+/// A parsed request workload: the streams plus the engine-level knobs.
+struct RequestWorkloadConfig {
+  std::vector<StreamSpec> streams;
+
+  /// Master seed of the engine; stream `i` draws from mix_seed(seed, i).
+  std::uint64_t seed{1};
+
+  /// Queue-to-demand conversion target: a VM asks for enough capacity to
+  /// serve its backlog at this utilization (demand = work rate / util).
+  double target_utilization{0.7};
+
+  /// Parses the flag spec.  On failure returns nullopt and, when `error` is
+  /// non-null, a diagnostic with the byte offset and expected grammar.
+  [[nodiscard]] static std::optional<RequestWorkloadConfig> parse(
+      std::string_view spec, std::string* error);
+
+  /// Serializes back into the flag syntax (parse(to_spec()) round-trips).
+  [[nodiscard]] std::string to_spec() const;
+};
+
+}  // namespace eclb::workload::engine

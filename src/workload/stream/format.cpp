@@ -1,0 +1,129 @@
+#include "workload/stream/format.h"
+
+#include <cstring>
+
+namespace eclb::workload::stream {
+
+namespace {
+
+/// The reflected CRC-32 table, built once.
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& crc_table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+std::string_view to_string(StreamCodec codec) {
+  switch (codec) {
+    case StreamCodec::kBinary: return "binary";
+    case StreamCodec::kText: return "text";
+  }
+  return "?";
+}
+
+std::string_view to_string(StreamStatus status) {
+  switch (status) {
+    case StreamStatus::kOk: return "ok";
+    case StreamStatus::kEof: return "eof";
+    case StreamStatus::kIoError: return "io error";
+    case StreamStatus::kBadMagic: return "bad magic";
+    case StreamStatus::kBadHeader: return "bad header";
+    case StreamStatus::kTruncatedChunk: return "truncated chunk";
+    case StreamStatus::kCorruptChunk: return "corrupt chunk";
+  }
+  return "?";
+}
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const Crc32Table& table = crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table.entries[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void put_u32(std::uint32_t value, char* out) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<char>((value >> (8 * i)) & 0xFFu);
+  }
+}
+
+void put_u64(std::uint64_t value, char* out) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<char>((value >> (8 * i)) & 0xFFu);
+  }
+}
+
+void put_f64(double value, char* out) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  put_u64(bits, out);
+}
+
+std::uint32_t get_u32(const char* in) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(in[i]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const char* in) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(in[i]);
+  }
+  return v;
+}
+
+double get_f64(const char* in) {
+  const std::uint64_t bits = get_u64(in);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void encode_header(const StreamHeader& header, char* out) {
+  std::memcpy(out, kMagic.data(), kMagic.size());
+  out[8] = static_cast<char>(header.codec);
+  out[9] = out[10] = out[11] = 0;
+  put_f64(header.dt, out + 12);
+  put_u32(header.samples_per_chunk, out + 20);
+  put_u64(header.total_samples, out + 24);
+}
+
+StreamStatus decode_header(const char* in, StreamHeader* out) {
+  if (std::memcmp(in, kMagic.data(), kMagic.size()) != 0) {
+    return StreamStatus::kBadMagic;
+  }
+  const auto codec = static_cast<std::uint8_t>(in[8]);
+  if (codec > static_cast<std::uint8_t>(StreamCodec::kText)) {
+    return StreamStatus::kBadHeader;
+  }
+  out->codec = static_cast<StreamCodec>(codec);
+  out->dt = get_f64(in + 12);
+  out->samples_per_chunk = get_u32(in + 20);
+  out->total_samples = get_u64(in + 24);
+  if (!(out->dt > 0.0) || out->samples_per_chunk == 0) {
+    return StreamStatus::kBadHeader;
+  }
+  return StreamStatus::kOk;
+}
+
+}  // namespace eclb::workload::stream

@@ -1,0 +1,104 @@
+// The ECLB streaming trace format: chunked demand curves for bounded-memory
+// replay.
+//
+// A CSV trace (workload/trace_io.h) must be materialized whole before the
+// first sample is usable; a multi-GB production trace would be bounded by
+// RAM, not CPU.  The stream format frames the same uniform-grid samples into
+// fixed-size chunks -- each independently CRC-checked -- so a reader holds
+// at most one chunk in memory while replaying, and a corrupt or truncated
+// tail is detected exactly at the chunk that carries it.
+//
+// Layout (all integers little-endian):
+//
+//   header (32 bytes):
+//     magic              8 bytes   "ECLBTRS1"
+//     codec              1 byte    0 = binary, 1 = text
+//     reserved           3 bytes   zero
+//     dt                 8 bytes   grid spacing in seconds (IEEE-754 double)
+//     samples_per_chunk  4 bytes   full-chunk sample count (> 0)
+//     total_samples      8 bytes   samples in the stream (patched by the
+//                                  writer at finish; 0 while streaming)
+//   chunk (repeated; every chunk but the last holds samples_per_chunk):
+//     count              4 bytes   samples in this chunk (> 0)
+//     payload_len        4 bytes   payload bytes that follow the CRC
+//     crc32              4 bytes   CRC-32 (IEEE) of the payload bytes
+//     payload            payload_len bytes
+//
+// The binary codec packs `count` doubles; the text codec packs one decimal
+// per line ('\n'-terminated, round-trip precision), so a chunk payload is
+// grep-able on disk while keeping the same framing and CRC protection.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace eclb::workload::stream {
+
+/// File magic identifying format version 1.
+inline constexpr std::array<char, 8> kMagic = {'E', 'C', 'L', 'B',
+                                               'T', 'R', 'S', '1'};
+
+/// Serialized header size in bytes.
+inline constexpr std::size_t kHeaderBytes = 32;
+/// Per-chunk frame overhead (count + payload_len + crc32).
+inline constexpr std::size_t kChunkFrameBytes = 12;
+
+/// How chunk payloads encode samples.
+enum class StreamCodec : std::uint8_t {
+  kBinary = 0,  ///< Packed little-endian doubles.
+  kText = 1,    ///< One decimal per '\n'-terminated line.
+};
+
+/// Display name ("binary" / "text").
+[[nodiscard]] std::string_view to_string(StreamCodec codec);
+
+/// Everything the header carries.
+struct StreamHeader {
+  StreamCodec codec{StreamCodec::kBinary};
+  double dt{60.0};                      ///< Grid spacing in seconds.
+  std::uint32_t samples_per_chunk{0};   ///< Full-chunk sample count.
+  std::uint64_t total_samples{0};       ///< 0 while a writer is streaming.
+};
+
+/// Outcome of a stream read step.  Everything except kOk / kEof is a
+/// hard error: the reader refuses to continue past the damaged chunk.
+enum class StreamStatus : std::uint8_t {
+  kOk = 0,
+  kEof = 1,             ///< Clean end of stream.
+  kIoError = 2,         ///< File could not be opened / read.
+  kBadMagic = 3,        ///< Not an ECLB trace stream.
+  kBadHeader = 4,       ///< Magic matched but the header is malformed.
+  kTruncatedChunk = 5,  ///< The file ends inside a chunk frame or payload.
+  kCorruptChunk = 6,    ///< CRC mismatch or undecodable payload.
+};
+
+/// Display name of a status (stable; used in tool diagnostics).
+[[nodiscard]] std::string_view to_string(StreamStatus status);
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `len` bytes.
+/// Chain calls by passing the previous return as `seed`; the default seed is
+/// the standard initial value.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len,
+                                  std::uint32_t seed = 0);
+
+// --- little-endian field helpers (shared by writer and reader) -------------
+
+/// Appends `value` to `out` little-endian.
+void put_u32(std::uint32_t value, char* out);
+void put_u64(std::uint64_t value, char* out);
+void put_f64(double value, char* out);
+
+/// Reads a little-endian field from `in` (must hold enough bytes).
+[[nodiscard]] std::uint32_t get_u32(const char* in);
+[[nodiscard]] std::uint64_t get_u64(const char* in);
+[[nodiscard]] double get_f64(const char* in);
+
+/// Serializes `header` into a kHeaderBytes buffer.
+void encode_header(const StreamHeader& header, char* out);
+
+/// Parses a kHeaderBytes buffer.  Returns kOk, kBadMagic or kBadHeader.
+[[nodiscard]] StreamStatus decode_header(const char* in, StreamHeader* out);
+
+}  // namespace eclb::workload::stream

@@ -1,0 +1,93 @@
+// Streaming trace reader: unpacks CRC-protected chunks incrementally.
+//
+// The reader holds exactly one decoded chunk at a time -- peak memory is
+// O(samples_per_chunk), never O(file size) -- so a multi-GB on-disk trace
+// replays bounded by CPU (the bounded-RSS test in tests/workload asserts
+// this via common::peak_rss_bytes).  Damage is localized: a truncated file
+// or flipped payload bit surfaces as kTruncatedChunk / kCorruptChunk exactly
+// at the chunk that carries it, and the reader refuses to continue past it.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "workload/stream/format.h"
+
+namespace eclb::workload::stream {
+
+/// Forward-only chunk reader over one ECLB trace stream.
+class TraceStreamReader {
+ public:
+  /// Opens `path` and parses the header; check status() before reading.
+  explicit TraceStreamReader(const std::string& path);
+
+  /// kOk after a successful construction / next_chunk, kEof at the clean
+  /// end, anything else a hard error.
+  [[nodiscard]] StreamStatus status() const { return status_; }
+  /// The parsed header (valid when status() is not an open error).
+  [[nodiscard]] const StreamHeader& header() const { return header_; }
+  /// Samples decoded so far.
+  [[nodiscard]] std::uint64_t samples_read() const { return samples_read_; }
+  /// Chunks decoded so far.
+  [[nodiscard]] std::uint64_t chunks_read() const { return chunks_read_; }
+
+  /// Decodes the next chunk into `out` (cleared first; capacity reused
+  /// across calls).  Returns kOk with samples, kEof at the clean end of the
+  /// stream (out left empty), or the error that stopped the read.  After an
+  /// error or kEof every further call returns the same status.
+  StreamStatus next_chunk(std::vector<double>* out);
+
+ private:
+  StreamStatus decode_payload(std::uint32_t count, std::vector<double>* out);
+
+  std::ifstream in_;
+  StreamHeader header_{};
+  StreamStatus status_{StreamStatus::kIoError};
+  std::string payload_;  ///< Reused raw-payload buffer.
+  std::uint64_t samples_read_{0};
+  std::uint64_t chunks_read_{0};
+};
+
+/// Forward-only interpolating cursor over a trace stream: the rate signal a
+/// trace-modulated arrival stream consumes.  Values between grid points are
+/// linearly interpolated (clamped ends, like Trace::demand_at); the cursor
+/// keeps the current chunk plus one carry sample for cross-chunk
+/// interpolation, so memory stays bounded by the chunk size.  Time must not
+/// go backwards across calls.
+class TraceRateCursor {
+ public:
+  explicit TraceRateCursor(const std::string& path);
+
+  /// kOk / kEof when usable; an open or chunk error otherwise.
+  [[nodiscard]] StreamStatus status() const { return status_; }
+  [[nodiscard]] const StreamHeader& header() const { return reader_.header(); }
+
+  /// Interpolated value at `t` (seconds >= 0, non-decreasing across calls).
+  /// Past the last sample the final value holds (clamped replay).
+  [[nodiscard]] double value_at(common::Seconds t);
+
+  /// Upper bound of the value over [t0, t1): the max of every grid sample
+  /// whose segment overlaps the window (the thinning envelope).  Advances
+  /// the cursor to cover t1.
+  [[nodiscard]] double window_max(common::Seconds t0, common::Seconds t1);
+
+ private:
+  /// Ensures samples through grid index `idx` are loaded (or EOF reached).
+  void load_through(std::uint64_t idx);
+  /// Sample at absolute grid index `idx`; clamps past the end.
+  [[nodiscard]] double sample(std::uint64_t idx) const;
+
+  TraceStreamReader reader_;
+  StreamStatus status_{StreamStatus::kIoError};
+  std::vector<double> chunk_;      ///< Current chunk's samples.
+  std::uint64_t chunk_base_{0};    ///< Absolute index of chunk_[0].
+  double carry_{0.0};              ///< Last sample of the previous chunk.
+  bool has_carry_{false};
+  bool exhausted_{false};
+  double last_value_{0.0};         ///< Final sample seen (clamp value).
+};
+
+}  // namespace eclb::workload::stream

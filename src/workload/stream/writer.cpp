@@ -1,0 +1,76 @@
+#include "workload/stream/writer.h"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace eclb::workload::stream {
+
+TraceStreamWriter::TraceStreamWriter(const std::string& path, StreamCodec codec,
+                                     double dt,
+                                     std::uint32_t samples_per_chunk)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  header_.codec = codec;
+  header_.dt = dt;
+  header_.samples_per_chunk = samples_per_chunk == 0 ? 1 : samples_per_chunk;
+  header_.total_samples = 0;
+  if (!out_.is_open() || !(dt > 0.0)) return;
+  std::array<char, kHeaderBytes> buf{};
+  encode_header(header_, buf.data());
+  out_.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  ok_ = out_.good();
+  pending_.reserve(header_.samples_per_chunk);
+}
+
+TraceStreamWriter::~TraceStreamWriter() { finish(); }
+
+void TraceStreamWriter::push(double demand) {
+  if (!ok_ || finished_) return;
+  pending_.push_back(demand);
+  ++total_;
+  if (pending_.size() >= header_.samples_per_chunk) flush_chunk();
+}
+
+void TraceStreamWriter::flush_chunk() {
+  if (pending_.empty()) return;
+  payload_.clear();
+  if (header_.codec == StreamCodec::kBinary) {
+    payload_.resize(pending_.size() * sizeof(double));
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      put_f64(pending_[i], payload_.data() + i * sizeof(double));
+    }
+  } else {
+    char line[64];
+    for (const double v : pending_) {
+      const int n = std::snprintf(line, sizeof(line), "%.17g\n", v);
+      payload_.append(line, static_cast<std::size_t>(n));
+    }
+  }
+  std::array<char, kChunkFrameBytes> frame{};
+  put_u32(static_cast<std::uint32_t>(pending_.size()), frame.data());
+  put_u32(static_cast<std::uint32_t>(payload_.size()), frame.data() + 4);
+  put_u32(crc32(payload_.data(), payload_.size()), frame.data() + 8);
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.write(payload_.data(), static_cast<std::streamsize>(payload_.size()));
+  ok_ = ok_ && out_.good();
+  pending_.clear();
+}
+
+bool TraceStreamWriter::finish() {
+  if (finished_) return ok_;
+  finished_ = true;
+  if (!ok_) return false;
+  flush_chunk();
+  // Patch total_samples into the header now that the count is known.
+  header_.total_samples = total_;
+  out_.seekp(24, std::ios::beg);
+  std::array<char, 8> count{};
+  put_u64(total_, count.data());
+  out_.write(count.data(), static_cast<std::streamsize>(count.size()));
+  out_.flush();
+  ok_ = ok_ && out_.good();
+  out_.close();
+  return ok_;
+}
+
+}  // namespace eclb::workload::stream

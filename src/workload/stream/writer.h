@@ -1,0 +1,54 @@
+// Streaming trace writer: frames pushed samples into CRC-protected chunks.
+//
+// The writer never holds more than one chunk of samples; finish() flushes
+// the partial tail chunk and patches total_samples back into the header, so
+// a generator can stream a trace far larger than memory (trace-gen does).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "workload/stream/format.h"
+
+namespace eclb::workload::stream {
+
+/// Writes one ECLB trace stream.  Not copyable; the destructor finishes the
+/// stream if finish() was not called explicitly.
+class TraceStreamWriter {
+ public:
+  /// Opens `path` for writing and emits the header (total_samples = 0 until
+  /// finish()).  Check ok() before pushing.
+  TraceStreamWriter(const std::string& path, StreamCodec codec, double dt,
+                    std::uint32_t samples_per_chunk = 4096);
+  ~TraceStreamWriter();
+  TraceStreamWriter(const TraceStreamWriter&) = delete;
+  TraceStreamWriter& operator=(const TraceStreamWriter&) = delete;
+
+  /// True while the file is healthy.
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// Samples pushed so far.
+  [[nodiscard]] std::uint64_t total_samples() const { return total_; }
+  /// The header being written.
+  [[nodiscard]] const StreamHeader& header() const { return header_; }
+
+  /// Appends one sample (demand >= 0); flushes a chunk when full.
+  void push(double demand);
+
+  /// Flushes the tail chunk and patches total_samples into the header.
+  /// Returns ok().  Idempotent.
+  bool finish();
+
+ private:
+  void flush_chunk();
+
+  StreamHeader header_{};
+  std::ofstream out_;
+  std::vector<double> pending_;
+  std::string payload_;  ///< Reused chunk encode buffer.
+  std::uint64_t total_{0};
+  bool ok_{false};
+  bool finished_{false};
+};
+
+}  // namespace eclb::workload::stream

@@ -46,8 +46,16 @@ double Trace::mean() const {
 
 Trace sample(const Profile& profile, common::Seconds dt, common::Seconds horizon) {
   Trace trace(dt);
-  const auto steps =
-      static_cast<std::size_t>(std::floor(horizon.value / dt.value));
+  auto steps = static_cast<std::size_t>(std::floor(horizon.value / dt.value));
+  // The quotient of a horizon that IS a whole number of steps can still land
+  // just below the integer in floating point (1.0 / 0.1 -> 9.999...), which
+  // would drop the final grid point the "inclusive of both ends" contract
+  // promises.  Snap up when the next grid point sits within a half-ulp-scale
+  // tolerance of the horizon; exact multiples are unaffected.
+  if (static_cast<double>(steps + 1) * dt.value <=
+      horizon.value + 1e-9 * dt.value) {
+    ++steps;
+  }
   for (std::size_t i = 0; i <= steps; ++i) {
     trace.push(std::max(0.0, profile.demand(dt * static_cast<double>(i))));
   }

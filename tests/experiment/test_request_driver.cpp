@@ -1,0 +1,189 @@
+// Request driver tests: conservation of requests, recorder plumbing,
+// bit-identical replay, and thread-count-independent fabric sessions.
+#include "experiment/request_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/fabric.h"
+#include "experiment/scenario.h"
+
+namespace eclb::experiment {
+namespace {
+
+workload::engine::RequestWorkloadConfig parse_workload(const char* spec) {
+  std::string error;
+  const auto cfg = workload::engine::RequestWorkloadConfig::parse(spec, &error);
+  EXPECT_TRUE(cfg.has_value()) << error;
+  return *cfg;
+}
+
+cluster::ClusterConfig driver_cluster_config(std::size_t servers,
+                                             std::uint64_t seed) {
+  auto cfg = paper_cluster_config(servers, AverageLoad::kLow30, seed);
+  cfg.demand_evolution_enabled = false;
+  return cfg;
+}
+
+TEST(RequestDriver, ConservesEveryRoutedRequest) {
+  cluster::Cluster c(driver_cluster_config(30, 11));
+  RequestDriver driver(
+      c, parse_workload("poisson:rate=60,mean=0.2;flash:rate=20;seed=4"));
+  ASSERT_TRUE(driver.ok());
+  for (int i = 0; i < 6; ++i) {
+    driver.advance_interval();
+    c.step();
+    // Every generated request is routed (live VMs exist in this fault-free
+    // run), and every routed request is completed, dropped, or still queued
+    // -- the queue mirror on the servers must agree with the gap.
+    const SlaSummary s = driver.summary();
+    EXPECT_EQ(s.arrived, driver.total_generated());
+    std::size_t queued = 0;
+    for (const auto& server : c.servers()) queued += server.queued_requests();
+    EXPECT_EQ(s.arrived, s.completed + s.dropped + queued);
+  }
+  const SlaSummary s = driver.summary();
+  EXPECT_GT(s.arrived, 0U);
+  EXPECT_GT(s.completed, 0U);
+  EXPECT_EQ(s.histogram.count(), s.completed);
+  EXPECT_GE(s.completed, s.sla_violations);
+}
+
+TEST(RequestDriver, BooksBatchesIntoTheIntervalReport) {
+  cluster::Cluster c(driver_cluster_config(20, 7));
+  RequestDriver driver(c, parse_workload("poisson:rate=40,mean=0.1;seed=2"));
+  ASSERT_TRUE(driver.ok());
+  std::uint64_t reported_arrived = 0;
+  std::uint64_t reported_completed = 0;
+  double last_backlog = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    driver.advance_interval();
+    const auto report = c.step();
+    reported_arrived += report.requests_arrived;
+    reported_completed += report.requests_completed;
+    last_backlog = report.request_backlog;
+  }
+  // The per-interval deltas in the reports must sum to the driver's totals,
+  // and the report's backlog gauge is the driver's current level.
+  const SlaSummary s = driver.summary();
+  EXPECT_EQ(reported_arrived, s.arrived);
+  EXPECT_EQ(reported_completed, s.completed);
+  EXPECT_DOUBLE_EQ(last_backlog, s.backlog);
+}
+
+TEST(RequestDriver, BackloggedVmsReceiveNonZeroDemand) {
+  cluster::Cluster c(driver_cluster_config(20, 3));
+  RequestDriver driver(c, parse_workload("poisson:rate=100,mean=0.3;seed=9"));
+  ASSERT_TRUE(driver.ok());
+  for (int i = 0; i < 3; ++i) {
+    driver.advance_interval();
+    c.step();
+  }
+  // With a steady offered load some VM must be asking for capacity.
+  double total_demand = 0.0;
+  for (const auto& server : c.servers()) {
+    for (const auto& vm : server.vms()) total_demand += vm.demand();
+  }
+  EXPECT_GT(total_demand, 0.0);
+}
+
+TEST(RequestDriver, ReplayIsBitIdentical) {
+  const auto workload = parse_workload(
+      "diurnal:rate=50,amp=0.6,period=1200,mean=0.2;seed=6");
+  auto run = [&] {
+    cluster::Cluster c(driver_cluster_config(25, 21));
+    RequestDriver driver(c, workload);
+    EXPECT_TRUE(driver.ok());
+    for (int i = 0; i < 8; ++i) {
+      driver.advance_interval();
+      c.step();
+    }
+    return driver.summary();
+  };
+  const SlaSummary a = run();
+  const SlaSummary b = run();
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.arrived, b.arrived);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.sla_violations, b.sla_violations);
+  EXPECT_EQ(a.backlog, b.backlog);
+}
+
+TEST(RequestDriver, RejectsMissingTraceStream) {
+  cluster::Cluster c(driver_cluster_config(10, 1));
+  RequestDriver driver(c,
+                       parse_workload("trace:file=/nonexistent/missing.trs"));
+  EXPECT_FALSE(driver.ok());
+  EXPECT_FALSE(driver.error().empty());
+}
+
+TEST(ShardWorkloadConfig, SplitsRatesAndDerivesSeeds) {
+  const auto base =
+      parse_workload("poisson:rate=90;trace:file=/tmp/x.trs,scale=3;seed=5");
+  const auto s0 = shard_workload_config(base, 0, 3);
+  const auto s1 = shard_workload_config(base, 1, 3);
+  EXPECT_DOUBLE_EQ(s0.streams[0].rate, 30.0);
+  EXPECT_DOUBLE_EQ(s0.streams[1].trace_scale, 1.0);
+  EXPECT_NE(s0.seed, s1.seed);  // Shards draw distinct arrival sequences.
+  // One shard of one is the identity.
+  const auto whole = shard_workload_config(base, 0, 1);
+  EXPECT_DOUBLE_EQ(whole.streams[0].rate, 90.0);
+  EXPECT_EQ(whole.seed, base.seed);
+}
+
+TEST(FabricRequestSession, MergesShardSummaries) {
+  cluster::FabricConfig fcfg;
+  fcfg.shard_count = 3;
+  fcfg.threads = 1;
+  fcfg.cluster_template = driver_cluster_config(15, 19);
+  cluster::Fabric fabric(fcfg);
+  FabricRequestSession session(
+      fabric, parse_workload("poisson:rate=60,mean=0.2;seed=8"));
+  ASSERT_TRUE(session.ok());
+  ASSERT_EQ(session.size(), 3U);
+  for (int i = 0; i < 4; ++i) {
+    session.advance_interval();
+    fabric.step();
+  }
+  const SlaSummary merged = session.summary();
+  std::uint64_t arrived = 0;
+  std::uint64_t completed = 0;
+  for (std::size_t s = 0; s < session.size(); ++s) {
+    arrived += session.driver(s).summary().arrived;
+    completed += session.driver(s).summary().completed;
+  }
+  EXPECT_EQ(merged.arrived, arrived);
+  EXPECT_EQ(merged.completed, completed);
+  EXPECT_GT(merged.arrived, 0U);
+}
+
+TEST(FabricRequestSession, ThreadCountDoesNotChangeTheRun) {
+  const auto workload =
+      parse_workload("flash:rate=45,burst=5,on=120,off=500,mean=0.2;seed=14");
+  auto run = [&](std::size_t threads) {
+    cluster::FabricConfig fcfg;
+    fcfg.shard_count = 4;
+    fcfg.threads = threads;
+    fcfg.cluster_template = driver_cluster_config(12, 23);
+    cluster::Fabric fabric(fcfg);
+    FabricRequestSession session(fabric, workload);
+    EXPECT_TRUE(session.ok());
+    std::vector<std::uint64_t> digests;
+    for (int i = 0; i < 5; ++i) {
+      session.advance_interval();
+      digests.push_back(cluster::fabric_report_digest(fabric.step()));
+    }
+    digests.push_back(fabric.state_digest());
+    digests.push_back(session.summary().digest());
+    return digests;
+  };
+  const auto one = run(1);
+  EXPECT_EQ(run(2), one);
+  EXPECT_EQ(run(8), one);
+}
+
+}  // namespace
+}  // namespace eclb::experiment

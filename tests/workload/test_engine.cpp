@@ -1,0 +1,389 @@
+// Property tests for the request engine: arrival-rate laws, seed
+// determinism, heavy-tail service moments, the spec grammar, the exact
+// fluid queue, and the log-scale sojourn histogram.
+#include "workload/engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "workload/engine/latency.h"
+#include "workload/engine/queue.h"
+#include "workload/engine/sampler.h"
+#include "workload/engine/spec.h"
+
+namespace eclb::workload::engine {
+namespace {
+
+using common::Seconds;
+
+// --- spec grammar -----------------------------------------------------------
+
+TEST(RequestSpec, ParsesMinimalStream) {
+  std::string error;
+  const auto cfg = RequestWorkloadConfig::parse("poisson:rate=100", &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  ASSERT_EQ(cfg->streams.size(), 1U);
+  EXPECT_EQ(cfg->streams[0].kind, StreamKind::kPoisson);
+  EXPECT_DOUBLE_EQ(cfg->streams[0].rate, 100.0);
+  EXPECT_EQ(cfg->seed, 1U);
+  EXPECT_DOUBLE_EQ(cfg->target_utilization, 0.7);
+}
+
+TEST(RequestSpec, ParsesMultiStreamWithGlobals) {
+  std::string error;
+  const auto cfg = RequestWorkloadConfig::parse(
+      "poisson:rate=200,mean=0.1,service=pareto,alpha=2.2;"
+      "flash:rate=40,burst=6,on=90,off=700,sla=30;"
+      "seed=11;util=0.5;sla=2",
+      &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  ASSERT_EQ(cfg->streams.size(), 2U);
+  EXPECT_EQ(cfg->seed, 11U);
+  EXPECT_DOUBLE_EQ(cfg->target_utilization, 0.5);
+  EXPECT_EQ(cfg->streams[0].service.kind, ServiceKind::kPareto);
+  EXPECT_DOUBLE_EQ(cfg->streams[0].service.alpha, 2.2);
+  // The global sla applies to streams without their own.
+  EXPECT_DOUBLE_EQ(cfg->streams[0].sla_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(cfg->streams[1].sla_seconds, 30.0);
+  EXPECT_DOUBLE_EQ(cfg->streams[1].burst, 6.0);
+}
+
+TEST(RequestSpec, RoundTripsThroughToSpec) {
+  std::string error;
+  const auto cfg = RequestWorkloadConfig::parse(
+      "diurnal:rate=80,amp=0.4,period=7200;trace:file=/tmp/x.trs,scale=2;"
+      "seed=3;util=0.6",
+      &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  const auto again = RequestWorkloadConfig::parse(cfg->to_spec(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->to_spec(), cfg->to_spec());
+  ASSERT_EQ(again->streams.size(), 2U);
+  EXPECT_DOUBLE_EQ(again->streams[0].amplitude, 0.4);
+  EXPECT_EQ(again->streams[1].trace_file, "/tmp/x.trs");
+}
+
+TEST(RequestSpec, DiagnosticsCarryByteOffsetAndGrammar) {
+  // Errors follow the fault-plan style: the failing item, its byte offset
+  // in the full spec, and the expected grammar.
+  std::string error;
+  EXPECT_FALSE(
+      RequestWorkloadConfig::parse("poisson:rate=50;bogus:rate=1", &error)
+          .has_value());
+  EXPECT_NE(error.find("at offset 16"), std::string::npos) << error;
+  EXPECT_NE(error.find("expected"), std::string::npos) << error;
+
+  EXPECT_FALSE(
+      RequestWorkloadConfig::parse("poisson:rate=-3", &error).has_value());
+  EXPECT_NE(error.find("rate"), std::string::npos) << error;
+  EXPECT_NE(error.find("at offset 0"), std::string::npos) << error;
+
+  EXPECT_FALSE(RequestWorkloadConfig::parse("seed=4", &error).has_value());
+  EXPECT_NE(error.find("no stream"), std::string::npos) << error;
+}
+
+// --- service-time sampler ---------------------------------------------------
+
+TEST(ServiceSampler, EmpiricalMeanMatchesEveryLaw) {
+  // n = 200k draws: the lognormal with sigma = 1 has CV^2 = e - 1, so the
+  // standard error of the mean is mean * sqrt((e-1)/n) ~ 0.3 % -- a 5-sigma
+  // band stays a tight test without flaking.
+  constexpr std::size_t kDraws = 200000;
+  for (const ServiceKind kind :
+       {ServiceKind::kExponential, ServiceKind::kLognormal,
+        ServiceKind::kPareto}) {
+    ServiceModel model;
+    model.kind = kind;
+    model.mean = 0.25;
+    model.sigma = 1.0;
+    model.alpha = 2.5;
+    const ServiceSampler sampler(model);
+    common::Rng rng(99);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < kDraws; ++i) {
+      const double s = sampler.sample(rng);
+      ASSERT_GT(s, 0.0);
+      sum += s;
+    }
+    const double mean = sum / static_cast<double>(kDraws);
+    const double sigma_of_mean =
+        std::sqrt(sampler.theoretical_variance() /
+                  static_cast<double>(kDraws));
+    EXPECT_NEAR(mean, sampler.theoretical_mean(), 5.0 * sigma_of_mean)
+        << to_string(kind);
+  }
+}
+
+TEST(ServiceSampler, HeavyTailsDominateTheExponential) {
+  // Same mean, very different tails: the lognormal (sigma = 1.5) and Pareto
+  // (alpha = 2.1) must put visibly more mass far above the mean than the
+  // exponential does -- the property that makes p999 interesting.
+  constexpr std::size_t kDraws = 100000;
+  const double threshold = 10.0 * 0.2;  // 10x the mean.
+  auto tail_fraction = [&](ServiceKind kind, double sigma, double alpha) {
+    ServiceModel model;
+    model.kind = kind;
+    model.mean = 0.2;
+    model.sigma = sigma;
+    model.alpha = alpha;
+    const ServiceSampler sampler(model);
+    common::Rng rng(7);
+    std::size_t over = 0;
+    for (std::size_t i = 0; i < kDraws; ++i) {
+      if (sampler.sample(rng) > threshold) ++over;
+    }
+    return static_cast<double>(over) / static_cast<double>(kDraws);
+  };
+  const double exp_tail = tail_fraction(ServiceKind::kExponential, 1.0, 2.5);
+  const double logn_tail = tail_fraction(ServiceKind::kLognormal, 1.5, 2.5);
+  const double pareto_tail = tail_fraction(ServiceKind::kPareto, 1.0, 2.1);
+  EXPECT_GT(logn_tail, 4.0 * exp_tail);
+  EXPECT_GT(pareto_tail, 4.0 * exp_tail);
+}
+
+// --- arrival streams --------------------------------------------------------
+
+std::size_t count_arrivals(const StreamSpec& spec, std::uint64_t seed,
+                           double horizon, double window) {
+  ArrivalStream stream(spec, seed, 0);
+  std::vector<Request> out;
+  std::size_t n = 0;
+  for (double t = 0.0; t < horizon; t += window) {
+    out.clear();
+    stream.generate(Seconds{t}, Seconds{t + window}, &out);
+    n += out.size();
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+      EXPECT_LE(out[i].arrival.value, out[i + 1].arrival.value);
+    }
+    for (const Request& r : out) {
+      EXPECT_GE(r.arrival.value, t);
+      EXPECT_LT(r.arrival.value, t + window);
+      EXPECT_GT(r.service, 0.0);
+    }
+  }
+  return n;
+}
+
+TEST(ArrivalStream, PoissonEmpiricalRateWithinFiveSigma) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kPoisson;
+  spec.rate = 120.0;
+  const double horizon = 3600.0;
+  const double expected = spec.rate * horizon;
+  const double sigma = std::sqrt(expected);
+  const auto n = count_arrivals(spec, 42, horizon, 60.0);
+  EXPECT_NEAR(static_cast<double>(n), expected, 5.0 * sigma);
+}
+
+TEST(ArrivalStream, DiurnalEmpiricalRateMatchesMeanRate) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kDiurnal;
+  spec.rate = 90.0;
+  spec.amplitude = 0.7;
+  spec.period = Seconds{3600.0};
+  // Over whole periods the sinusoid integrates out: mean_rate == rate.
+  EXPECT_DOUBLE_EQ(mean_rate(spec), 90.0);
+  const double horizon = 4.0 * 3600.0;
+  const double expected = mean_rate(spec) * horizon;
+  const auto n = count_arrivals(spec, 13, horizon, 60.0);
+  EXPECT_NEAR(static_cast<double>(n), expected, 5.0 * std::sqrt(expected));
+}
+
+TEST(ArrivalStream, FlashEmpiricalRateMatchesMeanRate) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kFlash;
+  spec.rate = 50.0;
+  spec.burst = 8.0;
+  spec.on_mean = Seconds{120.0};
+  spec.off_mean = Seconds{600.0};
+  // mean_rate weighs the on-state by its stationary fraction.
+  const double on_frac = 120.0 / (120.0 + 600.0);
+  EXPECT_NEAR(mean_rate(spec), 50.0 * (1.0 + on_frac * 7.0), 1e-9);
+  const double horizon = 8.0 * 3600.0;
+  const double expected = mean_rate(spec) * horizon;
+  // The modulating chain adds variance beyond Poisson: at ~12 on/off cycles
+  // an 8x burst swings counts by whole-burst quanta, so the band is wider
+  // (5 sigma of a Poisson would flake on the chain's own variance).
+  const auto n = count_arrivals(spec, 77, horizon, 60.0);
+  EXPECT_NEAR(static_cast<double>(n), expected, 0.25 * expected);
+}
+
+TEST(ArrivalStream, SameSeedSameSequenceDifferentSeedDiffers) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kFlash;
+  spec.rate = 60.0;
+  auto collect = [&](std::uint64_t seed) {
+    ArrivalStream stream(spec, seed, 0);
+    std::vector<Request> out;
+    stream.generate(Seconds{0.0}, Seconds{600.0}, &out);
+    return out;
+  };
+  const auto a = collect(5);
+  const auto b = collect(5);
+  const auto c = collect(6);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival.value, b[i].arrival.value);
+    EXPECT_EQ(a[i].service, b[i].service);
+  }
+  bool differs = a.size() != c.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].arrival.value != c[i].arrival.value;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ArrivalStream, WindowingChangesTheDrawOrderButNotTheLaw) {
+  // The candidate clock truncates at every window edge and redraws next
+  // window -- exact by memorylessness, so a different windowing yields a
+  // different *realization* of the same process.  Both windowings must obey
+  // the rate law; the bit-level contract is only same-windows -> same-run
+  // (SameSeedSameSequence above), which is what the tau-driven engine
+  // relies on.
+  StreamSpec spec;
+  spec.kind = StreamKind::kDiurnal;
+  spec.rate = 40.0;
+  spec.period = Seconds{1200.0};
+  const double horizon = 3600.0;
+  const double expected = mean_rate(spec) * horizon;
+  const double band = 5.0 * std::sqrt(expected);
+  const auto coarse = count_arrivals(spec, 9, horizon, 600.0);
+  const auto fine = count_arrivals(spec, 9, horizon, 60.0);
+  EXPECT_NEAR(static_cast<double>(coarse), expected, band);
+  EXPECT_NEAR(static_cast<double>(fine), expected, band);
+}
+
+TEST(RequestEngine, StreamsAreIndependentOfEachOther) {
+  // Adding a second stream must not perturb the first (per-stream child
+  // RNGs): stream 0's sequence is identical with and without stream 1.
+  std::string error;
+  const auto solo = RequestWorkloadConfig::parse("poisson:rate=30;seed=21",
+                                                 &error);
+  const auto duo = RequestWorkloadConfig::parse(
+      "poisson:rate=30;flash:rate=90;seed=21", &error);
+  ASSERT_TRUE(solo.has_value() && duo.has_value());
+  RequestEngine a(*solo);
+  RequestEngine b(*duo);
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::vector<std::vector<Request>> out_a;
+  std::vector<std::vector<Request>> out_b;
+  a.generate(Seconds{0.0}, Seconds{300.0}, &out_a);
+  b.generate(Seconds{0.0}, Seconds{300.0}, &out_b);
+  ASSERT_EQ(out_a.size(), 1U);
+  ASSERT_EQ(out_b.size(), 2U);
+  ASSERT_EQ(out_a[0].size(), out_b[0].size());
+  for (std::size_t i = 0; i < out_a[0].size(); ++i) {
+    EXPECT_EQ(out_a[0][i].arrival.value, out_b[0][i].arrival.value);
+  }
+}
+
+TEST(RequestEngine, MissingTraceFileIsAnError) {
+  std::string error;
+  const auto cfg = RequestWorkloadConfig::parse(
+      "trace:file=/nonexistent/x.trs", &error);
+  ASSERT_TRUE(cfg.has_value()) << error;  // The grammar is fine...
+  RequestEngine engine(*cfg);
+  EXPECT_FALSE(engine.ok());  // ...the open fails at construction.
+  EXPECT_FALSE(engine.error().empty());
+}
+
+// --- request queue ----------------------------------------------------------
+
+TEST(RequestQueue, ExactFifoSojourns) {
+  RequestQueue q;
+  q.push({Seconds{0.0}, 2.0});
+  q.push({Seconds{1.0}, 1.0});
+  LatencyHistogram hist;
+  // Rate 1.0: first completes at 2.0 (sojourn 2), second starts when the
+  // server frees at 2.0 and completes at 3.0 (sojourn 2).
+  const auto stats = q.serve(Seconds{0.0}, Seconds{10.0}, 1.0, 1.5, &hist);
+  EXPECT_EQ(stats.completed, 2U);
+  EXPECT_EQ(stats.sla_violations, 2U);  // Both sojourns exceed 1.5 s.
+  EXPECT_EQ(q.depth(), 0U);
+  EXPECT_DOUBLE_EQ(q.backlog_work(), 0.0);
+  EXPECT_EQ(hist.count(), 2U);
+}
+
+TEST(RequestQueue, PartialWorkCarriesAcrossWindows) {
+  RequestQueue q;
+  q.push({Seconds{0.0}, 5.0});
+  LatencyHistogram hist;
+  auto stats = q.serve(Seconds{0.0}, Seconds{2.0}, 1.0, 100.0, &hist);
+  EXPECT_EQ(stats.completed, 0U);
+  EXPECT_EQ(q.depth(), 1U);
+  EXPECT_DOUBLE_EQ(q.backlog_work(), 3.0);  // 2 of 5 cap-s served.
+  // Double the rate: the remaining 3 cap-s take 1.5 s, completing at 3.5.
+  stats = q.serve(Seconds{2.0}, Seconds{4.0}, 2.0, 100.0, &hist);
+  EXPECT_EQ(stats.completed, 1U);
+  EXPECT_DOUBLE_EQ(q.backlog_work(), 0.0);
+  EXPECT_NEAR(hist.quantile(0.5), 3.5, 0.2);  // Sojourn 3.5 s from t = 0.
+}
+
+TEST(RequestQueue, ZeroRateHoldsEverything) {
+  RequestQueue q;
+  q.push({Seconds{0.0}, 1.0});
+  LatencyHistogram hist;
+  const auto stats = q.serve(Seconds{0.0}, Seconds{60.0}, 0.0, 1.0, &hist);
+  EXPECT_EQ(stats.completed, 0U);
+  EXPECT_EQ(q.depth(), 1U);
+  EXPECT_DOUBLE_EQ(q.backlog_work(), 1.0);
+}
+
+TEST(RequestQueue, DropAllEmptiesTheQueue) {
+  RequestQueue q;
+  q.push({Seconds{0.0}, 1.0});
+  q.push({Seconds{1.0}, 1.0});
+  EXPECT_EQ(q.drop_all(), 2U);
+  EXPECT_EQ(q.depth(), 0U);
+  EXPECT_DOUBLE_EQ(q.backlog_work(), 0.0);
+}
+
+// --- latency histogram ------------------------------------------------------
+
+TEST(LatencyHistogram, QuantilesBracketTheRecordedValues) {
+  LatencyHistogram h;
+  for (int i = 0; i < 900; ++i) h.record(0.01);
+  for (int i = 0; i < 90; ++i) h.record(1.0);
+  for (int i = 0; i < 10; ++i) h.record(100.0);
+  EXPECT_EQ(h.count(), 1000U);
+  // Log-scale buckets are ~15 % wide; check band membership, not equality,
+  // at ranks that sit strictly inside each population.
+  EXPECT_NEAR(h.quantile(0.5), 0.01, 0.01 * 0.2);
+  EXPECT_NEAR(h.quantile(0.95), 1.0, 1.0 * 0.2);
+  EXPECT_NEAR(h.quantile(0.999), 100.0, 100.0 * 0.2);
+}
+
+TEST(LatencyHistogram, UnderAndOverflowStayInTheCount) {
+  LatencyHistogram h;
+  h.record(1e-7);  // Below kLoSeconds.
+  h.record(1e6);   // Above kHiSeconds.
+  EXPECT_EQ(h.count(), 2U);
+  EXPECT_EQ(h.underflow(), 1U);
+  EXPECT_EQ(h.overflow(), 1U);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), LatencyHistogram::kLoSeconds);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), LatencyHistogram::kHiSeconds);
+}
+
+TEST(LatencyHistogram, MergeEqualsUnionAndDigestTracksContent) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram both;
+  common::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(1e-3, 50.0);
+    ((i % 2 == 0) ? a : b).record(v);
+    both.record(v);
+  }
+  const std::uint64_t digest_a = a.digest();
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.digest(), both.digest());
+  EXPECT_NE(a.digest(), digest_a);  // Content changed, digest changed.
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), both.quantile(0.5));
+}
+
+}  // namespace
+}  // namespace eclb::workload::engine

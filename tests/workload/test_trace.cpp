@@ -87,6 +87,25 @@ TEST(TraceProfile, RecordReplayRoundTrip) {
   }
 }
 
+TEST(Trace, SampleInexactQuotientKeepsFinalGridPoint) {
+  // Regression: floor(1.0 / 0.1) evaluates to 9 in floating point (0.1 is
+  // not exactly representable), which used to drop the t = horizon sample
+  // that the "inclusive of both ends" contract promises.
+  const ConstantProfile p(2.0);
+  const Trace t = sample(p, Seconds{0.1}, Seconds{1.0});
+  ASSERT_EQ(t.size(), 11U);  // 0.0, 0.1, ..., 1.0
+  EXPECT_DOUBLE_EQ(t.time_of(t.size() - 1).value, 1.0);
+  EXPECT_DOUBLE_EQ(t.at(10), 2.0);
+}
+
+TEST(Trace, SampleNonMultipleHorizonDoesNotOverrun) {
+  // The snap-up tolerance must not invent a grid point beyond the horizon
+  // when the horizon is genuinely not a multiple of dt.
+  const ConstantProfile p(1.0);
+  const Trace t = sample(p, Seconds{0.1}, Seconds{0.95});
+  EXPECT_EQ(t.size(), 10U);  // 0.0 .. 0.9; 1.0 lies past the horizon
+}
+
 TEST(TraceDeathTest, NegativeDemandAborts) {
   Trace t(Seconds{1.0});
   EXPECT_DEATH(t.push(-1.0), "demand must be >= 0");

@@ -22,6 +22,7 @@
 #include "common/csv.h"
 #include "common/flags.h"
 #include "common/sysinfo.h"
+#include "experiment/request_driver.h"
 #include "experiment/scenario.h"
 #include "fault/injector.h"
 #include "obs/observer.h"
@@ -60,7 +61,18 @@ int usage() {
       "            \"leader@1200;loss@0:p=0.05;crash@600:s=3;seed=9\" or\n"
       "            \"part@600:g=0-49|50-99,heal=1800\"\n"
       "            (kinds: crash recover leader loss delay migfail derate\n"
-      "            part heal; params: seed hb miss retries backoff cap)\n"
+      "            part heal; params: seed hb miss retries backoff cap);\n"
+      "            [--requests SPEC] drives demand from a request-level\n"
+      "            workload instead of the stochastic evolution, e.g.\n"
+      "            \"poisson:rate=200;flash:rate=50,burst=8;seed=7\"\n"
+      "            (streams: poisson:rate=R, diurnal:rate=R[,amp=A,period=S],\n"
+      "            flash:rate=R[,burst=M,on=S,off=S],\n"
+      "            trace:file=PATH[,scale=F]; options: service=exp|lognormal\n"
+      "            |pareto, mean=S, sigma=F, alpha=F, sla=SECS; globals:\n"
+      "            seed=N, util=F, sla=SECS) and prints an SLA percentile\n"
+      "            trailer (p50/p99/p999 sojourns) to stderr;\n"
+      "            [--request-trace FILE] is shorthand for appending\n"
+      "            \"trace:file=FILE\" to --requests\n"
       "  farm      --policy always-on|reactive|reactive+extra|autoscale|\n"
       "                     predictive-mw|predictive-lr\n"
       "            --workload diurnal|spiky|walk|constant [--trace FILE]\n"
@@ -71,6 +83,42 @@ int usage() {
       "  model     --a-avg X --b-avg X --a-opt X --b-opt X [--n N]\n"
       "            evaluates E_ref/E_opt (Eq. 12)\n";
   return 2;
+}
+
+/// Combines --requests / --request-trace into one parsed workload config.
+/// Returns 0 when the flags are absent or parse cleanly, 2 on a grammar
+/// error (already reported to stderr).
+int parse_request_flags(
+    common::Flags& flags,
+    std::optional<workload::engine::RequestWorkloadConfig>* out) {
+  std::string spec = flags.get("requests");
+  if (flags.has("request-trace")) {
+    if (!spec.empty()) spec += ';';
+    spec += "trace:file=";
+    spec += flags.get("request-trace");
+  }
+  if (spec.empty()) return 0;
+  std::string error;
+  auto parsed = workload::engine::RequestWorkloadConfig::parse(spec, &error);
+  if (!parsed.has_value()) {
+    std::cerr << "--requests: " << error << "\n";
+    return 2;
+  }
+  *out = std::move(*parsed);
+  return 0;
+}
+
+/// The end-of-run SLA trailer (stderr, like the energy summary).
+void print_sla_trailer(const experiment::SlaSummary& s) {
+  std::fprintf(stderr,
+               "requests: %llu arrived, %llu completed, %llu dropped, %llu "
+               "SLA violations, backlog %.3f cap-s\n",
+               static_cast<unsigned long long>(s.arrived),
+               static_cast<unsigned long long>(s.completed),
+               static_cast<unsigned long long>(s.dropped),
+               static_cast<unsigned long long>(s.sla_violations), s.backlog);
+  std::fprintf(stderr, "sojourn: p50 %.6f s, p99 %.6f s, p999 %.6f s\n", s.p50,
+               s.p99, s.p999);
 }
 
 /// The fabric variant of the cluster command (--shards >= 2): same flag
@@ -114,6 +162,12 @@ int cmd_cluster_fabric(common::Flags& flags, std::size_t shards) {
     }
   }
 
+  std::optional<workload::engine::RequestWorkloadConfig> requests;
+  if (const int rc = parse_request_flags(flags, &requests); rc != 0) return rc;
+  if (requests.has_value()) {
+    fcfg.cluster_template.demand_evolution_enabled = false;
+  }
+
   obs::MetricsRegistry registry;
   obs::Profiler profiler;
   obs::ObsConfig obs_cfg;
@@ -125,6 +179,14 @@ int cmd_cluster_fabric(common::Flags& flags, std::size_t shards) {
   cluster::Fabric fabric(fcfg);
   std::optional<fault::FabricFaultSession> faults;
   if (plan.has_value()) faults.emplace(fabric, *plan);
+  std::optional<experiment::FabricRequestSession> session;
+  if (requests.has_value()) {
+    session.emplace(fabric, *requests);
+    if (!session->ok()) {
+      std::cerr << "--requests: " << session->error() << "\n";
+      return 2;
+    }
+  }
 
   // One probe per shard: traces split per shard file; the metrics registry
   // and profiler are thread-safe and shared across all of them.
@@ -147,6 +209,7 @@ int cmd_cluster_fabric(common::Flags& flags, std::size_t shards) {
                          "deep_sleeping", "sla_violations", "offloaded",
                          "unplaced", "energy_kwh"});
   for (std::size_t i = 0; i < intervals; ++i) {
+    if (session.has_value()) session->advance_interval();
     const auto r = fabric.step();
     std::size_t migrations = 0;
     std::size_t sleeps = 0;
@@ -197,6 +260,7 @@ int cmd_cluster_fabric(common::Flags& flags, std::size_t shards) {
               << st.retried_messages << " retried, " << st.migration_failures
               << " failed migrations, MTTR " << st.mttr() << " s\n";
   }
+  if (session.has_value()) print_sla_trailer(session->summary());
   for (const auto& probe : probes) {
     if (probe->trace() != nullptr) {
       std::cerr << "trace: " << probe->trace()->path() << "\n";
@@ -239,6 +303,10 @@ int cmd_cluster(common::Flags& flags) {
     }
   }
 
+  std::optional<workload::engine::RequestWorkloadConfig> requests;
+  if (const int rc = parse_request_flags(flags, &requests); rc != 0) return rc;
+  if (requests.has_value()) cfg.demand_evolution_enabled = false;
+
   obs::MetricsRegistry registry;
   obs::Profiler profiler;
   obs::ObsConfig obs_cfg;
@@ -251,6 +319,14 @@ int cmd_cluster(common::Flags& flags) {
   cluster::Cluster cluster(cfg);
   std::optional<fault::FaultInjector> injector;
   if (plan.has_value()) injector.emplace(cluster, *plan);
+  std::optional<experiment::RequestDriver> rdriver;
+  if (requests.has_value()) {
+    rdriver.emplace(cluster, *requests);
+    if (!rdriver->ok()) {
+      std::cerr << "--requests: " << rdriver->error() << "\n";
+      return 2;
+    }
+  }
   if (probe != nullptr) {
     cluster.attach_observer(probe.get());
     if (probe->trace() != nullptr && !probe->trace()->ok()) {
@@ -264,6 +340,7 @@ int cmd_cluster(common::Flags& flags) {
                          "sleeps", "wakes", "parked", "deep_sleeping",
                          "sla_violations", "energy_kwh"});
   for (std::size_t i = 0; i < intervals; ++i) {
+    if (rdriver.has_value()) rdriver->advance_interval();
     const auto r = cluster.step();
     csv.row({common::CsvWriter::cell(static_cast<long long>(r.interval_index)),
              common::CsvWriter::cell(static_cast<long long>(r.local_decisions)),
@@ -298,6 +375,7 @@ int cmd_cluster(common::Flags& flags) {
                 << " s\n";
     }
   }
+  if (rdriver.has_value()) print_sla_trailer(rdriver->summary());
   if (probe != nullptr && probe->trace() != nullptr) {
     std::cerr << "trace: " << probe->trace()->path() << "\n";
   }
