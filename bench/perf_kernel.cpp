@@ -15,11 +15,18 @@
 // the CI perf smoke gate.
 //
 // Usage:
-//   perf_kernel [--ci] [--full] [--out BENCH_perf.json] [--check ref.json]
-//     --ci    small sizes only (100, 1000 flat + 10 x 100 fabric): fast
-//             enough for every CI run.
-//     --full  adds the legacy path at 100000 servers and the 1e6-server
-//             fabric (minutes, local only).
+//   perf_kernel [--ci] [--tiny] [--full] [--phases] [--out BENCH_perf.json]
+//               [--check ref.json]
+//     --ci     small sizes only (100, 1000 flat + 10 x 100 fabric): fast
+//              enough for every CI run.
+//     --tiny   smallest possible sweep (100 flat + 10 x 10 fabric, short
+//              queue/request cycles): a seconds-long smoke of every code
+//              path, for the CI perf-smoke job.
+//     --full   adds the legacy path at 100000 servers and the 1e6-server
+//              fabric (minutes, local only).
+//     --phases breaks the coalesced notification pipeline's interval down
+//              into classify / diff / refile / protocol wall-clock at the
+//              largest flat size of the run (emitted as pipeline_phases).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -135,7 +142,8 @@ StepSample time_cluster_step(std::size_t servers, bool indexed) {
 struct FabricSample {
   std::size_t shards{0};
   std::size_t servers_per_shard{0};
-  std::size_t threads{0};
+  std::size_t threads{0};           ///< Requested (0 = hardware).
+  std::size_t resolved_threads{0};  ///< Threads the parallel phase ran on.
   std::size_t intervals{0};
   double ms_per_interval{0.0};
 };
@@ -173,9 +181,59 @@ FabricSample time_fabric_step(std::size_t shards, std::size_t servers_per_shard,
   s.shards = shards;
   s.servers_per_shard = servers_per_shard;
   s.threads = threads;
+  s.resolved_threads = fabric.resolved_threads();
   s.intervals = k;
   s.ms_per_interval = 1e3 * median;
   return s;
+}
+
+// --- pipeline phase breakdown -----------------------------------------------
+
+struct PhaseSample {
+  std::size_t servers{0};
+  std::size_t intervals{0};
+  double classify_ms{0.0};  ///< Batch gather-classification, per interval.
+  double diff_ms{0.0};      ///< Slot diff + bitset/aggregate apply.
+  double refile_ms{0.0};    ///< Grouped-run apply to the key axes.
+  double protocol_ms{0.0};  ///< Interval wall-clock minus the flush phases.
+  double dirty_per_interval{0.0};
+  double refiles_per_interval{0.0};
+  double runs_per_interval{0.0};
+};
+
+/// Times the interval with pipeline phase timing switched on and splits the
+/// wall clock into the three flush phases plus the protocol remainder.  Runs
+/// on a separate cluster instance so the headline ms_per_interval figures
+/// never pay for the clock reads.
+PhaseSample time_pipeline_phases(std::size_t servers) {
+  auto cfg = experiment::paper_cluster_config(
+      servers, experiment::AverageLoad::kLow30, 42);
+  cluster::Cluster c(cfg);
+  c.set_pipeline_phase_timing(true);
+  constexpr std::size_t kWarmupIntervals = 8;
+  for (std::size_t i = 0; i < kWarmupIntervals; ++i) c.step();
+  const std::size_t k = intervals_for(servers);
+  const auto before = c.pipeline_stats();
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < k; ++i) c.step();
+  const double wall_ms = 1e3 * seconds_since(start);
+  const auto after = c.pipeline_stats();
+  const double n = static_cast<double>(k);
+  PhaseSample p;
+  p.servers = servers;
+  p.intervals = k;
+  p.classify_ms = 1e3 * (after.classify_seconds - before.classify_seconds) / n;
+  p.diff_ms = 1e3 * (after.diff_seconds - before.diff_seconds) / n;
+  p.refile_ms = 1e3 * (after.refile_seconds - before.refile_seconds) / n;
+  p.protocol_ms =
+      wall_ms / n - (p.classify_ms + p.diff_ms + p.refile_ms);
+  p.dirty_per_interval =
+      static_cast<double>(after.dirty_slots - before.dirty_slots) / n;
+  p.refiles_per_interval =
+      static_cast<double>(after.batch_refiles - before.batch_refiles) / n;
+  p.runs_per_interval =
+      static_cast<double>(after.refile_runs - before.refile_runs) / n;
+  return p;
 }
 
 /// The barrier protocol's promise, smoke-checked on every perf run: the same
@@ -317,8 +375,27 @@ std::optional<double> fabric_efficiency_1000(
   return std::nullopt;
 }
 
+/// Per-server scaling ratio from the 1e5 fabric (100 x 1000) to the 1e6
+/// fabric (1000 x 1000), both on hardware threads: ms_1e6 / (10 * ms_1e5).
+/// 1.0 is perfect linear scaling in fabric size; present only in --full
+/// runs, and gated as a ratio so it survives CI runners of any speed.
+std::optional<double> fabric_scale_1e6(
+    const std::vector<FabricSample>& fabrics) {
+  const FabricSample* small = nullptr;
+  const FabricSample* big = nullptr;
+  for (const auto& f : fabrics) {
+    if (f.shards == 100 && f.servers_per_shard == 1000) small = &f;
+    if (f.shards == 1000 && f.servers_per_shard == 1000) big = &f;
+  }
+  if (small == nullptr || big == nullptr || small->ms_per_interval <= 0.0) {
+    return std::nullopt;
+  }
+  return big->ms_per_interval / (10.0 * small->ms_per_interval);
+}
+
 std::string json_report(const std::vector<StepSample>& steps,
                         const std::vector<FabricSample>& fabrics,
+                        const std::vector<PhaseSample>& phases,
                         bool determinism_ok, const QueueSample& queue,
                         const RequestSample& requests) {
   const common::SysInfo sys = common::query_sysinfo();
@@ -344,12 +421,32 @@ std::string json_report(const std::vector<StepSample>& steps,
     out << "    {\"shards\": " << f.shards << ", \"servers_per_shard\": "
         << f.servers_per_shard << ", \"total_servers\": "
         << f.shards * f.servers_per_shard << ", \"threads\": " << f.threads
+        << ", \"resolved_threads\": " << f.resolved_threads
         << ", \"intervals\": " << f.intervals << ", \"ms_per_interval\": "
         << f.ms_per_interval << "}" << (i + 1 < fabrics.size() ? "," : "")
         << "\n";
   }
-  out << "  ],\n  \"fabric_determinism\": "
+  out << "  ],\n";
+  if (!phases.empty()) {
+    out << "  \"pipeline_phases\": [\n";
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      const auto& p = phases[i];
+      out << "    {\"servers\": " << p.servers << ", \"intervals\": "
+          << p.intervals << ", \"classify_ms\": " << p.classify_ms
+          << ", \"diff_ms\": " << p.diff_ms << ", \"refile_ms\": "
+          << p.refile_ms << ", \"protocol_ms\": " << p.protocol_ms
+          << ", \"dirty_per_interval\": " << p.dirty_per_interval
+          << ", \"refiles_per_interval\": " << p.refiles_per_interval
+          << ", \"runs_per_interval\": " << p.runs_per_interval << "}"
+          << (i + 1 < phases.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+  }
+  out << "  \"fabric_determinism\": "
       << (determinism_ok ? "true" : "false") << ",\n";
+  if (const auto scale = fabric_scale_1e6(fabrics); scale.has_value()) {
+    out << "  \"fabric_scale_1e6\": " << *scale << ",\n";
+  }
   if (const auto eff = fabric_efficiency_1000(steps, fabrics);
       eff.has_value()) {
     out << "  \"fabric_efficiency_1000\": " << *eff << ",\n";
@@ -472,6 +569,26 @@ int check_against_reference(const std::string& ref_path,
     }
   }
 
+  // 1e6 fabric gate, active only when this run measured the --full row:
+  // per-server scaling from the 1e5 fabric to the 1e6 fabric must stay
+  // within 2x of the recorded ratio.  Catches superlinear blowup (barrier
+  // overhead, allocator contention) that the smaller rows cannot see.
+  const auto ref_scale = json_number(ref, "fabric_scale_1e6");
+  const auto measured_scale = fabric_scale_1e6(fabrics);
+  if (ref_scale.has_value() && measured_scale.has_value()) {
+    const double gate = *ref_scale * 2.0;
+    if (*measured_scale > gate) {
+      std::fprintf(stderr,
+                   "FAIL: 1e6 fabric scaling regressed: measured %.2f, "
+                   "reference %.2f (gate %.2f)\n",
+                   *measured_scale, *ref_scale, gate);
+      ++failures;
+    } else {
+      std::printf("ok: 1e6 fabric scaling %.2f (reference %.2f)\n",
+                  *measured_scale, *ref_scale);
+    }
+  }
+
   // Request engine gate: arrival generation throughput must stay within 2x
   // of the recorded figure -- catches per-request allocation or an O(n^2)
   // slip in the thinning/sampling loop.
@@ -507,16 +624,19 @@ int check_against_reference(const std::string& ref_path,
 
 int main(int argc, char** argv) {
   const auto flags = common::Flags::parse(argc, argv);
-  const auto bad = flags.unknown({"ci", "full", "out", "check"});
+  const auto bad = flags.unknown({"ci", "tiny", "full", "out", "check", "phases"});
   if (!bad.empty()) {
     std::fprintf(stderr, "unknown flag --%s\n", bad.front().c_str());
     return 2;
   }
-  const bool ci = flags.get_bool("ci");
-  const bool full = flags.get_bool("full");
+  const bool tiny = flags.get_bool("tiny");
+  const bool ci = tiny || flags.get_bool("ci");
+  const bool full = !tiny && flags.get_bool("full");
+  const bool phases_on = flags.get_bool("phases");
   const std::string out_path = flags.get("out", "BENCH_perf.json");
 
-  std::vector<std::size_t> sizes{100, 1000};
+  std::vector<std::size_t> sizes{100};
+  if (!tiny) sizes.push_back(1000);
   if (!ci) sizes.push_back(10000);
 
   std::vector<StepSample> steps;
@@ -546,9 +666,12 @@ int main(int argc, char** argv) {
   // Fabric sweep: 10 x 100 at 1 thread anchors the efficiency gate in every
   // run; the larger fabrics are the scale figures this tier exists for.
   std::vector<FabricSample> fabrics;
-  std::printf("fabric step: 10 x 100 servers, 1 thread...\n");
+  // Tiny mode shrinks the anchor fabric but keeps the same shape, so the
+  // whole fabric path (mailboxes, barrier, digesting) still runs.
+  const std::size_t anchor_servers = tiny ? 10 : 100;
+  std::printf("fabric step: 10 x %zu servers, 1 thread...\n", anchor_servers);
   std::fflush(stdout);
-  fabrics.push_back(time_fabric_step(10, 100, 1));
+  fabrics.push_back(time_fabric_step(10, anchor_servers, 1));
   std::printf("  %.3f ms/interval\n", fabrics.back().ms_per_interval);
   if (!ci) {
     // The fabric's scale point: 1e5 servers as 100 shards, stepped on
@@ -569,19 +692,36 @@ int main(int argc, char** argv) {
   const bool determinism_ok = fabric_determinism_ok();
   std::printf("  %s\n", determinism_ok ? "bit-identical" : "DIVERGED");
 
+  // Phase breakdown at the largest flat size of the run: where the split
+  // between classification, diff, refile and protocol work is most honest.
+  std::vector<PhaseSample> phases;
+  if (phases_on) {
+    const std::size_t n = ci ? sizes.back() : 100000;
+    std::printf("pipeline phases: %zu servers...\n", n);
+    std::fflush(stdout);
+    phases.push_back(time_pipeline_phases(n));
+    const auto& p = phases.back();
+    std::printf(
+        "  classify %.3f + diff %.3f + refile %.3f + protocol %.3f "
+        "ms/interval (%.0f dirty, %.0f refiles in %.0f runs)\n",
+        p.classify_ms, p.diff_ms, p.refile_ms, p.protocol_ms,
+        p.dirty_per_interval, p.refiles_per_interval, p.runs_per_interval);
+  }
+
   std::printf("event queue: steady-state push/pop...\n");
   std::fflush(stdout);
-  const QueueSample queue = time_event_queue(ci ? 20000 : 100000);
+  const QueueSample queue = time_event_queue(tiny ? 5000 : ci ? 20000 : 100000);
   std::printf("  %.1f ns/event, %.4f allocs/event\n", queue.ns_per_event,
               queue.allocs_per_event);
 
   std::printf("request engine: open-loop arrival generation...\n");
   std::fflush(stdout);
-  const RequestSample requests = time_request_engine(ci ? 200000 : 1000000);
+  const RequestSample requests =
+      time_request_engine(tiny ? 50000 : ci ? 200000 : 1000000);
   std::printf("  %.0f requests/s\n", requests.requests_per_sec);
 
   const std::string report =
-      json_report(steps, fabrics, determinism_ok, queue, requests);
+      json_report(steps, fabrics, phases, determinism_ok, queue, requests);
   std::ofstream out(out_path);
   out << report;
   out.close();

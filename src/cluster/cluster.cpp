@@ -35,6 +35,7 @@ Cluster::Cluster(ClusterConfig config)
   if (config_.use_regime_index) {
     index_ = std::make_unique<index::RegimeIndex>(
         std::span<const server::Server>(servers_));
+    index_->set_coalescing(config_.coalesce_notifications);
     for (auto& s : servers_) s.set_state_listener(index_.get());
   }
   energy_at_last_step_ = total_energy();
@@ -767,6 +768,14 @@ void Cluster::sweep_settle_and_energy(common::Seconds now, bool settle) {
       servers_[i].update_energy_static(now);
     }
   }
+}
+
+index::PipelineStats Cluster::pipeline_stats() const {
+  return index_ != nullptr ? index_->pipeline_stats() : index::PipelineStats{};
+}
+
+void Cluster::set_pipeline_phase_timing(bool on) {
+  if (index_ != nullptr) index_->set_phase_timing(on);
 }
 
 ClusterMemoryStats Cluster::memory_stats() const {

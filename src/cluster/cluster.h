@@ -28,6 +28,7 @@
 
 #include "cluster/config.h"
 #include "cluster/faults.h"
+#include "cluster/index/pipeline_stats.h"
 #include "cluster/leader.h"
 #include "cluster/membership.h"
 #include "cluster/messages.h"
@@ -142,6 +143,17 @@ class Cluster {
 
   /// Exact heap footprint of the cluster's data plane.
   [[nodiscard]] ClusterMemoryStats memory_stats() const;
+
+  /// Cumulative counters of the index's coalesced notification pipeline
+  /// (src/cluster/index/pipeline_stats.h); all-zero when the index is off
+  /// or running eagerly.  Kept out of IntervalReport on purpose: the report
+  /// digest is part of the eager-vs-coalesced bit-identity contract, and
+  /// these figures differ between the modes by design.
+  [[nodiscard]] index::PipelineStats pipeline_stats() const;
+
+  /// Enables wall-clock timing of the index's flush phases (classify /
+  /// diff / refile buckets of pipeline_stats()).  No-op without an index.
+  void set_pipeline_phase_timing(bool on);
 
   // --- driving -------------------------------------------------------------
 

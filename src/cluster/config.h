@@ -125,6 +125,15 @@ struct ClusterConfig {
   /// and for differential testing.
   bool use_regime_index{true};
 
+  /// When true (the default) the regime index coalesces state-change
+  /// notifications into a per-phase DirtySet and re-classifies/refiles the
+  /// dirty slots in one batch kernel at the next index query (the phase
+  /// barrier).  When false every notification is processed eagerly, one
+  /// classify + refile at a time -- the --eager-notify escape hatch.  Both
+  /// modes are bit-identical by construction (flush-on-query); the switch
+  /// exists for differential testing and for isolating pipeline bugs.
+  bool coalesce_notifications{true};
+
   /// Retry schedule for dropped control messages.  The fault layer's
   /// FaultPlan can override individual fields per plan (`retries=`,
   /// `backoff=`, `cap=` spec parameters); unset overrides fall back here.

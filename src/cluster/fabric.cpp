@@ -222,6 +222,16 @@ common::Joules Fabric::total_energy() const {
   return total;
 }
 
+index::PipelineStats Fabric::pipeline_stats() const {
+  index::PipelineStats total;
+  for (const auto& c : shards_) total += c->pipeline_stats();
+  return total;
+}
+
+void Fabric::set_pipeline_phase_timing(bool on) {
+  for (auto& c : shards_) c->set_pipeline_phase_timing(on);
+}
+
 std::uint64_t Fabric::shard_seed(std::uint64_t base, std::size_t shard) {
   return common::mix_seed(base, static_cast<std::uint64_t>(shard));
 }

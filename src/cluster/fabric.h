@@ -146,6 +146,18 @@ class Fabric {
 
   /// Total servers across the fabric.
   [[nodiscard]] std::size_t total_servers() const;
+  /// Worker threads the parallel phase actually uses: config threads with 0
+  /// resolved to hardware concurrency, 1 when stepping inline.  Benchmarks
+  /// report this per row so cross-machine comparisons are honest.
+  [[nodiscard]] std::size_t resolved_threads() const {
+    return pool_ != nullptr ? pool_->size() : 1;
+  }
+  /// Sum of the per-shard coalesced-pipeline counters.  The flush kernels
+  /// run inside the workers stepping each shard, so these also serve as the
+  /// TSan probe that the phase-boundary path is exercised under threads.
+  [[nodiscard]] index::PipelineStats pipeline_stats() const;
+  /// Enables flush-phase wall timing on every shard's index.
+  void set_pipeline_phase_timing(bool on);
   /// Demand over usable capacity across the fabric; 0 when no capacity is
   /// usable (an all-failed or degenerate fabric never yields NaN/inf).
   [[nodiscard]] double load_fraction() const;

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory_resource>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -39,7 +40,8 @@ class KeyBucketSet {
  public:
   using value_type = std::pair<double, std::uint32_t>;
 
-  explicit KeyBucketSet(std::pmr::memory_resource* mr) : buckets_(mr) {}
+  explicit KeyBucketSet(std::pmr::memory_resource* mr)
+      : buckets_(mr), scratch_(mr) {}
 
   /// Sizes the bucket geometry for an expected element count and empties
   /// the set.  Must be called before the first insert.
@@ -90,6 +92,74 @@ class KeyBucketSet {
     bucket.erase(pos);
     if (bucket.empty()) occupied_.erase(b);
     --size_;
+  }
+
+  /// Moves one element to a new key: end state identical to
+  /// erase(old_v); insert(new_v).  The dominant caller is the index's
+  /// same-regime refile, where a demand nudge moves the key a short
+  /// distance -- usually within one bucket, where a single rotate over the
+  /// span between the two positions replaces the erase memmove plus the
+  /// insert memmove over the bucket tail.
+  void refile(const value_type& old_v, const value_type& new_v) {
+    const std::size_t b = bucket_of(old_v.first);
+    if (b != bucket_of(new_v.first)) {
+      erase(old_v);
+      insert(new_v);
+      return;
+    }
+    Bucket& bucket = buckets_[b];
+    const auto opos = std::lower_bound(bucket.begin(), bucket.end(), old_v);
+    ECLB_ASSERT(opos != bucket.end() && *opos == old_v,
+                "KeyBucketSet: refiling a missing element");
+    if (new_v < old_v) {
+      const auto npos = std::lower_bound(bucket.begin(), opos, new_v);
+      ECLB_ASSERT(npos == opos || *npos != new_v,
+                  "KeyBucketSet: duplicate refile");
+      std::rotate(npos, opos, opos + 1);
+      *npos = new_v;
+    } else {
+      const auto npos = std::lower_bound(opos + 1, bucket.end(), new_v);
+      ECLB_ASSERT(npos == bucket.end() || *npos != new_v,
+                  "KeyBucketSet: duplicate refile");
+      std::rotate(opos, opos + 1, npos);
+      *(npos - 1) = new_v;
+    }
+  }
+
+  /// Applies a whole phase's worth of mutations in grouped bucket runs:
+  /// every element of `erases` is removed and every element of `inserts`
+  /// added, touching each affected bucket exactly once.  Both spans must be
+  /// sorted ascending (lexicographic (key, id)) with all erases present and
+  /// all inserts absent-after-erase -- an element may appear in both spans
+  /// (net no-op refile), which the erase-then-merge rebuild handles.
+  /// Because bucket_of is monotone in the key, sorted order visits buckets
+  /// in contiguous non-decreasing runs, so one linear walk over each span
+  /// replaces per-element lower_bound + memmove pairs with a single
+  /// rebuild-by-merge per touched bucket.  End state is element-for-element
+  /// identical to applying the same ops through insert()/erase() one at a
+  /// time, in any order.  Returns the number of bucket runs touched.
+  std::size_t apply_batch(std::span<const value_type> erases,
+                          std::span<const value_type> inserts) {
+    std::size_t ei = 0, ii = 0, runs = 0;
+    while (ei < erases.size() || ii < inserts.size()) {
+      std::size_t b;
+      if (ei == erases.size()) {
+        b = bucket_of(inserts[ii].first);
+      } else if (ii == inserts.size()) {
+        b = bucket_of(erases[ei].first);
+      } else {
+        b = std::min(bucket_of(erases[ei].first),
+                     bucket_of(inserts[ii].first));
+      }
+      const std::size_t e0 = ei;
+      while (ei < erases.size() && bucket_of(erases[ei].first) == b) ++ei;
+      const std::size_t i0 = ii;
+      while (ii < inserts.size() && bucket_of(inserts[ii].first) == b) ++ii;
+      rebuild_bucket(b, erases.subspan(e0, ei - e0),
+                     inserts.subspan(i0, ii - i0));
+      ++runs;
+    }
+    return runs;
   }
 
   /// Forward/backward iterator over the globally sorted element sequence.
@@ -189,6 +259,38 @@ class KeyBucketSet {
  private:
   using Bucket = std::pmr::vector<value_type>;
 
+  /// One grouped run: rebuilds bucket `b` as (bucket \ del) merged with
+  /// `add`.  del and add are the sorted per-bucket slices of an apply_batch
+  /// call; the same membership asserts as insert()/erase() apply.
+  void rebuild_bucket(std::size_t b, std::span<const value_type> del,
+                      std::span<const value_type> add) {
+    Bucket& bucket = buckets_[b];
+    scratch_.clear();
+    auto cur = bucket.begin();
+    for (const value_type& v : del) {
+      const auto pos = std::lower_bound(cur, bucket.end(), v);
+      ECLB_ASSERT(pos != bucket.end() && *pos == v,
+                  "KeyBucketSet: batch-erasing a missing element");
+      scratch_.insert(scratch_.end(), cur, pos);
+      cur = pos + 1;
+    }
+    scratch_.insert(scratch_.end(), cur, bucket.end());
+    bucket.resize(scratch_.size() + add.size());
+    std::merge(scratch_.begin(), scratch_.end(), add.begin(), add.end(),
+               bucket.begin());
+    for (std::size_t k = 1; k < bucket.size(); ++k) {
+      ECLB_ASSERT(bucket[k - 1] != bucket[k],
+                  "KeyBucketSet: duplicate batch insert");
+    }
+    size_ += add.size();
+    size_ -= del.size();
+    if (bucket.empty()) {
+      occupied_.erase(b);
+    } else {
+      occupied_.insert(b);
+    }
+  }
+
   // Key domain: load - center with load in [0, ~1.2] and center in (0, 1),
   // so keys live in roughly [-0.7, 0.7]; [-1, 1] covers it with margin, and
   // out-of-range keys clamp to the edge buckets (order is still exact --
@@ -204,6 +306,9 @@ class KeyBucketSet {
   }
 
   std::pmr::vector<Bucket> buckets_;
+  /// Reused rebuild scratch for apply_batch (arena storage, grows to the
+  /// largest single-bucket survivor set and stays there).
+  std::pmr::vector<value_type> scratch_;
   common::DenseBitset occupied_;
   double inv_width_{1.0};
   std::size_t size_{0};

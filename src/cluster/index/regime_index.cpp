@@ -1,5 +1,7 @@
 #include "cluster/index/regime_index.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -35,6 +37,11 @@ RegimeIndex::RegimeIndex(std::span<const server::Server> servers)
 }
 
 void RegimeIndex::rebuild() {
+  // A rebuild re-derives everything from live server state, so pending
+  // dirty marks are subsumed; reset the pipeline's per-phase state.
+  dirty_.resize(servers_.size());
+  for (auto& r : erase_runs_) r.clear();
+  for (auto& r : insert_runs_) r.clear();
   for (auto& b : by_key_) b.configure(servers_.size());
   for (auto& b : by_id_) b.resize(servers_.size());
   for (auto& b : sleepers_) b.resize(servers_.size());
@@ -48,19 +55,32 @@ void RegimeIndex::rebuild() {
   max_sopt_halfwidth_ = 0.0;
 
   slots_.assign(servers_.size(), Slot{});
+  rows_.assign(servers_.size(), server::ServerStateTable::IndexRow{});
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     const auto& t = servers_[i].thresholds();
     const double center = t.optimal_center();
     max_opt_halfwidth_ = std::max(max_opt_halfwidth_, t.alpha_opt_high - center);
     max_sopt_halfwidth_ =
         std::max(max_sopt_halfwidth_, t.alpha_sopt_high - center);
-    slots_[i] = classify(servers_[i]);
+    rows_[i] = servers_[i].state_table().index_row(servers_[i].slot());
+    slots_[i] = slot_from_row(rows_[i]);
     file_slot(static_cast<std::uint32_t>(i), slots_[i]);
   }
 }
 
 void RegimeIndex::server_state_changed(const server::Server& s) {
-  update_slot(s.id().index());
+  const std::size_t i = s.id().index();
+  if (!coalesce_) {
+    update_slot(i);
+    return;
+  }
+  ECLB_ASSERT(i < slots_.size(), "RegimeIndex: server index out of range");
+  // The no-op gate: a notification whose packed row still matches the
+  // mirror cannot change any index structure (Slot is a pure function of
+  // the row), so it never even enters the dirty set.  Settle sweeps and
+  // other fact-free notifications cost one 32-byte compare.
+  if (s.state_table().index_row(s.slot()) == rows_[i]) return;
+  dirty_.mark(static_cast<std::uint32_t>(i));
 }
 
 RegimeIndex::Slot RegimeIndex::classify(const server::Server& s) const {
@@ -70,8 +90,11 @@ RegimeIndex::Slot RegimeIndex::classify(const server::Server& s) const {
   // computed -- awake in particular is time-independent (see
   // Server::transition_pending and ServerStateTable::awake).  One aligned
   // 32-byte load replaces ten scattered column reads on the refile path.
-  const server::ServerStateTable::IndexRow& row =
-      s.state_table().index_row(s.slot());
+  return slot_from_row(s.state_table().index_row(s.slot()));
+}
+
+RegimeIndex::Slot RegimeIndex::slot_from_row(
+    const server::ServerStateTable::IndexRow& row) {
   Slot slot;
   slot.load = row.load;
   slot.vm_count = row.vm_count;
@@ -127,8 +150,14 @@ void RegimeIndex::unfile_slot(std::uint32_t id, const Slot& slot) {
 
 void RegimeIndex::update_slot(std::size_t i) {
   ECLB_ASSERT(i < slots_.size(), "RegimeIndex: server index out of range");
+  const server::Server& s = servers_[i];
+  const server::ServerStateTable::IndexRow& row =
+      s.state_table().index_row(s.slot());
+  // Row-mirror gate: see server_state_changed.
+  if (row == rows_[i]) return;
+  rows_[i] = row;
   const std::uint32_t id = static_cast<std::uint32_t>(i);
-  const Slot fresh = classify(servers_[i]);
+  const Slot fresh = slot_from_row(row);
   Slot& cur = slots_[i];
   // Notifications frequently fire without moving any indexed fact (settle
   // sweeps, energy accounting): skip those outright.  The next most common
@@ -144,9 +173,7 @@ void RegimeIndex::update_slot(std::size_t i) {
   masked.vm_count = cur.vm_count;
   if (masked == cur) {
     if (fresh.regime >= 0 && fresh.key != cur.key) {
-      auto& keys = by_key_[fresh.regime];
-      keys.erase({cur.key, id});
-      keys.insert({fresh.key, id});
+      by_key_[fresh.regime].refile({cur.key, id}, {fresh.key, id});
     }
     total_vms_ += fresh.vm_count;
     total_vms_ -= cur.vm_count;
@@ -158,8 +185,154 @@ void RegimeIndex::update_slot(std::size_t i) {
   cur = fresh;
 }
 
+void RegimeIndex::file_slot_deferred(std::uint32_t id, const Slot& slot) {
+  if (slot.regime >= 0) {
+    insert_runs_[slot.regime].push_back({slot.key, id});
+    by_id_[slot.regime].insert(id);
+  }
+  if (slot.sleeper >= 0) sleepers_[slot.sleeper].insert(id);
+  if (slot.above_center) above_center_.insert(id);
+  if (slot.awake_empty) awake_empty_.insert(id);
+  total_vms_ += slot.vm_count;
+  if (slot.sleeping) ++sleeping_;
+  if (slot.reporter) ++reporters_;
+  ++cnt_effective_[static_cast<std::size_t>(slot.effective)];
+}
+
+void RegimeIndex::unfile_slot_deferred(std::uint32_t id, const Slot& slot) {
+  if (slot.regime >= 0) {
+    erase_runs_[slot.regime].push_back({slot.key, id});
+    by_id_[slot.regime].erase(id);
+  }
+  if (slot.sleeper >= 0) sleepers_[slot.sleeper].erase(id);
+  if (slot.above_center) above_center_.erase(id);
+  if (slot.awake_empty) awake_empty_.erase(id);
+  total_vms_ -= slot.vm_count;
+  if (slot.sleeping) --sleeping_;
+  if (slot.reporter) --reporters_;
+  --cnt_effective_[static_cast<std::size_t>(slot.effective)];
+}
+
+void RegimeIndex::flush_impl() {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = phase_timing_ ? Clock::now() : Clock::time_point{};
+
+  // Ascending slot order makes the whole flush a pure function of the dirty
+  // *set* (first-touch order forgotten), and pre-sorts the key-axis runs'
+  // id tie-breaks.
+  const std::span<std::uint32_t> dirty = dirty_.mutable_slots();
+  std::sort(dirty.begin(), dirty.end());
+  ++stats_.flushes;
+  stats_.dirty_slots += dirty.size();
+
+  // Small-batch fast path: the cursor-walk actions (shed, rebalance, drain)
+  // interleave queries with a handful of mutations each, so most flushes
+  // carry only a few dirty slots.  For those the batch machinery (gather
+  // kernel, run lists, grouped bucket rebuilds) costs more than it saves;
+  // per-slot eager updates in ascending slot order produce the identical end
+  // state (every structure is canonical: sorted buckets, bitsets, integer
+  // aggregates), so the path choice -- a pure function of the dirty count --
+  // can never leak into query answers.
+  constexpr std::size_t kSmallFlushMax = 32;
+  if (dirty.size() <= kSmallFlushMax) {
+    for (const std::uint32_t s : dirty) update_slot(s);
+    dirty_.clear();
+    if (phase_timing_) {
+      stats_.diff_seconds +=
+          std::chrono::duration<double>(Clock::now() - t0).count();
+    }
+    return;
+  }
+
+  // Phase 1 -- classify: one batch kernel over the dirty lanes.  Cluster
+  // fleets share one state table with slot == id; a mixed fleet of
+  // standalone servers (unit tests) skips the gather, and classify() below
+  // reads the per-row classified column, which holds the identical value.
+  const server::ServerStateTable& table = servers_.front().state_table();
+  const bool shared = table.size() == servers_.size();
+  if (shared) {
+    gather_out_.resize(dirty.size());
+    energy::classify_regimes_gather(
+        dirty, table.loads(), table.capacities(), table.alpha_sopt_lows(),
+        table.alpha_opt_lows(), table.alpha_opt_highs(),
+        table.alpha_sopt_highs(), gather_out_);
+  }
+  const auto t1 = phase_timing_ ? Clock::now() : Clock::time_point{};
+
+  // Phase 2 -- diff: per dirty slot, compare the fresh classification to the
+  // cached one.  The fast paths mirror update_slot exactly; the only
+  // difference is that key-axis mutations land in the per-regime run lists
+  // instead of hitting the buckets immediately.
+  for (std::size_t j = 0; j < dirty.size(); ++j) {
+    const std::size_t i = dirty[j];
+    const server::Server& srv = servers_[i];
+    const server::ServerStateTable::IndexRow& row =
+        srv.state_table().index_row(srv.slot());
+    // Row-mirror gate: a slot can be marked dirty and then mutate back to
+    // exactly the state the index last applied (an ABA within the phase);
+    // the record compare drops it before any slot derivation.
+    if (row == rows_[i]) continue;
+    rows_[i] = row;
+    Slot fresh = slot_from_row(row);
+    if (shared) {
+      const server::ServerSlot slot = srv.slot();
+      ECLB_ASSERT(gather_out_[j] == table.classified(slot),
+                  "flush: gather kernel disagrees with classified column");
+      fresh.regime =
+          fresh.awake ? gather_out_[j] : server::ServerStateTable::kNone;
+    }
+    Slot& cur = slots_[i];
+    if (fresh == cur) continue;
+    const auto id = static_cast<std::uint32_t>(i);
+    Slot masked = fresh;
+    masked.key = cur.key;
+    masked.load = cur.load;
+    masked.vm_count = cur.vm_count;
+    if (masked == cur) {
+      if (fresh.regime >= 0 && fresh.key != cur.key) {
+        erase_runs_[fresh.regime].push_back({cur.key, id});
+        insert_runs_[fresh.regime].push_back({fresh.key, id});
+      }
+      total_vms_ += fresh.vm_count;
+      total_vms_ -= cur.vm_count;
+    } else {
+      unfile_slot_deferred(id, cur);
+      file_slot_deferred(id, fresh);
+    }
+    cur = fresh;
+  }
+  const auto t2 = phase_timing_ ? Clock::now() : Clock::time_point{};
+
+  // Phase 3 -- refile: apply the collected key-axis mutations as sorted
+  // grouped runs, one touch per affected bucket.  Sorting by (key, id)
+  // groups same-bucket ops contiguously (bucket_of is monotone in the key)
+  // and fixes a deterministic order regardless of diff order.
+  for (std::size_t r = 0; r < energy::kRegimeCount; ++r) {
+    auto& del = erase_runs_[r];
+    auto& add = insert_runs_[r];
+    if (del.empty() && add.empty()) continue;
+    std::sort(del.begin(), del.end());
+    std::sort(add.begin(), add.end());
+    stats_.batch_refiles += del.size() + add.size();
+    stats_.refile_runs += by_key_[r].apply_batch(del, add);
+    del.clear();
+    add.clear();
+  }
+  dirty_.clear();
+
+  if (phase_timing_) {
+    const auto t3 = Clock::now();
+    stats_.classify_seconds += std::chrono::duration<double>(t1 - t0).count();
+    stats_.diff_seconds += std::chrono::duration<double>(t2 - t1).count();
+    stats_.refile_seconds += std::chrono::duration<double>(t3 - t2).count();
+  }
+}
+
 void RegimeIndex::refresh_changed() {
   if (servers_.empty()) return;
+  // The full-fleet pass below re-derives and refiles every changed slot, so
+  // pending dirty marks are subsumed by it.
+  dirty_.clear();
   // One vectorized sweep re-derives every server's regime from the shared
   // state-table columns; the per-slot compare below then refiles only the
   // servers whose classification actually moved (the regime-delta list).
@@ -176,9 +349,16 @@ void RegimeIndex::refresh_changed() {
                              batch_scratch_);
   }
   for (std::size_t i = 0; i < servers_.size(); ++i) {
-    Slot fresh = classify(servers_[i]);
+    const server::Server& srv = servers_[i];
+    const server::ServerStateTable::IndexRow& row =
+        srv.state_table().index_row(srv.slot());
+    // Refresh the row mirror unconditionally: the mirror's invariant is
+    // "slots_[i] was derived from rows_[i]", and this pass re-derives every
+    // slot from the live row whether or not it ends up refiled.
+    rows_[i] = row;
+    Slot fresh = slot_from_row(row);
     if (shared) {
-      const server::ServerSlot slot = servers_[i].slot();
+      const server::ServerSlot slot = srv.slot();
       ECLB_ASSERT(batch_scratch_[slot] == table.classified(slot),
                   "refresh_changed: batch pass disagrees with classified column");
       fresh.regime = fresh.awake ? batch_scratch_[slot]
@@ -193,17 +373,23 @@ void RegimeIndex::refresh_changed() {
 }
 
 std::size_t RegimeIndex::memory_bytes() const {
+  flush();  // A mid-phase arena would under- or over-count the key axes.
   std::size_t bytes = counting_.live_bytes();
   for (const auto& b : by_key_) bytes += b.memory_bytes();
   for (const auto& b : by_id_) bytes += b.memory_bytes();
   for (const auto& b : sleepers_) bytes += b.memory_bytes();
   bytes += above_center_.memory_bytes() + awake_empty_.memory_bytes();
   bytes += slots_.capacity() * sizeof(Slot);
+  bytes += rows_.capacity() * sizeof(server::ServerStateTable::IndexRow);
   bytes += batch_scratch_.capacity();
+  bytes += dirty_.memory_bytes() + gather_out_.capacity();
+  for (const auto& r : erase_runs_) bytes += r.capacity() * sizeof(LoadKey);
+  for (const auto& r : insert_runs_) bytes += r.capacity() * sizeof(LoadKey);
   return bytes;
 }
 
 energy::RegimeHistogram RegimeIndex::regime_histogram() const {
+  flush();
   energy::RegimeHistogram hist{};
   for (std::size_t r = 0; r < energy::kRegimeCount; ++r) {
     hist[r] = by_id_[r].count();
@@ -327,6 +513,7 @@ std::optional<common::ServerId> RegimeIndex::search(
 std::optional<common::ServerId> RegimeIndex::find_tiered_target(
     double demand, common::ServerId exclude,
     policy::PlacementTier max_tier) const {
+  flush();
   // Per tier, bucket membership already encodes "awake" plus the tier's
   // regime restriction; the remaining legacy admissibility condition (the
   // post-placement threshold) and the score are evaluated exactly.  The
@@ -372,6 +559,7 @@ std::optional<common::ServerId> RegimeIndex::find_tiered_target(
 
 std::optional<common::ServerId> RegimeIndex::find_below_center_target(
     double demand, common::ServerId exclude) const {
+  flush();
   // Admissible targets end at or below their own center, so load < center:
   // every candidate is awake in R1..R3 and its key + demand is <= rounding
   // error -- the upward cutoff is just the slop margin.
@@ -387,6 +575,7 @@ std::optional<common::ServerId> RegimeIndex::find_below_center_target(
 
 std::optional<common::ServerId> RegimeIndex::find_drain_target(
     const server::Server& donor, double demand) const {
+  flush();
   // Legacy conditions, re-checked exactly per candidate: strictly-uphill
   // load, R1/R2 peer or R3 staying below center, post within the optimal
   // region (+kEps).  The R3 bucket's cutoff encodes its tighter
@@ -410,6 +599,7 @@ std::optional<common::ServerId> RegimeIndex::find_drain_target(
 }
 
 std::optional<common::ServerId> RegimeIndex::pick_wake_candidate() const {
+  flush();
   // Legacy scan keeps the first (lowest-id) server with the shallowest
   // settled sleep state; depth buckets in id order reproduce that directly.
   for (const auto& depth : sleepers_) {
@@ -422,25 +612,30 @@ std::optional<common::ServerId> RegimeIndex::pick_wake_candidate() const {
 
 std::optional<common::ServerId> RegimeIndex::next_in_regime(
     energy::Regime r, std::optional<common::ServerId> after) const {
+  flush();
   return next_in_set(by_id_[energy::regime_index(r)], after);
 }
 
 std::optional<common::ServerId> RegimeIndex::next_above_center(
     std::optional<common::ServerId> after) const {
+  flush();
   return next_in_set(above_center_, after);
 }
 
 std::optional<common::ServerId> RegimeIndex::next_parked(
     std::optional<common::ServerId> after) const {
+  flush();
   return next_in_set(sleepers_[0], after);
 }
 
 std::optional<common::ServerId> RegimeIndex::next_awake_empty(
     std::optional<common::ServerId> after) const {
+  flush();
   return next_in_set(awake_empty_, after);
 }
 
 std::optional<std::string> RegimeIndex::self_check() const {
+  flush();
   RegimeIndex fresh(servers_);
   std::ostringstream err;
   for (std::size_t i = 0; i < servers_.size(); ++i) {

@@ -49,7 +49,9 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/index/dirty_set.h"
 #include "cluster/index/key_bucket_set.h"
+#include "cluster/index/pipeline_stats.h"
 #include "common/arena.h"
 #include "common/dense_bitset.h"
 #include "common/types.h"
@@ -68,8 +70,43 @@ class RegimeIndex final : public server::ServerStateListener {
   /// Builds the index from the servers' current state.
   explicit RegimeIndex(std::span<const server::Server> servers);
 
-  /// ServerStateListener: re-files one server after a state change.
+  /// ServerStateListener: records the change.  Coalescing (the default)
+  /// appends a slot-level dirty mark to the per-phase DirtySet; the deferred
+  /// reclassify + refile happens in one batch at the next flush().  Eager
+  /// mode (set_coalescing(false), the --eager-notify escape hatch) re-files
+  /// immediately, one notification at a time.
   void server_state_changed(const server::Server& s) override;
+
+  // --- phase-coalesced pipeline -------------------------------------------
+
+  /// Applies every pending dirty mark: one batch gather-classification over
+  /// the dirty lanes, an old/new slot diff, and sorted grouped refile runs
+  /// into the key axes (each bucket touched once).  Every public query calls
+  /// this first, so an index answer is always computed on exactly the state
+  /// the eager per-notification path would have shown -- which is why the
+  /// two modes are bit-identical by construction.  No-op when nothing is
+  /// dirty; cheap enough to sit on every query.
+  void flush() const {
+    if (dirty_.empty()) return;
+    // Logically const: flushing publishes already-committed server state
+    // into the index's internal structures and changes no query answer.
+    const_cast<RegimeIndex*>(this)->flush_impl();
+  }
+
+  /// Switches between coalesced (true, default) and eager notification
+  /// handling.  Turning coalescing off flushes pending marks first.
+  void set_coalescing(bool on) {
+    if (!on) flush();
+    coalesce_ = on;
+  }
+  [[nodiscard]] bool coalescing() const { return coalesce_; }
+
+  /// Enables wall-clock timing of the flush phases (classify/diff/refile in
+  /// pipeline_stats()).  Off by default so the hot path never reads a clock.
+  void set_phase_timing(bool on) { phase_timing_ = on; }
+
+  /// Cumulative pipeline counters since construction.
+  [[nodiscard]] const PipelineStats& pipeline_stats() const { return stats_; }
 
   /// Rebuilds everything from scratch (constructor body; test hook).
   void rebuild();
@@ -86,18 +123,26 @@ class RegimeIndex final : public server::ServerStateListener {
   /// arena feeding the key-ordered search trees).
   [[nodiscard]] std::size_t memory_bytes() const;
 
-  // --- aggregates (all O(1)) ----------------------------------------------
+  // --- aggregates (all O(1) after the implicit flush) ---------------------
 
   /// Total VM count across the cluster.
-  [[nodiscard]] std::size_t total_vms() const { return total_vms_; }
+  [[nodiscard]] std::size_t total_vms() const {
+    flush();
+    return total_vms_;
+  }
   /// Non-failed servers that are not awake (== Cluster::sleeping_count).
-  [[nodiscard]] std::size_t sleeping_count() const { return sleeping_; }
+  [[nodiscard]] std::size_t sleeping_count() const {
+    flush();
+    return sleeping_;
+  }
   /// Servers whose effective C-state is C1.
   [[nodiscard]] std::size_t parked_count() const {
+    flush();
     return cnt_effective_[static_cast<std::size_t>(energy::CState::kC1)];
   }
   /// Servers whose effective C-state is C3 or C6.
   [[nodiscard]] std::size_t deep_sleeping_count() const {
+    flush();
     return cnt_effective_[static_cast<std::size_t>(energy::CState::kC3)] +
            cnt_effective_[static_cast<std::size_t>(energy::CState::kC6)];
   }
@@ -106,7 +151,10 @@ class RegimeIndex final : public server::ServerStateListener {
   /// Servers that report their regime to the leader each interval (regime
   /// defined and != R3; includes servers still settling into sleep, exactly
   /// like the legacy RegimeReport scan).
-  [[nodiscard]] std::size_t regime_reporter_count() const { return reporters_; }
+  [[nodiscard]] std::size_t regime_reporter_count() const {
+    flush();
+    return reporters_;
+  }
 
   // --- exact-equivalent placement searches --------------------------------
 
@@ -186,9 +234,25 @@ class RegimeIndex final : public server::ServerStateListener {
   };
 
   [[nodiscard]] Slot classify(const server::Server& s) const;
+  /// Derives a Slot from a packed state-table record.  Slot is a pure
+  /// function of the row -- the invariant the notification gate relies on:
+  /// when a server's current row equals the mirrored row the index last
+  /// applied (rows_), no index structure can need updating.
+  [[nodiscard]] static Slot slot_from_row(
+      const server::ServerStateTable::IndexRow& row);
   void update_slot(std::size_t i);
   void file_slot(std::uint32_t id, const Slot& slot);
   void unfile_slot(std::uint32_t id, const Slot& slot);
+
+  /// The deferred phase barrier behind flush(): batch-classifies the dirty
+  /// lanes, diffs old vs new slots (bitsets and scalar aggregates applied
+  /// inline; they are one-word writes), and applies the collected key-axis
+  /// mutations as sorted grouped runs via KeyBucketSet::apply_batch.
+  void flush_impl();
+  /// file_slot/unfile_slot with the by_key_ mutation deferred into the
+  /// per-regime run lists instead of applied immediately.
+  void file_slot_deferred(std::uint32_t id, const Slot& slot);
+  void unfile_slot_deferred(std::uint32_t id, const Slot& slot);
 
   /// Bidirectional best-score search over `buckets` around the ideal key
   /// -demand.  `admit(server, regime_idx)` returns the *exact legacy score*
@@ -201,8 +265,29 @@ class RegimeIndex final : public server::ServerStateListener {
 
   std::span<const server::Server> servers_;
   std::vector<Slot> slots_;
+  /// Mirror of each server's packed IndexRow as of the last time the index
+  /// applied it (rebuild, refresh, eager update or flush).  A notification
+  /// whose current row equals the mirror is a no-op for every structure the
+  /// index keeps, so both the eager path and the dirty-mark path drop it
+  /// after one 32-byte compare -- settle sweeps and other fact-free
+  /// notifications never reach the refile machinery.
+  std::vector<server::ServerStateTable::IndexRow> rows_;
   /// Scratch for refresh_changed's batch classification pass.
   std::vector<std::int8_t> batch_scratch_;
+
+  // --- coalesced-pipeline state -------------------------------------------
+
+  bool coalesce_{true};
+  bool phase_timing_{false};
+  DirtySet dirty_;
+  PipelineStats stats_;
+  /// Classification output for the dirty lanes, parallel to the sorted
+  /// dirty-slot list (gather kernel scratch).
+  std::vector<std::int8_t> gather_out_;
+  /// Per-regime key-axis mutations collected during one flush's diff pass,
+  /// applied as sorted grouped runs at the end of the phase.
+  std::array<std::vector<LoadKey>, energy::kRegimeCount> erase_runs_;
+  std::array<std::vector<LoadKey>, energy::kRegimeCount> insert_runs_;
 
   /// Arena for the key sets: the pool recycles bucket storage across
   /// refiles, the counting upstream makes memory_bytes() exact.  Declared

@@ -41,7 +41,10 @@ void EvolveAndScale::run(ClusterView& view) {
   for (std::size_t i = 0; i < servers.size(); ++i) {
     if (awake_col[i] == 0 || vm_count_col[i] == 0) continue;
     server::Server& s = servers[i];
-    const std::size_t roster = s.vm_count();
+    // The column mirrors Server::vm_count() (sync_derived); reading it keeps
+    // the no-hit iterations from pulling the scattered Server record into
+    // cache at all.  The assert below still cross-checks on every hit.
+    const std::size_t roster = vm_count_col[i];
 
     for (std::size_t j = 0; j < roster; ++j) {
       if (!rng.bernoulli(config.demand_change_probability)) continue;

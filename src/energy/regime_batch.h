@@ -36,6 +36,21 @@ void classify_regimes(std::span<const double> load,
                       std::span<const double> alpha_sopt_high,
                       std::span<std::int8_t> out);
 
+/// Gather variant for the coalesced notification pipeline: classifies only
+/// the lanes named by `slots`, writing out[j] = classification of column row
+/// slots[j].  Every slots[j] must index into the column spans; `out` must
+/// have slots.size() elements.  Lane-for-lane the arithmetic is the scalar
+/// classify_regime_branchless, so the result is bit-identical to classifying
+/// the same rows one at a time.
+void classify_regimes_gather(std::span<const std::uint32_t> slots,
+                             std::span<const double> load,
+                             std::span<const double> capacity,
+                             std::span<const double> alpha_sopt_low,
+                             std::span<const double> alpha_opt_low,
+                             std::span<const double> alpha_opt_high,
+                             std::span<const double> alpha_sopt_high,
+                             std::span<std::int8_t> out);
+
 /// Scalar form of the same branchless kernel (one server); used by the SoA
 /// state table's derived-column sync so the per-mutation and batch paths
 /// share one definition.

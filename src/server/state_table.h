@@ -55,6 +55,10 @@ class ServerStateTable {
     std::uint8_t effective{0};
     std::uint8_t awake{1};
     std::uint8_t alive{1};
+
+    /// Field-wise (padding excluded): lets the index's notification gate
+    /// detect "nothing the index reads has moved" in one record compare.
+    friend bool operator==(const IndexRow&, const IndexRow&) = default;
   };
 
   /// Pre-allocates capacity for `n` slots (no slots are created).

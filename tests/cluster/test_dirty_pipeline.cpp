@@ -1,0 +1,407 @@
+// Equivalence suite for the phase-coalesced notification pipeline.
+//
+// The pipeline's contract mirrors the index's own: coalescing notifications
+// into per-phase flushes must be invisible -- every query answer, interval
+// report and digest identical to the eager one-notification-one-refile mode,
+// under arbitrary interleavings of protocol rounds, faults and request
+// workloads.  Three layers:
+//   1. Unit tests for the pipeline's building blocks: DirtySet (dedup,
+//      epoch-bump clear, uint32 epoch wraparound) and KeyBucketSet's
+//      grouped-run batch apply + same-bucket refile against one-at-a-time
+//      oracles, including the degenerate runs (empty batch, whole-bucket
+//      turnover, refill of a just-emptied bucket).
+//   2. Differential full runs: a coalescing cluster and an eager
+//      (coalesce_notifications = false) cluster with the same seed must
+//      emit identical reports, cursor walks and self_check results under
+//      churn, a FaultPlan and a request-level workload.
+//   3. Fabric digests: the same fabric seed must replay bit-identically
+//      across {coalesced, eager} x {1, 2} worker threads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory_resource>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/fabric.h"
+#include "cluster/index/dirty_set.h"
+#include "cluster/index/key_bucket_set.h"
+#include "cluster/index/regime_index.h"
+#include "experiment/request_driver.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+
+namespace eclb::cluster {
+namespace {
+
+using common::Seconds;
+using common::ServerId;
+
+// --- DirtySet ---------------------------------------------------------------
+
+TEST(DirtySet, MarksAreDuplicateFreeInFirstTouchOrder) {
+  index::DirtySet d;
+  d.resize(8);
+  EXPECT_TRUE(d.empty());
+  d.mark(5);
+  d.mark(2);
+  d.mark(5);
+  d.mark(2);
+  d.mark(7);
+  ASSERT_EQ(d.size(), 3u);
+  const auto s = d.slots();
+  EXPECT_EQ(s[0], 5u);
+  EXPECT_EQ(s[1], 2u);
+  EXPECT_EQ(s[2], 7u);
+}
+
+TEST(DirtySet, ClearForgetsMarksAndAllowsRemarking) {
+  index::DirtySet d;
+  d.resize(4);
+  d.mark(1);
+  d.mark(3);
+  d.clear();
+  EXPECT_TRUE(d.empty());
+  d.mark(1);  // same slot again, new epoch: must register
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.slots()[0], 1u);
+}
+
+TEST(DirtySet, EpochWraparoundCannotAliasStaleStamps) {
+  index::DirtySet d;
+  d.resize(4);
+  // Stamp slot 0 at the maximum epoch, then wrap: the stale stamp must not
+  // make the post-wrap epoch (1) think slot 0 is already marked.
+  d.set_epoch_for_test(0xFFFFFFFFu);
+  d.mark(0);
+  d.clear();  // epoch increments to 0 -> wraps: stamps reset, epoch = 1
+  EXPECT_TRUE(d.empty());
+  d.mark(0);
+  ASSERT_EQ(d.size(), 1u);
+  d.mark(0);  // dedup still works post-wrap
+  EXPECT_EQ(d.size(), 1u);
+}
+
+// --- KeyBucketSet batch apply ----------------------------------------------
+
+using Kv = index::KeyBucketSet::value_type;
+
+std::vector<Kv> elements_of(const index::KeyBucketSet& s) {
+  std::vector<Kv> out;
+  for (auto it = s.begin(); it != s.end(); ++it) out.push_back(*it);
+  return out;
+}
+
+TEST(KeyBucketSet, EmptyBatchTouchesNothing) {
+  index::KeyBucketSet s(std::pmr::new_delete_resource());
+  s.configure(16);
+  s.insert({0.25, 1});
+  s.insert({-0.125, 2});
+  EXPECT_EQ(s.apply_batch({}, {}), 0u);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(elements_of(s), (std::vector<Kv>{{-0.125, 2}, {0.25, 1}}));
+}
+
+TEST(KeyBucketSet, WholeBucketTurnoverMatchesOneAtATimeOracle) {
+  // With configure(16) the bucket geometry is 16 buckets over [-1, 1); keys
+  // in [0, 0.125) all land in one bucket.  Erase the whole bucket and refill
+  // it with a disjoint element set in a single batch.
+  index::KeyBucketSet batched(std::pmr::new_delete_resource());
+  index::KeyBucketSet oracle(std::pmr::new_delete_resource());
+  batched.configure(16);
+  oracle.configure(16);
+  const std::vector<Kv> old_gen{{0.01, 1}, {0.05, 2}, {0.10, 3}};
+  const std::vector<Kv> new_gen{{0.02, 4}, {0.06, 5}, {0.11, 6}};
+  for (const auto& v : old_gen) {
+    batched.insert(v);
+    oracle.insert(v);
+  }
+  EXPECT_EQ(batched.apply_batch(old_gen, new_gen), 1u);  // one bucket run
+  for (const auto& v : old_gen) oracle.erase(v);
+  for (const auto& v : new_gen) oracle.insert(v);
+  EXPECT_TRUE(batched == oracle);
+  EXPECT_EQ(elements_of(batched), elements_of(oracle));
+}
+
+TEST(KeyBucketSet, RefileIntoJustEmptiedBucketWithinOneBatch) {
+  // The batch drains one bucket to empty and simultaneously moves elements
+  // from a neighbouring bucket into it: the run for the emptied bucket must
+  // not leave a stale occupancy bit, and the incoming run must re-set it.
+  index::KeyBucketSet batched(std::pmr::new_delete_resource());
+  index::KeyBucketSet oracle(std::pmr::new_delete_resource());
+  batched.configure(16);
+  oracle.configure(16);
+  // Bucket A: keys in [0, 0.125); bucket B: keys in [0.125, 0.25).
+  const std::vector<Kv> in_a{{0.01, 1}, {0.07, 2}};
+  const std::vector<Kv> in_b{{0.13, 3}, {0.20, 4}};
+  for (const auto& v : in_a) {
+    batched.insert(v);
+    oracle.insert(v);
+  }
+  for (const auto& v : in_b) {
+    batched.insert(v);
+    oracle.insert(v);
+  }
+  // Erase all of A and all of B; insert B's ids back with keys in A's range.
+  const std::vector<Kv> erases{{0.01, 1}, {0.07, 2}, {0.13, 3}, {0.20, 4}};
+  const std::vector<Kv> inserts{{0.03, 3}, {0.09, 4}};
+  EXPECT_EQ(batched.apply_batch(erases, inserts), 2u);
+  for (const auto& v : erases) oracle.erase(v);
+  for (const auto& v : inserts) oracle.insert(v);
+  EXPECT_TRUE(batched == oracle);
+  EXPECT_EQ(batched.size(), 2u);
+  // Iteration crosses the emptied bucket B without visiting anything there.
+  EXPECT_EQ(elements_of(batched), (std::vector<Kv>{{0.03, 3}, {0.09, 4}}));
+}
+
+TEST(KeyBucketSet, RefileMatchesEraseInsertInAndAcrossBuckets) {
+  index::KeyBucketSet fused(std::pmr::new_delete_resource());
+  index::KeyBucketSet oracle(std::pmr::new_delete_resource());
+  fused.configure(16);
+  oracle.configure(16);
+  for (const Kv v : {Kv{0.01, 1}, Kv{0.05, 2}, Kv{0.10, 3}, Kv{0.30, 4}}) {
+    fused.insert(v);
+    oracle.insert(v);
+  }
+  // Same-bucket move up, same-bucket move down, cross-bucket move.
+  const std::vector<std::pair<Kv, Kv>> moves{
+      {{0.01, 1}, {0.12, 1}},   // up within the [0, 0.125) bucket
+      {{0.10, 3}, {0.02, 3}},   // down within the same bucket
+      {{0.30, 4}, {-0.40, 4}},  // across buckets
+      {{0.05, 2}, {0.05, 2}},   // degenerate: key unchanged
+  };
+  for (const auto& [old_v, new_v] : moves) {
+    fused.refile(old_v, new_v);
+    oracle.erase(old_v);
+    oracle.insert(new_v);
+    EXPECT_TRUE(fused == oracle);
+  }
+  EXPECT_EQ(elements_of(fused), elements_of(oracle));
+}
+
+// --- coalesced vs eager differential runs -----------------------------------
+
+ClusterConfig pipeline_config(std::uint64_t seed, bool coalesce) {
+  ClusterConfig cfg;
+  cfg.server_count = 60;
+  cfg.initial_load_min = 0.2;
+  cfg.initial_load_max = 0.4;
+  cfg.seed = seed;
+  cfg.coalesce_notifications = coalesce;
+  return cfg;
+}
+
+/// Deterministic churn: crash, recover, derate or inject, cycling the fleet
+/// (same shape as the regime-index suite, so the mutations hit mid-phase).
+void churn(Cluster& c, int round) {
+  const auto n = static_cast<std::uint32_t>(c.size());
+  const ServerId victim{static_cast<std::uint32_t>((round * 7 + 3) % n)};
+  switch (round % 4) {
+    case 0: c.crash_server(victim); break;
+    case 1: c.recover_server(victim); break;
+    case 2: c.derate_server(victim, 0.5 + 0.1 * (round % 5)); break;
+    default:
+      if (!c.servers()[victim.value].failed()) {
+        c.inject_vm(victim,
+                    common::AppId{static_cast<std::uint32_t>(9000 + round)},
+                    0.05);
+      }
+      break;
+  }
+}
+
+/// Full id walk of every ordered cursor: any divergence in iteration order
+/// between the two modes shows up as a different sequence.
+std::vector<std::uint32_t> cursor_walks(const index::RegimeIndex& idx) {
+  std::vector<std::uint32_t> out;
+  constexpr std::uint32_t kSep = 0xFFFFFFFFu;
+  for (const auto r :
+       {energy::Regime::kR1UndesirableLow, energy::Regime::kR2SuboptimalLow,
+        energy::Regime::kR3Optimal, energy::Regime::kR4SuboptimalHigh,
+        energy::Regime::kR5UndesirableHigh}) {
+    for (auto id = idx.next_in_regime(r, std::nullopt); id.has_value();
+         id = idx.next_in_regime(r, id)) {
+      out.push_back(id->value);
+    }
+    out.push_back(kSep);
+  }
+  for (auto id = idx.next_above_center(std::nullopt); id.has_value();
+       id = idx.next_above_center(id)) {
+    out.push_back(id->value);
+  }
+  out.push_back(kSep);
+  for (auto id = idx.next_parked(std::nullopt); id.has_value();
+       id = idx.next_parked(id)) {
+    out.push_back(id->value);
+  }
+  out.push_back(kSep);
+  for (auto id = idx.next_awake_empty(std::nullopt); id.has_value();
+       id = idx.next_awake_empty(id)) {
+    out.push_back(id->value);
+  }
+  return out;
+}
+
+void expect_reports_equal(const IntervalReport& a, const IntervalReport& b,
+                          std::size_t i) {
+  EXPECT_EQ(a.local_decisions, b.local_decisions) << "interval " << i;
+  EXPECT_EQ(a.in_cluster_decisions, b.in_cluster_decisions) << "interval " << i;
+  EXPECT_EQ(a.migrations, b.migrations) << "interval " << i;
+  EXPECT_EQ(a.horizontal_starts, b.horizontal_starts) << "interval " << i;
+  EXPECT_EQ(a.drains, b.drains) << "interval " << i;
+  EXPECT_EQ(a.sleeps, b.sleeps) << "interval " << i;
+  EXPECT_EQ(a.wakes, b.wakes) << "interval " << i;
+  EXPECT_EQ(a.sla_violations, b.sla_violations) << "interval " << i;
+  EXPECT_EQ(a.sleeping_servers, b.sleeping_servers) << "interval " << i;
+  EXPECT_EQ(a.parked_servers, b.parked_servers) << "interval " << i;
+  EXPECT_EQ(a.deep_sleeping_servers, b.deep_sleeping_servers)
+      << "interval " << i;
+  EXPECT_EQ(a.failed_servers, b.failed_servers) << "interval " << i;
+  EXPECT_EQ(a.regimes, b.regimes) << "interval " << i;
+  EXPECT_DOUBLE_EQ(a.unserved_demand, b.unserved_demand) << "interval " << i;
+  EXPECT_DOUBLE_EQ(a.interval_energy.value, b.interval_energy.value)
+      << "interval " << i;
+}
+
+TEST(DirtyPipeline, CoalescedMatchesEagerUnderChurn) {
+  for (std::uint64_t seed : {4u, 27u, 101u}) {
+    Cluster coalesced(pipeline_config(seed, /*coalesce=*/true));
+    Cluster eager(pipeline_config(seed, /*coalesce=*/false));
+    ASSERT_NE(coalesced.regime_index(), nullptr);
+    ASSERT_NE(eager.regime_index(), nullptr);
+    for (int round = 0; round < 30; ++round) {
+      const auto ra = coalesced.step();
+      const auto rb = eager.step();
+      expect_reports_equal(ra, rb, static_cast<std::size_t>(round));
+      churn(coalesced, round);
+      churn(eager, round);
+      // Mid-phase view: cursor walks immediately after mutation exercise
+      // the flush-on-query barrier against the eager mode's live state.
+      EXPECT_EQ(cursor_walks(*coalesced.regime_index()),
+                cursor_walks(*eager.regime_index()))
+          << "seed " << seed << " round " << round;
+      const auto err = coalesced.regime_index()->self_check();
+      ASSERT_FALSE(err.has_value())
+          << "seed " << seed << " round " << round << ": " << *err;
+    }
+    EXPECT_DOUBLE_EQ(coalesced.total_energy().value,
+                     eager.total_energy().value);
+    EXPECT_EQ(coalesced.total_vms(), eager.total_vms());
+    EXPECT_EQ(coalesced.message_stats().total(), eager.message_stats().total());
+  }
+}
+
+fault::FaultPlan pipeline_stress_plan() {
+  fault::FaultPlan plan;
+  plan.crash(Seconds{90.0}, ServerId{4});
+  plan.crash(Seconds{150.0}, ServerId{17});
+  plan.crash_leader(Seconds{210.0});
+  plan.recover(Seconds{400.0}, ServerId{4});
+  plan.derate(Seconds{450.0}, ServerId{23}, 0.6);
+  plan.link_loss(Seconds{500.0}, 0.2);
+  plan.migration_failure_rate(Seconds{560.0}, 0.3);
+  return plan;
+}
+
+TEST(DirtyPipeline, CoalescedMatchesEagerUnderFaultPlan) {
+  Cluster coalesced(pipeline_config(33, /*coalesce=*/true));
+  Cluster eager(pipeline_config(33, /*coalesce=*/false));
+  fault::FaultInjector fc(coalesced, pipeline_stress_plan());
+  fault::FaultInjector fe(eager, pipeline_stress_plan());
+  for (std::size_t i = 0; i < 40; ++i) {
+    const auto ra = coalesced.step();
+    const auto rb = eager.step();
+    expect_reports_equal(ra, rb, i);
+    const auto err = coalesced.regime_index()->self_check();
+    ASSERT_FALSE(err.has_value()) << "interval " << i << ": " << *err;
+  }
+  EXPECT_DOUBLE_EQ(coalesced.total_energy().value, eager.total_energy().value);
+  EXPECT_EQ(fc.stats().crashes, fe.stats().crashes);
+  EXPECT_EQ(fc.stats().failovers, fe.stats().failovers);
+}
+
+TEST(DirtyPipeline, CoalescedMatchesEagerUnderRequestWorkload) {
+  auto make = [](bool coalesce) {
+    auto cfg = pipeline_config(55, coalesce);
+    cfg.demand_evolution_enabled = false;
+    return cfg;
+  };
+  const char* spec = "poisson:rate=120,mean=0.3;flash:rate=40,burst=6;seed=9";
+  std::string err;
+  const auto wcfg = workload::engine::RequestWorkloadConfig::parse(spec, &err);
+  ASSERT_TRUE(wcfg.has_value()) << err;
+  Cluster coalesced(make(true));
+  Cluster eager(make(false));
+  experiment::RequestDriver dc(coalesced, *wcfg);
+  experiment::RequestDriver de(eager, *wcfg);
+  ASSERT_TRUE(dc.ok());
+  ASSERT_TRUE(de.ok());
+  for (std::size_t i = 0; i < 30; ++i) {
+    dc.advance_interval();
+    de.advance_interval();
+    const auto ra = coalesced.step();
+    const auto rb = eager.step();
+    expect_reports_equal(ra, rb, i);
+  }
+  const auto sc = dc.summary();
+  const auto se = de.summary();
+  EXPECT_EQ(sc.completed, se.completed);
+  EXPECT_EQ(sc.sla_violations, se.sla_violations);
+  EXPECT_DOUBLE_EQ(coalesced.total_energy().value, eager.total_energy().value);
+}
+
+// --- fabric digests ---------------------------------------------------------
+
+TEST(DirtyPipeline, FabricDigestsIdenticalAcrossModesAndThreadCounts) {
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kSteps = 8;
+  std::vector<std::vector<std::uint64_t>> digests;
+  for (const bool coalesce : {true, false}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+      FabricConfig fcfg;
+      fcfg.shard_count = kShards;
+      fcfg.threads = threads;
+      fcfg.cluster_template = pipeline_config(77, coalesce);
+      Fabric fabric(fcfg);
+      std::vector<std::uint64_t> run;
+      run.reserve(kSteps + 1);
+      for (std::size_t i = 0; i < kSteps; ++i) {
+        run.push_back(fabric_report_digest(fabric.step()));
+      }
+      run.push_back(fabric.state_digest());
+      digests.push_back(std::move(run));
+    }
+  }
+  for (std::size_t i = 1; i < digests.size(); ++i) {
+    EXPECT_EQ(digests[0], digests[i]) << "variant " << i;
+  }
+}
+
+/// The coalesced pipeline actually coalesces: a steady-state interval at
+/// this size must mark slots and apply batched refiles, and the eager mode
+/// must report none.  (Counter plumbing guard -- the figures feed the CLI's
+/// --mem-stats/--profile trailers and the perf kernel's phase rows.)
+TEST(DirtyPipeline, PipelineCountersFlowOnlyWhenCoalescing) {
+  Cluster coalesced(pipeline_config(6, /*coalesce=*/true));
+  Cluster eager(pipeline_config(6, /*coalesce=*/false));
+  for (int i = 0; i < 10; ++i) {
+    coalesced.step();
+    eager.step();
+  }
+  const auto pc = coalesced.pipeline_stats();
+  const auto pe = eager.pipeline_stats();
+  EXPECT_GT(pc.flushes, 0u);
+  EXPECT_GT(pc.dirty_slots, 0u);
+  EXPECT_EQ(pe.flushes, 0u);
+  EXPECT_EQ(pe.dirty_slots, 0u);
+  // Phase timers only tick when explicitly enabled.
+  EXPECT_EQ(pc.classify_seconds, 0.0);
+  Cluster timed(pipeline_config(6, /*coalesce=*/true));
+  timed.set_pipeline_phase_timing(true);
+  for (int i = 0; i < 10; ++i) timed.step();
+  EXPECT_GT(timed.pipeline_stats().diff_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace eclb::cluster

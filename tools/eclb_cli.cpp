@@ -43,7 +43,8 @@ int usage() {
       "\n"
       "commands:\n"
       "  cluster   --servers N --load 30|70 --intervals K --seed S [--tau SEC]\n"
-      "            [--no-sleep] [--no-rebalance] [--legacy-scan] [--faults SPEC]\n"
+      "            [--no-sleep] [--no-rebalance] [--legacy-scan] [--eager-notify]\n"
+      "            [--faults SPEC]\n"
       "            [--shards M] [--fabric-threads T]\n"
       "            [--trace DIR] [--metrics FILE] [--profile] [--mem-stats]\n"
       "            runs the energy-aware protocol, prints per-interval CSV;\n"
@@ -56,7 +57,11 @@ int usage() {
       "            writes aggregated counters as JSON, --profile prints a\n"
       "            wall-clock phase table to stderr, --mem-stats prints peak\n"
       "            RSS and the data-plane memory breakdown (state table,\n"
-      "            regime index, per-server bytes); --faults injects a\n"
+      "            regime index, per-server bytes) plus the notification\n"
+      "            pipeline counters; --eager-notify applies every index\n"
+      "            update at its notification instead of coalescing per\n"
+      "            phase (bit-identical by contract; the flag exists to\n"
+      "            prove it); --faults injects a\n"
       "            deterministic fault schedule, e.g.\n"
       "            \"leader@1200;loss@0:p=0.05;crash@600:s=3;seed=9\" or\n"
       "            \"part@600:g=0-49|50-99,heal=1800\"\n"
@@ -108,6 +113,34 @@ int parse_request_flags(
   return 0;
 }
 
+/// Folds the notification-pipeline counters into the metrics registry
+/// (pipeline.* namespace) so --metrics files carry them.
+void record_pipeline_metrics(obs::MetricsRegistry& registry,
+                             const cluster::index::PipelineStats& p) {
+  registry.counter("pipeline.flushes").inc(p.flushes);
+  registry.counter("pipeline.dirty_slots").inc(p.dirty_slots);
+  registry.counter("pipeline.batch_refiles").inc(p.batch_refiles);
+  registry.counter("pipeline.refile_runs").inc(p.refile_runs);
+}
+
+/// The notification-pipeline trailer for --profile / --mem-stats (stderr).
+/// Phase seconds only flow when phase timing was switched on (--profile).
+void print_pipeline_stats(const cluster::index::PipelineStats& p, bool timed) {
+  std::fprintf(stderr,
+               "pipeline: %llu flushes, %llu dirty slots, %llu batch refiles "
+               "in %llu bucket runs\n",
+               static_cast<unsigned long long>(p.flushes),
+               static_cast<unsigned long long>(p.dirty_slots),
+               static_cast<unsigned long long>(p.batch_refiles),
+               static_cast<unsigned long long>(p.refile_runs));
+  if (timed) {
+    std::fprintf(stderr,
+                 "pipeline: classify %.3f ms, diff %.3f ms, refile %.3f ms\n",
+                 1e3 * p.classify_seconds, 1e3 * p.diff_seconds,
+                 1e3 * p.refile_seconds);
+  }
+}
+
 /// The end-of-run SLA trailer (stderr, like the energy summary).
 void print_sla_trailer(const experiment::SlaSummary& s) {
   std::fprintf(stderr,
@@ -151,6 +184,9 @@ int cmd_cluster_fabric(common::Flags& flags, std::size_t shards) {
   if (flags.get_bool("legacy-scan")) {
     fcfg.cluster_template.use_regime_index = false;
   }
+  if (flags.get_bool("eager-notify")) {
+    fcfg.cluster_template.coalesce_notifications = false;
+  }
 
   std::optional<fault::FaultPlan> plan;
   if (flags.has("faults")) {
@@ -177,6 +213,7 @@ int cmd_cluster_fabric(common::Flags& flags, std::size_t shards) {
   if (flags.get_bool("profile")) obs_cfg.profiler = &profiler;
 
   cluster::Fabric fabric(fcfg);
+  if (flags.get_bool("profile")) fabric.set_pipeline_phase_timing(true);
   std::optional<fault::FabricFaultSession> faults;
   if (plan.has_value()) faults.emplace(fabric, *plan);
   std::optional<experiment::FabricRequestSession> session;
@@ -266,11 +303,16 @@ int cmd_cluster_fabric(common::Flags& flags, std::size_t shards) {
       std::cerr << "trace: " << probe->trace()->path() << "\n";
     }
   }
+  const auto pstats = fabric.pipeline_stats();
+  if (!metrics_file.empty()) record_pipeline_metrics(registry, pstats);
   if (!metrics_file.empty() && !registry.write_json_file(metrics_file)) {
     std::cerr << "could not write metrics file: " << metrics_file << "\n";
     return 2;
   }
-  if (obs_cfg.profiler != nullptr) profiler.write(std::cerr);
+  if (obs_cfg.profiler != nullptr) {
+    profiler.write(std::cerr);
+    print_pipeline_stats(pstats, /*timed=*/true);
+  }
   return 0;
 }
 
@@ -292,6 +334,9 @@ int cmd_cluster(common::Flags& flags) {
   // Differential escape hatch: run the legacy full-scan protocol path (the
   // output is bit-identical by contract; the flag exists to prove it).
   if (flags.get_bool("legacy-scan")) cfg.use_regime_index = false;
+  // Eager-notify escape hatch: apply every index update at its notification
+  // instead of coalescing per protocol phase (same bit-identity contract).
+  if (flags.get_bool("eager-notify")) cfg.coalesce_notifications = false;
 
   std::optional<fault::FaultPlan> plan;
   if (flags.has("faults")) {
@@ -317,6 +362,7 @@ int cmd_cluster(common::Flags& flags) {
   const auto probe = obs::ClusterProbe::make(obs_cfg, seed, /*replication=*/0);
 
   cluster::Cluster cluster(cfg);
+  if (flags.get_bool("profile")) cluster.set_pipeline_phase_timing(true);
   std::optional<fault::FaultInjector> injector;
   if (plan.has_value()) injector.emplace(cluster, *plan);
   std::optional<experiment::RequestDriver> rdriver;
@@ -379,11 +425,16 @@ int cmd_cluster(common::Flags& flags) {
   if (probe != nullptr && probe->trace() != nullptr) {
     std::cerr << "trace: " << probe->trace()->path() << "\n";
   }
+  const auto pstats = cluster.pipeline_stats();
+  if (!metrics_file.empty()) record_pipeline_metrics(registry, pstats);
   if (!metrics_file.empty() && !registry.write_json_file(metrics_file)) {
     std::cerr << "could not write metrics file: " << metrics_file << "\n";
     return 2;
   }
-  if (obs_cfg.profiler != nullptr) profiler.write(std::cerr);
+  if (obs_cfg.profiler != nullptr) {
+    profiler.write(std::cerr);
+    print_pipeline_stats(pstats, /*timed=*/true);
+  }
   if (flags.get_bool("mem-stats")) {
     const auto m = cluster.memory_stats();
     std::cerr << "memory: state table " << m.state_table_bytes
@@ -397,6 +448,8 @@ int cmd_cluster(common::Flags& flags) {
       std::cerr << ", peak RSS " << rss << " B";
     }
     std::cerr << "\n";
+    // --profile already printed the (timed) pipeline trailer above.
+    if (obs_cfg.profiler == nullptr) print_pipeline_stats(pstats, false);
   }
   return 0;
 }
