@@ -43,6 +43,7 @@
 #include "cluster/fabric.h"
 #include "common/flags.h"
 #include "common/sysinfo.h"
+#include "experiment/request_driver.h"
 #include "experiment/scenario.h"
 #include "sim/event_queue.h"
 #include "workload/engine/engine.h"
@@ -298,6 +299,52 @@ RequestSample time_request_engine(std::size_t target_requests) {
   return s;
 }
 
+// --- sleep/wake hysteresis row ----------------------------------------------
+
+struct HysteresisSample {
+  std::size_t flaps_raw{0};     ///< wake_sleep_flaps, hysteresis off.
+  std::size_t flaps_damped{0};  ///< wake_sleep_flaps, hysteresis on.
+};
+
+/// Replays a fixed on/off flash workload (request-driven demand, 40
+/// servers, 30 intervals, deep-sleep budget raised to 10 %/interval so the
+/// idle phases genuinely put servers into C3/C6 and the bursts recall them)
+/// with sleep/wake hysteresis off and on and counts the wake_sleep_flaps
+/// each run books.  The scenario is identical in every mode (--tiny through
+/// --full) and fully deterministic -- the counts are simulation facts, not
+/// timings -- so the reference gates them exactly: the damped count may
+/// never exceed the raw count, and may never grow past the recorded value.
+HysteresisSample measure_hysteresis() {
+  const auto run = [](bool hysteresis) {
+    auto cfg = experiment::paper_cluster_config(
+        40, experiment::AverageLoad::kLow30, 77);
+    cfg.demand_evolution_enabled = false;
+    cfg.max_sleep_fraction_per_interval = 0.1;
+    cfg.hysteresis.enabled = hysteresis;
+    cluster::Cluster c(cfg);
+    std::string error;
+    const auto wl = workload::engine::RequestWorkloadConfig::parse(
+        "flash:rate=20,burst=10,on=60,off=300,mean=0.2,sla=30;seed=9;"
+        "util=0.7",
+        &error);
+    if (!wl.has_value()) {
+      std::fprintf(stderr, "hysteresis spec: %s\n", error.c_str());
+      std::exit(2);
+    }
+    experiment::RequestDriver driver(c, *wl);
+    std::size_t flaps = 0;
+    for (int i = 0; i < 30; ++i) {
+      driver.advance_interval();
+      flaps += c.step().wake_sleep_flaps;
+    }
+    return flaps;
+  };
+  HysteresisSample s;
+  s.flaps_raw = run(false);
+  s.flaps_damped = run(true);
+  return s;
+}
+
 // --- event-queue benchmark --------------------------------------------------
 
 struct QueueSample {
@@ -397,7 +444,8 @@ std::string json_report(const std::vector<StepSample>& steps,
                         const std::vector<FabricSample>& fabrics,
                         const std::vector<PhaseSample>& phases,
                         bool determinism_ok, const QueueSample& queue,
-                        const RequestSample& requests) {
+                        const RequestSample& requests,
+                        const HysteresisSample& hysteresis) {
   const common::SysInfo sys = common::query_sysinfo();
   std::ostringstream out;
   out.precision(6);
@@ -469,7 +517,10 @@ std::string json_report(const std::vector<StepSample>& steps,
       << ", \"ns_per_event\": " << queue.ns_per_event
       << ", \"allocs_per_event\": " << queue.allocs_per_event << "},\n";
   out << "  \"request_engine\": {\"requests\": " << requests.requests
-      << ", \"requests_per_sec\": " << requests.requests_per_sec << "}\n}\n";
+      << ", \"requests_per_sec\": " << requests.requests_per_sec << "},\n";
+  out << "  \"hysteresis\": {\"wake_sleep_flaps_raw\": "
+      << hysteresis.flaps_raw << ", \"wake_sleep_flaps_damped\": "
+      << hysteresis.flaps_damped << "}\n}\n";
   return out.str();
 }
 
@@ -489,7 +540,8 @@ int check_against_reference(const std::string& ref_path,
                             const std::vector<StepSample>& steps,
                             const std::vector<FabricSample>& fabrics,
                             bool determinism_ok, const QueueSample& queue,
-                            const RequestSample& requests) {
+                            const RequestSample& requests,
+                            const HysteresisSample& hysteresis) {
   std::ifstream in(ref_path);
   if (!in) {
     std::fprintf(stderr, "cannot read reference %s\n", ref_path.c_str());
@@ -607,6 +659,31 @@ int check_against_reference(const std::string& ref_path,
     }
   }
 
+  // Hysteresis gate: flap counts are deterministic simulation facts, so the
+  // comparison is exact.  Hysteresis must never flap *more* than the raw
+  // protocol, and the damped count must not grow past the recorded value
+  // (more flaps = the dwell/margin guards stopped biting).
+  if (hysteresis.flaps_damped > hysteresis.flaps_raw) {
+    std::fprintf(stderr,
+                 "FAIL: hysteresis flaps %zu exceed the raw protocol's %zu\n",
+                 hysteresis.flaps_damped, hysteresis.flaps_raw);
+    ++failures;
+  }
+  const auto ref_flaps = json_number(ref, "wake_sleep_flaps_damped");
+  if (ref_flaps.has_value()) {
+    if (static_cast<double>(hysteresis.flaps_damped) > *ref_flaps) {
+      std::fprintf(stderr,
+                   "FAIL: wake_sleep_flaps under hysteresis grew: "
+                   "measured %zu, reference %.0f\n",
+                   hysteresis.flaps_damped, *ref_flaps);
+      ++failures;
+    } else {
+      std::printf("ok: wake_sleep_flaps %zu damped / %zu raw "
+                  "(reference %.0f)\n",
+                  hysteresis.flaps_damped, hysteresis.flaps_raw, *ref_flaps);
+    }
+  }
+
   const auto ref_allocs = json_number(ref, "allocs_per_event");
   if (ref_allocs.has_value() && queue.allocs_per_event > *ref_allocs) {
     std::fprintf(stderr,
@@ -720,8 +797,15 @@ int main(int argc, char** argv) {
       time_request_engine(tiny ? 50000 : ci ? 200000 : 1000000);
   std::printf("  %.0f requests/s\n", requests.requests_per_sec);
 
-  const std::string report =
-      json_report(steps, fabrics, phases, determinism_ok, queue, requests);
+  std::printf("hysteresis: flash overload, flap count off vs on...\n");
+  std::fflush(stdout);
+  const HysteresisSample hysteresis = measure_hysteresis();
+  std::printf("  %zu flaps raw, %zu damped\n", hysteresis.flaps_raw,
+              hysteresis.flaps_damped);
+
+  const std::string report = json_report(steps, fabrics, phases,
+                                         determinism_ok, queue, requests,
+                                         hysteresis);
   std::ofstream out(out_path);
   out << report;
   out.close();
@@ -729,7 +813,8 @@ int main(int argc, char** argv) {
 
   if (flags.has("check")) {
     return check_against_reference(flags.get("check"), steps, fabrics,
-                                   determinism_ok, queue, requests);
+                                   determinism_ok, queue, requests,
+                                   hysteresis);
   }
   return determinism_ok ? 0 : 1;
 }

@@ -426,6 +426,14 @@ void Cluster::begin_wake_now(common::ServerId id) {
   const common::Seconds done = s.begin_wake(sim_.now());
   schedule_transition(id, done);
   last_wake_interval_[id] = interval_index_;
+  // Delayed/retried wakes count toward the flap metric exactly like
+  // round-time wakes: the reversal happened regardless of the path.
+  const auto slept = last_sleep_interval_.find(id);
+  if (slept != last_sleep_interval_.end() &&
+      interval_index_ - slept->second <=
+          config_.hysteresis.flap_window_intervals) {
+    recorder_.wake_sleep_flap(id);
+  }
   recorder_.wake_begun(id);
 }
 

@@ -417,6 +417,9 @@ class Cluster {
   std::uint32_t next_app_id_{0};
   /// Interval index at which each server last began a wake (anti-thrash).
   std::unordered_map<common::ServerId, std::size_t> last_wake_interval_;
+  /// Interval index at which each server last began a deep sleep
+  /// (hysteresis dwell guard + the wake_sleep_flaps metric).
+  std::unordered_map<common::ServerId, std::size_t> last_sleep_interval_;
 
   // --- fault-tolerance state ------------------------------------------------
 

@@ -32,6 +32,34 @@ struct RetryPolicy {
   common::Seconds max_delay{8.0};         ///< Ceiling on the doubled delay.
 };
 
+/// Sleep/wake hysteresis: dual-threshold regime transitions plus a
+/// minimum-dwell guard, the anti-oscillation machinery flash-crowd load
+/// provokes the protocol into needing.  Disabled by default -- the legacy
+/// single-threshold behavior is bit-identical with `enabled == false`.
+/// The flap *metric* (wake_sleep_flaps) is always measured: a server that
+/// reverses a sleep/wake transition within `flap_window_intervals` of the
+/// opposite transition counts one flap, hysteresis on or off.
+struct HysteresisConfig {
+  /// Master switch for the gates below (the metric stays on regardless).
+  bool enabled{false};
+
+  /// A server may not begin sleeping until it has been awake this many
+  /// intervals since its last wake (extends wake_cooldown_intervals), and
+  /// may not be woken until it has slept this many intervals.
+  std::size_t min_dwell_intervals{3};
+
+  /// Dual-threshold consolidation gate: on top of the R1 regime placement,
+  /// a drain source must sit below (enter_margin * its lower threshold) to
+  /// start draining toward sleep, while the wake path is unaffected until
+  /// pressure exceeds the exit side.  1.0 degenerates to the plain regime
+  /// boundary.
+  double enter_load_margin{0.8};
+
+  /// Window, in intervals, inside which a reversed transition counts as a
+  /// flap (metric only; no behavior change).
+  std::size_t flap_window_intervals{8};
+};
+
 /// Everything needed to build and drive a cluster.
 struct ClusterConfig {
   std::size_t server_count{100};
@@ -76,6 +104,10 @@ struct ClusterConfig {
   /// A freshly woken server may not re-enter sleep for this many intervals
   /// (anti-thrash guard).
   std::size_t wake_cooldown_intervals{5};
+
+  /// Sleep/wake hysteresis (dual thresholds + minimum dwell).  Disabled by
+  /// default; the wake_sleep_flaps metric it targets is always measured.
+  HysteresisConfig hysteresis{};
 
   /// Server power curve: fraction of peak drawn when idle (~0.5 in §2).
   double idle_power_fraction{0.5};

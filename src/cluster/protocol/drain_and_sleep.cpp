@@ -44,6 +44,15 @@ void DrainAndSleep::run(ClusterView& view) {
     const auto r = s.regime();
     if (!r.has_value() || *r != energy::Regime::kR1UndesirableLow) continue;
     if (s.vm_count() == 0) continue;
+    // Hysteresis enter threshold: with dual thresholds on, a donor must sit
+    // clearly inside R1 (below enter_load_margin of the R1/R2 boundary)
+    // before it starts draining toward sleep, so load hovering at the
+    // boundary no longer toggles drain decisions interval to interval.
+    if (config.hysteresis.enabled &&
+        s.served_load() > config.hysteresis.enter_load_margin *
+                              s.thresholds().alpha_sopt_low) {
+      continue;
+    }
     donors.push_back(&s);
   }
   std::sort(donors.begin(), donors.end(),
@@ -110,14 +119,29 @@ void DrainAndSleep::run(ClusterView& view) {
       const bool fresh = s.awake(now);
       if (pass == 0 ? !parked : !fresh) continue;
       const auto woken = view.last_wake_interval(s.id());
-      if (woken.has_value() &&
-          view.interval_index() - *woken <= config.wake_cooldown_intervals) {
+      // Minimum dwell: with hysteresis on, a freshly woken server must stay
+      // awake for at least min_dwell_intervals (on top of the cooldown)
+      // before it may re-enter deep sleep.
+      const std::size_t cooldown =
+          config.hysteresis.enabled
+              ? std::max(config.wake_cooldown_intervals,
+                         config.hysteresis.min_dwell_intervals)
+              : config.wake_cooldown_intervals;
+      if (woken.has_value() && view.interval_index() - *woken <= cooldown) {
         continue;
       }
       view.charge_message(MessageKind::kSleepNotice, 1, /*network_energy=*/true);
       const common::Seconds done = parked ? s.deepen_sleep(deep_state, now)
                                           : s.begin_sleep(deep_state, now);
       view.begin_transition(s, done);
+      // Flap metric (always measured): a deep sleep this soon after a wake
+      // is one reversal of the oscillation hysteresis exists to kill.
+      if (woken.has_value() &&
+          view.interval_index() - *woken <=
+              config.hysteresis.flap_window_intervals) {
+        view.recorder().wake_sleep_flap(s.id());
+      }
+      view.note_sleep(s.id());
       view.recorder().sleep_begun(s.id());
       --budget;
     }

@@ -8,6 +8,17 @@ void RequestWake::run(ClusterView& view) {
   const auto candidate = view.pick_wake_candidate();
   if (!candidate.has_value()) return;
   auto& s = view.server(*candidate);
+  const HysteresisConfig& hyst = view.config().hysteresis;
+  const auto slept = view.last_sleep_interval(s.id());
+  // Minimum dwell: with hysteresis on, a sleeper must stay down for at
+  // least min_dwell_intervals before the leader may recall it.  The
+  // pressure that wanted the wake persists, so the request simply retries
+  // next interval once the dwell expires.  Parked (C1) servers carry no
+  // sleep stamp and are never dwell-gated -- their wake is ~free.
+  if (hyst.enabled && slept.has_value() &&
+      view.interval_index() - *slept < hyst.min_dwell_intervals) {
+    return;
+  }
   view.charge_message(MessageKind::kWakeCommand, 1, /*network_energy=*/true);
   // The command crosses the leader link: it can be lost (the retry protocol
   // takes over off-round) or delayed (the wake starts late on the kernel).
@@ -23,6 +34,12 @@ void RequestWake::run(ClusterView& view) {
   const common::Seconds done = s.begin_wake(view.now());
   view.begin_transition(s, done);
   view.note_wake(s.id());
+  // Flap metric (always measured): a wake this soon after a deep sleep is
+  // the other half of the oscillation.
+  if (slept.has_value() &&
+      view.interval_index() - *slept <= hyst.flap_window_intervals) {
+    view.recorder().wake_sleep_flap(s.id());
+  }
   view.recorder().wake_begun(s.id());
 }
 

@@ -323,6 +323,17 @@ void ClusterView::note_wake(common::ServerId id) {
   cluster_.last_wake_interval_[id] = cluster_.interval_index_;
 }
 
+std::optional<std::size_t> ClusterView::last_sleep_interval(
+    common::ServerId id) const {
+  const auto it = cluster_.last_sleep_interval_.find(id);
+  if (it == cluster_.last_sleep_interval_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ClusterView::note_sleep(common::ServerId id) {
+  cluster_.last_sleep_interval_[id] = cluster_.interval_index_;
+}
+
 bool ClusterView::leader_available() const {
   return cluster_.leader_available();
 }

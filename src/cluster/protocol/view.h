@@ -153,6 +153,12 @@ class ClusterView {
       common::ServerId id) const;
   /// Stamps `id` as woken this interval (anti-thrash cooldown input).
   void note_wake(common::ServerId id);
+  /// Interval at which `id` last began a deep sleep; nullopt when it never
+  /// slept.
+  [[nodiscard]] std::optional<std::size_t> last_sleep_interval(
+      common::ServerId id) const;
+  /// Stamps `id` as slept this interval (hysteresis dwell input).
+  void note_sleep(common::ServerId id);
 
   // --- fault-tolerance primitives -------------------------------------------
 

@@ -45,6 +45,7 @@ std::string_view to_string(ProtocolEvent::Kind k) {
     case ProtocolEvent::Kind::kDuplicateResolved: return "duplicate_resolved";
     case ProtocolEvent::Kind::kReconcile: return "reconcile";
     case ProtocolEvent::Kind::kRequestBatch: return "request_batch";
+    case ProtocolEvent::Kind::kWakeSleepFlap: return "wake_sleep_flap";
   }
   return "?";
 }
@@ -216,18 +217,28 @@ void IntervalRecorder::reconciled(common::Seconds convergence,
 
 void IntervalRecorder::request_batch(std::size_t arrived, std::size_t completed,
                                      std::size_t violated, std::size_t dropped,
+                                     std::size_t shed, std::size_t failed,
                                      double backlog) {
   report_.requests_arrived += arrived;
   report_.requests_completed += completed;
   report_.request_sla_violations += violated;
   report_.requests_dropped += dropped;
+  report_.requests_shed += shed;
+  report_.requests_failed_by_fault += failed;
   report_.request_backlog = backlog;
   emit({.kind = ProtocolEvent::Kind::kRequestBatch,
         .value = backlog,
         .requests_arrived = static_cast<std::uint32_t>(arrived),
         .requests_completed = static_cast<std::uint32_t>(completed),
         .requests_violated = static_cast<std::uint32_t>(violated),
-        .requests_dropped = static_cast<std::uint32_t>(dropped)});
+        .requests_dropped = static_cast<std::uint32_t>(dropped),
+        .requests_shed = static_cast<std::uint32_t>(shed),
+        .requests_failed = static_cast<std::uint32_t>(failed)});
+}
+
+void IntervalRecorder::wake_sleep_flap(common::ServerId server) {
+  ++report_.wake_sleep_flaps;
+  emit({.kind = ProtocolEvent::Kind::kWakeSleepFlap, .server = server});
 }
 
 IntervalReport IntervalRecorder::finish(const FleetSnapshot& snapshot) {

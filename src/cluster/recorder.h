@@ -67,6 +67,8 @@ struct ProtocolEvent {
     kDuplicateResolved = 21, ///< Reconciliation retired a duplicate on `server`.
     kReconcile = 22,       ///< Post-heal reconciliation converged (`value` = s).
     kRequestBatch = 23,    ///< Request-engine interval totals (request fields).
+    kWakeSleepFlap = 24,   ///< `server` re-woke (or re-slept) within the
+                           ///< hysteresis flap window of its last transition.
   };
 
   Kind kind{Kind::kDecision};
@@ -82,6 +84,8 @@ struct ProtocolEvent {
   std::uint32_t requests_completed{0};       ///< For kRequestBatch.
   std::uint32_t requests_violated{0};        ///< For kRequestBatch.
   std::uint32_t requests_dropped{0};         ///< For kRequestBatch.
+  std::uint32_t requests_shed{0};            ///< For kRequestBatch (admission).
+  std::uint32_t requests_failed{0};          ///< For kRequestBatch (host crash).
 };
 
 /// Display name of an event kind (stable; part of the trace schema).
@@ -120,6 +124,9 @@ struct IntervalReport {
   std::size_t requests_completed{0};   ///< Requests finished this interval.
   std::size_t request_sla_violations{0}; ///< Completions beyond their SLA budget.
   std::size_t requests_dropped{0};     ///< Requests lost to vanished VMs.
+  std::size_t requests_shed{0};        ///< Requests refused by admission control.
+  std::size_t requests_failed_by_fault{0}; ///< Requests stranded by host crashes.
+  std::size_t wake_sleep_flaps{0};     ///< Sleep/wake reversals inside the flap window.
   double request_backlog{0.0};         ///< Queued work at interval end (capacity-seconds).
   std::size_t sleeping_servers{0};     ///< Servers not awake after the step (any C-state).
   std::size_t parked_servers{0};       ///< Servers halted in C1 (instant wake).
@@ -233,10 +240,14 @@ class IntervalRecorder {
   void reconciled(common::Seconds convergence, common::ServerId leader);
   /// The request engine's interval totals: `arrived` requests routed,
   /// `completed` finished (`violated` of them beyond their SLA), `dropped`
-  /// lost to vanished VMs, `backlog` work still queued (capacity-seconds).
+  /// lost to vanished VMs, `shed` refused by admission control, `failed`
+  /// stranded by host crashes, `backlog` work still queued (cap-seconds).
   void request_batch(std::size_t arrived, std::size_t completed,
                      std::size_t violated, std::size_t dropped,
-                     double backlog);
+                     std::size_t shed, std::size_t failed, double backlog);
+  /// `server` reversed a sleep/wake transition inside the flap window --
+  /// the oscillation hysteresis exists to kill.
+  void wake_sleep_flap(common::ServerId server);
 
   /// Folds the end-of-interval fleet observation in, resets the counters for
   /// the next window and returns the completed report.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 #include <unordered_map>
 
 #include "common/assert.h"
@@ -28,6 +29,8 @@ std::uint64_t SlaSummary::digest() const {
   fnv_mix(h, arrived);
   fnv_mix(h, completed);
   fnv_mix(h, dropped);
+  fnv_mix(h, shed);
+  fnv_mix(h, failed_by_fault);
   fnv_mix(h, sla_violations);
   std::uint64_t backlog_bits = 0;
   static_assert(sizeof backlog_bits == sizeof backlog);
@@ -41,6 +44,8 @@ void SlaSummary::merge(const SlaSummary& other) {
   arrived += other.arrived;
   completed += other.completed;
   dropped += other.dropped;
+  shed += other.shed;
+  failed_by_fault += other.failed_by_fault;
   sla_violations += other.sla_violations;
   backlog += other.backlog;
   histogram.merge(other.histogram);
@@ -94,6 +99,39 @@ void RequestDriver::advance_interval() {
     }
   }
 
+  // 1b. Detect migrations against the last-seen placements.  With draining
+  //     enabled a moved VM's backlog stays behind as a source-side residue,
+  //     served at the frozen pre-move rate; without it the queue travels
+  //     with the VM exactly as before.  last_seen_ also lets step 3 tell a
+  //     crashed host from a retired VM.
+  const std::uint32_t drain_window = engine_.config().drain_intervals;
+  for (const VmSlot& slot : slots_) {
+    const auto seen = last_seen_.find(slot.id);
+    if (drain_window > 0 && seen != last_seen_.end() &&
+        seen->second.server != slot.server) {
+      const auto qit = queues_.find(slot.id);
+      if (qit != queues_.end() && qit->second.depth() > 0) {
+        DrainState st;
+        st.queue.prepend(qit->second.take_all());
+        const auto old_drain = draining_.find(slot.id);
+        if (old_drain != draining_.end()) {
+          // Second hop while still draining: the older residue re-joins at
+          // the front so overall arrival order survives.
+          st.queue.prepend(old_drain->second.queue.take_all());
+          draining_.erase(old_drain);
+        }
+        st.source = seen->second.server;
+        st.rate = seen->second.rate;
+        st.sla_seconds = slot.sla_seconds;
+        st.intervals_left = drain_window;
+        draining_.insert_or_assign(slot.id, std::move(st));
+      }
+    }
+  }
+  for (const VmSlot& slot : slots_) {
+    last_seen_[slot.id] = LastSeen{slot.server, slot.rate};
+  }
+
   // 2. Route each stream's arrivals round-robin over the VMs it owns
   //    (falling back to the whole fleet when the stream owns none).  The
   //    cursors persist across intervals so routing does not restart at the
@@ -115,12 +153,21 @@ void RequestDriver::advance_interval() {
       dropped_ += reqs.size();
       continue;
     }
+    const bool admitting = engine_.config().admission !=
+                           workload::engine::AdmissionPolicy::kNone;
+    std::uint64_t accepted = 0;
     for (const workload::engine::Request& r : reqs) {
       const std::size_t idx = (*tgt)[rr_[s] % tgt->size()];
       ++rr_[s];
-      queues_[slots_[idx].id].push(r);
+      workload::engine::RequestQueue& queue = queues_[slots_[idx].id];
+      if (admitting && shed_decision(queue, slots_[idx])) {
+        ++shed_;
+        continue;
+      }
+      queue.push(r);
+      ++accepted;
     }
-    arrived_ += reqs.size();
+    arrived_ += accepted;
   }
 
   // 3. Serve every queue over the window at its VM's granted share; queues
@@ -132,7 +179,18 @@ void RequestDriver::advance_interval() {
   for (auto it = queues_.begin(); it != queues_.end();) {
     const auto found = slot_of.find(it->first);
     if (found == slot_of.end()) {
-      dropped_ += it->second.drop_all();
+      // The VM is gone.  If its last-known host is down this is stranded
+      // backlog killed by the fault, not a routing drop.
+      const auto seen = last_seen_.find(it->first);
+      const bool host_failed = seen != last_seen_.end() &&
+                               seen->second.server < servers.size() &&
+                               servers[seen->second.server].failed();
+      if (host_failed) {
+        failed_by_fault_ += it->second.drop_all();
+      } else {
+        dropped_ += it->second.drop_all();
+      }
+      if (seen != last_seen_.end()) last_seen_.erase(seen);
       it = queues_.erase(it);
       continue;
     }
@@ -142,6 +200,38 @@ void RequestDriver::advance_interval() {
     completed_ += stats.completed;
     violations_ += stats.sla_violations;
     ++it;
+  }
+
+  // 3b. Serve draining residues on their source hosts (VmId order).  A
+  //     crashed source fails its residue; an expired window hands whatever
+  //     is left back to the VM's current queue, ahead of newer arrivals.
+  for (auto it = draining_.begin(); it != draining_.end();) {
+    DrainState& st = it->second;
+    if (st.source < servers.size() && servers[st.source].failed()) {
+      failed_by_fault_ += st.queue.drop_all();
+      it = draining_.erase(it);
+      continue;
+    }
+    const workload::engine::QueueServeStats stats =
+        st.queue.serve(t0, t1, st.rate, st.sla_seconds, &hist_);
+    completed_ += stats.completed;
+    violations_ += stats.sla_violations;
+    if (st.intervals_left > 1 && st.queue.depth() > 0) {
+      --st.intervals_left;
+      ++it;
+      continue;
+    }
+    if (st.queue.depth() > 0) {
+      const auto found = slot_of.find(it->first);
+      if (found != slot_of.end()) {
+        queues_[it->first].prepend(st.queue.take_all());
+      } else {
+        // The VM vanished mid-drain with the source still up: the residue
+        // is a routing drop, same as a retired VM's queue.
+        dropped_ += st.queue.drop_all();
+      }
+    }
+    it = draining_.erase(it);
   }
 
   // 4. Convert backlog into each VM's next demand and refresh the queue
@@ -165,6 +255,9 @@ void RequestDriver::advance_interval() {
     (void)host.set_vm_queue_state(slot.id, static_cast<std::uint32_t>(depth),
                                   backlog);
   }
+  for (const auto& [id, st] : draining_) {
+    backlog_total += st.queue.backlog_work();
+  }
   backlog_ = backlog_total;
 
   // 5. Book the batch; the recorder pre-stamped the upcoming interval, so
@@ -173,11 +266,59 @@ void RequestDriver::advance_interval() {
       static_cast<std::size_t>(arrived_ - last_arrived_),
       static_cast<std::size_t>(completed_ - last_completed_),
       static_cast<std::size_t>(violations_ - last_violations_),
-      static_cast<std::size_t>(dropped_ - last_dropped_), backlog_total);
+      static_cast<std::size_t>(dropped_ - last_dropped_),
+      static_cast<std::size_t>(shed_ - last_shed_),
+      static_cast<std::size_t>(failed_by_fault_ - last_failed_),
+      backlog_total);
   last_arrived_ = arrived_;
   last_completed_ = completed_;
   last_violations_ = violations_;
   last_dropped_ = dropped_;
+  last_shed_ = shed_;
+  last_failed_ = failed_by_fault_;
+}
+
+bool RequestDriver::shed_decision(const workload::engine::RequestQueue& queue,
+                                  const VmSlot& slot) const {
+  using workload::engine::AdmissionPolicy;
+  const workload::engine::RequestWorkloadConfig& cfg = engine_.config();
+  switch (cfg.admission) {
+    case AdmissionPolicy::kNone:
+      return false;
+    case AdmissionPolicy::kTailDrop:
+      return queue.depth() >= cfg.admission_cap;
+    case AdmissionPolicy::kDeadlineShed: {
+      const double work = queue.backlog_work();
+      if (work <= 0.0) return false;  // An empty queue admits anything.
+      if (!(slot.rate > 0.0)) return true;  // Backlog with no grant: shed.
+      const double budget = cfg.admission_budget_seconds > 0.0
+                                ? cfg.admission_budget_seconds
+                                : slot.sla_seconds;
+      return work / slot.rate > budget;
+    }
+  }
+  return false;
+}
+
+std::uint64_t RequestDriver::queued() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, queue] : queues_) total += queue.depth();
+  for (const auto& [id, st] : draining_) total += st.queue.depth();
+  return total;
+}
+
+std::optional<std::string> RequestDriver::audit() const {
+  const std::uint64_t generated = engine_.total_generated();
+  const std::uint64_t in_queues = queued();
+  const std::uint64_t accounted =
+      completed_ + shed_ + dropped_ + failed_by_fault_ + in_queues;
+  if (accounted == generated) return std::nullopt;
+  std::ostringstream out;
+  out << "request conservation violated: generated=" << generated
+      << " != completed=" << completed_ << " + shed=" << shed_
+      << " + dropped=" << dropped_ << " + failed_by_fault=" << failed_by_fault_
+      << " + queued=" << in_queues << " (= " << accounted << ")";
+  return out.str();
 }
 
 SlaSummary RequestDriver::summary() const {
@@ -185,6 +326,8 @@ SlaSummary RequestDriver::summary() const {
   s.arrived = arrived_;
   s.completed = completed_;
   s.dropped = dropped_;
+  s.shed = shed_;
+  s.failed_by_fault = failed_by_fault_;
   s.sla_violations = violations_;
   s.backlog = backlog_;
   s.histogram = hist_;
@@ -243,6 +386,21 @@ SlaSummary FabricRequestSession::summary() const {
   SlaSummary merged;
   for (const auto& d : drivers_) merged.merge(d->summary());
   return merged;
+}
+
+std::uint64_t FabricRequestSession::total_generated() const {
+  std::uint64_t total = 0;
+  for (const auto& d : drivers_) total += d->total_generated();
+  return total;
+}
+
+std::optional<std::string> FabricRequestSession::audit() const {
+  for (std::size_t i = 0; i < drivers_.size(); ++i) {
+    if (auto fail = drivers_[i]->audit()) {
+      return "shard " + std::to_string(i) + ": " + *fail;
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace eclb::experiment

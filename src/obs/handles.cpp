@@ -34,6 +34,9 @@ ProtocolInstruments ProtocolInstruments::resolve(MetricsRegistry& registry) {
   h.requests_completed = &registry.counter("requests.completed");
   h.request_sla_violations = &registry.counter("requests.sla_violations");
   h.requests_dropped = &registry.counter("requests.dropped");
+  h.requests_shed = &registry.counter("requests.shed");
+  h.requests_failed_by_fault = &registry.counter("requests.failed_by_fault");
+  h.wake_sleep_flaps = &registry.counter("protocol.wake_sleep_flaps");
   h.intervals = &registry.counter("run.intervals");
   h.unserved_demand = &registry.gauge("protocol.unserved_demand");
   h.request_backlog = &registry.gauge("requests.backlog_seconds");
@@ -99,10 +102,13 @@ void ProtocolInstruments::record(const cluster::ProtocolEvent& event) {
       requests_completed->inc(event.requests_completed);
       request_sla_violations->inc(event.requests_violated);
       requests_dropped->inc(event.requests_dropped);
+      requests_shed->inc(event.requests_shed);
+      requests_failed_by_fault->inc(event.requests_failed);
       // `value` carries the end-of-interval backlog (seconds of queued
       // work): a level, so the gauge is overwritten, not accumulated.
       request_backlog->set(event.value);
       break;
+    case Kind::kWakeSleepFlap: wake_sleep_flaps->inc(); break;
   }
 }
 

@@ -48,6 +48,9 @@ struct ProtocolInstruments {
   Counter* requests_completed{nullptr};
   Counter* request_sla_violations{nullptr};
   Counter* requests_dropped{nullptr};
+  Counter* requests_shed{nullptr};
+  Counter* requests_failed_by_fault{nullptr};
+  Counter* wake_sleep_flaps{nullptr};
   Counter* intervals{nullptr};
   Gauge* unserved_demand{nullptr};
   Gauge* request_backlog{nullptr};

@@ -108,6 +108,16 @@ void TraceWriter::event(const cluster::ProtocolEvent& event) {
       append_size(buf_, event.requests_violated);
       buf_ += ",\"dropped\":";
       append_size(buf_, event.requests_dropped);
+      // Shed/failed follow the fault-counter rule: omitted when zero, so a
+      // batch row without admission or crashes keeps its old byte layout.
+      if (event.requests_shed != 0) {
+        buf_ += ",\"shed\":";
+        append_size(buf_, event.requests_shed);
+      }
+      if (event.requests_failed != 0) {
+        buf_ += ",\"req_failed\":";
+        append_size(buf_, event.requests_failed);
+      }
       buf_ += ",\"backlog\":";
       append_double(buf_, event.value);
       break;
@@ -175,6 +185,15 @@ void TraceWriter::interval_end(const cluster::IntervalReport& report,
   }
   if (report.requests_dropped != 0) {
     field("requests_dropped", report.requests_dropped);
+  }
+  if (report.requests_shed != 0) {
+    field("requests_shed", report.requests_shed);
+  }
+  if (report.requests_failed_by_fault != 0) {
+    field("requests_failed", report.requests_failed_by_fault);
+  }
+  if (report.wake_sleep_flaps != 0) {
+    field("wake_sleep_flaps", report.wake_sleep_flaps);
   }
   if (report.request_backlog != 0.0) {
     buf_ += ",\"request_backlog\":";
@@ -247,7 +266,7 @@ std::optional<cluster::ProtocolEvent::Kind> parse_kind(std::string_view name) {
         Kind::kMessageRetried, Kind::kOrphanReplaced, Kind::kMigrationFailed,
         Kind::kCapacityDerate, Kind::kPartitionStart, Kind::kPartitionHeal,
         Kind::kCommandFenced, Kind::kShadowStart, Kind::kDuplicateResolved,
-        Kind::kReconcile, Kind::kRequestBatch}) {
+        Kind::kReconcile, Kind::kRequestBatch, Kind::kWakeSleepFlap}) {
     if (name == cluster::to_string(k)) return k;
   }
   return std::nullopt;
@@ -325,6 +344,13 @@ std::optional<TraceRecord> parse_event(std::string_view line, TraceRecord rec) {
     rec.event.requests_completed = static_cast<std::uint32_t>(*completed);
     rec.event.requests_violated = static_cast<std::uint32_t>(*violated);
     rec.event.requests_dropped = static_cast<std::uint32_t>(*dropped);
+    if (const auto shed = size_value(line, "shed"); shed.has_value()) {
+      rec.event.requests_shed = static_cast<std::uint32_t>(*shed);
+    }
+    if (const auto failed = size_value(line, "req_failed");
+        failed.has_value()) {
+      rec.event.requests_failed = static_cast<std::uint32_t>(*failed);
+    }
     rec.event.value = *backlog;
   }
   return rec;
@@ -374,6 +400,9 @@ std::optional<TraceRecord> parse_interval_end(std::string_view line,
   optional_counter("requests_completed", rec.requests_completed);
   optional_counter("requests_violated", rec.requests_violated);
   optional_counter("requests_dropped", rec.requests_dropped);
+  optional_counter("requests_shed", rec.requests_shed);
+  optional_counter("requests_failed", rec.requests_failed_by_fault);
+  optional_counter("wake_sleep_flaps", rec.wake_sleep_flaps);
   if (const auto b = number_value(line, "request_backlog"); b.has_value()) {
     rec.request_backlog = *b;
   }

@@ -24,7 +24,8 @@
 //     "shadow_starts","duplicates_resolved",]
 //    [request-engine counters, present only when nonzero:
 //     "requests_arrived","requests_completed","requests_violated",
-//     "requests_dropped","request_backlog",]
+//     "requests_dropped","requests_shed","requests_failed",
+//     "wake_sleep_flaps","request_backlog",]
 //    "unserved":U,"parked":N,"deep_sleeping":N,"energy_j":E}
 // KIND is cluster::to_string(ProtocolEvent::Kind); "server" is omitted when
 // the event has no associated server.  The per-interval event stream and the
@@ -120,6 +121,9 @@ struct TraceRecord {
   std::size_t requests_completed{0};
   std::size_t requests_violated{0};
   std::size_t requests_dropped{0};
+  std::size_t requests_shed{0};
+  std::size_t requests_failed_by_fault{0};
+  std::size_t wake_sleep_flaps{0};
   double request_backlog{0.0};
 };
 

@@ -51,4 +51,18 @@ std::size_t RequestQueue::drop_all() {
   return n;
 }
 
+std::deque<RequestQueue::Pending> RequestQueue::take_all() {
+  std::deque<Pending> out;
+  out.swap(pending_);
+  backlog_work_ = 0.0;
+  return out;
+}
+
+void RequestQueue::prepend(std::deque<Pending> batch) {
+  for (const Pending& p : batch) backlog_work_ += p.remaining;
+  for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+    pending_.push_front(std::move(*it));
+  }
+}
+
 }  // namespace eclb::workload::engine

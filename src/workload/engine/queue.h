@@ -27,6 +27,13 @@ struct QueueServeStats {
 /// FIFO queue of requests pending on one VM.
 class RequestQueue {
  public:
+  /// One queued request (public so migration draining can hand residual
+  /// contents between queues without re-synthesizing Request objects).
+  struct Pending {
+    common::Seconds arrival{};
+    double remaining{0.0};  ///< Capacity-seconds of work left.
+  };
+
   /// Enqueues a request (callers push in arrival order).
   void push(const Request& r);
 
@@ -45,12 +52,17 @@ class RequestQueue {
   /// Drops everything (the VM vanished); returns the number dropped.
   std::size_t drop_all();
 
- private:
-  struct Pending {
-    common::Seconds arrival{};
-    double remaining{0.0};  ///< Capacity-seconds of work left.
-  };
+  /// Removes and returns every pending request, FIFO order preserved; the
+  /// queue is left empty.  The migration-drain handoff uses this to freeze
+  /// the source-side backlog.
+  [[nodiscard]] std::deque<Pending> take_all();
 
+  /// Splices `batch` in front of the current contents, preserving the
+  /// batch's internal order, so a drain residue re-joins ahead of the
+  /// requests that arrived after the migration.
+  void prepend(std::deque<Pending> batch);
+
+ private:
   std::deque<Pending> pending_;
   double backlog_work_{0.0};
   common::Seconds ready_at_{common::Seconds{0.0}};  ///< Server-free time.

@@ -16,7 +16,9 @@ constexpr std::string_view kKindGrammar =
 constexpr std::string_view kStreamOptionGrammar =
     "service=exp|lognormal|pareto, mean=S, sigma=F, alpha=F, sla=SECS";
 
-constexpr std::string_view kParamGrammar = "seed=N, util=F, sla=SECS";
+constexpr std::string_view kParamGrammar =
+    "seed=N, util=F, sla=SECS, admit=none|tail-drop|deadline-shed, cap=N, "
+    "budget=SECS, drain=N";
 
 void set_error(std::string* error, std::string message) {
   if (error != nullptr) *error = std::move(message);
@@ -90,6 +92,31 @@ bool parse_stream_kind(std::string_view name, StreamKind* out) {
 
 }  // namespace
 
+std::string_view to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kNone:
+      return "none";
+    case AdmissionPolicy::kTailDrop:
+      return "tail-drop";
+    case AdmissionPolicy::kDeadlineShed:
+      return "deadline-shed";
+  }
+  return "none";
+}
+
+bool parse_admission_policy(std::string_view name, AdmissionPolicy* out) {
+  if (name == "none") {
+    *out = AdmissionPolicy::kNone;
+  } else if (name == "tail-drop") {
+    *out = AdmissionPolicy::kTailDrop;
+  } else if (name == "deadline-shed") {
+    *out = AdmissionPolicy::kDeadlineShed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::optional<RequestWorkloadConfig> RequestWorkloadConfig::parse(
     std::string_view spec, std::string* error) {
   RequestWorkloadConfig config;
@@ -131,6 +158,15 @@ std::optional<RequestWorkloadConfig> RequestWorkloadConfig::parse(
         config.target_utilization = d;
       } else if (key == "sla" && parse_double(value, &d) && d > 0.0) {
         global_sla = d;
+      } else if (key == "admit" &&
+                 parse_admission_policy(value, &config.admission)) {
+        // Parsed in place.
+      } else if (key == "cap" && parse_u64(value, &n) && n > 0) {
+        config.admission_cap = static_cast<std::uint32_t>(n);
+      } else if (key == "budget" && parse_double(value, &d) && d >= 0.0) {
+        config.admission_budget_seconds = d;
+      } else if (key == "drain" && parse_u64(value, &n)) {
+        config.drain_intervals = static_cast<std::uint32_t>(n);
       } else {
         set_error(error, "requests: bad parameter '" + std::string(item) +
                              "'" + at_offset(offset) + "; expected one of " +
@@ -228,6 +264,17 @@ std::optional<RequestWorkloadConfig> RequestWorkloadConfig::parse(
 std::string RequestWorkloadConfig::to_spec() const {
   std::ostringstream out;
   out << "seed=" << seed << ";util=" << target_utilization;
+  if (admission != AdmissionPolicy::kNone) {
+    out << ";admit=" << to_string(admission);
+    if (admission == AdmissionPolicy::kTailDrop) {
+      out << ";cap=" << admission_cap;
+    }
+    if (admission == AdmissionPolicy::kDeadlineShed &&
+        admission_budget_seconds > 0.0) {
+      out << ";budget=" << admission_budget_seconds;
+    }
+  }
+  if (drain_intervals > 0) out << ";drain=" << drain_intervals;
   for (const StreamSpec& s : streams) {
     out << ';' << to_string(s.kind) << ':';
     if (s.kind == StreamKind::kTrace) {

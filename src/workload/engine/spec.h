@@ -15,7 +15,10 @@
 // Per-stream options (any item): service=exp|lognormal|pareto, mean=S,
 //   sigma=F, alpha=F, sla=SECS.
 // Global parameters: seed=N, util=F (queue-to-demand target utilization),
-//   sla=SECS (default for streams without their own).
+//   sla=SECS (default for streams without their own),
+//   admit=none|tail-drop|deadline-shed (admission policy), cap=N (tail-drop
+//   backlog cap), budget=SECS (deadline-shed wait budget; 0 = stream SLA),
+//   drain=N (migration draining window, intervals; 0 = teleport backlog).
 #pragma once
 
 #include <cstdint>
@@ -28,6 +31,23 @@
 
 namespace eclb::workload::engine {
 
+/// Load-shedding policies applied by the request driver at enqueue time.
+/// Decisions are pure functions of the target queue's state, so they draw
+/// no randomness and leave every arrival stream's RNG untouched.
+enum class AdmissionPolicy : std::uint8_t {
+  kNone = 0,          ///< Accept everything (the PR-8 behavior; default).
+  kTailDrop = 1,      ///< Shed when a VM's queue depth has reached `cap`.
+  kDeadlineShed = 2,  ///< Shed when the queue-predicted wait exceeds the
+                      ///< budget (explicit `budget`, else the stream SLA).
+};
+
+/// Display name ("none" / "tail-drop" / "deadline-shed").
+[[nodiscard]] std::string_view to_string(AdmissionPolicy policy);
+
+/// Parses a policy name; returns false on an unknown name.
+[[nodiscard]] bool parse_admission_policy(std::string_view name,
+                                          AdmissionPolicy* out);
+
 /// A parsed request workload: the streams plus the engine-level knobs.
 struct RequestWorkloadConfig {
   std::vector<StreamSpec> streams;
@@ -38,6 +58,21 @@ struct RequestWorkloadConfig {
   /// Queue-to-demand conversion target: a VM asks for enough capacity to
   /// serve its backlog at this utilization (demand = work rate / util).
   double target_utilization{0.7};
+
+  /// Admission control (flag-gated: kNone reproduces PR-8 byte-for-byte).
+  AdmissionPolicy admission{AdmissionPolicy::kNone};
+
+  /// kTailDrop: maximum queued requests per VM before arrivals shed.
+  std::uint32_t admission_cap{256};
+
+  /// kDeadlineShed: wait budget in seconds; 0 means "use the arriving
+  /// request's stream SLA" so heterogeneous mixes shed per their own bar.
+  double admission_budget_seconds{0.0};
+
+  /// Migration draining window, in reallocation intervals.  0 keeps the
+  /// PR-8 teleport semantics; > 0 leaves a draining residue on the source
+  /// host that is handed back deterministically when the window closes.
+  std::uint32_t drain_intervals{0};
 
   /// Parses the flag spec.  On failure returns nullopt and, when `error` is
   /// non-null, a diagnostic with the byte offset and expected grammar.

@@ -1,5 +1,7 @@
 // Request driver tests: conservation of requests, recorder plumbing,
-// bit-identical replay, and thread-count-independent fabric sessions.
+// bit-identical replay, thread-count-independent fabric sessions, and the
+// overload-resilience layers (admission shedding, migration draining,
+// crash-stranded fault failures).
 #include "experiment/request_driver.h"
 
 #include <gtest/gtest.h>
@@ -10,6 +12,7 @@
 #include "cluster/cluster.h"
 #include "cluster/fabric.h"
 #include "experiment/scenario.h"
+#include "fault/injector.h"
 
 namespace eclb::experiment {
 namespace {
@@ -110,6 +113,125 @@ TEST(RequestDriver, ReplayIsBitIdentical) {
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.sla_violations, b.sla_violations);
   EXPECT_EQ(a.backlog, b.backlog);
+}
+
+TEST(RequestDriver, TailDropShedsAtTheCapAndStaysBalanced) {
+  cluster::Cluster c(driver_cluster_config(10, 17));
+  // Offered load far beyond a 10-server fleet, backlog capped at 4 queued
+  // requests per VM: tail-drop must start refusing arrivals.
+  RequestDriver driver(
+      c, parse_workload("poisson:rate=400,mean=0.3;seed=3;admit=tail-drop;"
+                        "cap=4"));
+  ASSERT_TRUE(driver.ok());
+  for (int i = 0; i < 5; ++i) {
+    driver.advance_interval();
+    c.step();
+    EXPECT_EQ(driver.audit(), std::nullopt);
+  }
+  const SlaSummary s = driver.summary();
+  EXPECT_GT(s.shed, 0U);
+  EXPECT_GT(s.completed, 0U);
+  // Shed requests never touch a queue: arrived counts only admissions.
+  EXPECT_EQ(driver.total_generated(), s.arrived + s.shed);
+  EXPECT_EQ(driver.total_generated(),
+            s.completed + s.shed + s.dropped + s.failed_by_fault +
+                driver.queued());
+}
+
+TEST(RequestDriver, DeadlineShedTracksTheWaitBudget) {
+  const char* base = "poisson:rate=300,mean=0.3,sla=0.5;seed=3";
+  // A one-millisecond budget sheds nearly everything that finds a queue
+  // occupied; a huge budget admits everything.
+  auto run = [&](const std::string& extra) {
+    cluster::Cluster c(driver_cluster_config(10, 17));
+    RequestDriver driver(c, parse_workload((base + extra).c_str()));
+    EXPECT_TRUE(driver.ok());
+    for (int i = 0; i < 4; ++i) {
+      driver.advance_interval();
+      c.step();
+      EXPECT_EQ(driver.audit(), std::nullopt);
+    }
+    return driver.summary();
+  };
+  const SlaSummary tight = run(";admit=deadline-shed;budget=0.001");
+  const SlaSummary loose = run(";admit=deadline-shed;budget=1e6");
+  const SlaSummary open = run("");
+  EXPECT_GT(tight.shed, 0U);
+  EXPECT_EQ(loose.shed, 0U);
+  EXPECT_EQ(open.shed, 0U);
+  // With an unreachable budget the policy is inert: identical to admit=none.
+  EXPECT_EQ(loose.digest(), open.digest());
+  EXPECT_LT(tight.backlog, open.backlog);
+}
+
+TEST(RequestDriver, DrainWindowKeepsTheBooksBalancedUnderMigrations) {
+  // A lightly loaded fleet consolidates aggressively, so VMs migrate while
+  // their queues hold work; the drain window must keep conservation exact
+  // and the replay bit-identical.
+  const auto workload = parse_workload(
+      "poisson:rate=30,mean=0.2;seed=12;drain=3");
+  auto run = [&] {
+    cluster::Cluster c(driver_cluster_config(30, 5));
+    RequestDriver driver(c, workload);
+    EXPECT_TRUE(driver.ok());
+    std::size_t migrations = 0;
+    for (int i = 0; i < 10; ++i) {
+      driver.advance_interval();
+      migrations += c.step().migrations;
+      EXPECT_EQ(driver.audit(), std::nullopt) << "interval " << i;
+    }
+    EXPECT_GT(migrations, 0U);  // The scenario must actually migrate.
+    return driver.summary();
+  };
+  const SlaSummary a = run();
+  const SlaSummary b = run();
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(RequestDriver, CrashStrandsRequestsAsFaultFailures) {
+  // Crash most of a small fleet with no recovery: displaced VMs cannot all
+  // be re-placed, so their queued requests must surface as failed_by_fault
+  // -- not as silent drops -- and the books must still balance.
+  fault::FaultPlan plan;
+  for (std::uint64_t s = 0; s < 7; ++s) {
+    plan.crash(common::Seconds{120.0}, common::ServerId{s});
+  }
+  cluster::Cluster c(driver_cluster_config(10, 29));
+  fault::FaultInjector injector(c, plan);
+  RequestDriver driver(c, parse_workload("poisson:rate=120,mean=0.3;seed=8"));
+  ASSERT_TRUE(driver.ok());
+  for (int i = 0; i < 8; ++i) {
+    driver.advance_interval();
+    c.step();
+    ASSERT_EQ(driver.audit(), std::nullopt) << "interval " << i;
+  }
+  const SlaSummary s = driver.summary();
+  EXPECT_GT(s.failed_by_fault, 0U);
+  EXPECT_EQ(driver.total_generated(),
+            s.completed + s.shed + s.dropped + s.failed_by_fault +
+                driver.queued());
+}
+
+TEST(RequestDriver, ResilienceSpecRoundTrips) {
+  const auto cfg = parse_workload(
+      "poisson:rate=50;seed=4;admit=tail-drop;cap=9;drain=2");
+  EXPECT_EQ(cfg.admission, workload::engine::AdmissionPolicy::kTailDrop);
+  EXPECT_EQ(cfg.admission_cap, 9U);
+  EXPECT_EQ(cfg.drain_intervals, 2U);
+  const auto round = parse_workload(cfg.to_spec().c_str());
+  EXPECT_EQ(round.admission, cfg.admission);
+  EXPECT_EQ(round.admission_cap, cfg.admission_cap);
+  EXPECT_EQ(round.drain_intervals, cfg.drain_intervals);
+  const auto budget = parse_workload(
+      "poisson:rate=50;admit=deadline-shed;budget=0.25");
+  EXPECT_EQ(budget.admission, workload::engine::AdmissionPolicy::kDeadlineShed);
+  EXPECT_DOUBLE_EQ(budget.admission_budget_seconds, 0.25);
+  const auto budget_round = parse_workload(budget.to_spec().c_str());
+  EXPECT_DOUBLE_EQ(budget_round.admission_budget_seconds, 0.25);
+  // Defaults spell nothing new: the spec string stays PR 8-compatible.
+  const auto plain = parse_workload("poisson:rate=50");
+  EXPECT_EQ(plain.to_spec().find("admit"), std::string::npos);
+  EXPECT_EQ(plain.to_spec().find("drain"), std::string::npos);
 }
 
 TEST(RequestDriver, RejectsMissingTraceStream) {

@@ -1,0 +1,147 @@
+// Property test: request conservation under randomized churn.
+//
+// For a sweep of seeds, a seeded RNG draws a flash-crowd overload workload
+// (random rate / burst / admission policy / drain window) and a random
+// fault plan (crashes, recoveries, a possible partition with heal), then
+// replays the combined scenario on a fabric at worker thread counts
+// {1, 2, 8}.  Three invariants must hold in every drawn scenario:
+//
+//   1. Conservation, every interval: every generated request is exactly one
+//      of completed / shed / dropped / failed-by-fault / still queued.
+//   2. Determinism: two runs of the same scenario produce identical digest
+//      trails.
+//   3. Thread independence: the digest trail is the same at every worker
+//      thread count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/fabric.h"
+#include "common/rng.h"
+#include "experiment/request_driver.h"
+#include "experiment/scenario.h"
+#include "fault/injector.h"
+
+namespace eclb {
+namespace {
+
+struct Churn {
+  workload::engine::RequestWorkloadConfig workload;
+  fault::FaultPlan plan;
+};
+
+constexpr std::size_t kServersPerShard = 12;
+constexpr std::size_t kShards = 3;
+constexpr std::size_t kRounds = 8;
+
+/// Draws one randomized overload + fault scenario; pure function of `seed`.
+Churn draw_scenario(std::uint64_t seed) {
+  common::Rng rng(seed);
+  Churn out;
+
+  const double rate = rng.uniform(60.0, 240.0);
+  const auto burst = rng.uniform_int(4, 10);
+  const char* admit_names[] = {"none", "tail-drop", "deadline-shed"};
+  const char* admit = admit_names[rng.uniform_int(0, 2)];
+  const auto drain = rng.uniform_int(0, 3);
+  char spec[192];
+  std::snprintf(spec, sizeof spec,
+                "flash:rate=%.1f,burst=%lld,on=120,off=360,mean=0.25,"
+                "sla=20;seed=%llu;admit=%s;cap=%lld;drain=%lld",
+                rate, static_cast<long long>(burst),
+                static_cast<unsigned long long>(seed * 7 + 1), admit,
+                static_cast<long long>(rng.uniform_int(4, 32)),
+                static_cast<long long>(drain));
+  std::string error;
+  const auto parsed = workload::engine::RequestWorkloadConfig::parse(spec,
+                                                                     &error);
+  EXPECT_TRUE(parsed.has_value()) << spec << ": " << error;
+  if (parsed.has_value()) out.workload = *parsed;
+
+  // Crash between zero and three servers mid-run; each crashed server may
+  // independently recover later.
+  const auto crashes = rng.uniform_int(0, 3);
+  for (std::int64_t i = 0; i < crashes; ++i) {
+    const common::ServerId victim{
+        static_cast<std::uint64_t>(rng.uniform_int(0, kServersPerShard - 1))};
+    const double at = rng.uniform(60.0, 240.0);
+    out.plan.crash(common::Seconds{at}, victim);
+    if (rng.bernoulli(0.5)) {
+      out.plan.recover(common::Seconds{at + rng.uniform(60.0, 180.0)}, victim);
+    }
+  }
+  // Half the scenarios also split the shard fabric, healing before the end.
+  if (rng.bernoulli(0.5)) {
+    const auto minority = rng.uniform_int(2, kServersPerShard / 2);
+    std::vector<std::vector<common::ServerId>> groups(2);
+    for (std::uint64_t s = 0; s < kServersPerShard; ++s) {
+      groups[s < kServersPerShard - static_cast<std::uint64_t>(minority) ? 0
+                                                                         : 1]
+          .push_back(common::ServerId{s});
+    }
+    const double at = rng.uniform(60.0, 180.0);
+    out.plan.partition(common::Seconds{at}, std::move(groups),
+                       common::Seconds{at + rng.uniform(120.0, 240.0)});
+  }
+  if (rng.bernoulli(0.5)) {
+    out.plan.migration_failure_rate(common::Seconds{0.0}, rng.uniform(0.1, 0.5));
+  }
+  return out;
+}
+
+/// One fabric replay; audits conservation every round and returns the
+/// digest trail.
+std::vector<std::uint64_t> replay(const Churn& churn, std::size_t threads,
+                                  std::uint64_t cluster_seed) {
+  cluster::FabricConfig fcfg;
+  fcfg.shard_count = kShards;
+  fcfg.threads = threads;
+  fcfg.cluster_template = experiment::paper_cluster_config(
+      kServersPerShard, experiment::AverageLoad::kLow30, cluster_seed);
+  fcfg.cluster_template.demand_evolution_enabled = false;
+  fcfg.cluster_template.hysteresis.enabled = true;
+  cluster::Fabric fabric(fcfg);
+  fault::FabricFaultSession faults(fabric, churn.plan);
+  experiment::FabricRequestSession session(fabric, churn.workload);
+  EXPECT_TRUE(session.ok());
+
+  std::vector<std::uint64_t> digests;
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    session.advance_interval();
+    digests.push_back(cluster::fabric_report_digest(fabric.step()));
+    const auto err = session.audit();
+    EXPECT_EQ(err, std::nullopt) << "round " << i;
+    std::uint64_t queued = 0;
+    experiment::SlaSummary sum;
+    for (std::size_t s = 0; s < session.size(); ++s) {
+      queued += session.driver(s).queued();
+    }
+    sum = session.summary();
+    EXPECT_EQ(session.total_generated(),
+              sum.completed + sum.shed + sum.dropped + sum.failed_by_fault +
+                  queued)
+        << "round " << i;
+  }
+  digests.push_back(fabric.state_digest());
+  digests.push_back(session.summary().digest());
+  return digests;
+}
+
+class OverloadChurnSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OverloadChurnSweep, ConservesRequestsAndReplaysIdentically) {
+  const std::uint64_t seed = GetParam();
+  const Churn churn = draw_scenario(seed);
+  const auto reference = replay(churn, 1, seed);
+  EXPECT_EQ(replay(churn, 1, seed), reference) << "double-run mismatch";
+  EXPECT_EQ(replay(churn, 2, seed), reference) << "2-thread mismatch";
+  EXPECT_EQ(replay(churn, 8, seed), reference) << "8-thread mismatch";
+}
+
+INSTANTIATE_TEST_SUITE_P(Churn, OverloadChurnSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace eclb

@@ -163,6 +163,15 @@ TEST(Trace, EventStreamReconstructsIntervalReports) {
           case Kind::kShadowStart: ++counted.shadow_starts; break;
           case Kind::kDuplicateResolved: ++counted.duplicates_resolved; break;
           case Kind::kReconcile: break;  // heals counts the episode
+          case Kind::kRequestBatch:
+            counted.requests_arrived += rec.event.requests_arrived;
+            counted.requests_completed += rec.event.requests_completed;
+            counted.request_sla_violations += rec.event.requests_violated;
+            counted.requests_dropped += rec.event.requests_dropped;
+            counted.requests_shed += rec.event.requests_shed;
+            counted.requests_failed_by_fault += rec.event.requests_failed;
+            break;
+          case Kind::kWakeSleepFlap: ++counted.wake_sleep_flaps; break;
         }
         break;
       }

@@ -74,10 +74,18 @@ int usage() {
       "            flash:rate=R[,burst=M,on=S,off=S],\n"
       "            trace:file=PATH[,scale=F]; options: service=exp|lognormal\n"
       "            |pareto, mean=S, sigma=F, alpha=F, sla=SECS; globals:\n"
-      "            seed=N, util=F, sla=SECS) and prints an SLA percentile\n"
-      "            trailer (p50/p99/p999 sojourns) to stderr;\n"
+      "            seed=N, util=F, sla=SECS, admit=none|tail-drop|\n"
+      "            deadline-shed, cap=N, budget=SECS, drain=N) and prints an\n"
+      "            SLA percentile trailer (p50/p99/p999 sojourns) to stderr;\n"
       "            [--request-trace FILE] is shorthand for appending\n"
-      "            \"trace:file=FILE\" to --requests\n"
+      "            \"trace:file=FILE\" to --requests;\n"
+      "            [--admission none|tail-drop|deadline-shed] overload\n"
+      "            admission policy ([--admission-cap N] tail-drop backlog\n"
+      "            cap, [--admission-budget SECS] deadline-shed wait budget),\n"
+      "            [--drain-intervals N] drains migrated VMs' backlog on the\n"
+      "            source over N intervals instead of teleporting it (both\n"
+      "            need --requests), [--hysteresis] enables sleep/wake\n"
+      "            hysteresis (dual thresholds + minimum dwell)\n"
       "  farm      --policy always-on|reactive|reactive+extra|autoscale|\n"
       "                     predictive-mw|predictive-lr\n"
       "            --workload diurnal|spiky|walk|constant [--trace FILE]\n"
@@ -110,6 +118,56 @@ int parse_request_flags(
     return 2;
   }
   *out = std::move(*parsed);
+  return 0;
+}
+
+/// Applies the overload-resilience flags (--admission, --admission-cap,
+/// --admission-budget, --drain-intervals) onto the parsed request workload.
+/// Returns 0 when absent or valid, 2 on a bad value (reported to stderr).
+int apply_resilience_flags(
+    common::Flags& flags,
+    std::optional<workload::engine::RequestWorkloadConfig>* requests) {
+  const bool wants = flags.has("admission") || flags.has("admission-cap") ||
+                     flags.has("admission-budget") ||
+                     flags.has("drain-intervals");
+  if (!wants) return 0;
+  if (!requests->has_value()) {
+    std::cerr << "--admission / --drain-intervals need --requests\n";
+    return 2;
+  }
+  workload::engine::RequestWorkloadConfig& cfg = **requests;
+  if (flags.has("admission")) {
+    const std::string name = flags.get("admission");
+    if (!workload::engine::parse_admission_policy(name, &cfg.admission)) {
+      std::cerr << "--admission: unknown policy '" << name
+                << "'; expected none | tail-drop | deadline-shed\n";
+      return 2;
+    }
+  }
+  if (flags.has("admission-cap")) {
+    const long long cap = flags.get_int("admission-cap", 256);
+    if (cap <= 0) {
+      std::cerr << "--admission-cap must be > 0\n";
+      return 2;
+    }
+    cfg.admission_cap = static_cast<std::uint32_t>(cap);
+  }
+  if (flags.has("admission-budget")) {
+    const double budget = flags.get_double("admission-budget", 0.0);
+    if (budget < 0.0) {
+      std::cerr << "--admission-budget must be >= 0\n";
+      return 2;
+    }
+    cfg.admission_budget_seconds = budget;
+  }
+  if (flags.has("drain-intervals")) {
+    const long long n = flags.get_int("drain-intervals", 0);
+    if (n < 0) {
+      std::cerr << "--drain-intervals must be >= 0\n";
+      return 2;
+    }
+    cfg.drain_intervals = static_cast<std::uint32_t>(n);
+  }
   return 0;
 }
 
@@ -150,6 +208,14 @@ void print_sla_trailer(const experiment::SlaSummary& s) {
                static_cast<unsigned long long>(s.completed),
                static_cast<unsigned long long>(s.dropped),
                static_cast<unsigned long long>(s.sla_violations), s.backlog);
+  // Resilience counters only print when nonzero, so a run without admission
+  // control or host crashes keeps the legacy two-line trailer byte-for-byte.
+  if (s.shed != 0 || s.failed_by_fault != 0) {
+    std::fprintf(stderr, "requests: %llu shed (admission), %llu failed by "
+                 "fault\n",
+                 static_cast<unsigned long long>(s.shed),
+                 static_cast<unsigned long long>(s.failed_by_fault));
+  }
   std::fprintf(stderr, "sojourn: p50 %.6f s, p99 %.6f s, p999 %.6f s\n", s.p50,
                s.p99, s.p999);
 }
@@ -200,6 +266,12 @@ int cmd_cluster_fabric(common::Flags& flags, std::size_t shards) {
 
   std::optional<workload::engine::RequestWorkloadConfig> requests;
   if (const int rc = parse_request_flags(flags, &requests); rc != 0) return rc;
+  if (const int rc = apply_resilience_flags(flags, &requests); rc != 0) {
+    return rc;
+  }
+  if (flags.get_bool("hysteresis")) {
+    fcfg.cluster_template.hysteresis.enabled = true;
+  }
   if (requests.has_value()) {
     fcfg.cluster_template.demand_evolution_enabled = false;
   }
@@ -350,6 +422,10 @@ int cmd_cluster(common::Flags& flags) {
 
   std::optional<workload::engine::RequestWorkloadConfig> requests;
   if (const int rc = parse_request_flags(flags, &requests); rc != 0) return rc;
+  if (const int rc = apply_resilience_flags(flags, &requests); rc != 0) {
+    return rc;
+  }
+  if (flags.get_bool("hysteresis")) cfg.hysteresis.enabled = true;
   if (requests.has_value()) cfg.demand_evolution_enabled = false;
 
   obs::MetricsRegistry registry;

@@ -7,6 +7,16 @@
 // validator:
 //
 //   trace-info --file day.trs
+//
+// --validate tightens the walk into a full integrity audit: on top of the
+// reader's CRC and truncation checks it enforces the framing invariants the
+// lenient replay path tolerates -- every non-final chunk must carry exactly
+// samples_per_chunk samples, every sample must be a finite non-negative
+// rate, and the stream total must match the header's declared count.  Any
+// violation names the offending chunk and exits nonzero:
+//
+//   trace-info --file day.trs --validate
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -38,7 +48,7 @@ int main(int argc, char** argv) {
   auto flags = common::Flags::parse(argc, argv);
   const std::string file = flags.get("file");
   if (file.empty()) {
-    std::fprintf(stderr, "usage: trace-info --file FILE\n");
+    std::fprintf(stderr, "usage: trace-info --file FILE [--validate]\n");
     return 2;
   }
 
@@ -59,10 +69,41 @@ int main(int argc, char** argv) {
   std::printf("declared samples:  %llu\n",
               static_cast<unsigned long long>(h.total_samples));
 
+  const bool validate = flags.get_bool("validate");
   std::vector<double> chunk;
   double sum = 0.0;
   double peak = 0.0;
+  // Framing audit state (--validate): a chunk's "non-final" status is only
+  // known once a successor arrives, so the check trails by one chunk.
+  std::uint64_t prev_count = 0;
+  bool have_prev = false;
   while (reader.next_chunk(&chunk) == Status::kOk) {
+    if (validate) {
+      if (have_prev && prev_count != h.samples_per_chunk) {
+        std::fprintf(stderr,
+                     "trace-info: %s: chunk %llu is short (%llu samples, "
+                     "non-final chunks must carry %u)\n",
+                     file.c_str(),
+                     static_cast<unsigned long long>(reader.chunks_read() - 2),
+                     static_cast<unsigned long long>(prev_count),
+                     h.samples_per_chunk);
+        return 3;
+      }
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        if (!std::isfinite(chunk[i]) || chunk[i] < 0.0) {
+          std::fprintf(stderr,
+                       "trace-info: %s: chunk %llu sample %llu is not a "
+                       "finite non-negative rate (%g)\n",
+                       file.c_str(),
+                       static_cast<unsigned long long>(reader.chunks_read() -
+                                                       1),
+                       static_cast<unsigned long long>(i), chunk[i]);
+          return 3;
+        }
+      }
+      prev_count = chunk.size();
+      have_prev = true;
+    }
     for (const double v : chunk) {
       sum += v;
       if (v > peak) peak = v;
@@ -91,6 +132,11 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(h.total_samples),
                  static_cast<unsigned long long>(n));
     return 3;
+  }
+  if (validate) {
+    std::printf("validate:          OK (%llu chunks, %llu samples)\n",
+                static_cast<unsigned long long>(reader.chunks_read()),
+                static_cast<unsigned long long>(n));
   }
   return 0;
 }
